@@ -1,0 +1,60 @@
+#include "bench/experiment_common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace noceas::bench {
+
+namespace {
+
+void check_valid(const TaskGraph& g, const Platform& p, const Schedule& s, const char* who) {
+  const ValidationReport vr = validate_schedule(g, p, s, {.check_deadlines = false});
+  if (!vr.ok()) {
+    std::cerr << "FATAL: " << who << " produced an invalid schedule:\n" << vr.to_string();
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+RunRow run_eas(const TaskGraph& g, const Platform& p, bool repair, const EasOptions& base_options) {
+  EasOptions options = base_options;
+  options.repair = repair;
+  const EasResult r = schedule_eas(g, p, options);
+  check_valid(g, p, r.schedule, repair ? "EAS" : "EAS-base");
+  return RunRow{repair ? "EAS" : "EAS-base", r.energy,     r.misses,
+                makespan(r.schedule),        average_hops_per_packet(g, p, r.schedule),
+                r.seconds};
+}
+
+RunRow run_edf(const TaskGraph& g, const Platform& p) {
+  const BaselineResult r = schedule_edf(g, p);
+  check_valid(g, p, r.schedule, "EDF");
+  return RunRow{"EDF",        r.energy,
+                r.misses,     makespan(r.schedule),
+                average_hops_per_packet(g, p, r.schedule), r.seconds};
+}
+
+void banner(const std::string& experiment, const std::string& paper_claim) {
+  std::cout << "================================================================\n"
+            << experiment << '\n'
+            << "paper: " << paper_claim << '\n'
+            << "================================================================\n";
+}
+
+void emit(const AsciiTable& table) {
+  table.print(std::cout);
+  std::cout << "--- csv ---\n";
+  table.print_csv(std::cout);
+  std::cout << "--- end csv ---\n";
+}
+
+std::string overhead_percent(Energy a, Energy b) {
+  std::ostringstream os;
+  const double pct = (a / b - 1.0) * 100.0;
+  os << (pct >= 0 ? "+" : "") << format_double(pct, 1) << '%';
+  return os.str();
+}
+
+}  // namespace noceas::bench

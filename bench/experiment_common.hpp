@@ -1,0 +1,44 @@
+// Shared helpers of the experiment (table/figure reproduction) binaries.
+//
+// Every bench binary regenerates one table or figure of the paper: it runs
+// the relevant schedulers on the relevant workloads, validates every
+// schedule it reports, and prints the rows both as an aligned ASCII table
+// and as CSV (between "--- csv ---" markers) for plotting.
+#pragma once
+
+#include <string>
+
+#include "src/baseline/edf.hpp"
+#include "src/core/eas.hpp"
+#include "src/core/validator.hpp"
+#include "src/util/table.hpp"
+
+namespace noceas::bench {
+
+/// One scheduler outcome on one workload, validated.
+struct RunRow {
+  std::string scheduler;
+  EnergyBreakdown energy;
+  MissReport misses;
+  Time makespan = 0;
+  double avg_hops = 0.0;
+  double seconds = 0.0;
+};
+
+/// Runs EAS (with or without search & repair) and validates the schedule.
+[[nodiscard]] RunRow run_eas(const TaskGraph& g, const Platform& p, bool repair,
+                             const EasOptions& base_options = {});
+
+/// Runs the EDF baseline and validates the schedule.
+[[nodiscard]] RunRow run_edf(const TaskGraph& g, const Platform& p);
+
+/// Prints the standard experiment banner.
+void banner(const std::string& experiment, const std::string& paper_claim);
+
+/// Prints a table twice: human-readable and CSV.
+void emit(const AsciiTable& table);
+
+/// Ratio formatted as "+x.y%" (how much more energy `a` burns than `b`).
+[[nodiscard]] std::string overhead_percent(Energy a, Energy b);
+
+}  // namespace noceas::bench

@@ -1,0 +1,88 @@
+// Extensions bench: the paper's future-work directions, made measurable.
+//
+// Sec. 7: "our algorithm can be adapted to other regular architectures with
+// different network topologies or different deterministic routing schemes."
+// This bench runs EAS and EDF on the Category I workloads over:
+//   * 2-D mesh with XY routing (the paper's configuration),
+//   * 2-D mesh with YX routing,
+//   * torus (wrap-around mesh) with shortest dimension-order routing,
+//   * the degree-3 honeycomb of Hemani et al. ([3] in the paper) — where
+//     e(r_ij) is no longer determined by the Manhattan distance, exactly
+//     the Sec. 7 caveat,
+// and additionally quantifies the optional buffer-energy term E_Bbit that
+// Eq. 1 deliberately drops.
+#include <iostream>
+
+#include "bench/experiment_common.hpp"
+#include "src/gen/tgff.hpp"
+#include "src/noc/graph_topology.hpp"
+
+using namespace noceas;
+using namespace noceas::bench;
+
+namespace {
+
+struct Config {
+  const char* name;
+  RoutingAlgorithm routing;
+  bool torus;
+  Energy e_bbit;
+};
+
+}  // namespace
+
+int main() {
+  banner("Extensions — topologies, routing schemes, buffer energy",
+         "future work of Sec. 7: other regular topologies / deterministic "
+         "routing; E_Bbit ablation of Eq. 1");
+
+  const Config configs[] = {
+      {"mesh+XY (paper)", RoutingAlgorithm::XY, false, 0.0},
+      {"mesh+YX", RoutingAlgorithm::YX, false, 0.0},
+      {"torus+XY", RoutingAlgorithm::XY, true, 0.0},
+      {"mesh+XY+E_Bbit", RoutingAlgorithm::XY, false, 0.9e-3},
+  };
+
+  const PeCatalog catalog = make_hetero_catalog(4, 4, /*seed=*/42);
+
+  AsciiTable table({"configuration", "EAS energy (nJ)", "EDF energy (nJ)", "EDF vs EAS",
+                    "EAS misses", "avg hops (EAS)"});
+  auto honeycomb_platform = [&]() {
+    const GraphTopology honey = make_honeycomb(4, 4);
+    std::vector<PeDesc> pes;
+    const auto names = catalog.tile_type_names();
+    for (std::size_t t = 0; t < honey.num_tiles(); ++t) {
+      pes.push_back(PeDesc{names[t] + "@" + honey.tile_name(PeId{t}), names[t]});
+    }
+    return Platform(honey, std::move(pes), EnergyParams{}, /*link_bandwidth=*/64.0);
+  };
+
+  auto run_config = [&](const std::string& label, const Platform& platform) {
+    double eas_sum = 0.0, edf_sum = 0.0, hops_sum = 0.0;
+    std::size_t miss_sum = 0;
+    for (int i = 0; i < 5; ++i) {
+      const TaskGraph ctg = generate_tgff_like(category_params(1, i), catalog);
+      const RunRow eas = run_eas(ctg, platform, /*repair=*/true);
+      const RunRow edf = run_edf(ctg, platform);
+      eas_sum += eas.energy.total();
+      edf_sum += edf.energy.total();
+      hops_sum += eas.avg_hops;
+      miss_sum += eas.misses.miss_count;
+    }
+    table.add_row({label, format_double(eas_sum, 0), format_double(edf_sum, 0),
+                   overhead_percent(edf_sum, eas_sum), std::to_string(miss_sum),
+                   format_double(hops_sum / 5.0, 2)});
+  };
+
+  for (const Config& cfg : configs) {
+    EnergyParams energy;
+    energy.e_bbit = cfg.e_bbit;
+    const Platform platform = make_mesh_platform(4, 4, catalog.tile_type_names(),
+                                                 /*link_bandwidth=*/64.0, cfg.routing, energy,
+                                                 cfg.torus);
+    run_config(cfg.name, platform);
+  }
+  run_config("honeycomb (Hemani [3])", honeycomb_platform());
+  emit(table);
+  return 0;
+}

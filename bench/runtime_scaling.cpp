@@ -1,0 +1,91 @@
+// Reproduces the runtime observations of Sec. 6.1 with google-benchmark:
+// "However, it does increase the run time of the scheduler.  For the
+// aforementioned four benchmarks, the run time increase from 1.77 sec.,
+// 2.45 sec., 3.23 sec. and 2.34 sec. to 2.17 sec., ..."
+//
+// We measure (a) EAS-base vs full EAS on the random benchmarks where
+// search & repair actually fires (the Category II miss benchmarks), showing
+// the same "repair costs extra runtime" effect, and (b) how scheduler
+// runtime scales with task count.
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/edf.hpp"
+#include "src/core/eas.hpp"
+#include "src/gen/tgff.hpp"
+
+using namespace noceas;
+
+namespace {
+
+const PeCatalog& catalog_4x4() {
+  static const PeCatalog catalog = make_hetero_catalog(4, 4, /*seed=*/42);
+  return catalog;
+}
+
+const Platform& platform_4x4() {
+  static const Platform platform = make_platform_for(catalog_4x4(), 4, 4);
+  return platform;
+}
+
+/// Category II benchmarks where EAS-base misses deadlines (repair fires).
+const TaskGraph& miss_benchmark(int index) {
+  static const TaskGraph b2 = generate_tgff_like(category_params(2, 2), catalog_4x4());
+  static const TaskGraph b4 = generate_tgff_like(category_params(2, 4), catalog_4x4());
+  static const TaskGraph b5 = generate_tgff_like(category_params(2, 5), catalog_4x4());
+  static const TaskGraph b8 = generate_tgff_like(category_params(2, 8), catalog_4x4());
+  switch (index) {
+    case 0: return b2;
+    case 1: return b4;
+    case 2: return b5;
+    default: return b8;
+  }
+}
+
+void BM_EasBase_MissBenchmarks(benchmark::State& state) {
+  const TaskGraph& g = miss_benchmark(static_cast<int>(state.range(0)));
+  EasOptions options;
+  options.repair = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_eas(g, platform_4x4(), options));
+  }
+}
+BENCHMARK(BM_EasBase_MissBenchmarks)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_EasFull_MissBenchmarks(benchmark::State& state) {
+  const TaskGraph& g = miss_benchmark(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_eas(g, platform_4x4()));
+  }
+}
+BENCHMARK(BM_EasFull_MissBenchmarks)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_Edf_MissBenchmarks(benchmark::State& state) {
+  const TaskGraph& g = miss_benchmark(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_edf(g, platform_4x4()));
+  }
+}
+BENCHMARK(BM_Edf_MissBenchmarks)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+/// Scaling with task count (fixed 4x4 platform, Category I style deadlines).
+void BM_EasBase_TaskScaling(benchmark::State& state) {
+  TgffParams params = category_params(1, 0);
+  params.num_tasks = static_cast<std::size_t>(state.range(0));
+  params.num_edges = 2 * params.num_tasks;
+  const TaskGraph g = generate_tgff_like(params, catalog_4x4());
+  EasOptions options;
+  options.repair = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_eas(g, platform_4x4(), options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EasBase_TaskScaling)
+    ->RangeMultiplier(2)
+    ->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

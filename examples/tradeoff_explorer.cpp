@@ -1,0 +1,69 @@
+// Interactive energy/performance trade-off explorer (the Fig. 7 experiment
+// as a tool): sweeps the unified performance ratio over a user-chosen range
+// on a chosen MSB system and prints the EAS vs EDF energy series as a table
+// and CSV.
+//
+// Usage: tradeoff_explorer [encoder|decoder|encdec] [akiyo|foreman|toybox]
+//                          [--from R] [--to R] [--step R]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "src/baseline/edf.hpp"
+#include "src/core/eas.hpp"
+#include "src/msb/msb.hpp"
+#include "src/util/table.hpp"
+
+using namespace noceas;
+
+int main(int argc, char** argv) {
+  std::string system = "encdec";
+  std::string clip_name = "foreman";
+  double from = 1.0, to = 2.6, step = 0.2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "encoder" || arg == "decoder" || arg == "encdec") system = arg;
+    else if (arg == "akiyo" || arg == "foreman" || arg == "toybox") clip_name = arg;
+    else if (arg == "--from" && i + 1 < argc) from = std::atof(argv[++i]);
+    else if (arg == "--to" && i + 1 < argc) to = std::atof(argv[++i]);
+    else if (arg == "--step" && i + 1 < argc) step = std::atof(argv[++i]);
+    else {
+      std::cerr << "usage: tradeoff_explorer [encoder|decoder|encdec] "
+                   "[akiyo|foreman|toybox] [--from R] [--to R] [--step R]\n";
+      return 2;
+    }
+  }
+  if (from <= 0 || to < from || step <= 0) {
+    std::cerr << "invalid sweep range\n";
+    return 2;
+  }
+
+  ClipProfile clip = clip_foreman();
+  for (const ClipProfile& c : all_clips()) {
+    if (c.name == clip_name) clip = c;
+  }
+  const bool small = system != "encdec";
+  const PeCatalog catalog = small ? msb_catalog_2x2() : msb_catalog_3x3();
+  const Platform platform = small ? msb_platform_2x2() : msb_platform_3x3();
+
+  std::cout << "sweeping " << system << '/' << clip.name << " for ratio in [" << from << ", "
+            << to << "] step " << step << "\n\n";
+
+  AsciiTable table({"ratio", "EAS energy (nJ)", "EAS misses", "EDF energy (nJ)", "EDF misses",
+                    "EAS/EDF"});
+  for (double ratio = from; ratio <= to + 1e-9; ratio += step) {
+    const TaskGraph ctg = system == "encoder"   ? make_av_encoder(clip, catalog, ratio)
+                          : system == "decoder" ? make_av_decoder(clip, catalog, ratio)
+                                                : make_av_encdec(clip, catalog, ratio);
+    const EasResult eas = schedule_eas(ctg, platform);
+    const BaselineResult edf = schedule_edf(ctg, platform);
+    table.add_row({format_double(ratio, 2), format_double(eas.energy.total(), 1),
+                   std::to_string(eas.misses.miss_count), format_double(edf.energy.total(), 1),
+                   std::to_string(edf.misses.miss_count),
+                   format_percent(eas.energy.total() / edf.energy.total())});
+  }
+  table.print(std::cout);
+  std::cout << "\ncsv:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

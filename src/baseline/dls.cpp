@@ -1,0 +1,72 @@
+#include "src/baseline/dls.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "src/core/list_common.hpp"
+#include "src/core/resource_tables.hpp"
+#include "src/ctg/dag_algos.hpp"
+
+namespace noceas {
+
+BaselineResult schedule_dls(const TaskGraph& g, const Platform& p) {
+  NOCEAS_REQUIRE(g.num_pes() == p.num_pes(), "CTG/platform PE count mismatch");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const auto mean = mean_durations(g);
+  const auto sl = static_levels(g, mean);
+
+  Schedule s(g.num_tasks(), g.num_edges());
+  ResourceTables tables(p);
+
+  std::vector<std::size_t> unplaced_preds(g.num_tasks());
+  std::vector<TaskId> ready;
+  for (TaskId t : g.all_tasks()) {
+    unplaced_preds[t.index()] = g.in_degree(t);
+    if (unplaced_preds[t.index()] == 0) ready.push_back(t);
+  }
+
+  std::size_t placed = 0;
+  while (placed < g.num_tasks()) {
+    NOCEAS_REQUIRE(!ready.empty(), "no ready task but unplaced tasks remain (cycle?)");
+
+    // Maximize DL(i,k) over all ready tasks and PEs.
+    TaskId best_task;
+    PeId best_pe;
+    double best_dl = -std::numeric_limits<double>::infinity();
+    for (TaskId t : ready) {
+      for (PeId k : p.all_pes()) {
+        const ProbeResult pr = probe_placement(g, p, t, k, s, tables);
+        const double delta =
+            mean[t.index()] - static_cast<double>(g.task(t).exec_time[k.index()]);
+        const double dl = sl[t.index()] - static_cast<double>(pr.start) + delta;
+        if (dl > best_dl) {
+          best_dl = dl;
+          best_task = t;
+          best_pe = k;
+        }
+      }
+    }
+
+    commit_placement(g, p, best_task, best_pe, s, tables);
+    ++placed;
+
+    ready.erase(std::find(ready.begin(), ready.end(), best_task));
+    for (EdgeId e : g.out_edges(best_task)) {
+      const TaskId succ = g.edge(e).dst;
+      if (--unplaced_preds[succ.index()] == 0) {
+        ready.insert(std::upper_bound(ready.begin(), ready.end(), succ), succ);
+      }
+    }
+  }
+
+  BaselineResult result;
+  result.schedule = std::move(s);
+  result.misses = deadline_misses(g, result.schedule);
+  result.energy = compute_energy(g, p, result.schedule);
+  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace noceas

@@ -1,0 +1,24 @@
+// Dynamic-Level Scheduling (DLS) baseline — Sih & Lee, IEEE TPDS 1993,
+// cited as [10] in the paper's related work ("a compile-time scheduling
+// heuristic ... which accounts for interprocessor communication overhead").
+//
+// DLS repeatedly picks the (ready task, PE) pair maximizing the dynamic
+// level
+//
+//   DL(i,k) = SL(i) - max(DRT(i,k), PE-available(i,k)) + delta(i,k)
+//
+// where SL(i) is the static level (longest mean-duration path from t_i to
+// any sink) and delta(i,k) = M(t_i) - r^i_k accounts for PE heterogeneity
+// (running faster than average raises the level).  Performance-oriented and
+// energy-blind, like EDF, but communication-aware in its selection — a
+// stronger performance baseline for the comparison benches.
+#pragma once
+
+#include "src/baseline/edf.hpp"
+
+namespace noceas {
+
+/// Runs the DLS list scheduler.
+[[nodiscard]] BaselineResult schedule_dls(const TaskGraph& g, const Platform& p);
+
+}  // namespace noceas

@@ -1,0 +1,74 @@
+#include "src/baseline/edf.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "src/core/list_common.hpp"
+#include "src/core/resource_tables.hpp"
+#include "src/ctg/dag_algos.hpp"
+
+namespace noceas {
+
+BaselineResult schedule_edf(const TaskGraph& g, const Platform& p) {
+  NOCEAS_REQUIRE(g.num_pes() == p.num_pes(), "CTG/platform PE count mismatch");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const auto eff_deadline = effective_deadlines(g, mean_durations(g));
+
+  Schedule s(g.num_tasks(), g.num_edges());
+  ResourceTables tables(p);
+
+  std::vector<std::size_t> unplaced_preds(g.num_tasks());
+  std::vector<TaskId> ready;
+  for (TaskId t : g.all_tasks()) {
+    unplaced_preds[t.index()] = g.in_degree(t);
+    if (unplaced_preds[t.index()] == 0) ready.push_back(t);
+  }
+
+  std::size_t placed = 0;
+  while (placed < g.num_tasks()) {
+    NOCEAS_REQUIRE(!ready.empty(), "no ready task but unplaced tasks remain (cycle?)");
+
+    // Earliest effective deadline first; ties by id for determinism.
+    auto it = std::min_element(ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+      if (eff_deadline[a.index()] != eff_deadline[b.index()])
+        return eff_deadline[a.index()] < eff_deadline[b.index()];
+      return a < b;
+    });
+    const TaskId t = *it;
+    ready.erase(it);
+
+    // Earliest finish time over all PEs; ties towards lower energy, then id.
+    PeId best_pe;
+    Time best_f = std::numeric_limits<Time>::max();
+    Energy best_e = std::numeric_limits<Energy>::infinity();
+    for (PeId k : p.all_pes()) {
+      const ProbeResult pr = probe_placement(g, p, t, k, s, tables);
+      const Energy e = placement_energy(g, p, t, k, s);
+      if (pr.finish < best_f || (pr.finish == best_f && e < best_e)) {
+        best_f = pr.finish;
+        best_e = e;
+        best_pe = k;
+      }
+    }
+    commit_placement(g, p, t, best_pe, s, tables);
+    ++placed;
+
+    for (EdgeId e : g.out_edges(t)) {
+      const TaskId succ = g.edge(e).dst;
+      if (--unplaced_preds[succ.index()] == 0) {
+        ready.insert(std::upper_bound(ready.begin(), ready.end(), succ), succ);
+      }
+    }
+  }
+
+  BaselineResult result;
+  result.schedule = std::move(s);
+  result.misses = deadline_misses(g, result.schedule);
+  result.energy = compute_energy(g, p, result.schedule);
+  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace noceas

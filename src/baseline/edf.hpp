@@ -1,0 +1,33 @@
+// Earliest-Deadline-First baseline scheduler.
+//
+// The paper compares EAS against "a standard Earliest Deadline First (EDF)
+// scheduler" (Sec. 6).  Like EAS it must map tasks onto the heterogeneous
+// PEs and schedule communications exactly; unlike EAS it is performance-
+// greedy and energy-blind:
+//   * deadlines are propagated backwards through the CTG to give every task
+//     an effective deadline (tasks without one inherit from descendants),
+//   * among ready tasks, the one with the earliest effective deadline is
+//     scheduled first,
+//   * it is placed on the PE giving the earliest finish time F(i,k)
+//     (computed with the same Fig. 3 communication scheduler), ties broken
+//     towards lower energy.
+#pragma once
+
+#include "src/core/schedule.hpp"
+#include "src/ctg/task_graph.hpp"
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+
+/// Result of a baseline scheduling run.
+struct BaselineResult {
+  Schedule schedule;
+  MissReport misses;
+  EnergyBreakdown energy;
+  double seconds = 0.0;
+};
+
+/// Runs the EDF list scheduler.
+[[nodiscard]] BaselineResult schedule_edf(const TaskGraph& g, const Platform& p);
+
+}  // namespace noceas

@@ -1,0 +1,65 @@
+#include "src/baseline/greedy_energy.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "src/core/list_common.hpp"
+#include "src/core/resource_tables.hpp"
+
+namespace noceas {
+
+BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p) {
+  NOCEAS_REQUIRE(g.num_pes() == p.num_pes(), "CTG/platform PE count mismatch");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Schedule s(g.num_tasks(), g.num_edges());
+  ResourceTables tables(p);
+
+  std::vector<std::size_t> unplaced_preds(g.num_tasks());
+  std::vector<TaskId> ready;
+  for (TaskId t : g.all_tasks()) {
+    unplaced_preds[t.index()] = g.in_degree(t);
+    if (unplaced_preds[t.index()] == 0) ready.push_back(t);
+  }
+
+  std::size_t placed = 0;
+  while (placed < g.num_tasks()) {
+    NOCEAS_REQUIRE(!ready.empty(), "no ready task but unplaced tasks remain (cycle?)");
+    // FIFO over ids: take the lowest ready id, place at min energy
+    // (ties towards earlier finish).
+    const TaskId t = ready.front();
+    ready.erase(ready.begin());
+
+    PeId best_pe;
+    Energy best_e = std::numeric_limits<Energy>::infinity();
+    Time best_f = std::numeric_limits<Time>::max();
+    for (PeId k : p.all_pes()) {
+      const Energy e = placement_energy(g, p, t, k, s);
+      const ProbeResult pr = probe_placement(g, p, t, k, s, tables);
+      if (e < best_e || (e == best_e && pr.finish < best_f)) {
+        best_e = e;
+        best_f = pr.finish;
+        best_pe = k;
+      }
+    }
+    commit_placement(g, p, t, best_pe, s, tables);
+    ++placed;
+
+    for (EdgeId e : g.out_edges(t)) {
+      const TaskId succ = g.edge(e).dst;
+      if (--unplaced_preds[succ.index()] == 0) {
+        ready.insert(std::upper_bound(ready.begin(), ready.end(), succ), succ);
+      }
+    }
+  }
+
+  BaselineResult result;
+  result.schedule = std::move(s);
+  result.misses = deadline_misses(g, result.schedule);
+  result.energy = compute_energy(g, p, result.schedule);
+  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace noceas

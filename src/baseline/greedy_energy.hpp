@@ -1,0 +1,18 @@
+// Min-energy greedy scheduler (ablation lower bound on energy).
+//
+// Places every ready task on the PE minimizing its computation-plus-
+// incoming-communication energy, ignoring deadlines entirely.  Its energy
+// is a practical lower bound for list schedulers on a given CTG, and its
+// (often substantial) deadline misses demonstrate why EAS needs the slack
+// budget and the urgency mode: pure energy greed is not schedulable under
+// real-time constraints.
+#pragma once
+
+#include "src/baseline/edf.hpp"
+
+namespace noceas {
+
+/// Runs the deadline-blind min-energy list scheduler.
+[[nodiscard]] BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p);
+
+}  // namespace noceas

@@ -1,0 +1,70 @@
+#include "src/core/comm_scheduler.hpp"
+
+#include <algorithm>
+
+namespace noceas {
+
+IncomingCommResult schedule_incoming_comms(const TaskGraph& g, const Platform& p, TaskId task,
+                                           PeId dest,
+                                           const std::vector<TaskPlacement>& task_placements,
+                                           ResourceTables& tables, ReservationLog& log) {
+  IncomingCommResult result;
+
+  // Build the LCT and sort it by the finish time of each sender (Fig. 3:
+  // "sort LCT by the finish time of its sender"), ties by edge id for
+  // determinism.
+  std::vector<EdgeId> lct(g.in_edges(task).begin(), g.in_edges(task).end());
+  std::sort(lct.begin(), lct.end(), [&](EdgeId a, EdgeId b) {
+    const Time fa = task_placements[g.edge(a).src.index()].finish;
+    const Time fb = task_placements[g.edge(b).src.index()].finish;
+    if (fa != fb) return fa < fb;
+    return a < b;
+  });
+
+  result.placements.reserve(lct.size());
+  for (EdgeId e : lct) {
+    const CommEdge& edge = g.edge(e);
+    const TaskPlacement& sender = task_placements[edge.src.index()];
+    NOCEAS_REQUIRE(sender.placed(), "sender task " << edge.src.value << " not yet scheduled");
+
+    CommPlacement cp;
+    cp.src_pe = sender.pe;
+    cp.dst_pe = dest;
+
+    const Duration dur = edge.is_control_only() ? 0 : p.transfer_time(edge.volume, sender.pe, dest);
+    if (dur == 0) {
+      // Same tile or pure control dependency: no link usage, data available
+      // the moment the sender finishes.
+      cp.start = sender.finish;
+      cp.duration = 0;
+    } else {
+      const std::vector<LinkId>& route = p.route(sender.pe, dest);
+      std::vector<const ScheduleTable*> path_tables;
+      path_tables.reserve(route.size());
+      for (LinkId l : route) path_tables.push_back(&tables.link[l.index()]);
+
+      cp.start = path_earliest_fit(path_tables, sender.finish, dur);
+      cp.duration = dur;
+      const Interval iv{cp.start, cp.start + dur};
+      for (LinkId l : route) log.reserve(tables.link[l.index()], iv);
+    }
+    result.data_ready_time = std::max(result.data_ready_time, cp.arrival());
+    result.placements.emplace_back(e, cp);
+  }
+  return result;
+}
+
+Energy incoming_comm_energy(const TaskGraph& g, const Platform& p, TaskId task, PeId dest,
+                            const std::vector<TaskPlacement>& task_placements) {
+  Energy total = 0.0;
+  for (EdgeId e : g.in_edges(task)) {
+    const CommEdge& edge = g.edge(e);
+    if (edge.is_control_only()) continue;
+    const TaskPlacement& sender = task_placements[edge.src.index()];
+    NOCEAS_REQUIRE(sender.placed(), "sender task " << edge.src.value << " not yet scheduled");
+    total += p.transfer_energy(edge.volume, sender.pe, dest);
+  }
+  return total;
+}
+
+}  // namespace noceas

@@ -1,0 +1,48 @@
+// The communication scheduler of Fig. 3 in the paper.
+//
+// Given a task t_i tentatively (or definitively) assigned to PE p_k, the
+// list of its receiving communication transactions (LCT) is sorted by the
+// finish time of each sender; every transaction is then placed at the
+// earliest slot of its route's merged path schedule table that starts no
+// earlier than the sender's finish, and all links of the route are reserved
+// for the transfer duration.  The returned data ready time DRT(i,k) is the
+// latest arrival over all receiving transactions (Eq. 4).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/core/resource_tables.hpp"
+#include "src/core/schedule.hpp"
+#include "src/ctg/task_graph.hpp"
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+
+/// Outcome of scheduling all receiving transactions of one task on one PE.
+struct IncomingCommResult {
+  /// DRT(i,k): latest arrival of the receiving transactions; 0 for sources.
+  Time data_ready_time = 0;
+  /// Placement of every incoming edge, in the order they were scheduled
+  /// (ascending sender finish time).
+  std::vector<std::pair<EdgeId, CommPlacement>> placements;
+};
+
+/// Runs the Fig. 3 scheduler for task `task` on destination PE `dest`.
+/// All predecessors of `task` must already be placed in `task_placements`.
+/// Link reservations are made through `log` so the caller can either
+/// commit() (assignment decided) or rollback() (F(i,k) probing).
+[[nodiscard]] IncomingCommResult schedule_incoming_comms(
+    const TaskGraph& g, const Platform& p, TaskId task, PeId dest,
+    const std::vector<TaskPlacement>& task_placements, ResourceTables& tables,
+    ReservationLog& log);
+
+/// Communication energy cost of running `task` on `dest` given the already
+/// fixed placements of its predecessors (the footnote-2 term of the paper:
+/// "when we calculate E1 and E2, the communication energy consumption is
+/// also taken into account").
+[[nodiscard]] Energy incoming_comm_energy(const TaskGraph& g, const Platform& p, TaskId task,
+                                          PeId dest,
+                                          const std::vector<TaskPlacement>& task_placements);
+
+}  // namespace noceas

@@ -1,0 +1,219 @@
+#include "src/core/eas.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <limits>
+
+#include "src/core/list_common.hpp"
+#include "src/ctg/dag_algos.hpp"
+
+namespace noceas {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Budgeted deadlines without slack redistribution (ablation path): plain
+/// effective deadlines under mean durations.
+std::vector<Time> plain_budget(const TaskGraph& g) {
+  return effective_deadlines(g, mean_durations(g));
+}
+
+/// Step 2: level-based scheduling against budgeted deadlines `bd`.
+Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::vector<Time>& bd) {
+  Schedule s(g.num_tasks(), g.num_edges());
+  ResourceTables tables(p);
+
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = p.num_pes();
+  std::vector<std::size_t> unplaced_preds(n);
+  std::vector<TaskId> ready;  // the RTL, kept sorted by id for determinism
+  for (TaskId t : g.all_tasks()) {
+    unplaced_preds[t.index()] = g.in_degree(t);
+    if (unplaced_preds[t.index()] == 0) ready.push_back(t);
+  }
+
+  std::vector<Time> finish_ik(P);  // F(i,k) for the task under evaluation
+
+  std::size_t placed = 0;
+  while (placed < n) {
+    NOCEAS_REQUIRE(!ready.empty(), "no ready task but " << (n - placed) << " unplaced (cycle?)");
+
+    // Evaluate F(i,k) for every ready task / PE combination by tentatively
+    // scheduling the receiving transactions and probing the PE gap.
+    struct Candidate {
+      TaskId task;
+      PeId urgent_pe;          // argmin_k F(i,k)
+      Time min_finish = 0;     // min_F(i)
+      double urgency = -kInf;  // min_F(i) - BD_i (only when over budget)
+      PeId energy_pe;          // argmin-energy PE within the feasible list L_i
+      double regret = -kInf;   // delta_E = E2 - E1
+    };
+    std::vector<Candidate> cands;
+    cands.reserve(ready.size());
+
+    for (TaskId t : ready) {
+      Candidate c;
+      c.task = t;
+      Time min_f = std::numeric_limits<Time>::max();
+      for (std::size_t k = 0; k < P; ++k) {
+        const ProbeResult pr = probe_placement(g, p, t, PeId{k}, s, tables);
+        finish_ik[k] = pr.finish;
+        if (pr.finish < min_f) {
+          min_f = pr.finish;
+          c.urgent_pe = PeId{k};
+        }
+      }
+      c.min_finish = min_f;
+
+      const Time budget = bd[t.index()];
+      if (budget != kNoDeadline && min_f > budget) {
+        // Over budget on every PE: urgency mode candidate (paper Step 2.3).
+        c.urgency = static_cast<double>(min_f - budget);
+      } else {
+        // Feasible list L_i = { k : F(i,k) <= BD_i } (all PEs when no BD).
+        double e1 = kInf, e2 = kInf;
+        PeId best_pe;
+        Time best_f = std::numeric_limits<Time>::max();
+        for (std::size_t k = 0; k < P; ++k) {
+          if (budget != kNoDeadline && finish_ik[k] > budget) continue;
+          const Energy e = placement_energy(g, p, t, PeId{k}, s);
+          if (e < e1 || (e == e1 && finish_ik[k] < best_f)) {
+            e2 = e1;
+            e1 = e;
+            best_pe = PeId{k};
+            best_f = finish_ik[k];
+          } else if (e < e2) {
+            e2 = e;
+          }
+        }
+        NOCEAS_REQUIRE(best_pe.valid(), "empty feasible list despite min_F <= BD");
+        c.energy_pe = best_pe;
+        // Single feasible PE: deferring could cost unboundedly; schedule now.
+        c.regret = (e2 == kInf) ? kInf : e2 - e1;
+      }
+      cands.push_back(c);
+    }
+
+    // Selection: urgency mode wins if any candidate is over budget
+    // (paper Step 2.3), otherwise maximum energy regret (Step 2.4).
+    const Candidate* chosen = nullptr;
+    PeId chosen_pe;
+    bool urgent_mode = false;
+    for (const Candidate& c : cands) {
+      if (c.urgency > -kInf) {
+        urgent_mode = true;
+        if (!chosen || c.urgency > chosen->urgency) chosen = &c;
+      }
+    }
+    if (urgent_mode) {
+      chosen_pe = chosen->urgent_pe;
+    } else {
+      for (const Candidate& c : cands) {
+        if (!chosen || c.regret > chosen->regret) chosen = &c;
+      }
+      chosen_pe = chosen->energy_pe;
+    }
+
+    // Commit: re-run the communication scheduler for real and reserve the
+    // PE slot (identical timing to the probe — both are deterministic).
+    commit_placement(g, p, chosen->task, chosen_pe, s, tables);
+    ++placed;
+
+    // Maintain the ready list.
+    ready.erase(std::find(ready.begin(), ready.end(), chosen->task));
+    for (EdgeId e : g.out_edges(chosen->task)) {
+      const TaskId succ = g.edge(e).dst;
+      if (--unplaced_preds[succ.index()] == 0) {
+        ready.insert(std::upper_bound(ready.begin(), ready.end(), succ), succ);
+      }
+    }
+  }
+  return s;
+}
+
+/// Tightens the budgets of every missed task and all its ancestors by the
+/// observed tardiness (plus a small margin), in place.
+void tighten_budgets(const TaskGraph& g, const Schedule& s, const MissReport& misses,
+                     std::vector<Time>& bd) {
+  for (TaskId m : misses.missed) {
+    const Time tardiness = s.at(m).finish - g.task(m).deadline;
+    const Time cut = tardiness + std::max<Time>(1, tardiness / 4);
+    std::deque<TaskId> frontier{m};
+    std::vector<bool> seen(g.num_tasks(), false);
+    seen[m.index()] = true;
+    while (!frontier.empty()) {
+      const TaskId t = frontier.front();
+      frontier.pop_front();
+      if (bd[t.index()] != kNoDeadline) bd[t.index()] -= cut;
+      for (EdgeId e : g.in_edges(t)) {
+        const TaskId pred = g.edge(e).src;
+        if (!seen[pred.index()]) {
+          seen[pred.index()] = true;
+          frontier.push_back(pred);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+EasResult schedule_eas(const TaskGraph& g, const Platform& p, const EasOptions& options) {
+  NOCEAS_REQUIRE(g.num_pes() == p.num_pes(),
+                 "CTG characterized for " << g.num_pes() << " PEs, platform has " << p.num_pes());
+  const auto t0 = std::chrono::steady_clock::now();
+
+  EasResult result;
+
+  // ---- Step 1: budget slack allocation --------------------------------
+  result.budget = compute_slack_budget(g, options.weight);
+  std::vector<Time> bd = result.budget.budgeted_deadline;
+  if (!options.use_slack_budget) bd = plain_budget(g);
+
+  // ---- Steps 2 + 3, with budget-tightening escalation -------------------
+  Schedule best;
+  MissReport best_misses;
+  EnergyBreakdown best_energy;
+  bool have_best = false;
+
+  const int attempts = options.repair ? options.max_budget_retries + 1 : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    Schedule s = level_based_schedule(g, p, bd);
+
+    if (options.repair) {
+      RepairResult rr = search_and_repair(g, p, s, options.repair_options);
+      if (attempt == 0) result.repair = rr.stats;  // stats of the canonical flow
+      s = std::move(rr.schedule);
+    } else {
+      const MissReport mr = deadline_misses(g, s);
+      result.repair.misses_before = result.repair.misses_after = mr.miss_count;
+      result.repair.tardiness_before = result.repair.tardiness_after = mr.total_tardiness;
+    }
+
+    const MissReport mr = deadline_misses(g, s);
+    const EnergyBreakdown eb = compute_energy(g, p, s);
+    const bool better = !have_best || mr.better_than(best_misses) ||
+                        (!best_misses.better_than(mr) && eb.total() < best_energy.total());
+    if (better) {
+      best = std::move(s);
+      best_misses = mr;
+      best_energy = eb;
+      have_best = true;
+    }
+    if (best_misses.all_met()) break;
+    if (attempt + 1 < attempts) {
+      tighten_budgets(g, best, best_misses, bd);
+      result.budget_retries = attempt + 1;
+    }
+  }
+
+  result.schedule = std::move(best);
+  result.misses = best_misses;
+  result.energy = best_energy;
+  result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace noceas

@@ -1,0 +1,57 @@
+// The Energy-Aware Scheduler (EAS) — the paper's main contribution (Sec. 5).
+//
+// Statically schedules both the computation tasks and the communication
+// transactions of a CTG onto a heterogeneous NoC platform, minimizing
+//
+//   energy = sum_i e^i_{M(t_i)}  +  sum_{c_ij} v(c_ij) * e(r_{M(ti),M(tj)})
+//
+// (Eq. 3) subject to task/transaction compatibility, dependencies and
+// deadlines.  Three steps: slack budgeting, level-based scheduling, and
+// (optionally) search & repair; disabling the last yields the paper's
+// "EAS-base" configuration.
+#pragma once
+
+#include "src/core/repair.hpp"
+#include "src/core/schedule.hpp"
+#include "src/core/slack_budget.hpp"
+#include "src/ctg/task_graph.hpp"
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+
+/// Configuration of the EAS scheduler.
+struct EasOptions {
+  /// Weight function of the slack budgeting step (paper: VAR_e * VAR_r).
+  WeightKind weight = WeightKind::VarEVarR;
+  /// When false, budgeted deadlines degenerate to the effective deadlines
+  /// (no slack redistribution) — an ablation knob.
+  bool use_slack_budget = true;
+  /// When true, run search & repair on the level-based result (full "EAS");
+  /// when false, stop after Step 2 ("EAS-base").
+  bool repair = true;
+  RepairOptions repair_options{};
+  /// Escalation beyond the paper: when search & repair converges with
+  /// residual deadline misses (a local optimum of the LTS/GTM moves), the
+  /// budgeted deadlines of every missed task and its ancestors are tightened
+  /// by the observed tardiness and Steps 2-3 are re-run, up to this many
+  /// times.  0 reproduces the paper's flow exactly.  Only active when
+  /// `repair` is set.
+  int max_budget_retries = 8;
+};
+
+/// Result of a full EAS run.
+struct EasResult {
+  Schedule schedule;
+  SlackBudget budget;      ///< Step 1 output (weights + budgeted deadlines)
+  RepairStats repair;      ///< Step 3 stats (zeroed when repair disabled/skipped)
+  MissReport misses;       ///< deadline misses of the final schedule
+  EnergyBreakdown energy;  ///< Eq. 3 value of the final schedule
+  double seconds = 0.0;    ///< wall-clock scheduling time
+  int budget_retries = 0;  ///< budget-tightening escalations that were run
+};
+
+/// Runs EAS on `g` targeting `p`.  `g.num_pes()` must equal `p.num_pes()`.
+[[nodiscard]] EasResult schedule_eas(const TaskGraph& g, const Platform& p,
+                                     const EasOptions& options = {});
+
+}  // namespace noceas

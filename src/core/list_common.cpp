@@ -1,0 +1,47 @@
+#include "src/core/list_common.hpp"
+
+#include <algorithm>
+
+namespace noceas {
+
+ProbeResult probe_placement(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
+                            const Schedule& schedule, ResourceTables& tables) {
+  ReservationLog log;
+  const IncomingCommResult comms =
+      schedule_incoming_comms(g, p, task, pe, schedule.tasks, tables, log);
+  const Duration exec = g.task(task).exec_time.at(pe.index());
+  ProbeResult r;
+  r.data_ready_time = std::max(comms.data_ready_time, g.task(task).release);
+  r.start = tables.pe[pe.index()].earliest_fit(r.data_ready_time, exec);
+  r.finish = r.start + exec;
+  log.rollback();
+  return r;
+}
+
+void commit_placement(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
+                      Schedule& schedule, ResourceTables& tables) {
+  NOCEAS_REQUIRE(!schedule.tasks[task.index()].placed(),
+                 "task " << task.value << " committed twice");
+  ReservationLog log;
+  const IncomingCommResult comms =
+      schedule_incoming_comms(g, p, task, pe, schedule.tasks, tables, log);
+  const Duration exec = g.task(task).exec_time.at(pe.index());
+  const Time ready = std::max(comms.data_ready_time, g.task(task).release);
+  const Time start = tables.pe[pe.index()].earliest_fit(ready, exec);
+  tables.pe[pe.index()].reserve(Interval{start, start + exec});
+  log.commit();
+
+  TaskPlacement& tp = schedule.tasks[task.index()];
+  tp.pe = pe;
+  tp.start = start;
+  tp.finish = start + exec;
+  for (const auto& [edge, cp] : comms.placements) schedule.comms[edge.index()] = cp;
+}
+
+Energy placement_energy(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
+                        const Schedule& schedule) {
+  return g.task(task).exec_energy.at(pe.index()) +
+         incoming_comm_energy(g, p, task, pe, schedule.tasks);
+}
+
+}  // namespace noceas

@@ -1,0 +1,41 @@
+// Shared machinery of all list schedulers in this library (EAS, EDF, DLS,
+// greedy): probing the exact finish time of a (ready task, PE) combination
+// and committing a chosen placement.
+//
+// Probing runs the Fig. 3 communication scheduler tentatively — reserving
+// link slots, reading the earliest PE gap, then rolling everything back —
+// exactly as the paper prescribes ("the schedule tables of both links and
+// the PEs will be restored every time a F(i,k) is calculated").
+#pragma once
+
+#include "src/core/comm_scheduler.hpp"
+#include "src/core/resource_tables.hpp"
+#include "src/core/schedule.hpp"
+
+namespace noceas {
+
+/// Exact timing of a tentative placement of `task` on `pe`.
+struct ProbeResult {
+  Time data_ready_time = 0;  ///< DRT(i,k)
+  Time start = 0;            ///< earliest gap of the PE table >= DRT
+  Time finish = 0;           ///< F(i,k) = start + r^i_k
+};
+
+/// Computes F(i,k) without changing any table (Eq. 4 + PE gap insertion).
+/// All predecessors of `task` must be placed in `schedule.tasks`.
+[[nodiscard]] ProbeResult probe_placement(const TaskGraph& g, const Platform& p, TaskId task,
+                                          PeId pe, const Schedule& schedule,
+                                          ResourceTables& tables);
+
+/// Commits `task` to `pe`: schedules its receiving transactions for real,
+/// reserves the PE slot, and records both in `schedule`.
+/// Deterministic: produces exactly the timing probe_placement() reported.
+void commit_placement(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
+                      Schedule& schedule, ResourceTables& tables);
+
+/// Total energy cost of running `task` on `pe` given fixed predecessor
+/// placements: computation energy plus incoming communication energy.
+[[nodiscard]] Energy placement_energy(const TaskGraph& g, const Platform& p, TaskId task,
+                                      PeId pe, const Schedule& schedule);
+
+}  // namespace noceas

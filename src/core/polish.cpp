@@ -1,0 +1,114 @@
+#include "src/core/polish.hpp"
+
+#include <algorithm>
+
+#include "src/core/timing.hpp"
+
+namespace noceas {
+
+namespace {
+
+/// Exact Eq. 3 delta of migrating `t` from its current PE to `to`.
+Energy migration_delta(const TaskGraph& g, const Platform& p, const std::vector<PeId>& map,
+                       TaskId t, PeId to) {
+  const PeId from = map[t.index()];
+  const Task& task = g.task(t);
+  Energy delta = task.exec_energy[to.index()] - task.exec_energy[from.index()];
+  for (EdgeId e : g.in_edges(t)) {
+    const CommEdge& c = g.edge(e);
+    if (c.is_control_only()) continue;
+    const PeId src = map[c.src.index()];
+    delta += p.transfer_energy(c.volume, src, to) - p.transfer_energy(c.volume, src, from);
+  }
+  for (EdgeId e : g.out_edges(t)) {
+    const CommEdge& c = g.edge(e);
+    if (c.is_control_only()) continue;
+    const PeId dst = map[c.dst.index()];
+    delta += p.transfer_energy(c.volume, to, dst) - p.transfer_energy(c.volume, from, dst);
+  }
+  return delta;
+}
+
+}  // namespace
+
+PolishResult polish_energy(const TaskGraph& g, const Platform& p, const Schedule& initial,
+                           const PolishOptions& options) {
+  NOCEAS_REQUIRE(initial.complete(), "polish_energy needs a complete schedule");
+  NOCEAS_REQUIRE(options.max_sweeps >= 0 && options.max_rebuilds >= 0, "negative polish budget");
+
+  PolishResult result;
+  result.schedule = initial;
+  result.energy_before = compute_energy(g, p, initial).total();
+  result.energy_after = result.energy_before;
+
+  OrderedPlan plan = plan_from_schedule(initial, p.num_pes());
+  MissReport misses = deadline_misses(g, initial);
+  Energy energy = result.energy_before;
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    // Collect all strictly improving candidate moves, best gain first.
+    struct Move {
+      TaskId task;
+      PeId to;
+      Energy delta;
+    };
+    std::vector<Move> moves;
+    for (TaskId t : g.all_tasks()) {
+      for (PeId to : p.all_pes()) {
+        if (to == plan.assignment[t.index()]) continue;
+        const Energy delta = migration_delta(g, p, plan.assignment, t, to);
+        if (delta < -options.min_gain) moves.push_back(Move{t, to, delta});
+      }
+    }
+    std::sort(moves.begin(), moves.end(), [](const Move& a, const Move& b) {
+      if (a.delta != b.delta) return a.delta < b.delta;
+      if (a.task != b.task) return a.task < b.task;
+      return a.to < b.to;
+    });
+
+    bool accepted_any = false;
+    for (const Move& move : moves) {
+      if (result.rebuilds >= options.max_rebuilds) break;
+      // The plan may have changed since the move was scored; re-check.
+      const PeId from = plan.assignment[move.task.index()];
+      if (from == move.to) continue;
+      if (migration_delta(g, p, plan.assignment, move.task, move.to) >= -options.min_gain)
+        continue;
+
+      OrderedPlan candidate = plan;
+      auto& src_order = candidate.pe_order[from.index()];
+      src_order.erase(std::find(src_order.begin(), src_order.end(), move.task));
+      candidate.assignment[move.task.index()] = move.to;
+      auto& dst_order = candidate.pe_order[move.to.index()];
+      const Time t_start = candidate.priority[move.task.index()];
+      auto it = std::find_if(dst_order.begin(), dst_order.end(), [&](TaskId other) {
+        return candidate.priority[other.index()] >= t_start;
+      });
+      dst_order.insert(it, move.task);
+
+      ++result.rebuilds;
+      const auto rebuilt = rebuild_timing(g, p, candidate);
+      if (!rebuilt) continue;
+      const MissReport mr = deadline_misses(g, *rebuilt);
+      if (misses.better_than(mr)) continue;  // deadlines must not degrade
+      const Energy e = compute_energy(g, p, *rebuilt).total();
+      if (e >= energy - options.min_gain) continue;
+
+      plan = std::move(candidate);
+      for (std::size_t i = 0; i < plan.priority.size(); ++i) {
+        plan.priority[i] = rebuilt->tasks[i].start;
+      }
+      result.schedule = *rebuilt;
+      misses = mr;
+      energy = e;
+      ++result.accepted_moves;
+      accepted_any = true;
+    }
+    if (!accepted_any || result.rebuilds >= options.max_rebuilds) break;
+  }
+
+  result.energy_after = energy;
+  return result;
+}
+
+}  // namespace noceas

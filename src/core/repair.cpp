@@ -1,0 +1,230 @@
+#include "src/core/repair.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/ctg/dag_algos.hpp"
+
+namespace noceas {
+
+namespace {
+
+/// Tasks that miss a deadline plus every ancestor of such a task.
+std::vector<bool> critical_mask(const TaskGraph& g, const Schedule& s) {
+  std::vector<bool> critical(g.num_tasks(), false);
+  std::deque<TaskId> frontier;
+  for (TaskId t : g.all_tasks()) {
+    const Task& task = g.task(t);
+    if (task.has_deadline() && s.at(t).finish > task.deadline) {
+      critical[t.index()] = true;
+      frontier.push_back(t);
+    }
+  }
+  while (!frontier.empty()) {
+    const TaskId t = frontier.front();
+    frontier.pop_front();
+    for (EdgeId e : g.in_edges(t)) {
+      const TaskId pred = g.edge(e).src;
+      if (!critical[pred.index()]) {
+        critical[pred.index()] = true;
+        frontier.push_back(pred);
+      }
+    }
+  }
+  return critical;
+}
+
+/// Critical tasks ordered most-tardy-first (tardiness of their own deadline,
+/// then latest finish), the enumeration order of the repair loops.
+std::vector<TaskId> critical_order(const TaskGraph& g, const Schedule& s,
+                                   const std::vector<bool>& critical) {
+  std::vector<TaskId> out;
+  for (TaskId t : g.all_tasks())
+    if (critical[t.index()]) out.push_back(t);
+  auto tardiness = [&](TaskId t) -> Time {
+    const Task& task = g.task(t);
+    if (!task.has_deadline()) return 0;
+    return std::max<Time>(0, s.at(t).finish - task.deadline);
+  };
+  std::sort(out.begin(), out.end(), [&](TaskId a, TaskId b) {
+    const Time ta = tardiness(a), tb = tardiness(b);
+    if (ta != tb) return ta > tb;
+    if (s.at(a).finish != s.at(b).finish) return s.at(a).finish > s.at(b).finish;
+    return a < b;
+  });
+  return out;
+}
+
+/// Energy delta of moving task `t` (currently on `from`) to `to`, counting
+/// computation and all communication terms touching t.
+Energy migration_energy_delta(const TaskGraph& g, const Platform& p, const Schedule& s, TaskId t,
+                              PeId from, PeId to) {
+  const Task& task = g.task(t);
+  Energy delta = task.exec_energy[to.index()] - task.exec_energy[from.index()];
+  for (EdgeId e : g.in_edges(t)) {
+    const CommEdge& edge = g.edge(e);
+    if (edge.is_control_only()) continue;
+    const PeId src = s.at(edge.src).pe;
+    delta += p.transfer_energy(edge.volume, src, to) - p.transfer_energy(edge.volume, src, from);
+  }
+  for (EdgeId e : g.out_edges(t)) {
+    const CommEdge& edge = g.edge(e);
+    if (edge.is_control_only()) continue;
+    const PeId dst = s.at(edge.dst).pe;
+    delta += p.transfer_energy(edge.volume, to, dst) - p.transfer_energy(edge.volume, from, dst);
+  }
+  return delta;
+}
+
+struct Incumbent {
+  OrderedPlan plan;
+  Schedule schedule;
+  MissReport misses;
+};
+
+}  // namespace
+
+RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Schedule& initial,
+                               const RepairOptions& options) {
+  NOCEAS_REQUIRE(initial.complete(), "search_and_repair needs a complete schedule");
+
+  RepairResult result{initial, RepairStats{}};
+  RepairStats& stats = result.stats;
+  {
+    const MissReport mr = deadline_misses(g, initial);
+    stats.misses_before = mr.miss_count;
+    stats.tardiness_before = mr.total_tardiness;
+    if (mr.all_met()) {
+      stats.misses_after = 0;
+      stats.tardiness_after = 0;
+      return result;  // nothing to repair
+    }
+  }
+
+  // Work on the rebuilt form of the initial schedule so that every candidate
+  // is compared against an incumbent produced by the same (deterministic)
+  // timing reconstruction.
+  Incumbent inc;
+  inc.plan = plan_from_schedule(initial, p.num_pes());
+  if (auto rebuilt = rebuild_timing(g, p, inc.plan)) {
+    inc.schedule = std::move(*rebuilt);
+  } else {
+    inc.schedule = initial;  // should not happen for a valid schedule
+  }
+  inc.misses = deadline_misses(g, inc.schedule);
+  {
+    // Keep whichever of {initial, rebuilt} is better as the incumbent start.
+    const MissReport initial_mr = deadline_misses(g, initial);
+    if (initial_mr.better_than(inc.misses)) {
+      inc.schedule = initial;
+      inc.misses = initial_mr;
+    }
+  }
+
+  const ReachabilityMatrix reach(g);
+
+  auto try_plan = [&](const OrderedPlan& candidate) -> bool {
+    auto rebuilt = rebuild_timing(g, p, candidate);
+    if (!rebuilt) return false;
+    const MissReport mr = deadline_misses(g, *rebuilt);
+    if (!mr.better_than(inc.misses)) return false;
+    inc.plan = candidate;
+    inc.schedule = std::move(*rebuilt);
+    inc.misses = mr;
+    // Refresh the cross-PE commit priorities so later rebuilds track the
+    // accepted timing.
+    for (std::size_t i = 0; i < inc.plan.priority.size(); ++i) {
+      inc.plan.priority[i] = inc.schedule.tasks[i].start;
+    }
+    return true;
+  };
+
+  for (int round = 0; round < options.max_rounds && !inc.misses.all_met(); ++round) {
+    ++stats.rounds;
+    bool improved_this_round = false;
+
+    // ---- Local task swapping mode -------------------------------------
+    bool lts_improved = true;
+    while (lts_improved && !inc.misses.all_met()) {
+      lts_improved = false;
+      const auto critical = critical_mask(g, inc.schedule);
+      for (TaskId t1 : critical_order(g, inc.schedule, critical)) {
+        const PeId pe = inc.schedule.at(t1).pe;
+        const auto& order = inc.plan.pe_order[pe.index()];
+        const auto pos1 =
+            static_cast<std::size_t>(std::find(order.begin(), order.end(), t1) - order.begin());
+        bool accepted = false;
+        // Swap the critical task with non-critical tasks scheduled *earlier*
+        // on the same PE, closest first.
+        for (std::size_t j = pos1; j-- > 0;) {
+          const TaskId t2 = order[j];
+          if (critical[t2.index()]) continue;
+          // Order feasibility: t2 must not be an ancestor of t1.
+          if (reach.reachable(t2, t1)) continue;
+          ++stats.lts_tried;
+          OrderedPlan candidate = inc.plan;
+          std::swap(candidate.pe_order[pe.index()][j], candidate.pe_order[pe.index()][pos1]);
+          if (try_plan(candidate)) {
+            ++stats.lts_accepted;
+            accepted = true;
+            lts_improved = true;
+            improved_this_round = true;
+            break;
+          }
+        }
+        if (accepted) break;  // criticals changed; re-enumerate
+      }
+    }
+    if (inc.misses.all_met()) break;
+
+    // ---- Global task migration mode ------------------------------------
+    bool gtm_accepted = false;
+    const auto critical = critical_mask(g, inc.schedule);
+    for (TaskId t1 : critical_order(g, inc.schedule, critical)) {
+      const PeId from = inc.schedule.at(t1).pe;
+      // Destinations in increasing order of the energy increase (the paper:
+      // "the destination PEs are tried in the increasing order of the
+      // execution and communication energy").
+      std::vector<std::pair<Energy, PeId>> dests;
+      for (PeId to : p.all_pes()) {
+        if (to == from) continue;
+        dests.emplace_back(migration_energy_delta(g, p, inc.schedule, t1, from, to), to);
+      }
+      std::sort(dests.begin(), dests.end(), [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first < b.first;
+        return a.second < b.second;
+      });
+      for (const auto& [delta, to] : dests) {
+        ++stats.gtm_tried;
+        OrderedPlan candidate = inc.plan;
+        auto& src_order = candidate.pe_order[from.index()];
+        src_order.erase(std::find(src_order.begin(), src_order.end(), t1));
+        candidate.assignment[t1.index()] = to;
+        // Insert into the destination order at the position matching the
+        // task's current start time.
+        auto& dst_order = candidate.pe_order[to.index()];
+        const Time t1_start = inc.schedule.at(t1).start;
+        auto it = std::find_if(dst_order.begin(), dst_order.end(), [&](TaskId other) {
+          return inc.schedule.at(other).start >= t1_start;
+        });
+        dst_order.insert(it, t1);
+        if (try_plan(candidate)) {
+          ++stats.gtm_accepted;
+          gtm_accepted = true;
+          improved_this_round = true;
+          break;
+        }
+      }
+      if (gtm_accepted) break;  // back to LTS mode
+    }
+
+    if (!improved_this_round) break;  // converged with residual misses
+  }
+
+  stats.misses_after = inc.misses.miss_count;
+  stats.tardiness_after = inc.misses.total_tardiness;
+  result.schedule = std::move(inc.schedule);
+  return result;
+}
+
+}  // namespace noceas

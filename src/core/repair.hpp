@@ -1,0 +1,63 @@
+// Step 3 of the EAS algorithm: search and repair (Sec. 5, Fig. 4).
+//
+// The energy-oriented level-based scheduler occasionally misses deadlines;
+// this procedure iteratively improves the schedule with two move kinds:
+//
+//  * Local task swapping (LTS): exchange the execution order of a critical
+//    task with a non-critical task on the same PE, letting critical work run
+//    earlier.  LTS never changes any energy term.
+//  * Global task migration (GTM): move a critical task to another PE, trying
+//    destinations in increasing order of the energy increase it would cause.
+//
+// A "critical task" is a task that misses its own deadline or any ancestor
+// of such a task (the paper: "these tasks may not necessarily have a
+// specified deadline, but it causes one of its descendant tasks to miss its
+// deadline").  Moves are kept only when they strictly improve the
+// lexicographic (miss count, total tardiness) objective, so the greedy
+// procedure always converges.
+#pragma once
+
+#include "src/core/schedule.hpp"
+#include "src/core/timing.hpp"
+#include "src/ctg/task_graph.hpp"
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+
+/// Knobs for the repair loop.
+struct RepairOptions {
+  /// Upper bound on LTS+GTM rounds (safety net; the lexicographic
+  /// improvement rule already guarantees termination).
+  int max_rounds = 256;
+};
+
+/// What happened during repair.
+struct RepairStats {
+  int lts_tried = 0;
+  int lts_accepted = 0;
+  int gtm_tried = 0;
+  int gtm_accepted = 0;
+  int rounds = 0;
+  std::size_t misses_before = 0;
+  std::size_t misses_after = 0;
+  Time tardiness_before = 0;
+  Time tardiness_after = 0;
+
+  [[nodiscard]] bool repaired_all() const { return misses_after == 0; }
+};
+
+/// Result of search & repair.
+struct RepairResult {
+  Schedule schedule;
+  RepairStats stats;
+};
+
+/// Runs the Fig. 4 flow starting from `initial` (which must be complete).
+/// The returned schedule is never worse than `initial` under the
+/// (miss count, tardiness) objective; when `initial` already meets every
+/// deadline it is returned unchanged.
+[[nodiscard]] RepairResult search_and_repair(const TaskGraph& g, const Platform& p,
+                                             const Schedule& initial,
+                                             const RepairOptions& options = {});
+
+}  // namespace noceas

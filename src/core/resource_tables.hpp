@@ -1,0 +1,24 @@
+// Bundle of the schedule tables of every shared resource of the platform.
+#pragma once
+
+#include <vector>
+
+#include "src/core/schedule_table.hpp"
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+
+/// One ScheduleTable per PE and per directed link.
+struct ResourceTables {
+  explicit ResourceTables(const Platform& p) : pe(p.num_pes()), link(p.num_links()) {}
+
+  std::vector<ScheduleTable> pe;
+  std::vector<ScheduleTable> link;
+
+  void clear() {
+    for (auto& t : pe) t.clear();
+    for (auto& t : link) t.clear();
+  }
+};
+
+}  // namespace noceas

@@ -1,0 +1,114 @@
+#include "src/core/schedule.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace noceas {
+
+bool Schedule::complete() const {
+  return std::all_of(tasks.begin(), tasks.end(),
+                     [](const TaskPlacement& tp) { return tp.placed(); });
+}
+
+EnergyBreakdown compute_energy(const TaskGraph& g, const Platform& p, const Schedule& s) {
+  NOCEAS_REQUIRE(s.tasks.size() == g.num_tasks(), "schedule arity mismatch (tasks)");
+  NOCEAS_REQUIRE(s.comms.size() == g.num_edges(), "schedule arity mismatch (edges)");
+  EnergyBreakdown eb;
+  for (TaskId t : g.all_tasks()) {
+    const TaskPlacement& tp = s.at(t);
+    NOCEAS_REQUIRE(tp.placed(), "task " << t.value << " not placed");
+    eb.computation += g.task(t).exec_energy.at(tp.pe.index());
+  }
+  for (EdgeId e : g.all_edges()) {
+    const CommEdge& edge = g.edge(e);
+    if (edge.is_control_only()) continue;
+    const PeId src = s.at(edge.src).pe;
+    const PeId dst = s.at(edge.dst).pe;
+    eb.communication += p.transfer_energy(edge.volume, src, dst);
+  }
+  return eb;
+}
+
+MissReport deadline_misses(const TaskGraph& g, const Schedule& s) {
+  MissReport mr;
+  for (TaskId t : g.all_tasks()) {
+    const Task& task = g.task(t);
+    if (!task.has_deadline()) continue;
+    const TaskPlacement& tp = s.at(t);
+    NOCEAS_REQUIRE(tp.placed(), "task " << t.value << " not placed");
+    if (tp.finish > task.deadline) {
+      ++mr.miss_count;
+      mr.total_tardiness += tp.finish - task.deadline;
+      mr.missed.push_back(t);
+    }
+  }
+  return mr;
+}
+
+Time makespan(const Schedule& s) {
+  Time m = 0;
+  for (const TaskPlacement& tp : s.tasks) {
+    NOCEAS_REQUIRE(tp.placed(), "makespan of incomplete schedule");
+    m = std::max(m, tp.finish);
+  }
+  return m;
+}
+
+double average_hops_per_packet(const TaskGraph& g, const Platform& p, const Schedule& s) {
+  std::size_t packets = 0;
+  std::size_t hops = 0;
+  for (EdgeId e : g.all_edges()) {
+    const CommEdge& edge = g.edge(e);
+    if (edge.is_control_only()) continue;
+    ++packets;
+    hops += static_cast<std::size_t>(p.hops(s.at(edge.src).pe, s.at(edge.dst).pe));
+  }
+  return packets == 0 ? 0.0 : static_cast<double>(hops) / static_cast<double>(packets);
+}
+
+std::vector<std::vector<TaskId>> pe_orders(const Schedule& s, std::size_t num_pes) {
+  std::vector<std::vector<TaskId>> orders(num_pes);
+  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+    const TaskPlacement& tp = s.tasks[i];
+    NOCEAS_REQUIRE(tp.placed(), "pe_orders of incomplete schedule");
+    orders.at(tp.pe.index()).emplace_back(i);
+  }
+  for (auto& order : orders) {
+    std::sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+      const auto& pa = s.at(a);
+      const auto& pb = s.at(b);
+      if (pa.start != pb.start) return pa.start < pb.start;
+      return a < b;
+    });
+  }
+  return orders;
+}
+
+void print_gantt(std::ostream& os, const TaskGraph& g, const Platform& p, const Schedule& s) {
+  os << "Gantt (makespan " << makespan(s) << "):\n";
+  const auto orders = pe_orders(s, p.num_pes());
+  for (std::size_t k = 0; k < orders.size(); ++k) {
+    os << "  PE " << p.pe(PeId{k}).name << ':';
+    for (TaskId t : orders[k]) {
+      const TaskPlacement& tp = s.at(t);
+      os << ' ' << g.task(t).name << '[' << tp.start << ',' << tp.finish << ')';
+    }
+    os << '\n';
+  }
+  // Link occupation, grouped by edge.
+  bool any = false;
+  for (EdgeId e : g.all_edges()) {
+    const CommPlacement& cp = s.at(e);
+    if (!cp.uses_network()) continue;
+    if (!any) {
+      os << "  transactions:\n";
+      any = true;
+    }
+    const CommEdge& edge = g.edge(e);
+    os << "    " << g.task(edge.src).name << "->" << g.task(edge.dst).name << ' '
+       << p.tile_name(cp.src_pe) << "=>" << p.tile_name(cp.dst_pe) << " ["
+       << cp.start << ',' << cp.arrival() << ") " << edge.volume << "b\n";
+  }
+}
+
+}  // namespace noceas

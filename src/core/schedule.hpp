@@ -1,0 +1,103 @@
+// Schedule representation and derived metrics.
+//
+// A Schedule is the output of any scheduler in this library (EAS, EDF, DLS,
+// greedy): a mapping function M() from tasks to PEs with start times, plus a
+// start time and route endpoints for every communication transaction
+// (Sec. 4 problem formulation of the paper).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/ctg/task_graph.hpp"
+#include "src/noc/platform.hpp"
+#include "src/util/ids.hpp"
+#include "src/util/types.hpp"
+
+namespace noceas {
+
+/// Placement of one task: which PE, and when.
+struct TaskPlacement {
+  PeId pe{};
+  Time start = kUnsetTime;
+  Time finish = kUnsetTime;
+
+  [[nodiscard]] bool placed() const { return pe.valid() && start != kUnsetTime; }
+};
+
+/// Placement of one communication transaction.  A transaction whose sender
+/// and receiver share a tile (or with zero volume) occupies no links; its
+/// data is available the moment the sender finishes.
+struct CommPlacement {
+  PeId src_pe{};
+  PeId dst_pe{};
+  Time start = kUnsetTime;   ///< when link occupation begins (= sender finish for local)
+  Duration duration = 0;     ///< link occupation length; 0 for local/control
+
+  [[nodiscard]] bool placed() const { return src_pe.valid() && dst_pe.valid(); }
+  [[nodiscard]] bool uses_network() const { return placed() && src_pe != dst_pe && duration > 0; }
+  /// Time at which the receiving task may consume the data.
+  [[nodiscard]] Time arrival() const { return start + duration; }
+};
+
+/// Complete static schedule: tasks indexed by TaskId, transactions by EdgeId.
+struct Schedule {
+  Schedule() = default;
+  Schedule(std::size_t num_tasks, std::size_t num_edges)
+      : tasks(num_tasks), comms(num_edges) {}
+
+  std::vector<TaskPlacement> tasks;
+  std::vector<CommPlacement> comms;
+
+  [[nodiscard]] const TaskPlacement& at(TaskId t) const { return tasks.at(t.index()); }
+  [[nodiscard]] const CommPlacement& at(EdgeId e) const { return comms.at(e.index()); }
+  [[nodiscard]] bool complete() const;
+};
+
+/// Energy of a schedule, split as in the paper's Sec. 6.2 discussion
+/// ("reducing both computation energy and communication energy").
+struct EnergyBreakdown {
+  Energy computation = 0.0;
+  Energy communication = 0.0;
+  [[nodiscard]] Energy total() const { return computation + communication; }
+};
+
+/// Recomputes the objective of Eq. 3 from first principles.
+[[nodiscard]] EnergyBreakdown compute_energy(const TaskGraph& g, const Platform& p,
+                                             const Schedule& s);
+
+/// Deadline violation summary.
+struct MissReport {
+  std::size_t miss_count = 0;    ///< tasks finishing after their deadline
+  Time total_tardiness = 0;      ///< sum of (finish - deadline) over misses
+  std::vector<TaskId> missed;    ///< the offending tasks
+
+  [[nodiscard]] bool all_met() const { return miss_count == 0; }
+
+  /// Lexicographic comparison used by search & repair: fewer misses first,
+  /// then smaller tardiness.
+  [[nodiscard]] bool better_than(const MissReport& o) const {
+    if (miss_count != o.miss_count) return miss_count < o.miss_count;
+    return total_tardiness < o.total_tardiness;
+  }
+};
+
+[[nodiscard]] MissReport deadline_misses(const TaskGraph& g, const Schedule& s);
+
+/// Completion time of the last task.
+[[nodiscard]] Time makespan(const Schedule& s);
+
+/// Average number of routers traversed per data packet (volume > 0 edges),
+/// the statistic the paper reports as "average hops per packet" (2.55 vs
+/// 1.35 for foreman).  Local deliveries count as 0 hops.
+[[nodiscard]] double average_hops_per_packet(const TaskGraph& g, const Platform& p,
+                                             const Schedule& s);
+
+/// Execution order per PE (tasks sorted by start time) — the input to the
+/// timing reconstructor used by search & repair.
+[[nodiscard]] std::vector<std::vector<TaskId>> pe_orders(const Schedule& s, std::size_t num_pes);
+
+/// Text Gantt chart (one line per PE and per link with occupied slots).
+void print_gantt(std::ostream& os, const TaskGraph& g, const Platform& p, const Schedule& s);
+
+}  // namespace noceas

@@ -1,0 +1,100 @@
+#include "src/core/schedule_table.hpp"
+
+#include <algorithm>
+
+namespace noceas {
+
+Time ScheduleTable::earliest_fit(Time not_before, Duration dur) const {
+  NOCEAS_REQUIRE(dur >= 0, "negative duration " << dur);
+  if (dur == 0) return not_before;  // instantaneous events never conflict
+  Time s = not_before;
+  // Find the first busy slot that could interfere (ends after s).
+  auto it = std::upper_bound(busy_.begin(), busy_.end(), s,
+                             [](Time t, const Interval& iv) { return t < iv.end; });
+  for (; it != busy_.end(); ++it) {
+    if (s + dur <= it->start) return s;  // fits in the gap before *it
+    s = std::max(s, it->end);
+  }
+  return s;
+}
+
+bool ScheduleTable::is_free(const Interval& iv) const {
+  if (iv.empty()) return true;
+  auto it = std::upper_bound(busy_.begin(), busy_.end(), iv.start,
+                             [](Time t, const Interval& b) { return t < b.end; });
+  return it == busy_.end() || it->start >= iv.end;
+}
+
+void ScheduleTable::reserve(const Interval& iv) {
+  NOCEAS_REQUIRE(iv.start <= iv.end, "inverted interval " << iv);
+  if (iv.empty()) return;
+  auto it = std::lower_bound(busy_.begin(), busy_.end(), iv,
+                             [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  if (it != busy_.begin()) {
+    const auto& prev = *std::prev(it);
+    NOCEAS_REQUIRE(prev.end <= iv.start, "reservation " << iv << " overlaps slot " << prev);
+  }
+  if (it != busy_.end()) {
+    NOCEAS_REQUIRE(iv.end <= it->start, "reservation " << iv << " overlaps slot " << *it);
+  }
+  busy_.insert(it, iv);
+}
+
+void ScheduleTable::release(const Interval& iv) {
+  if (iv.empty()) return;
+  auto it = std::lower_bound(busy_.begin(), busy_.end(), iv,
+                             [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  NOCEAS_REQUIRE(it != busy_.end() && *it == iv, "release of absent slot " << iv);
+  busy_.erase(it);
+}
+
+Duration ScheduleTable::total_busy() const {
+  Duration total = 0;
+  for (const Interval& iv : busy_) total += iv.length();
+  return total;
+}
+
+Time path_earliest_fit(std::span<const ScheduleTable* const> tables, Time not_before,
+                       Duration dur) {
+  NOCEAS_REQUIRE(dur >= 0, "negative duration " << dur);
+  if (tables.empty() || dur == 0) return not_before;
+
+  // Merge the relevant busy slots of all links of the path, then sweep for
+  // the first gap of length dur.  This is the path schedule table of Fig. 3.
+  std::vector<Interval> merged;
+  for (const ScheduleTable* t : tables) {
+    NOCEAS_REQUIRE(t != nullptr, "null table in path");
+    const auto& busy = t->busy();
+    auto it = std::upper_bound(busy.begin(), busy.end(), not_before,
+                               [](Time x, const Interval& iv) { return x < iv.end; });
+    merged.insert(merged.end(), it, busy.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Interval& a, const Interval& b) { return a.start < b.start; });
+
+  Time s = not_before;
+  for (const Interval& iv : merged) {
+    if (iv.end <= s) continue;
+    if (s + dur <= iv.start) return s;
+    s = std::max(s, iv.end);
+  }
+  return s;
+}
+
+void ReservationLog::reserve(ScheduleTable& table, const Interval& iv) {
+  table.reserve(iv);
+  if (!iv.empty()) entries_.push_back(Entry{&table, iv});
+}
+
+void ReservationLog::rollback() {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) it->table->release(it->iv);
+  entries_.clear();
+}
+
+ReservationLog::~ReservationLog() {
+  // A destroyed log with pending entries indicates a forgotten
+  // rollback()/commit(); releasing here keeps exception paths safe.
+  rollback();
+}
+
+}  // namespace noceas

@@ -1,0 +1,86 @@
+// Schedule tables — the central bookkeeping structure of the EAS algorithm.
+//
+// Every shared resource (a PE, a directed link) owns a table of occupied
+// time slots.  The communication scheduler of Fig. 3 builds the schedule
+// table of a *path* by merging the occupied slots of its comprising links
+// and then places each transaction at the earliest feasible slot.  Because
+// the EAS inner loop tentatively schedules communications for every
+// (ready task, PE) combination and then restores the tables, reservations
+// are logged so they can be rolled back in O(#reservations).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/interval.hpp"
+#include "src/util/types.hpp"
+
+namespace noceas {
+
+/// Occupied-slot table of one shared resource.  Slots are kept sorted and
+/// pairwise non-overlapping (they may touch).
+class ScheduleTable {
+ public:
+  /// Earliest start s >= not_before such that [s, s + dur) is free.
+  /// dur == 0 always fits at not_before.
+  [[nodiscard]] Time earliest_fit(Time not_before, Duration dur) const;
+
+  /// True when [iv.start, iv.end) does not intersect any occupied slot.
+  [[nodiscard]] bool is_free(const Interval& iv) const;
+
+  /// Marks `iv` occupied; throws if it overlaps an existing slot.
+  /// Empty intervals are ignored.
+  void reserve(const Interval& iv);
+
+  /// Releases a slot previously passed to reserve(); throws if absent.
+  /// Empty intervals are ignored.
+  void release(const Interval& iv);
+
+  [[nodiscard]] const std::vector<Interval>& busy() const { return busy_; }
+  [[nodiscard]] bool empty() const { return busy_.empty(); }
+  void clear() { busy_.clear(); }
+
+  /// Total occupied time (for utilization reports).
+  [[nodiscard]] Duration total_busy() const;
+
+ private:
+  std::vector<Interval> busy_;
+};
+
+/// Earliest start >= not_before at which [s, s + dur) is simultaneously free
+/// on *all* tables — the "schedule table of the path" from Fig. 3 of the
+/// paper, built by merging the occupied slots of the path's links.
+[[nodiscard]] Time path_earliest_fit(std::span<const ScheduleTable* const> tables,
+                                     Time not_before, Duration dur);
+
+/// Rollback log for tentative reservations (the paper: "the schedule tables
+/// of both links and the PEs will be restored every time a F(i,k) is
+/// calculated").
+class ReservationLog {
+ public:
+  /// Reserves on `table` and remembers the action.
+  void reserve(ScheduleTable& table, const Interval& iv);
+
+  /// Releases everything reserved through this log, newest first.
+  void rollback();
+
+  /// Forgets the logged actions without releasing (commit).
+  void commit() { entries_.clear(); }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  ~ReservationLog();
+  ReservationLog() = default;
+  ReservationLog(const ReservationLog&) = delete;
+  ReservationLog& operator=(const ReservationLog&) = delete;
+
+ private:
+  struct Entry {
+    ScheduleTable* table;
+    Interval iv;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace noceas

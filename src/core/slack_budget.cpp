@@ -1,0 +1,97 @@
+#include "src/core/slack_budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/ctg/dag_algos.hpp"
+
+namespace noceas {
+
+const char* to_string(WeightKind kind) {
+  switch (kind) {
+    case WeightKind::VarEVarR: return "VAR_e*VAR_r";
+    case WeightKind::VarE: return "VAR_e";
+    case WeightKind::VarR: return "VAR_r";
+    case WeightKind::MeanTime: return "M_t";
+    case WeightKind::Uniform: return "uniform";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<double> raw_weights(const TaskGraph& g, WeightKind kind) {
+  std::vector<double> w(g.num_tasks());
+  for (TaskId t : g.all_tasks()) {
+    switch (kind) {
+      case WeightKind::VarEVarR:
+        w[t.index()] = g.energy_variance(t) * g.exec_time_variance(t);
+        break;
+      case WeightKind::VarE: w[t.index()] = g.energy_variance(t); break;
+      case WeightKind::VarR: w[t.index()] = g.exec_time_variance(t); break;
+      case WeightKind::MeanTime: w[t.index()] = g.mean_exec_time(t); break;
+      case WeightKind::Uniform: w[t.index()] = 1.0; break;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+SlackBudget compute_slack_budget(const TaskGraph& g, WeightKind kind) {
+  const auto dur = mean_durations(g);
+  const auto fp = forward_pass(g, dur);
+  const auto bp = backward_pass(g, dur);
+  const auto order = topological_order(g);
+
+  SlackBudget sb;
+  sb.weight = raw_weights(g, kind);
+  sb.earliest_finish = fp.earliest_finish;
+  sb.latest_finish = bp.latest_finish;
+  sb.budgeted_deadline.assign(g.num_tasks(), kNoDeadline);
+
+  // Epsilon floor: a proportional split needs strictly positive weights; on
+  // a homogeneous platform all variances are zero and the split degrades to
+  // uniform.
+  double max_w = 0.0;
+  for (double w : sb.weight) max_w = std::max(max_w, w);
+  const double eps = max_w > 0.0 ? max_w * 1e-12 : 1.0;
+  for (double& w : sb.weight) w = std::max(w, eps);
+
+  // Weight accumulated along the binding predecessor chain (inclusive).
+  std::vector<double> w_prefix(g.num_tasks(), 0.0);
+  for (TaskId t : order) {
+    const TaskId bp_pred = fp.binding_pred[t.index()];
+    w_prefix[t.index()] = sb.weight[t.index()] + (bp_pred.valid() ? w_prefix[bp_pred.index()] : 0.0);
+  }
+  // Weight accumulated along the binding successor chain (inclusive).
+  std::vector<double> w_suffix(g.num_tasks(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    const TaskId bs = bp.binding_succ[t.index()];
+    w_suffix[t.index()] = sb.weight[t.index()] + (bs.valid() ? w_suffix[bs.index()] : 0.0);
+  }
+
+  for (TaskId t : order) {
+    const double lf = bp.latest_finish[t.index()];
+    if (!std::isfinite(lf)) continue;  // no transitive deadline: BD stays open
+    const double ef = fp.earliest_finish[t.index()];
+    const double slack = lf - ef;
+    if (slack <= 0.0) {
+      // Deadline infeasible even on the mean relaxation: maximally urgent.
+      sb.budgeted_deadline[t.index()] = static_cast<Time>(std::floor(ef + 1e-6));
+      continue;
+    }
+    const double denom = w_prefix[t.index()] + w_suffix[t.index()] - sb.weight[t.index()];
+    const double fraction = denom > 0.0 ? w_prefix[t.index()] / denom : 1.0;
+    // The small epsilon absorbs floating-point noise from the Welford
+    // variance accumulation (e.g. a mathematically exact 800 computed as
+    // 799.9999...), which would otherwise floor one unit too low.
+    sb.budgeted_deadline[t.index()] =
+        static_cast<Time>(std::floor(ef + slack * fraction + 1e-6));
+  }
+  return sb;
+}
+
+}  // namespace noceas

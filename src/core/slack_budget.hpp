@@ -1,0 +1,65 @@
+// Step 1 of the EAS algorithm: budget slack allocation (Sec. 5 of the paper).
+//
+// Every task receives a weight W(t) = VAR_e(t) * VAR_r(t) — the product of
+// the variances of its energy and execution time across the heterogeneous
+// PEs.  Intuitively, a high weight means the choice of PE matters a lot for
+// this task, so it deserves a larger share of the path slack (more freedom
+// to pick an energy-efficient, possibly slower, PE).
+//
+// With mean execution times M(t) the earliest finish EF(t) (forward pass)
+// and latest finish LF(t) (backward pass from the deadlines) are computed;
+// the slack LF(t) - EF(t) available on the path through t is distributed to
+// the tasks of that path proportionally to their weights, yielding the
+// budgeted deadline BD(t).  On the chain of the paper's Fig. 2 this
+// reproduces BD = 400 / 800 / 1300 exactly.
+//
+// The paper's example is a chain; for general DAGs we attribute slack along
+// the *binding* paths: the weight accumulated along the critical-predecessor
+// chain (Wprefix) and the critical-successor chain towards the constraining
+// deadline (Wsuffix), with
+//   BD(t) = EF(t) + (LF(t)-EF(t)) * Wprefix(t) / (Wprefix(t)+Wsuffix(t)-W(t)).
+// See DESIGN.md "Interpretation decisions".
+#pragma once
+
+#include <vector>
+
+#include "src/ctg/task_graph.hpp"
+
+namespace noceas {
+
+/// Weight function variants (the paper uses VarEVarR; the others feed the
+/// ablation bench).
+enum class WeightKind {
+  VarEVarR,  ///< W = VAR_e * VAR_r (the paper's choice)
+  VarE,      ///< W = VAR_e
+  VarR,      ///< W = VAR_r
+  MeanTime,  ///< W = M_t (slack proportional to task length)
+  Uniform,   ///< W = 1 (plain proportional slack)
+};
+
+[[nodiscard]] const char* to_string(WeightKind kind);
+
+/// Result of the slack budgeting step.
+struct SlackBudget {
+  /// W(t), after the epsilon floor that keeps the proportional split defined
+  /// when all variances vanish (homogeneous platform).
+  std::vector<double> weight;
+  /// BD(t); kNoDeadline for tasks with no (transitive) deadline.
+  std::vector<Time> budgeted_deadline;
+  /// Diagnostics: EF/LF from the mean-duration passes (LF may be +inf).
+  std::vector<double> earliest_finish;
+  std::vector<double> latest_finish;
+
+  [[nodiscard]] bool has_budget(TaskId t) const {
+    return budgeted_deadline[t.index()] != kNoDeadline;
+  }
+};
+
+/// Computes weights and budgeted deadlines for every task of `g`.
+/// Infeasible deadlines (LF < EF on the mean-duration relaxation) produce
+/// BD = EF rounded down — the task is flagged maximally urgent rather than
+/// rejected, matching the paper's "search and repair" philosophy.
+[[nodiscard]] SlackBudget compute_slack_budget(const TaskGraph& g,
+                                               WeightKind kind = WeightKind::VarEVarR);
+
+}  // namespace noceas

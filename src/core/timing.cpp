@@ -1,0 +1,85 @@
+#include "src/core/timing.hpp"
+
+#include <algorithm>
+
+#include "src/core/comm_scheduler.hpp"
+#include "src/core/resource_tables.hpp"
+
+namespace noceas {
+
+OrderedPlan plan_from_schedule(const Schedule& s, std::size_t num_pes) {
+  OrderedPlan plan;
+  plan.assignment.resize(s.tasks.size());
+  plan.priority.resize(s.tasks.size());
+  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+    NOCEAS_REQUIRE(s.tasks[i].placed(), "plan_from_schedule on incomplete schedule");
+    plan.assignment[i] = s.tasks[i].pe;
+    plan.priority[i] = s.tasks[i].start;
+  }
+  plan.pe_order = pe_orders(s, num_pes);
+  return plan;
+}
+
+std::optional<Schedule> rebuild_timing(const TaskGraph& g, const Platform& p,
+                                       const OrderedPlan& plan) {
+  NOCEAS_REQUIRE(plan.assignment.size() == g.num_tasks(), "plan arity mismatch");
+  NOCEAS_REQUIRE(plan.pe_order.size() == p.num_pes(), "plan PE arity mismatch");
+
+  NOCEAS_REQUIRE(plan.priority.size() == g.num_tasks(), "plan priority arity mismatch");
+
+  Schedule s(g.num_tasks(), g.num_edges());
+  ResourceTables tables(p);
+
+  std::vector<std::size_t> next_in_order(p.num_pes(), 0);    // head of each PE's order
+  std::vector<std::size_t> unplaced_preds(g.num_tasks(), 0);
+  for (TaskId t : g.all_tasks()) unplaced_preds[t.index()] = g.in_degree(t);
+  std::vector<Time> pe_last_finish(p.num_pes(), 0);
+
+  std::size_t placed = 0;
+  while (placed < g.num_tasks()) {
+    // Among the eligible heads of all PE orders, commit the task with the
+    // smallest cross-PE priority (original start time), so link slots are
+    // granted in (almost) the original global sequence.
+    TaskId best{};
+    std::size_t best_pe = 0;
+    for (std::size_t k = 0; k < p.num_pes(); ++k) {
+      if (next_in_order[k] >= plan.pe_order[k].size()) continue;
+      const TaskId t = plan.pe_order[k][next_in_order[k]];
+      NOCEAS_REQUIRE(plan.assignment[t.index()] == PeId{k},
+                     "task " << t.value << " in order of PE " << k << " but assigned elsewhere");
+      if (unplaced_preds[t.index()] > 0) continue;  // head not ready yet
+      if (!best.valid() || plan.priority[t.index()] < plan.priority[best.index()] ||
+          (plan.priority[t.index()] == plan.priority[best.index()] && t < best)) {
+        best = t;
+        best_pe = k;
+      }
+    }
+    if (!best.valid()) return std::nullopt;  // cyclic cross-PE wait
+
+    ReservationLog log;
+    const IncomingCommResult comms =
+        schedule_incoming_comms(g, p, best, PeId{best_pe}, s.tasks, tables, log);
+    const Duration exec = g.task(best).exec_time[best_pe];
+    // Respect the PE order: never start before the previous task of this PE
+    // finished, even if an earlier gap exists.
+    const Time not_before = std::max({comms.data_ready_time, pe_last_finish[best_pe],
+                                      g.task(best).release});
+    const Time start = tables.pe[best_pe].earliest_fit(not_before, exec);
+    tables.pe[best_pe].reserve(Interval{start, start + exec});
+    log.commit();
+
+    TaskPlacement& tp = s.tasks[best.index()];
+    tp.pe = PeId{best_pe};
+    tp.start = start;
+    tp.finish = start + exec;
+    pe_last_finish[best_pe] = tp.finish;
+    for (const auto& [edge, cp] : comms.placements) s.comms[edge.index()] = cp;
+
+    for (EdgeId e : g.out_edges(best)) --unplaced_preds[g.edge(e).dst.index()];
+    ++next_in_order[best_pe];
+    ++placed;
+  }
+  return s;
+}
+
+}  // namespace noceas

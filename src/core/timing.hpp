@@ -1,0 +1,47 @@
+// Timing reconstruction: rebuild a complete schedule from an assignment plus
+// per-PE execution orders.
+//
+// Search & repair (Step 3 of the paper) manipulates only the *discrete*
+// decisions — which PE runs each task (global task migration) and in which
+// order tasks execute on a PE (local task swapping).  After each candidate
+// move the timing is re-derived deterministically: tasks become eligible
+// when all their predecessors are placed AND they are the next unexecuted
+// task of their PE's order; their receiving transactions are scheduled with
+// the Fig. 3 communication scheduler and the task starts at the earliest PE
+// slot that respects both the data ready time and the PE order.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/core/schedule.hpp"
+#include "src/ctg/task_graph.hpp"
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+
+/// The discrete part of a schedule: M() plus per-PE total orders.
+struct OrderedPlan {
+  /// assignment[task] = PE running the task.
+  std::vector<PeId> assignment;
+  /// pe_order[pe] = tasks of that PE in execution order.
+  std::vector<std::vector<TaskId>> pe_order;
+  /// Cross-PE commit priority (the start time of each task in the schedule
+  /// the plan was derived from).  Rebuilding processes eligible tasks in
+  /// this order so that link slots are granted in (almost) the same global
+  /// sequence as the original scheduler granted them — otherwise the
+  /// reconstruction would redistribute communication slots and its timing
+  /// would diverge wildly from the schedule being repaired.
+  std::vector<Time> priority;
+};
+
+/// Extracts the plan underlying a complete schedule.
+[[nodiscard]] OrderedPlan plan_from_schedule(const Schedule& s, std::size_t num_pes);
+
+/// Rebuilds the full timing of `plan`.  Returns nullopt when the per-PE
+/// orders are inconsistent with the task graph (a cross-PE cyclic wait), in
+/// which case the candidate repair move must be rejected.
+[[nodiscard]] std::optional<Schedule> rebuild_timing(const TaskGraph& g, const Platform& p,
+                                                     const OrderedPlan& plan);
+
+}  // namespace noceas

@@ -1,0 +1,40 @@
+// Independent schedule validation.
+//
+// Re-checks, from first principles, every constraint of the Sec. 4 problem
+// formulation: task compatibility (Definition 4), transaction compatibility
+// (Definition 3), control/data dependency satisfaction, and deadlines.
+// Used by the test suite and by every example/bench binary as a safety net;
+// deliberately shares no bookkeeping with the schedulers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/schedule.hpp"
+#include "src/ctg/task_graph.hpp"
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+
+/// Validation knobs.
+struct ValidateOptions {
+  /// When false, deadline violations are not reported as issues (useful for
+  /// checking structural validity of EAS-base schedules that still miss
+  /// deadlines before repair).
+  bool check_deadlines = true;
+};
+
+/// Outcome of validation: empty issue list means the schedule is feasible.
+struct ValidationReport {
+  std::vector<std::string> issues;
+
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Validates `s` against `g` and `p`.
+[[nodiscard]] ValidationReport validate_schedule(const TaskGraph& g, const Platform& p,
+                                                 const Schedule& s,
+                                                 const ValidateOptions& options = {});
+
+}  // namespace noceas

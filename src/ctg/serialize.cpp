@@ -1,0 +1,99 @@
+#include "src/ctg/serialize.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace noceas {
+
+void write_ctg(std::ostream& os, const TaskGraph& g) {
+  // Energies are doubles; emit them with round-trip precision so that a
+  // serialized CTG schedules identically to the original.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "ctg " << g.num_tasks() << ' ' << g.num_edges() << ' ' << g.num_pes() << '\n';
+  for (TaskId t : g.all_tasks()) {
+    const Task& task = g.task(t);
+    os << "task " << task.name << ' ';
+    if (task.has_deadline())
+      os << task.deadline;
+    else
+      os << '-';
+    os << ' ' << task.release;
+    for (Duration d : task.exec_time) os << ' ' << d;
+    for (Energy e : task.exec_energy) os << ' ' << e;
+    os << '\n';
+  }
+  for (EdgeId e : g.all_edges()) {
+    const CommEdge& edge = g.edge(e);
+    os << "edge " << edge.src.value << ' ' << edge.dst.value << ' ' << edge.volume << '\n';
+  }
+  NOCEAS_REQUIRE(os.good(), "stream failure while writing CTG");
+}
+
+namespace {
+// Reads the next non-comment, non-empty line into a token stream.
+bool next_line(std::istream& is, std::istringstream& line_stream) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    line_stream.clear();
+    line_stream.str(line);
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+TaskGraph read_ctg(std::istream& is) {
+  std::istringstream line;
+  NOCEAS_REQUIRE(next_line(is, line), "empty CTG file");
+  std::string tag;
+  std::size_t n_tasks = 0, n_edges = 0, n_pes = 0;
+  line >> tag >> n_tasks >> n_edges >> n_pes;
+  NOCEAS_REQUIRE(tag == "ctg" && !line.fail(), "expected 'ctg <tasks> <edges> <pes>' header");
+
+  TaskGraph g(n_pes);
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    NOCEAS_REQUIRE(next_line(is, line), "truncated CTG: expected task " << i);
+    std::string name, deadline_tok;
+    Time release = 0;
+    line >> tag >> name >> deadline_tok >> release;
+    NOCEAS_REQUIRE(tag == "task" && !line.fail(), "malformed task line " << i);
+    Time deadline = kNoDeadline;
+    if (deadline_tok != "-") {
+      deadline = std::stoll(deadline_tok);
+    }
+    std::vector<Duration> times(n_pes);
+    std::vector<Energy> energies(n_pes);
+    for (auto& t : times) line >> t;
+    for (auto& e : energies) line >> e;
+    NOCEAS_REQUIRE(!line.fail(), "malformed per-PE arrays for task '" << name << '\'');
+    g.add_task(std::move(name), std::move(times), std::move(energies), deadline, release);
+  }
+  for (std::size_t i = 0; i < n_edges; ++i) {
+    NOCEAS_REQUIRE(next_line(is, line), "truncated CTG: expected edge " << i);
+    std::int32_t src = -1, dst = -1;
+    Volume volume = 0;
+    line >> tag >> src >> dst >> volume;
+    NOCEAS_REQUIRE(tag == "edge" && !line.fail(), "malformed edge line " << i);
+    g.add_edge(TaskId{src}, TaskId{dst}, volume);
+  }
+  g.validate();
+  return g;
+}
+
+std::string ctg_to_string(const TaskGraph& g) {
+  std::ostringstream os;
+  write_ctg(os, g);
+  return os.str();
+}
+
+TaskGraph ctg_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_ctg(is);
+}
+
+}  // namespace noceas

@@ -1,0 +1,31 @@
+// Plain-text (de)serialization of CTGs.
+//
+// Format (whitespace separated, '#' starts a comment line):
+//
+//   ctg <num_tasks> <num_edges> <num_pes>
+//   task <name> <deadline|-> <t_0> ... <t_{P-1}> <e_0> ... <e_{P-1}>
+//   edge <src_index> <dst_index> <volume>
+//
+// Tasks are numbered by order of appearance.  The format round-trips every
+// graph the library can represent and is the interchange format used by the
+// example binaries (--dump / --load).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/ctg/task_graph.hpp"
+
+namespace noceas {
+
+/// Writes `g` to `os`; throws on stream failure.
+void write_ctg(std::ostream& os, const TaskGraph& g);
+
+/// Parses a CTG from `is`; throws noceas::Error on malformed input.
+[[nodiscard]] TaskGraph read_ctg(std::istream& is);
+
+/// Convenience round-trip through std::string.
+[[nodiscard]] std::string ctg_to_string(const TaskGraph& g);
+[[nodiscard]] TaskGraph ctg_from_string(const std::string& text);
+
+}  // namespace noceas

@@ -1,0 +1,138 @@
+#include "src/ctg/task_graph.hpp"
+
+#include <ostream>
+
+#include "src/ctg/dag_algos.hpp"
+#include "src/util/stats.hpp"
+
+namespace noceas {
+
+TaskGraph::TaskGraph(std::size_t num_pes) : num_pes_(num_pes) {
+  NOCEAS_REQUIRE(num_pes_ > 0, "a CTG must target at least one PE");
+}
+
+TaskId TaskGraph::add_task(std::string name, std::vector<Duration> times,
+                           std::vector<Energy> energies, Time deadline, Time release) {
+  NOCEAS_REQUIRE(times.size() == num_pes_,
+                 "task '" << name << "': " << times.size() << " times for " << num_pes_ << " PEs");
+  NOCEAS_REQUIRE(energies.size() == num_pes_, "task '" << name << "': " << energies.size()
+                                                       << " energies for " << num_pes_ << " PEs");
+  for (Duration t : times)
+    NOCEAS_REQUIRE(t > 0, "task '" << name << "': non-positive execution time " << t);
+  for (Energy e : energies)
+    NOCEAS_REQUIRE(e >= 0.0, "task '" << name << "': negative energy " << e);
+  NOCEAS_REQUIRE(deadline == kNoDeadline || deadline > 0,
+                 "task '" << name << "': non-positive deadline " << deadline);
+  NOCEAS_REQUIRE(release >= 0, "task '" << name << "': negative release " << release);
+  NOCEAS_REQUIRE(deadline == kNoDeadline || release < deadline,
+                 "task '" << name << "': release " << release << " >= deadline " << deadline);
+
+  const TaskId id{tasks_.size()};
+  tasks_.push_back(Task{std::move(name), std::move(times), std::move(energies), deadline, release});
+  in_edges_.emplace_back();
+  out_edges_.emplace_back();
+  return id;
+}
+
+EdgeId TaskGraph::add_edge(TaskId src, TaskId dst, Volume volume) {
+  NOCEAS_REQUIRE(src.valid() && src.index() < tasks_.size(), "edge source out of range");
+  NOCEAS_REQUIRE(dst.valid() && dst.index() < tasks_.size(), "edge target out of range");
+  NOCEAS_REQUIRE(src != dst, "self-loop on task " << src.value);
+  NOCEAS_REQUIRE(volume >= 0, "negative communication volume " << volume);
+
+  const EdgeId id{edges_.size()};
+  edges_.push_back(CommEdge{src, dst, volume});
+  out_edges_[src.index()].push_back(id);
+  in_edges_[dst.index()].push_back(id);
+  return id;
+}
+
+std::vector<TaskId> TaskGraph::preds(TaskId id) const {
+  std::vector<TaskId> out;
+  out.reserve(in_degree(id));
+  for (EdgeId e : in_edges(id)) out.push_back(edge(e).src);
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::succs(TaskId id) const {
+  std::vector<TaskId> out;
+  out.reserve(out_degree(id));
+  for (EdgeId e : out_edges(id)) out.push_back(edge(e).dst);
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::sources() const {
+  std::vector<TaskId> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    if (in_edges_[i].empty()) out.emplace_back(i);
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::sinks() const {
+  std::vector<TaskId> out;
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    if (out_edges_[i].empty()) out.emplace_back(i);
+  return out;
+}
+
+double TaskGraph::mean_exec_time(TaskId id) const {
+  RunningStats rs;
+  for (Duration t : task(id).exec_time) rs.add(static_cast<double>(t));
+  return rs.mean();
+}
+
+double TaskGraph::exec_time_variance(TaskId id) const {
+  RunningStats rs;
+  for (Duration t : task(id).exec_time) rs.add(static_cast<double>(t));
+  return rs.variance();
+}
+
+double TaskGraph::energy_variance(TaskId id) const {
+  RunningStats rs;
+  for (Energy e : task(id).exec_energy) rs.add(e);
+  return rs.variance();
+}
+
+Volume TaskGraph::total_in_volume(TaskId id) const {
+  Volume v = 0;
+  for (EdgeId e : in_edges(id)) v += edge(e).volume;
+  return v;
+}
+
+void TaskGraph::validate() const {
+  NOCEAS_REQUIRE(!tasks_.empty(), "empty CTG");
+  // Per-task invariants are enforced at insertion; acyclicity is global.
+  (void)topological_order(*this);  // throws on cycles
+}
+
+void TaskGraph::to_dot(std::ostream& os) const {
+  os << "digraph ctg {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const Task& t = tasks_[i];
+    os << "  t" << i << " [label=\"" << t.name << "\\nM=" << mean_exec_time(TaskId{i});
+    if (t.has_deadline()) os << "\\nd=" << t.deadline;
+    os << "\"];\n";
+  }
+  for (const CommEdge& e : edges_) {
+    os << "  t" << e.src.value << " -> t" << e.dst.value;
+    if (!e.is_control_only()) os << " [label=\"" << e.volume << "b\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+std::vector<TaskId> TaskGraph::all_tasks() const {
+  std::vector<TaskId> out;
+  out.reserve(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+std::vector<EdgeId> TaskGraph::all_edges() const {
+  std::vector<EdgeId> out;
+  out.reserve(edges_.size());
+  for (std::size_t i = 0; i < edges_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+}  // namespace noceas

@@ -1,0 +1,123 @@
+// Communication Task Graph (CTG) — Definition 1 of the paper.
+//
+// A CTG G(T, C) is a directed acyclic graph.  Each vertex is a task t_i with
+//   * R_i — execution time of t_i on each PE of the target architecture,
+//   * E_i — energy consumed by t_i on each PE,
+//   * d(t_i) — optional hard deadline (kNoDeadline when unspecified).
+// Each arc c_ij carries a communication volume v(c_ij) in bits; volume 0
+// denotes a pure control dependency (t_j cannot start before t_i finishes,
+// but no data is moved over the network).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/ids.hpp"
+#include "src/util/types.hpp"
+
+namespace noceas {
+
+/// One computational module of the application (vertex of the CTG).
+struct Task {
+  std::string name;
+  /// r^i_j: execution time of this task on the j-th PE (index = PeId).
+  std::vector<Duration> exec_time;
+  /// e^i_j: energy of executing this task on the j-th PE, in nJ.
+  std::vector<Energy> exec_energy;
+  /// Hard deadline d(t_i); kNoDeadline when the designer left it open.
+  Time deadline = kNoDeadline;
+  /// Release time: the task may not start earlier (0 for ordinary CTGs;
+  /// nonzero for the periodic/pipelined extension, where iteration k of a
+  /// frame pipeline is released at k * period).
+  Time release = 0;
+
+  [[nodiscard]] bool has_deadline() const { return deadline != kNoDeadline; }
+};
+
+/// One communication transaction / control dependency (arc of the CTG).
+struct CommEdge {
+  TaskId src;
+  TaskId dst;
+  /// v(c_ij) in bits; 0 for a pure control dependency.
+  Volume volume = 0;
+
+  [[nodiscard]] bool is_control_only() const { return volume == 0; }
+};
+
+/// The Communication Task Graph.  Tasks and edges are densely indexed by
+/// TaskId/EdgeId in insertion order; the per-PE arrays of every task must
+/// have exactly `num_pes()` entries.
+class TaskGraph {
+ public:
+  /// `num_pes` is the number of PEs of the target architecture the R_i/E_i
+  /// arrays are characterized for.
+  explicit TaskGraph(std::size_t num_pes);
+
+  /// Adds a task; `times` and `energies` must have num_pes() entries with
+  /// strictly positive times and non-negative energies.
+  TaskId add_task(std::string name, std::vector<Duration> times, std::vector<Energy> energies,
+                  Time deadline = kNoDeadline, Time release = 0);
+
+  /// Adds a dependency arc; volume >= 0, src != dst, both ids valid.
+  /// Cycles are only detected by validate() / topological_order().
+  EdgeId add_edge(TaskId src, TaskId dst, Volume volume);
+
+  [[nodiscard]] std::size_t num_tasks() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] std::size_t num_pes() const { return num_pes_; }
+
+  [[nodiscard]] const Task& task(TaskId id) const { return tasks_.at(id.index()); }
+  [[nodiscard]] Task& task(TaskId id) { return tasks_.at(id.index()); }
+  [[nodiscard]] const CommEdge& edge(EdgeId id) const { return edges_.at(id.index()); }
+
+  /// Arcs entering / leaving a task (receiving / sending transactions).
+  [[nodiscard]] std::span<const EdgeId> in_edges(TaskId id) const {
+    return in_edges_.at(id.index());
+  }
+  [[nodiscard]] std::span<const EdgeId> out_edges(TaskId id) const {
+    return out_edges_.at(id.index());
+  }
+
+  [[nodiscard]] std::size_t in_degree(TaskId id) const { return in_edges_.at(id.index()).size(); }
+  [[nodiscard]] std::size_t out_degree(TaskId id) const { return out_edges_.at(id.index()).size(); }
+
+  /// Direct predecessor / successor task ids (one entry per arc; a pair of
+  /// tasks connected by several arcs appears several times).
+  [[nodiscard]] std::vector<TaskId> preds(TaskId id) const;
+  [[nodiscard]] std::vector<TaskId> succs(TaskId id) const;
+
+  /// Tasks with no incoming / no outgoing arcs.
+  [[nodiscard]] std::vector<TaskId> sources() const;
+  [[nodiscard]] std::vector<TaskId> sinks() const;
+
+  /// Mean execution time over all PEs (M_t in the paper's Step 1).
+  [[nodiscard]] double mean_exec_time(TaskId id) const;
+  /// Population variance of execution time over PEs (VAR_r).
+  [[nodiscard]] double exec_time_variance(TaskId id) const;
+  /// Population variance of energy over PEs (VAR_e).
+  [[nodiscard]] double energy_variance(TaskId id) const;
+
+  /// Total volume entering a task (for buffering estimates).
+  [[nodiscard]] Volume total_in_volume(TaskId id) const;
+
+  /// Throws noceas::Error unless the graph is a well-formed DAG.
+  void validate() const;
+
+  /// Graphviz dump (tasks annotated with mean time and deadline).
+  void to_dot(std::ostream& os) const;
+
+  /// Iteration support.
+  [[nodiscard]] std::vector<TaskId> all_tasks() const;
+  [[nodiscard]] std::vector<EdgeId> all_edges() const;
+
+ private:
+  std::size_t num_pes_;
+  std::vector<Task> tasks_;
+  std::vector<CommEdge> edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+};
+
+}  // namespace noceas

@@ -1,0 +1,39 @@
+#include "src/ctg/unroll.hpp"
+
+namespace noceas {
+
+TaskGraph unroll_periodic(const TaskGraph& g, const UnrollOptions& options) {
+  NOCEAS_REQUIRE(options.iterations >= 1, "iterations must be >= 1");
+  NOCEAS_REQUIRE(options.period >= 0, "period must be >= 0");
+  for (const CrossIterationEdge& ce : options.cross_edges) {
+    NOCEAS_REQUIRE(ce.src.valid() && ce.src.index() < g.num_tasks(),
+                   "cross edge source out of range");
+    NOCEAS_REQUIRE(ce.dst.valid() && ce.dst.index() < g.num_tasks(),
+                   "cross edge target out of range");
+    NOCEAS_REQUIRE(ce.volume >= 0, "negative cross edge volume");
+  }
+
+  TaskGraph out(g.num_pes());
+  for (int k = 0; k < options.iterations; ++k) {
+    const Time shift = static_cast<Time>(k) * options.period;
+    for (TaskId t : g.all_tasks()) {
+      const Task& task = g.task(t);
+      const Time deadline = task.has_deadline() ? task.deadline + shift : kNoDeadline;
+      out.add_task(task.name + "#" + std::to_string(k), task.exec_time, task.exec_energy,
+                   deadline, task.release + shift);
+    }
+    for (EdgeId e : g.all_edges()) {
+      const CommEdge& edge = g.edge(e);
+      out.add_edge(unrolled_task(g, k, edge.src), unrolled_task(g, k, edge.dst), edge.volume);
+    }
+    if (k > 0) {
+      for (const CrossIterationEdge& ce : options.cross_edges) {
+        out.add_edge(unrolled_task(g, k - 1, ce.src), unrolled_task(g, k, ce.dst), ce.volume);
+      }
+    }
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace noceas

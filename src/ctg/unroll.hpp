@@ -1,0 +1,49 @@
+// Periodic unrolling — pipelined multi-frame scheduling (extension).
+//
+// The paper schedules one iteration (one frame) of each multimedia
+// application and derives the deadline from the frame rate.  Real encoders
+// process a *stream*: iteration k of the CTG is released at k * period and
+// must finish by its deadline shifted by k * period.  Scheduling several
+// unrolled iterations at once lets the scheduler overlap frames across PEs
+// (software pipelining) and exposes the sustainable throughput of a
+// platform, which single-frame scheduling cannot show.
+//
+// unroll_periodic() replicates the CTG `iterations` times:
+//   * task t of iteration k gets release(t) + k * period and
+//     deadline(t) + k * period (when set),
+//   * all intra-iteration edges are copied,
+//   * optional cross-iteration dependencies (e.g. the reconstructed frame
+//     feeding the next frame's motion estimation) connect task `src` of
+//     iteration k to task `dst` of iteration k+1.
+#pragma once
+
+#include <vector>
+
+#include "src/ctg/task_graph.hpp"
+
+namespace noceas {
+
+/// A dependency from iteration k to iteration k+1.
+struct CrossIterationEdge {
+  TaskId src;  ///< task in iteration k
+  TaskId dst;  ///< task in iteration k+1
+  Volume volume = 0;
+};
+
+/// Options of the unrolling transformation.
+struct UnrollOptions {
+  int iterations = 2;   ///< how many copies (>= 1)
+  Time period = 0;      ///< release/deadline shift between copies (>= 0)
+  std::vector<CrossIterationEdge> cross_edges;
+};
+
+/// Returns the unrolled CTG.  Task i of iteration k has id
+/// k * g.num_tasks() + i and name "<orig>#<k>".
+[[nodiscard]] TaskGraph unroll_periodic(const TaskGraph& g, const UnrollOptions& options);
+
+/// Maps (iteration, original id) to the unrolled task id.
+[[nodiscard]] inline TaskId unrolled_task(const TaskGraph& original, int iteration, TaskId t) {
+  return TaskId{static_cast<std::size_t>(iteration) * original.num_tasks() + t.index()};
+}
+
+}  // namespace noceas

@@ -1,0 +1,90 @@
+#include "src/dvs/slack_reclaim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace noceas {
+
+Energy dvs_energy(Energy e_nom, double speed, double static_fraction) {
+  NOCEAS_REQUIRE(speed > 0.0 && speed <= 1.0, "speed out of (0,1]: " << speed);
+  NOCEAS_REQUIRE(static_fraction >= 0.0 && static_fraction <= 1.0,
+                 "static fraction out of [0,1]: " << static_fraction);
+  return e_nom * ((1.0 - static_fraction) * speed * speed + static_fraction / speed);
+}
+
+DvsResult reclaim_slack(const TaskGraph& g, const Platform& p, const Schedule& s,
+                        const DvsOptions& options) {
+  NOCEAS_REQUIRE(s.complete(), "reclaim_slack needs a complete schedule");
+  for (double speed : options.speeds) {
+    NOCEAS_REQUIRE(speed > 0.0 && speed <= 1.0, "speed level out of (0,1]: " << speed);
+  }
+
+  // Candidate levels, slowest first, always including nominal.
+  std::vector<double> levels = options.speeds;
+  levels.push_back(1.0);
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+
+  DvsResult result;
+  result.speed.assign(g.num_tasks(), 1.0);
+  result.finish.resize(g.num_tasks());
+  for (TaskId t : g.all_tasks()) result.finish[t.index()] = s.at(t).finish;
+
+  // Per-PE successor task start (the next occupant of the same tile).
+  const auto orders = pe_orders(s, p.num_pes());
+  std::vector<Time> pe_successor_start(g.num_tasks(), std::numeric_limits<Time>::max());
+  for (const auto& order : orders) {
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      pe_successor_start[order[i].index()] = s.at(order[i + 1]).start;
+    }
+  }
+
+  for (TaskId t : g.all_tasks()) {
+    const TaskPlacement& tp = s.at(t);
+    const Task& task = g.task(t);
+    const Energy e_nom = task.exec_energy[tp.pe.index()];
+    const Duration d_nom = task.exec_time[tp.pe.index()];
+    result.computation_before += e_nom;
+
+    // Local slack bound: nothing else in the schedule may move.
+    Time bound = task.has_deadline() ? task.deadline : std::numeric_limits<Time>::max();
+    bound = std::min(bound, pe_successor_start[t.index()]);
+    for (EdgeId e : g.out_edges(t)) {
+      const CommPlacement& cp = s.at(e);
+      if (cp.uses_network()) {
+        // The reserved transaction slot stays where it is; the sender must
+        // be done by then.
+        bound = std::min(bound, cp.start);
+      } else {
+        // Local/control delivery happens at sender finish; the receiver's
+        // (unchanged) start is the bound.
+        bound = std::min(bound, s.at(g.edge(e).dst).start);
+      }
+    }
+
+    // Pick the admissible level with the lowest energy (the s^2 term makes
+    // slower cheaper until the static term takes over).
+    double best_speed = 1.0;
+    Energy best_energy = dvs_energy(e_nom, 1.0, options.static_fraction);
+    for (double speed : levels) {
+      const auto stretched = static_cast<Duration>(
+          std::ceil(static_cast<double>(d_nom) / speed));
+      if (tp.start + stretched > bound) continue;
+      const Energy e = dvs_energy(e_nom, speed, options.static_fraction);
+      if (e < best_energy) {
+        best_energy = e;
+        best_speed = speed;
+      }
+    }
+
+    result.speed[t.index()] = best_speed;
+    result.finish[t.index()] =
+        tp.start + static_cast<Duration>(std::ceil(static_cast<double>(d_nom) / best_speed));
+    result.computation_after += best_energy;
+    if (best_speed < 1.0) ++result.slowed_tasks;
+  }
+  return result;
+}
+
+}  // namespace noceas

@@ -1,0 +1,67 @@
+// Dynamic voltage scaling (DVS) slack reclamation — an extension module.
+//
+// The paper positions EAS against DVS-based low-power scheduling ([5], [11]
+// in its related work): those techniques assume voltage-scalable PEs and
+// stretch task executions into schedule slack, while EAS exploits PE
+// *heterogeneity*.  The two are orthogonal: once EAS has produced a static
+// schedule, any residual slack can still be reclaimed by slowing tasks
+// down.  This module implements the classic post-pass:
+//
+//   * every PE offers a discrete set of speed levels s in (0, 1]
+//     (frequency relative to nominal); running a task at speed s stretches
+//     its execution time by 1/s and scales its computation energy as
+//       E(s) = E_nom * ((1 - alpha) * s^2 + alpha / s)
+//     (dynamic energy ~ V^2 ~ s^2; static energy accrues over the longer
+//     runtime; alpha is the static fraction at nominal speed),
+//   * tasks are stretched only into *local* slack: a task may not finish
+//     later than (a) its own deadline, (b) the reserved start of any of its
+//     outgoing network transactions, (c) the start of any successor fed by
+//     a local/control dependency, and (d) the start of the next task on its
+//     PE — so no other placement, transaction slot or task time changes,
+//     and the schedule remains valid by construction.
+//
+// The pass is deterministic and never increases energy (speed 1.0 is always
+// admissible; slower levels are chosen only when they reduce E(s)).
+#pragma once
+
+#include <vector>
+
+#include "src/core/schedule.hpp"
+#include "src/ctg/task_graph.hpp"
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+
+/// Knobs of the DVS post-pass.
+struct DvsOptions {
+  /// Available speed levels (fractions of nominal frequency); 1.0 is
+  /// implicitly admissible even if absent. Values must lie in (0, 1].
+  std::vector<double> speeds{1.0, 0.85, 0.7, 0.55, 0.4};
+  /// Fraction of a task's nominal energy that is static (leakage); static
+  /// energy grows with the stretched runtime, penalizing very low speeds.
+  double static_fraction = 0.1;
+};
+
+/// Outcome of slack reclamation on one schedule.
+struct DvsResult {
+  /// Chosen speed per task (1.0 = nominal).
+  std::vector<double> speed;
+  /// Stretched finish time per task (start times are unchanged).
+  std::vector<Time> finish;
+  /// Computation energy before / after the pass (communication energy is
+  /// untouched — transaction slots do not move).
+  Energy computation_before = 0.0;
+  Energy computation_after = 0.0;
+  std::size_t slowed_tasks = 0;
+
+  [[nodiscard]] Energy saved() const { return computation_before - computation_after; }
+};
+
+/// Energy of running a task of nominal energy `e_nom` at speed `s`.
+[[nodiscard]] Energy dvs_energy(Energy e_nom, double speed, double static_fraction);
+
+/// Runs the slack-reclamation pass on a complete, valid schedule.
+[[nodiscard]] DvsResult reclaim_slack(const TaskGraph& g, const Platform& p, const Schedule& s,
+                                      const DvsOptions& options = {});
+
+}  // namespace noceas

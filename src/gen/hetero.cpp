@@ -1,0 +1,88 @@
+#include "src/gen/hetero.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace noceas {
+
+const char* to_string(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::Control: return "control";
+    case TaskKind::Dsp: return "dsp";
+    case TaskKind::Video: return "video";
+    case TaskKind::Memory: return "memory";
+    case TaskKind::Generic: return "generic";
+  }
+  return "?";
+}
+
+PeCatalog::PeCatalog(std::vector<PeTypeDesc> types, std::vector<std::size_t> tile_type)
+    : types_(std::move(types)), tile_type_(std::move(tile_type)) {
+  NOCEAS_REQUIRE(!types_.empty(), "PE catalog needs at least one type");
+  for (std::size_t idx : tile_type_)
+    NOCEAS_REQUIRE(idx < types_.size(), "tile type index " << idx << " out of range");
+  for (const PeTypeDesc& t : types_) {
+    NOCEAS_REQUIRE(t.power > 0.0, "PE type '" << t.name << "' has non-positive power");
+    for (double s : t.speed)
+      NOCEAS_REQUIRE(s > 0.0, "PE type '" << t.name << "' has non-positive speed factor");
+  }
+}
+
+std::vector<std::string> PeCatalog::tile_type_names() const {
+  std::vector<std::string> names;
+  names.reserve(tile_type_.size());
+  for (std::size_t idx : tile_type_) names.push_back(types_[idx].name);
+  return names;
+}
+
+PeCatalog::TaskTables PeCatalog::make_tables(TaskKind kind, double base_work, Rng& rng,
+                                             double jitter) const {
+  NOCEAS_REQUIRE(base_work > 0.0, "non-positive base work " << base_work);
+  NOCEAS_REQUIRE(jitter >= 0.0 && jitter < 1.0, "jitter out of range: " << jitter);
+  TaskTables tables;
+  tables.exec_time.reserve(num_tiles());
+  tables.exec_energy.reserve(num_tiles());
+  const auto k = static_cast<std::size_t>(kind);
+  for (std::size_t tile = 0; tile < num_tiles(); ++tile) {
+    const PeTypeDesc& type = types_[tile_type_[tile]];
+    const double tj = jitter > 0.0 ? rng.uniform(1.0 - jitter, 1.0 + jitter) : 1.0;
+    const double ej = jitter > 0.0 ? rng.uniform(1.0 - jitter, 1.0 + jitter) : 1.0;
+    const double time = std::max(1.0, std::round(base_work / type.speed[k] * tj));
+    tables.exec_time.push_back(static_cast<Duration>(time));
+    tables.exec_energy.push_back(time * type.power * ej);
+  }
+  return tables;
+}
+
+std::vector<PeTypeDesc> default_pe_types() {
+  // speed order: {Control, Dsp, Video, Memory, Generic}
+  return {
+      PeTypeDesc{"ARM", {0.8, 0.6, 0.5, 0.7, 0.7}, 0.45},
+      PeTypeDesc{"DSP", {0.7, 2.6, 1.4, 0.8, 1.0}, 1.05},
+      PeTypeDesc{"FPGA", {0.5, 1.6, 3.0, 0.9, 0.8}, 0.80},
+      PeTypeDesc{"HPCPU", {2.2, 1.8, 1.6, 1.5, 2.0}, 2.70},
+      PeTypeDesc{"MEME", {0.6, 0.7, 0.6, 2.8, 0.7}, 0.55},
+  };
+}
+
+PeCatalog make_hetero_catalog(int rows, int cols, std::uint64_t seed,
+                              std::vector<PeTypeDesc> types) {
+  const std::size_t tiles = static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  NOCEAS_REQUIRE(!types.empty(), "empty type list");
+  std::vector<std::size_t> assignment;
+  assignment.reserve(tiles);
+  for (std::size_t i = 0; i < tiles; ++i) assignment.push_back(i % types.size());
+  Rng rng(seed ^ 0xc0ffee0123456789ull);
+  rng.shuffle(assignment);
+  return PeCatalog(std::move(types), std::move(assignment));
+}
+
+Platform make_platform_for(const PeCatalog& catalog, int rows, int cols,
+                           Bandwidth link_bandwidth) {
+  NOCEAS_REQUIRE(catalog.num_tiles() ==
+                     static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+                 "catalog size does not match mesh dimensions");
+  return make_mesh_platform(rows, cols, catalog.tile_type_names(), link_bandwidth);
+}
+
+}  // namespace noceas

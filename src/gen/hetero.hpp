@@ -1,0 +1,89 @@
+// Heterogeneity model: PE types and synthesis of per-PE task tables.
+//
+// The paper's target architectures are heterogeneous ("one tile can be a
+// DSP, another tile can be a high performance, energy-hungry CPU, yet
+// another one a low-power ARM processor") and every task carries per-PE
+// execution time and energy arrays (R_i, E_i).  Since the paper does not
+// publish its TGFF parameter files, we model heterogeneity the standard
+// way: each PE type has a per-task-kind speed factor and a power factor;
+// a task with base work w of kind kappa executed on PE type T takes
+//   r = w / speed(T, kappa)          (time units)
+//   e = r * power(T)                 (nJ)
+// plus a small per-(task, PE) jitter so that same-type tiles are not
+// perfectly identical (manufacturing/placement variation).  This produces
+// the energy/time variance structure that the slack-budgeting weights
+// W = VAR_e * VAR_r rely on.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/ctg/task_graph.hpp"
+#include "src/noc/platform.hpp"
+#include "src/util/rng.hpp"
+
+namespace noceas {
+
+/// Coarse affinity classes of application tasks.
+enum class TaskKind : std::size_t {
+  Control = 0,  ///< branchy scalar code (parsers, rate control)
+  Dsp,          ///< filter/transform kernels (MDCT, subband)
+  Video,        ///< block-level pixel processing (ME, DCT, MC)
+  Memory,       ///< data movement / buffering dominated
+  Generic,      ///< everything else
+};
+inline constexpr std::size_t kNumTaskKinds = 5;
+
+[[nodiscard]] const char* to_string(TaskKind kind);
+
+/// One PE type of the catalog.
+struct PeTypeDesc {
+  std::string name;
+  /// Throughput factor per TaskKind (1.0 = reference PE).
+  std::array<double, kNumTaskKinds> speed;
+  /// Average power while computing, in nJ per time unit.
+  double power;
+};
+
+/// Catalog of PE types plus the mapping from tile to type.
+class PeCatalog {
+ public:
+  PeCatalog(std::vector<PeTypeDesc> types, std::vector<std::size_t> tile_type);
+
+  [[nodiscard]] std::size_t num_tiles() const { return tile_type_.size(); }
+  [[nodiscard]] const PeTypeDesc& type_of(PeId pe) const {
+    return types_.at(tile_type_.at(pe.index()));
+  }
+  [[nodiscard]] std::vector<std::string> tile_type_names() const;
+
+  /// Synthesizes the R_i / E_i arrays of a task with the given kind and base
+  /// work.  `jitter` is the half-width of the relative per-entry noise
+  /// (0.1 = +-10%); pass 0 for deterministic tables.
+  struct TaskTables {
+    std::vector<Duration> exec_time;
+    std::vector<Energy> exec_energy;
+  };
+  [[nodiscard]] TaskTables make_tables(TaskKind kind, double base_work, Rng& rng,
+                                       double jitter = 0.10) const;
+
+ private:
+  std::vector<PeTypeDesc> types_;
+  std::vector<std::size_t> tile_type_;
+};
+
+/// The default five-type catalog used by the random benchmarks: low-power
+/// ARM-class core, DSP, FPGA-like accelerator, high-performance CPU, and a
+/// memory-oriented engine.
+[[nodiscard]] std::vector<PeTypeDesc> default_pe_types();
+
+/// Builds a `rows x cols` heterogeneous catalog by cycling through the given
+/// types in a seed-shuffled order (the paper's 4x4 / 3x3 / 2x2 chips).
+[[nodiscard]] PeCatalog make_hetero_catalog(int rows, int cols, std::uint64_t seed,
+                                            std::vector<PeTypeDesc> types = default_pe_types());
+
+/// Platform matching a catalog (XY routing, default energy constants).
+[[nodiscard]] Platform make_platform_for(const PeCatalog& catalog, int rows, int cols,
+                                         Bandwidth link_bandwidth = 64.0);
+
+}  // namespace noceas

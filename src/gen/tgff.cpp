@@ -1,0 +1,216 @@
+#include "src/gen/tgff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "src/ctg/dag_algos.hpp"
+
+namespace noceas {
+
+namespace {
+
+TaskKind random_kind(Rng& rng) {
+  // Mix observed in multimedia/control SoC workloads; Video/Dsp heavy so the
+  // accelerator/DSP tiles matter.
+  static const std::vector<double> weights{0.20, 0.25, 0.25, 0.15, 0.15};
+  return static_cast<TaskKind>(rng.weighted_index(weights));
+}
+
+/// Recursively wires tasks [lo, hi) as a series-parallel graph; all edges go
+/// from lower to higher ids, so id order is a topological order.  Returns
+/// the entry and exit task ids of the block.
+struct SpBlock {
+  std::vector<std::size_t> entries;
+  std::vector<std::size_t> exits;
+};
+
+SpBlock wire_series_parallel(std::size_t lo, std::size_t hi, Rng& rng,
+                             const std::function<void(std::size_t, std::size_t)>& add_edge) {
+  const std::size_t n = hi - lo;
+  if (n <= 3 || rng.chance(0.15)) {
+    // Chain.
+    for (std::size_t i = lo; i + 1 < hi; ++i) add_edge(i, i + 1);
+    return SpBlock{{lo}, {hi - 1}};
+  }
+  if (rng.chance(0.5)) {
+    // Series composition.
+    const std::size_t mid = lo + 1 + static_cast<std::size_t>(rng.uniform_int(
+                                          0, static_cast<std::int64_t>(n) - 2));
+    const SpBlock left = wire_series_parallel(lo, mid, rng, add_edge);
+    const SpBlock right = wire_series_parallel(mid, hi, rng, add_edge);
+    for (std::size_t x : left.exits)
+      for (std::size_t e : right.entries) add_edge(x, e);
+    return SpBlock{left.entries, right.exits};
+  }
+  // Parallel composition: fork node, 2..4 branches, join node.
+  const std::size_t fork = lo;
+  const std::size_t join = hi - 1;
+  const std::size_t interior = n - 2;
+  const auto branches = static_cast<std::size_t>(
+      rng.uniform_int(2, std::min<std::int64_t>(4, static_cast<std::int64_t>(interior))));
+  SpBlock block{{fork}, {join}};
+  std::size_t cursor = lo + 1;
+  for (std::size_t b = 0; b < branches; ++b) {
+    const std::size_t remaining_branches = branches - b - 1;
+    const std::size_t available = join - cursor - remaining_branches;  // >= 1 each
+    const std::size_t take =
+        remaining_branches == 0
+            ? available
+            : 1 + static_cast<std::size_t>(rng.uniform_int(
+                      0, static_cast<std::int64_t>(available) - 1));
+    const SpBlock inner = wire_series_parallel(cursor, cursor + take, rng, add_edge);
+    for (std::size_t e : inner.entries) add_edge(fork, e);
+    for (std::size_t x : inner.exits) add_edge(x, join);
+    cursor += take;
+  }
+  return block;
+}
+
+}  // namespace
+
+TaskGraph generate_tgff_like(const TgffParams& params, const PeCatalog& catalog) {
+  NOCEAS_REQUIRE(params.num_tasks >= 2, "need at least two tasks");
+  NOCEAS_REQUIRE(params.avg_layer_width >= 1.0, "layer width must be >= 1");
+  NOCEAS_REQUIRE(params.volume_min > 0 && params.volume_min <= params.volume_max,
+                 "invalid volume range");
+  NOCEAS_REQUIRE(params.base_work_min > 0.0 && params.base_work_min <= params.base_work_max,
+                 "invalid work range");
+
+  Rng rng(params.seed);
+
+  // ---- Layering (used by the Layered shape and for cross-edge direction) -
+  const auto num_layers = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(static_cast<double>(params.num_tasks) /
+                                               params.avg_layer_width)));
+  std::vector<std::size_t> layer_of(params.num_tasks);
+  {
+    // Random layer sizes around the average, each >= 1, summing to N.
+    std::vector<std::size_t> sizes(num_layers, 1);
+    std::size_t remaining = params.num_tasks - num_layers;
+    while (remaining > 0) {
+      sizes[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(num_layers) - 1))] += 1;
+      --remaining;
+    }
+    std::size_t task = 0;
+    for (std::size_t l = 0; l < num_layers; ++l)
+      for (std::size_t j = 0; j < sizes[l]; ++j) layer_of[task++] = l;
+  }
+  std::vector<std::vector<std::size_t>> tasks_in_layer(num_layers);
+  for (std::size_t t = 0; t < params.num_tasks; ++t) tasks_in_layer[layer_of[t]].push_back(t);
+
+  // ---- Tasks ------------------------------------------------------------
+  TaskGraph g(catalog.num_tiles());
+  for (std::size_t t = 0; t < params.num_tasks; ++t) {
+    const TaskKind kind = random_kind(rng);
+    const double work = rng.log_uniform(params.base_work_min, params.base_work_max);
+    auto tables = catalog.make_tables(kind, work, rng, params.table_jitter);
+    std::ostringstream name;
+    name << 't' << t << '_' << to_string(kind);
+    g.add_task(name.str(), std::move(tables.exec_time), std::move(tables.exec_energy));
+  }
+
+  // ---- Wiring -----------------------------------------------------------
+  std::set<std::pair<std::size_t, std::size_t>> edge_set;
+  auto random_volume = [&]() -> Volume {
+    if (rng.chance(params.control_edge_fraction)) return 0;
+    return static_cast<Volume>(rng.log_uniform(static_cast<double>(params.volume_min),
+                                               static_cast<double>(params.volume_max)));
+  };
+  auto add_unique_edge = [&](std::size_t src, std::size_t dst) -> bool {
+    if (!edge_set.emplace(src, dst).second) return false;
+    g.add_edge(TaskId{src}, TaskId{dst}, random_volume());
+    return true;
+  };
+  if (params.shape == GraphShape::Layered) {
+    // Every non-source task gets 1..max_in predecessors from earlier layers,
+    // biased towards the immediately preceding layer.
+    for (std::size_t t = 0; t < params.num_tasks; ++t) {
+      const std::size_t l = layer_of[t];
+      if (l == 0) continue;
+      const auto fan_in = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(params.max_in_degree)));
+      for (std::size_t i = 0; i < fan_in; ++i) {
+        std::size_t src_layer = l - 1;
+        if (l >= 2 && !rng.chance(0.7)) {
+          src_layer =
+              static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(l) - 1));
+        }
+        const auto& pool = tasks_in_layer[src_layer];
+        const std::size_t src = pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+        add_unique_edge(src, t);
+      }
+    }
+  } else {
+    // Series-parallel skeleton; edges always go low id -> high id.
+    wire_series_parallel(0, params.num_tasks, rng,
+                         [&](std::size_t a, std::size_t b) { add_unique_edge(a, b); });
+  }
+  // Cross edges until the transaction target is met.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = params.num_edges * 50;
+  while (g.num_edges() < params.num_edges && attempts++ < max_attempts) {
+    const auto a = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(params.num_tasks) - 1));
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(params.num_tasks) - 1));
+    if (params.shape == GraphShape::Layered) {
+      if (layer_of[a] == layer_of[b]) continue;
+      const std::size_t src = layer_of[a] < layer_of[b] ? a : b;
+      const std::size_t dst = layer_of[a] < layer_of[b] ? b : a;
+      add_unique_edge(src, dst);
+    } else {
+      if (a == b) continue;
+      add_unique_edge(std::min(a, b), std::max(a, b));
+    }
+  }
+
+  // ---- Deadlines --------------------------------------------------------
+  const auto mean = mean_durations(g);
+  const auto fp = forward_pass(g, mean);
+  for (TaskId t : g.all_tasks()) {
+    const bool sink = g.out_degree(t) == 0;
+    const bool interior_pick = !sink && rng.chance(params.interior_deadline_fraction);
+    if (!sink && !interior_pick) continue;
+    const double tightness =
+        rng.uniform(params.deadline_tightness_min, params.deadline_tightness_max);
+    g.task(t).deadline =
+        static_cast<Time>(std::floor(fp.earliest_finish[t.index()] * tightness));
+  }
+
+  g.validate();
+  return g;
+}
+
+TgffParams category_params(int category, int index) {
+  NOCEAS_REQUIRE(category == 1 || category == 2, "category must be 1 or 2");
+  NOCEAS_REQUIRE(index >= 0 && index < 10, "benchmark index must be in [0,10)");
+  TgffParams p;
+  p.num_tasks = 480 + static_cast<std::size_t>(index) * 5;  // "around 500 tasks"
+  p.num_edges = 2 * p.num_tasks;                            // "about 1000 transactions"
+  // Vary topology/distribution across the suite, like the different TGFF
+  // configurations of the paper.
+  p.avg_layer_width = 6.0 + static_cast<double>(index % 5) * 2.5;
+  p.max_in_degree = 2 + static_cast<std::size_t>(index % 3);
+  p.volume_min = 256u << (index % 3);
+  p.volume_max = 4096u << (index % 3);
+  p.base_work_min = 40.0 + 10.0 * static_cast<double>(index % 4);
+  p.base_work_max = 300.0 + 60.0 * static_cast<double>(index % 4);
+  p.control_edge_fraction = 0.05 + 0.02 * static_cast<double>(index % 3);
+  if (category == 1) {
+    p.deadline_tightness_min = 1.7;
+    p.deadline_tightness_max = 2.1;
+  } else {
+    p.deadline_tightness_min = 1.10;
+    p.deadline_tightness_max = 1.30;
+  }
+  p.seed = 0x5eedu + static_cast<std::uint64_t>(category) * 7919u +
+           static_cast<std::uint64_t>(index) * 104729u;
+  return p;
+}
+
+}  // namespace noceas

@@ -1,0 +1,60 @@
+// TGFF-like random task graph generator.
+//
+// The paper builds its random benchmarks with TGFF [8] ("Task Graphs For
+// Free", Dick/Rhodes/Wolf 1998): ~500 tasks, ~1000 communication
+// transactions per benchmark, with "various parameters ... to generate
+// benchmarks with different topologies and task/communication
+// distributions".  TGFF itself is not redistributable here, so this module
+// reimplements its layered fan-in/fan-out construction:
+//
+//   * tasks are arranged in layers; each non-source task draws 1..max_in
+//     predecessors from a recency-biased window of earlier layers,
+//   * extra cross edges are added until the edge target is met,
+//   * task kinds, base works and communication volumes are drawn from
+//     parameterized (log-)uniform distributions,
+//   * deadlines are attached to every sink (and optionally a fraction of
+//     interior tasks) as EF_mean * tightness — the knob that separates the
+//     paper's loose Category I from the tight Category II.
+#pragma once
+
+#include "src/ctg/task_graph.hpp"
+#include "src/gen/hetero.hpp"
+#include "src/util/rng.hpp"
+
+namespace noceas {
+
+/// Macro-structure of the generated DAG.
+enum class GraphShape {
+  Layered,         ///< layered fan-in/fan-out wiring (TGFF default style)
+  SeriesParallel,  ///< recursive series/parallel composition (TGFF "series chains")
+};
+
+/// Parameters of the random CTG construction.
+struct TgffParams {
+  GraphShape shape = GraphShape::Layered;
+  std::size_t num_tasks = 500;
+  std::size_t num_edges = 1000;   ///< target transaction count (>= num_tasks - #sources)
+  double avg_layer_width = 10.0;  ///< tasks per layer (controls parallelism)
+  std::size_t max_in_degree = 3;  ///< fan-in cap of the initial wiring
+  double base_work_min = 40.0;    ///< task work on the reference PE, log-uniform
+  double base_work_max = 400.0;
+  Volume volume_min = 256;        ///< transaction volume in bits, log-uniform
+  Volume volume_max = 8192;
+  double control_edge_fraction = 0.08;  ///< fraction of volume-0 edges
+  double deadline_tightness_min = 1.7;  ///< sink deadline = EF_mean * U(min,max)
+  double deadline_tightness_max = 2.1;
+  double interior_deadline_fraction = 0.03;  ///< extra deadlines inside the DAG
+  double table_jitter = 0.10;     ///< per-(task,PE) noise of the R/E tables
+  std::uint64_t seed = 1;
+};
+
+/// Generates a random CTG whose R_i/E_i arrays target `catalog`'s tiles.
+[[nodiscard]] TaskGraph generate_tgff_like(const TgffParams& params, const PeCatalog& catalog);
+
+/// The paper's two random benchmark suites (Sec. 6.1): 10 benchmarks each,
+/// ~500 tasks / ~1000 transactions, on a 4x4 heterogeneous NoC; Category II
+/// uses tighter deadlines.  `index` in [0, 10) varies topology parameters
+/// like the different TGFF configurations of the paper.
+[[nodiscard]] TgffParams category_params(int category, int index);
+
+}  // namespace noceas

@@ -1,0 +1,241 @@
+#include "src/msb/msb.hpp"
+
+#include <cmath>
+
+namespace noceas {
+
+ClipProfile clip_akiyo() { return ClipProfile{"akiyo", 0.45, 0.70, 0.80}; }
+ClipProfile clip_foreman() { return ClipProfile{"foreman", 1.00, 1.00, 1.00}; }
+ClipProfile clip_toybox() { return ClipProfile{"toybox", 1.50, 1.30, 1.10}; }
+
+std::vector<ClipProfile> all_clips() { return {clip_akiyo(), clip_foreman(), clip_toybox()}; }
+
+namespace {
+
+/// One task row of a codec spec; `work` is in reference-PE microseconds.
+struct TaskSpec {
+  const char* name;
+  TaskKind kind;
+  double work;
+  Time deadline = kNoDeadline;
+};
+
+/// One edge row; volume in bits.
+struct EdgeSpec {
+  int src;
+  int dst;
+  Volume volume;
+};
+
+// Volume building blocks, in bits (QCIF-scale frame slices).
+constexpr Volume kVolFrame = 65536;
+constexpr Volume kVolHalf = 32768;
+constexpr Volume kVolMb = 8192;
+constexpr Volume kVolSmall = 2048;
+
+Volume scaled(Volume v, double f) {
+  return std::max<Volume>(1, static_cast<Volume>(std::llround(static_cast<double>(v) * f)));
+}
+
+/// Builds a CTG from specs: per-PE tables are synthesized from the catalog
+/// with a deterministic seed so every run sees identical numbers.
+TaskGraph build_from_spec(const std::vector<TaskSpec>& tasks, const std::vector<EdgeSpec>& edges,
+                          const PeCatalog& catalog, double perf_ratio, std::uint64_t seed) {
+  NOCEAS_REQUIRE(perf_ratio > 0.0, "performance ratio must be positive");
+  Rng rng(seed);
+  TaskGraph g(catalog.num_tiles());
+  for (const TaskSpec& ts : tasks) {
+    auto tables = catalog.make_tables(ts.kind, ts.work, rng, /*jitter=*/0.08);
+    Time deadline = ts.deadline;
+    if (deadline != kNoDeadline) {
+      deadline = static_cast<Time>(std::floor(static_cast<double>(deadline) / perf_ratio));
+    }
+    g.add_task(ts.name, std::move(tables.exec_time), std::move(tables.exec_energy), deadline);
+  }
+  for (const EdgeSpec& es : edges) g.add_edge(TaskId{es.src}, TaskId{es.dst}, es.volume);
+  g.validate();
+  return g;
+}
+
+/// H263 + MP3 encoder pair, 24 tasks.  Work figures are reference-PE
+/// microseconds per QCIF frame / audio granule, sized so the mean critical
+/// path sits around 60% of the 40 fps frame budget.
+std::vector<TaskSpec> encoder_tasks(const ClipProfile& c, Time video_deadline,
+                                    Time audio_deadline) {
+  return {
+      // --- H263 video encoder (16 tasks) --------------------------------
+      {"vid_capture", TaskKind::Memory, 1100.0},
+      {"pre_filter", TaskKind::Video, 1500.0},
+      {"scene_ctrl", TaskKind::Control, 600.0},
+      {"me_luma_top", TaskKind::Video, 3400.0 * c.motion},
+      {"me_luma_bot", TaskKind::Video, 3400.0 * c.motion},
+      {"me_chroma", TaskKind::Video, 1500.0 * c.motion},
+      {"mode_decision", TaskKind::Control, 800.0},
+      {"mc_predict", TaskKind::Video, 1300.0},
+      {"dct", TaskKind::Dsp, 1900.0},
+      {"quant", TaskKind::Dsp, 950.0},
+      {"iquant", TaskKind::Dsp, 850.0},
+      {"idct", TaskKind::Dsp, 1800.0},
+      {"recon", TaskKind::Video, 1150.0, video_deadline},
+      {"vlc", TaskKind::Control, 1500.0 * c.detail},
+      {"rate_ctrl", TaskKind::Control, 700.0},
+      {"h263_pack", TaskKind::Memory, 800.0, video_deadline},
+      // --- MP3 audio encoder (8 tasks) -----------------------------------
+      {"pcm_capture", TaskKind::Memory, 900.0},
+      {"subband_l", TaskKind::Dsp, 1700.0},
+      {"subband_r", TaskKind::Dsp, 1700.0},
+      {"psycho", TaskKind::Dsp, 2300.0 * c.audio},
+      {"mdct", TaskKind::Dsp, 1900.0},
+      {"quant_mp3", TaskKind::Dsp, 1300.0},
+      {"huffman", TaskKind::Control, 1100.0},
+      {"mp3_pack", TaskKind::Memory, 600.0, audio_deadline},
+  };
+}
+
+std::vector<EdgeSpec> encoder_edges(const ClipProfile& c) {
+  return {
+      // video pipeline
+      {0, 1, kVolFrame},
+      {0, 2, kVolSmall},
+      {1, 3, kVolHalf},
+      {1, 4, kVolHalf},
+      {1, 5, kVolHalf / 2},
+      {2, 6, kVolSmall},
+      {3, 6, scaled(kVolMb, c.motion)},
+      {4, 6, scaled(kVolMb, c.motion)},
+      {5, 6, scaled(kVolMb / 2, c.motion)},
+      {6, 7, kVolSmall},
+      {1, 7, kVolHalf},
+      {7, 8, scaled(kVolHalf, c.detail)},
+      {8, 9, kVolHalf},
+      {9, 10, kVolHalf / 2},
+      {9, 13, scaled(kVolHalf / 2, c.detail)},
+      {10, 11, kVolHalf / 2},
+      {11, 12, kVolHalf},
+      {7, 12, kVolHalf},
+      {6, 13, scaled(kVolSmall, c.motion)},
+      {13, 14, kVolSmall},
+      {13, 15, scaled(kVolHalf / 2, c.detail)},
+      {14, 15, kVolSmall},
+      // audio pipeline
+      {16, 17, kVolHalf / 2},
+      {16, 18, kVolHalf / 2},
+      {16, 19, kVolHalf / 2},
+      {17, 20, kVolHalf / 4},
+      {18, 20, kVolHalf / 4},
+      {19, 21, kVolSmall},
+      {20, 21, kVolHalf / 4},
+      {21, 22, kVolHalf / 4},
+      {22, 23, scaled(kVolHalf / 8, c.audio)},
+  };
+}
+
+/// H263 + MP3 decoder pair, 16 tasks.
+std::vector<TaskSpec> decoder_tasks(const ClipProfile& c, Time video_deadline,
+                                    Time audio_deadline) {
+  return {
+      // --- H263 video decoder (8 tasks) ----------------------------------
+      {"h263_parse", TaskKind::Control, 700.0},
+      {"vld", TaskKind::Control, 1600.0 * c.detail},
+      {"iq_dec", TaskKind::Dsp, 850.0},
+      {"idct_dec", TaskKind::Dsp, 1800.0},
+      {"mc_dec", TaskKind::Video, 1500.0 * c.motion},
+      {"recon_dec", TaskKind::Video, 1100.0},
+      {"deblock", TaskKind::Video, 1600.0},
+      {"disp_out", TaskKind::Memory, 900.0, video_deadline},
+      // --- MP3 audio decoder (8 tasks) ------------------------------------
+      {"mp3_sync", TaskKind::Control, 500.0},
+      {"huff_dec", TaskKind::Control, 1200.0},
+      {"requant", TaskKind::Dsp, 1000.0},
+      {"stereo", TaskKind::Dsp, 700.0},
+      {"alias", TaskKind::Dsp, 650.0},
+      {"imdct", TaskKind::Dsp, 1800.0},
+      {"synth", TaskKind::Dsp, 2000.0},
+      {"pcm_out", TaskKind::Memory, 700.0, audio_deadline},
+  };
+}
+
+std::vector<EdgeSpec> decoder_edges(const ClipProfile& c) {
+  return {
+      // video pipeline
+      {0, 1, scaled(kVolHalf, c.detail)},
+      {1, 2, kVolHalf / 2},
+      {1, 4, scaled(kVolMb, c.motion)},
+      {2, 3, kVolHalf / 2},
+      {3, 5, kVolHalf},
+      {4, 5, kVolHalf},
+      {5, 6, kVolFrame / 2},
+      {6, 7, kVolFrame},
+      // audio pipeline
+      {8, 9, kVolHalf / 4},
+      {9, 10, kVolHalf / 4},
+      {10, 11, kVolHalf / 4},
+      {11, 12, kVolHalf / 4},
+      {12, 13, kVolHalf / 4},
+      {13, 14, kVolHalf / 2},
+      {14, 15, scaled(kVolHalf / 2, c.audio)},
+  };
+}
+
+}  // namespace
+
+PeCatalog msb_catalog_2x2() {
+  auto types = default_pe_types();  // ARM, DSP, FPGA, HPCPU, MEME
+  // One of each of the four compute-oriented types (fixed arrangement).
+  std::vector<PeTypeDesc> chosen{types[0], types[1], types[2], types[3]};
+  return PeCatalog(std::move(chosen), {3, 1, 2, 0});  // HPCPU, DSP, FPGA, ARM
+}
+
+PeCatalog msb_catalog_3x3() {
+  auto types = default_pe_types();
+  return PeCatalog(std::move(types), {3, 1, 0, 2, 4, 1, 0, 2, 3});
+  // HPCPU DSP ARM / FPGA MEME DSP / ARM FPGA HPCPU
+}
+
+Platform msb_platform_2x2() {
+  return make_platform_for(msb_catalog_2x2(), 2, 2, /*link_bandwidth=*/64.0);
+}
+
+Platform msb_platform_3x3() {
+  return make_platform_for(msb_catalog_3x3(), 3, 3, /*link_bandwidth=*/64.0);
+}
+
+TaskGraph make_av_encoder(const ClipProfile& clip, const PeCatalog& catalog, double perf_ratio) {
+  return build_from_spec(encoder_tasks(clip, kEncoderDeadline, kEncoderDeadline),
+                         encoder_edges(clip), catalog, perf_ratio, /*seed=*/0xe4c0de);
+}
+
+TaskGraph make_av_decoder(const ClipProfile& clip, const PeCatalog& catalog, double perf_ratio) {
+  return build_from_spec(decoder_tasks(clip, kDecoderDeadline, kDecoderDeadline),
+                         decoder_edges(clip), catalog, perf_ratio, /*seed=*/0xdec0de);
+}
+
+std::vector<CrossIterationEdge> encoder_cross_edges() {
+  // recon (task 12) -> me_luma_top/bot/chroma (tasks 3, 4, 5) of the next
+  // frame, carrying the reconstructed reference frame.
+  return {
+      CrossIterationEdge{TaskId{12}, TaskId{3}, kVolHalf},
+      CrossIterationEdge{TaskId{12}, TaskId{4}, kVolHalf},
+      CrossIterationEdge{TaskId{12}, TaskId{5}, kVolHalf / 2},
+  };
+}
+
+TaskGraph make_av_encdec(const ClipProfile& clip, const PeCatalog& catalog, double perf_ratio) {
+  auto enc_tasks = encoder_tasks(clip, kEncoderDeadline, kEncoderDeadline);
+  auto dec_tasks = decoder_tasks(clip, kDecoderDeadline, kDecoderDeadline);
+  auto enc_edges = encoder_edges(clip);
+  auto dec_edges = decoder_edges(clip);
+
+  std::vector<TaskSpec> tasks = enc_tasks;
+  tasks.insert(tasks.end(), dec_tasks.begin(), dec_tasks.end());
+  std::vector<EdgeSpec> edges = enc_edges;
+  const int offset = static_cast<int>(enc_tasks.size());
+  for (EdgeSpec es : dec_edges) {
+    es.src += offset;
+    es.dst += offset;
+    edges.push_back(es);
+  }
+  return build_from_spec(tasks, edges, catalog, perf_ratio, /*seed=*/0xabcdef);
+}
+
+}  // namespace noceas

@@ -1,0 +1,75 @@
+// Multimedia System Benchmarks (Sec. 6.2 of the paper).
+//
+// The paper profiles an MP3/H263 audio/video encoder pair (24 tasks), an
+// MP3/H263 decoder pair (16 tasks) and an integrated encoder+decoder system
+// (40 tasks) on three real clips (akiyo, foreman, toybox), then schedules
+// them on heterogeneous 2x2 / 2x2 / 3x3 NoCs.  The profiled C++ sources and
+// clips are not available, so this module reconstructs the three CTGs from
+// the well-known block structure of the two codecs; clip differences enter
+// through a profile that scales motion-estimation work, residual/texture
+// volumes and audio complexity (low-motion akiyo < foreman < toybox), which
+// is exactly how the clips differ in the original profiling.  See DESIGN.md
+// "Substitutions".
+//
+// Time unit: 1 microsecond.  The baseline rates of the paper (40 frames/s
+// encoding, 67 frames/s decoding) give per-frame deadlines of 25000 and
+// 14925 time units; Fig. 7 scales them by the "unified performance ratio".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ctg/task_graph.hpp"
+#include "src/ctg/unroll.hpp"
+#include "src/gen/hetero.hpp"
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+
+/// How a specific clip loads the codec pipeline.
+struct ClipProfile {
+  std::string name;
+  double motion = 1.0;   ///< motion-estimation work / motion-vector volume scale
+  double detail = 1.0;   ///< residual & entropy-coding volume/work scale
+  double audio = 1.0;    ///< psychoacoustic/bitrate scale of the MP3 side
+};
+
+[[nodiscard]] ClipProfile clip_akiyo();    // talking head, almost static
+[[nodiscard]] ClipProfile clip_foreman();  // medium motion (the paper's running example)
+[[nodiscard]] ClipProfile clip_toybox();   // high motion & texture
+[[nodiscard]] std::vector<ClipProfile> all_clips();
+
+/// Baseline real-time rates of the integrated experiment (Sec. 6.2).
+inline constexpr double kEncodeFps = 40.0;
+inline constexpr double kDecodeFps = 67.0;
+/// Per-frame deadlines at ratio 1.0, in time units (microseconds).
+inline constexpr Time kEncoderDeadline = 25000;  // 1e6 / 40
+inline constexpr Time kDecoderDeadline = 14925;  // 1e6 / 67
+
+/// PE catalogs of the paper's target chips (heterogeneous 2x2 and 3x3).
+[[nodiscard]] PeCatalog msb_catalog_2x2();
+[[nodiscard]] PeCatalog msb_catalog_3x3();
+/// Matching platforms (XY routing, default energy constants).
+[[nodiscard]] Platform msb_platform_2x2();
+[[nodiscard]] Platform msb_platform_3x3();
+
+/// MP3/H263 A/V *encoder* pair: 24 tasks, targeted at a 2x2 chip (Table 1).
+/// `perf_ratio` scales the deadlines (Fig. 7); 1.0 = the baseline rates.
+[[nodiscard]] TaskGraph make_av_encoder(const ClipProfile& clip, const PeCatalog& catalog,
+                                        double perf_ratio = 1.0);
+
+/// MP3/H263 A/V *decoder* pair: 16 tasks, targeted at a 2x2 chip (Table 2).
+[[nodiscard]] TaskGraph make_av_decoder(const ClipProfile& clip, const PeCatalog& catalog,
+                                        double perf_ratio = 1.0);
+
+/// Integrated encoder+decoder system: 40 tasks on a 3x3 chip (Table 3,
+/// Fig. 7).
+[[nodiscard]] TaskGraph make_av_encdec(const ClipProfile& clip, const PeCatalog& catalog,
+                                       double perf_ratio = 1.0);
+
+/// Cross-iteration dependencies of the encoder for periodic unrolling
+/// (extension): the reconstructed reference frame of iteration k feeds the
+/// motion estimation of iteration k+1.
+[[nodiscard]] std::vector<CrossIterationEdge> encoder_cross_edges();
+
+}  // namespace noceas

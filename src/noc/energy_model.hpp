@@ -1,0 +1,40 @@
+// NoC communication energy model (Sec. 3.2, Eq. 1-2 of the paper).
+//
+//   E_bit          = E_Sbit + E_Lbit                               (Eq. 1)
+//   E_bit(ti->tj)  = n_hops * E_Sbit + (n_hops - 1) * E_Lbit       (Eq. 2)
+//
+// where n_hops is the number of routers the bit passes.  The buffering term
+// E_Bbit is deliberately dropped by the paper (registers instead of SRAM
+// buffers); we keep it as an optional extension, default 0, so the ablation
+// bench can quantify its effect.
+#pragma once
+
+#include "src/util/error.hpp"
+#include "src/util/types.hpp"
+
+namespace noceas {
+
+/// Per-bit energy constants, in nJ/bit.  Defaults are in the range reported
+/// for 0.18um Orion-style router/link models; every experiment of the paper
+/// compares schedules on the same platform, so only ratios matter.
+struct EnergyParams {
+  Energy e_sbit = 1.8e-3;  ///< switch (crossbar) energy per bit, nJ
+  Energy e_lbit = 2.9e-3;  ///< inter-tile link energy per bit, nJ
+  Energy e_bbit = 0.0;       ///< optional buffer write energy per bit per hop, nJ
+
+  /// Per-bit energy of a route passing `router_hops` routers (Eq. 2);
+  /// 0 hops = same-tile delivery, which never enters the network.
+  [[nodiscard]] Energy bit_energy(int router_hops) const {
+    NOCEAS_REQUIRE(router_hops >= 0, "negative hop count " << router_hops);
+    if (router_hops == 0) return 0.0;
+    return static_cast<double>(router_hops) * (e_sbit + e_bbit) +
+           static_cast<double>(router_hops - 1) * e_lbit;
+  }
+
+  /// Energy of moving `volume` bits across `router_hops` routers.
+  [[nodiscard]] Energy transfer_energy(Volume volume, int router_hops) const {
+    return static_cast<double>(volume) * bit_energy(router_hops);
+  }
+};
+
+}  // namespace noceas

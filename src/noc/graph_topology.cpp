@@ -1,0 +1,126 @@
+#include "src/noc/graph_topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+namespace noceas {
+
+GraphTopology::GraphTopology(std::size_t num_tiles,
+                             std::vector<std::pair<int, int>> undirected_edges,
+                             std::vector<std::string> tile_names)
+    : num_tiles_(num_tiles) {
+  NOCEAS_REQUIRE(num_tiles_ > 0, "topology needs at least one tile");
+
+  // Directed links, both ways per undirected edge, deduplicated.
+  std::vector<std::vector<std::int32_t>> adj(num_tiles_);  // neighbor tile ids
+  auto add_directed = [&](int from, int to) {
+    NOCEAS_REQUIRE(from >= 0 && static_cast<std::size_t>(from) < num_tiles_,
+                   "edge endpoint " << from << " out of range");
+    NOCEAS_REQUIRE(to >= 0 && static_cast<std::size_t>(to) < num_tiles_,
+                   "edge endpoint " << to << " out of range");
+    NOCEAS_REQUIRE(from != to, "self-loop on tile " << from);
+    auto& nb = adj[static_cast<std::size_t>(from)];
+    if (std::find(nb.begin(), nb.end(), to) == nb.end()) nb.push_back(to);
+  };
+  for (const auto& [a, b] : undirected_edges) {
+    add_directed(a, b);
+    add_directed(b, a);
+  }
+  // Sort neighbors for deterministic routing, then materialize links.
+  std::vector<std::vector<std::int32_t>> link_of(num_tiles_);  // aligned with adj
+  for (std::size_t t = 0; t < num_tiles_; ++t) {
+    std::sort(adj[t].begin(), adj[t].end());
+    link_of[t].resize(adj[t].size());
+    for (std::size_t j = 0; j < adj[t].size(); ++j) {
+      link_of[t][j] = static_cast<std::int32_t>(links_.size());
+      links_.push_back(Link{PeId{t}, PeId{static_cast<std::size_t>(adj[t][j])}, Dir::East});
+    }
+  }
+
+  // Names.
+  if (tile_names.empty()) {
+    names_.reserve(num_tiles_);
+    for (std::size_t t = 0; t < num_tiles_; ++t) names_.push_back("n" + std::to_string(t));
+  } else {
+    NOCEAS_REQUIRE(tile_names.size() == num_tiles_, "tile name count mismatch");
+    names_ = std::move(tile_names);
+  }
+
+  // BFS from every destination over *incoming* arcs gives, for every source,
+  // the distance to the destination; next_hop(src) = the lowest-id neighbor
+  // strictly closer to the destination. Routes follow next hops, which makes
+  // them minimal, deterministic and consistent (a suffix of a route is the
+  // route of its suffix).
+  constexpr int kUnreached = std::numeric_limits<int>::max();
+  dist_.assign(num_tiles_ * num_tiles_, kUnreached);
+  for (std::size_t d = 0; d < num_tiles_; ++d) {
+    auto dist_to_d = [&](std::size_t s) -> int& { return dist_[s * num_tiles_ + d]; };
+    dist_to_d(d) = 0;
+    std::deque<std::size_t> frontier{d};
+    while (!frontier.empty()) {
+      const std::size_t cur = frontier.front();
+      frontier.pop_front();
+      // Incoming arcs of `cur` = outgoing arcs of neighbors (symmetric graph).
+      for (std::int32_t nb : adj[cur]) {
+        const auto n = static_cast<std::size_t>(nb);
+        if (dist_to_d(n) == kUnreached) {
+          dist_to_d(n) = dist_to_d(cur) + 1;
+          frontier.push_back(n);
+        }
+      }
+    }
+  }
+  for (std::size_t s = 0; s < num_tiles_; ++s) {
+    for (std::size_t d = 0; d < num_tiles_; ++d) {
+      NOCEAS_REQUIRE(dist_[s * num_tiles_ + d] != kUnreached,
+                     "topology is disconnected: no path " << s << " -> " << d);
+    }
+  }
+
+  routes_.resize(num_tiles_ * num_tiles_);
+  for (std::size_t s = 0; s < num_tiles_; ++s) {
+    for (std::size_t d = 0; d < num_tiles_; ++d) {
+      auto& route = routes_[s * num_tiles_ + d];
+      std::size_t cur = s;
+      while (cur != d) {
+        // Lowest-id neighbor strictly closer to d (adj is sorted).
+        bool stepped = false;
+        for (std::size_t j = 0; j < adj[cur].size(); ++j) {
+          const auto n = static_cast<std::size_t>(adj[cur][j]);
+          if (dist_[n * num_tiles_ + d] == dist_[cur * num_tiles_ + d] - 1) {
+            route.emplace_back(static_cast<std::size_t>(link_of[cur][j]));
+            cur = n;
+            stepped = true;
+            break;
+          }
+        }
+        NOCEAS_REQUIRE(stepped, "routing failed from " << s << " to " << d);
+      }
+    }
+  }
+}
+
+GraphTopology make_honeycomb(int rows, int cols) {
+  NOCEAS_REQUIRE(rows > 0 && cols > 0, "honeycomb dimensions must be positive");
+  const auto tiles = static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  auto id = [cols](int y, int x) { return y * cols + x; };
+
+  std::vector<std::pair<int, int>> edges;
+  std::vector<std::string> names(tiles);
+  for (int y = 0; y < rows; ++y) {
+    for (int x = 0; x < cols; ++x) {
+      std::ostringstream name;
+      name << '(' << y << ',' << x << ')';
+      names[static_cast<std::size_t>(id(y, x))] = name.str();
+      if (x + 1 < cols) edges.emplace_back(id(y, x), id(y, x + 1));
+      // Vertical links only on alternating positions: degree <= 3,
+      // hexagonal (brick-wall) cells.
+      if (y + 1 < rows && (x + y) % 2 == 0) edges.emplace_back(id(y, x), id(y + 1, x));
+    }
+  }
+  return GraphTopology(tiles, std::move(edges), std::move(names));
+}
+
+}  // namespace noceas

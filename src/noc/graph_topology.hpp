@@ -1,0 +1,65 @@
+// Arbitrary regular topologies beyond the 2-D mesh (paper future work).
+//
+// Sec. 7 of the paper: "if the honeycomb topology in [3] is used, then we
+// can still use Eq. (2) to calculate the E_bit metric for each sending and
+// receiving PE pair, although this metric may no longer be determined by
+// the Manhattan distance between them."  This module provides exactly that
+// generalization: a GraphTopology is any connected directed-link graph with
+// a *deterministic minimal* routing function (BFS next-hop tables with
+// lowest-id tie-breaking), so the schedule-table machinery of the core
+// library works unchanged and e(r_ij) follows Eq. 2 with the graph hop
+// count.  make_honeycomb() builds the degree-3 brick-wall embedding of the
+// hexagonal NoC of Hemani et al. ([3] in the paper).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/noc/topology.hpp"
+
+namespace noceas {
+
+/// A connected tile graph with precomputed deterministic minimal routes.
+class GraphTopology {
+ public:
+  /// `undirected_edges` lists adjacent tile pairs; each becomes two directed
+  /// links.  The graph must be connected.  `tile_names` may be empty (names
+  /// default to "nK").
+  GraphTopology(std::size_t num_tiles, std::vector<std::pair<int, int>> undirected_edges,
+                std::vector<std::string> tile_names = {});
+
+  [[nodiscard]] std::size_t num_tiles() const { return num_tiles_; }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id.index()); }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+
+  /// Deterministic minimal route (empty when src == dst).
+  [[nodiscard]] const std::vector<LinkId>& route(PeId src, PeId dst) const {
+    return routes_.at(src.index() * num_tiles_ + dst.index());
+  }
+
+  /// Graph (hop) distance between tiles.
+  [[nodiscard]] int distance(PeId a, PeId b) const {
+    return dist_.at(a.index() * num_tiles_ + b.index());
+  }
+
+  [[nodiscard]] const std::string& tile_name(PeId tile) const {
+    return names_.at(tile.index());
+  }
+
+ private:
+  std::size_t num_tiles_;
+  std::vector<Link> links_;
+  std::vector<std::string> names_;
+  std::vector<int> dist_;                    // num_tiles^2
+  std::vector<std::vector<LinkId>> routes_;  // num_tiles^2
+};
+
+/// Degree-3 honeycomb (brick-wall) topology with `rows` x `cols` tiles:
+/// every tile links to its East/West neighbors; vertical links exist where
+/// (x + y) is even, forming hexagonal cells.  Tile (y,x) is tile y*cols+x,
+/// named "(y,x)" like the mesh.
+[[nodiscard]] GraphTopology make_honeycomb(int rows, int cols);
+
+}  // namespace noceas

@@ -1,0 +1,97 @@
+#include "src/noc/platform.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace noceas {
+
+Platform::Platform(Mesh2D mesh, std::vector<PeDesc> pes, RoutingAlgorithm algo,
+                   EnergyParams energy, Bandwidth link_bandwidth, bool pipeline_guard)
+    : mesh_(std::move(mesh)),
+      pes_(std::move(pes)),
+      algo_(algo),
+      energy_(energy),
+      link_bandwidth_(link_bandwidth),
+      pipeline_guard_(pipeline_guard) {
+  num_pes_ = mesh_->num_tiles();
+  num_links_ = mesh_->num_links();
+  NOCEAS_REQUIRE(pes_.size() == num_pes_,
+                 pes_.size() << " PE descriptors for " << num_pes_ << " tiles");
+  NOCEAS_REQUIRE(link_bandwidth_ > 0.0, "link bandwidth must be positive");
+
+  tile_names_.reserve(num_pes_);
+  for (std::size_t t = 0; t < num_pes_; ++t) tile_names_.push_back(mesh_->tile_name(PeId{t}));
+
+  const std::size_t n = num_pes_;
+  routes_.resize(n * n);
+  hops_.resize(n * n);
+  bit_energy_.resize(n * n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      const PeId src{s}, dst{d};
+      const std::size_t idx = s * n + d;
+      routes_[idx] = compute_route(*mesh_, algo_, src, dst);
+      hops_[idx] = router_hops(*mesh_, src, dst);
+      bit_energy_[idx] = energy_.bit_energy(hops_[idx]);
+    }
+  }
+}
+
+Platform::Platform(const GraphTopology& topology, std::vector<PeDesc> pes, EnergyParams energy,
+                   Bandwidth link_bandwidth, bool pipeline_guard)
+    : pes_(std::move(pes)),
+      energy_(energy),
+      link_bandwidth_(link_bandwidth),
+      pipeline_guard_(pipeline_guard) {
+  num_pes_ = topology.num_tiles();
+  num_links_ = topology.num_links();
+  NOCEAS_REQUIRE(pes_.size() == num_pes_,
+                 pes_.size() << " PE descriptors for " << num_pes_ << " tiles");
+  NOCEAS_REQUIRE(link_bandwidth_ > 0.0, "link bandwidth must be positive");
+
+  tile_names_.reserve(num_pes_);
+  for (std::size_t t = 0; t < num_pes_; ++t) tile_names_.push_back(topology.tile_name(PeId{t}));
+
+  const std::size_t n = num_pes_;
+  routes_.resize(n * n);
+  hops_.resize(n * n);
+  bit_energy_.resize(n * n);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      const PeId src{s}, dst{d};
+      const std::size_t idx = s * n + d;
+      routes_[idx] = topology.route(src, dst);
+      // n_hops of Eq. 2 = routers passed = links + 1 for distinct tiles;
+      // with non-mesh topologies this is no longer the Manhattan distance,
+      // exactly the honeycomb caveat of the paper's Sec. 7.
+      hops_[idx] = s == d ? 0 : topology.distance(src, dst) + 1;
+      bit_energy_[idx] = energy_.bit_energy(hops_[idx]);
+    }
+  }
+}
+
+std::vector<PeId> Platform::all_pes() const {
+  std::vector<PeId> out;
+  out.reserve(num_pes());
+  for (std::size_t i = 0; i < num_pes(); ++i) out.emplace_back(i);
+  return out;
+}
+
+Platform make_mesh_platform(int rows, int cols, std::vector<std::string> pe_types,
+                            Bandwidth link_bandwidth, RoutingAlgorithm algo, EnergyParams energy,
+                            bool torus, bool pipeline_guard) {
+  Mesh2D mesh(rows, cols, torus);
+  NOCEAS_REQUIRE(pe_types.size() == mesh.num_tiles(),
+                 pe_types.size() << " PE types for " << mesh.num_tiles() << " tiles");
+  std::vector<PeDesc> pes;
+  pes.reserve(pe_types.size());
+  for (std::size_t t = 0; t < pe_types.size(); ++t) {
+    std::ostringstream name;
+    name << pe_types[t] << '@' << mesh.tile_name(PeId{t});
+    pes.push_back(PeDesc{name.str(), std::move(pe_types[t])});
+  }
+  return Platform(std::move(mesh), std::move(pes), algo, energy, link_bandwidth,
+                  pipeline_guard);
+}
+
+}  // namespace noceas

@@ -1,0 +1,133 @@
+// Architecture Characterization Graph (ACG) — Definition 2 of the paper.
+//
+// The Platform bundles the mesh topology, the deterministic routing
+// function, the energy model and the link bandwidth, and pre-computes for
+// every ordered PE pair (p_i, p_j):
+//   * the route r_ij (link sequence),
+//   * e(r_ij): average energy of sending one bit from p_i to p_j (Eq. 2),
+//   * b(r_ij): route bandwidth (uniform link bandwidth; wormhole routing
+//     pipelines flits so the route bandwidth equals the link bandwidth).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/noc/energy_model.hpp"
+#include "src/noc/graph_topology.hpp"
+#include "src/noc/routing.hpp"
+#include "src/noc/topology.hpp"
+#include "src/util/types.hpp"
+
+namespace noceas {
+
+/// Descriptive data of one PE (used for reporting; timing/energy of tasks on
+/// this PE live in the CTG's R_i/E_i arrays).
+struct PeDesc {
+  std::string name;  ///< e.g. "arm@(1,0)"
+  std::string type;  ///< e.g. "ARM", "DSP", "HPCPU"
+};
+
+/// The target NoC platform (ACG).
+class Platform {
+ public:
+  /// `pipeline_guard` extends every reservation by the route length so that
+  /// the wormhole pipeline-fill latency (one cycle per hop) is covered by
+  /// the schedule tables; the paper's model (default) reserves exactly the
+  /// serialization time volume/bandwidth.  See the sim_validation bench.
+  Platform(Mesh2D mesh, std::vector<PeDesc> pes, RoutingAlgorithm algo, EnergyParams energy,
+           Bandwidth link_bandwidth, bool pipeline_guard = false);
+
+  /// Generic-topology constructor (paper future work, Sec. 7): any
+  /// GraphTopology — e.g. the honeycomb of make_honeycomb() — with its
+  /// deterministic minimal routes; e(r_ij) still follows Eq. 2 using the
+  /// graph hop count.
+  Platform(const GraphTopology& topology, std::vector<PeDesc> pes, EnergyParams energy,
+           Bandwidth link_bandwidth, bool pipeline_guard = false);
+
+  /// The 2-D mesh this platform was built on; throws when the platform uses
+  /// a generic GraphTopology instead.
+  [[nodiscard]] const Mesh2D& mesh() const {
+    NOCEAS_REQUIRE(mesh_.has_value(), "platform was not built on a 2-D mesh");
+    return *mesh_;
+  }
+  [[nodiscard]] bool is_mesh() const { return mesh_.has_value(); }
+  [[nodiscard]] RoutingAlgorithm routing() const { return algo_; }
+  [[nodiscard]] const EnergyParams& energy() const { return energy_; }
+
+  [[nodiscard]] std::size_t num_pes() const { return num_pes_; }
+  [[nodiscard]] std::size_t num_links() const { return num_links_; }
+
+  /// Human-readable tile name, topology independent.
+  [[nodiscard]] const std::string& tile_name(PeId id) const {
+    return tile_names_.at(id.index());
+  }
+  [[nodiscard]] const PeDesc& pe(PeId id) const { return pes_.at(id.index()); }
+
+  /// Pre-computed route from src to dst (empty when src == dst).
+  [[nodiscard]] const std::vector<LinkId>& route(PeId src, PeId dst) const {
+    return routes_.at(route_index(src, dst));
+  }
+
+  /// n_hops of Eq. 2 (routers passed; 0 when src == dst).
+  [[nodiscard]] int hops(PeId src, PeId dst) const { return hops_.at(route_index(src, dst)); }
+
+  /// e(r_ij): energy of one bit from src to dst, nJ.
+  [[nodiscard]] Energy bit_energy(PeId src, PeId dst) const {
+    return bit_energy_.at(route_index(src, dst));
+  }
+
+  /// Energy of a whole transaction.
+  [[nodiscard]] Energy transfer_energy(Volume volume, PeId src, PeId dst) const {
+    return static_cast<double>(volume) * bit_energy(src, dst);
+  }
+
+  /// b(r_ij): bandwidth of any route, bits per time unit (uniform links).
+  [[nodiscard]] Bandwidth route_bandwidth() const { return link_bandwidth_; }
+
+  /// Latency of a transaction on the schedule tables: the route is reserved
+  /// for ceil(volume / bandwidth) time units (0 for same-tile / control),
+  /// plus the route length when the pipeline guard is enabled.
+  [[nodiscard]] Duration transfer_time(Volume volume, PeId src, PeId dst) const {
+    if (src == dst) return 0;
+    Duration d = transfer_duration(volume, link_bandwidth_);
+    if (pipeline_guard_ && d > 0) d += static_cast<Duration>(route(src, dst).size());
+    return d;
+  }
+
+  [[nodiscard]] bool pipeline_guard() const { return pipeline_guard_; }
+
+  /// All PEs, densely.
+  [[nodiscard]] std::vector<PeId> all_pes() const;
+
+ private:
+  [[nodiscard]] std::size_t route_index(PeId src, PeId dst) const {
+    NOCEAS_REQUIRE(src.valid() && src.index() < num_pes(), "src PE out of range");
+    NOCEAS_REQUIRE(dst.valid() && dst.index() < num_pes(), "dst PE out of range");
+    return src.index() * num_pes() + dst.index();
+  }
+
+  std::optional<Mesh2D> mesh_;
+  std::size_t num_pes_ = 0;
+  std::size_t num_links_ = 0;
+  std::vector<std::string> tile_names_;
+  std::vector<PeDesc> pes_;
+  RoutingAlgorithm algo_ = RoutingAlgorithm::XY;
+  EnergyParams energy_;
+  Bandwidth link_bandwidth_;
+  bool pipeline_guard_ = false;
+  std::vector<std::vector<LinkId>> routes_;
+  std::vector<int> hops_;
+  std::vector<Energy> bit_energy_;
+};
+
+/// Convenience builder: rows x cols mesh with PEs named after the supplied
+/// type labels (`pe_types` must have rows*cols entries; tile t gets
+/// pe_types[t]).  XY routing, default energy constants.
+[[nodiscard]] Platform make_mesh_platform(int rows, int cols, std::vector<std::string> pe_types,
+                                          Bandwidth link_bandwidth = 32.0,
+                                          RoutingAlgorithm algo = RoutingAlgorithm::XY,
+                                          EnergyParams energy = {}, bool torus = false,
+                                          bool pipeline_guard = false);
+
+}  // namespace noceas

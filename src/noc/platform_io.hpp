@@ -1,0 +1,30 @@
+// Plain-text (de)serialization of mesh platform specifications.
+//
+// Format ('#' starts comments):
+//
+//   platform <rows> <cols> <bandwidth> <XY|YX> <torus 0|1> <guard 0|1>
+//            <e_sbit> <e_lbit> <e_bbit>
+//   tiles <type_0> ... <type_{rows*cols-1}>
+//
+// This captures everything make_mesh_platform() needs, so a scheduling
+// problem (CTG file + platform file) can be shipped as two text files and
+// replayed with the CLI tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+
+/// Writes a mesh platform spec; throws when `p` is not mesh-based.
+void write_platform(std::ostream& os, const Platform& p);
+
+/// Parses a platform spec; throws noceas::Error on malformed input.
+[[nodiscard]] Platform read_platform(std::istream& is);
+
+[[nodiscard]] std::string platform_to_string(const Platform& p);
+[[nodiscard]] Platform platform_from_string(const std::string& text);
+
+}  // namespace noceas

@@ -1,0 +1,86 @@
+#include "src/noc/routing.hpp"
+
+#include <cstdlib>
+
+namespace noceas {
+
+const char* to_string(RoutingAlgorithm algo) {
+  switch (algo) {
+    case RoutingAlgorithm::XY: return "XY";
+    case RoutingAlgorithm::YX: return "YX";
+  }
+  return "?";
+}
+
+namespace {
+
+// Direction to move along X to go from cx to tx (wrap-aware), plus #steps.
+struct AxisMove {
+  Dir dir;
+  int steps;
+};
+
+AxisMove x_move(const Mesh2D& mesh, int cx, int tx) {
+  const int cols = mesh.cols();
+  int direct = tx - cx;
+  if (!mesh.wraparound()) return {direct >= 0 ? Dir::East : Dir::West, std::abs(direct)};
+  // Torus: pick the shorter way, ties towards East.
+  int east = (direct % cols + cols) % cols;
+  int west = cols - east;
+  if (east == 0) return {Dir::East, 0};
+  return east <= west ? AxisMove{Dir::East, east} : AxisMove{Dir::West, west};
+}
+
+AxisMove y_move(const Mesh2D& mesh, int cy, int ty) {
+  const int rows = mesh.rows();
+  int direct = ty - cy;
+  if (!mesh.wraparound()) return {direct >= 0 ? Dir::North : Dir::South, std::abs(direct)};
+  int north = (direct % rows + rows) % rows;
+  int south = rows - north;
+  if (north == 0) return {Dir::North, 0};
+  return north <= south ? AxisMove{Dir::North, north} : AxisMove{Dir::South, south};
+}
+
+// Walks `steps` links in direction `dir`, appending to `route`.
+PeId walk(const Mesh2D& mesh, PeId from, Dir dir, int steps, std::vector<LinkId>& route) {
+  PeId cur = from;
+  for (int i = 0; i < steps; ++i) {
+    const LinkId l = mesh.link_from(cur, dir);
+    route.push_back(l);
+    cur = mesh.link(l).to;
+  }
+  return cur;
+}
+
+}  // namespace
+
+std::vector<LinkId> compute_route(const Mesh2D& mesh, RoutingAlgorithm algo, PeId src, PeId dst) {
+  NOCEAS_REQUIRE(src.valid() && src.index() < mesh.num_tiles(), "route source out of range");
+  NOCEAS_REQUIRE(dst.valid() && dst.index() < mesh.num_tiles(), "route target out of range");
+  std::vector<LinkId> route;
+  if (src == dst) return route;
+
+  const Coord cs = mesh.coord_of(src);
+  const Coord cd = mesh.coord_of(dst);
+  const AxisMove mx = x_move(mesh, cs.x, cd.x);
+  const AxisMove my = y_move(mesh, cs.y, cd.y);
+  route.reserve(static_cast<std::size_t>(mx.steps + my.steps));
+
+  PeId cur = src;
+  if (algo == RoutingAlgorithm::XY) {
+    cur = walk(mesh, cur, mx.dir, mx.steps, route);
+    cur = walk(mesh, cur, my.dir, my.steps, route);
+  } else {
+    cur = walk(mesh, cur, my.dir, my.steps, route);
+    cur = walk(mesh, cur, mx.dir, mx.steps, route);
+  }
+  NOCEAS_REQUIRE(cur == dst, "routing did not reach destination");
+  return route;
+}
+
+int router_hops(const Mesh2D& mesh, PeId src, PeId dst) {
+  if (src == dst) return 0;
+  return mesh.distance(src, dst) + 1;
+}
+
+}  // namespace noceas

@@ -1,0 +1,35 @@
+// Deterministic routing (Sec. 3.1: "the XY routing scheme is used ... with
+// small modifications, the algorithm can be applied to applications with
+// other deterministic routing algorithms").
+//
+// A route is the ordered list of directed links a packet traverses from the
+// source tile's router to the destination tile's router.  We provide XY
+// (dimension order, X first), YX, and torus-aware shortest dimension-order
+// routing; all are minimal and deterministic, which is what the schedule
+// tables of the EAS algorithm require.
+#pragma once
+
+#include <vector>
+
+#include "src/noc/topology.hpp"
+
+namespace noceas {
+
+enum class RoutingAlgorithm {
+  XY,  ///< X (columns) first, then Y — the paper's default
+  YX,  ///< Y first, then X — extension
+};
+
+[[nodiscard]] const char* to_string(RoutingAlgorithm algo);
+
+/// Computes the (possibly empty, when src == dst) link sequence from `src`
+/// to `dst`.  On a torus each dimension independently takes the shorter
+/// wrap-around direction (ties broken towards East/North).
+[[nodiscard]] std::vector<LinkId> compute_route(const Mesh2D& mesh, RoutingAlgorithm algo,
+                                                PeId src, PeId dst);
+
+/// Number of routers a bit passes from src to dst (n_hops of Eq. 2):
+/// links + 1 for distinct tiles, 0 for src == dst (no network traversal).
+[[nodiscard]] int router_hops(const Mesh2D& mesh, PeId src, PeId dst);
+
+}  // namespace noceas

@@ -1,0 +1,93 @@
+#include "src/noc/topology.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace noceas {
+
+const char* to_string(Dir d) {
+  switch (d) {
+    case Dir::East: return "E";
+    case Dir::West: return "W";
+    case Dir::North: return "N";
+    case Dir::South: return "S";
+  }
+  return "?";
+}
+
+Mesh2D::Mesh2D(int rows, int cols, bool wraparound)
+    : rows_(rows), cols_(cols), wrap_(wraparound) {
+  NOCEAS_REQUIRE(rows_ > 0 && cols_ > 0, "mesh dimensions must be positive: " << rows_ << 'x'
+                                                                              << cols_);
+  link_from_.assign(num_tiles(), {-1, -1, -1, -1});
+  for (std::size_t t = 0; t < num_tiles(); ++t) {
+    const PeId tile{t};
+    for (Dir d : kAllDirs) {
+      const auto nb = neighbor(tile, d);
+      if (!nb) continue;
+      link_from_[t][static_cast<std::size_t>(d)] = static_cast<std::int32_t>(links_.size());
+      links_.push_back(Link{tile, *nb, d});
+    }
+  }
+}
+
+PeId Mesh2D::tile_at(Coord c) const {
+  NOCEAS_REQUIRE(c.x >= 0 && c.x < cols_ && c.y >= 0 && c.y < rows_,
+                 "coordinate (" << c.y << ',' << c.x << ") outside " << rows_ << 'x' << cols_);
+  return PeId{static_cast<std::int32_t>(c.y * cols_ + c.x)};
+}
+
+Coord Mesh2D::coord_of(PeId tile) const {
+  NOCEAS_REQUIRE(tile.valid() && tile.index() < num_tiles(), "tile id out of range");
+  const int idx = tile.value;
+  return Coord{idx % cols_, idx / cols_};
+}
+
+std::optional<PeId> Mesh2D::neighbor(PeId tile, Dir d) const {
+  Coord c = coord_of(tile);
+  switch (d) {
+    case Dir::East: c.x += 1; break;
+    case Dir::West: c.x -= 1; break;
+    case Dir::North: c.y += 1; break;
+    case Dir::South: c.y -= 1; break;
+  }
+  if (wrap_) {
+    c.x = (c.x + cols_) % cols_;
+    c.y = (c.y + rows_) % rows_;
+    if (coord_of(tile) == c) return std::nullopt;  // 1-wide dimension: no self link
+    return tile_at(c);
+  }
+  if (c.x < 0 || c.x >= cols_ || c.y < 0 || c.y >= rows_) return std::nullopt;
+  return tile_at(c);
+}
+
+LinkId Mesh2D::link_from(PeId tile, Dir d) const {
+  NOCEAS_REQUIRE(tile.valid() && tile.index() < num_tiles(), "tile id out of range");
+  const std::int32_t idx = link_from_[tile.index()][static_cast<std::size_t>(d)];
+  NOCEAS_REQUIRE(idx >= 0, "no link leaving tile " << tile_name(tile) << " towards "
+                                                   << to_string(d));
+  return LinkId{idx};
+}
+
+namespace {
+int axis_distance(int a, int b, int extent, bool wrap) {
+  const int direct = std::abs(a - b);
+  if (!wrap) return direct;
+  return std::min(direct, extent - direct);
+}
+}  // namespace
+
+int Mesh2D::distance(PeId a, PeId b) const {
+  const Coord ca = coord_of(a);
+  const Coord cb = coord_of(b);
+  return axis_distance(ca.x, cb.x, cols_, wrap_) + axis_distance(ca.y, cb.y, rows_, wrap_);
+}
+
+std::string Mesh2D::tile_name(PeId tile) const {
+  const Coord c = coord_of(tile);
+  std::ostringstream os;
+  os << '(' << c.y << ',' << c.x << ')';
+  return os.str();
+}
+
+}  // namespace noceas

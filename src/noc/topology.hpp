@@ -1,0 +1,85 @@
+// Tile-based NoC topology (Sec. 3.1 of the paper).
+//
+// The chip is an n x m grid of tiles, each holding one PE and one router,
+// interconnected by a 2-D mesh of directed links.  The paper's future-work
+// section mentions other regular topologies; we additionally support the
+// wrap-around (torus) variant, selectable at construction.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/ids.hpp"
+
+namespace noceas {
+
+/// Tile coordinate; x is the column, y the row (tile (y=0,x=0) bottom-left,
+/// matching the paper's Fig. 1 labeling (row, column)).
+struct Coord {
+  int x = 0;
+  int y = 0;
+  friend constexpr bool operator==(Coord, Coord) = default;
+};
+
+/// Direction of a link leaving a tile.
+enum class Dir : std::uint8_t { East = 0, West = 1, North = 2, South = 3 };
+
+inline constexpr std::array<Dir, 4> kAllDirs{Dir::East, Dir::West, Dir::North, Dir::South};
+
+[[nodiscard]] const char* to_string(Dir d);
+
+/// One directed physical link between the routers of two adjacent tiles.
+struct Link {
+  PeId from;
+  PeId to;
+  Dir dir = Dir::East;  ///< direction as seen from `from`
+};
+
+/// 2-D mesh (or torus) of tiles.  Tiles are densely numbered row-major:
+/// PeId = y * cols + x.
+class Mesh2D {
+ public:
+  /// `wraparound` turns the mesh into a torus (paper future work).
+  Mesh2D(int rows, int cols, bool wraparound = false);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] bool wraparound() const { return wrap_; }
+  [[nodiscard]] std::size_t num_tiles() const {
+    return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  }
+
+  [[nodiscard]] PeId tile_at(Coord c) const;
+  [[nodiscard]] Coord coord_of(PeId tile) const;
+
+  /// Neighbor tile in direction d; nullopt at mesh boundaries (never for a
+  /// torus with >1 tile in that dimension).
+  [[nodiscard]] std::optional<PeId> neighbor(PeId tile, Dir d) const;
+
+  /// All directed links, densely numbered; LinkId is an index here.
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id.index()); }
+
+  /// LinkId of the link leaving `tile` in direction `d`; requires existence.
+  [[nodiscard]] LinkId link_from(PeId tile, Dir d) const;
+
+  /// Hop distance between tiles: number of links on a minimal route
+  /// (Manhattan distance for a mesh; wrap-aware for a torus).
+  [[nodiscard]] int distance(PeId a, PeId b) const;
+
+  /// Human-readable tile name, e.g. "(2,3)" as in the paper's Fig. 1.
+  [[nodiscard]] std::string tile_name(PeId tile) const;
+
+ private:
+  int rows_;
+  int cols_;
+  bool wrap_;
+  std::vector<Link> links_;
+  std::vector<std::array<std::int32_t, 4>> link_from_;  // [tile][dir] -> link index or -1
+};
+
+}  // namespace noceas

@@ -1,0 +1,121 @@
+#include "src/opt/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/timing.hpp"
+#include "src/util/rng.hpp"
+
+namespace noceas {
+
+namespace {
+
+/// Scalar cost: energy plus heavy penalties for deadline violations.
+double cost_of(const EnergyBreakdown& energy, const MissReport& misses, double miss_penalty,
+               double tardiness_weight) {
+  return energy.total() + miss_penalty * static_cast<double>(misses.miss_count) +
+         tardiness_weight * static_cast<double>(misses.total_tardiness);
+}
+
+/// Mutates `plan` with one random move; returns false when the move is a
+/// no-op (caller redraws).
+bool random_move(OrderedPlan& plan, const TaskGraph& g, const Platform& p, Rng& rng) {
+  const auto n = static_cast<std::int64_t>(g.num_tasks());
+  if (rng.chance(0.5)) {
+    // Migration: random task to a random other PE, inserted by priority.
+    const TaskId t{static_cast<std::size_t>(rng.uniform_int(0, n - 1))};
+    const PeId from = plan.assignment[t.index()];
+    const PeId to{static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(p.num_pes()) - 1))};
+    if (to == from) return false;
+    auto& src = plan.pe_order[from.index()];
+    src.erase(std::find(src.begin(), src.end(), t));
+    plan.assignment[t.index()] = to;
+    auto& dst = plan.pe_order[to.index()];
+    const Time prio = plan.priority[t.index()];
+    auto it = std::find_if(dst.begin(), dst.end(), [&](TaskId other) {
+      return plan.priority[other.index()] >= prio;
+    });
+    dst.insert(it, t);
+    return true;
+  }
+  // Order swap of two adjacent-ish tasks on a random non-trivial PE.
+  const PeId pe{static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(p.num_pes()) - 1))};
+  auto& order = plan.pe_order[pe.index()];
+  if (order.size() < 2) return false;
+  const auto i = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(order.size()) - 2));
+  std::swap(order[i], order[i + 1]);
+  return true;
+}
+
+}  // namespace
+
+AnnealResult anneal_schedule(const TaskGraph& g, const Platform& p,
+                             const Schedule& seed_schedule, const AnnealOptions& options) {
+  NOCEAS_REQUIRE(seed_schedule.complete(), "anneal_schedule needs a complete seed");
+  NOCEAS_REQUIRE(options.evaluations >= 0, "negative evaluation budget");
+  NOCEAS_REQUIRE(options.cooling > 0.0 && options.cooling < 1.0, "cooling must be in (0,1)");
+
+  Rng rng(options.seed ^ 0xa22ea1ull);
+
+  AnnealResult result;
+  result.initial_energy = compute_energy(g, p, seed_schedule).total();
+  const double miss_penalty = options.miss_penalty * result.initial_energy;
+  const double tardiness_weight = miss_penalty / 1000.0;
+
+  OrderedPlan current = plan_from_schedule(seed_schedule, p.num_pes());
+  Schedule current_schedule = seed_schedule;
+  double current_cost = cost_of(compute_energy(g, p, seed_schedule),
+                                deadline_misses(g, seed_schedule), miss_penalty,
+                                tardiness_weight);
+
+  // Best-so-far under the strict (misses, tardiness, energy) ordering.
+  Schedule best_schedule = seed_schedule;
+  MissReport best_misses = deadline_misses(g, seed_schedule);
+  Energy best_energy = result.initial_energy;
+
+  double temperature = options.initial_temp * result.initial_energy;
+
+  for (int eval = 0; eval < options.evaluations; ++eval) {
+    OrderedPlan candidate = current;
+    if (!random_move(candidate, g, p, rng)) continue;
+    ++result.evaluations;
+
+    const auto rebuilt = rebuild_timing(g, p, candidate);
+    if (!rebuilt) continue;  // cyclic order: reject
+    const EnergyBreakdown energy = compute_energy(g, p, *rebuilt);
+    const MissReport misses = deadline_misses(g, *rebuilt);
+    const double cost = cost_of(energy, misses, miss_penalty, tardiness_weight);
+
+    const double delta = cost - current_cost;
+    const bool accept =
+        delta <= 0.0 || (temperature > 0.0 && rng.uniform01() < std::exp(-delta / temperature));
+    if (accept) {
+      current = std::move(candidate);
+      for (std::size_t i = 0; i < current.priority.size(); ++i) {
+        current.priority[i] = rebuilt->tasks[i].start;
+      }
+      current_schedule = *rebuilt;
+      current_cost = cost;
+      ++result.accepted_moves;
+
+      const bool better = misses.better_than(best_misses) ||
+                          (!best_misses.better_than(misses) && energy.total() < best_energy);
+      if (better) {
+        best_schedule = current_schedule;
+        best_misses = misses;
+        best_energy = energy.total();
+      }
+    }
+    temperature *= options.cooling;
+  }
+
+  result.schedule = std::move(best_schedule);
+  result.final_energy = best_energy;
+  result.final_misses = best_misses.miss_count;
+  return result;
+}
+
+}  // namespace noceas

@@ -1,0 +1,36 @@
+// Error handling helpers.
+//
+// All precondition violations in the library throw noceas::Error; callers
+// that feed the library well-formed inputs never pay for checks that fail.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace noceas {
+
+/// Exception thrown on invalid inputs or broken invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed (" << expr << ')';
+  if (!msg.empty()) os << ": " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace noceas
+
+/// Throws noceas::Error when `cond` does not hold.
+#define NOCEAS_REQUIRE(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) ::noceas::detail::throw_error(#cond, __FILE__, __LINE__,  \
+                                               (std::ostringstream{} << msg).str()); \
+  } while (false)

@@ -1,0 +1,47 @@
+// Strongly-typed integer identifiers.
+//
+// Tasks, communication edges, processing elements and links are all densely
+// indexed; wrapping the index in a tagged struct prevents mixing them up
+// (e.g. passing a TaskId where a PeId is expected) at zero runtime cost.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace noceas {
+
+template <class Tag>
+struct StrongId {
+  using underlying = std::int32_t;
+
+  underlying value = -1;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying v) : value(v) {}
+  constexpr explicit StrongId(std::size_t v) : value(static_cast<underlying>(v)) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+  [[nodiscard]] constexpr std::size_t index() const { return static_cast<std::size_t>(value); }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+
+/// Vertex of the Communication Task Graph (a computational module).
+using TaskId = StrongId<struct TaskTag>;
+/// Directed arc of the CTG (a communication transaction / control dependency).
+using EdgeId = StrongId<struct EdgeTag>;
+/// Processing element (one tile of the NoC).
+using PeId = StrongId<struct PeTag>;
+/// Directed physical link between two adjacent routers.
+using LinkId = StrongId<struct LinkTag>;
+
+}  // namespace noceas
+
+template <class Tag>
+struct std::hash<noceas::StrongId<Tag>> {
+  std::size_t operator()(noceas::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,41 @@
+// Half-open time interval [start, end).
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <ostream>
+
+#include "src/util/types.hpp"
+
+namespace noceas {
+
+/// Half-open occupancy interval [start, end) on some shared resource
+/// (a PE or a physical link schedule table).
+struct Interval {
+  Time start = 0;
+  Time end = 0;
+
+  [[nodiscard]] constexpr Duration length() const { return end - start; }
+  [[nodiscard]] constexpr bool empty() const { return end <= start; }
+
+  /// True when the two half-open intervals share at least one time unit.
+  [[nodiscard]] constexpr bool overlaps(const Interval& o) const {
+    return start < o.end && o.start < end;
+  }
+
+  /// True when `t` lies inside [start, end).
+  [[nodiscard]] constexpr bool contains(Time t) const { return t >= start && t < end; }
+
+  /// True when `o` lies fully inside this interval.
+  [[nodiscard]] constexpr bool contains(const Interval& o) const {
+    return o.start >= start && o.end <= end;
+  }
+
+  friend constexpr auto operator<=>(const Interval&, const Interval&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << '[' << iv.start << ',' << iv.end << ')';
+}
+
+}  // namespace noceas

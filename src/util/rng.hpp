@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in this repository is seeded, so results are exactly
+// reproducible run-to-run and machine-to-machine.  We use xoshiro256**
+// seeded through SplitMix64 (the reference seeding procedure) instead of
+// std::mt19937 because its stream is specified independently of the standard
+// library implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace noceas {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Log-uniform double in [lo, hi); lo must be > 0.
+  double log_uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// the (non-negative) weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Fork a statistically independent child generator (for per-benchmark
+  /// sub-streams that stay stable when other draws are added).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace noceas

@@ -1,0 +1,60 @@
+// Streaming and batch descriptive statistics.
+//
+// The EAS slack-budgeting step (Sec. 5, Step 1 of the paper) is built on the
+// per-task variance of execution time and energy across the heterogeneous
+// PEs; RunningStats provides a numerically stable (Welford) implementation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace noceas {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divide by n), as used for the paper's VAR metrics.
+  [[nodiscard]] double variance() const { return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0; }
+  /// Sample variance (divide by n-1).
+  [[nodiscard]] double sample_variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sequence.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< population variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Geometric mean of strictly positive values (0 if empty).
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+
+/// Percentile (linear interpolation), p in [0, 100].
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+}  // namespace noceas

@@ -1,0 +1,41 @@
+// Tabular output helpers used by the benchmark/experiment binaries.
+//
+// Every bench prints its result both as an aligned ASCII table (for humans)
+// and as CSV (for plotting), mirroring the tables and figures of the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace noceas {
+
+/// Column-aligned text table with an optional title.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimals, trimming zeros.
+[[nodiscard]] std::string format_double(double x, int digits = 3);
+
+/// Formats a ratio as a percentage string, e.g. 0.443 -> "44.3%".
+[[nodiscard]] std::string format_percent(double ratio, int digits = 1);
+
+}  // namespace noceas

@@ -1,0 +1,42 @@
+// Fundamental scalar types shared across the noceas library.
+//
+// The paper (Hu & Marculescu, DATE 2004) expresses task execution times and
+// deadlines in abstract "time units" and energy in nano-joules.  We keep time
+// integral so that schedule-table arithmetic is exact, and energy floating
+// point since it is only ever accumulated and compared.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace noceas {
+
+/// Discrete time point, in abstract time units (e.g. cycles).
+using Time = std::int64_t;
+/// Length of a time interval, same unit as Time.
+using Duration = std::int64_t;
+/// Communication volume, in bits (v(c_ij) in the paper).
+using Volume = std::int64_t;
+/// Energy, in nano-joules.
+using Energy = double;
+/// Link bandwidth, in bits per time unit (b(r_ij) in the paper).
+using Bandwidth = double;
+
+/// Sentinel for "no deadline specified"; the paper takes d(t_i) = infinity.
+inline constexpr Time kNoDeadline = std::numeric_limits<Time>::max();
+
+/// Sentinel for "not yet scheduled / unknown time".
+inline constexpr Time kUnsetTime = std::numeric_limits<Time>::min();
+
+/// Duration of transferring `volume` bits over a route of bandwidth `bw`,
+/// rounded up to whole time units.  Zero-volume (control) dependencies and
+/// same-tile transfers take zero time.
+[[nodiscard]] constexpr Duration transfer_duration(Volume volume, Bandwidth bw) {
+  if (volume <= 0) return 0;
+  const double ticks = static_cast<double>(volume) / bw;
+  auto whole = static_cast<Duration>(ticks);
+  if (static_cast<double>(whole) < ticks) ++whole;
+  return whole;
+}
+
+}  // namespace noceas

@@ -1,0 +1,159 @@
+#include "src/viz/gantt_svg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace noceas {
+
+namespace {
+
+/// Muted qualitative palette; tasks are colored by id hash so related runs
+/// stay visually stable.
+const char* kPalette[] = {"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+                          "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"};
+
+std::string escape_xml(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_gantt_svg(std::ostream& os, const TaskGraph& g, const Platform& p, const Schedule& s,
+                     const GanttSvgOptions& options) {
+  NOCEAS_REQUIRE(s.complete(), "gantt of incomplete schedule");
+  NOCEAS_REQUIRE(options.width_px > 100 && options.row_height_px > 8, "implausible dimensions");
+
+  const Time span = std::max<Time>(1, makespan(s));
+  const int label_w = 150;
+  const int axis_h = 24;
+  const int title_h = options.title.empty() ? 0 : 28;
+  const double px_per_tick = static_cast<double>(options.width_px) / static_cast<double>(span);
+
+  // Lanes: every PE, then every link that carries at least one transaction.
+  struct Lane {
+    std::string label;
+    bool is_pe;
+    std::size_t index;  // PeId or LinkId
+  };
+  std::vector<Lane> lanes;
+  for (PeId pe : p.all_pes()) lanes.push_back({p.pe(pe).name, true, pe.index()});
+
+  std::map<std::size_t, std::vector<EdgeId>> link_traffic;
+  if (options.show_links) {
+    for (EdgeId e : g.all_edges()) {
+      const CommPlacement& cp = s.at(e);
+      if (!cp.uses_network()) continue;
+      for (LinkId l : p.route(cp.src_pe, cp.dst_pe)) link_traffic[l.index()].push_back(e);
+    }
+    for (const auto& [link, _] : link_traffic) {
+      std::ostringstream label;
+      const Link& lk = p.is_mesh() ? p.mesh().link(LinkId{link}) : Link{};
+      if (p.is_mesh()) {
+        label << "link " << p.tile_name(lk.from) << "->" << p.tile_name(lk.to);
+      } else {
+        label << "link #" << link;
+      }
+      lanes.push_back({label.str(), false, link});
+    }
+  }
+
+  const int height = title_h + axis_h + static_cast<int>(lanes.size()) * options.row_height_px + 10;
+  const int width = label_w + options.width_px + 20;
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width << "\" height=\"" << height
+     << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    os << "<text x=\"10\" y=\"18\" font-size=\"15\" font-weight=\"bold\">"
+       << escape_xml(options.title) << "</text>\n";
+  }
+
+  auto x_of = [&](Time t) { return label_w + static_cast<double>(t) * px_per_tick; };
+  auto y_of = [&](std::size_t lane) {
+    return title_h + axis_h + static_cast<int>(lane) * options.row_height_px;
+  };
+
+  // Time axis with ~10 ticks.
+  const Time tick = std::max<Time>(1, span / 10);
+  for (Time t = 0; t <= span; t += tick) {
+    os << "<line x1=\"" << x_of(t) << "\" y1=\"" << title_h + axis_h << "\" x2=\"" << x_of(t)
+       << "\" y2=\"" << height - 10 << "\" stroke=\"#e0e0e0\"/>\n";
+    os << "<text x=\"" << x_of(t) << "\" y=\"" << title_h + 16 << "\" text-anchor=\"middle\">"
+       << t << "</text>\n";
+  }
+
+  // Lane labels and separators.
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    os << "<text x=\"4\" y=\"" << y_of(i) + options.row_height_px * 2 / 3 << "\">"
+       << escape_xml(lanes[i].label) << "</text>\n";
+    os << "<line x1=\"0\" y1=\"" << y_of(i) << "\" x2=\"" << width << "\" y2=\"" << y_of(i)
+       << "\" stroke=\"#f0f0f0\"/>\n";
+  }
+
+  // Task boxes on PE lanes.
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (!lanes[i].is_pe) continue;
+    for (TaskId t : g.all_tasks()) {
+      const TaskPlacement& tp = s.at(t);
+      if (tp.pe.index() != lanes[i].index) continue;
+      const char* fill = kPalette[t.index() % (sizeof(kPalette) / sizeof(kPalette[0]))];
+      os << "<rect x=\"" << x_of(tp.start) << "\" y=\"" << y_of(i) + 2 << "\" width=\""
+         << std::max(1.0, static_cast<double>(tp.finish - tp.start) * px_per_tick)
+         << "\" height=\"" << options.row_height_px - 4 << "\" fill=\"" << fill
+         << "\" stroke=\"#333\" stroke-width=\"0.5\"><title>" << escape_xml(g.task(t).name)
+         << " [" << tp.start << ", " << tp.finish << ")</title></rect>\n";
+      if ((tp.finish - tp.start) * px_per_tick > 40) {
+        os << "<text x=\"" << x_of(tp.start) + 3 << "\" y=\""
+           << y_of(i) + options.row_height_px * 2 / 3 << "\" fill=\"white\">"
+           << escape_xml(g.task(t).name) << "</text>\n";
+      }
+      if (options.show_deadlines && g.task(t).has_deadline()) {
+        os << "<line x1=\"" << x_of(g.task(t).deadline) << "\" y1=\"" << y_of(i) << "\" x2=\""
+           << x_of(g.task(t).deadline) << "\" y2=\"" << y_of(i) + options.row_height_px
+           << "\" stroke=\"red\" stroke-width=\"1.5\"><title>deadline "
+           << escape_xml(g.task(t).name) << "</title></line>\n";
+      }
+    }
+  }
+
+  // Transaction boxes on link lanes.
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (lanes[i].is_pe) continue;
+    for (EdgeId e : link_traffic[lanes[i].index]) {
+      const CommPlacement& cp = s.at(e);
+      const CommEdge& edge = g.edge(e);
+      const char* fill =
+          kPalette[edge.src.index() % (sizeof(kPalette) / sizeof(kPalette[0]))];
+      os << "<rect x=\"" << x_of(cp.start) << "\" y=\"" << y_of(i) + 5 << "\" width=\""
+         << std::max(1.0, static_cast<double>(cp.duration) * px_per_tick) << "\" height=\""
+         << options.row_height_px - 10 << "\" fill=\"" << fill
+         << "\" fill-opacity=\"0.6\" stroke=\"#555\" stroke-width=\"0.5\"><title>"
+         << escape_xml(g.task(edge.src).name) << " -&gt; " << escape_xml(g.task(edge.dst).name)
+         << " (" << edge.volume << " bits)</title></rect>\n";
+    }
+  }
+
+  os << "</svg>\n";
+}
+
+std::string gantt_svg(const TaskGraph& g, const Platform& p, const Schedule& s,
+                      const GanttSvgOptions& options) {
+  std::ostringstream os;
+  write_gantt_svg(os, g, p, s, options);
+  return os.str();
+}
+
+}  // namespace noceas

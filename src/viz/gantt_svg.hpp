@@ -1,0 +1,35 @@
+// SVG rendering of static schedules.
+//
+// Produces a self-contained SVG with one swim-lane per PE (task boxes) and
+// one per physical link that carries traffic (transaction boxes), plus
+// deadline markers — the visual equivalent of the "Schedule Tables" sketch
+// in Fig. 1 of the paper.  Pure string generation, no external deps.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/schedule.hpp"
+#include "src/ctg/task_graph.hpp"
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+
+/// Rendering knobs.
+struct GanttSvgOptions {
+  int width_px = 1200;        ///< drawing width of the time axis
+  int row_height_px = 22;     ///< height of one swim lane
+  bool show_links = true;     ///< include link lanes for network transactions
+  bool show_deadlines = true; ///< red markers at task deadlines
+  std::string title;          ///< optional heading
+};
+
+/// Writes the SVG document for schedule `s` to `os`.
+void write_gantt_svg(std::ostream& os, const TaskGraph& g, const Platform& p, const Schedule& s,
+                     const GanttSvgOptions& options = {});
+
+/// Convenience: render into a string.
+[[nodiscard]] std::string gantt_svg(const TaskGraph& g, const Platform& p, const Schedule& s,
+                                    const GanttSvgOptions& options = {});
+
+}  // namespace noceas

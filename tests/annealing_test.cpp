@@ -1,0 +1,100 @@
+// Unit + property tests for the simulated-annealing upper baseline.
+#include <gtest/gtest.h>
+
+#include "src/core/eas.hpp"
+#include "src/core/validator.hpp"
+#include "src/gen/tgff.hpp"
+#include "src/opt/annealing.hpp"
+
+namespace noceas {
+namespace {
+
+TEST(Anneal, ZeroBudgetReturnsSeed) {
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 10}, {100.0, 5.0, 5.0, 5.0});
+  Schedule s(1, 0);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  AnnealOptions options;
+  options.evaluations = 0;
+  const AnnealResult r = anneal_schedule(g, p, s, options);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{0});
+  EXPECT_DOUBLE_EQ(r.final_energy, r.initial_energy);
+}
+
+TEST(Anneal, FindsCheaperPeForSingleTask) {
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 10}, {100.0, 50.0, 20.0, 5.0});
+  Schedule s(1, 0);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  AnnealOptions options;
+  options.evaluations = 200;
+  options.seed = 3;
+  const AnnealResult r = anneal_schedule(g, p, s, options);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{3});
+  EXPECT_DOUBLE_EQ(r.final_energy, 5.0);
+}
+
+TEST(Anneal, DeterministicBySeed) {
+  static const PeCatalog catalog = make_hetero_catalog(2, 2, 5);
+  const Platform p = make_platform_for(catalog, 2, 2);
+  TgffParams params;
+  params.num_tasks = 40;
+  params.num_edges = 80;
+  params.seed = 11;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  const EasResult eas = schedule_eas(g, p);
+  AnnealOptions options;
+  options.evaluations = 300;
+  options.seed = 77;
+  const AnnealResult a = anneal_schedule(g, p, eas.schedule, options);
+  const AnnealResult b = anneal_schedule(g, p, eas.schedule, options);
+  EXPECT_DOUBLE_EQ(a.final_energy, b.final_energy);
+  EXPECT_EQ(a.accepted_moves, b.accepted_moves);
+}
+
+class AnnealSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnnealSweep, NeverWorseThanSeedAlwaysValid) {
+  static const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform p = make_platform_for(catalog, 4, 4);
+  TgffParams params = category_params(2, GetParam());
+  params.num_tasks = 100;
+  params.num_edges = 200;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  const EasResult eas = schedule_eas(g, p);
+
+  AnnealOptions options;
+  options.evaluations = 400;
+  options.seed = static_cast<std::uint64_t>(GetParam()) + 1;
+  const AnnealResult r = anneal_schedule(g, p, eas.schedule, options);
+
+  const MissReport seed_misses = deadline_misses(g, eas.schedule);
+  const MissReport out_misses = deadline_misses(g, r.schedule);
+  EXPECT_FALSE(seed_misses.better_than(out_misses));  // never worse on deadlines
+  if (!seed_misses.better_than(out_misses) && !out_misses.better_than(seed_misses)) {
+    EXPECT_LE(r.final_energy, eas.energy.total() + 1e-9);  // ties: energy only improves
+  }
+  const ValidationReport vr = validate_schedule(g, p, r.schedule, {.check_deadlines = false});
+  EXPECT_TRUE(vr.ok()) << vr.to_string();
+  EXPECT_NEAR(compute_energy(g, p, r.schedule).total(), r.final_energy, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealSweep, ::testing::Range(0, 4));
+
+TEST(Anneal, RejectsBadOptions) {
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 10}, {1, 1, 1, 1});
+  Schedule s(1, 0);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  AnnealOptions options;
+  options.cooling = 1.5;
+  EXPECT_THROW((void)anneal_schedule(g, p, s, options), Error);
+  Schedule incomplete(1, 0);
+  EXPECT_THROW((void)anneal_schedule(g, p, incomplete, AnnealOptions{}), Error);
+}
+
+}  // namespace
+}  // namespace noceas

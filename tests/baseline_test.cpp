@@ -1,0 +1,119 @@
+// Unit + property tests for the baseline schedulers (EDF, DLS, greedy).
+#include <gtest/gtest.h>
+
+#include "src/baseline/dls.hpp"
+#include "src/baseline/edf.hpp"
+#include "src/baseline/greedy_energy.hpp"
+#include "src/core/validator.hpp"
+#include "src/gen/tgff.hpp"
+
+namespace noceas {
+namespace {
+
+Platform platform2x2() { return make_mesh_platform(2, 2, {"FAST", "B", "C", "SLOW"}, 10.0); }
+
+TEST(Edf, PicksEarliestFinishPe) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 20, 20, 40}, {1.0, 2.0, 2.0, 0.5});
+  const BaselineResult r = schedule_edf(g, p);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{0});  // fastest, energy-blind
+}
+
+TEST(Edf, OrdersByEffectiveDeadline) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  // Both ready at time 0, same best PE; the tighter deadline must go first.
+  g.add_task("late", {10, 100, 100, 100}, {1, 1, 1, 1}, 1000);
+  g.add_task("soon", {10, 100, 100, 100}, {1, 1, 1, 1}, 50);
+  const BaselineResult r = schedule_edf(g, p);
+  EXPECT_LT(r.schedule.at(TaskId{1}).start, r.schedule.at(TaskId{0}).start);
+  EXPECT_TRUE(r.misses.all_met());
+}
+
+TEST(Edf, InheritsDeadlinesFromDescendants) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  // "anon" has no deadline but feeds a tight one; "other" has a loose one.
+  g.add_task("anon", {10, 100, 100, 100}, {1, 1, 1, 1});
+  g.add_task("other", {10, 100, 100, 100}, {1, 1, 1, 1}, 500);
+  g.add_task("tight", {10, 100, 100, 100}, {1, 1, 1, 1}, 60);
+  g.add_edge(TaskId{0}, TaskId{2}, 1);
+  const BaselineResult r = schedule_edf(g, p);
+  EXPECT_LT(r.schedule.at(TaskId{0}).start, r.schedule.at(TaskId{1}).start);
+}
+
+TEST(Dls, PrefersFasterPeViaDelta) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 20, 20, 40}, {1.0, 2.0, 2.0, 0.5});
+  const BaselineResult r = schedule_dls(g, p);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{0});
+}
+
+TEST(Dls, SchedulesLongPathFirst) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  // "head" starts a long chain; "leaf" is standalone. DLS must prefer head.
+  g.add_task("head", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_task("mid", {100, 100, 100, 100}, {1, 1, 1, 1});
+  g.add_task("leaf", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_edge(TaskId{0}, TaskId{1}, 1);
+  const BaselineResult r = schedule_dls(g, p);
+  // Both could start at 0 on different PEs; the chain head must not be the
+  // one that waits if they land on the same PE.
+  if (r.schedule.at(TaskId{0}).pe == r.schedule.at(TaskId{2}).pe) {
+    EXPECT_LE(r.schedule.at(TaskId{0}).start, r.schedule.at(TaskId{2}).start);
+  }
+}
+
+TEST(Greedy, AlwaysPicksMinEnergy) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 20, 20, 40}, {1.0, 2.0, 2.0, 0.5}, 15);  // deadline ignored
+  const BaselineResult r = schedule_greedy_energy(g, p);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{3});
+  EXPECT_EQ(r.misses.miss_count, 1u);  // greedily blows the deadline
+}
+
+// Property: all baselines produce structurally valid schedules on random
+// instances, and their relative energies are ordered as expected:
+// greedy <= EAS-less bound, EDF/DLS energy >= greedy.
+class BaselineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineSweep, ValidSchedulesAndEnergyOrdering) {
+  static const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform p = make_platform_for(catalog, 4, 4);
+  TgffParams params = category_params(1, GetParam());
+  params.num_tasks = 120;
+  params.num_edges = 240;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+
+  const BaselineResult edf = schedule_edf(g, p);
+  const BaselineResult dls = schedule_dls(g, p);
+  const BaselineResult greedy = schedule_greedy_energy(g, p);
+  for (const auto* r : {&edf, &dls, &greedy}) {
+    const ValidationReport vr =
+        validate_schedule(g, p, r->schedule, {.check_deadlines = false});
+    ASSERT_TRUE(vr.ok()) << vr.to_string();
+  }
+  EXPECT_LE(greedy.energy.total(), edf.energy.total());
+  EXPECT_LE(greedy.energy.total(), dls.energy.total());
+  // Performance baselines should beat greedy on makespan.
+  EXPECT_LE(std::min(makespan(edf.schedule), makespan(dls.schedule)),
+            makespan(greedy.schedule));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineSweep, ::testing::Range(0, 6));
+
+TEST(Baselines, RejectPeCountMismatch) {
+  const Platform p = platform2x2();
+  TaskGraph g(2);
+  g.add_task("t", {10, 10}, {1.0, 1.0});
+  EXPECT_THROW((void)schedule_edf(g, p), Error);
+  EXPECT_THROW((void)schedule_dls(g, p), Error);
+  EXPECT_THROW((void)schedule_greedy_energy(g, p), Error);
+}
+
+}  // namespace
+}  // namespace noceas

@@ -1,0 +1,153 @@
+// Unit tests for the Fig. 3 communication scheduler.
+#include <gtest/gtest.h>
+
+#include "src/core/comm_scheduler.hpp"
+
+namespace noceas {
+namespace {
+
+/// 2x2 platform, bandwidth 10 bits/unit: transfers of 100 bits take 10.
+Platform platform2x2() {
+  return make_mesh_platform(2, 2, {"A", "B", "C", "D"}, /*link_bandwidth=*/10.0);
+}
+
+/// Two senders (tasks 0, 1) feeding a receiver (task 2).
+TaskGraph fan_in(Volume v0, Volume v1) {
+  TaskGraph g(4);
+  g.add_task("s0", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_task("s1", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_task("r", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_edge(TaskId{0}, TaskId{2}, v0);
+  g.add_edge(TaskId{1}, TaskId{2}, v1);
+  return g;
+}
+
+TEST(CommScheduler, LocalDeliveryIsFree) {
+  const Platform p = platform2x2();
+  const TaskGraph g = fan_in(100, 100);
+  Schedule s(g.num_tasks(), g.num_edges());
+  s.tasks[0] = {PeId{0}, 0, 10};
+  s.tasks[1] = {PeId{0}, 10, 20};
+  ResourceTables tables(p);
+  ReservationLog log;
+  // Receiver on the same tile as both senders.
+  const auto r = schedule_incoming_comms(g, p, TaskId{2}, PeId{0}, s.tasks, tables, log);
+  EXPECT_EQ(r.data_ready_time, 20);  // latest sender finish, no transfer time
+  for (const auto& [e, cp] : r.placements) {
+    EXPECT_EQ(cp.duration, 0);
+    EXPECT_FALSE(cp.uses_network());
+  }
+  EXPECT_EQ(log.size(), 0u);
+  log.rollback();
+}
+
+TEST(CommScheduler, RemoteTransferReservesRoute) {
+  const Platform p = platform2x2();
+  const TaskGraph g = fan_in(100, 100);
+  Schedule s(g.num_tasks(), g.num_edges());
+  s.tasks[0] = {PeId{0}, 0, 10};
+  s.tasks[1] = {PeId{0}, 10, 20};
+  ResourceTables tables(p);
+  ReservationLog log;
+  // Receiver diagonal from the senders: route 0->3 has two links (XY).
+  const auto r = schedule_incoming_comms(g, p, TaskId{2}, PeId{3}, s.tasks, tables, log);
+  // First transaction: starts at sender finish 10, takes 10 -> arrives 20.
+  // Second: sender finishes 20, path free from 20 -> arrives 30.
+  EXPECT_EQ(r.data_ready_time, 30);
+  ASSERT_EQ(r.placements.size(), 2u);
+  EXPECT_EQ(r.placements[0].second.start, 10);
+  EXPECT_EQ(r.placements[1].second.start, 20);
+  const auto& route = p.route(PeId{0}, PeId{3});
+  EXPECT_EQ(log.size(), 2u * route.size());
+  log.rollback();
+  for (LinkId l : route) EXPECT_TRUE(tables.link[l.index()].empty());
+}
+
+TEST(CommScheduler, SortsBySenderFinishTime) {
+  const Platform p = platform2x2();
+  const TaskGraph g = fan_in(100, 100);
+  Schedule s(g.num_tasks(), g.num_edges());
+  // Task 1 finishes BEFORE task 0 — edge order differs from time order.
+  s.tasks[0] = {PeId{0}, 30, 40};
+  s.tasks[1] = {PeId{0}, 0, 10};
+  ResourceTables tables(p);
+  ReservationLog log;
+  const auto r = schedule_incoming_comms(g, p, TaskId{2}, PeId{3}, s.tasks, tables, log);
+  ASSERT_EQ(r.placements.size(), 2u);
+  // First scheduled placement belongs to the earlier-finishing sender.
+  EXPECT_EQ(r.placements[0].first, EdgeId{1});
+  EXPECT_EQ(r.placements[0].second.start, 10);
+  EXPECT_EQ(r.placements[1].first, EdgeId{0});
+  EXPECT_EQ(r.placements[1].second.start, 40);
+  log.rollback();
+}
+
+TEST(CommScheduler, ContentionSerializesOnSharedLinks) {
+  const Platform p = platform2x2();
+  const TaskGraph g = fan_in(100, 100);
+  Schedule s(g.num_tasks(), g.num_edges());
+  // Both senders on tile 0, both finishing at 10: the two transactions fight
+  // over the same route and must be serialized ([10,20) then [20,30)).
+  s.tasks[0] = {PeId{0}, 0, 10};
+  s.tasks[1] = {PeId{1}, 0, 10};  // different tile, partially shared route
+  ResourceTables tables(p);
+  ReservationLog log;
+  // Receiver at tile 3. Route 0->3: E then N; route 1->3: N. They share the
+  // link 1->3 (the N link from tile 1).
+  const auto r = schedule_incoming_comms(g, p, TaskId{2}, PeId{3}, s.tasks, tables, log);
+  ASSERT_EQ(r.placements.size(), 2u);
+  const Interval iv0{r.placements[0].second.start, r.placements[0].second.arrival()};
+  const Interval iv1{r.placements[1].second.start, r.placements[1].second.arrival()};
+  EXPECT_FALSE(iv0.overlaps(iv1));  // serialized on the shared link
+  EXPECT_EQ(r.data_ready_time, std::max(iv0.end, iv1.end));
+  log.rollback();
+}
+
+TEST(CommScheduler, ControlDependencyHasNoTraffic) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("s", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_task("r", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_edge(TaskId{0}, TaskId{1}, 0);  // control only
+  Schedule s(g.num_tasks(), g.num_edges());
+  s.tasks[0] = {PeId{0}, 0, 10};
+  ResourceTables tables(p);
+  ReservationLog log;
+  const auto r = schedule_incoming_comms(g, p, TaskId{1}, PeId{3}, s.tasks, tables, log);
+  EXPECT_EQ(r.data_ready_time, 10);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(CommScheduler, SourceTaskHasZeroDrt) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("src", {10, 10, 10, 10}, {1, 1, 1, 1});
+  Schedule s(g.num_tasks(), g.num_edges());
+  ResourceTables tables(p);
+  ReservationLog log;
+  const auto r = schedule_incoming_comms(g, p, TaskId{0}, PeId{2}, s.tasks, tables, log);
+  EXPECT_EQ(r.data_ready_time, 0);
+  EXPECT_TRUE(r.placements.empty());
+}
+
+TEST(CommScheduler, RequiresPlacedSenders) {
+  const Platform p = platform2x2();
+  const TaskGraph g = fan_in(100, 100);
+  Schedule s(g.num_tasks(), g.num_edges());  // senders NOT placed
+  ResourceTables tables(p);
+  ReservationLog log;
+  EXPECT_THROW(schedule_incoming_comms(g, p, TaskId{2}, PeId{3}, s.tasks, tables, log), Error);
+}
+
+TEST(CommScheduler, IncomingEnergyCountsOnlyRemoteData) {
+  const Platform p = platform2x2();
+  const TaskGraph g = fan_in(100, 200);
+  Schedule s(g.num_tasks(), g.num_edges());
+  s.tasks[0] = {PeId{0}, 0, 10};
+  s.tasks[1] = {PeId{3}, 0, 10};  // local to the receiver
+  const Energy e = incoming_comm_energy(g, p, TaskId{2}, PeId{3}, s.tasks);
+  EXPECT_DOUBLE_EQ(e, p.transfer_energy(100, PeId{0}, PeId{3}));
+}
+
+}  // namespace
+}  // namespace noceas

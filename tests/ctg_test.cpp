@@ -1,0 +1,151 @@
+// Unit tests for the Communication Task Graph structure and serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/ctg/serialize.hpp"
+#include "src/ctg/task_graph.hpp"
+
+namespace noceas {
+namespace {
+
+TaskGraph small_graph() {
+  TaskGraph g(2);
+  g.add_task("a", {10, 20}, {1.0, 2.0});
+  g.add_task("b", {30, 40}, {3.0, 4.0}, 100);
+  g.add_task("c", {50, 60}, {5.0, 6.0});
+  g.add_edge(TaskId{0}, TaskId{1}, 64);
+  g.add_edge(TaskId{0}, TaskId{2}, 0);  // control dependency
+  g.add_edge(TaskId{1}, TaskId{2}, 128);
+  return g;
+}
+
+TEST(TaskGraph, BasicShape) {
+  const TaskGraph g = small_graph();
+  EXPECT_EQ(g.num_tasks(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_pes(), 2u);
+  EXPECT_EQ(g.in_degree(TaskId{2}), 2u);
+  EXPECT_EQ(g.out_degree(TaskId{0}), 2u);
+  EXPECT_EQ(g.task(TaskId{1}).deadline, 100);
+  EXPECT_TRUE(g.task(TaskId{1}).has_deadline());
+  EXPECT_FALSE(g.task(TaskId{0}).has_deadline());
+}
+
+TEST(TaskGraph, PredsAndSuccs) {
+  const TaskGraph g = small_graph();
+  const auto preds = g.preds(TaskId{2});
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0], TaskId{0});
+  EXPECT_EQ(preds[1], TaskId{1});
+  const auto succs = g.succs(TaskId{0});
+  ASSERT_EQ(succs.size(), 2u);
+}
+
+TEST(TaskGraph, SourcesAndSinks) {
+  const TaskGraph g = small_graph();
+  EXPECT_EQ(g.sources(), std::vector<TaskId>{TaskId{0}});
+  EXPECT_EQ(g.sinks(), std::vector<TaskId>{TaskId{2}});
+}
+
+TEST(TaskGraph, ControlEdgesAreMarked) {
+  const TaskGraph g = small_graph();
+  EXPECT_FALSE(g.edge(EdgeId{0}).is_control_only());
+  EXPECT_TRUE(g.edge(EdgeId{1}).is_control_only());
+}
+
+TEST(TaskGraph, StatisticsMatchHandComputation) {
+  const TaskGraph g = small_graph();
+  EXPECT_DOUBLE_EQ(g.mean_exec_time(TaskId{0}), 15.0);
+  EXPECT_DOUBLE_EQ(g.exec_time_variance(TaskId{0}), 25.0);  // population
+  EXPECT_DOUBLE_EQ(g.energy_variance(TaskId{0}), 0.25);
+  EXPECT_EQ(g.total_in_volume(TaskId{2}), 128);
+}
+
+TEST(TaskGraph, RejectsBadTaskInputs) {
+  TaskGraph g(2);
+  EXPECT_THROW(g.add_task("x", {10}, {1.0, 1.0}), Error);       // wrong arity
+  EXPECT_THROW(g.add_task("x", {10, 0}, {1.0, 1.0}), Error);    // zero time
+  EXPECT_THROW(g.add_task("x", {10, 10}, {1.0, -1.0}), Error);  // negative energy
+  EXPECT_THROW(g.add_task("x", {10, 10}, {1.0, 1.0}, 0), Error);  // zero deadline
+}
+
+TEST(TaskGraph, RejectsBadEdges) {
+  TaskGraph g(1);
+  g.add_task("a", {1}, {0.0});
+  g.add_task("b", {1}, {0.0});
+  EXPECT_THROW(g.add_edge(TaskId{0}, TaskId{0}, 1), Error);   // self loop
+  EXPECT_THROW(g.add_edge(TaskId{0}, TaskId{5}, 1), Error);   // out of range
+  EXPECT_THROW(g.add_edge(TaskId{0}, TaskId{1}, -1), Error);  // negative volume
+}
+
+TEST(TaskGraph, ValidateDetectsCycle) {
+  TaskGraph g(1);
+  g.add_task("a", {1}, {0.0});
+  g.add_task("b", {1}, {0.0});
+  g.add_edge(TaskId{0}, TaskId{1}, 1);
+  g.add_edge(TaskId{1}, TaskId{0}, 1);
+  EXPECT_THROW(g.validate(), Error);
+}
+
+TEST(TaskGraph, ValidateAcceptsDag) { EXPECT_NO_THROW(small_graph().validate()); }
+
+TEST(TaskGraph, ZeroPesRejected) { EXPECT_THROW(TaskGraph(0), Error); }
+
+TEST(TaskGraph, DotContainsTasksAndEdges) {
+  std::ostringstream os;
+  small_graph().to_dot(os);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(dot.find("128b"), std::string::npos);
+  EXPECT_NE(dot.find("d=100"), std::string::npos);
+}
+
+// ---- serialization ------------------------------------------------------------
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const TaskGraph g = small_graph();
+  const TaskGraph h = ctg_from_string(ctg_to_string(g));
+  ASSERT_EQ(h.num_tasks(), g.num_tasks());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  ASSERT_EQ(h.num_pes(), g.num_pes());
+  for (TaskId t : g.all_tasks()) {
+    EXPECT_EQ(h.task(t).name, g.task(t).name);
+    EXPECT_EQ(h.task(t).exec_time, g.task(t).exec_time);
+    EXPECT_EQ(h.task(t).exec_energy, g.task(t).exec_energy);
+    EXPECT_EQ(h.task(t).deadline, g.task(t).deadline);
+  }
+  for (EdgeId e : g.all_edges()) {
+    EXPECT_EQ(h.edge(e).src, g.edge(e).src);
+    EXPECT_EQ(h.edge(e).dst, g.edge(e).dst);
+    EXPECT_EQ(h.edge(e).volume, g.edge(e).volume);
+  }
+}
+
+TEST(Serialize, SkipsCommentsAndBlankLines) {
+  std::istringstream is(
+      "# a comment\n\nctg 2 1 1\n"
+      "# tasks\n"
+      "task a - 0 5 1.5\n"
+      "task b 99 3 7 2.5\n"
+      "edge 0 1 42\n");
+  const TaskGraph g = read_ctg(is);
+  EXPECT_EQ(g.num_tasks(), 2u);
+  EXPECT_EQ(g.task(TaskId{1}).deadline, 99);
+  EXPECT_EQ(g.task(TaskId{1}).release, 3);
+  EXPECT_EQ(g.task(TaskId{0}).release, 0);
+  EXPECT_EQ(g.edge(EdgeId{0}).volume, 42);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW(ctg_from_string(""), Error);
+  EXPECT_THROW(ctg_from_string("nope 1 0 1\n"), Error);
+  EXPECT_THROW(ctg_from_string("ctg 1 0 1\n"), Error);              // missing task line
+  EXPECT_THROW(ctg_from_string("ctg 1 0 1\ntask a - 0\n"), Error);  // missing arrays
+  EXPECT_THROW(
+      ctg_from_string("ctg 2 1 1\ntask a - 0 1 0\ntask b - 0 1 0\nedge 0 9 1\n"), Error);
+}
+
+}  // namespace
+}  // namespace noceas

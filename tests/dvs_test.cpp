@@ -1,0 +1,190 @@
+// Unit + property tests for the DVS slack-reclamation extension.
+#include <gtest/gtest.h>
+
+#include "src/core/eas.hpp"
+#include "src/dvs/slack_reclaim.hpp"
+#include "src/gen/tgff.hpp"
+#include "src/msb/msb.hpp"
+
+namespace noceas {
+namespace {
+
+TEST(DvsEnergy, NominalIsIdentity) {
+  EXPECT_DOUBLE_EQ(dvs_energy(100.0, 1.0, 0.1), 100.0);
+  EXPECT_DOUBLE_EQ(dvs_energy(100.0, 1.0, 0.0), 100.0);
+}
+
+TEST(DvsEnergy, QuadraticDynamicTerm) {
+  // Pure dynamic energy: halving the speed quarters the energy.
+  EXPECT_DOUBLE_EQ(dvs_energy(100.0, 0.5, 0.0), 25.0);
+}
+
+TEST(DvsEnergy, StaticTermPenalizesCrawling) {
+  // With a large static fraction, very low speeds cost MORE than nominal.
+  EXPECT_GT(dvs_energy(100.0, 0.1, 0.5), 100.0);
+}
+
+TEST(DvsEnergy, RejectsBadInputs) {
+  EXPECT_THROW((void)dvs_energy(1.0, 0.0, 0.1), Error);
+  EXPECT_THROW((void)dvs_energy(1.0, 1.5, 0.1), Error);
+  EXPECT_THROW((void)dvs_energy(1.0, 0.5, -0.1), Error);
+}
+
+Platform platform2x2() { return make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0); }
+
+TEST(ReclaimSlack, StretchesIntoDeadlineSlack) {
+  // Single task, duration 10, deadline 100: slowest level that still fits.
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 10}, {100, 100, 100, 100}, 100);
+  Schedule s(1, 0);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  DvsOptions options;
+  options.speeds = {1.0, 0.5, 0.25};
+  options.static_fraction = 0.0;
+  const DvsResult r = reclaim_slack(g, p, s, options);
+  EXPECT_DOUBLE_EQ(r.speed[0], 0.25);  // 40 <= 100, energy 100/16
+  EXPECT_EQ(r.finish[0], 40);
+  EXPECT_DOUBLE_EQ(r.computation_after, 100.0 / 16.0);
+  EXPECT_EQ(r.slowed_tasks, 1u);
+  EXPECT_DOUBLE_EQ(r.saved(), 100.0 - 100.0 / 16.0);
+}
+
+TEST(ReclaimSlack, DeadlineBlocksStretching) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 10}, {100, 100, 100, 100}, 12);
+  Schedule s(1, 0);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  DvsOptions options;
+  options.speeds = {1.0, 0.5};
+  const DvsResult r = reclaim_slack(g, p, s, options);
+  EXPECT_DOUBLE_EQ(r.speed[0], 1.0);  // 20 > 12: must stay nominal
+  EXPECT_EQ(r.slowed_tasks, 0u);
+  EXPECT_DOUBLE_EQ(r.saved(), 0.0);
+}
+
+TEST(ReclaimSlack, OutgoingTransactionSlotBlocksStretching) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("a", {10, 10, 10, 10}, {100, 100, 100, 100});
+  g.add_task("b", {10, 10, 10, 10}, {100, 100, 100, 100});
+  g.add_edge(TaskId{0}, TaskId{1}, 100);
+  Schedule s(2, 1);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  s.tasks[1] = {PeId{1}, 25, 35};
+  s.comms[0] = {PeId{0}, PeId{1}, 15, 10};  // reserved at 15
+  DvsOptions options;
+  options.speeds = {1.0, 0.5};
+  options.static_fraction = 0.0;
+  const DvsResult r = reclaim_slack(g, p, s, options);
+  // Stretching a to 20 would overrun the reserved slot start (15); the only
+  // admissible level is nominal.
+  EXPECT_DOUBLE_EQ(r.speed[0], 1.0);
+  // b has no outgoing edges and no deadline: unlimited stretch to slowest.
+  EXPECT_DOUBLE_EQ(r.speed[1], 0.5);
+}
+
+TEST(ReclaimSlack, LocalSuccessorStartBlocksStretching) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("a", {10, 10, 10, 10}, {100, 100, 100, 100});
+  g.add_task("b", {10, 10, 10, 10}, {100, 100, 100, 100});
+  g.add_edge(TaskId{0}, TaskId{1}, 100);
+  Schedule s(2, 1);
+  // Same tile: local delivery; b starts at 12.
+  s.tasks[0] = {PeId{0}, 0, 10};
+  s.tasks[1] = {PeId{0}, 12, 22};
+  s.comms[0] = {PeId{0}, PeId{0}, 10, 0};
+  DvsOptions options;
+  options.speeds = {1.0, 0.9, 0.5};
+  options.static_fraction = 0.0;
+  const DvsResult r = reclaim_slack(g, p, s, options);
+  // a may stretch only to 12 (b's start, also the PE-successor bound):
+  // 10/0.9 -> 12 fits; 10/0.5 -> 20 does not.
+  EXPECT_DOUBLE_EQ(r.speed[0], 0.9);
+  EXPECT_EQ(r.finish[0], 12);
+}
+
+TEST(ReclaimSlack, StaticFractionSelectsInteriorOptimum) {
+  // With alpha = 0.5, E(s) = e*(0.5 s^2 + 0.5/s): minimum near s = 0.79;
+  // the 0.8 level must beat both 1.0 and 0.4.
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 10}, {100, 100, 100, 100});
+  Schedule s(1, 0);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  DvsOptions options;
+  options.speeds = {1.0, 0.8, 0.4};
+  options.static_fraction = 0.5;
+  const DvsResult r = reclaim_slack(g, p, s, options);
+  EXPECT_DOUBLE_EQ(r.speed[0], 0.8);
+}
+
+TEST(ReclaimSlack, RejectsBadOptions) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 10}, {1, 1, 1, 1});
+  Schedule s(1, 0);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  DvsOptions options;
+  options.speeds = {1.2};
+  EXPECT_THROW((void)reclaim_slack(g, p, s, options), Error);
+  Schedule incomplete(1, 0);
+  EXPECT_THROW((void)reclaim_slack(g, p, incomplete, DvsOptions{}), Error);
+}
+
+// Property: on EAS schedules of random instances, reclamation (a) never
+// increases energy, (b) never violates any bound it promises to respect.
+class DvsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DvsSweep, SoundOnEasSchedules) {
+  static const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform p = make_platform_for(catalog, 4, 4);
+  TgffParams params = category_params(1, GetParam());
+  params.num_tasks = 120;
+  params.num_edges = 240;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  const EasResult eas = schedule_eas(g, p);
+
+  const DvsResult r = reclaim_slack(g, p, eas.schedule);
+  EXPECT_LE(r.computation_after, r.computation_before * (1.0 + 1e-12));
+  EXPECT_NEAR(r.computation_before, eas.energy.computation, 1e-6 * r.computation_before);
+
+  const auto orders = pe_orders(eas.schedule, p.num_pes());
+  for (const auto& order : orders) {
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      // Stretched finish never runs into the next task on the same PE.
+      EXPECT_LE(r.finish[order[i].index()], eas.schedule.at(order[i + 1]).start);
+    }
+  }
+  for (TaskId t : g.all_tasks()) {
+    if (g.task(t).has_deadline()) {
+      EXPECT_LE(r.finish[t.index()], g.task(t).deadline);
+    }
+    EXPECT_GE(r.finish[t.index()], eas.schedule.at(t).finish);  // only stretched
+    for (EdgeId e : g.out_edges(t)) {
+      const CommPlacement& cp = eas.schedule.at(e);
+      if (cp.uses_network()) {
+        EXPECT_LE(r.finish[t.index()], cp.start);
+      } else {
+        EXPECT_LE(r.finish[t.index()], eas.schedule.at(g.edge(e).dst).start);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DvsSweep, ::testing::Range(0, 6));
+
+TEST(ReclaimSlack, SavesEnergyOnMsb) {
+  const PeCatalog catalog = msb_catalog_3x3();
+  const Platform p = msb_platform_3x3();
+  const TaskGraph g = make_av_encdec(clip_foreman(), catalog);
+  const EasResult eas = schedule_eas(g, p);
+  const DvsResult r = reclaim_slack(g, p, eas.schedule);
+  EXPECT_GT(r.saved(), 0.0);
+  EXPECT_GT(r.slowed_tasks, 0u);
+}
+
+}  // namespace
+}  // namespace noceas

@@ -1,0 +1,176 @@
+// Unit + property tests for the EAS scheduler (Steps 1-3 together).
+#include <gtest/gtest.h>
+
+#include "src/baseline/edf.hpp"
+#include "src/core/eas.hpp"
+#include "src/core/validator.hpp"
+#include "src/gen/tgff.hpp"
+
+namespace noceas {
+namespace {
+
+/// 2x2 platform: PE0 fast & hungry, PE3 slow & frugal.
+Platform platform2x2() { return make_mesh_platform(2, 2, {"FAST", "B", "C", "FRUGAL"}, 10.0); }
+
+/// One task, no deadline: EAS must pick the minimum-energy PE.
+TEST(Eas, SingleTaskPicksMinEnergy) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 20, 20, 40}, {40.0, 20.0, 20.0, 5.0});
+  const EasResult r = schedule_eas(g, p);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{3});
+  EXPECT_DOUBLE_EQ(r.energy.total(), 5.0);
+  EXPECT_TRUE(r.misses.all_met());
+}
+
+/// One task, deadline only achievable on the fast PE.
+TEST(Eas, TightDeadlineForcesFastPe) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 20, 20, 40}, {40.0, 20.0, 20.0, 5.0}, 15);
+  const EasResult r = schedule_eas(g, p);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{0});
+  EXPECT_TRUE(r.misses.all_met());
+}
+
+/// Deadline achievable on a mid PE: EAS takes the cheapest feasible one.
+TEST(Eas, PicksCheapestFeasiblePe) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 20, 20, 40}, {40.0, 20.0, 18.0, 5.0}, 25);
+  const EasResult r = schedule_eas(g, p);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{2});
+  EXPECT_TRUE(r.misses.all_met());
+}
+
+/// Communication energy steers placement: receiver should co-locate with
+/// the sender when the volume is large.
+TEST(Eas, CoLocatesHeavyCommunicators) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("s", {10, 10, 10, 10}, {5.0, 5.0, 5.0, 4.9});
+  // Receiver slightly cheaper on PE0 than on PE3, but the transfer from the
+  // sender (placed on PE3) would cost far more than the 0.2 nJ difference.
+  g.add_task("r", {10, 10, 10, 10}, {4.8, 5.0, 5.0, 5.0});
+  g.add_edge(TaskId{0}, TaskId{1}, 100000);
+  const EasResult r = schedule_eas(g, p);
+  EXPECT_EQ(r.schedule.at(TaskId{1}).pe, r.schedule.at(TaskId{0}).pe);
+}
+
+/// With a tiny volume the 0.2 nJ computation difference wins instead.
+TEST(Eas, SmallVolumeDoesNotForceCoLocation) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("s", {10, 10, 10, 10}, {5.0, 5.0, 5.0, 4.9});
+  g.add_task("r", {10, 10, 10, 10}, {4.8, 5.0, 5.0, 5.0});
+  g.add_edge(TaskId{0}, TaskId{1}, 1);
+  const EasResult r = schedule_eas(g, p);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{3});
+  EXPECT_EQ(r.schedule.at(TaskId{1}).pe, PeId{0});
+}
+
+TEST(Eas, RejectsPeCountMismatch) {
+  const Platform p = platform2x2();
+  TaskGraph g(2);  // characterized for 2 PEs only
+  g.add_task("t", {10, 10}, {1.0, 1.0});
+  EXPECT_THROW((void)schedule_eas(g, p), Error);
+}
+
+TEST(Eas, DeterministicAcrossRuns) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform p = make_platform_for(catalog, 4, 4);
+  TgffParams params = category_params(1, 3);
+  params.num_tasks = 120;
+  params.num_edges = 240;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  const EasResult a = schedule_eas(g, p);
+  const EasResult b = schedule_eas(g, p);
+  ASSERT_EQ(a.schedule.tasks.size(), b.schedule.tasks.size());
+  for (std::size_t i = 0; i < a.schedule.tasks.size(); ++i) {
+    EXPECT_EQ(a.schedule.tasks[i].pe, b.schedule.tasks[i].pe);
+    EXPECT_EQ(a.schedule.tasks[i].start, b.schedule.tasks[i].start);
+  }
+  EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(Eas, BaseAndFullAgreeWhenNoMisses) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform p = make_platform_for(catalog, 4, 4);
+  TgffParams params = category_params(1, 1);
+  params.num_tasks = 100;
+  params.num_edges = 200;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  EasOptions base;
+  base.repair = false;
+  const EasResult rb = schedule_eas(g, p, base);
+  if (rb.misses.all_met()) {
+    const EasResult rf = schedule_eas(g, p);
+    EXPECT_DOUBLE_EQ(rf.energy.total(), rb.energy.total());
+  }
+}
+
+// ---- property sweep: every EAS schedule is valid, and EAS never burns more
+// energy than EDF while meeting deadlines on these instances ---------------
+
+struct SweepCase {
+  int category;
+  int index;
+};
+
+class EasSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EasSweep, ValidFeasibleAndCheaperThanEdf) {
+  const auto [category, index] = GetParam();
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform p = make_platform_for(catalog, 4, 4);
+  TgffParams params = category_params(category, index);
+  // Smaller instances keep the test suite fast while exercising the same code.
+  params.num_tasks = 150;
+  params.num_edges = 300;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+
+  const EasResult eas = schedule_eas(g, p);
+  const ValidationReport vr = validate_schedule(g, p, eas.schedule);
+  EXPECT_TRUE(vr.ok()) << vr.to_string();
+  EXPECT_TRUE(eas.misses.all_met()) << eas.misses.miss_count << " misses";
+
+  const BaselineResult edf = schedule_edf(g, p);
+  const ValidationReport vr2 =
+      validate_schedule(g, p, edf.schedule, {.check_deadlines = false});
+  EXPECT_TRUE(vr2.ok()) << vr2.to_string();
+  EXPECT_LE(eas.energy.total(), edf.energy.total() * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Instances, EasSweep,
+                         ::testing::Values(SweepCase{1, 0}, SweepCase{1, 1}, SweepCase{1, 4},
+                                           SweepCase{1, 7}, SweepCase{2, 0}, SweepCase{2, 3},
+                                           SweepCase{2, 6}, SweepCase{2, 9}),
+                         [](const auto& info) {
+                           return "cat" + std::to_string(info.param.category) + "_idx" +
+                                  std::to_string(info.param.index);
+                         });
+
+// Urgency mode: two tasks, one deadline so tight that only the fast PE works
+// and the other task must yield.
+TEST(Eas, UrgencyModePrioritizesOverBudgetTask) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("relaxed", {10, 20, 20, 40}, {40.0, 20.0, 20.0, 5.0});
+  g.add_task("urgent", {10, 20, 20, 40}, {40.0, 20.0, 20.0, 5.0}, 11);
+  const EasResult r = schedule_eas(g, p);
+  EXPECT_TRUE(r.misses.all_met());
+  EXPECT_EQ(r.schedule.at(TaskId{1}).pe, PeId{0});
+  EXPECT_EQ(r.schedule.at(TaskId{1}).start, 0);
+}
+
+TEST(Eas, ReportsSeconds) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 20, 20, 40}, {40.0, 20.0, 20.0, 5.0});
+  const EasResult r = schedule_eas(g, p);
+  EXPECT_GE(r.seconds, 0.0);
+  EXPECT_LT(r.seconds, 10.0);
+}
+
+}  // namespace
+}  // namespace noceas

@@ -1,0 +1,116 @@
+// Unit tests for the Eq. 1-2 energy model and the Platform (ACG).
+#include <gtest/gtest.h>
+
+#include "src/noc/platform.hpp"
+
+namespace noceas {
+namespace {
+
+TEST(EnergyModel, Eq2BitEnergy) {
+  EnergyParams e;
+  e.e_sbit = 1.0;
+  e.e_lbit = 2.0;
+  e.e_bbit = 0.0;
+  EXPECT_DOUBLE_EQ(e.bit_energy(0), 0.0);            // same tile
+  EXPECT_DOUBLE_EQ(e.bit_energy(1), 1.0);            // 1 router, 0 links
+  EXPECT_DOUBLE_EQ(e.bit_energy(2), 2.0 + 2.0);      // 2 routers, 1 link
+  EXPECT_DOUBLE_EQ(e.bit_energy(4), 4.0 + 3.0 * 2);  // 4 routers, 3 links
+}
+
+TEST(EnergyModel, BufferTermExtension) {
+  EnergyParams e;
+  e.e_sbit = 1.0;
+  e.e_lbit = 0.0;
+  e.e_bbit = 0.5;
+  EXPECT_DOUBLE_EQ(e.bit_energy(3), 3.0 * 1.5);
+}
+
+TEST(EnergyModel, TransferEnergyScalesWithVolume) {
+  EnergyParams e;
+  e.e_sbit = 1.0;
+  e.e_lbit = 1.0;
+  EXPECT_DOUBLE_EQ(e.transfer_energy(100, 2), 100.0 * 3.0);
+}
+
+TEST(EnergyModel, NegativeHopsRejected) {
+  EnergyParams e;
+  EXPECT_THROW((void)e.bit_energy(-1), Error);
+}
+
+Platform simple_platform() {
+  return make_mesh_platform(2, 3, {"A", "B", "C", "D", "E", "F"}, /*link_bandwidth=*/10.0);
+}
+
+TEST(Platform, ShapeAndNames) {
+  const Platform p = simple_platform();
+  EXPECT_EQ(p.num_pes(), 6u);
+  EXPECT_EQ(p.pe(PeId{0}).type, "A");
+  EXPECT_EQ(p.pe(PeId{4}).name, "E@(1,1)");
+}
+
+TEST(Platform, RoutesAreCachedAndConsistent) {
+  const Platform p = simple_platform();
+  for (PeId s : p.all_pes()) {
+    for (PeId d : p.all_pes()) {
+      const auto& route = p.route(s, d);
+      EXPECT_EQ(route, compute_route(p.mesh(), p.routing(), s, d));
+      EXPECT_EQ(p.hops(s, d), router_hops(p.mesh(), s, d));
+      EXPECT_DOUBLE_EQ(p.bit_energy(s, d), p.energy().bit_energy(p.hops(s, d)));
+    }
+  }
+}
+
+TEST(Platform, BitEnergyIsManhattanDetermined) {
+  // "For 2D mesh networks with minimal routing, Eq. (2) shows that the
+  // average energy consumption of sending one bit ... is determined by the
+  // Manhattan distance between them."
+  const Platform p = simple_platform();
+  for (PeId s : p.all_pes()) {
+    for (PeId d : p.all_pes()) {
+      for (PeId s2 : p.all_pes()) {
+        for (PeId d2 : p.all_pes()) {
+          if (p.mesh().distance(s, d) == p.mesh().distance(s2, d2)) {
+            ASSERT_DOUBLE_EQ(p.bit_energy(s, d), p.bit_energy(s2, d2));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Platform, TransferTime) {
+  const Platform p = simple_platform();  // bandwidth 10
+  EXPECT_EQ(p.transfer_time(100, PeId{0}, PeId{1}), 10);
+  EXPECT_EQ(p.transfer_time(101, PeId{0}, PeId{1}), 11);
+  EXPECT_EQ(p.transfer_time(100, PeId{0}, PeId{0}), 0);  // same tile
+}
+
+TEST(Platform, PipelineGuardExtendsReservation) {
+  const Platform p = make_mesh_platform(2, 3, {"A", "B", "C", "D", "E", "F"}, 10.0,
+                                        RoutingAlgorithm::XY, EnergyParams{}, false,
+                                        /*pipeline_guard=*/true);
+  // 0 -> 2 is two links; reservation = ceil(100/10) + 2.
+  EXPECT_EQ(p.transfer_time(100, PeId{0}, PeId{2}), 12);
+  EXPECT_EQ(p.transfer_time(100, PeId{0}, PeId{0}), 0);
+  EXPECT_TRUE(p.pipeline_guard());
+}
+
+TEST(Platform, RejectsBadConstruction) {
+  EXPECT_THROW(make_mesh_platform(2, 2, {"A"}), Error);  // wrong PE count
+  EXPECT_THROW(make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 0.0), Error);  // zero bandwidth
+}
+
+TEST(Platform, EnergyMonotoneInDistance) {
+  const Platform p = simple_platform();
+  const PeId origin{0};
+  Energy last = -1.0;
+  // Walk along the bottom row: energy strictly increases with distance.
+  for (int x = 0; x < 3; ++x) {
+    const Energy e = p.bit_energy(origin, p.mesh().tile_at(Coord{x, 0}));
+    EXPECT_GT(e, last);
+    last = e;
+  }
+}
+
+}  // namespace
+}  // namespace noceas

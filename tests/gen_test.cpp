@@ -1,0 +1,220 @@
+// Unit tests for the heterogeneity model and the TGFF-like generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/ctg/dag_algos.hpp"
+#include "src/gen/tgff.hpp"
+
+namespace noceas {
+namespace {
+
+TEST(PeCatalog, TablesFollowSpeedAndPower) {
+  // One reference PE (speed 1, power 2) and one double-speed PE (power 4).
+  std::vector<PeTypeDesc> types{
+      {"REF", {1, 1, 1, 1, 1}, 2.0},
+      {"FAST", {2, 2, 2, 2, 2}, 4.0},
+  };
+  const PeCatalog catalog(types, {0, 1});
+  Rng rng(1);
+  const auto tables = catalog.make_tables(TaskKind::Generic, 100.0, rng, /*jitter=*/0.0);
+  ASSERT_EQ(tables.exec_time.size(), 2u);
+  EXPECT_EQ(tables.exec_time[0], 100);
+  EXPECT_EQ(tables.exec_time[1], 50);
+  EXPECT_DOUBLE_EQ(tables.exec_energy[0], 200.0);
+  EXPECT_DOUBLE_EQ(tables.exec_energy[1], 200.0);
+}
+
+TEST(PeCatalog, KindSelectsSpeedColumn) {
+  std::vector<PeTypeDesc> types{{"DSPish", {1, 4, 1, 1, 1}, 1.0}};
+  const PeCatalog catalog(types, {0});
+  Rng rng(1);
+  EXPECT_EQ(catalog.make_tables(TaskKind::Dsp, 100.0, rng, 0.0).exec_time[0], 25);
+  EXPECT_EQ(catalog.make_tables(TaskKind::Video, 100.0, rng, 0.0).exec_time[0], 100);
+}
+
+TEST(PeCatalog, JitterBoundsRespected) {
+  std::vector<PeTypeDesc> types{{"REF", {1, 1, 1, 1, 1}, 1.0}};
+  const PeCatalog catalog(types, {0});
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto t = catalog.make_tables(TaskKind::Generic, 1000.0, rng, 0.10);
+    EXPECT_GE(t.exec_time[0], 900);
+    EXPECT_LE(t.exec_time[0], 1100);
+  }
+}
+
+TEST(PeCatalog, MinimumOneTimeUnit) {
+  std::vector<PeTypeDesc> types{{"FAST", {100, 100, 100, 100, 100}, 1.0}};
+  const PeCatalog catalog(types, {0});
+  Rng rng(1);
+  EXPECT_EQ(catalog.make_tables(TaskKind::Generic, 1.0, rng, 0.0).exec_time[0], 1);
+}
+
+TEST(PeCatalog, RejectsBadInputs) {
+  EXPECT_THROW(PeCatalog({}, {}), Error);
+  std::vector<PeTypeDesc> types{{"A", {1, 1, 1, 1, 1}, 1.0}};
+  EXPECT_THROW(PeCatalog(types, {1}), Error);  // index out of range
+  std::vector<PeTypeDesc> bad{{"B", {0, 1, 1, 1, 1}, 1.0}};
+  EXPECT_THROW(PeCatalog(bad, {0}), Error);  // zero speed
+  const PeCatalog ok(types, {0});
+  Rng rng(1);
+  EXPECT_THROW(ok.make_tables(TaskKind::Generic, -1.0, rng), Error);
+  EXPECT_THROW(ok.make_tables(TaskKind::Generic, 1.0, rng, 1.5), Error);
+}
+
+TEST(HeteroCatalog, CoversAllTypes) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  std::set<std::string> seen;
+  for (const auto& name : catalog.tile_type_names()) seen.insert(name);
+  EXPECT_EQ(seen.size(), default_pe_types().size());
+}
+
+TEST(HeteroCatalog, DeterministicBySeed) {
+  const auto a = make_hetero_catalog(4, 4, 42).tile_type_names();
+  const auto b = make_hetero_catalog(4, 4, 42).tile_type_names();
+  const auto c = make_hetero_catalog(4, 4, 43).tile_type_names();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Tgff, HitsTargetSizes) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  TgffParams params;
+  params.num_tasks = 300;
+  params.num_edges = 600;
+  params.seed = 5;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  EXPECT_EQ(g.num_tasks(), 300u);
+  // Edge count is a target; allow small shortfall from dedup collisions.
+  EXPECT_GE(g.num_edges(), 570u);
+  EXPECT_LE(g.num_edges(), 600u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Tgff, DeterministicBySeed) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  TgffParams params;
+  params.num_tasks = 100;
+  params.num_edges = 200;
+  params.seed = 9;
+  const TaskGraph a = generate_tgff_like(params, catalog);
+  const TaskGraph b = generate_tgff_like(params, catalog);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (TaskId t : a.all_tasks()) {
+    EXPECT_EQ(a.task(t).exec_time, b.task(t).exec_time);
+    EXPECT_EQ(a.task(t).deadline, b.task(t).deadline);
+  }
+  params.seed = 10;
+  const TaskGraph c = generate_tgff_like(params, catalog);
+  bool differs = c.num_edges() != a.num_edges();
+  for (TaskId t : a.all_tasks()) differs |= (a.task(t).exec_time != c.task(t).exec_time);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Tgff, EverySinkHasDeadline) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  TgffParams params;
+  params.num_tasks = 200;
+  params.num_edges = 400;
+  params.seed = 3;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  for (TaskId t : g.sinks()) {
+    EXPECT_TRUE(g.task(t).has_deadline()) << "sink " << g.task(t).name;
+  }
+}
+
+TEST(Tgff, DeadlinesAreAchievableOnMeanRelaxation) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  TgffParams params;
+  params.num_tasks = 200;
+  params.num_edges = 400;
+  params.seed = 3;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  const auto fp = forward_pass(g, mean_durations(g));
+  for (TaskId t : g.all_tasks()) {
+    if (!g.task(t).has_deadline()) continue;
+    EXPECT_GE(static_cast<double>(g.task(t).deadline) + 1.0, fp.earliest_finish[t.index()]);
+  }
+}
+
+TEST(Tgff, ControlEdgeFractionRoughlyRespected) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  TgffParams params;
+  params.num_tasks = 400;
+  params.num_edges = 800;
+  params.control_edge_fraction = 0.10;
+  params.seed = 11;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  std::size_t control = 0;
+  for (EdgeId e : g.all_edges())
+    if (g.edge(e).is_control_only()) ++control;
+  const double fraction = static_cast<double>(control) / static_cast<double>(g.num_edges());
+  EXPECT_NEAR(fraction, 0.10, 0.05);
+}
+
+TEST(TgffSp, SeriesParallelIsValidDag) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  TgffParams params;
+  params.shape = GraphShape::SeriesParallel;
+  params.num_tasks = 300;
+  params.num_edges = 600;
+  params.seed = 17;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  EXPECT_EQ(g.num_tasks(), 300u);
+  EXPECT_NO_THROW(g.validate());
+  // SP edges always point to higher ids: id order is topological.
+  for (EdgeId e : g.all_edges()) {
+    EXPECT_LT(g.edge(e).src.value, g.edge(e).dst.value);
+  }
+}
+
+TEST(TgffSp, SingleSourceSingleSink) {
+  const PeCatalog catalog = make_hetero_catalog(2, 2, 1);
+  TgffParams params;
+  params.shape = GraphShape::SeriesParallel;
+  params.num_tasks = 120;
+  params.num_edges = 200;
+  params.seed = 23;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  // The SP skeleton has exactly one source; extra cross edges never add
+  // sources (they only add in-edges).
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_GE(g.sinks().size(), 1u);
+  for (TaskId t : g.sinks()) EXPECT_TRUE(g.task(t).has_deadline());
+}
+
+TEST(TgffSp, DiffersFromLayered) {
+  const PeCatalog catalog = make_hetero_catalog(2, 2, 1);
+  TgffParams params;
+  params.num_tasks = 100;
+  params.num_edges = 200;
+  params.seed = 29;
+  params.shape = GraphShape::Layered;
+  const TaskGraph layered = generate_tgff_like(params, catalog);
+  params.shape = GraphShape::SeriesParallel;
+  const TaskGraph sp = generate_tgff_like(params, catalog);
+  // Layered graphs have many sources in layer 0; SP has one.
+  EXPECT_GT(layered.sources().size(), sp.sources().size());
+}
+
+TEST(CategoryParams, TwoIsTighterThanOne) {
+  for (int i = 0; i < 10; ++i) {
+    const TgffParams c1 = category_params(1, i);
+    const TgffParams c2 = category_params(2, i);
+    EXPECT_GT(c1.deadline_tightness_min, c2.deadline_tightness_min);
+    EXPECT_GT(c1.deadline_tightness_max, c2.deadline_tightness_max);
+    EXPECT_NE(c1.seed, c2.seed);
+  }
+}
+
+TEST(CategoryParams, IndicesVaryTopology) {
+  std::set<double> widths;
+  for (int i = 0; i < 10; ++i) widths.insert(category_params(1, i).avg_layer_width);
+  EXPECT_GE(widths.size(), 3u);
+  EXPECT_THROW((void)category_params(3, 0), Error);
+  EXPECT_THROW((void)category_params(1, 10), Error);
+}
+
+}  // namespace
+}  // namespace noceas

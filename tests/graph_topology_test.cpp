@@ -1,0 +1,143 @@
+// Unit + property tests for generic graph topologies (honeycomb future work).
+#include <gtest/gtest.h>
+
+#include "src/core/eas.hpp"
+#include "src/core/validator.hpp"
+#include "src/gen/tgff.hpp"
+#include "src/noc/graph_topology.hpp"
+#include "src/sim/wormhole_sim.hpp"
+
+namespace noceas {
+namespace {
+
+TEST(GraphTopology, LineGraphBasics) {
+  // 0 - 1 - 2
+  const GraphTopology t(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(t.num_tiles(), 3u);
+  EXPECT_EQ(t.num_links(), 4u);  // two directed per undirected
+  EXPECT_EQ(t.distance(PeId{0}, PeId{2}), 2);
+  EXPECT_EQ(t.distance(PeId{1}, PeId{1}), 0);
+  EXPECT_EQ(t.route(PeId{0}, PeId{2}).size(), 2u);
+  EXPECT_TRUE(t.route(PeId{1}, PeId{1}).empty());
+}
+
+TEST(GraphTopology, RoutesAreContiguousAndMinimal) {
+  const GraphTopology t(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});  // ring
+  for (std::size_t s = 0; s < 5; ++s) {
+    for (std::size_t d = 0; d < 5; ++d) {
+      const auto& route = t.route(PeId{s}, PeId{d});
+      EXPECT_EQ(static_cast<int>(route.size()), t.distance(PeId{s}, PeId{d}));
+      PeId cur{s};
+      for (LinkId l : route) {
+        EXPECT_EQ(t.link(l).from, cur);
+        cur = t.link(l).to;
+      }
+      EXPECT_EQ(cur, PeId{d});
+    }
+  }
+}
+
+TEST(GraphTopology, RoutesAreConsistentSuffixes) {
+  // Next-hop routing: the suffix of a route after its first link is the
+  // route from that intermediate node (needed so link reservations compose
+  // deterministically).
+  const GraphTopology t = make_honeycomb(3, 4);
+  for (std::size_t s = 0; s < t.num_tiles(); ++s) {
+    for (std::size_t d = 0; d < t.num_tiles(); ++d) {
+      const auto& route = t.route(PeId{s}, PeId{d});
+      if (route.empty()) continue;
+      const PeId mid = t.link(route.front()).to;
+      const auto& rest = t.route(mid, PeId{d});
+      ASSERT_EQ(rest.size(), route.size() - 1);
+      for (std::size_t i = 0; i < rest.size(); ++i) ASSERT_EQ(rest[i], route[i + 1]);
+    }
+  }
+}
+
+TEST(GraphTopology, RejectsBadGraphs) {
+  EXPECT_THROW(GraphTopology(0, {}), Error);
+  EXPECT_THROW(GraphTopology(2, {{0, 0}}), Error);            // self loop
+  EXPECT_THROW(GraphTopology(2, {{0, 5}}), Error);            // out of range
+  EXPECT_THROW(GraphTopology(3, {{0, 1}}), Error);            // disconnected
+  EXPECT_THROW(GraphTopology(2, {{0, 1}}, {"only-one"}), Error);  // name count
+}
+
+TEST(Honeycomb, DegreeAtMostThree) {
+  const GraphTopology t = make_honeycomb(4, 6);
+  std::vector<int> out_degree(t.num_tiles(), 0);
+  for (const Link& l : t.links()) ++out_degree[l.from.index()];
+  for (int d : out_degree) {
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 3);
+  }
+}
+
+TEST(Honeycomb, HopCountExceedsManhattanSomewhere) {
+  // The paper's Sec. 7 caveat: on a honeycomb, E_bit is no longer
+  // determined by the Manhattan distance — some pairs are farther apart
+  // than their grid coordinates suggest.
+  const GraphTopology honey = make_honeycomb(4, 4);
+  const Mesh2D mesh(4, 4);
+  bool some_pair_farther = false;
+  for (std::size_t a = 0; a < 16; ++a) {
+    for (std::size_t b = 0; b < 16; ++b) {
+      const int dh = honey.distance(PeId{a}, PeId{b});
+      const int dm = mesh.distance(PeId{a}, PeId{b});
+      EXPECT_GE(dh, dm);  // honeycomb is a subgraph of the mesh
+      some_pair_farther |= dh > dm;
+    }
+  }
+  EXPECT_TRUE(some_pair_farther);
+}
+
+TEST(Honeycomb, PlatformEq2UsesGraphHops) {
+  const GraphTopology honey = make_honeycomb(3, 3);
+  std::vector<PeDesc> pes;
+  for (std::size_t t = 0; t < honey.num_tiles(); ++t)
+    pes.push_back(PeDesc{"pe" + std::to_string(t), "GEN"});
+  EnergyParams energy;
+  energy.e_sbit = 1.0;
+  energy.e_lbit = 2.0;
+  const Platform p(honey, pes, energy, 10.0);
+  EXPECT_FALSE(p.is_mesh());
+  EXPECT_THROW((void)p.mesh(), Error);
+  for (PeId a : p.all_pes()) {
+    for (PeId b : p.all_pes()) {
+      const int hops = a == b ? 0 : honey.distance(a, b) + 1;
+      EXPECT_EQ(p.hops(a, b), hops);
+      EXPECT_DOUBLE_EQ(p.bit_energy(a, b), energy.bit_energy(hops));
+    }
+  }
+}
+
+TEST(Honeycomb, EasSchedulesEndToEnd) {
+  const GraphTopology honey = make_honeycomb(4, 4);
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  std::vector<PeDesc> pes;
+  const auto names = catalog.tile_type_names();
+  for (std::size_t t = 0; t < honey.num_tiles(); ++t) {
+    pes.push_back(PeDesc{names[t] + "@" + honey.tile_name(PeId{t}), names[t]});
+  }
+  const Platform p(honey, pes, EnergyParams{}, 64.0);
+
+  TgffParams params = category_params(1, 0);
+  params.num_tasks = 100;
+  params.num_edges = 200;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+
+  const EasResult r = schedule_eas(g, p);
+  const ValidationReport vr = validate_schedule(g, p, r.schedule, {.check_deadlines = false});
+  EXPECT_TRUE(vr.ok()) << vr.to_string();
+  const SimReport sim = simulate_schedule(g, p, r.schedule);
+  EXPECT_TRUE(sim.completed);
+}
+
+TEST(GraphTopology, DefaultNames) {
+  const GraphTopology t(2, {{0, 1}});
+  EXPECT_EQ(t.tile_name(PeId{0}), "n0");
+  const GraphTopology named = make_honeycomb(2, 2);
+  EXPECT_EQ(named.tile_name(PeId{3}), "(1,1)");
+}
+
+}  // namespace
+}  // namespace noceas

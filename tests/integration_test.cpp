@@ -1,0 +1,172 @@
+// End-to-end integration tests: generator -> schedulers -> validator ->
+// simulator, plus serialization of generated workloads, across seeds and
+// platform shapes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/baseline/dls.hpp"
+#include "src/baseline/edf.hpp"
+#include "src/core/eas.hpp"
+#include "src/core/validator.hpp"
+#include "src/ctg/serialize.hpp"
+#include "src/gen/tgff.hpp"
+#include "src/msb/msb.hpp"
+#include "src/sim/wormhole_sim.hpp"
+
+namespace noceas {
+namespace {
+
+struct Shape {
+  int rows;
+  int cols;
+  int seed;
+};
+
+class EndToEnd : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(EndToEnd, AllSchedulersProduceValidExecutableSchedules) {
+  const auto [rows, cols, seed] = GetParam();
+  const PeCatalog catalog =
+      make_hetero_catalog(rows, cols, static_cast<std::uint64_t>(seed));
+  const Platform p = make_platform_for(catalog, rows, cols);
+  TgffParams params;
+  params.num_tasks = 90;
+  params.num_edges = 180;
+  params.seed = static_cast<std::uint64_t>(seed) * 13 + 7;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+
+  const EasResult eas = schedule_eas(g, p);
+  const BaselineResult edf = schedule_edf(g, p);
+  const BaselineResult dls = schedule_dls(g, p);
+
+  for (const Schedule* s : {&eas.schedule, &edf.schedule, &dls.schedule}) {
+    const ValidationReport vr = validate_schedule(g, p, *s, {.check_deadlines = false});
+    ASSERT_TRUE(vr.ok()) << vr.to_string();
+    const SimReport sim = simulate_schedule(g, p, *s);
+    ASSERT_TRUE(sim.completed);
+  }
+  // EAS energy never exceeds the performance-oriented baselines'.
+  EXPECT_LE(eas.energy.total(), edf.energy.total() * 1.0001);
+  EXPECT_LE(eas.energy.total(), dls.energy.total() * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, EndToEnd,
+                         ::testing::Values(Shape{2, 2, 1}, Shape{2, 3, 2}, Shape{3, 3, 3},
+                                           Shape{4, 4, 4}, Shape{2, 4, 5}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.rows) + "x" +
+                                  std::to_string(info.param.cols) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+TEST(EndToEnd, GeneratedGraphsSerializeLosslessly) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform p = make_platform_for(catalog, 4, 4);
+  TgffParams params;
+  params.num_tasks = 120;
+  params.num_edges = 240;
+  params.seed = 99;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  const TaskGraph h = ctg_from_string(ctg_to_string(g));
+
+  // Scheduling the round-tripped graph gives the identical schedule.
+  const EasResult a = schedule_eas(g, p);
+  const EasResult b = schedule_eas(h, p);
+  EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+  for (TaskId t : g.all_tasks()) {
+    EXPECT_EQ(a.schedule.at(t).pe, b.schedule.at(t).pe);
+    EXPECT_EQ(a.schedule.at(t).start, b.schedule.at(t).start);
+  }
+}
+
+TEST(EndToEnd, MsbWorkloadsAllFeasibleUnderEas) {
+  const PeCatalog c2 = msb_catalog_2x2();
+  const Platform p2 = msb_platform_2x2();
+  const PeCatalog c3 = msb_catalog_3x3();
+  const Platform p3 = msb_platform_3x3();
+  for (const ClipProfile& clip : all_clips()) {
+    for (const TaskGraph& g :
+         {make_av_encoder(clip, c2), make_av_decoder(clip, c2), make_av_encdec(clip, c3)}) {
+      const Platform& p = g.num_pes() == 4 ? p2 : p3;
+      const EasResult r = schedule_eas(g, p);
+      EXPECT_TRUE(r.misses.all_met()) << clip.name;
+      const ValidationReport vr = validate_schedule(g, p, r.schedule);
+      EXPECT_TRUE(vr.ok()) << vr.to_string();
+    }
+  }
+}
+
+TEST(EndToEnd, EasBeatsEdfOnEveryMsbWorkload) {
+  const PeCatalog c2 = msb_catalog_2x2();
+  const Platform p2 = msb_platform_2x2();
+  const PeCatalog c3 = msb_catalog_3x3();
+  const Platform p3 = msb_platform_3x3();
+  for (const ClipProfile& clip : all_clips()) {
+    for (const TaskGraph& g :
+         {make_av_encoder(clip, c2), make_av_decoder(clip, c2), make_av_encdec(clip, c3)}) {
+      const Platform& p = g.num_pes() == 4 ? p2 : p3;
+      const EasResult eas = schedule_eas(g, p);
+      const BaselineResult edf = schedule_edf(g, p);
+      EXPECT_LT(eas.energy.total(), edf.energy.total()) << clip.name;
+    }
+  }
+}
+
+TEST(EndToEnd, EnergyAccountingConsistent) {
+  // compute_energy must agree with the incremental accounting implied by
+  // summing per-task placement energies.
+  const PeCatalog catalog = make_hetero_catalog(3, 3, 5);
+  const Platform p = make_platform_for(catalog, 3, 3);
+  TgffParams params;
+  params.num_tasks = 60;
+  params.num_edges = 120;
+  params.seed = 21;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  const EasResult r = schedule_eas(g, p);
+
+  Energy manual = 0.0;
+  for (TaskId t : g.all_tasks()) {
+    manual += g.task(t).exec_energy[r.schedule.at(t).pe.index()];
+  }
+  for (EdgeId e : g.all_edges()) {
+    const CommEdge& edge = g.edge(e);
+    if (edge.is_control_only()) continue;
+    manual += p.transfer_energy(edge.volume, r.schedule.at(edge.src).pe,
+                                r.schedule.at(edge.dst).pe);
+  }
+  EXPECT_NEAR(r.energy.total(), manual, 1e-9 * manual);
+}
+
+TEST(EndToEnd, TorusPlatformWorksEndToEnd) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform torus = make_mesh_platform(4, 4, catalog.tile_type_names(), 64.0,
+                                            RoutingAlgorithm::XY, EnergyParams{}, /*torus=*/true);
+  TgffParams params;
+  params.num_tasks = 80;
+  params.num_edges = 160;
+  params.seed = 31;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  const EasResult r = schedule_eas(g, torus);
+  const ValidationReport vr = validate_schedule(g, torus, r.schedule, {.check_deadlines = false});
+  EXPECT_TRUE(vr.ok()) << vr.to_string();
+  const SimReport sim = simulate_schedule(g, torus, r.schedule);
+  EXPECT_TRUE(sim.completed);
+}
+
+TEST(EndToEnd, YxRoutingWorksEndToEnd) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform yx = make_mesh_platform(4, 4, catalog.tile_type_names(), 64.0,
+                                         RoutingAlgorithm::YX);
+  TgffParams params;
+  params.num_tasks = 80;
+  params.num_edges = 160;
+  params.seed = 33;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  const EasResult r = schedule_eas(g, yx);
+  const ValidationReport vr = validate_schedule(g, yx, r.schedule, {.check_deadlines = false});
+  EXPECT_TRUE(vr.ok()) << vr.to_string();
+}
+
+}  // namespace
+}  // namespace noceas

@@ -1,0 +1,140 @@
+// Unit + property tests for the shared list-scheduler machinery: probing
+// must be side-effect free and committing must realize exactly the probed
+// timing (the paper's restore-the-tables discipline).
+#include <gtest/gtest.h>
+
+#include "src/core/list_common.hpp"
+#include "src/gen/tgff.hpp"
+
+namespace noceas {
+namespace {
+
+Platform platform2x2(bool guard = false) {
+  return make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0, RoutingAlgorithm::XY,
+                            EnergyParams{}, false, guard);
+}
+
+TEST(Probe, LeavesTablesUntouched) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("s", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_task("r", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_edge(TaskId{0}, TaskId{1}, 200);
+  Schedule s(2, 1);
+  ResourceTables tables(p);
+  commit_placement(g, p, TaskId{0}, PeId{0}, s, tables);
+
+  // Snapshot, probe everywhere, compare.
+  std::vector<std::vector<Interval>> pe_before, link_before;
+  for (const auto& t : tables.pe) pe_before.push_back(t.busy());
+  for (const auto& t : tables.link) link_before.push_back(t.busy());
+  for (PeId k : p.all_pes()) (void)probe_placement(g, p, TaskId{1}, k, s, tables);
+  for (std::size_t i = 0; i < tables.pe.size(); ++i) EXPECT_EQ(tables.pe[i].busy(), pe_before[i]);
+  for (std::size_t i = 0; i < tables.link.size(); ++i)
+    EXPECT_EQ(tables.link[i].busy(), link_before[i]);
+}
+
+TEST(Probe, CommitRealizesProbedTiming) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("s", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_task("r", {15, 25, 35, 45}, {1, 1, 1, 1});
+  g.add_edge(TaskId{0}, TaskId{1}, 200);
+  Schedule s(2, 1);
+  ResourceTables tables(p);
+  commit_placement(g, p, TaskId{0}, PeId{0}, s, tables);
+  for (PeId k : p.all_pes()) {
+    // The probe against the live tables must predict exactly what a commit
+    // in the same state would do (replayed on fresh tables).
+    const ProbeResult pr = probe_placement(g, p, TaskId{1}, k, s, tables);
+    Schedule s2(2, 1);
+    ResourceTables tables2(p);
+    commit_placement(g, p, TaskId{0}, PeId{0}, s2, tables2);  // replay prefix
+    commit_placement(g, p, TaskId{1}, k, s2, tables2);
+    EXPECT_EQ(s2.at(TaskId{1}).start, pr.start) << "PE " << k.value;
+    EXPECT_EQ(s2.at(TaskId{1}).finish, pr.finish) << "PE " << k.value;
+  }
+}
+
+TEST(Probe, GuardedPlatformLengthensReservations) {
+  const Platform plain = platform2x2(false);
+  const Platform guarded = platform2x2(true);
+  TaskGraph g(4);
+  g.add_task("s", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_task("r", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_edge(TaskId{0}, TaskId{1}, 200);  // 20 ticks at bw 10
+  for (const Platform* p : {&plain, &guarded}) {
+    Schedule s(2, 1);
+    ResourceTables tables(*p);
+    commit_placement(g, *p, TaskId{0}, PeId{0}, s, tables);
+    commit_placement(g, *p, TaskId{1}, PeId{3}, s, tables);  // 2-link route
+    const Duration expected = p->pipeline_guard() ? 22 : 20;
+    EXPECT_EQ(s.at(EdgeId{0}).duration, expected);
+  }
+}
+
+TEST(Probe, DoubleCommitRejected) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 10}, {1, 1, 1, 1});
+  Schedule s(1, 0);
+  ResourceTables tables(p);
+  commit_placement(g, p, TaskId{0}, PeId{0}, s, tables);
+  EXPECT_THROW(commit_placement(g, p, TaskId{0}, PeId{1}, s, tables), Error);
+}
+
+TEST(PlacementEnergy, MatchesComponents) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("s", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_task("r", {10, 10, 10, 10}, {2, 3, 4, 5});
+  g.add_edge(TaskId{0}, TaskId{1}, 100);
+  Schedule s(2, 1);
+  ResourceTables tables(p);
+  commit_placement(g, p, TaskId{0}, PeId{0}, s, tables);
+  for (PeId k : p.all_pes()) {
+    const Energy expected =
+        g.task(TaskId{1}).exec_energy[k.index()] + p.transfer_energy(100, PeId{0}, k);
+    EXPECT_DOUBLE_EQ(placement_energy(g, p, TaskId{1}, k, s), expected);
+  }
+}
+
+// Property: on a random instance, interleaving probes with commits never
+// corrupts the tables — final schedule validates.
+TEST(Probe, ManyProbesNeverCorrupt) {
+  static const PeCatalog catalog = make_hetero_catalog(2, 2, 3);
+  const Platform p = make_platform_for(catalog, 2, 2);
+  TgffParams params;
+  params.num_tasks = 40;
+  params.num_edges = 80;
+  params.seed = 77;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+
+  Schedule s(g.num_tasks(), g.num_edges());
+  ResourceTables tables(p);
+  std::vector<std::size_t> unplaced(g.num_tasks());
+  std::vector<TaskId> ready;
+  for (TaskId t : g.all_tasks()) {
+    unplaced[t.index()] = g.in_degree(t);
+    if (!unplaced[t.index()]) ready.push_back(t);
+  }
+  Rng rng(5);
+  while (!ready.empty()) {
+    // Probe everything several times (stress the rollback)...
+    for (TaskId t : ready)
+      for (PeId k : p.all_pes()) (void)probe_placement(g, p, t, k, s, tables);
+    // ...then commit a random ready task to a random PE.
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ready.size()) - 1));
+    const TaskId t = ready[i];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
+    commit_placement(g, p, t, PeId{static_cast<std::int32_t>(rng.uniform_int(0, 3))}, s, tables);
+    for (EdgeId e : g.out_edges(t)) {
+      if (--unplaced[g.edge(e).dst.index()] == 0) ready.push_back(g.edge(e).dst);
+    }
+  }
+  EXPECT_TRUE(s.complete());
+}
+
+}  // namespace
+}  // namespace noceas

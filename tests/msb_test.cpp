@@ -1,0 +1,126 @@
+// Unit tests for the multimedia system benchmarks (Sec. 6.2 workloads).
+#include <gtest/gtest.h>
+
+#include "src/ctg/dag_algos.hpp"
+#include "src/msb/msb.hpp"
+
+namespace noceas {
+namespace {
+
+TEST(Msb, TaskCountsMatchPaper) {
+  const PeCatalog c2 = msb_catalog_2x2();
+  const PeCatalog c3 = msb_catalog_3x3();
+  EXPECT_EQ(make_av_encoder(clip_foreman(), c2).num_tasks(), 24u);
+  EXPECT_EQ(make_av_decoder(clip_foreman(), c2).num_tasks(), 16u);
+  EXPECT_EQ(make_av_encdec(clip_foreman(), c3).num_tasks(), 40u);
+}
+
+TEST(Msb, PlatformsMatchPaper) {
+  EXPECT_EQ(msb_platform_2x2().num_pes(), 4u);
+  EXPECT_EQ(msb_platform_3x3().num_pes(), 9u);
+}
+
+TEST(Msb, GraphsAreValidDags) {
+  const PeCatalog c3 = msb_catalog_3x3();
+  for (const ClipProfile& clip : all_clips()) {
+    EXPECT_NO_THROW(make_av_encdec(clip, c3).validate());
+  }
+}
+
+TEST(Msb, DeadlinesFollowFrameRates) {
+  const PeCatalog c2 = msb_catalog_2x2();
+  const TaskGraph enc = make_av_encoder(clip_foreman(), c2);
+  const TaskGraph dec = make_av_decoder(clip_foreman(), c2);
+  Time enc_deadline = kNoDeadline, dec_deadline = kNoDeadline;
+  for (TaskId t : enc.all_tasks()) {
+    if (enc.task(t).has_deadline()) enc_deadline = enc.task(t).deadline;
+  }
+  for (TaskId t : dec.all_tasks()) {
+    if (dec.task(t).has_deadline()) dec_deadline = dec.task(t).deadline;
+  }
+  EXPECT_EQ(enc_deadline, kEncoderDeadline);  // 1e6/40 us
+  EXPECT_EQ(dec_deadline, kDecoderDeadline);  // 1e6/67 us
+}
+
+TEST(Msb, PerformanceRatioScalesDeadlines) {
+  const PeCatalog c3 = msb_catalog_3x3();
+  const TaskGraph base = make_av_encdec(clip_foreman(), c3, 1.0);
+  const TaskGraph tight = make_av_encdec(clip_foreman(), c3, 2.0);
+  for (TaskId t : base.all_tasks()) {
+    if (!base.task(t).has_deadline()) continue;
+    EXPECT_EQ(tight.task(t).deadline, base.task(t).deadline / 2);
+  }
+  EXPECT_THROW(make_av_encdec(clip_foreman(), c3, 0.0), Error);
+}
+
+TEST(Msb, RatioDoesNotChangeWorkOrVolumes) {
+  const PeCatalog c3 = msb_catalog_3x3();
+  const TaskGraph a = make_av_encdec(clip_foreman(), c3, 1.0);
+  const TaskGraph b = make_av_encdec(clip_foreman(), c3, 1.5);
+  for (TaskId t : a.all_tasks()) EXPECT_EQ(a.task(t).exec_time, b.task(t).exec_time);
+  for (EdgeId e : a.all_edges()) EXPECT_EQ(a.edge(e).volume, b.edge(e).volume);
+}
+
+TEST(Msb, ClipMotionOrderingReflectsInWork) {
+  // Motion-estimation load must grow akiyo < foreman < toybox.
+  const PeCatalog c2 = msb_catalog_2x2();
+  auto me_mean = [&](const ClipProfile& clip) {
+    const TaskGraph g = make_av_encoder(clip, c2);
+    for (TaskId t : g.all_tasks()) {
+      if (g.task(t).name == "me_luma_top") return g.mean_exec_time(t);
+    }
+    ADD_FAILURE() << "me_luma_top not found";
+    return 0.0;
+  };
+  EXPECT_LT(me_mean(clip_akiyo()), me_mean(clip_foreman()));
+  EXPECT_LT(me_mean(clip_foreman()), me_mean(clip_toybox()));
+}
+
+TEST(Msb, ClipVolumesScaleWithDetail) {
+  const PeCatalog c2 = msb_catalog_2x2();
+  auto total_volume = [&](const ClipProfile& clip) {
+    const TaskGraph g = make_av_encoder(clip, c2);
+    Volume v = 0;
+    for (EdgeId e : g.all_edges()) v += g.edge(e).volume;
+    return v;
+  };
+  EXPECT_LT(total_volume(clip_akiyo()), total_volume(clip_foreman()));
+  EXPECT_LT(total_volume(clip_foreman()), total_volume(clip_toybox()));
+}
+
+TEST(Msb, DeterministicTables) {
+  const PeCatalog c3 = msb_catalog_3x3();
+  const TaskGraph a = make_av_encdec(clip_foreman(), c3);
+  const TaskGraph b = make_av_encdec(clip_foreman(), c3);
+  for (TaskId t : a.all_tasks()) {
+    EXPECT_EQ(a.task(t).exec_time, b.task(t).exec_time);
+    EXPECT_EQ(a.task(t).exec_energy, b.task(t).exec_energy);
+  }
+}
+
+TEST(Msb, EncDecIsDisjointUnion) {
+  const PeCatalog c3 = msb_catalog_3x3();
+  const TaskGraph g = make_av_encdec(clip_foreman(), c3);
+  // No edges cross the encoder/decoder boundary (independent applications).
+  for (EdgeId e : g.all_edges()) {
+    const bool src_enc = g.edge(e).src.value < 24;
+    const bool dst_enc = g.edge(e).dst.value < 24;
+    EXPECT_EQ(src_enc, dst_enc);
+  }
+}
+
+TEST(Msb, BaselineDeadlinesFeasibleOnMeanRelaxation) {
+  const PeCatalog c3 = msb_catalog_3x3();
+  for (const ClipProfile& clip : all_clips()) {
+    const TaskGraph g = make_av_encdec(clip, c3);
+    const auto fp = forward_pass(g, mean_durations(g));
+    for (TaskId t : g.all_tasks()) {
+      if (!g.task(t).has_deadline()) continue;
+      EXPECT_GT(static_cast<double>(g.task(t).deadline), fp.earliest_finish[t.index()])
+          << g.task(t).name << " for clip " << clip.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace noceas

@@ -1,0 +1,128 @@
+// Optimality anchors: on instances small enough to enumerate every
+// assignment exhaustively, the EAS heuristic must (a) never beat the true
+// optimum (sanity of the energy accounting), (b) stay within a modest
+// factor of it, and (c) hit it exactly in cases where greedy selection is
+// provably optimal.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/core/eas.hpp"
+#include "src/core/validator.hpp"
+#include "src/gen/tgff.hpp"
+
+namespace noceas {
+namespace {
+
+/// Exact minimum of Eq. 3 over all assignments M: T -> P (deadlines
+/// ignored; energy depends only on the assignment).
+Energy brute_force_min_energy(const TaskGraph& g, const Platform& p) {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = p.num_pes();
+  std::vector<std::size_t> assign(n, 0);
+  Energy best = std::numeric_limits<Energy>::infinity();
+  while (true) {
+    Energy e = 0.0;
+    for (TaskId t : g.all_tasks()) e += g.task(t).exec_energy[assign[t.index()]];
+    for (EdgeId edge : g.all_edges()) {
+      const CommEdge& c = g.edge(edge);
+      if (c.is_control_only()) continue;
+      e += p.transfer_energy(c.volume, PeId{assign[c.src.index()]}, PeId{assign[c.dst.index()]});
+    }
+    best = std::min(best, e);
+    // Next assignment (odometer).
+    std::size_t i = 0;
+    while (i < n && ++assign[i] == P) assign[i++] = 0;
+    if (i == n) break;
+  }
+  return best;
+}
+
+/// Random small deadline-free CTG (deadlines stripped).
+TaskGraph small_instance(std::uint64_t seed, std::size_t tasks, const PeCatalog& catalog) {
+  TgffParams params;
+  params.num_tasks = tasks;
+  params.num_edges = tasks + tasks / 2;
+  params.seed = seed;
+  TaskGraph g = generate_tgff_like(params, catalog);
+  for (TaskId t : g.all_tasks()) g.task(t).deadline = kNoDeadline;
+  return g;
+}
+
+class OptimalityGap : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalityGap, EasWithinFactorOfExhaustiveOptimum) {
+  const PeCatalog catalog = make_hetero_catalog(2, 2, 7);
+  const Platform p = make_platform_for(catalog, 2, 2);
+  const TaskGraph g = small_instance(static_cast<std::uint64_t>(GetParam()) * 101 + 3, 7, catalog);
+
+  const Energy optimum = brute_force_min_energy(g, p);
+  const EasResult eas = schedule_eas(g, p);
+  const ValidationReport vr = validate_schedule(g, p, eas.schedule);
+  ASSERT_TRUE(vr.ok()) << vr.to_string();
+
+  // Never below the exhaustive optimum (energy accounting is exact) ...
+  EXPECT_GE(eas.energy.total(), optimum * (1.0 - 1e-9));
+  // ... and within 30% of it (heuristic quality anchor; the observed gap on
+  // these instances is far smaller, but the bound must stay robust).
+  EXPECT_LE(eas.energy.total(), optimum * 1.30)
+      << "EAS " << eas.energy.total() << " vs optimum " << optimum;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityGap, ::testing::Range(1, 13));
+
+TEST(Optimality, IndependentTasksAreScheduledOptimally) {
+  // With no edges and no deadlines the optimum decomposes per task; the
+  // regret-driven selection must find it exactly.
+  const PeCatalog catalog = make_hetero_catalog(2, 2, 11);
+  const Platform p = make_platform_for(catalog, 2, 2);
+  TaskGraph g(p.num_pes());
+  Rng rng(99);
+  Energy optimum = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    auto tables = catalog.make_tables(TaskKind::Generic, rng.uniform(50.0, 300.0), rng);
+    Energy best = std::numeric_limits<Energy>::infinity();
+    for (Energy e : tables.exec_energy) best = std::min(best, e);
+    optimum += best;
+    g.add_task("t" + std::to_string(i), std::move(tables.exec_time),
+               std::move(tables.exec_energy));
+  }
+  const EasResult eas = schedule_eas(g, p);
+  EXPECT_NEAR(eas.energy.total(), optimum, 1e-9 * optimum);
+}
+
+TEST(Optimality, ChainWithHugeVolumesCoLocatesOptimally) {
+  // A chain with overwhelming communication volumes: the optimum puts the
+  // whole chain on the single cheapest tile; EAS must find it.
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g(4);
+  for (int i = 0; i < 5; ++i) {
+    g.add_task("t" + std::to_string(i), {10, 10, 10, 10}, {5.0, 5.5, 6.0, 6.5});
+  }
+  for (int i = 0; i + 1 < 5; ++i) g.add_edge(TaskId{i}, TaskId{i + 1}, 1000000);
+  const EasResult eas = schedule_eas(g, p);
+  for (TaskId t : g.all_tasks()) EXPECT_EQ(eas.schedule.at(t).pe, PeId{0});
+  EXPECT_DOUBLE_EQ(eas.energy.total(), 25.0);
+  EXPECT_DOUBLE_EQ(eas.energy.total(), brute_force_min_energy(g, p));
+}
+
+TEST(Optimality, BruteForceMatchesComputeEnergyOnEasAssignment) {
+  // Cross-check the two independent energy computations on one instance.
+  const PeCatalog catalog = make_hetero_catalog(2, 2, 7);
+  const Platform p = make_platform_for(catalog, 2, 2);
+  const TaskGraph g = small_instance(1234, 6, catalog);
+  const EasResult eas = schedule_eas(g, p);
+  // Recompute Eq. 3 for the EAS assignment by hand.
+  Energy manual = 0.0;
+  for (TaskId t : g.all_tasks()) manual += g.task(t).exec_energy[eas.schedule.at(t).pe.index()];
+  for (EdgeId e : g.all_edges()) {
+    const CommEdge& c = g.edge(e);
+    if (c.is_control_only()) continue;
+    manual += p.transfer_energy(c.volume, eas.schedule.at(c.src).pe, eas.schedule.at(c.dst).pe);
+  }
+  EXPECT_NEAR(manual, eas.energy.total(), 1e-9 * manual);
+  EXPECT_GE(manual, brute_force_min_energy(g, p) * (1.0 - 1e-12));
+}
+
+}  // namespace
+}  // namespace noceas

@@ -1,0 +1,139 @@
+// Unit + property tests for the energy-polishing post-pass.
+#include <gtest/gtest.h>
+
+#include "src/baseline/edf.hpp"
+#include "src/baseline/greedy_energy.hpp"
+#include "src/core/eas.hpp"
+#include "src/core/polish.hpp"
+#include "src/core/validator.hpp"
+#include <limits>
+
+#include "src/gen/tgff.hpp"
+
+namespace noceas {
+namespace {
+
+TEST(Polish, MovesTaskToCheaperPe) {
+  // A single deadline-free task stranded on an expensive PE must migrate.
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 10}, {100.0, 50.0, 20.0, 5.0});
+  Schedule s(1, 0);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  const PolishResult r = polish_energy(g, p, s);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{3});
+  EXPECT_DOUBLE_EQ(r.energy_after, 5.0);
+  EXPECT_EQ(r.accepted_moves, 1);
+  EXPECT_DOUBLE_EQ(r.saved(), 95.0);
+}
+
+TEST(Polish, RespectsDeadlines) {
+  // The cheap PE is too slow for the deadline: no move allowed.
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 100}, {100.0, 100.0, 100.0, 5.0}, 50);
+  Schedule s(1, 0);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  const PolishResult r = polish_energy(g, p, s);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{0});
+  EXPECT_EQ(r.accepted_moves, 0);
+  EXPECT_DOUBLE_EQ(r.saved(), 0.0);
+}
+
+TEST(Polish, ZeroBudgetIsIdentity) {
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 10}, {100.0, 5.0, 5.0, 5.0});
+  Schedule s(1, 0);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  PolishOptions options;
+  options.max_rebuilds = 0;
+  const PolishResult r = polish_energy(g, p, s, options);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).pe, PeId{0});
+}
+
+class PolishSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolishSweep, MonotoneAndValidOnEasSchedules) {
+  static const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform p = make_platform_for(catalog, 4, 4);
+  TgffParams params = category_params(2, GetParam());
+  params.num_tasks = 150;
+  params.num_edges = 300;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  const EasResult eas = schedule_eas(g, p);
+
+  const PolishResult r = polish_energy(g, p, eas.schedule);
+  EXPECT_LE(r.energy_after, r.energy_before + 1e-9);
+  EXPECT_NEAR(compute_energy(g, p, r.schedule).total(), r.energy_after, 1e-6);
+  const MissReport before = deadline_misses(g, eas.schedule);
+  const MissReport after = deadline_misses(g, r.schedule);
+  EXPECT_FALSE(before.better_than(after));  // never worse on deadlines
+  const ValidationReport vr = validate_schedule(g, p, r.schedule, {.check_deadlines = false});
+  EXPECT_TRUE(vr.ok()) << vr.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolishSweep, ::testing::Range(0, 5));
+
+TEST(Polish, NeverBeatsExhaustiveOptimum) {
+  // On an instance small enough to enumerate, polished energy stays >= the
+  // true assignment optimum (the greedy baseline is NOT a valid floor — the
+  // ablation bench shows polishing can beat it).
+  static const PeCatalog catalog = make_hetero_catalog(2, 2, 7);
+  const Platform p = make_platform_for(catalog, 2, 2);
+  TgffParams params;
+  params.num_tasks = 7;
+  params.num_edges = 10;
+  params.seed = 4242;
+  TaskGraph g = generate_tgff_like(params, catalog);
+  for (TaskId t : g.all_tasks()) g.task(t).deadline = kNoDeadline;
+
+  // Exhaustive Eq. 3 minimum over all 4^7 assignments.
+  Energy optimum = std::numeric_limits<Energy>::infinity();
+  std::vector<std::size_t> assign(g.num_tasks(), 0);
+  while (true) {
+    Energy e = 0.0;
+    for (TaskId t : g.all_tasks()) e += g.task(t).exec_energy[assign[t.index()]];
+    for (EdgeId edge : g.all_edges()) {
+      const CommEdge& c = g.edge(edge);
+      if (!c.is_control_only())
+        e += p.transfer_energy(c.volume, PeId{assign[c.src.index()]},
+                               PeId{assign[c.dst.index()]});
+    }
+    optimum = std::min(optimum, e);
+    std::size_t i = 0;
+    while (i < g.num_tasks() && ++assign[i] == 4) assign[i++] = 0;
+    if (i == g.num_tasks()) break;
+  }
+
+  const EasResult eas = schedule_eas(g, p);
+  const PolishResult r = polish_energy(g, p, eas.schedule);
+  EXPECT_GE(r.energy_after, optimum * (1.0 - 1e-9));
+}
+
+TEST(Polish, RecoversEnergyOnEdfSchedules) {
+  // EDF schedules have lots of headroom; polishing must find real savings
+  // without introducing a single miss.
+  static const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform p = make_platform_for(catalog, 4, 4);
+  TgffParams params = category_params(1, 0);
+  params.num_tasks = 120;
+  params.num_edges = 240;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  const BaselineResult edf = schedule_edf(g, p);
+  ASSERT_TRUE(edf.misses.all_met());
+  const PolishResult r = polish_energy(g, p, edf.schedule);
+  EXPECT_GT(r.saved(), 0.1 * r.energy_before);  // well over 10% on EDF
+  EXPECT_TRUE(deadline_misses(g, r.schedule).all_met());
+}
+
+TEST(Polish, RejectsIncompleteSchedule) {
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g(4);
+  g.add_task("t", {10, 10, 10, 10}, {1, 1, 1, 1});
+  Schedule incomplete(1, 0);
+  EXPECT_THROW((void)polish_energy(g, p, incomplete), Error);
+}
+
+}  // namespace
+}  // namespace noceas

@@ -1,0 +1,114 @@
+// Unit + property tests for the deterministic routing schemes.
+#include <gtest/gtest.h>
+
+#include "src/noc/routing.hpp"
+
+namespace noceas {
+namespace {
+
+/// Follows a route link by link and returns the final tile.
+PeId walk_route(const Mesh2D& mesh, PeId src, const std::vector<LinkId>& route) {
+  PeId cur = src;
+  for (LinkId l : route) {
+    EXPECT_EQ(mesh.link(l).from, cur) << "route is not contiguous";
+    cur = mesh.link(l).to;
+  }
+  return cur;
+}
+
+TEST(XyRouting, GoesXFirst) {
+  const Mesh2D mesh(4, 4);
+  const PeId src = mesh.tile_at(Coord{0, 0});
+  const PeId dst = mesh.tile_at(Coord{2, 2});
+  const auto route = compute_route(mesh, RoutingAlgorithm::XY, src, dst);
+  ASSERT_EQ(route.size(), 4u);
+  EXPECT_EQ(mesh.link(route[0]).dir, Dir::East);
+  EXPECT_EQ(mesh.link(route[1]).dir, Dir::East);
+  EXPECT_EQ(mesh.link(route[2]).dir, Dir::North);
+  EXPECT_EQ(mesh.link(route[3]).dir, Dir::North);
+  EXPECT_EQ(walk_route(mesh, src, route), dst);
+}
+
+TEST(YxRouting, GoesYFirst) {
+  const Mesh2D mesh(4, 4);
+  const PeId src = mesh.tile_at(Coord{0, 0});
+  const PeId dst = mesh.tile_at(Coord{2, 2});
+  const auto route = compute_route(mesh, RoutingAlgorithm::YX, src, dst);
+  ASSERT_EQ(route.size(), 4u);
+  EXPECT_EQ(mesh.link(route[0]).dir, Dir::North);
+  EXPECT_EQ(mesh.link(route[2]).dir, Dir::East);
+  EXPECT_EQ(walk_route(mesh, src, route), dst);
+}
+
+TEST(XyRouting, WestAndSouth) {
+  const Mesh2D mesh(4, 4);
+  const PeId src = mesh.tile_at(Coord{3, 3});
+  const PeId dst = mesh.tile_at(Coord{1, 2});
+  const auto route = compute_route(mesh, RoutingAlgorithm::XY, src, dst);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(mesh.link(route[0]).dir, Dir::West);
+  EXPECT_EQ(mesh.link(route[1]).dir, Dir::West);
+  EXPECT_EQ(mesh.link(route[2]).dir, Dir::South);
+}
+
+TEST(Routing, SameTileIsEmpty) {
+  const Mesh2D mesh(3, 3);
+  EXPECT_TRUE(compute_route(mesh, RoutingAlgorithm::XY, PeId{4}, PeId{4}).empty());
+}
+
+TEST(Routing, TorusTakesShortcut) {
+  const Mesh2D torus(4, 4, true);
+  const PeId src = torus.tile_at(Coord{0, 0});
+  const PeId dst = torus.tile_at(Coord{3, 0});
+  const auto route = compute_route(torus, RoutingAlgorithm::XY, src, dst);
+  ASSERT_EQ(route.size(), 1u);  // wraps West instead of 3 hops East
+  EXPECT_EQ(torus.link(route[0]).dir, Dir::West);
+  EXPECT_EQ(walk_route(torus, src, route), dst);
+}
+
+TEST(Routing, AlgorithmNames) {
+  EXPECT_STREQ(to_string(RoutingAlgorithm::XY), "XY");
+  EXPECT_STREQ(to_string(RoutingAlgorithm::YX), "YX");
+}
+
+TEST(RouterHops, MatchesEq2Definition) {
+  const Mesh2D mesh(4, 4);
+  // Same tile: data never enters the network.
+  EXPECT_EQ(router_hops(mesh, PeId{5}, PeId{5}), 0);
+  // Adjacent tiles: bit passes 2 routers.
+  EXPECT_EQ(router_hops(mesh, mesh.tile_at(Coord{0, 0}), mesh.tile_at(Coord{1, 0})), 2);
+  // Corner to corner on 4x4: Manhattan 6 -> 7 routers.
+  EXPECT_EQ(router_hops(mesh, mesh.tile_at(Coord{0, 0}), mesh.tile_at(Coord{3, 3})), 7);
+}
+
+// Property: on every mesh/torus and every pair, routes are minimal,
+// contiguous and end at the destination; XY and YX have equal length.
+class RoutingProperty : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(RoutingProperty, MinimalAndContiguous) {
+  const auto [rows, cols, torus] = GetParam();
+  const Mesh2D mesh(rows, cols, torus);
+  for (std::size_t s = 0; s < mesh.num_tiles(); ++s) {
+    for (std::size_t d = 0; d < mesh.num_tiles(); ++d) {
+      const PeId src{s}, dst{d};
+      const auto xy = compute_route(mesh, RoutingAlgorithm::XY, src, dst);
+      const auto yx = compute_route(mesh, RoutingAlgorithm::YX, src, dst);
+      ASSERT_EQ(walk_route(mesh, src, xy), dst);
+      ASSERT_EQ(walk_route(mesh, src, yx), dst);
+      ASSERT_EQ(static_cast<int>(xy.size()), mesh.distance(src, dst));
+      ASSERT_EQ(xy.size(), yx.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RoutingProperty,
+                         ::testing::Values(std::make_tuple(2, 2, false),
+                                           std::make_tuple(4, 4, false),
+                                           std::make_tuple(3, 5, false),
+                                           std::make_tuple(1, 6, false),
+                                           std::make_tuple(3, 3, true),
+                                           std::make_tuple(4, 4, true),
+                                           std::make_tuple(2, 5, true)));
+
+}  // namespace
+}  // namespace noceas

@@ -1,0 +1,205 @@
+// Unit + property tests for the schedule tables (occupied-slot lists), the
+// path merge of Fig. 3 and the tentative-reservation rollback log.
+#include <gtest/gtest.h>
+
+#include "src/core/schedule_table.hpp"
+#include "src/util/rng.hpp"
+
+namespace noceas {
+namespace {
+
+TEST(ScheduleTable, EmptyFitsAnywhere) {
+  const ScheduleTable t;
+  EXPECT_EQ(t.earliest_fit(0, 10), 0);
+  EXPECT_EQ(t.earliest_fit(42, 10), 42);
+  EXPECT_EQ(t.earliest_fit(42, 0), 42);
+}
+
+TEST(ScheduleTable, FitsInGap) {
+  ScheduleTable t;
+  t.reserve({0, 10});
+  t.reserve({20, 30});
+  EXPECT_EQ(t.earliest_fit(0, 10), 10);   // exactly the gap
+  EXPECT_EQ(t.earliest_fit(0, 11), 30);   // gap too small
+  EXPECT_EQ(t.earliest_fit(5, 5), 10);
+  EXPECT_EQ(t.earliest_fit(12, 5), 12);
+  EXPECT_EQ(t.earliest_fit(25, 5), 30);   // starts inside a busy slot
+}
+
+TEST(ScheduleTable, ZeroDurationFitsAtBoundary) {
+  ScheduleTable t;
+  t.reserve({0, 10});
+  EXPECT_EQ(t.earliest_fit(5, 0), 5);  // zero-length intervals never conflict
+}
+
+TEST(ScheduleTable, ReserveRejectsOverlap) {
+  ScheduleTable t;
+  t.reserve({10, 20});
+  EXPECT_THROW(t.reserve({15, 25}), Error);
+  EXPECT_THROW(t.reserve({5, 11}), Error);
+  EXPECT_THROW(t.reserve({12, 18}), Error);
+  EXPECT_NO_THROW(t.reserve({20, 25}));  // touching is fine
+  EXPECT_NO_THROW(t.reserve({5, 10}));
+}
+
+TEST(ScheduleTable, ReserveRejectsInverted) {
+  ScheduleTable t;
+  EXPECT_THROW(t.reserve({10, 5}), Error);
+}
+
+TEST(ScheduleTable, EmptyIntervalIsNoop) {
+  ScheduleTable t;
+  t.reserve({5, 5});
+  EXPECT_TRUE(t.empty());
+  t.release({5, 5});
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ScheduleTable, ReleaseExactMatchOnly) {
+  ScheduleTable t;
+  t.reserve({10, 20});
+  EXPECT_THROW(t.release({10, 19}), Error);
+  EXPECT_THROW(t.release({11, 20}), Error);
+  t.release({10, 20});
+  EXPECT_TRUE(t.empty());
+  EXPECT_THROW(t.release({10, 20}), Error);
+}
+
+TEST(ScheduleTable, IsFree) {
+  ScheduleTable t;
+  t.reserve({10, 20});
+  EXPECT_TRUE(t.is_free({0, 10}));
+  EXPECT_TRUE(t.is_free({20, 30}));
+  EXPECT_FALSE(t.is_free({19, 21}));
+  EXPECT_TRUE(t.is_free({5, 5}));
+}
+
+TEST(ScheduleTable, TotalBusy) {
+  ScheduleTable t;
+  t.reserve({0, 10});
+  t.reserve({20, 25});
+  EXPECT_EQ(t.total_busy(), 15);
+}
+
+TEST(PathFit, MergesAllTables) {
+  ScheduleTable a, b;
+  a.reserve({0, 10});
+  b.reserve({15, 25});
+  const ScheduleTable* tables[] = {&a, &b};
+  EXPECT_EQ(path_earliest_fit(tables, 0, 5), 10);   // between a and b
+  EXPECT_EQ(path_earliest_fit(tables, 0, 6), 25);   // must clear both
+  EXPECT_EQ(path_earliest_fit(tables, 30, 5), 30);
+}
+
+TEST(PathFit, EmptyPathIsImmediate) {
+  EXPECT_EQ(path_earliest_fit({}, 7, 100), 7);
+}
+
+TEST(PathFit, SingleTableMatchesTableFit) {
+  ScheduleTable a;
+  a.reserve({5, 10});
+  a.reserve({12, 20});
+  const ScheduleTable* tables[] = {&a};
+  for (Time t0 : {0, 3, 6, 11, 19, 25}) {
+    for (Duration d : {0, 1, 2, 5}) {
+      EXPECT_EQ(path_earliest_fit(tables, t0, d), a.earliest_fit(t0, d));
+    }
+  }
+}
+
+TEST(ReservationLog, RollsBackInReverse) {
+  ScheduleTable a, b;
+  {
+    ReservationLog log;
+    log.reserve(a, {0, 10});
+    log.reserve(b, {0, 10});
+    log.reserve(a, {10, 20});
+    EXPECT_EQ(log.size(), 3u);
+    log.rollback();
+  }
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(ReservationLog, CommitKeepsReservations) {
+  ScheduleTable a;
+  {
+    ReservationLog log;
+    log.reserve(a, {0, 10});
+    log.commit();
+  }
+  EXPECT_EQ(a.total_busy(), 10);
+}
+
+TEST(ReservationLog, DestructorRollsBackPending) {
+  ScheduleTable a;
+  {
+    ReservationLog log;
+    log.reserve(a, {0, 10});
+    // no rollback/commit: destructor must clean up
+  }
+  EXPECT_TRUE(a.empty());
+}
+
+// Property: after any sequence of random reserve-at-earliest-fit operations,
+// the busy list stays sorted and disjoint and earliest_fit never returns a
+// conflicting slot.
+class TableProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TableProperty, RandomOperationsKeepInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  ScheduleTable t;
+  std::vector<Interval> held;
+  for (int step = 0; step < 500; ++step) {
+    if (!held.empty() && rng.chance(0.3)) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
+      t.release(held[idx]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      const Time t0 = rng.uniform_int(0, 500);
+      const Duration d = rng.uniform_int(1, 40);
+      const Time s = t.earliest_fit(t0, d);
+      ASSERT_GE(s, t0);
+      ASSERT_TRUE(t.is_free({s, s + d}));
+      t.reserve({s, s + d});
+      held.push_back({s, s + d});
+    }
+    // Invariant: busy slots sorted and pairwise disjoint.
+    const auto& busy = t.busy();
+    for (std::size_t i = 1; i < busy.size(); ++i) {
+      ASSERT_LE(busy[i - 1].end, busy[i].start);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableProperty, ::testing::Range(1, 9));
+
+// Property: earliest_fit returns the *minimal* feasible start.
+class EarliestFitProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EarliestFitProperty, IsMinimal) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31);
+  ScheduleTable t;
+  for (int i = 0; i < 30; ++i) {
+    const Time t0 = rng.uniform_int(0, 300);
+    const Duration d = rng.uniform_int(1, 20);
+    const Time s = t.earliest_fit(t0, d);
+    if (t.is_free({s, s + d})) t.reserve({s, s + d});
+  }
+  for (int probe = 0; probe < 100; ++probe) {
+    const Time t0 = rng.uniform_int(0, 350);
+    const Duration d = rng.uniform_int(0, 25);
+    const Time s = t.earliest_fit(t0, d);
+    ASSERT_TRUE(t.is_free({s, s + d}));
+    // No earlier feasible start exists (check every candidate).
+    for (Time cand = t0; cand < s; ++cand) {
+      ASSERT_FALSE(t.is_free({cand, cand + d})) << "earlier fit exists at " << cand;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EarliestFitProperty, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace noceas

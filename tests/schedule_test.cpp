@@ -1,0 +1,135 @@
+// Unit tests for the Schedule representation and its derived metrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/schedule.hpp"
+
+namespace noceas {
+namespace {
+
+Platform platform2x2() { return make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0); }
+
+/// a -> b (data), a -> c (control).
+TaskGraph tri() {
+  TaskGraph g(4);
+  g.add_task("a", {10, 12, 14, 16}, {4.0, 3.0, 2.0, 1.0});
+  g.add_task("b", {10, 12, 14, 16}, {4.0, 3.0, 2.0, 1.0}, 100);
+  g.add_task("c", {10, 12, 14, 16}, {4.0, 3.0, 2.0, 1.0});
+  g.add_edge(TaskId{0}, TaskId{1}, 50);
+  g.add_edge(TaskId{0}, TaskId{2}, 0);
+  return g;
+}
+
+Schedule hand_schedule(const TaskGraph& g, const Platform& p) {
+  Schedule s(g.num_tasks(), g.num_edges());
+  s.tasks[0] = {PeId{0}, 0, 10};
+  s.tasks[1] = {PeId{1}, 15, 27};  // transfer 0->1 takes 5 (50 bits @ 10)
+  s.tasks[2] = {PeId{0}, 10, 20};
+  s.comms[0] = {PeId{0}, PeId{1}, 10, p.transfer_time(50, PeId{0}, PeId{1})};
+  s.comms[1] = {PeId{0}, PeId{0}, 10, 0};
+  return s;
+}
+
+TEST(Schedule, CompleteDetection) {
+  const TaskGraph g = tri();
+  Schedule s(g.num_tasks(), g.num_edges());
+  EXPECT_FALSE(s.complete());
+  const Platform p = platform2x2();
+  EXPECT_TRUE(hand_schedule(g, p).complete());
+}
+
+TEST(Schedule, EnergyMatchesEq3) {
+  const TaskGraph g = tri();
+  const Platform p = platform2x2();
+  const Schedule s = hand_schedule(g, p);
+  const EnergyBreakdown eb = compute_energy(g, p, s);
+  EXPECT_DOUBLE_EQ(eb.computation, 4.0 + 3.0 + 4.0);
+  EXPECT_DOUBLE_EQ(eb.communication, p.transfer_energy(50, PeId{0}, PeId{1}));
+  EXPECT_DOUBLE_EQ(eb.total(), eb.computation + eb.communication);
+}
+
+TEST(Schedule, ControlEdgesCarryNoEnergy) {
+  const TaskGraph g = tri();
+  const Platform p = platform2x2();
+  Schedule s = hand_schedule(g, p);
+  // Move c to a remote tile: still no communication energy for the control arc.
+  s.tasks[2] = {PeId{3}, 10, 26};
+  s.comms[1] = {PeId{0}, PeId{3}, 10, 0};
+  const EnergyBreakdown eb = compute_energy(g, p, s);
+  EXPECT_DOUBLE_EQ(eb.communication, p.transfer_energy(50, PeId{0}, PeId{1}));
+}
+
+TEST(Schedule, MissReport) {
+  const TaskGraph g = tri();
+  const Platform p = platform2x2();
+  Schedule s = hand_schedule(g, p);
+  MissReport mr = deadline_misses(g, s);
+  EXPECT_TRUE(mr.all_met());
+  s.tasks[1].finish = 130;
+  mr = deadline_misses(g, s);
+  EXPECT_EQ(mr.miss_count, 1u);
+  EXPECT_EQ(mr.total_tardiness, 30);
+  ASSERT_EQ(mr.missed.size(), 1u);
+  EXPECT_EQ(mr.missed[0], TaskId{1});
+}
+
+TEST(Schedule, MissReportOrdering) {
+  MissReport a;
+  a.miss_count = 1;
+  a.total_tardiness = 100;
+  MissReport b;
+  b.miss_count = 2;
+  b.total_tardiness = 1;
+  EXPECT_TRUE(a.better_than(b));   // fewer misses wins
+  b.miss_count = 1;
+  EXPECT_TRUE(b.better_than(a));   // then lower tardiness
+}
+
+TEST(Schedule, Makespan) {
+  const TaskGraph g = tri();
+  const Platform p = platform2x2();
+  EXPECT_EQ(makespan(hand_schedule(g, p)), 27);
+}
+
+TEST(Schedule, AverageHops) {
+  const TaskGraph g = tri();
+  const Platform p = platform2x2();
+  const Schedule s = hand_schedule(g, p);
+  // One data packet, 0 -> 1 adjacent: 2 routers. Control edge not counted.
+  EXPECT_DOUBLE_EQ(average_hops_per_packet(g, p, s), 2.0);
+}
+
+TEST(Schedule, PeOrdersSortedByStart) {
+  const TaskGraph g = tri();
+  const Platform p = platform2x2();
+  const auto orders = pe_orders(hand_schedule(g, p), p.num_pes());
+  ASSERT_EQ(orders.size(), 4u);
+  ASSERT_EQ(orders[0].size(), 2u);
+  EXPECT_EQ(orders[0][0], TaskId{0});
+  EXPECT_EQ(orders[0][1], TaskId{2});
+  ASSERT_EQ(orders[1].size(), 1u);
+  EXPECT_EQ(orders[1][0], TaskId{1});
+}
+
+TEST(Schedule, GanttMentionsTasksAndTransactions) {
+  const TaskGraph g = tri();
+  const Platform p = platform2x2();
+  std::ostringstream os;
+  print_gantt(os, g, p, hand_schedule(g, p));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("a[0,10)"), std::string::npos);
+  EXPECT_NE(out.find("a->b"), std::string::npos);
+  EXPECT_NE(out.find("50b"), std::string::npos);
+}
+
+TEST(Schedule, CommPlacementArrival) {
+  CommPlacement cp{PeId{0}, PeId{1}, 10, 5};
+  EXPECT_EQ(cp.arrival(), 15);
+  EXPECT_TRUE(cp.uses_network());
+  CommPlacement local{PeId{0}, PeId{0}, 10, 0};
+  EXPECT_FALSE(local.uses_network());
+}
+
+}  // namespace
+}  // namespace noceas

@@ -1,0 +1,154 @@
+// Unit tests for Step 1 (budget slack allocation), anchored on the paper's
+// own worked example (Fig. 2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/slack_budget.hpp"
+
+namespace noceas {
+namespace {
+
+/// Builds a task whose per-PE times hit a required mean and weight pattern.
+/// For the Fig. 2 chain we need M = {300, 200, 400} and W = {100, 200, 100};
+/// since W = VAR_e * VAR_r we synthesize two-PE tables with the right
+/// moments: times {m - d, m + d} give VAR_r = d^2; energies likewise.
+void add_chain_task(TaskGraph& g, const char* name, double mean_time, double var_r, double var_e,
+                    Time deadline = kNoDeadline) {
+  const double dt = std::sqrt(var_r);
+  const double de = std::sqrt(var_e);
+  g.add_task(name,
+             {static_cast<Duration>(mean_time - dt), static_cast<Duration>(mean_time + dt)},
+             {100.0 - de, 100.0 + de}, deadline);
+}
+
+TEST(SlackBudget, ReproducesPaperFig2) {
+  // Paper: chain t1 -> t2 -> t3, M = 300/200/400, W = 100/200/100,
+  // d(t3) = 1300 => slack 400 shared 100/200/100 => BD = 400/800/1300.
+  TaskGraph g(2);
+  add_chain_task(g, "t1", 300, 25.0, 4.0);   // W = 100
+  add_chain_task(g, "t2", 200, 25.0, 8.0);   // W = 200
+  add_chain_task(g, "t3", 400, 25.0, 4.0, 1300);  // W = 100
+  g.add_edge(TaskId{0}, TaskId{1}, 16);
+  g.add_edge(TaskId{1}, TaskId{2}, 16);
+
+  const SlackBudget sb = compute_slack_budget(g);
+  EXPECT_NEAR(sb.weight[0], 100.0, 1e-6);
+  EXPECT_NEAR(sb.weight[1], 200.0, 1e-6);
+  EXPECT_NEAR(sb.weight[2], 100.0, 1e-6);
+  EXPECT_EQ(sb.budgeted_deadline[0], 400);
+  EXPECT_EQ(sb.budgeted_deadline[1], 800);
+  EXPECT_EQ(sb.budgeted_deadline[2], 1300);
+}
+
+TEST(SlackBudget, NoDeadlineMeansNoBudget) {
+  TaskGraph g(2);
+  add_chain_task(g, "a", 100, 25.0, 4.0);
+  add_chain_task(g, "b", 100, 25.0, 4.0);
+  g.add_edge(TaskId{0}, TaskId{1}, 16);
+  const SlackBudget sb = compute_slack_budget(g);
+  EXPECT_EQ(sb.budgeted_deadline[0], kNoDeadline);
+  EXPECT_EQ(sb.budgeted_deadline[1], kNoDeadline);
+  EXPECT_FALSE(sb.has_budget(TaskId{0}));
+}
+
+TEST(SlackBudget, ZeroSlackGivesBdEqualEf) {
+  TaskGraph g(2);
+  add_chain_task(g, "a", 100, 25.0, 4.0);
+  add_chain_task(g, "b", 100, 25.0, 4.0, 200);  // deadline == EF: no slack
+  g.add_edge(TaskId{0}, TaskId{1}, 16);
+  const SlackBudget sb = compute_slack_budget(g);
+  EXPECT_EQ(sb.budgeted_deadline[0], 100);
+  EXPECT_EQ(sb.budgeted_deadline[1], 200);
+}
+
+TEST(SlackBudget, InfeasibleDeadlineClampsToEf) {
+  TaskGraph g(2);
+  add_chain_task(g, "a", 100, 25.0, 4.0);
+  add_chain_task(g, "b", 100, 25.0, 4.0, 150);  // EF = 200 > 150
+  g.add_edge(TaskId{0}, TaskId{1}, 16);
+  const SlackBudget sb = compute_slack_budget(g);
+  EXPECT_EQ(sb.budgeted_deadline[1], 200);  // floor(EF): maximally urgent
+}
+
+TEST(SlackBudget, HomogeneousPlatformFallsBackToUniform) {
+  // Identical PEs: all variances 0; split must still be well-defined and
+  // proportional (uniform).
+  TaskGraph g(2);
+  g.add_task("a", {100, 100}, {5.0, 5.0});
+  g.add_task("b", {100, 100}, {5.0, 5.0}, 400);
+  g.add_edge(TaskId{0}, TaskId{1}, 16);
+  const SlackBudget sb = compute_slack_budget(g);
+  // slack 200 split evenly: BD(a) = 100 + 100 = 200, BD(b) = 400.
+  EXPECT_EQ(sb.budgeted_deadline[0], 200);
+  EXPECT_EQ(sb.budgeted_deadline[1], 400);
+}
+
+TEST(SlackBudget, HigherWeightGetsMoreSlack) {
+  TaskGraph g(2);
+  add_chain_task(g, "heavy", 100, 100.0, 100.0);  // W = 10000
+  add_chain_task(g, "light", 100, 1.0, 1.0, 400);  // W = 1
+  g.add_edge(TaskId{0}, TaskId{1}, 16);
+  const SlackBudget sb = compute_slack_budget(g);
+  // Total slack 200; heavy should receive almost all of it.
+  EXPECT_GT(sb.budgeted_deadline[0], 290);
+  EXPECT_EQ(sb.budgeted_deadline[1], 400);
+}
+
+TEST(SlackBudget, WeightKindsDiffer) {
+  TaskGraph g(2);
+  add_chain_task(g, "a", 100, 100.0, 1.0);
+  add_chain_task(g, "b", 100, 1.0, 100.0, 400);
+  g.add_edge(TaskId{0}, TaskId{1}, 16);
+  const SlackBudget vr = compute_slack_budget(g, WeightKind::VarR);
+  const SlackBudget ve = compute_slack_budget(g, WeightKind::VarE);
+  // a has the large time variance, b the large energy variance.
+  EXPECT_GT(vr.budgeted_deadline[0], ve.budgeted_deadline[0]);
+  const SlackBudget uni = compute_slack_budget(g, WeightKind::Uniform);
+  EXPECT_EQ(uni.budgeted_deadline[0], 200);  // even split of 200 slack
+  const SlackBudget mt = compute_slack_budget(g, WeightKind::MeanTime);
+  EXPECT_EQ(mt.budgeted_deadline[0], 200);  // equal means -> even split
+}
+
+TEST(SlackBudget, DeadlineOnBranchConstrainsOnlyItsPath) {
+  // a -> b (deadline), a -> c (no deadline): c keeps an open budget.
+  TaskGraph g(2);
+  add_chain_task(g, "a", 100, 25.0, 4.0);
+  add_chain_task(g, "b", 100, 25.0, 4.0, 300);
+  add_chain_task(g, "c", 100, 25.0, 4.0);
+  g.add_edge(TaskId{0}, TaskId{1}, 16);
+  g.add_edge(TaskId{0}, TaskId{2}, 16);
+  const SlackBudget sb = compute_slack_budget(g);
+  EXPECT_TRUE(sb.has_budget(TaskId{0}));
+  EXPECT_TRUE(sb.has_budget(TaskId{1}));
+  EXPECT_FALSE(sb.has_budget(TaskId{2}));
+}
+
+TEST(SlackBudget, BdNeverExceedsLf) {
+  // Structural invariant on a small diamond with mixed weights.
+  TaskGraph g(2);
+  add_chain_task(g, "a", 100, 4.0, 4.0);
+  add_chain_task(g, "b", 150, 100.0, 100.0);
+  add_chain_task(g, "c", 50, 1.0, 1.0);
+  add_chain_task(g, "d", 100, 25.0, 25.0, 600);
+  g.add_edge(TaskId{0}, TaskId{1}, 16);
+  g.add_edge(TaskId{0}, TaskId{2}, 16);
+  g.add_edge(TaskId{1}, TaskId{3}, 16);
+  g.add_edge(TaskId{2}, TaskId{3}, 16);
+  const SlackBudget sb = compute_slack_budget(g);
+  for (TaskId t : g.all_tasks()) {
+    if (!sb.has_budget(t)) continue;
+    EXPECT_GE(sb.budgeted_deadline[t.index()], static_cast<Time>(
+        std::floor(sb.earliest_finish[t.index()])) - 1);
+    EXPECT_LE(static_cast<double>(sb.budgeted_deadline[t.index()]),
+              sb.latest_finish[t.index()] + 1e-9);
+  }
+}
+
+TEST(SlackBudget, ToStringNames) {
+  EXPECT_STREQ(to_string(WeightKind::VarEVarR), "VAR_e*VAR_r");
+  EXPECT_STREQ(to_string(WeightKind::Uniform), "uniform");
+}
+
+}  // namespace
+}  // namespace noceas

@@ -1,0 +1,108 @@
+// Unit tests for the 2-D mesh / torus topology.
+#include <gtest/gtest.h>
+
+#include "src/noc/topology.hpp"
+
+namespace noceas {
+namespace {
+
+TEST(Mesh2D, TileNumbering) {
+  const Mesh2D mesh(3, 4);
+  EXPECT_EQ(mesh.num_tiles(), 12u);
+  EXPECT_EQ(mesh.tile_at(Coord{0, 0}), PeId{0});
+  EXPECT_EQ(mesh.tile_at(Coord{3, 0}), PeId{3});
+  EXPECT_EQ(mesh.tile_at(Coord{0, 1}), PeId{4});
+  const Coord c = mesh.coord_of(PeId{7});
+  EXPECT_EQ(c.x, 3);
+  EXPECT_EQ(c.y, 1);
+}
+
+TEST(Mesh2D, TileNameMatchesPaperNotation) {
+  const Mesh2D mesh(4, 4);
+  EXPECT_EQ(mesh.tile_name(mesh.tile_at(Coord{3, 2})), "(2,3)");
+}
+
+TEST(Mesh2D, LinkCountMesh) {
+  // Directed links in an r x c mesh: 2*(r*(c-1) + c*(r-1)).
+  const Mesh2D mesh(4, 4);
+  EXPECT_EQ(mesh.num_links(), 2u * (4 * 3 + 4 * 3));
+  const Mesh2D mesh23(2, 3);
+  EXPECT_EQ(mesh23.num_links(), 2u * (2 * 2 + 3 * 1));
+}
+
+TEST(Mesh2D, LinkCountTorus) {
+  // Every tile has 4 outgoing links in a >=2x>=2 torus.
+  const Mesh2D torus(3, 3, true);
+  EXPECT_EQ(torus.num_links(), 9u * 4u);
+}
+
+TEST(Mesh2D, NeighborsAtBoundary) {
+  const Mesh2D mesh(2, 2);
+  const PeId origin = mesh.tile_at(Coord{0, 0});
+  EXPECT_FALSE(mesh.neighbor(origin, Dir::West).has_value());
+  EXPECT_FALSE(mesh.neighbor(origin, Dir::South).has_value());
+  EXPECT_EQ(mesh.neighbor(origin, Dir::East), mesh.tile_at(Coord{1, 0}));
+  EXPECT_EQ(mesh.neighbor(origin, Dir::North), mesh.tile_at(Coord{0, 1}));
+}
+
+TEST(Mesh2D, TorusWrapsAround) {
+  const Mesh2D torus(3, 3, true);
+  const PeId origin = torus.tile_at(Coord{0, 0});
+  EXPECT_EQ(torus.neighbor(origin, Dir::West), torus.tile_at(Coord{2, 0}));
+  EXPECT_EQ(torus.neighbor(origin, Dir::South), torus.tile_at(Coord{0, 2}));
+}
+
+TEST(Mesh2D, OneWideTorusHasNoSelfLinks) {
+  const Mesh2D torus(1, 4, true);
+  const PeId t0 = torus.tile_at(Coord{0, 0});
+  EXPECT_FALSE(torus.neighbor(t0, Dir::North).has_value());
+  EXPECT_FALSE(torus.neighbor(t0, Dir::South).has_value());
+  EXPECT_EQ(torus.neighbor(t0, Dir::West), torus.tile_at(Coord{3, 0}));
+}
+
+TEST(Mesh2D, LinkFromRoundTrips) {
+  const Mesh2D mesh(3, 3);
+  for (std::size_t t = 0; t < mesh.num_tiles(); ++t) {
+    for (Dir d : kAllDirs) {
+      if (!mesh.neighbor(PeId{t}, d)) continue;
+      const LinkId l = mesh.link_from(PeId{t}, d);
+      EXPECT_EQ(mesh.link(l).from, PeId{t});
+      EXPECT_EQ(mesh.link(l).to, *mesh.neighbor(PeId{t}, d));
+      EXPECT_EQ(mesh.link(l).dir, d);
+    }
+  }
+}
+
+TEST(Mesh2D, LinkFromThrowsAtBoundary) {
+  const Mesh2D mesh(2, 2);
+  EXPECT_THROW((void)mesh.link_from(mesh.tile_at(Coord{0, 0}), Dir::West), Error);
+}
+
+TEST(Mesh2D, DistanceManhattan) {
+  const Mesh2D mesh(4, 4);
+  EXPECT_EQ(mesh.distance(mesh.tile_at(Coord{0, 0}), mesh.tile_at(Coord{3, 3})), 6);
+  EXPECT_EQ(mesh.distance(mesh.tile_at(Coord{1, 1}), mesh.tile_at(Coord{1, 1})), 0);
+}
+
+TEST(Mesh2D, DistanceTorusWrap) {
+  const Mesh2D torus(4, 4, true);
+  EXPECT_EQ(torus.distance(torus.tile_at(Coord{0, 0}), torus.tile_at(Coord{3, 3})), 2);
+  EXPECT_EQ(torus.distance(torus.tile_at(Coord{0, 0}), torus.tile_at(Coord{2, 0})), 2);
+}
+
+TEST(Dir, ToString) {
+  EXPECT_STREQ(to_string(Dir::East), "E");
+  EXPECT_STREQ(to_string(Dir::West), "W");
+  EXPECT_STREQ(to_string(Dir::North), "N");
+  EXPECT_STREQ(to_string(Dir::South), "S");
+}
+
+TEST(Mesh2D, RejectsBadInputs) {
+  EXPECT_THROW(Mesh2D(0, 4), Error);
+  const Mesh2D mesh(2, 2);
+  EXPECT_THROW((void)mesh.tile_at(Coord{2, 0}), Error);
+  EXPECT_THROW((void)mesh.coord_of(PeId{99}), Error);
+}
+
+}  // namespace
+}  // namespace noceas

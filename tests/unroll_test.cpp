@@ -1,0 +1,176 @@
+// Unit + integration tests for periodic unrolling and release-time
+// scheduling (the pipelined multi-frame extension).
+#include <gtest/gtest.h>
+
+#include "src/core/eas.hpp"
+#include "src/core/validator.hpp"
+#include "src/ctg/dag_algos.hpp"
+#include "src/ctg/serialize.hpp"
+#include "src/ctg/unroll.hpp"
+#include "src/msb/msb.hpp"
+
+namespace noceas {
+namespace {
+
+TaskGraph chain() {
+  TaskGraph g(2);
+  g.add_task("a", {10, 10}, {1, 1});
+  g.add_task("b", {10, 10}, {1, 1}, 100);
+  g.add_edge(TaskId{0}, TaskId{1}, 64);
+  return g;
+}
+
+TEST(Unroll, ReplicatesTasksAndEdges) {
+  const TaskGraph g = chain();
+  UnrollOptions options;
+  options.iterations = 3;
+  options.period = 50;
+  const TaskGraph u = unroll_periodic(g, options);
+  EXPECT_EQ(u.num_tasks(), 6u);
+  EXPECT_EQ(u.num_edges(), 3u);
+  EXPECT_EQ(u.task(TaskId{0}).name, "a#0");
+  EXPECT_EQ(u.task(TaskId{5}).name, "b#2");
+}
+
+TEST(Unroll, ShiftsReleasesAndDeadlines) {
+  const TaskGraph g = chain();
+  UnrollOptions options;
+  options.iterations = 3;
+  options.period = 50;
+  const TaskGraph u = unroll_periodic(g, options);
+  for (int k = 0; k < 3; ++k) {
+    const TaskId a = unrolled_task(g, k, TaskId{0});
+    const TaskId b = unrolled_task(g, k, TaskId{1});
+    EXPECT_EQ(u.task(a).release, 50 * k);
+    EXPECT_FALSE(u.task(a).has_deadline());
+    EXPECT_EQ(u.task(b).deadline, 100 + 50 * k);
+  }
+}
+
+TEST(Unroll, CrossIterationEdges) {
+  const TaskGraph g = chain();
+  UnrollOptions options;
+  options.iterations = 3;
+  options.period = 50;
+  options.cross_edges = {CrossIterationEdge{TaskId{1}, TaskId{0}, 32}};
+  const TaskGraph u = unroll_periodic(g, options);
+  EXPECT_EQ(u.num_edges(), 3u + 2u);
+  // b#0 -> a#1 must exist.
+  bool found = false;
+  for (EdgeId e : u.all_edges()) {
+    if (u.edge(e).src == unrolled_task(g, 0, TaskId{1}) &&
+        u.edge(e).dst == unrolled_task(g, 1, TaskId{0})) {
+      found = true;
+      EXPECT_EQ(u.edge(e).volume, 32);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Unroll, SingleIterationIsIsomorphic) {
+  const TaskGraph g = chain();
+  UnrollOptions options;
+  options.iterations = 1;
+  const TaskGraph u = unroll_periodic(g, options);
+  EXPECT_EQ(u.num_tasks(), g.num_tasks());
+  EXPECT_EQ(u.num_edges(), g.num_edges());
+  EXPECT_EQ(u.task(TaskId{0}).exec_time, g.task(TaskId{0}).exec_time);
+}
+
+TEST(Unroll, RejectsBadOptions) {
+  const TaskGraph g = chain();
+  UnrollOptions zero;
+  zero.iterations = 0;
+  EXPECT_THROW((void)unroll_periodic(g, zero), Error);
+  UnrollOptions neg;
+  neg.iterations = 2;
+  neg.period = -1;
+  EXPECT_THROW((void)unroll_periodic(g, neg), Error);
+  UnrollOptions bad;
+  bad.cross_edges = {CrossIterationEdge{TaskId{9}, TaskId{0}, 1}};
+  EXPECT_THROW((void)unroll_periodic(g, bad), Error);
+}
+
+TEST(ReleaseTimes, ForwardPassHonoursRelease) {
+  TaskGraph g(1);
+  g.add_task("a", {10}, {0.0}, kNoDeadline, 40);
+  const auto fp = forward_pass(g, mean_durations(g));
+  EXPECT_DOUBLE_EQ(fp.earliest_start[0], 40.0);
+  EXPECT_DOUBLE_EQ(fp.earliest_finish[0], 50.0);
+}
+
+TEST(ReleaseTimes, SchedulerNeverStartsBeforeRelease) {
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g(4);
+  g.add_task("late", {10, 10, 10, 10}, {1, 1, 1, 1}, kNoDeadline, 70);
+  const EasResult r = schedule_eas(g, p);
+  EXPECT_EQ(r.schedule.at(TaskId{0}).start, 70);
+  EXPECT_TRUE(validate_schedule(g, p, r.schedule).ok());
+}
+
+TEST(ReleaseTimes, ValidatorRejectsEarlyStart) {
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g(4);
+  g.add_task("late", {10, 10, 10, 10}, {1, 1, 1, 1}, kNoDeadline, 70);
+  Schedule s(1, 0);
+  s.tasks[0] = {PeId{0}, 0, 10};
+  EXPECT_FALSE(validate_schedule(g, p, s).ok());
+}
+
+TEST(ReleaseTimes, RejectsReleaseAfterDeadline) {
+  TaskGraph g(1);
+  EXPECT_THROW(g.add_task("x", {10}, {0.0}, 50, 60), Error);
+  EXPECT_THROW(g.add_task("x", {10}, {0.0}, kNoDeadline, -3), Error);
+}
+
+TEST(ReleaseTimes, SerializeRoundTrip) {
+  TaskGraph g(1);
+  g.add_task("a", {10}, {1.0}, 100, 25);
+  const TaskGraph h = ctg_from_string(ctg_to_string(g));
+  EXPECT_EQ(h.task(TaskId{0}).release, 25);
+  EXPECT_EQ(h.task(TaskId{0}).deadline, 100);
+}
+
+TEST(Pipeline, UnrolledEncoderSchedulesAllFramesOnTime) {
+  const PeCatalog catalog = msb_catalog_2x2();
+  const Platform p = msb_platform_2x2();
+  const TaskGraph frame = make_av_encoder(clip_foreman(), catalog);
+  UnrollOptions options;
+  options.iterations = 3;
+  options.period = kEncoderDeadline;  // 40 fps stream
+  options.cross_edges = encoder_cross_edges();
+  const TaskGraph stream = unroll_periodic(frame, options);
+  EXPECT_EQ(stream.num_tasks(), 72u);
+
+  const EasResult r = schedule_eas(stream, p);
+  EXPECT_TRUE(r.misses.all_met());
+  const ValidationReport vr = validate_schedule(stream, p, r.schedule);
+  EXPECT_TRUE(vr.ok()) << vr.to_string();
+  // Frame k's tasks never start before its release.
+  for (int k = 0; k < 3; ++k) {
+    for (TaskId t : frame.all_tasks()) {
+      const TaskId ut = unrolled_task(frame, k, t);
+      EXPECT_GE(r.schedule.at(ut).start, static_cast<Time>(k) * kEncoderDeadline);
+    }
+  }
+}
+
+TEST(Pipeline, SteadyStateEnergyScalesLinearly) {
+  // K frames should cost ~K times one frame (same platform, same decisions
+  // modulo boundary effects).
+  const PeCatalog catalog = msb_catalog_2x2();
+  const Platform p = msb_platform_2x2();
+  const TaskGraph frame = make_av_encoder(clip_foreman(), catalog);
+  const EasResult one = schedule_eas(frame, p);
+
+  UnrollOptions options;
+  options.iterations = 4;
+  options.period = kEncoderDeadline;
+  const TaskGraph stream = unroll_periodic(frame, options);
+  const EasResult four = schedule_eas(stream, p);
+  EXPECT_TRUE(four.misses.all_met());
+  EXPECT_NEAR(four.energy.total(), 4.0 * one.energy.total(), 0.25 * four.energy.total());
+}
+
+}  // namespace
+}  // namespace noceas

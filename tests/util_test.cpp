@@ -1,0 +1,290 @@
+// Unit tests for src/util: rng, stats, intervals, tables, scalar helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/error.hpp"
+#include "src/util/ids.hpp"
+#include "src/util/interval.hpp"
+#include "src/util/rng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/types.hpp"
+
+namespace noceas {
+namespace {
+
+// ---- types -----------------------------------------------------------------
+
+TEST(TransferDuration, RoundsUp) {
+  EXPECT_EQ(transfer_duration(64, 64.0), 1);
+  EXPECT_EQ(transfer_duration(65, 64.0), 2);
+  EXPECT_EQ(transfer_duration(128, 64.0), 2);
+  EXPECT_EQ(transfer_duration(1, 64.0), 1);
+}
+
+TEST(TransferDuration, ZeroAndNegativeVolumeIsFree) {
+  EXPECT_EQ(transfer_duration(0, 64.0), 0);
+  EXPECT_EQ(transfer_duration(-5, 64.0), 0);
+}
+
+TEST(TransferDuration, FractionalBandwidth) {
+  EXPECT_EQ(transfer_duration(10, 2.5), 4);
+  EXPECT_EQ(transfer_duration(11, 2.5), 5);
+}
+
+// ---- strong ids --------------------------------------------------------------
+
+TEST(StrongId, DefaultIsInvalid) {
+  TaskId t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_TRUE(TaskId{0}.valid());
+}
+
+TEST(StrongId, ComparesAndHashes) {
+  EXPECT_LT(TaskId{1}, TaskId{2});
+  EXPECT_EQ(TaskId{3}, TaskId{3});
+  EXPECT_NE(std::hash<TaskId>{}(TaskId{1}), std::hash<TaskId>{}(TaskId{2}));
+}
+
+// ---- error ------------------------------------------------------------------
+
+TEST(Require, ThrowsWithMessage) {
+  try {
+    NOCEAS_REQUIRE(1 == 2, "the answer is " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the answer is 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Require, PassesSilently) { NOCEAS_REQUIRE(2 + 2 == 4, "never"); }
+
+// ---- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next_u64();
+    EXPECT_EQ(x, b.next_u64());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) differs |= (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.uniform_int(3, 7);
+    ASSERT_GE(x, 3);
+    ASSERT_LE(x, 7);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, InvertedBoundsThrow) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(3, 2), Error);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+  EXPECT_THROW(rng.log_uniform(0.0, 1.0), Error);
+}
+
+TEST(Rng, LogUniformRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.log_uniform(10.0, 1000.0);
+    ASSERT_GE(x, 10.0);
+    ASSERT_LE(x, 1000.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 5.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> w{0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexRejectsNegative) {
+  Rng rng(17);
+  std::vector<double> w{1.0, -0.5};
+  EXPECT_THROW(rng.weighted_index(w), Error);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(23);
+  Rng b = a.fork();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+// ---- stats -------------------------------------------------------------------
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  const double mean = (1 + 2 + 4 + 8 + 16) / 5.0;
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= 5.0;
+  EXPECT_DOUBLE_EQ(rs.mean(), mean);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 31.0);
+  EXPECT_EQ(rs.count(), 5u);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, SampleVariance) {
+  RunningStats rs;
+  rs.add(2.0);
+  rs.add(4.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 1.0);         // population
+  EXPECT_DOUBLE_EQ(rs.sample_variance(), 2.0);  // n-1
+}
+
+TEST(Summarize, Basics) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(GeometricMean, KnownValue) {
+  const std::vector<double> xs{1.0, 100.0};
+  EXPECT_NEAR(geometric_mean(xs), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW((void)geometric_mean(xs), Error);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW((void)percentile({}, 50.0), Error);
+  EXPECT_THROW((void)percentile({1.0}, 101.0), Error);
+}
+
+// ---- interval ------------------------------------------------------------------
+
+TEST(Interval, OverlapSemantics) {
+  const Interval a{0, 10};
+  EXPECT_TRUE(a.overlaps(Interval{5, 15}));
+  EXPECT_TRUE(a.overlaps(Interval{9, 10}));
+  EXPECT_FALSE(a.overlaps(Interval{10, 20}));  // half-open: touching is fine
+  EXPECT_FALSE(a.overlaps(Interval{-5, 0}));
+  EXPECT_TRUE(a.overlaps(Interval{-5, 1}));
+}
+
+TEST(Interval, ContainsPointAndInterval) {
+  const Interval a{2, 8};
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_FALSE(a.contains(8));
+  EXPECT_TRUE(a.contains(Interval{2, 8}));
+  EXPECT_TRUE(a.contains(Interval{3, 7}));
+  EXPECT_FALSE(a.contains(Interval{1, 7}));
+}
+
+TEST(Interval, LengthAndEmpty) {
+  EXPECT_EQ((Interval{3, 7}).length(), 4);
+  EXPECT_TRUE((Interval{3, 3}).empty());
+  EXPECT_FALSE((Interval{3, 4}).empty());
+}
+
+// ---- table --------------------------------------------------------------------
+
+TEST(AsciiTable, AlignsAndCounts) {
+  AsciiTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsWrongArity) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(AsciiTable, CsvEscapesSpecials) {
+  AsciiTable t({"a"});
+  t.add_row({"x,y\"z"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\"\"z\""), std::string::npos);
+}
+
+TEST(FormatDouble, TrimsZeros) {
+  EXPECT_EQ(format_double(1.5, 3), "1.5");
+  EXPECT_EQ(format_double(2.0, 3), "2");
+  EXPECT_EQ(format_double(0.126, 2), "0.13");
+  EXPECT_EQ(format_double(0.0, 3), "0");
+}
+
+TEST(FormatPercent, Formats) { EXPECT_EQ(format_percent(0.443, 1), "44.3%"); }
+
+}  // namespace
+}  // namespace noceas

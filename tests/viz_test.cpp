@@ -1,0 +1,91 @@
+// Unit tests for the SVG Gantt renderer.
+#include <gtest/gtest.h>
+
+#include "src/core/eas.hpp"
+#include "src/msb/msb.hpp"
+#include "src/viz/gantt_svg.hpp"
+
+namespace noceas {
+namespace {
+
+struct Fixture {
+  Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g{4};
+  Schedule s;
+
+  Fixture() {
+    g.add_task("alpha", {10, 10, 10, 10}, {1, 1, 1, 1}, 200);
+    g.add_task("beta<&>", {10, 10, 10, 10}, {1, 1, 1, 1});
+    g.add_edge(TaskId{0}, TaskId{1}, 100);
+    s = Schedule(2, 1);
+    s.tasks[0] = {PeId{0}, 0, 10};
+    s.tasks[1] = {PeId{1}, 25, 35};
+    s.comms[0] = {PeId{0}, PeId{1}, 10, 10};
+  }
+};
+
+TEST(GanttSvg, ProducesWellFormedDocument) {
+  Fixture f;
+  const std::string svg = gantt_svg(f.g, f.p, f.s);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per task + transaction + background.
+  std::size_t rects = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<rect", pos)) != std::string::npos; ++pos) ++rects;
+  EXPECT_GE(rects, 4u);
+}
+
+TEST(GanttSvg, EscapesXmlInNames) {
+  Fixture f;
+  const std::string svg = gantt_svg(f.g, f.p, f.s);
+  EXPECT_EQ(svg.find("beta<&>"), std::string::npos);
+  EXPECT_NE(svg.find("beta&lt;&amp;&gt;"), std::string::npos);
+}
+
+TEST(GanttSvg, ShowsDeadlineMarkers) {
+  Fixture f;
+  GanttSvgOptions with;
+  with.show_deadlines = true;
+  GanttSvgOptions without;
+  without.show_deadlines = false;
+  EXPECT_NE(gantt_svg(f.g, f.p, f.s, with).find("stroke=\"red\""), std::string::npos);
+  EXPECT_EQ(gantt_svg(f.g, f.p, f.s, without).find("stroke=\"red\""), std::string::npos);
+}
+
+TEST(GanttSvg, LinkLanesOptional) {
+  Fixture f;
+  GanttSvgOptions no_links;
+  no_links.show_links = false;
+  EXPECT_EQ(gantt_svg(f.g, f.p, f.s, no_links).find("link "), std::string::npos);
+  EXPECT_NE(gantt_svg(f.g, f.p, f.s).find("link "), std::string::npos);
+}
+
+TEST(GanttSvg, TitleRendered) {
+  Fixture f;
+  GanttSvgOptions options;
+  options.title = "My <schedule>";
+  const std::string svg = gantt_svg(f.g, f.p, f.s, options);
+  EXPECT_NE(svg.find("My &lt;schedule&gt;"), std::string::npos);
+}
+
+TEST(GanttSvg, RejectsBadInputs) {
+  Fixture f;
+  Schedule incomplete(2, 1);
+  EXPECT_THROW((void)gantt_svg(f.g, f.p, incomplete), Error);
+  GanttSvgOptions tiny;
+  tiny.width_px = 10;
+  EXPECT_THROW((void)gantt_svg(f.g, f.p, f.s, tiny), Error);
+}
+
+TEST(GanttSvg, WorksOnRealMsbSchedule) {
+  const PeCatalog catalog = msb_catalog_3x3();
+  const Platform p = msb_platform_3x3();
+  const TaskGraph g = make_av_encdec(clip_foreman(), catalog);
+  const EasResult r = schedule_eas(g, p);
+  const std::string svg = gantt_svg(g, p, r.schedule, {.title = "encdec/foreman"});
+  EXPECT_GT(svg.size(), 4000u);
+  EXPECT_NE(svg.find("recon"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace noceas

@@ -1,0 +1,229 @@
+// noceas command-line driver.
+//
+// Ships a scheduling problem as two text files (CTG + platform spec) and
+// replays it with any scheduler of the library:
+//
+//   noceas_cli gen       --category 1 --index 0 --ctg g.txt --platform p.txt
+//   noceas_cli info      --ctg g.txt
+//   noceas_cli schedule  --ctg g.txt --platform p.txt [--scheduler eas]
+//                        [--gantt] [--svg out.svg] [--dot out.dot]
+//                        [--simulate] [--dvs]
+//
+// Schedulers: eas (default), eas-base, edf, dls, greedy.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "src/baseline/dls.hpp"
+#include "src/baseline/edf.hpp"
+#include "src/baseline/greedy_energy.hpp"
+#include "src/core/eas.hpp"
+#include "src/core/validator.hpp"
+#include "src/ctg/serialize.hpp"
+#include "src/dvs/slack_reclaim.hpp"
+#include "src/gen/tgff.hpp"
+#include "src/msb/msb.hpp"
+#include "src/noc/platform_io.hpp"
+#include "src/sim/wormhole_sim.hpp"
+#include "src/util/table.hpp"
+#include "src/viz/gantt_svg.hpp"
+
+using namespace noceas;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  noceas_cli gen --category <1|2> --index <0..9> --ctg FILE [--platform FILE]\n"
+      "  noceas_cli gen --msb <encoder|decoder|encdec> --clip <akiyo|foreman|toybox>\n"
+      "             --ctg FILE [--platform FILE]\n"
+      "  noceas_cli info --ctg FILE\n"
+      "  noceas_cli schedule --ctg FILE --platform FILE [--scheduler eas|eas-base|edf|dls|greedy]\n"
+      "             [--gantt] [--svg FILE] [--dot FILE] [--simulate] [--dvs]\n";
+  return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "1";
+    }
+  }
+  return flags;
+}
+
+TaskGraph load_ctg(const std::string& path) {
+  std::ifstream is(path);
+  NOCEAS_REQUIRE(is.good(), "cannot open CTG file '" << path << '\'');
+  return read_ctg(is);
+}
+
+Platform load_platform(const std::string& path) {
+  std::ifstream is(path);
+  NOCEAS_REQUIRE(is.good(), "cannot open platform file '" << path << '\'');
+  return read_platform(is);
+}
+
+int cmd_gen(const std::map<std::string, std::string>& flags) {
+  NOCEAS_REQUIRE(flags.count("ctg"), "gen requires --ctg FILE");
+  TaskGraph g(1);
+  Platform p = make_mesh_platform(1, 1, {"NONE"});
+  if (flags.count("msb")) {
+    const std::string which = flags.at("msb");
+    ClipProfile clip = clip_foreman();
+    if (flags.count("clip")) {
+      for (const ClipProfile& c : all_clips()) {
+        if (c.name == flags.at("clip")) clip = c;
+      }
+    }
+    const bool small = which != "encdec";
+    const PeCatalog catalog = small ? msb_catalog_2x2() : msb_catalog_3x3();
+    p = small ? msb_platform_2x2() : msb_platform_3x3();
+    g = which == "encoder"   ? make_av_encoder(clip, catalog)
+        : which == "decoder" ? make_av_decoder(clip, catalog)
+                             : make_av_encdec(clip, catalog);
+  } else {
+    const int category = flags.count("category") ? std::stoi(flags.at("category")) : 1;
+    const int index = flags.count("index") ? std::stoi(flags.at("index")) : 0;
+    const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+    p = make_platform_for(catalog, 4, 4);
+    g = generate_tgff_like(category_params(category, index), catalog);
+  }
+
+  {
+    std::ofstream os(flags.at("ctg"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("ctg") << '\'');
+    write_ctg(os, g);
+  }
+  std::cout << "wrote " << flags.at("ctg") << " (" << g.num_tasks() << " tasks, "
+            << g.num_edges() << " edges)\n";
+  if (flags.count("platform")) {
+    std::ofstream os(flags.at("platform"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("platform") << '\'');
+    write_platform(os, p);
+    std::cout << "wrote " << flags.at("platform") << " (" << p.num_pes() << " PEs)\n";
+  }
+  return 0;
+}
+
+int cmd_info(const std::map<std::string, std::string>& flags) {
+  NOCEAS_REQUIRE(flags.count("ctg"), "info requires --ctg FILE");
+  const TaskGraph g = load_ctg(flags.at("ctg"));
+  std::size_t with_deadline = 0, control_edges = 0;
+  Volume total_volume = 0;
+  for (TaskId t : g.all_tasks())
+    if (g.task(t).has_deadline()) ++with_deadline;
+  for (EdgeId e : g.all_edges()) {
+    if (g.edge(e).is_control_only())
+      ++control_edges;
+    else
+      total_volume += g.edge(e).volume;
+  }
+  std::cout << "tasks:            " << g.num_tasks() << '\n'
+            << "edges:            " << g.num_edges() << " (" << control_edges << " control)\n"
+            << "PEs targeted:     " << g.num_pes() << '\n'
+            << "with deadline:    " << with_deadline << '\n'
+            << "sources/sinks:    " << g.sources().size() << '/' << g.sinks().size() << '\n'
+            << "total volume:     " << total_volume << " bits\n";
+  return 0;
+}
+
+int cmd_schedule(const std::map<std::string, std::string>& flags) {
+  NOCEAS_REQUIRE(flags.count("ctg") && flags.count("platform"),
+                 "schedule requires --ctg FILE and --platform FILE");
+  const TaskGraph g = load_ctg(flags.at("ctg"));
+  const Platform p = load_platform(flags.at("platform"));
+  const std::string which = flags.count("scheduler") ? flags.at("scheduler") : "eas";
+
+  Schedule s;
+  EnergyBreakdown energy;
+  MissReport misses;
+  double seconds = 0.0;
+  if (which == "eas" || which == "eas-base") {
+    EasOptions options;
+    options.repair = which == "eas";
+    const EasResult r = schedule_eas(g, p, options);
+    s = r.schedule;
+    energy = r.energy;
+    misses = r.misses;
+    seconds = r.seconds;
+  } else {
+    BaselineResult r;
+    if (which == "edf")
+      r = schedule_edf(g, p);
+    else if (which == "dls")
+      r = schedule_dls(g, p);
+    else if (which == "greedy")
+      r = schedule_greedy_energy(g, p);
+    else
+      NOCEAS_REQUIRE(false, "unknown scheduler '" << which << '\'');
+    s = r.schedule;
+    energy = r.energy;
+    misses = r.misses;
+    seconds = r.seconds;
+  }
+
+  const ValidationReport vr = validate_schedule(g, p, s, {.check_deadlines = false});
+  NOCEAS_REQUIRE(vr.ok(), "scheduler produced an invalid schedule:\n" << vr.to_string());
+
+  std::cout << "scheduler:       " << which << '\n'
+            << "energy:          " << format_double(energy.total(), 1) << " nJ (comp "
+            << format_double(energy.computation, 1) << ", comm "
+            << format_double(energy.communication, 1) << ")\n"
+            << "makespan:        " << makespan(s) << '\n'
+            << "deadline misses: " << misses.miss_count << " (tardiness "
+            << misses.total_tardiness << ")\n"
+            << "avg hops/packet: " << format_double(average_hops_per_packet(g, p, s), 2) << '\n'
+            << "runtime:         " << format_double(seconds, 3) << " s\n";
+
+  if (flags.count("gantt")) print_gantt(std::cout, g, p, s);
+  if (flags.count("svg")) {
+    std::ofstream os(flags.at("svg"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("svg") << '\'');
+    write_gantt_svg(os, g, p, s, {.title = which + " schedule"});
+    std::cout << "wrote " << flags.at("svg") << '\n';
+  }
+  if (flags.count("dot")) {
+    std::ofstream os(flags.at("dot"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("dot") << '\'');
+    g.to_dot(os);
+    std::cout << "wrote " << flags.at("dot") << '\n';
+  }
+  if (flags.count("simulate")) {
+    const SimReport sim = simulate_schedule(g, p, s);
+    std::cout << "simulated:       makespan " << sim.makespan << ", misses "
+              << sim.misses.miss_count << ", avg packet latency "
+              << format_double(sim.avg_packet_latency, 1) << " cycles\n";
+  }
+  if (flags.count("dvs")) {
+    const DvsResult dvs = reclaim_slack(g, p, s);
+    std::cout << "DVS reclaims:    " << format_double(dvs.saved(), 1) << " nJ ("
+              << dvs.slowed_tasks << " tasks slowed)\n";
+  }
+  return misses.all_met() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(flags);
+    if (cmd == "info") return cmd_info(flags);
+    if (cmd == "schedule") return cmd_schedule(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
