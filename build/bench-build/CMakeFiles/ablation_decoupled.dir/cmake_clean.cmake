@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_decoupled"
+  "../bench/ablation_decoupled.pdb"
+  "CMakeFiles/ablation_decoupled.dir/ablation_decoupled.cpp.o"
+  "CMakeFiles/ablation_decoupled.dir/ablation_decoupled.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decoupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dvs"
+  "../bench/ablation_dvs.pdb"
+  "CMakeFiles/ablation_dvs.dir/ablation_dvs.cpp.o"
+  "CMakeFiles/ablation_dvs.dir/ablation_dvs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

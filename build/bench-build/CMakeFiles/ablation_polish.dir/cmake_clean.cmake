@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_polish"
+  "../bench/ablation_polish.pdb"
+  "CMakeFiles/ablation_polish.dir/ablation_polish.cpp.o"
+  "CMakeFiles/ablation_polish.dir/ablation_polish.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_polish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

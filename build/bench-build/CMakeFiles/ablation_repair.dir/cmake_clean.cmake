@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_repair"
+  "../bench/ablation_repair.pdb"
+  "CMakeFiles/ablation_repair.dir/ablation_repair.cpp.o"
+  "CMakeFiles/ablation_repair.dir/ablation_repair.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

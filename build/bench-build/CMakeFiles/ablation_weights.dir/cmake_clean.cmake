@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_weights"
+  "../bench/ablation_weights.pdb"
+  "CMakeFiles/ablation_weights.dir/ablation_weights.cpp.o"
+  "CMakeFiles/ablation_weights.dir/ablation_weights.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extensions"
+  "../bench/extensions.pdb"
+  "CMakeFiles/extensions.dir/extensions.cpp.o"
+  "CMakeFiles/extensions.dir/extensions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_category1"
+  "../bench/fig5_category1.pdb"
+  "CMakeFiles/fig5_category1.dir/fig5_category1.cpp.o"
+  "CMakeFiles/fig5_category1.dir/fig5_category1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_category1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

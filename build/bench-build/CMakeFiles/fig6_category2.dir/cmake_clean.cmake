@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_category2"
+  "../bench/fig6_category2.pdb"
+  "CMakeFiles/fig6_category2.dir/fig6_category2.cpp.o"
+  "CMakeFiles/fig6_category2.dir/fig6_category2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_category2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_tradeoff"
+  "../bench/fig7_tradeoff.pdb"
+  "CMakeFiles/fig7_tradeoff.dir/fig7_tradeoff.cpp.o"
+  "CMakeFiles/fig7_tradeoff.dir/fig7_tradeoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hops_and_split"
+  "../bench/hops_and_split.pdb"
+  "CMakeFiles/hops_and_split.dir/hops_and_split.cpp.o"
+  "CMakeFiles/hops_and_split.dir/hops_and_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hops_and_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hops_and_split.
+# This may be replaced when dependencies are built.

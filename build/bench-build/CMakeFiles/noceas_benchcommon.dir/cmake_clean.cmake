@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_benchcommon.dir/experiment_common.cpp.o"
+  "CMakeFiles/noceas_benchcommon.dir/experiment_common.cpp.o.d"
+  "libnoceas_benchcommon.a"
+  "libnoceas_benchcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

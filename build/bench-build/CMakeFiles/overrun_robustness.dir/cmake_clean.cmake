@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overrun_robustness"
+  "../bench/overrun_robustness.pdb"
+  "CMakeFiles/overrun_robustness.dir/overrun_robustness.cpp.o"
+  "CMakeFiles/overrun_robustness.dir/overrun_robustness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overrun_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/pipeline_throughput"
+  "../bench/pipeline_throughput.pdb"
+  "CMakeFiles/pipeline_throughput.dir/pipeline_throughput.cpp.o"
+  "CMakeFiles/pipeline_throughput.dir/pipeline_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/robustness_seeds"
+  "../bench/robustness_seeds.pdb"
+  "CMakeFiles/robustness_seeds.dir/robustness_seeds.cpp.o"
+  "CMakeFiles/robustness_seeds.dir/robustness_seeds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

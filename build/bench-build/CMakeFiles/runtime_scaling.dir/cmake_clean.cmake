@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/runtime_scaling"
+  "../bench/runtime_scaling.pdb"
+  "CMakeFiles/runtime_scaling.dir/runtime_scaling.cpp.o"
+  "CMakeFiles/runtime_scaling.dir/runtime_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

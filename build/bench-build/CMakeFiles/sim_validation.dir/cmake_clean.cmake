@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sim_validation"
+  "../bench/sim_validation.pdb"
+  "CMakeFiles/sim_validation.dir/sim_validation.cpp.o"
+  "CMakeFiles/sim_validation.dir/sim_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_av_encoder"
+  "../bench/table1_av_encoder.pdb"
+  "CMakeFiles/table1_av_encoder.dir/table1_av_encoder.cpp.o"
+  "CMakeFiles/table1_av_encoder.dir/table1_av_encoder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_av_encoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

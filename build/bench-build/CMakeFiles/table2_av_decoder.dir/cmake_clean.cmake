@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_av_decoder"
+  "../bench/table2_av_decoder.pdb"
+  "CMakeFiles/table2_av_decoder.dir/table2_av_decoder.cpp.o"
+  "CMakeFiles/table2_av_decoder.dir/table2_av_decoder.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_av_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_av_decoder.
+# This may be replaced when dependencies are built.

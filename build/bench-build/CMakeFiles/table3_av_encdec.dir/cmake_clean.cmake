@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_av_encdec"
+  "../bench/table3_av_encdec.pdb"
+  "CMakeFiles/table3_av_encdec.dir/table3_av_encdec.cpp.o"
+  "CMakeFiles/table3_av_encdec.dir/table3_av_encdec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_av_encdec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/upper_baseline"
+  "../bench/upper_baseline.pdb"
+  "CMakeFiles/upper_baseline.dir/upper_baseline.cpp.o"
+  "CMakeFiles/upper_baseline.dir/upper_baseline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upper_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_codec_demo.dir/av_codec_demo.cpp.o"
+  "CMakeFiles/av_codec_demo.dir/av_codec_demo.cpp.o.d"
+  "av_codec_demo"
+  "av_codec_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_codec_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_demo.dir/pipeline_demo.cpp.o"
+  "CMakeFiles/pipeline_demo.dir/pipeline_demo.cpp.o.d"
+  "pipeline_demo"
+  "pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

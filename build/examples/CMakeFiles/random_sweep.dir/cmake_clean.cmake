@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_sweep.dir/random_sweep.cpp.o"
+  "CMakeFiles/random_sweep.dir/random_sweep.cpp.o.d"
+  "random_sweep"
+  "random_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dls.cpp" "src/baseline/CMakeFiles/noceas_baseline.dir/dls.cpp.o" "gcc" "src/baseline/CMakeFiles/noceas_baseline.dir/dls.cpp.o.d"
+  "/root/repo/src/baseline/edf.cpp" "src/baseline/CMakeFiles/noceas_baseline.dir/edf.cpp.o" "gcc" "src/baseline/CMakeFiles/noceas_baseline.dir/edf.cpp.o.d"
+  "/root/repo/src/baseline/greedy_energy.cpp" "src/baseline/CMakeFiles/noceas_baseline.dir/greedy_energy.cpp.o" "gcc" "src/baseline/CMakeFiles/noceas_baseline.dir/greedy_energy.cpp.o.d"
+  "/root/repo/src/baseline/map_then_schedule.cpp" "src/baseline/CMakeFiles/noceas_baseline.dir/map_then_schedule.cpp.o" "gcc" "src/baseline/CMakeFiles/noceas_baseline.dir/map_then_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/noceas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctg/CMakeFiles/noceas_ctg.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/noceas_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/noceas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

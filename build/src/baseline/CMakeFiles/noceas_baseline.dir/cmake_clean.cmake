@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_baseline.dir/dls.cpp.o"
+  "CMakeFiles/noceas_baseline.dir/dls.cpp.o.d"
+  "CMakeFiles/noceas_baseline.dir/edf.cpp.o"
+  "CMakeFiles/noceas_baseline.dir/edf.cpp.o.d"
+  "CMakeFiles/noceas_baseline.dir/greedy_energy.cpp.o"
+  "CMakeFiles/noceas_baseline.dir/greedy_energy.cpp.o.d"
+  "CMakeFiles/noceas_baseline.dir/map_then_schedule.cpp.o"
+  "CMakeFiles/noceas_baseline.dir/map_then_schedule.cpp.o.d"
+  "libnoceas_baseline.a"
+  "libnoceas_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

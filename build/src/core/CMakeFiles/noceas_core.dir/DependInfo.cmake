@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_scheduler.cpp" "src/core/CMakeFiles/noceas_core.dir/comm_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/noceas_core.dir/comm_scheduler.cpp.o.d"
+  "/root/repo/src/core/eas.cpp" "src/core/CMakeFiles/noceas_core.dir/eas.cpp.o" "gcc" "src/core/CMakeFiles/noceas_core.dir/eas.cpp.o.d"
+  "/root/repo/src/core/list_common.cpp" "src/core/CMakeFiles/noceas_core.dir/list_common.cpp.o" "gcc" "src/core/CMakeFiles/noceas_core.dir/list_common.cpp.o.d"
+  "/root/repo/src/core/polish.cpp" "src/core/CMakeFiles/noceas_core.dir/polish.cpp.o" "gcc" "src/core/CMakeFiles/noceas_core.dir/polish.cpp.o.d"
+  "/root/repo/src/core/repair.cpp" "src/core/CMakeFiles/noceas_core.dir/repair.cpp.o" "gcc" "src/core/CMakeFiles/noceas_core.dir/repair.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/noceas_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/noceas_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule_table.cpp" "src/core/CMakeFiles/noceas_core.dir/schedule_table.cpp.o" "gcc" "src/core/CMakeFiles/noceas_core.dir/schedule_table.cpp.o.d"
+  "/root/repo/src/core/slack_budget.cpp" "src/core/CMakeFiles/noceas_core.dir/slack_budget.cpp.o" "gcc" "src/core/CMakeFiles/noceas_core.dir/slack_budget.cpp.o.d"
+  "/root/repo/src/core/timing.cpp" "src/core/CMakeFiles/noceas_core.dir/timing.cpp.o" "gcc" "src/core/CMakeFiles/noceas_core.dir/timing.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/core/CMakeFiles/noceas_core.dir/validator.cpp.o" "gcc" "src/core/CMakeFiles/noceas_core.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctg/CMakeFiles/noceas_ctg.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/noceas_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/noceas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

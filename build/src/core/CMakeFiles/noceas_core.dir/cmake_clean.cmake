@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_core.dir/comm_scheduler.cpp.o"
+  "CMakeFiles/noceas_core.dir/comm_scheduler.cpp.o.d"
+  "CMakeFiles/noceas_core.dir/eas.cpp.o"
+  "CMakeFiles/noceas_core.dir/eas.cpp.o.d"
+  "CMakeFiles/noceas_core.dir/list_common.cpp.o"
+  "CMakeFiles/noceas_core.dir/list_common.cpp.o.d"
+  "CMakeFiles/noceas_core.dir/polish.cpp.o"
+  "CMakeFiles/noceas_core.dir/polish.cpp.o.d"
+  "CMakeFiles/noceas_core.dir/repair.cpp.o"
+  "CMakeFiles/noceas_core.dir/repair.cpp.o.d"
+  "CMakeFiles/noceas_core.dir/schedule.cpp.o"
+  "CMakeFiles/noceas_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/noceas_core.dir/schedule_table.cpp.o"
+  "CMakeFiles/noceas_core.dir/schedule_table.cpp.o.d"
+  "CMakeFiles/noceas_core.dir/slack_budget.cpp.o"
+  "CMakeFiles/noceas_core.dir/slack_budget.cpp.o.d"
+  "CMakeFiles/noceas_core.dir/timing.cpp.o"
+  "CMakeFiles/noceas_core.dir/timing.cpp.o.d"
+  "CMakeFiles/noceas_core.dir/validator.cpp.o"
+  "CMakeFiles/noceas_core.dir/validator.cpp.o.d"
+  "libnoceas_core.a"
+  "libnoceas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

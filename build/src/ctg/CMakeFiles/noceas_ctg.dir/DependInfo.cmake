@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctg/dag_algos.cpp" "src/ctg/CMakeFiles/noceas_ctg.dir/dag_algos.cpp.o" "gcc" "src/ctg/CMakeFiles/noceas_ctg.dir/dag_algos.cpp.o.d"
+  "/root/repo/src/ctg/serialize.cpp" "src/ctg/CMakeFiles/noceas_ctg.dir/serialize.cpp.o" "gcc" "src/ctg/CMakeFiles/noceas_ctg.dir/serialize.cpp.o.d"
+  "/root/repo/src/ctg/task_graph.cpp" "src/ctg/CMakeFiles/noceas_ctg.dir/task_graph.cpp.o" "gcc" "src/ctg/CMakeFiles/noceas_ctg.dir/task_graph.cpp.o.d"
+  "/root/repo/src/ctg/unroll.cpp" "src/ctg/CMakeFiles/noceas_ctg.dir/unroll.cpp.o" "gcc" "src/ctg/CMakeFiles/noceas_ctg.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/noceas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

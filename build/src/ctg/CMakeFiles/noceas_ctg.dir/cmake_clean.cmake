@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_ctg.dir/dag_algos.cpp.o"
+  "CMakeFiles/noceas_ctg.dir/dag_algos.cpp.o.d"
+  "CMakeFiles/noceas_ctg.dir/serialize.cpp.o"
+  "CMakeFiles/noceas_ctg.dir/serialize.cpp.o.d"
+  "CMakeFiles/noceas_ctg.dir/task_graph.cpp.o"
+  "CMakeFiles/noceas_ctg.dir/task_graph.cpp.o.d"
+  "CMakeFiles/noceas_ctg.dir/unroll.cpp.o"
+  "CMakeFiles/noceas_ctg.dir/unroll.cpp.o.d"
+  "libnoceas_ctg.a"
+  "libnoceas_ctg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_ctg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_dvs.dir/slack_reclaim.cpp.o"
+  "CMakeFiles/noceas_dvs.dir/slack_reclaim.cpp.o.d"
+  "libnoceas_dvs.a"
+  "libnoceas_dvs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_dvs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/hetero.cpp" "src/gen/CMakeFiles/noceas_gen.dir/hetero.cpp.o" "gcc" "src/gen/CMakeFiles/noceas_gen.dir/hetero.cpp.o.d"
+  "/root/repo/src/gen/tgff.cpp" "src/gen/CMakeFiles/noceas_gen.dir/tgff.cpp.o" "gcc" "src/gen/CMakeFiles/noceas_gen.dir/tgff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctg/CMakeFiles/noceas_ctg.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/noceas_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/noceas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

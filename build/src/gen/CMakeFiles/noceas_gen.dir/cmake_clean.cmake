@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_gen.dir/hetero.cpp.o"
+  "CMakeFiles/noceas_gen.dir/hetero.cpp.o.d"
+  "CMakeFiles/noceas_gen.dir/tgff.cpp.o"
+  "CMakeFiles/noceas_gen.dir/tgff.cpp.o.d"
+  "libnoceas_gen.a"
+  "libnoceas_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_msb.dir/msb.cpp.o"
+  "CMakeFiles/noceas_msb.dir/msb.cpp.o.d"
+  "libnoceas_msb.a"
+  "libnoceas_msb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_msb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for noceas_msb.
+# This may be replaced when dependencies are built.

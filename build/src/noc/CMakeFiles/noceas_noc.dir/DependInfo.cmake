@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/graph_topology.cpp" "src/noc/CMakeFiles/noceas_noc.dir/graph_topology.cpp.o" "gcc" "src/noc/CMakeFiles/noceas_noc.dir/graph_topology.cpp.o.d"
+  "/root/repo/src/noc/platform.cpp" "src/noc/CMakeFiles/noceas_noc.dir/platform.cpp.o" "gcc" "src/noc/CMakeFiles/noceas_noc.dir/platform.cpp.o.d"
+  "/root/repo/src/noc/platform_io.cpp" "src/noc/CMakeFiles/noceas_noc.dir/platform_io.cpp.o" "gcc" "src/noc/CMakeFiles/noceas_noc.dir/platform_io.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/noc/CMakeFiles/noceas_noc.dir/routing.cpp.o" "gcc" "src/noc/CMakeFiles/noceas_noc.dir/routing.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/noc/CMakeFiles/noceas_noc.dir/topology.cpp.o" "gcc" "src/noc/CMakeFiles/noceas_noc.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/noceas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_noc.dir/graph_topology.cpp.o"
+  "CMakeFiles/noceas_noc.dir/graph_topology.cpp.o.d"
+  "CMakeFiles/noceas_noc.dir/platform.cpp.o"
+  "CMakeFiles/noceas_noc.dir/platform.cpp.o.d"
+  "CMakeFiles/noceas_noc.dir/platform_io.cpp.o"
+  "CMakeFiles/noceas_noc.dir/platform_io.cpp.o.d"
+  "CMakeFiles/noceas_noc.dir/routing.cpp.o"
+  "CMakeFiles/noceas_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/noceas_noc.dir/topology.cpp.o"
+  "CMakeFiles/noceas_noc.dir/topology.cpp.o.d"
+  "libnoceas_noc.a"
+  "libnoceas_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_opt.dir/annealing.cpp.o"
+  "CMakeFiles/noceas_opt.dir/annealing.cpp.o.d"
+  "libnoceas_opt.a"
+  "libnoceas_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

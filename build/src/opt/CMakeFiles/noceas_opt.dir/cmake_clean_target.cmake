@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnoceas_opt.a"
+)

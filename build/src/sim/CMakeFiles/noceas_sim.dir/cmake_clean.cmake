@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_sim.dir/wormhole_sim.cpp.o"
+  "CMakeFiles/noceas_sim.dir/wormhole_sim.cpp.o.d"
+  "libnoceas_sim.a"
+  "libnoceas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

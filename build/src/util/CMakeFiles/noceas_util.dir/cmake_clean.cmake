@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_util.dir/rng.cpp.o"
+  "CMakeFiles/noceas_util.dir/rng.cpp.o.d"
+  "CMakeFiles/noceas_util.dir/stats.cpp.o"
+  "CMakeFiles/noceas_util.dir/stats.cpp.o.d"
+  "CMakeFiles/noceas_util.dir/table.cpp.o"
+  "CMakeFiles/noceas_util.dir/table.cpp.o.d"
+  "libnoceas_util.a"
+  "libnoceas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_viz.dir/gantt_svg.cpp.o"
+  "CMakeFiles/noceas_viz.dir/gantt_svg.cpp.o.d"
+  "libnoceas_viz.a"
+  "libnoceas_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

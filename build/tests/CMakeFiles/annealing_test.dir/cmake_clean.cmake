@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annealing_test.dir/annealing_test.cpp.o"
+  "CMakeFiles/annealing_test.dir/annealing_test.cpp.o.d"
+  "annealing_test"
+  "annealing_test.pdb"
+  "annealing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_sched_test.dir/comm_sched_test.cpp.o"
+  "CMakeFiles/comm_sched_test.dir/comm_sched_test.cpp.o.d"
+  "comm_sched_test"
+  "comm_sched_test.pdb"
+  "comm_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

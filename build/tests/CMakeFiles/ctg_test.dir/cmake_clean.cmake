@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctg_test.dir/ctg_test.cpp.o"
+  "CMakeFiles/ctg_test.dir/ctg_test.cpp.o.d"
+  "ctg_test"
+  "ctg_test.pdb"
+  "ctg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_algos_test.dir/dag_algos_test.cpp.o"
+  "CMakeFiles/dag_algos_test.dir/dag_algos_test.cpp.o.d"
+  "dag_algos_test"
+  "dag_algos_test.pdb"
+  "dag_algos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_algos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

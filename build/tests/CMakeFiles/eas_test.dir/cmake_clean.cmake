@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eas_test.dir/eas_test.cpp.o"
+  "CMakeFiles/eas_test.dir/eas_test.cpp.o.d"
+  "eas_test"
+  "eas_test.pdb"
+  "eas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

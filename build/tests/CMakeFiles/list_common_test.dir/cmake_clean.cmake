@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_common_test.dir/list_common_test.cpp.o"
+  "CMakeFiles/list_common_test.dir/list_common_test.cpp.o.d"
+  "list_common_test"
+  "list_common_test.pdb"
+  "list_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_then_schedule_test.dir/map_then_schedule_test.cpp.o"
+  "CMakeFiles/map_then_schedule_test.dir/map_then_schedule_test.cpp.o.d"
+  "map_then_schedule_test"
+  "map_then_schedule_test.pdb"
+  "map_then_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_then_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

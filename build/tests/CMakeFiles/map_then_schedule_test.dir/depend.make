@@ -1,0 +1,2 @@
+# Empty dependencies file for map_then_schedule_test.
+# This may be replaced when dependencies are built.

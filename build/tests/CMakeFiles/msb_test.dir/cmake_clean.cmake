@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msb_test.dir/msb_test.cpp.o"
+  "CMakeFiles/msb_test.dir/msb_test.cpp.o.d"
+  "msb_test"
+  "msb_test.pdb"
+  "msb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimality_test.dir/optimality_test.cpp.o"
+  "CMakeFiles/optimality_test.dir/optimality_test.cpp.o.d"
+  "optimality_test"
+  "optimality_test.pdb"
+  "optimality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

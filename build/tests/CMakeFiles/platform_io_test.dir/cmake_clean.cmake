@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_io_test.dir/platform_io_test.cpp.o"
+  "CMakeFiles/platform_io_test.dir/platform_io_test.cpp.o.d"
+  "platform_io_test"
+  "platform_io_test.pdb"
+  "platform_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

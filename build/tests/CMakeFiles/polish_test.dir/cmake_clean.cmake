@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polish_test.dir/polish_test.cpp.o"
+  "CMakeFiles/polish_test.dir/polish_test.cpp.o.d"
+  "polish_test"
+  "polish_test.pdb"
+  "polish_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

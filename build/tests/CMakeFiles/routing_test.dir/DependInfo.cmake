@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/routing_test.cpp" "tests/CMakeFiles/routing_test.dir/routing_test.cpp.o" "gcc" "tests/CMakeFiles/routing_test.dir/routing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/noceas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/noceas_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/noceas_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/msb/CMakeFiles/noceas_msb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/noceas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvs/CMakeFiles/noceas_dvs.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/noceas_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/noceas_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ctg/CMakeFiles/noceas_ctg.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/noceas_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/noceas_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_table_test.dir/schedule_table_test.cpp.o"
+  "CMakeFiles/schedule_table_test.dir/schedule_table_test.cpp.o.d"
+  "schedule_table_test"
+  "schedule_table_test.pdb"
+  "schedule_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_test.dir/schedule_test.cpp.o"
+  "CMakeFiles/schedule_test.dir/schedule_test.cpp.o.d"
+  "schedule_test"
+  "schedule_test.pdb"
+  "schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

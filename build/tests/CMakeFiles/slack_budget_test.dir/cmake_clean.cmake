@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slack_budget_test.dir/slack_budget_test.cpp.o"
+  "CMakeFiles/slack_budget_test.dir/slack_budget_test.cpp.o.d"
+  "slack_budget_test"
+  "slack_budget_test.pdb"
+  "slack_budget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slack_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unroll_test.dir/unroll_test.cpp.o"
+  "CMakeFiles/unroll_test.dir/unroll_test.cpp.o.d"
+  "unroll_test"
+  "unroll_test.pdb"
+  "unroll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unroll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

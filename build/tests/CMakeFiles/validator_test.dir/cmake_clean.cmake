@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validator_test.dir/validator_test.cpp.o"
+  "CMakeFiles/validator_test.dir/validator_test.cpp.o.d"
+  "validator_test"
+  "validator_test.pdb"
+  "validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/ctg_test[1]_include.cmake")
+include("/root/repo/build/tests/dag_algos_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_platform_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_table_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_sched_test[1]_include.cmake")
+include("/root/repo/build/tests/slack_budget_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/eas_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_repair_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/validator_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/msb_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/optimality_test[1]_include.cmake")
+include("/root/repo/build/tests/dvs_test[1]_include.cmake")
+include("/root/repo/build/tests/unroll_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_io_test[1]_include.cmake")
+include("/root/repo/build/tests/map_then_schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/list_common_test[1]_include.cmake")
+include("/root/repo/build/tests/polish_test[1]_include.cmake")
+include("/root/repo/build/tests/annealing_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noceas_cli.dir/noceas_cli.cpp.o"
+  "CMakeFiles/noceas_cli.dir/noceas_cli.cpp.o.d"
+  "noceas_cli"
+  "noceas_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noceas_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
