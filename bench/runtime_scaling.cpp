@@ -67,6 +67,17 @@ void BM_Edf_MissBenchmarks(benchmark::State& state) {
 }
 BENCHMARK(BM_Edf_MissBenchmarks)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
+/// Attaches the probe-path instrumentation of the last run as counters, so
+/// the bench reports how much of the speedup the F(i,k) cache delivers.
+void report_probe_counters(benchmark::State& state, const ProbeStats& probe) {
+  state.counters["probes"] = static_cast<double>(probe.probes_issued);
+  state.counters["cache_hits"] = static_cast<double>(probe.cache_hits);
+  state.counters["invalidations"] = static_cast<double>(probe.invalidations);
+  state.counters["hit_rate"] = probe.hit_rate();
+  state.counters["par_batches"] = static_cast<double>(probe.parallel_batches);
+  state.counters["max_batch"] = static_cast<double>(probe.max_batch);
+}
+
 /// Scaling with task count (fixed 4x4 platform, Category I style deadlines).
 void BM_EasBase_TaskScaling(benchmark::State& state) {
   TgffParams params = category_params(1, 0);
@@ -75,12 +86,43 @@ void BM_EasBase_TaskScaling(benchmark::State& state) {
   const TaskGraph g = generate_tgff_like(params, catalog_4x4());
   EasOptions options;
   options.repair = false;
+  ProbeStats probe;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(schedule_eas(g, platform_4x4(), options));
+    EasResult r = schedule_eas(g, platform_4x4(), options);
+    probe = r.probe;
+    benchmark::DoNotOptimize(r);
   }
+  report_probe_counters(state, probe);
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_EasBase_TaskScaling)
+    ->RangeMultiplier(2)
+    ->Range(64, 1024)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+/// Same workload with the probe cache and parallel evaluation disabled: the
+/// seed's probe-everything-every-iteration behaviour, kept as the reference
+/// for the cache's speedup (schedules are bit-identical either way).
+void BM_EasBase_TaskScaling_NoCache(benchmark::State& state) {
+  TgffParams params = category_params(1, 0);
+  params.num_tasks = static_cast<std::size_t>(state.range(0));
+  params.num_edges = 2 * params.num_tasks;
+  const TaskGraph g = generate_tgff_like(params, catalog_4x4());
+  EasOptions options;
+  options.repair = false;
+  options.probe_cache = false;
+  options.parallel_probes = false;
+  ProbeStats probe;
+  for (auto _ : state) {
+    EasResult r = schedule_eas(g, platform_4x4(), options);
+    probe = r.probe;
+    benchmark::DoNotOptimize(r);
+  }
+  report_probe_counters(state, probe);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EasBase_TaskScaling_NoCache)
     ->RangeMultiplier(2)
     ->Range(64, 1024)
     ->Unit(benchmark::kMillisecond)

@@ -19,12 +19,15 @@ BaselineResult schedule_dls(const TaskGraph& g, const Platform& p) {
 
   Schedule s(g.num_tasks(), g.num_edges());
   ResourceTables tables(p);
+  // DLS probes every (ready task, PE) pair each iteration — the same access
+  // pattern as the EAS inner loop — so it shares the versioned probe cache.
+  ProbeEngine engine(g, p, tables, ProbeEngine::Options{});
 
   std::vector<std::size_t> unplaced_preds(g.num_tasks());
-  std::vector<TaskId> ready;
+  ReadyList ready;
   for (TaskId t : g.all_tasks()) {
     unplaced_preds[t.index()] = g.in_degree(t);
-    if (unplaced_preds[t.index()] == 0) ready.push_back(t);
+    if (unplaced_preds[t.index()] == 0) ready.seed(t);
   }
 
   std::size_t placed = 0;
@@ -32,12 +35,13 @@ BaselineResult schedule_dls(const TaskGraph& g, const Platform& p) {
     NOCEAS_REQUIRE(!ready.empty(), "no ready task but unplaced tasks remain (cycle?)");
 
     // Maximize DL(i,k) over all ready tasks and PEs.
+    engine.refresh(ready.items(), s);
     TaskId best_task;
     PeId best_pe;
     double best_dl = -std::numeric_limits<double>::infinity();
     for (TaskId t : ready) {
       for (PeId k : p.all_pes()) {
-        const ProbeResult pr = probe_placement(g, p, t, k, s, tables);
+        const ProbeResult& pr = engine.result(t, k);
         const double delta =
             mean[t.index()] - static_cast<double>(g.task(t).exec_time[k.index()]);
         const double dl = sl[t.index()] - static_cast<double>(pr.start) + delta;
@@ -52,12 +56,10 @@ BaselineResult schedule_dls(const TaskGraph& g, const Platform& p) {
     commit_placement(g, p, best_task, best_pe, s, tables);
     ++placed;
 
-    ready.erase(std::find(ready.begin(), ready.end(), best_task));
+    ready.erase(best_task);
     for (EdgeId e : g.out_edges(best_task)) {
       const TaskId succ = g.edge(e).dst;
-      if (--unplaced_preds[succ.index()] == 0) {
-        ready.insert(std::upper_bound(ready.begin(), ready.end(), succ), succ);
-      }
+      if (--unplaced_preds[succ.index()] == 0) ready.insert(succ);
     }
   }
 
@@ -65,6 +67,7 @@ BaselineResult schedule_dls(const TaskGraph& g, const Platform& p) {
   result.schedule = std::move(s);
   result.misses = deadline_misses(g, result.schedule);
   result.energy = compute_energy(g, p, result.schedule);
+  result.probe = engine.stats();
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;
 }

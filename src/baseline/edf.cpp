@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 
 #include "src/core/list_common.hpp"
@@ -16,39 +17,74 @@ BaselineResult schedule_edf(const TaskGraph& g, const Platform& p) {
 
   const auto eff_deadline = effective_deadlines(g, mean_durations(g));
 
+  const std::size_t P = p.num_pes();
   Schedule s(g.num_tasks(), g.num_edges());
   ResourceTables tables(p);
+  TentativeTables scratch(tables);  // reused probe overlay; tables stay const
+  ProbeStats stats;
 
   std::vector<std::size_t> unplaced_preds(g.num_tasks());
-  std::vector<TaskId> ready;
+  ReadyList ready;
   for (TaskId t : g.all_tasks()) {
     unplaced_preds[t.index()] = g.in_degree(t);
-    if (unplaced_preds[t.index()] == 0) ready.push_back(t);
+    if (unplaced_preds[t.index()] == 0) ready.seed(t);
   }
+
+  // Scratch for the lazy energy tie-break: the incoming data transactions of
+  // the task under placement (sender PEs are fixed once it is ready — the
+  // PE-independent part of placement_energy, hoisted out of the PE loop) and
+  // a per-PE memo so each energy is computed at most once, and only when an
+  // exact finish-time tie actually needs it.
+  struct DataIn {
+    Volume volume;
+    PeId src;
+  };
+  std::vector<DataIn> data_in;
+  std::vector<Energy> energy_memo(P);
 
   std::size_t placed = 0;
   while (placed < g.num_tasks()) {
     NOCEAS_REQUIRE(!ready.empty(), "no ready task but unplaced tasks remain (cycle?)");
 
     // Earliest effective deadline first; ties by id for determinism.
-    auto it = std::min_element(ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+    const auto& items = ready.items();
+    auto it = std::min_element(items.begin(), items.end(), [&](TaskId a, TaskId b) {
       if (eff_deadline[a.index()] != eff_deadline[b.index()])
         return eff_deadline[a.index()] < eff_deadline[b.index()];
       return a < b;
     });
     const TaskId t = *it;
-    ready.erase(it);
+    ready.erase_at(static_cast<std::size_t>(it - items.begin()));
+
+    data_in.clear();
+    for (EdgeId e : g.in_edges(t)) {
+      const CommEdge& c = g.edge(e);
+      if (!c.is_control_only()) data_in.push_back(DataIn{c.volume, s.at(c.src).pe});
+    }
+    std::fill(energy_memo.begin(), energy_memo.end(),
+              std::numeric_limits<Energy>::quiet_NaN());
+    auto energy_of = [&](PeId k) {
+      Energy& memo = energy_memo[k.index()];
+      if (std::isnan(memo)) {
+        Energy e = g.task(t).exec_energy[k.index()];
+        for (const DataIn& d : data_in) e += p.transfer_energy(d.volume, d.src, k);
+        memo = e;
+      }
+      return memo;
+    };
 
     // Earliest finish time over all PEs; ties towards lower energy, then id.
+    // Energy only ever breaks exact finish-time ties, so it is evaluated
+    // lazily instead of rescanning all in-edges for every candidate PE.
     PeId best_pe;
     Time best_f = std::numeric_limits<Time>::max();
-    Energy best_e = std::numeric_limits<Energy>::infinity();
     for (PeId k : p.all_pes()) {
-      const ProbeResult pr = probe_placement(g, p, t, k, s, tables);
-      const Energy e = placement_energy(g, p, t, k, s);
-      if (pr.finish < best_f || (pr.finish == best_f && e < best_e)) {
+      const ProbeResult pr = probe_placement(g, p, t, k, s, tables, scratch);
+      ++stats.probes_issued;
+      if (pr.finish < best_f) {
         best_f = pr.finish;
-        best_e = e;
+        best_pe = k;
+      } else if (pr.finish == best_f && energy_of(k) < energy_of(best_pe)) {
         best_pe = k;
       }
     }
@@ -57,9 +93,7 @@ BaselineResult schedule_edf(const TaskGraph& g, const Platform& p) {
 
     for (EdgeId e : g.out_edges(t)) {
       const TaskId succ = g.edge(e).dst;
-      if (--unplaced_preds[succ.index()] == 0) {
-        ready.insert(std::upper_bound(ready.begin(), ready.end(), succ), succ);
-      }
+      if (--unplaced_preds[succ.index()] == 0) ready.insert(succ);
     }
   }
 
@@ -67,6 +101,7 @@ BaselineResult schedule_edf(const TaskGraph& g, const Platform& p) {
   result.schedule = std::move(s);
   result.misses = deadline_misses(g, result.schedule);
   result.energy = compute_energy(g, p, result.schedule);
+  result.probe = stats;
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;
 }

@@ -13,6 +13,7 @@
 //     towards lower energy.
 #pragma once
 
+#include "src/core/list_common.hpp"
 #include "src/core/schedule.hpp"
 #include "src/ctg/task_graph.hpp"
 #include "src/noc/platform.hpp"
@@ -24,6 +25,7 @@ struct BaselineResult {
   Schedule schedule;
   MissReport misses;
   EnergyBreakdown energy;
+  ProbeStats probe;  ///< probe-path instrumentation
   double seconds = 0.0;
 };
 

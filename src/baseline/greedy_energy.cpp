@@ -15,12 +15,14 @@ BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p) {
 
   Schedule s(g.num_tasks(), g.num_edges());
   ResourceTables tables(p);
+  TentativeTables scratch(tables);  // reused probe overlay; tables stay const
+  ProbeStats stats;
 
   std::vector<std::size_t> unplaced_preds(g.num_tasks());
-  std::vector<TaskId> ready;
+  ReadyList ready;
   for (TaskId t : g.all_tasks()) {
     unplaced_preds[t.index()] = g.in_degree(t);
-    if (unplaced_preds[t.index()] == 0) ready.push_back(t);
+    if (unplaced_preds[t.index()] == 0) ready.seed(t);
   }
 
   std::size_t placed = 0;
@@ -28,15 +30,16 @@ BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p) {
     NOCEAS_REQUIRE(!ready.empty(), "no ready task but unplaced tasks remain (cycle?)");
     // FIFO over ids: take the lowest ready id, place at min energy
     // (ties towards earlier finish).
-    const TaskId t = ready.front();
-    ready.erase(ready.begin());
+    const TaskId t = ready.items().front();
+    ready.erase_at(0);
 
     PeId best_pe;
     Energy best_e = std::numeric_limits<Energy>::infinity();
     Time best_f = std::numeric_limits<Time>::max();
     for (PeId k : p.all_pes()) {
       const Energy e = placement_energy(g, p, t, k, s);
-      const ProbeResult pr = probe_placement(g, p, t, k, s, tables);
+      const ProbeResult pr = probe_placement(g, p, t, k, s, tables, scratch);
+      ++stats.probes_issued;
       if (e < best_e || (e == best_e && pr.finish < best_f)) {
         best_e = e;
         best_f = pr.finish;
@@ -48,9 +51,7 @@ BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p) {
 
     for (EdgeId e : g.out_edges(t)) {
       const TaskId succ = g.edge(e).dst;
-      if (--unplaced_preds[succ.index()] == 0) {
-        ready.insert(std::upper_bound(ready.begin(), ready.end(), succ), succ);
-      }
+      if (--unplaced_preds[succ.index()] == 0) ready.insert(succ);
     }
   }
 
@@ -58,6 +59,7 @@ BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p) {
   result.schedule = std::move(s);
   result.misses = deadline_misses(g, result.schedule);
   result.energy = compute_energy(g, p, result.schedule);
+  result.probe = stats;
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;
 }

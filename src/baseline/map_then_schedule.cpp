@@ -152,28 +152,27 @@ MapScheduleResult schedule_map_then_list(const TaskGraph& g, const Platform& p,
   const auto eff_deadline = effective_deadlines(g, mean);
 
   std::vector<std::size_t> unplaced_preds(g.num_tasks());
-  std::vector<TaskId> ready;
+  ReadyList ready;
   for (TaskId t : g.all_tasks()) {
     unplaced_preds[t.index()] = g.in_degree(t);
-    if (unplaced_preds[t.index()] == 0) ready.push_back(t);
+    if (unplaced_preds[t.index()] == 0) ready.seed(t);
   }
   std::size_t placed = 0;
   while (placed < g.num_tasks()) {
     NOCEAS_REQUIRE(!ready.empty(), "no ready task but unplaced tasks remain (cycle?)");
-    auto it = std::min_element(ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+    const auto& items = ready.items();
+    auto it = std::min_element(items.begin(), items.end(), [&](TaskId a, TaskId b) {
       if (eff_deadline[a.index()] != eff_deadline[b.index()])
         return eff_deadline[a.index()] < eff_deadline[b.index()];
       return a < b;
     });
     const TaskId t = *it;
-    ready.erase(it);
+    ready.erase_at(static_cast<std::size_t>(it - items.begin()));
     commit_placement(g, p, t, mapping[t.index()], s, tables);
     ++placed;
     for (EdgeId e : g.out_edges(t)) {
       const TaskId succ = g.edge(e).dst;
-      if (--unplaced_preds[succ.index()] == 0) {
-        ready.insert(std::upper_bound(ready.begin(), ready.end(), succ), succ);
-      }
+      if (--unplaced_preds[succ.index()] == 0) ready.insert(succ);
     }
   }
 

@@ -4,15 +4,12 @@
 
 namespace noceas {
 
-IncomingCommResult schedule_incoming_comms(const TaskGraph& g, const Platform& p, TaskId task,
-                                           PeId dest,
-                                           const std::vector<TaskPlacement>& task_placements,
-                                           ResourceTables& tables, ReservationLog& log) {
-  IncomingCommResult result;
+namespace {
 
-  // Build the LCT and sort it by the finish time of each sender (Fig. 3:
-  // "sort LCT by the finish time of its sender"), ties by edge id for
-  // determinism.
+/// The LCT, sorted by the finish time of each sender (Fig. 3: "sort LCT by
+/// the finish time of its sender"), ties by edge id for determinism.
+std::vector<EdgeId> sorted_lct(const TaskGraph& g, TaskId task,
+                               const std::vector<TaskPlacement>& task_placements) {
   std::vector<EdgeId> lct(g.in_edges(task).begin(), g.in_edges(task).end());
   std::sort(lct.begin(), lct.end(), [&](EdgeId a, EdgeId b) {
     const Time fa = task_placements[g.edge(a).src.index()].finish;
@@ -20,6 +17,17 @@ IncomingCommResult schedule_incoming_comms(const TaskGraph& g, const Platform& p
     if (fa != fb) return fa < fb;
     return a < b;
   });
+  return lct;
+}
+
+}  // namespace
+
+IncomingCommResult schedule_incoming_comms(const TaskGraph& g, const Platform& p, TaskId task,
+                                           PeId dest,
+                                           const std::vector<TaskPlacement>& task_placements,
+                                           ResourceTables& tables, ReservationLog& log) {
+  IncomingCommResult result;
+  const std::vector<EdgeId> lct = sorted_lct(g, task, task_placements);
 
   result.placements.reserve(lct.size());
   for (EdgeId e : lct) {
@@ -47,6 +55,40 @@ IncomingCommResult schedule_incoming_comms(const TaskGraph& g, const Platform& p
       cp.duration = dur;
       const Interval iv{cp.start, cp.start + dur};
       for (LinkId l : route) log.reserve(tables.link[l.index()], iv);
+    }
+    result.data_ready_time = std::max(result.data_ready_time, cp.arrival());
+    result.placements.emplace_back(e, cp);
+  }
+  return result;
+}
+
+IncomingCommResult probe_incoming_comms(const TaskGraph& g, const Platform& p, TaskId task,
+                                        PeId dest,
+                                        const std::vector<TaskPlacement>& task_placements,
+                                        TentativeTables& overlay) {
+  overlay.reset();
+  IncomingCommResult result;
+  const std::vector<EdgeId> lct = sorted_lct(g, task, task_placements);
+
+  result.placements.reserve(lct.size());
+  for (EdgeId e : lct) {
+    const CommEdge& edge = g.edge(e);
+    const TaskPlacement& sender = task_placements[edge.src.index()];
+    NOCEAS_REQUIRE(sender.placed(), "sender task " << edge.src.value << " not yet scheduled");
+
+    CommPlacement cp;
+    cp.src_pe = sender.pe;
+    cp.dst_pe = dest;
+
+    const Duration dur = edge.is_control_only() ? 0 : p.transfer_time(edge.volume, sender.pe, dest);
+    if (dur == 0) {
+      cp.start = sender.finish;
+      cp.duration = 0;
+    } else {
+      const std::vector<LinkId>& route = p.route(sender.pe, dest);
+      cp.start = overlay.path_fit(route, sender.finish, dur);
+      cp.duration = dur;
+      overlay.add_pending(route, Interval{cp.start, cp.start + dur});
     }
     result.data_ready_time = std::max(result.data_ready_time, cp.arrival());
     result.placements.emplace_back(e, cp);

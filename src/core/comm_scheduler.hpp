@@ -14,6 +14,7 @@
 
 #include "src/core/resource_tables.hpp"
 #include "src/core/schedule.hpp"
+#include "src/core/tentative_tables.hpp"
 #include "src/ctg/task_graph.hpp"
 #include "src/noc/platform.hpp"
 
@@ -36,6 +37,17 @@ struct IncomingCommResult {
     const TaskGraph& g, const Platform& p, TaskId task, PeId dest,
     const std::vector<TaskPlacement>& task_placements, ResourceTables& tables,
     ReservationLog& log);
+
+/// Side-effect-free twin of schedule_incoming_comms(): computes the exact
+/// same Fig. 3 timings against `overlay.base()` without touching any shared
+/// table.  Tentative link claims of earlier transactions of the same probe
+/// are recorded in `overlay` (which is reset() on entry), so transactions
+/// that share links still serialise exactly as in the committing path.
+/// Probes with private overlays over the same const base may run in
+/// parallel.
+[[nodiscard]] IncomingCommResult probe_incoming_comms(
+    const TaskGraph& g, const Platform& p, TaskId task, PeId dest,
+    const std::vector<TaskPlacement>& task_placements, TentativeTables& overlay);
 
 /// Communication energy cost of running `task` on `dest` given the already
 /// fixed placements of its predecessors (the footnote-2 term of the paper:

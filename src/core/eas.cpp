@@ -21,27 +21,33 @@ std::vector<Time> plain_budget(const TaskGraph& g) {
 }
 
 /// Step 2: level-based scheduling against budgeted deadlines `bd`.
-Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::vector<Time>& bd) {
+/// Probe-path counters are accumulated into `stats`.
+Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::vector<Time>& bd,
+                              const EasOptions& options, ProbeStats& stats) {
   Schedule s(g.num_tasks(), g.num_edges());
   ResourceTables tables(p);
+  ProbeEngine engine(g, p, tables,
+                     ProbeEngine::Options{options.probe_cache, options.parallel_probes});
 
   const std::size_t n = g.num_tasks();
   const std::size_t P = p.num_pes();
   std::vector<std::size_t> unplaced_preds(n);
-  std::vector<TaskId> ready;  // the RTL, kept sorted by id for determinism
+  ReadyList ready;  // the RTL, kept sorted by id for determinism
   for (TaskId t : g.all_tasks()) {
     unplaced_preds[t.index()] = g.in_degree(t);
-    if (unplaced_preds[t.index()] == 0) ready.push_back(t);
+    if (unplaced_preds[t.index()] == 0) ready.seed(t);
   }
-
-  std::vector<Time> finish_ik(P);  // F(i,k) for the task under evaluation
 
   std::size_t placed = 0;
   while (placed < n) {
     NOCEAS_REQUIRE(!ready.empty(), "no ready task but " << (n - placed) << " unplaced (cycle?)");
 
-    // Evaluate F(i,k) for every ready task / PE combination by tentatively
-    // scheduling the receiving transactions and probing the PE gap.
+    // Evaluate F(i,k) for every ready task / PE combination.  The engine
+    // reuses every probe whose consulted tables (the PE, the links of the
+    // incoming routes) are unchanged since it was computed, and evaluates
+    // the stale remainder — pure functions over const tables — in parallel.
+    engine.refresh(ready.items(), s);
+
     struct Candidate {
       TaskId task;
       PeId urgent_pe;          // argmin_k F(i,k)
@@ -58,10 +64,9 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
       c.task = t;
       Time min_f = std::numeric_limits<Time>::max();
       for (std::size_t k = 0; k < P; ++k) {
-        const ProbeResult pr = probe_placement(g, p, t, PeId{k}, s, tables);
-        finish_ik[k] = pr.finish;
-        if (pr.finish < min_f) {
-          min_f = pr.finish;
+        const Time finish = engine.result(t, PeId{k}).finish;
+        if (finish < min_f) {
+          min_f = finish;
           c.urgent_pe = PeId{k};
         }
       }
@@ -77,13 +82,14 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
         PeId best_pe;
         Time best_f = std::numeric_limits<Time>::max();
         for (std::size_t k = 0; k < P; ++k) {
-          if (budget != kNoDeadline && finish_ik[k] > budget) continue;
-          const Energy e = placement_energy(g, p, t, PeId{k}, s);
-          if (e < e1 || (e == e1 && finish_ik[k] < best_f)) {
+          const Time finish = engine.result(t, PeId{k}).finish;
+          if (budget != kNoDeadline && finish > budget) continue;
+          const Energy e = engine.energy(t, PeId{k}, s);
+          if (e < e1 || (e == e1 && finish < best_f)) {
             e2 = e1;
             e1 = e;
             best_pe = PeId{k};
-            best_f = finish_ik[k];
+            best_f = finish;
           } else if (e < e2) {
             e2 = e;
           }
@@ -118,18 +124,19 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
 
     // Commit: re-run the communication scheduler for real and reserve the
     // PE slot (identical timing to the probe — both are deterministic).
+    // The reservations bump the version counters of exactly the tables that
+    // changed, which is what invalidates the affected cache entries.
     commit_placement(g, p, chosen->task, chosen_pe, s, tables);
     ++placed;
 
     // Maintain the ready list.
-    ready.erase(std::find(ready.begin(), ready.end(), chosen->task));
+    ready.erase(chosen->task);
     for (EdgeId e : g.out_edges(chosen->task)) {
       const TaskId succ = g.edge(e).dst;
-      if (--unplaced_preds[succ.index()] == 0) {
-        ready.insert(std::upper_bound(ready.begin(), ready.end(), succ), succ);
-      }
+      if (--unplaced_preds[succ.index()] == 0) ready.insert(succ);
     }
   }
+  stats += engine.stats();
   return s;
 }
 
@@ -180,7 +187,7 @@ EasResult schedule_eas(const TaskGraph& g, const Platform& p, const EasOptions& 
 
   const int attempts = options.repair ? options.max_budget_retries + 1 : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
-    Schedule s = level_based_schedule(g, p, bd);
+    Schedule s = level_based_schedule(g, p, bd, options, result.probe);
 
     if (options.repair) {
       RepairResult rr = search_and_repair(g, p, s, options.repair_options);

@@ -11,6 +11,7 @@
 // "EAS-base" configuration.
 #pragma once
 
+#include "src/core/list_common.hpp"
 #include "src/core/repair.hpp"
 #include "src/core/schedule.hpp"
 #include "src/core/slack_budget.hpp"
@@ -37,6 +38,15 @@ struct EasOptions {
   /// times.  0 reproduces the paper's flow exactly.  Only active when
   /// `repair` is set.
   int max_budget_retries = 8;
+  /// Reuse F(i,k) probes across inner-loop iterations, invalidated by the
+  /// version counters of the tables each probe consulted.  Off: every
+  /// (ready task, PE) pair is re-probed every iteration (seed behaviour).
+  /// Schedules are bit-identical either way; this is purely a speed knob.
+  bool probe_cache = true;
+  /// Evaluate stale probes on the shared thread pool.  Probes are pure
+  /// functions over const tables and results are merged in (task, PE)
+  /// order, so schedules are bit-identical to the serial path.
+  bool parallel_probes = true;
 };
 
 /// Result of a full EAS run.
@@ -46,6 +56,7 @@ struct EasResult {
   RepairStats repair;      ///< Step 3 stats (zeroed when repair disabled/skipped)
   MissReport misses;       ///< deadline misses of the final schedule
   EnergyBreakdown energy;  ///< Eq. 3 value of the final schedule
+  ProbeStats probe;        ///< probe-path instrumentation (all attempts)
   double seconds = 0.0;    ///< wall-clock scheduling time
   int budget_retries = 0;  ///< budget-tightening escalations that were run
 };

@@ -1,21 +1,28 @@
 #include "src/core/list_common.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace noceas {
 
 ProbeResult probe_placement(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
-                            const Schedule& schedule, ResourceTables& tables) {
-  ReservationLog log;
-  const IncomingCommResult comms =
-      schedule_incoming_comms(g, p, task, pe, schedule.tasks, tables, log);
+                            const Schedule& schedule, const ResourceTables& tables,
+                            TentativeTables& scratch) {
+  NOCEAS_REQUIRE(&scratch.base() == &tables, "scratch overlay bound to different tables");
+  const IncomingCommResult comms = probe_incoming_comms(g, p, task, pe, schedule.tasks, scratch);
   const Duration exec = g.task(task).exec_time.at(pe.index());
   ProbeResult r;
   r.data_ready_time = std::max(comms.data_ready_time, g.task(task).release);
   r.start = tables.pe[pe.index()].earliest_fit(r.data_ready_time, exec);
   r.finish = r.start + exec;
-  log.rollback();
   return r;
+}
+
+ProbeResult probe_placement(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
+                            const Schedule& schedule, const ResourceTables& tables) {
+  TentativeTables scratch(tables);
+  return probe_placement(g, p, task, pe, schedule, tables, scratch);
 }
 
 void commit_placement(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
@@ -42,6 +49,101 @@ Energy placement_energy(const TaskGraph& g, const Platform& p, TaskId task, PeId
                         const Schedule& schedule) {
   return g.task(task).exec_energy.at(pe.index()) +
          incoming_comm_energy(g, p, task, pe, schedule.tasks);
+}
+
+std::uint64_t probe_footprint_version(const TaskGraph& g, const Platform& p, TaskId task,
+                                      PeId dest, const std::vector<TaskPlacement>& placements,
+                                      const ResourceTables& tables) {
+  std::uint64_t v = tables.pe[dest.index()].version();
+  for (EdgeId e : g.in_edges(task)) {
+    const CommEdge& edge = g.edge(e);
+    if (edge.is_control_only()) continue;
+    const TaskPlacement& sender = placements[edge.src.index()];
+    NOCEAS_REQUIRE(sender.placed(), "sender task " << edge.src.value << " not yet scheduled");
+    if (sender.pe == dest) continue;  // same tile: zero transfer, no links read
+    for (const LinkId l : p.route(sender.pe, dest)) v += tables.link[l.index()].version();
+  }
+  return v;
+}
+
+ProbeEngine::ProbeEngine(const TaskGraph& g, const Platform& p, const ResourceTables& tables,
+                         Options options)
+    : g_(g),
+      p_(p),
+      tables_(tables),
+      options_(options),
+      num_pes_(p.num_pes()),
+      pool_(nullptr),
+      entries_(g.num_tasks() * p.num_pes()),
+      energy_(g.num_tasks() * p.num_pes(), std::numeric_limits<Energy>::quiet_NaN()) {
+  if (options_.parallel && shared_probe_pool().lanes() > 1) pool_ = &shared_probe_pool();
+  const unsigned lanes = pool_ ? pool_->lanes() : 1;
+  scratch_.reserve(lanes);
+  for (unsigned i = 0; i < lanes; ++i) scratch_.emplace_back(tables_);
+}
+
+void ProbeEngine::refresh(std::span<const TaskId> tasks, const Schedule& schedule) {
+  stale_.clear();
+  for (const TaskId t : tasks) {
+    const std::size_t base = t.index() * num_pes_;
+    for (std::size_t k = 0; k < num_pes_; ++k) {
+      Entry& e = entries_[base + k];
+      std::uint64_t fv = 0;
+      if (options_.cache) {
+        fv = probe_footprint_version(g_, p_, t, PeId{k}, schedule.tasks, tables_);
+        if (e.valid && e.footprint == fv) {
+          ++stats_.cache_hits;
+          continue;
+        }
+        if (e.valid) ++stats_.invalidations;
+      }
+      stale_.push_back(StaleItem{static_cast<std::uint32_t>(t.index()),
+                                 static_cast<std::uint32_t>(k), fv});
+    }
+  }
+  stats_.probes_issued += stale_.size();
+  stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, stale_.size());
+
+  auto evaluate = [&](std::size_t i, unsigned lane) {
+    const StaleItem& item = stale_[i];
+    Entry& e = entries_[item.task * num_pes_ + item.pe];
+    e.result = probe_placement(g_, p_, TaskId{static_cast<std::size_t>(item.task)},
+                               PeId{static_cast<std::size_t>(item.pe)}, schedule, tables_,
+                               scratch_[lane]);
+    e.footprint = item.footprint;
+    e.valid = true;
+  };
+
+  // Parallelism pays only when the batch dwarfs the wake-up cost; small
+  // batches (the common case at high hit rates) stay on the calling thread.
+  if (pool_ && stale_.size() >= 2 * static_cast<std::size_t>(pool_->lanes())) {
+    ++stats_.parallel_batches;
+    stats_.parallel_probes += stale_.size();
+    pool_->parallel_for(stale_.size(), evaluate);
+  } else {
+    for (std::size_t i = 0; i < stale_.size(); ++i) evaluate(i, 0);
+  }
+}
+
+Energy ProbeEngine::energy(TaskId t, PeId k, const Schedule& schedule) {
+  Energy& slot = energy_[t.index() * num_pes_ + k.index()];
+  if (std::isnan(slot)) slot = placement_energy(g_, p_, t, k, schedule);
+  return slot;
+}
+
+void ReadyList::insert(TaskId t) {
+  items_.insert(std::upper_bound(items_.begin(), items_.end(), t), t);
+}
+
+void ReadyList::erase(TaskId t) {
+  const auto it = std::lower_bound(items_.begin(), items_.end(), t);
+  NOCEAS_REQUIRE(it != items_.end() && *it == t, "task " << t.value << " not in ready list");
+  items_.erase(it);
+}
+
+void ReadyList::erase_at(std::size_t i) {
+  NOCEAS_REQUIRE(i < items_.size(), "ready index " << i << " out of range");
+  items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
 }  // namespace noceas

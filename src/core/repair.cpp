@@ -103,10 +103,12 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
 
   // Work on the rebuilt form of the initial schedule so that every candidate
   // is compared against an incumbent produced by the same (deterministic)
-  // timing reconstruction.
+  // timing reconstruction.  All LTS/GTM re-probes share one rebuilder so the
+  // schedule tables are allocated once instead of per candidate move.
+  TimingRebuilder rebuilder(g, p);
   Incumbent inc;
   inc.plan = plan_from_schedule(initial, p.num_pes());
-  if (auto rebuilt = rebuild_timing(g, p, inc.plan)) {
+  if (auto rebuilt = rebuilder.rebuild(inc.plan)) {
     inc.schedule = std::move(*rebuilt);
   } else {
     inc.schedule = initial;  // should not happen for a valid schedule
@@ -124,7 +126,7 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
   const ReachabilityMatrix reach(g);
 
   auto try_plan = [&](const OrderedPlan& candidate) -> bool {
-    auto rebuilt = rebuild_timing(g, p, candidate);
+    auto rebuilt = rebuilder.rebuild(candidate);
     if (!rebuilt) return false;
     const MissReport mr = deadline_misses(g, *rebuilt);
     if (!mr.better_than(inc.misses)) return false;

@@ -38,6 +38,7 @@ void ScheduleTable::reserve(const Interval& iv) {
     NOCEAS_REQUIRE(iv.end <= it->start, "reservation " << iv << " overlaps slot " << *it);
   }
   busy_.insert(it, iv);
+  ++version_;
 }
 
 void ScheduleTable::release(const Interval& iv) {
@@ -46,6 +47,7 @@ void ScheduleTable::release(const Interval& iv) {
                              [](const Interval& a, const Interval& b) { return a.start < b.start; });
   NOCEAS_REQUIRE(it != busy_.end() && *it == iv, "release of absent slot " << iv);
   busy_.erase(it);
+  ++version_;
 }
 
 Duration ScheduleTable::total_busy() const {
@@ -59,26 +61,24 @@ Time path_earliest_fit(std::span<const ScheduleTable* const> tables, Time not_be
   NOCEAS_REQUIRE(dur >= 0, "negative duration " << dur);
   if (tables.empty() || dur == 0) return not_before;
 
-  // Merge the relevant busy slots of all links of the path, then sweep for
-  // the first gap of length dur.  This is the path schedule table of Fig. 3.
-  std::vector<Interval> merged;
-  for (const ScheduleTable* t : tables) {
-    NOCEAS_REQUIRE(t != nullptr, "null table in path");
-    const auto& busy = t->busy();
-    auto it = std::upper_bound(busy.begin(), busy.end(), not_before,
-                               [](Time x, const Interval& iv) { return x < iv.end; });
-    merged.insert(merged.end(), it, busy.end());
-  }
-  std::sort(merged.begin(), merged.end(),
-            [](const Interval& a, const Interval& b) { return a.start < b.start; });
-
+  // The schedule table of the path (Fig. 3) is the union of the busy slots
+  // of its links; the earliest common gap is the unique fixpoint of "ask
+  // every link for its earliest fit at s".  Sweeping per-table avoids the
+  // merge-and-sort allocation of the naive construction: s only moves
+  // forward, so each table is consulted O(#its busy slots) times in total.
   Time s = not_before;
-  for (const Interval& iv : merged) {
-    if (iv.end <= s) continue;
-    if (s + dur <= iv.start) return s;
-    s = std::max(s, iv.end);
+  for (;;) {
+    bool moved = false;
+    for (const ScheduleTable* t : tables) {
+      NOCEAS_REQUIRE(t != nullptr, "null table in path");
+      const Time fit = t->earliest_fit(s, dur);
+      if (fit != s) {
+        s = fit;
+        moved = true;
+      }
+    }
+    if (!moved) return s;
   }
-  return s;
 }
 
 void ReservationLog::reserve(ScheduleTable& table, const Interval& iv) {

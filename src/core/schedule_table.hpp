@@ -3,12 +3,18 @@
 // Every shared resource (a PE, a directed link) owns a table of occupied
 // time slots.  The communication scheduler of Fig. 3 builds the schedule
 // table of a *path* by merging the occupied slots of its comprising links
-// and then places each transaction at the earliest feasible slot.  Because
-// the EAS inner loop tentatively schedules communications for every
-// (ready task, PE) combination and then restores the tables, reservations
-// are logged so they can be rolled back in O(#reservations).
+// and then places each transaction at the earliest feasible slot.
+//
+// F(i,k) probing never touches these tables: it layers a TentativeTables
+// overlay (tentative_tables.hpp) over const references.  Committing a
+// placement reserves slots for real; each mutation bumps a monotonic
+// per-table version counter that the probe cache of list_common.hpp uses to
+// detect which cached F(i,k) values a commit actually invalidated.  The
+// ReservationLog below remains for callers that interleave speculative
+// reservations with exception-safe rollback (e.g. the timing rebuilder).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -39,13 +45,26 @@ class ScheduleTable {
 
   [[nodiscard]] const std::vector<Interval>& busy() const { return busy_; }
   [[nodiscard]] bool empty() const { return busy_.empty(); }
-  void clear() { busy_.clear(); }
+  void clear() {
+    if (!busy_.empty()) {
+      busy_.clear();
+      ++version_;
+    }
+  }
+
+  /// Monotonic mutation counter: bumped by every reserve/release/clear that
+  /// changes the busy set, never by reads.  Because versions only grow, the
+  /// *sum* of the versions of a fixed set of tables is unchanged iff every
+  /// table in the set is unchanged — the invariant behind the F(i,k) probe
+  /// cache (see probe_footprint_version in list_common.hpp).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
 
   /// Total occupied time (for utilization reports).
   [[nodiscard]] Duration total_busy() const;
 
  private:
   std::vector<Interval> busy_;
+  std::uint64_t version_ = 0;
 };
 
 /// Earliest start >= not_before at which [s, s + dur) is simultaneously free

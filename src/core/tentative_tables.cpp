@@ -1,0 +1,56 @@
+#include "src/core/tentative_tables.hpp"
+
+namespace noceas {
+
+Time TentativeTables::link_fit(std::size_t li, Time s, Duration dur) const {
+  const ScheduleTable& base = base_->link[li];
+  const std::vector<Interval>& pend = pending_[li];
+  for (;;) {
+    Time t = base.earliest_fit(s, dur);
+    // Bump past pending claims overlapping [t, t + dur); the list is tiny
+    // (at most the task's in-degree), so a linear fixpoint scan is cheapest.
+    bool bumped = true;
+    while (bumped) {
+      bumped = false;
+      for (const Interval& iv : pend) {
+        if (iv.start < t + dur && t < iv.end) {
+          t = iv.end;
+          bumped = true;
+        }
+      }
+    }
+    if (base.is_free(Interval{t, t + dur})) return t;
+    s = t;  // a pending bump pushed us into a base slot; re-fit
+  }
+}
+
+Time TentativeTables::path_fit(std::span<const LinkId> route, Time not_before,
+                               Duration dur) const {
+  NOCEAS_REQUIRE(dur >= 0, "negative duration " << dur);
+  if (route.empty() || dur == 0) return not_before;
+  // Same fixpoint sweep as path_earliest_fit(), per-link fits made
+  // overlay-aware.  s only moves forward, so termination is immediate.
+  Time s = not_before;
+  for (;;) {
+    bool moved = false;
+    for (const LinkId l : route) {
+      const Time fit = link_fit(l.index(), s, dur);
+      if (fit != s) {
+        s = fit;
+        moved = true;
+      }
+    }
+    if (!moved) return s;
+  }
+}
+
+void TentativeTables::add_pending(std::span<const LinkId> route, const Interval& iv) {
+  if (iv.empty()) return;
+  for (const LinkId l : route) {
+    const auto li = static_cast<std::uint32_t>(l.index());
+    if (pending_[li].empty()) touched_.push_back(li);
+    pending_[li].push_back(iv);
+  }
+}
+
+}  // namespace noceas

@@ -1,0 +1,62 @@
+// Read-only probe overlay for the Fig. 3 communication scheduler.
+//
+// Evaluating F(i,k) requires tentatively placing every receiving transaction
+// of the task: later transactions of the same probe must see the link slots
+// claimed by earlier ones.  The seed implementation reserved those slots on
+// the *shared* tables and rolled them back afterwards — an O(busy) vector
+// insert/erase per link per probe, and a mutation that forbids evaluating
+// probes concurrently.  TentativeTables instead layers small per-link
+// pending-interval lists over `const ResourceTables`: a probe records its
+// tentative claims in the overlay, fits consult base busy lists plus the
+// overlay, and reset() forgets the claims in O(#links touched).  The shared
+// tables are never written, so any number of probes with private overlays
+// may run in parallel over the same base state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/resource_tables.hpp"
+#include "src/util/ids.hpp"
+
+namespace noceas {
+
+class TentativeTables {
+ public:
+  explicit TentativeTables(const ResourceTables& base)
+      : base_(&base), pending_(base.link.size()) {}
+
+  [[nodiscard]] const ResourceTables& base() const { return *base_; }
+
+  /// Forgets all pending intervals (start of a new probe).
+  void reset() {
+    for (const std::uint32_t li : touched_) pending_[li].clear();
+    touched_.clear();
+  }
+
+  /// Earliest start s >= not_before such that [s, s + dur) is free on every
+  /// link of `route`, considering both the base busy lists and the pending
+  /// overlay.  Exactly what reserving the pendings on the base tables and
+  /// calling path_earliest_fit would return, without the mutation.
+  [[nodiscard]] Time path_fit(std::span<const LinkId> route, Time not_before, Duration dur) const;
+
+  /// Records a tentative claim of `iv` on every link of `route`.
+  void add_pending(std::span<const LinkId> route, const Interval& iv);
+
+  /// Earliest fit on a PE table (no PE overlay: probes never tentatively
+  /// occupy a PE — the task slot is read after all transactions are placed).
+  [[nodiscard]] Time pe_fit(PeId pe, Time not_before, Duration dur) const {
+    return base_->pe[pe.index()].earliest_fit(not_before, dur);
+  }
+
+ private:
+  /// Earliest fit >= s on one link: base table plus pending intervals.
+  [[nodiscard]] Time link_fit(std::size_t li, Time s, Duration dur) const;
+
+  const ResourceTables* base_;
+  std::vector<std::vector<Interval>> pending_;  // per link, few entries each
+  std::vector<std::uint32_t> touched_;          // links with non-empty pendings
+};
+
+}  // namespace noceas

@@ -22,18 +22,36 @@ OrderedPlan plan_from_schedule(const Schedule& s, std::size_t num_pes) {
 
 std::optional<Schedule> rebuild_timing(const TaskGraph& g, const Platform& p,
                                        const OrderedPlan& plan) {
+  return TimingRebuilder(g, p).rebuild(plan);
+}
+
+TimingRebuilder::TimingRebuilder(const TaskGraph& g, const Platform& p)
+    : g_(g),
+      p_(p),
+      tables_(p),
+      next_in_order_(p.num_pes(), 0),
+      unplaced_preds_(g.num_tasks(), 0),
+      pe_last_finish_(p.num_pes(), 0) {}
+
+std::optional<Schedule> TimingRebuilder::rebuild(const OrderedPlan& plan) {
+  const TaskGraph& g = g_;
+  const Platform& p = p_;
   NOCEAS_REQUIRE(plan.assignment.size() == g.num_tasks(), "plan arity mismatch");
   NOCEAS_REQUIRE(plan.pe_order.size() == p.num_pes(), "plan PE arity mismatch");
 
   NOCEAS_REQUIRE(plan.priority.size() == g.num_tasks(), "plan priority arity mismatch");
+  ++rebuilds_;
 
   Schedule s(g.num_tasks(), g.num_edges());
-  ResourceTables tables(p);
+  tables_.clear();  // version counters keep rising; occupancy resets
 
-  std::vector<std::size_t> next_in_order(p.num_pes(), 0);    // head of each PE's order
-  std::vector<std::size_t> unplaced_preds(g.num_tasks(), 0);
+  std::vector<std::size_t>& next_in_order = next_in_order_;  // head of each PE's order
+  std::fill(next_in_order.begin(), next_in_order.end(), 0);
+  std::vector<std::size_t>& unplaced_preds = unplaced_preds_;
   for (TaskId t : g.all_tasks()) unplaced_preds[t.index()] = g.in_degree(t);
-  std::vector<Time> pe_last_finish(p.num_pes(), 0);
+  std::vector<Time>& pe_last_finish = pe_last_finish_;
+  std::fill(pe_last_finish.begin(), pe_last_finish.end(), 0);
+  ResourceTables& tables = tables_;
 
   std::size_t placed = 0;
   while (placed < g.num_tasks()) {

@@ -11,9 +11,11 @@
 // slot that respects both the data ready time and the PE order.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "src/core/resource_tables.hpp"
 #include "src/core/schedule.hpp"
 #include "src/ctg/task_graph.hpp"
 #include "src/noc/platform.hpp"
@@ -43,5 +45,30 @@ struct OrderedPlan {
 /// which case the candidate repair move must be rejected.
 [[nodiscard]] std::optional<Schedule> rebuild_timing(const TaskGraph& g, const Platform& p,
                                                      const OrderedPlan& plan);
+
+/// Reusable-scratch form of rebuild_timing() for callers that re-probe many
+/// candidate plans in a row (the LTS/GTM loops of search & repair): the
+/// schedule tables and bookkeeping vectors are allocated once and cleared
+/// per rebuild, instead of reconstructing a ResourceTables — a vector of
+/// vectors — for every candidate move.  rebuild() is bit-identical to
+/// rebuild_timing().
+class TimingRebuilder {
+ public:
+  TimingRebuilder(const TaskGraph& g, const Platform& p);
+
+  [[nodiscard]] std::optional<Schedule> rebuild(const OrderedPlan& plan);
+
+  /// Candidate rebuilds performed so far (repair instrumentation).
+  [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  const TaskGraph& g_;
+  const Platform& p_;
+  ResourceTables tables_;
+  std::vector<std::size_t> next_in_order_;
+  std::vector<std::size_t> unplaced_preds_;
+  std::vector<Time> pe_last_finish_;
+  std::uint64_t rebuilds_ = 0;
+};
 
 }  // namespace noceas

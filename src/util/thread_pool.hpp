@@ -1,0 +1,126 @@
+// Minimal blocking thread pool for data-parallel loops.
+//
+// The probe path of the list schedulers evaluates many independent pure
+// functions over const state (see list_common.hpp); this pool runs such a
+// batch with a work-stealing counter and blocks the caller until the batch
+// is done.  The caller participates as lane 0, so a pool constructed with
+// zero workers degenerates to a plain serial loop with no synchronisation.
+//
+// Determinism: the pool only decides *when* fn(i, lane) runs, never what it
+// computes; callers that write result i to slot i obtain output independent
+// of the execution interleaving.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace noceas {
+
+class ThreadPool {
+ public:
+  /// `workers` background threads; the caller of parallel_for is an extra
+  /// lane, so the pool executes on workers + 1 lanes.
+  explicit ThreadPool(unsigned workers) {
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      workers_.emplace_back([this, lane = i + 1] { worker_loop(lane); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes (background workers + the calling thread).
+  [[nodiscard]] unsigned lanes() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs fn(i, lane) for every i in [0, n), lane in [0, lanes()), and
+  /// returns when all n calls finished.  Lane identifies the executing
+  /// thread so callers can hand each lane its own scratch space.
+  /// Serialised against concurrent parallel_for calls from other threads.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, unsigned)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+      return;
+    }
+    std::lock_guard<std::mutex> submit(submit_m_);
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      job_ = &fn;
+      n_ = n;
+      next_.store(0, std::memory_order_relaxed);
+      active_ = static_cast<unsigned>(workers_.size());
+      ++generation_;
+    }
+    wake_.notify_all();
+    run_indices(fn, /*lane=*/0);
+    std::unique_lock<std::mutex> lk(m_);
+    done_.wait(lk, [this] { return active_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void run_indices(const std::function<void(std::size_t, unsigned)>& fn, unsigned lane) {
+    for (std::size_t i; (i = next_.fetch_add(1, std::memory_order_relaxed)) < n_;) {
+      fn(i, lane);
+    }
+  }
+
+  void worker_loop(unsigned lane) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t, unsigned)>* job;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        wake_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      run_indices(*job, lane);
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        if (--active_ == 0) done_.notify_one();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_m_;  // one batch in flight at a time
+  std::mutex m_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t, unsigned)>* job_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  unsigned active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool for probe evaluation, sized once from the hardware
+/// concurrency (capped; 1 core => no workers => serial execution).
+[[nodiscard]] inline ThreadPool& shared_probe_pool() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const unsigned workers = hw > 1 ? hw - 1 : 0;
+    return workers > 7 ? 7u : workers;
+  }());
+  return pool;
+}
+
+}  // namespace noceas

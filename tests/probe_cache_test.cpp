@@ -1,0 +1,376 @@
+// Tests of the side-effect-free probe path: ScheduleTable version counters,
+// the TentativeTables overlay (overlay fit == commit fit), the footprint
+// version that guards the F(i,k) cache, and the headline property — EAS with
+// cached + parallel probing produces schedules *bit-identical* to the seed
+// serial probe-everything implementation across many random TGFF instances.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/core/eas.hpp"
+#include "src/core/list_common.hpp"
+#include "src/gen/hetero.hpp"
+#include "src/gen/tgff.hpp"
+#include "src/util/rng.hpp"
+
+namespace noceas {
+namespace {
+
+Platform platform2x2() {
+  return make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleTable version counters
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleTableVersion, ReserveReleaseClearBump) {
+  ScheduleTable t;
+  EXPECT_EQ(t.version(), 0u);
+  t.reserve(Interval{0, 10});
+  EXPECT_EQ(t.version(), 1u);
+  t.reserve(Interval{20, 30});
+  EXPECT_EQ(t.version(), 2u);
+  t.release(Interval{0, 10});
+  EXPECT_EQ(t.version(), 3u);
+  t.clear();
+  EXPECT_EQ(t.version(), 4u);
+}
+
+TEST(ScheduleTableVersion, ReadsAndNoOpsDoNotBump) {
+  ScheduleTable t;
+  t.reserve(Interval{5, 10});
+  const std::uint64_t v = t.version();
+  (void)t.earliest_fit(0, 3);
+  (void)t.is_free(Interval{0, 5});
+  (void)t.busy();
+  (void)t.total_busy();
+  t.reserve(Interval{7, 7});  // empty interval: ignored
+  t.release(Interval{7, 7});  // empty interval: ignored
+  EXPECT_EQ(t.version(), v);
+  t.clear();
+  const std::uint64_t after_clear = t.version();
+  t.clear();  // already empty: no change
+  EXPECT_EQ(t.version(), after_clear);
+}
+
+TEST(ScheduleTableVersion, MonotoneSumDetectsAnyChange) {
+  // The cache invariant: the sum of versions of a fixed table set reproduces
+  // iff no table in the set changed.
+  std::vector<ScheduleTable> tables(3);
+  tables[0].reserve(Interval{0, 5});
+  auto sum = [&] {
+    std::uint64_t s = 0;
+    for (const auto& t : tables) s += t.version();
+    return s;
+  };
+  const std::uint64_t s0 = sum();
+  EXPECT_EQ(sum(), s0);
+  tables[2].reserve(Interval{1, 2});
+  EXPECT_NE(sum(), s0);
+}
+
+// ---------------------------------------------------------------------------
+// TentativeTables overlay: overlay fit == commit fit
+// ---------------------------------------------------------------------------
+
+TEST(TentativeTables, PathFitMatchesReservedTables) {
+  const Platform p = platform2x2();
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    ResourceTables tables(p);
+    // Random base occupancy on every link.
+    for (auto& link : tables.link) {
+      Time t = rng.uniform_int(0, 20);
+      const int slots = static_cast<int>(rng.uniform_int(0, 5));
+      for (int i = 0; i < slots; ++i) {
+        const Time len = rng.uniform_int(1, 15);
+        link.reserve(Interval{t, t + len});
+        t += len + rng.uniform_int(1, 15);
+      }
+    }
+    // A random route (any PE pair) and random pending claims on it.
+    const PeId src{static_cast<std::size_t>(rng.uniform_int(0, 3))};
+    PeId dst{static_cast<std::size_t>(rng.uniform_int(0, 3))};
+    if (src == dst) dst = PeId{(dst.index() + 1) % 4};
+    const std::vector<LinkId>& route = p.route(src, dst);
+
+    TentativeTables overlay(tables);
+    ReservationLog log;  // mirror of the pendings on the real tables
+    for (int i = 0; i < 3; ++i) {
+      const Duration dur = rng.uniform_int(1, 10);
+      const Time nb = rng.uniform_int(0, 60);
+      // Place via overlay, mirror via reservation, then both views must
+      // agree on every later fit.
+      const Time fit = overlay.path_fit(route, nb, dur);
+      overlay.add_pending(route, Interval{fit, fit + dur});
+      for (LinkId l : route) log.reserve(tables.link[l.index()], Interval{fit, fit + dur});
+    }
+    for (int q = 0; q < 10; ++q) {
+      const Duration dur = rng.uniform_int(1, 12);
+      const Time nb = rng.uniform_int(0, 80);
+      std::vector<const ScheduleTable*> path_tables;
+      for (LinkId l : route) path_tables.push_back(&tables.link[l.index()]);
+      EXPECT_EQ(overlay.path_fit(route, nb, dur), path_earliest_fit(path_tables, nb, dur))
+          << "trial " << trial << " query " << q;
+    }
+    log.rollback();
+  }
+}
+
+/// Reference: the seed's mutating probe — reserve through a log, read the
+/// timing, roll back.
+ProbeResult reference_probe(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
+                            const Schedule& s, ResourceTables& tables) {
+  ReservationLog log;
+  const IncomingCommResult comms = schedule_incoming_comms(g, p, task, pe, s.tasks, tables, log);
+  const Duration exec = g.task(task).exec_time.at(pe.index());
+  ProbeResult r;
+  r.data_ready_time = std::max(comms.data_ready_time, g.task(task).release);
+  r.start = tables.pe[pe.index()].earliest_fit(r.data_ready_time, exec);
+  r.finish = r.start + exec;
+  log.rollback();
+  return r;
+}
+
+TEST(TentativeTables, PureProbeMatchesMutatingProbe) {
+  static const PeCatalog catalog = make_hetero_catalog(2, 2, 3);
+  const Platform p = make_platform_for(catalog, 2, 2);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    TgffParams params;
+    params.num_tasks = 30;
+    params.num_edges = 60;
+    params.seed = seed;
+    const TaskGraph g = generate_tgff_like(params, catalog);
+
+    Schedule s(g.num_tasks(), g.num_edges());
+    ResourceTables tables(p);
+    TentativeTables scratch(tables);
+    std::vector<std::size_t> unplaced(g.num_tasks());
+    std::vector<TaskId> ready;
+    for (TaskId t : g.all_tasks()) {
+      unplaced[t.index()] = g.in_degree(t);
+      if (!unplaced[t.index()]) ready.push_back(t);
+    }
+    Rng rng(seed * 17 + 1);
+    while (!ready.empty()) {
+      for (TaskId t : ready) {
+        for (PeId k : p.all_pes()) {
+          const ProbeResult pure = probe_placement(g, p, t, k, s, tables, scratch);
+          const ProbeResult ref = reference_probe(g, p, t, k, s, tables);
+          ASSERT_EQ(pure.data_ready_time, ref.data_ready_time);
+          ASSERT_EQ(pure.start, ref.start);
+          ASSERT_EQ(pure.finish, ref.finish);
+        }
+      }
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(ready.size()) - 1));
+      const TaskId t = ready[i];
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(i));
+      commit_placement(g, p, t, PeId{static_cast<std::int32_t>(rng.uniform_int(0, 3))}, s,
+                       tables);
+      for (EdgeId e : g.out_edges(t)) {
+        if (--unplaced[g.edge(e).dst.index()] == 0) ready.push_back(g.edge(e).dst);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool: every index runs exactly once; concurrent pure probes are safe
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexOnceAcrossBatches) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.lanes(), 4u);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i, unsigned lane) {
+      ASSERT_LT(lane, pool.lanes());
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsSerially) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.lanes(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(5, [&](std::size_t i, unsigned lane) {
+    EXPECT_EQ(lane, 0u);
+    order.push_back(i);  // safe: single lane
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+/// The exact sharing pattern of ProbeEngine: many concurrent pure probes
+/// over the same const tables, one private overlay per lane.  Run under
+/// TSan (tools/ci_sanitize.sh) this validates that probing really is
+/// side-effect-free.
+TEST(ThreadPool, ConcurrentPureProbesMatchSerial) {
+  static const PeCatalog catalog = make_hetero_catalog(2, 2, 7);
+  const Platform p = make_platform_for(catalog, 2, 2);
+  TgffParams params;
+  params.num_tasks = 40;
+  params.num_edges = 80;
+  params.seed = 99;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+
+  // Commit a prefix of the tasks to populate the tables, leaving the rest
+  // of the first layers probe-able.
+  Schedule s(g.num_tasks(), g.num_edges());
+  ResourceTables tables(p);
+  std::vector<std::size_t> unplaced(g.num_tasks());
+  std::vector<TaskId> frontier;
+  for (TaskId t : g.all_tasks()) {
+    unplaced[t.index()] = g.in_degree(t);
+    if (!unplaced[t.index()]) frontier.push_back(t);
+  }
+  Rng rng(5);
+  for (int placed = 0; placed < 20 && !frontier.empty(); ++placed) {
+    const TaskId t = frontier.front();
+    frontier.erase(frontier.begin());
+    commit_placement(g, p, t, PeId{static_cast<std::size_t>(rng.uniform_int(0, 3))}, s, tables);
+    for (EdgeId e : g.out_edges(t)) {
+      if (--unplaced[g.edge(e).dst.index()] == 0) frontier.push_back(g.edge(e).dst);
+    }
+  }
+  ASSERT_FALSE(frontier.empty());
+
+  // Serial reference, then the same probes concurrently.
+  std::vector<ProbeResult> serial(frontier.size() * 4);
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      serial[i * 4 + k] = probe_placement(g, p, frontier[i], PeId{k}, s, tables);
+    }
+  }
+  ThreadPool pool(3);
+  std::vector<TentativeTables> scratch;
+  scratch.reserve(pool.lanes());
+  for (unsigned l = 0; l < pool.lanes(); ++l) scratch.emplace_back(tables);
+  std::vector<ProbeResult> parallel(serial.size());
+  pool.parallel_for(serial.size(), [&](std::size_t j, unsigned lane) {
+    parallel[j] =
+        probe_placement(g, p, frontier[j / 4], PeId{j % 4}, s, tables, scratch[lane]);
+  });
+  for (std::size_t j = 0; j < serial.size(); ++j) {
+    ASSERT_EQ(parallel[j].data_ready_time, serial[j].data_ready_time) << "j=" << j;
+    ASSERT_EQ(parallel[j].start, serial[j].start) << "j=" << j;
+    ASSERT_EQ(parallel[j].finish, serial[j].finish) << "j=" << j;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Footprint versions: commits invalidate exactly the touched candidates
+// ---------------------------------------------------------------------------
+
+TEST(ProbeFootprint, UnrelatedCommitKeepsFootprint) {
+  const Platform p = platform2x2();
+  TaskGraph g(4);
+  g.add_task("a", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_task("b", {10, 10, 10, 10}, {1, 1, 1, 1});
+  g.add_task("c", {10, 10, 10, 10}, {1, 1, 1, 1});  // independent of a, b
+  g.add_edge(TaskId{0}, TaskId{1}, 200);
+  Schedule s(3, 1);
+  ResourceTables tables(p);
+  commit_placement(g, p, TaskId{0}, PeId{0}, s, tables);
+
+  // Footprint of probing b on PE 1 (route 0->1 plus PE 1's table).
+  const std::uint64_t before = probe_footprint_version(g, p, TaskId{1}, PeId{1}, s.tasks, tables);
+  // Committing the independent task c on PE 3 touches neither PE 1 nor the
+  // 0->1 route: the cached probe of (b, PE1) must stay valid.
+  commit_placement(g, p, TaskId{2}, PeId{3}, s, tables);
+  EXPECT_EQ(probe_footprint_version(g, p, TaskId{1}, PeId{1}, s.tasks, tables), before);
+  // Committing b itself on PE 1 bumps the PE table: footprint changes.
+  commit_placement(g, p, TaskId{1}, PeId{1}, s, tables);
+  EXPECT_NE(probe_footprint_version(g, p, TaskId{1}, PeId{1}, s.tasks, tables), before);
+}
+
+// ---------------------------------------------------------------------------
+// Headline property: cached + parallel == seed serial, bit for bit
+// ---------------------------------------------------------------------------
+
+void expect_identical_schedules(const Schedule& a, const Schedule& b) {
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  ASSERT_EQ(a.comms.size(), b.comms.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    ASSERT_EQ(a.tasks[i].pe, b.tasks[i].pe) << "task " << i;
+    ASSERT_EQ(a.tasks[i].start, b.tasks[i].start) << "task " << i;
+    ASSERT_EQ(a.tasks[i].finish, b.tasks[i].finish) << "task " << i;
+  }
+  for (std::size_t i = 0; i < a.comms.size(); ++i) {
+    ASSERT_EQ(a.comms[i].src_pe, b.comms[i].src_pe) << "edge " << i;
+    ASSERT_EQ(a.comms[i].dst_pe, b.comms[i].dst_pe) << "edge " << i;
+    ASSERT_EQ(a.comms[i].start, b.comms[i].start) << "edge " << i;
+    ASSERT_EQ(a.comms[i].duration, b.comms[i].duration) << "edge " << i;
+  }
+}
+
+TEST(ProbeCacheEquivalence, EasBaseBitIdenticalOver100Seeds) {
+  static const PeCatalog catalog = make_hetero_catalog(3, 3, 11);
+  const Platform p = make_platform_for(catalog, 3, 3);
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    TgffParams params;
+    params.num_tasks = 40;
+    params.num_edges = 80;
+    params.seed = seed;
+    const TaskGraph g = generate_tgff_like(params, catalog);
+
+    EasOptions fast;  // cached + parallel (defaults)
+    fast.repair = false;
+    EasOptions seed_serial;  // the seed's probe-everything serial behaviour
+    seed_serial.repair = false;
+    seed_serial.probe_cache = false;
+    seed_serial.parallel_probes = false;
+
+    const EasResult a = schedule_eas(g, p, fast);
+    const EasResult b = schedule_eas(g, p, seed_serial);
+    expect_identical_schedules(a.schedule, b.schedule);
+    ASSERT_DOUBLE_EQ(a.energy.total(), b.energy.total()) << "seed " << seed;
+    ASSERT_EQ(a.misses.miss_count, b.misses.miss_count) << "seed " << seed;
+    // The cache must actually fire, not just be harmless.
+    EXPECT_GT(a.probe.cache_hits, 0u) << "seed " << seed;
+    EXPECT_LT(a.probe.probes_issued, b.probe.probes_issued) << "seed " << seed;
+  }
+}
+
+TEST(ProbeCacheEquivalence, FullEasWithRepairBitIdentical) {
+  static const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform p = make_platform_for(catalog, 4, 4);
+  for (int index : {2, 4, 5}) {  // Category II: repair actually fires
+    TgffParams params = category_params(2, index);
+    params.num_tasks = 120;  // keep the test quick
+    params.num_edges = 240;
+    const TaskGraph g = generate_tgff_like(params, catalog);
+
+    EasOptions fast;
+    EasOptions seed_serial;
+    seed_serial.probe_cache = false;
+    seed_serial.parallel_probes = false;
+
+    const EasResult a = schedule_eas(g, p, fast);
+    const EasResult b = schedule_eas(g, p, seed_serial);
+    expect_identical_schedules(a.schedule, b.schedule);
+    ASSERT_EQ(a.misses.miss_count, b.misses.miss_count) << "index " << index;
+    ASSERT_EQ(a.misses.total_tardiness, b.misses.total_tardiness) << "index " << index;
+  }
+}
+
+TEST(ProbeCacheEquivalence, CacheHitRateIsHighAtScale) {
+  static const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+  const Platform p = make_platform_for(catalog, 4, 4);
+  TgffParams params = category_params(1, 0);
+  params.num_tasks = 256;
+  params.num_edges = 512;
+  const TaskGraph g = generate_tgff_like(params, catalog);
+  EasOptions options;
+  options.repair = false;
+  const EasResult r = schedule_eas(g, p, options);
+  // A commit touches one PE table and a handful of link tables; with 16 PEs
+  // the overwhelming majority of cached F(i,k) entries must survive it.
+  EXPECT_GT(r.probe.hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace noceas

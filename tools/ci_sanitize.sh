@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Sanitizer CI for the scheduler library.
+#
+# Builds the full test suite twice under NOCEAS_SANITIZE and runs tier-1
+# ctest under each instrumentation:
+#   1. address,undefined — whole suite (memory errors, UB in the schedulers)
+#   2. thread            — the probe/thread-pool tests, which exercise the
+#                          parallel F(i,k) evaluation path of ProbeEngine
+#
+# Usage: tools/ci_sanitize.sh [build-dir-prefix]   (default: build-san)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-san}"
+
+configure_and_test() {
+  local dir="$1" sanitize="$2" test_filter="${3:-}"
+  echo "==> [$sanitize] configuring $dir"
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DNOCEAS_SANITIZE="$sanitize" \
+    -DNOCEAS_BUILD_BENCH=OFF \
+    -DNOCEAS_BUILD_EXAMPLES=OFF >/dev/null
+  echo "==> [$sanitize] building"
+  cmake --build "$dir" -j "$(nproc)" >/dev/null
+  echo "==> [$sanitize] testing ${test_filter:+(filter: $test_filter)}"
+  if [[ -n "$test_filter" ]]; then
+    ctest --test-dir "$dir" --output-on-failure -R "$test_filter"
+  else
+    ctest --test-dir "$dir" --output-on-failure
+  fi
+}
+
+# ASan+UBSan over the whole suite.
+configure_and_test "${prefix}-asan" "address,undefined"
+
+# TSan over the tests that drive the thread pool / parallel probe path.
+# halt_on_error makes a race fail the ctest run instead of just logging.
+TSAN_OPTIONS="halt_on_error=1" \
+  configure_and_test "${prefix}-tsan" "thread" "ProbeCache|ProbeEngine|ThreadPool|TentativeTables|list_common"
+
+echo "==> sanitize CI passed"
