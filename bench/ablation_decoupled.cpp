@@ -19,7 +19,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Ablation — concurrent co-scheduling (EAS) vs map-then-schedule",
          "decoupling mapping from scheduling matches energy but loses "
          "deadlines; co-scheduling keeps both");

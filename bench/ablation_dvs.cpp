@@ -36,7 +36,8 @@ Row measure(const TaskGraph& g, const Platform& p, const Schedule& s, const Ener
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Ablation (extension) — DVS slack reclamation on top of EAS / EDF",
          "heterogeneity-aware placement and voltage scaling compose; EDF+DVS "
          "still trails EAS");

@@ -16,7 +16,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Ablation (extension) — deadline-preserving energy polishing",
          "polishing recovers most of EDF's waste on loose suites, but on the "
          "tight Category II EAS+polish stays clearly ahead of EDF+polish — "

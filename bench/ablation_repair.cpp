@@ -17,7 +17,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Ablation — search & repair and slack budgeting",
          "repair removes residual misses at negligible energy cost; "
          "without budgets, energy greed misses deadlines wholesale");

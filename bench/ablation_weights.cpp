@@ -14,7 +14,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Ablation — slack-budgeting weight function",
          "paper uses W = VAR_e * VAR_r; alternatives for comparison");
 

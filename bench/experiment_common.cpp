@@ -1,12 +1,18 @@
 #include "bench/experiment_common.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
 namespace noceas::bench {
 
 namespace {
+
+std::string g_metrics_dir;  // empty = per-run metrics disabled
+int g_metrics_seq = 0;      // run-ordered file numbering
 
 void check_valid(const TaskGraph& g, const Platform& p, const Schedule& s, const char* who) {
   const ValidationReport vr = validate_schedule(g, p, s, {.check_deadlines = false});
@@ -18,19 +24,55 @@ void check_valid(const TaskGraph& g, const Platform& p, const Schedule& s, const
 
 }  // namespace
 
+void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-json" && i + 1 < argc) {
+      g_metrics_dir = argv[++i];
+      std::filesystem::create_directories(g_metrics_dir);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--metrics-json DIR]\n"
+                << "unknown argument '" << arg << "'\n";
+      std::exit(2);
+    }
+  }
+}
+
+const std::string& metrics_dir() { return g_metrics_dir; }
+
+void write_metrics_json(const obs::Registry& registry, const std::string& slug) {
+  if (g_metrics_dir.empty()) return;
+  char seq[8];
+  std::snprintf(seq, sizeof(seq), "%03d", g_metrics_seq++);
+  const std::string path = g_metrics_dir + "/" + seq + "_" + slug + ".json";
+  std::ofstream os(path);
+  if (!os.good()) {
+    std::cerr << "FATAL: cannot write metrics JSON '" << path << "'\n";
+    std::exit(2);
+  }
+  registry.write_json(os);
+}
+
 RunRow run_eas(const TaskGraph& g, const Platform& p, bool repair, const EasOptions& base_options) {
   EasOptions options = base_options;
   options.repair = repair;
+  obs::Registry registry;
+  if (!metrics_dir().empty()) options.metrics = &registry;
   const EasResult r = schedule_eas(g, p, options);
   check_valid(g, p, r.schedule, repair ? "EAS" : "EAS-base");
+  write_metrics_json(registry, repair ? "eas" : "eas_base");
   return RunRow{repair ? "EAS" : "EAS-base", r.energy,     r.misses,
                 makespan(r.schedule),        average_hops_per_packet(g, p, r.schedule),
                 r.seconds};
 }
 
 RunRow run_edf(const TaskGraph& g, const Platform& p) {
-  const BaselineResult r = schedule_edf(g, p);
+  BaselineObs obs;
+  obs::Registry registry;
+  if (!metrics_dir().empty()) obs.metrics = &registry;
+  const BaselineResult r = schedule_edf(g, p, obs);
   check_valid(g, p, r.schedule, "EDF");
+  write_metrics_json(registry, "edf");
   return RunRow{"EDF",        r.energy,
                 r.misses,     makespan(r.schedule),
                 average_hops_per_packet(g, p, r.schedule), r.seconds};

@@ -10,10 +10,27 @@
 
 #include "src/baseline/edf.hpp"
 #include "src/core/eas.hpp"
+#include "src/core/obs_export.hpp"
 #include "src/core/validator.hpp"
 #include "src/util/table.hpp"
 
 namespace noceas::bench {
+
+/// Parses the harness-wide flags shared by every bench binary:
+///
+///   --metrics-json DIR   write one obs::Registry JSON per scheduler run
+///                        into DIR (created if missing), numbered in run
+///                        order: DIR/NNN_<scheduler>.json
+///
+/// Unknown flags are a fatal usage error.  Call first in main().
+void init(int argc, char** argv);
+
+/// Value of --metrics-json; empty when per-run metrics are disabled.
+[[nodiscard]] const std::string& metrics_dir();
+
+/// Writes `registry` to "<metrics_dir()>/NNN_<slug>.json" (run-ordered
+/// NNN); no-op when --metrics-json was not given.
+void write_metrics_json(const obs::Registry& registry, const std::string& slug);
 
 /// One scheduler outcome on one workload, validated.
 struct RunRow {

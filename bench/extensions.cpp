@@ -31,7 +31,8 @@ struct Config {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Extensions — topologies, routing schemes, buffer energy",
          "future work of Sec. 7: other regular topologies / deterministic "
          "routing; E_Bbit ablation of Eq. 1");

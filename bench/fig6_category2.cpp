@@ -14,7 +14,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Fig. 6 — Category II random benchmarks (4x4 NoC, tight deadlines)",
          "EDF consumes on average ~39% more energy than EAS; EAS repairs the "
          "EAS-base deadline misses");

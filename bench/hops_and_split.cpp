@@ -18,7 +18,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Sec. 6.2 in-text — energy split and average hops per packet",
          "EAS reduces BOTH computation and communication energy; avg hops "
          "per packet drop (paper: 2.55 -> 1.35 for foreman)");

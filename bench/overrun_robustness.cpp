@@ -19,7 +19,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Extension — deadline robustness under execution-time overruns",
          "simulated misses vs injected overrun, EAS vs EDF, self-timed vs "
          "time-triggered release");

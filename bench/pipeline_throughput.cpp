@@ -17,7 +17,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Extension — pipelined multi-frame encoder throughput (2x2 NoC)",
          "periodic unrolling sustains higher frame rates than the paper's "
          "single-frame formulation exposes; EAS stays cheaper than EDF");

@@ -16,7 +16,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Robustness — EDF-vs-EAS energy overhead across 30 seeds/category",
          "the +55% / +39% style gaps are distributional, not seed luck");
 

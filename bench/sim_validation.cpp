@@ -41,7 +41,8 @@ void report(AsciiTable& table, const std::string& name, const TaskGraph& ctg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Validation — static schedule tables vs flit-level wormhole execution",
          "schedules stay deadlock-free and (near-)deadline-clean when executed");
 

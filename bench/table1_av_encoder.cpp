@@ -12,7 +12,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Table 1 — A/V encoder application (24 tasks, 2x2 NoC)",
          "EAS vs EDF energy per clip; significant savings on every clip");
 

@@ -8,7 +8,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Table 2 — A/V decoder application (16 tasks, 2x2 NoC)",
          "EAS vs EDF energy per clip; significant savings on every clip");
 

@@ -18,7 +18,8 @@
 using namespace noceas;
 using namespace noceas::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  init(argc, argv);
   banner("Extension — simulated-annealing upper baseline vs EAS",
          "thousands of re-timings buy only single-digit-percent energy over "
          "the constructive heuristic, at orders of magnitude more runtime");

@@ -5,14 +5,17 @@
 #include <limits>
 
 #include "src/core/list_common.hpp"
+#include "src/core/obs_export.hpp"
 #include "src/core/resource_tables.hpp"
 #include "src/ctg/dag_algos.hpp"
 
 namespace noceas {
 
-BaselineResult schedule_dls(const TaskGraph& g, const Platform& p) {
+BaselineResult schedule_dls(const TaskGraph& g, const Platform& p, const BaselineObs& obs) {
   NOCEAS_REQUIRE(g.num_pes() == p.num_pes(), "CTG/platform PE count mismatch");
   const auto t0 = std::chrono::steady_clock::now();
+  obs::Tracer* const tr = obs.tracer;
+  OBS_SPAN(tr, "dls.schedule", {obs::Arg("tasks", g.num_tasks()), obs::Arg("pes", p.num_pes())});
 
   const auto mean = mean_durations(g);
   const auto sl = static_levels(g, mean);
@@ -21,7 +24,10 @@ BaselineResult schedule_dls(const TaskGraph& g, const Platform& p) {
   ResourceTables tables(p);
   // DLS probes every (ready task, PE) pair each iteration — the same access
   // pattern as the EAS inner loop — so it shares the versioned probe cache.
-  ProbeEngine engine(g, p, tables, ProbeEngine::Options{});
+  ProbeEngine::Options engine_options;
+  engine_options.tracer = obs.tracer;
+  engine_options.metrics = obs.metrics;
+  ProbeEngine engine(g, p, tables, engine_options);
 
   std::vector<std::size_t> unplaced_preds(g.num_tasks());
   ReadyList ready;
@@ -53,6 +59,8 @@ BaselineResult schedule_dls(const TaskGraph& g, const Platform& p) {
       }
     }
 
+    OBS_INSTANT(tr, "dls.decision", obs::Arg("task", best_task.value),
+                obs::Arg("pe", best_pe.value), obs::Arg("dynamic_level", best_dl));
     commit_placement(g, p, best_task, best_pe, s, tables);
     ++placed;
 
@@ -69,6 +77,10 @@ BaselineResult schedule_dls(const TaskGraph& g, const Platform& p) {
   result.energy = compute_energy(g, p, result.schedule);
   result.probe = engine.stats();
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (obs.metrics != nullptr) {
+    export_probe_stats(result.probe, *obs.metrics);
+    export_schedule_metrics(g, p, result.schedule, *obs.metrics);
+  }
   return result;
 }
 

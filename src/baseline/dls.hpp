@@ -19,6 +19,7 @@
 namespace noceas {
 
 /// Runs the DLS list scheduler.
-[[nodiscard]] BaselineResult schedule_dls(const TaskGraph& g, const Platform& p);
+[[nodiscard]] BaselineResult schedule_dls(const TaskGraph& g, const Platform& p,
+                                          const BaselineObs& obs = {});
 
 }  // namespace noceas

@@ -6,14 +6,17 @@
 #include <limits>
 
 #include "src/core/list_common.hpp"
+#include "src/core/obs_export.hpp"
 #include "src/core/resource_tables.hpp"
 #include "src/ctg/dag_algos.hpp"
 
 namespace noceas {
 
-BaselineResult schedule_edf(const TaskGraph& g, const Platform& p) {
+BaselineResult schedule_edf(const TaskGraph& g, const Platform& p, const BaselineObs& obs) {
   NOCEAS_REQUIRE(g.num_pes() == p.num_pes(), "CTG/platform PE count mismatch");
   const auto t0 = std::chrono::steady_clock::now();
+  obs::Tracer* const tr = obs.tracer;
+  OBS_SPAN(tr, "edf.schedule", {obs::Arg("tasks", g.num_tasks()), obs::Arg("pes", p.num_pes())});
 
   const auto eff_deadline = effective_deadlines(g, mean_durations(g));
 
@@ -88,6 +91,10 @@ BaselineResult schedule_edf(const TaskGraph& g, const Platform& p) {
         best_pe = k;
       }
     }
+    OBS_INSTANT(tr, "edf.decision", obs::Arg("task", t.value), obs::Arg("pe", best_pe.value),
+                obs::Arg("finish", best_f),
+                obs::Arg("eff_deadline",
+                         eff_deadline[t.index()] == kNoDeadline ? -1 : eff_deadline[t.index()]));
     commit_placement(g, p, t, best_pe, s, tables);
     ++placed;
 
@@ -103,6 +110,10 @@ BaselineResult schedule_edf(const TaskGraph& g, const Platform& p) {
   result.energy = compute_energy(g, p, result.schedule);
   result.probe = stats;
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (obs.metrics != nullptr) {
+    export_probe_stats(result.probe, *obs.metrics);
+    export_schedule_metrics(g, p, result.schedule, *obs.metrics);
+  }
   return result;
 }
 

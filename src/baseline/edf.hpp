@@ -20,6 +20,16 @@
 
 namespace noceas {
 
+/// Observability sinks shared by every baseline scheduler (see src/obs/).
+/// A non-null tracer records a root span plus a "<name>.decision" instant
+/// per placement; a non-null registry collects the probe/schedule metrics.
+/// Both default to null, which costs one branch per site and never changes
+/// any scheduling decision.
+struct BaselineObs {
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
+};
+
 /// Result of a baseline scheduling run.
 struct BaselineResult {
   Schedule schedule;
@@ -30,6 +40,7 @@ struct BaselineResult {
 };
 
 /// Runs the EDF list scheduler.
-[[nodiscard]] BaselineResult schedule_edf(const TaskGraph& g, const Platform& p);
+[[nodiscard]] BaselineResult schedule_edf(const TaskGraph& g, const Platform& p,
+                                          const BaselineObs& obs = {});
 
 }  // namespace noceas

@@ -5,13 +5,18 @@
 #include <limits>
 
 #include "src/core/list_common.hpp"
+#include "src/core/obs_export.hpp"
 #include "src/core/resource_tables.hpp"
 
 namespace noceas {
 
-BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p) {
+BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p,
+                                      const BaselineObs& obs) {
   NOCEAS_REQUIRE(g.num_pes() == p.num_pes(), "CTG/platform PE count mismatch");
   const auto t0 = std::chrono::steady_clock::now();
+  obs::Tracer* const tr = obs.tracer;
+  OBS_SPAN(tr, "greedy.schedule",
+           {obs::Arg("tasks", g.num_tasks()), obs::Arg("pes", p.num_pes())});
 
   Schedule s(g.num_tasks(), g.num_edges());
   ResourceTables tables(p);
@@ -46,6 +51,8 @@ BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p) {
         best_pe = k;
       }
     }
+    OBS_INSTANT(tr, "greedy.decision", obs::Arg("task", t.value), obs::Arg("pe", best_pe.value),
+                obs::Arg("energy", best_e), obs::Arg("finish", best_f));
     commit_placement(g, p, t, best_pe, s, tables);
     ++placed;
 
@@ -61,6 +68,10 @@ BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p) {
   result.energy = compute_energy(g, p, result.schedule);
   result.probe = stats;
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (obs.metrics != nullptr) {
+    export_probe_stats(result.probe, *obs.metrics);
+    export_schedule_metrics(g, p, result.schedule, *obs.metrics);
+  }
   return result;
 }
 

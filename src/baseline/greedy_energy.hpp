@@ -13,6 +13,7 @@
 namespace noceas {
 
 /// Runs the deadline-blind min-energy list scheduler.
-[[nodiscard]] BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p);
+[[nodiscard]] BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p,
+                                                    const BaselineObs& obs = {});
 
 }  // namespace noceas

@@ -6,6 +6,7 @@
 
 #include "src/core/comm_scheduler.hpp"
 #include "src/core/list_common.hpp"
+#include "src/core/obs_export.hpp"
 #include "src/core/resource_tables.hpp"
 #include "src/ctg/dag_algos.hpp"
 
@@ -54,6 +55,8 @@ MapScheduleResult schedule_map_then_list(const TaskGraph& g, const Platform& p,
   NOCEAS_REQUIRE(g.num_pes() == p.num_pes(), "CTG/platform PE count mismatch");
   NOCEAS_REQUIRE(options.load_cap_factor >= 1.0, "load cap must be >= 1");
   const auto t0 = std::chrono::steady_clock::now();
+  obs::Tracer* const tr = options.obs.tracer;
+  OBS_SPAN(tr, "map.schedule", {obs::Arg("tasks", g.num_tasks()), obs::Arg("pes", p.num_pes())});
 
   const std::size_t P = p.num_pes();
   const auto mean = mean_durations(g);
@@ -71,6 +74,7 @@ MapScheduleResult schedule_map_then_list(const TaskGraph& g, const Platform& p,
                               2.0 * max_work);
 
   // ---- Phase 1a: greedy seeding by communication demand ------------------
+  OBS_SPAN_NAMED(map_span, tr, "map.phase1_mapping");
   std::vector<TaskId> by_demand = g.all_tasks();
   std::sort(by_demand.begin(), by_demand.end(), [&](TaskId a, TaskId b) {
     Volume va = 0, vb = 0;
@@ -145,8 +149,12 @@ MapScheduleResult schedule_map_then_list(const TaskGraph& g, const Platform& p,
   }
   out.mapping = mapping;
   out.mapping_energy = assignment_energy(g, p, mapping);
+  map_span.arg(obs::Arg("moves", out.improvement_moves));
+  map_span.arg(obs::Arg("mapping_energy", out.mapping_energy));
+  map_span.end();
 
   // ---- Phase 2: list scheduling with the mapping fixed --------------------
+  OBS_SPAN(tr, "map.phase2_list_schedule");
   Schedule s(g.num_tasks(), g.num_edges());
   ResourceTables tables(p);
   const auto eff_deadline = effective_deadlines(g, mean);
@@ -168,6 +176,8 @@ MapScheduleResult schedule_map_then_list(const TaskGraph& g, const Platform& p,
     });
     const TaskId t = *it;
     ready.erase_at(static_cast<std::size_t>(it - items.begin()));
+    OBS_INSTANT(tr, "map.decision", obs::Arg("task", t.value),
+                obs::Arg("pe", mapping[t.index()].value));
     commit_placement(g, p, t, mapping[t.index()], s, tables);
     ++placed;
     for (EdgeId e : g.out_edges(t)) {
@@ -181,6 +191,12 @@ MapScheduleResult schedule_map_then_list(const TaskGraph& g, const Platform& p,
   out.result.energy = compute_energy(g, p, out.result.schedule);
   out.result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (options.obs.metrics != nullptr) {
+    export_schedule_metrics(g, p, out.result.schedule, *options.obs.metrics);
+    options.obs.metrics->gauge("map.mapping_energy", "energy").set(out.mapping_energy);
+    options.obs.metrics->gauge("map.improvement_moves", "moves")
+        .set(static_cast<double>(out.improvement_moves));
+  }
   return out;
 }
 

@@ -31,6 +31,9 @@ struct MapScheduleOptions {
   double load_cap_factor = 1.6;
   /// Maximum improvement sweeps of the phase-1 local search.
   int max_sweeps = 16;
+  /// Observability sinks (spans per phase, a "map.decision" instant per
+  /// placement; see src/obs/).  Null = no overhead, identical results.
+  BaselineObs obs{};
 };
 
 /// Result of the two-phase flow, with the phase-1 mapping exposed.

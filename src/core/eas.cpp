@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <deque>
 #include <limits>
 
 #include "src/core/list_common.hpp"
+#include "src/core/obs_export.hpp"
 #include "src/ctg/dag_algos.hpp"
 
 namespace noceas {
@@ -27,7 +29,19 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
   Schedule s(g.num_tasks(), g.num_edges());
   ResourceTables tables(p);
   ProbeEngine engine(g, p, tables,
-                     ProbeEngine::Options{options.probe_cache, options.parallel_probes});
+                     ProbeEngine::Options{options.probe_cache, options.parallel_probes,
+                                          options.tracer, options.metrics});
+  obs::Tracer* const tr = options.tracer;
+  obs::Histogram* const slack_h =
+      options.metrics != nullptr
+          ? &options.metrics->histogram("eas.decision_slack",
+                                        obs::exp_buckets(1.0, 4.0, 10), "time units")
+          : nullptr;
+  obs::Counter* const decisions_c =
+      options.metrics != nullptr ? &options.metrics->counter("eas.decisions", "tasks") : nullptr;
+  obs::Counter* const urgent_c =
+      options.metrics != nullptr ? &options.metrics->counter("eas.urgent_decisions", "tasks")
+                                 : nullptr;
 
   const std::size_t n = g.num_tasks();
   const std::size_t P = p.num_pes();
@@ -41,6 +55,7 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
   std::size_t placed = 0;
   while (placed < n) {
     NOCEAS_REQUIRE(!ready.empty(), "no ready task but " << (n - placed) << " unplaced (cycle?)");
+    OBS_SPAN(tr, "eas.level", {obs::Arg("level", placed), obs::Arg("ready", ready.size())});
 
     // Evaluate F(i,k) for every ready task / PE combination.  The engine
     // reuses every probe whose consulted tables (the PE, the links of the
@@ -126,6 +141,27 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
     // PE slot (identical timing to the probe — both are deterministic).
     // The reservations bump the version counters of exactly the tables that
     // changed, which is what invalidates the affected cache entries.
+    const Time chosen_finish = engine.result(chosen->task, chosen_pe).finish;
+    const Time chosen_bd = bd[chosen->task.index()];
+    if (urgent_mode) {
+      OBS_INSTANT(tr, "eas.decision", obs::Arg("task", chosen->task.value),
+                  obs::Arg("pe", chosen_pe.value), obs::Arg("finish", chosen_finish),
+                  obs::Arg("bd", chosen_bd == kNoDeadline ? -1 : chosen_bd),
+                  obs::Arg("branch", "urgent"), obs::Arg("urgency", chosen->urgency));
+    } else {
+      OBS_INSTANT(tr, "eas.decision", obs::Arg("task", chosen->task.value),
+                  obs::Arg("pe", chosen_pe.value), obs::Arg("finish", chosen_finish),
+                  obs::Arg("bd", chosen_bd == kNoDeadline ? -1 : chosen_bd),
+                  obs::Arg("branch", "regret"),
+                  obs::Arg("delta_e", std::isfinite(chosen->regret) ? chosen->regret : -1.0));
+    }
+    if (decisions_c != nullptr) {
+      decisions_c->inc();
+      if (urgent_mode) urgent_c->inc();
+      if (chosen_bd != kNoDeadline) {
+        slack_h->observe(static_cast<double>(chosen_bd - chosen_finish));
+      }
+    }
     commit_placement(g, p, chosen->task, chosen_pe, s, tables);
     ++placed;
 
@@ -171,11 +207,16 @@ EasResult schedule_eas(const TaskGraph& g, const Platform& p, const EasOptions& 
   NOCEAS_REQUIRE(g.num_pes() == p.num_pes(),
                  "CTG characterized for " << g.num_pes() << " PEs, platform has " << p.num_pes());
   const auto t0 = std::chrono::steady_clock::now();
+  OBS_SPAN(options.tracer, "eas.schedule",
+           {obs::Arg("tasks", g.num_tasks()), obs::Arg("pes", p.num_pes())});
 
   EasResult result;
 
   // ---- Step 1: budget slack allocation --------------------------------
-  result.budget = compute_slack_budget(g, options.weight);
+  {
+    OBS_SPAN(options.tracer, "eas.slack_budget", {obs::Arg("tasks", g.num_tasks())});
+    result.budget = compute_slack_budget(g, options.weight);
+  }
   std::vector<Time> bd = result.budget.budgeted_deadline;
   if (!options.use_slack_budget) bd = plain_budget(g);
 
@@ -187,10 +228,13 @@ EasResult schedule_eas(const TaskGraph& g, const Platform& p, const EasOptions& 
 
   const int attempts = options.repair ? options.max_budget_retries + 1 : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
+    OBS_SPAN(options.tracer, "eas.attempt", {obs::Arg("attempt", attempt)});
     Schedule s = level_based_schedule(g, p, bd, options, result.probe);
 
     if (options.repair) {
-      RepairResult rr = search_and_repair(g, p, s, options.repair_options);
+      RepairOptions repair_options = options.repair_options;
+      repair_options.tracer = options.tracer;
+      RepairResult rr = search_and_repair(g, p, s, repair_options);
       if (attempt == 0) result.repair = rr.stats;  // stats of the canonical flow
       s = std::move(rr.schedule);
     } else {
@@ -220,6 +264,14 @@ EasResult schedule_eas(const TaskGraph& g, const Platform& p, const EasOptions& 
   result.misses = best_misses;
   result.energy = best_energy;
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (options.metrics != nullptr) {
+    export_probe_stats(result.probe, *options.metrics);
+    export_repair_stats(result.repair, *options.metrics);
+    export_schedule_metrics(g, p, result.schedule, *options.metrics);
+    options.metrics->gauge("eas.budget_retries", "attempts")
+        .set(static_cast<double>(result.budget_retries));
+    options.metrics->gauge("eas.seconds", "s").set(result.seconds);
+  }
   return result;
 }
 

@@ -47,6 +47,14 @@ struct EasOptions {
   /// functions over const tables and results are merged in (task, PE)
   /// order, so schedules are bit-identical to the serial path.
   bool parallel_probes = true;
+  /// Observability sinks (see src/obs/ and docs/OBSERVABILITY.md).  A
+  /// non-null tracer records spans for every phase (slack budgeting,
+  /// scheduling levels, probe batches, repair passes) and an "eas.decision"
+  /// instant per placement; a non-null registry collects the probe/decision
+  /// metrics.  Null pointers (the default) cost one branch per site and
+  /// never change any scheduling decision.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 /// Result of a full EAS run.

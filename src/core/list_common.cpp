@@ -1,6 +1,7 @@
 #include "src/core/list_common.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -80,9 +81,17 @@ ProbeEngine::ProbeEngine(const TaskGraph& g, const Platform& p, const ResourceTa
   const unsigned lanes = pool_ ? pool_->lanes() : 1;
   scratch_.reserve(lanes);
   for (unsigned i = 0; i < lanes; ++i) scratch_.emplace_back(tables_);
+  if (options_.metrics != nullptr) {
+    batch_size_h_ = &options_.metrics->histogram("probe.batch_size",
+                                                 obs::exp_buckets(1.0, 2.0, 12), "probes");
+    batch_ns_h_ =
+        &options_.metrics->histogram("probe.batch_ns", obs::exp_buckets(1e3, 4.0, 12), "ns");
+  }
 }
 
 void ProbeEngine::refresh(std::span<const TaskId> tasks, const Schedule& schedule) {
+  OBS_SPAN_NAMED(span, options_.tracer, "probe.batch",
+                 {obs::Arg("requested", tasks.size() * num_pes_)});
   stale_.clear();
   for (const TaskId t : tasks) {
     const std::size_t base = t.index() * num_pes_;
@@ -103,6 +112,9 @@ void ProbeEngine::refresh(std::span<const TaskId> tasks, const Schedule& schedul
   }
   stats_.probes_issued += stale_.size();
   stats_.max_batch = std::max<std::uint64_t>(stats_.max_batch, stale_.size());
+  span.arg(obs::Arg("stale", stale_.size()));
+  const auto eval_t0 = batch_ns_h_ != nullptr ? std::chrono::steady_clock::now()
+                                              : std::chrono::steady_clock::time_point{};
 
   auto evaluate = [&](std::size_t i, unsigned lane) {
     const StaleItem& item = stale_[i];
@@ -116,12 +128,21 @@ void ProbeEngine::refresh(std::span<const TaskId> tasks, const Schedule& schedul
 
   // Parallelism pays only when the batch dwarfs the wake-up cost; small
   // batches (the common case at high hit rates) stay on the calling thread.
-  if (pool_ && stale_.size() >= 2 * static_cast<std::size_t>(pool_->lanes())) {
+  const bool parallel = pool_ && stale_.size() >= 2 * static_cast<std::size_t>(pool_->lanes());
+  if (parallel) {
     ++stats_.parallel_batches;
     stats_.parallel_probes += stale_.size();
     pool_->parallel_for(stale_.size(), evaluate);
   } else {
     for (std::size_t i = 0; i < stale_.size(); ++i) evaluate(i, 0);
+  }
+  span.arg(obs::Arg("parallel", parallel));
+  if (batch_size_h_ != nullptr) batch_size_h_->observe(static_cast<double>(stale_.size()));
+  if (batch_ns_h_ != nullptr) {
+    batch_ns_h_->observe(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                             eval_t0)
+            .count()));
   }
 }
 

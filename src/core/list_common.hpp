@@ -22,6 +22,8 @@
 #include "src/core/resource_tables.hpp"
 #include "src/core/schedule.hpp"
 #include "src/core/tentative_tables.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace noceas {
@@ -109,6 +111,12 @@ struct ProbeStats {
 struct ProbeEngineOptions {
   bool cache = true;     ///< false: re-evaluate every probe (seed behaviour)
   bool parallel = true;  ///< false: never use the shared pool
+  /// Optional observability sinks.  A non-null tracer gets one
+  /// "probe.batch" span per refresh(); a non-null registry gets the
+  /// probe.batch_size / probe.batch_ns histograms.  Null = no overhead
+  /// beyond one branch per refresh; never affects probe results.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 class ProbeEngine {
@@ -155,6 +163,8 @@ class ProbeEngine {
   std::vector<StaleItem> stale_;
   std::vector<TentativeTables> scratch_;  // one per pool lane
   ProbeStats stats_;
+  obs::Histogram* batch_size_h_ = nullptr;  // hoisted registry lookups
+  obs::Histogram* batch_ns_h_ = nullptr;
 };
 
 /// Flat sorted set of ready tasks (the RTL), ordered by id for determinism.

@@ -1,0 +1,92 @@
+#include "src/core/obs_export.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace noceas {
+
+std::vector<double> pe_busy_fraction(const TaskGraph& g, const Platform& p, const Schedule& s) {
+  std::vector<double> busy(p.num_pes(), 0.0);
+  for (TaskId t : g.all_tasks()) {
+    const TaskPlacement& tp = s.at(t);
+    if (!tp.placed()) continue;
+    busy[tp.pe.index()] += static_cast<double>(tp.finish - tp.start);
+  }
+  const double span = static_cast<double>(std::max<Time>(1, makespan(s)));
+  for (double& b : busy) b /= span;
+  return busy;
+}
+
+std::vector<double> link_utilization(const TaskGraph& g, const Platform& p, const Schedule& s) {
+  std::vector<double> busy(p.num_links(), 0.0);
+  for (EdgeId e : g.all_edges()) {
+    const CommPlacement& cp = s.at(e);
+    if (!cp.uses_network()) continue;
+    for (LinkId l : p.route(cp.src_pe, cp.dst_pe)) {
+      busy[l.index()] += static_cast<double>(cp.duration);
+    }
+  }
+  const double span = static_cast<double>(std::max<Time>(1, makespan(s)));
+  for (double& b : busy) b /= span;
+  return busy;
+}
+
+void export_probe_stats(const ProbeStats& stats, obs::Registry& registry) {
+  registry.counter("probe.probes_issued", "probes").inc(stats.probes_issued);
+  registry.counter("probe.cache_hits", "probes").inc(stats.cache_hits);
+  registry.counter("probe.invalidations", "entries").inc(stats.invalidations);
+  registry.counter("probe.parallel_batches", "batches").inc(stats.parallel_batches);
+  registry.counter("probe.parallel_probes", "probes").inc(stats.parallel_probes);
+  registry.gauge("probe.hit_rate", "fraction").set(stats.hit_rate());
+  registry.gauge("probe.max_batch", "probes").set(static_cast<double>(stats.max_batch));
+}
+
+void export_schedule_metrics(const TaskGraph& g, const Platform& p, const Schedule& s,
+                             obs::Registry& registry) {
+  registry.gauge("schedule.makespan", "time units").set(static_cast<double>(makespan(s)));
+
+  const std::vector<double> pe_busy = pe_busy_fraction(g, p, s);
+  for (std::size_t k = 0; k < pe_busy.size(); ++k) {
+    registry.gauge("schedule.pe." + std::to_string(k) + ".busy_fraction", "fraction")
+        .set(pe_busy[k]);
+  }
+
+  const std::vector<double> link_util = link_utilization(g, p, s);
+  double max_util = 0.0;
+  for (std::size_t l = 0; l < link_util.size(); ++l) {
+    max_util = std::max(max_util, link_util[l]);
+    if (link_util[l] > 0.0) {
+      registry.gauge("schedule.link." + std::to_string(l) + ".utilization", "fraction")
+          .set(link_util[l]);
+    }
+  }
+  registry.gauge("schedule.link.max_utilization", "fraction").set(max_util);
+
+  obs::Histogram& wait = registry.histogram(
+      "schedule.link_wait", obs::exp_buckets(1.0, 4.0, 10), "time units");
+  for (EdgeId e : g.all_edges()) {
+    const CommPlacement& cp = s.at(e);
+    if (!cp.uses_network()) continue;
+    const TaskPlacement& sender = s.at(g.edge(e).src);
+    if (!sender.placed()) continue;
+    wait.observe(static_cast<double>(cp.start - sender.finish));
+  }
+}
+
+void export_repair_stats(const RepairStats& stats, obs::Registry& registry) {
+  registry.counter("repair.lts_tried", "moves").inc(static_cast<std::uint64_t>(stats.lts_tried));
+  registry.counter("repair.lts_accepted", "moves")
+      .inc(static_cast<std::uint64_t>(stats.lts_accepted));
+  registry.counter("repair.gtm_tried", "moves").inc(static_cast<std::uint64_t>(stats.gtm_tried));
+  registry.counter("repair.gtm_accepted", "moves")
+      .inc(static_cast<std::uint64_t>(stats.gtm_accepted));
+  registry.counter("repair.rounds", "rounds").inc(static_cast<std::uint64_t>(stats.rounds));
+  registry.gauge("repair.misses_before", "tasks").set(static_cast<double>(stats.misses_before));
+  registry.gauge("repair.misses_after", "tasks").set(static_cast<double>(stats.misses_after));
+  registry.gauge("repair.tardiness_before", "time units")
+      .set(static_cast<double>(stats.tardiness_before));
+  registry.gauge("repair.tardiness_after", "time units")
+      .set(static_cast<double>(stats.tardiness_after));
+}
+
+}  // namespace noceas

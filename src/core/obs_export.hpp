@@ -1,0 +1,46 @@
+// Bridge between scheduler data structures and the obs metrics registry.
+//
+// Every consumer of utilization numbers — the metrics JSON of the CLI, the
+// per-run bench output, the benchmark counters of runtime_scaling, and the
+// Gantt SVG heat annotation — goes through the functions here, so the
+// reported numbers always come from one code path.
+#pragma once
+
+#include <vector>
+
+#include "src/core/list_common.hpp"
+#include "src/core/repair.hpp"
+#include "src/core/schedule.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace noceas {
+
+/// Busy fraction per PE: sum of task execution durations placed on the PE,
+/// divided by the schedule makespan (0 for an empty schedule).
+[[nodiscard]] std::vector<double> pe_busy_fraction(const TaskGraph& g, const Platform& p,
+                                                   const Schedule& s);
+
+/// Utilization per directed link: total reserved transfer time crossing the
+/// link (every network transaction occupies its whole route for its full
+/// duration, the paper's Fig. 3 reservation model) divided by the makespan.
+[[nodiscard]] std::vector<double> link_utilization(const TaskGraph& g, const Platform& p,
+                                                   const Schedule& s);
+
+/// Registers the probe-path counters as metrics:
+/// probe.probes_issued/cache_hits/invalidations/parallel_batches/
+/// parallel_probes (counters), probe.hit_rate and probe.max_batch (gauges).
+void export_probe_stats(const ProbeStats& stats, obs::Registry& registry);
+
+/// Registers schedule-derived metrics: schedule.makespan,
+/// schedule.pe.<i>.busy_fraction per PE, schedule.link.<i>.utilization per
+/// link with traffic, schedule.link.max_utilization, and the
+/// schedule.link_wait histogram (transaction start minus sender finish).
+void export_schedule_metrics(const TaskGraph& g, const Platform& p, const Schedule& s,
+                             obs::Registry& registry);
+
+/// Registers the search & repair counters (repair.lts_tried/accepted,
+/// repair.gtm_tried/accepted, repair.rounds, repair.misses_before/after,
+/// repair.tardiness_before/after).
+void export_repair_stats(const RepairStats& stats, obs::Registry& registry);
+
+}  // namespace noceas

@@ -88,6 +88,9 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
                                const RepairOptions& options) {
   NOCEAS_REQUIRE(initial.complete(), "search_and_repair needs a complete schedule");
 
+  obs::Tracer* const tr = options.tracer;
+  OBS_SPAN_NAMED(run_span, tr, "repair.run");
+
   RepairResult result{initial, RepairStats{}};
   RepairStats& stats = result.stats;
   {
@@ -142,12 +145,16 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
   };
 
   for (int round = 0; round < options.max_rounds && !inc.misses.all_met(); ++round) {
+    OBS_SPAN(tr, "repair.round",
+             {obs::Arg("round", round),
+              obs::Arg("misses", static_cast<std::int64_t>(inc.misses.miss_count))});
     ++stats.rounds;
     bool improved_this_round = false;
 
     // ---- Local task swapping mode -------------------------------------
     bool lts_improved = true;
     while (lts_improved && !inc.misses.all_met()) {
+      OBS_SPAN(tr, "repair.lts_pass");
       lts_improved = false;
       const auto critical = critical_mask(g, inc.schedule);
       for (TaskId t1 : critical_order(g, inc.schedule, critical)) {
@@ -166,7 +173,11 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
           ++stats.lts_tried;
           OrderedPlan candidate = inc.plan;
           std::swap(candidate.pe_order[pe.index()][j], candidate.pe_order[pe.index()][pos1]);
-          if (try_plan(candidate)) {
+          const bool ok = try_plan(candidate);
+          OBS_INSTANT(tr, "repair.move", obs::Arg("kind", "lts"), obs::Arg("task", t1.value),
+                      obs::Arg("swap_with", t2.value), obs::Arg("pe", pe.value),
+                      obs::Arg("accepted", ok));
+          if (ok) {
             ++stats.lts_accepted;
             accepted = true;
             lts_improved = true;
@@ -180,6 +191,7 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
     if (inc.misses.all_met()) break;
 
     // ---- Global task migration mode ------------------------------------
+    OBS_SPAN(tr, "repair.gtm_pass");
     bool gtm_accepted = false;
     const auto critical = critical_mask(g, inc.schedule);
     for (TaskId t1 : critical_order(g, inc.schedule, critical)) {
@@ -210,7 +222,11 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
           return inc.schedule.at(other).start >= t1_start;
         });
         dst_order.insert(it, t1);
-        if (try_plan(candidate)) {
+        const bool ok = try_plan(candidate);
+        OBS_INSTANT(tr, "repair.move", obs::Arg("kind", "gtm"), obs::Arg("task", t1.value),
+                    obs::Arg("from", from.value), obs::Arg("to", to.value),
+                    obs::Arg("delta_e", delta), obs::Arg("accepted", ok));
+        if (ok) {
           ++stats.gtm_accepted;
           gtm_accepted = true;
           improved_this_round = true;
@@ -225,6 +241,9 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
 
   stats.misses_after = inc.misses.miss_count;
   stats.tardiness_after = inc.misses.total_tardiness;
+  run_span.arg(obs::Arg("misses_before", static_cast<std::int64_t>(stats.misses_before)));
+  run_span.arg(obs::Arg("misses_after", static_cast<std::int64_t>(stats.misses_after)));
+  run_span.arg(obs::Arg("rounds", stats.rounds));
   result.schedule = std::move(inc.schedule);
   return result;
 }

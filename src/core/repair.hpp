@@ -21,6 +21,7 @@
 #include "src/core/timing.hpp"
 #include "src/ctg/task_graph.hpp"
 #include "src/noc/platform.hpp"
+#include "src/obs/trace.hpp"
 
 namespace noceas {
 
@@ -29,6 +30,10 @@ struct RepairOptions {
   /// Upper bound on LTS+GTM rounds (safety net; the lexicographic
   /// improvement rule already guarantees termination).
   int max_rounds = 256;
+  /// Optional tracer: spans per repair round / LTS sweep / GTM pass and a
+  /// "repair.move" instant per tried move (accept/reject in the args).
+  /// Null = no overhead; never affects the repair result.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// What happened during repair.

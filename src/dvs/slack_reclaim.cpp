@@ -19,6 +19,7 @@ DvsResult reclaim_slack(const TaskGraph& g, const Platform& p, const Schedule& s
   for (double speed : options.speeds) {
     NOCEAS_REQUIRE(speed > 0.0 && speed <= 1.0, "speed level out of (0,1]: " << speed);
   }
+  OBS_SPAN_NAMED(span, options.tracer, "dvs.reclaim", {obs::Arg("tasks", g.num_tasks())});
 
   // Candidate levels, slowest first, always including nominal.
   std::vector<double> levels = options.speeds;
@@ -83,6 +84,14 @@ DvsResult reclaim_slack(const TaskGraph& g, const Platform& p, const Schedule& s
         tp.start + static_cast<Duration>(std::ceil(static_cast<double>(d_nom) / best_speed));
     result.computation_after += best_energy;
     if (best_speed < 1.0) ++result.slowed_tasks;
+  }
+  span.arg(obs::Arg("slowed_tasks", result.slowed_tasks));
+  span.arg(obs::Arg("saved", result.saved()));
+  if (options.metrics != nullptr) {
+    options.metrics->gauge("dvs.slowed_tasks", "tasks")
+        .set(static_cast<double>(result.slowed_tasks));
+    options.metrics->gauge("dvs.computation_before", "energy").set(result.computation_before);
+    options.metrics->gauge("dvs.computation_after", "energy").set(result.computation_after);
   }
   return result;
 }

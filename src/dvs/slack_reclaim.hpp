@@ -29,6 +29,8 @@
 #include "src/core/schedule.hpp"
 #include "src/ctg/task_graph.hpp"
 #include "src/noc/platform.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace noceas {
 
@@ -40,6 +42,10 @@ struct DvsOptions {
   /// Fraction of a task's nominal energy that is static (leakage); static
   /// energy grows with the stretched runtime, penalizing very low speeds.
   double static_fraction = 0.1;
+  /// Observability sinks (one "dvs.reclaim" span; dvs.* gauges).
+  /// Null = no overhead, identical results.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 /// Outcome of slack reclamation on one schedule.

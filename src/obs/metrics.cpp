@@ -1,0 +1,196 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <limits>
+#include <ostream>
+
+#include "src/util/error.hpp"
+
+namespace noceas::obs {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+/// Relaxed fetch-add for atomic<double> (no hardware fetch_add pre-C++20
+/// everywhere; CAS loop is fine off the hot path).
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double x) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (x < cur && !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double x) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (x > cur && !a.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    NOCEAS_REQUIRE(bounds_[i - 1] < bounds_[i],
+                   "histogram bounds not strictly increasing at index " << i);
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+double Histogram::min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return count() == 0 ? 0.0 : v;
+}
+
+double Histogram::max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return count() == 0 ? 0.0 : v;
+}
+
+std::vector<double> exp_buckets(double start, double factor, std::size_t count) {
+  NOCEAS_REQUIRE(start > 0.0 && factor > 1.0, "exp_buckets needs start > 0 and factor > 1");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& unit) {
+  std::lock_guard<std::mutex> lk(m_);
+  NOCEAS_REQUIRE(!gauges_.count(name) && !histograms_.count(name),
+                 "metric name '" << name << "' already used by another kind");
+  auto& slot = counters_[name];
+  if (!slot.metric) {
+    slot.unit = unit;
+    slot.metric = std::make_unique<Counter>();
+  }
+  return *slot.metric;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& unit) {
+  std::lock_guard<std::mutex> lk(m_);
+  NOCEAS_REQUIRE(!counters_.count(name) && !histograms_.count(name),
+                 "metric name '" << name << "' already used by another kind");
+  auto& slot = gauges_[name];
+  if (!slot.metric) {
+    slot.unit = unit;
+    slot.metric = std::make_unique<Gauge>();
+  }
+  return *slot.metric;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> upper_bounds,
+                               const std::string& unit) {
+  std::lock_guard<std::mutex> lk(m_);
+  NOCEAS_REQUIRE(!counters_.count(name) && !gauges_.count(name),
+                 "metric name '" << name << "' already used by another kind");
+  auto& slot = histograms_[name];
+  if (!slot.metric) {
+    slot.unit = unit;
+    slot.metric = std::make_unique<Histogram>(std::move(upper_bounds));
+  } else {
+    NOCEAS_REQUIRE(slot.metric->bounds() == upper_bounds,
+                   "histogram '" << name << "' re-registered with different bounds");
+  }
+  return *slot.metric;
+}
+
+std::map<std::string, double> Registry::values() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counters_) out[name] = static_cast<double>(c.metric->value());
+  for (const auto& [name, g] : gauges_) out[name] = g.metric->value();
+  for (const auto& [name, h] : histograms_) {
+    const Histogram& hist = *h.metric;
+    out[name + ".count"] = static_cast<double>(hist.count());
+    out[name + ".sum"] = hist.sum();
+    out[name + ".mean"] = hist.count() ? hist.sum() / static_cast<double>(hist.count()) : 0.0;
+    out[name + ".max"] = hist.max();
+  }
+  return out;
+}
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(m_);
+  os << "{\"schema\":\"noceas.metrics.v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ":{\"unit\":";
+    write_json_string(os, c.unit);
+    os << ",\"value\":" << c.metric->value() << '}';
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ":{\"unit\":";
+    write_json_string(os, g.unit);
+    os << ",\"value\":" << format_double(g.metric->value()) << '}';
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    const Histogram& hist = *h.metric;
+    write_json_string(os, name);
+    os << ":{\"unit\":";
+    write_json_string(os, h.unit);
+    os << ",\"count\":" << hist.count() << ",\"sum\":" << format_double(hist.sum())
+       << ",\"min\":" << format_double(hist.min()) << ",\"max\":" << format_double(hist.max())
+       << ",\"buckets\":[";
+    for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
+      if (i > 0) os << ',';
+      os << "{\"le\":" << format_double(hist.bounds()[i]) << ",\"count\":" << hist.bucket_count(i)
+         << '}';
+    }
+    if (!hist.bounds().empty()) os << ',';
+    os << "{\"le\":\"+inf\",\"count\":" << hist.bucket_count(hist.bounds().size()) << "}]}";
+  }
+  os << "}}\n";
+}
+
+}  // namespace noceas::obs

@@ -1,0 +1,116 @@
+// Metrics registry for the scheduler observability layer: named counters,
+// gauges and fixed-bucket histograms with a stable JSON serialization
+// ("noceas.metrics.v1").
+//
+// Metric objects are created once through the Registry (find-or-create by
+// name; references stay valid for the registry's lifetime) and updated
+// lock-free afterwards — all mutation is relaxed atomics, so counters and
+// histograms may be fed from the probe thread pool.  Snapshots (values(),
+// write_json()) read with relaxed loads; they are exact once the emitting
+// threads have quiesced, which is when the schedulers take them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace noceas::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins floating point value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest.  count/sum/min/max track the
+/// raw stream.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing (may be empty: the
+  /// histogram then degenerates to count/sum/min/max tracking).
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Min/max of the observed stream; 0 when empty.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Count of bucket i (i == bounds().size() is the overflow bucket).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Geometric bucket bounds {start, start*factor, ...} of length `count` —
+/// the standard shape for latency/size histograms.
+[[nodiscard]] std::vector<double> exp_buckets(double start, double factor, std::size_t count);
+
+/// Named metric store.  Find-or-create by name; names must be unique
+/// across all three metric kinds.  Serializes to a stable, sorted JSON
+/// schema so downstream tooling can diff runs.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& unit = "");
+  Gauge& gauge(const std::string& name, const std::string& unit = "");
+  /// Find-or-create; on re-lookup the existing histogram is returned and
+  /// `upper_bounds` must match its bounds.
+  Histogram& histogram(const std::string& name, std::vector<double> upper_bounds,
+                       const std::string& unit = "");
+
+  /// Flat name -> value snapshot (histograms expand to .count/.sum/.mean/
+  /// .max entries) — the one code path every bench reports counters
+  /// through.
+  [[nodiscard]] std::map<std::string, double> values() const;
+
+  /// Writes the "noceas.metrics.v1" JSON document.
+  void write_json(std::ostream& os) const;
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string unit;
+    std::unique_ptr<T> metric;
+  };
+
+  mutable std::mutex m_;  ///< guards the maps, not the metric values
+  std::map<std::string, Named<Counter>> counters_;
+  std::map<std::string, Named<Gauge>> gauges_;
+  std::map<std::string, Named<Histogram>> histograms_;
+};
+
+}  // namespace noceas::obs

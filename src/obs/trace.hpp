@@ -1,0 +1,210 @@
+// Scoped-span tracer for the scheduler observability layer.
+//
+// Design constraints (DESIGN.md §9):
+//
+//  * Null-sink fast path: every emission site takes a `Tracer*`; a null
+//    pointer short-circuits before any clock read or buffer write, so a
+//    scheduler run without a tracer attached pays one predicted branch per
+//    span site and nothing else.  Compile-time opt-out: building with
+//    NOCEAS_OBS_ENABLED=0 turns the OBS_* macros into `((void)0)`.
+//  * Thread-aware: each emitting thread owns a private per-lane ring
+//    buffer (registered on first emission), so concurrent emission — e.g.
+//    from the shared probe thread pool — is race-free without a hot-path
+//    lock.  Collection (merged() / write_chrome_json()) must not overlap
+//    emission; in the schedulers it runs after the pool has quiesced.
+//  * Deterministic content: every event carries a sequence id.  Events
+//    emitted from scheduler control flow draw ids from one atomic counter
+//    (deterministic because that control flow is single-threaded); events
+//    emitted inside a parallel batch use caller-supplied ids (e.g. the
+//    batch item index).  merged() sorts by sequence id, so the exported
+//    event order is identical across runs regardless of which lane
+//    happened to execute which item — timestamps are the only
+//    run-dependent field.
+//  * Bounded memory: lanes grow on demand up to `max_events_per_lane` and
+//    then overwrite their oldest events (dropped() counts the casualties),
+//    so a pathological run cannot exhaust memory.
+//
+// Export is Chrome trace-event JSON (the "JSON Array Format" subset every
+// tool understands): load the file in https://ui.perfetto.dev or
+// chrome://tracing.  See docs/OBSERVABILITY.md for the span taxonomy.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#ifndef NOCEAS_OBS_ENABLED
+#define NOCEAS_OBS_ENABLED 1
+#endif
+
+namespace noceas::obs {
+
+/// One key/value argument of an event.  Keys and string values must be
+/// string literals (or otherwise outlive the tracer): events store the
+/// pointers, never copies, to keep emission allocation-free.
+struct Arg {
+  enum class Kind : std::uint8_t { None, Int, Dbl, Str };
+
+  const char* key = nullptr;
+  Kind kind = Kind::None;
+  std::int64_t i = 0;
+  double d = 0.0;
+  const char* s = nullptr;
+
+  constexpr Arg() = default;
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  constexpr Arg(const char* k, T v) : key(k), kind(Kind::Int), i(static_cast<std::int64_t>(v)) {}
+  constexpr Arg(const char* k, double v) : key(k), kind(Kind::Dbl), d(v) {}
+  constexpr Arg(const char* k, const char* v) : key(k), kind(Kind::Str), s(v) {}
+};
+
+/// Maximum args per event; excess args are dropped silently.
+inline constexpr int kMaxArgs = 8;
+
+/// One recorded event.  `phase` uses the Chrome trace-event phase codes:
+/// 'X' = complete span (ts + dur), 'i' = instant.
+struct TraceEvent {
+  std::uint64_t seq = 0;
+  std::uint32_t lane = 0;
+  char phase = 'X';
+  const char* name = nullptr;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;
+  int num_args = 0;
+  Arg args[kMaxArgs];
+};
+
+struct TracerOptions {
+  /// Ring capacity per emitting thread; oldest events are overwritten once
+  /// a lane is full (dropped() reports how many).
+  std::size_t max_events_per_lane = 1u << 20;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = {});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Next deterministic sequence id (relaxed atomic increment).
+  std::uint64_t next_seq() { return seq_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Nanoseconds since tracer construction (monotonic clock).
+  [[nodiscard]] std::int64_t now_ns() const;
+
+  /// Records a complete span ('X').  Usually called by ScopedSpan.
+  void complete(const char* name, std::uint64_t seq, std::int64_t ts_ns, std::int64_t dur_ns,
+                const Arg* args, int num_args);
+
+  /// Records an instant event with a fresh sequence id.
+  void instant(const char* name, std::initializer_list<Arg> args = {});
+
+  /// Records an instant event under a caller-supplied sequence id — the
+  /// deterministic-ordering hook for emission inside parallel batches.
+  void instant_seq(std::uint64_t seq, const char* name, std::initializer_list<Arg> args = {});
+
+  /// All recorded events of all lanes, sorted by (seq, lane).  Call only
+  /// while no thread is emitting.
+  [[nodiscard]] std::vector<TraceEvent> merged() const;
+
+  /// Events lost to ring-buffer overwrite.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Total events currently held (before any merge).
+  [[nodiscard]] std::size_t size() const;
+
+  /// Writes the Chrome trace-event JSON document ("traceEvents" array plus
+  /// metadata).  Deterministic field order; timestamps in microseconds.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  struct Lane {
+    std::uint32_t id = 0;
+    std::vector<TraceEvent> ring;
+    std::size_t head = 0;  ///< next overwrite position once full
+  };
+
+  Lane& this_lane();
+  void push(const TraceEvent& e);
+
+  const TracerOptions options_;
+  const std::uint64_t tracer_id_;  ///< process-unique, for thread-local caching
+  const std::chrono::steady_clock::time_point t0_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex lanes_m_;  ///< guards lane registration + collection
+  std::deque<Lane> lanes_;      ///< deque: stable addresses across registration
+  std::map<std::thread::id, Lane*> lane_of_thread_;
+};
+
+/// RAII span: captures a sequence id and start time on construction (when
+/// the tracer is non-null) and records a complete event on destruction.
+class ScopedSpan {
+ public:
+  ScopedSpan() = default;
+  explicit ScopedSpan(Tracer* t, const char* name, std::initializer_list<Arg> args = {})
+      : t_(t), name_(name) {
+    if (!t_) return;
+    for (const Arg& a : args) arg(a);
+    seq_ = t_->next_seq();
+    start_ns_ = t_->now_ns();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches an argument discovered after the span opened.
+  void arg(const Arg& a) {
+    if (t_ && num_args_ < kMaxArgs) args_[num_args_++] = a;
+  }
+
+  /// Closes the span now instead of at scope exit (for phases that end
+  /// mid-function).  Later arg()/end() calls become no-ops.
+  void end() {
+    if (t_) t_->complete(name_, seq_, start_ns_, t_->now_ns() - start_ns_, args_, num_args_);
+    t_ = nullptr;
+  }
+
+  ~ScopedSpan() { end(); }
+
+ private:
+  Tracer* t_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t seq_ = 0;
+  std::int64_t start_ns_ = 0;
+  int num_args_ = 0;
+  Arg args_[kMaxArgs];
+};
+
+}  // namespace noceas::obs
+
+#define NOCEAS_OBS_CONCAT_(a, b) a##b
+#define NOCEAS_OBS_CONCAT(a, b) NOCEAS_OBS_CONCAT_(a, b)
+
+#if NOCEAS_OBS_ENABLED
+/// Opens an anonymous scope-bound span: OBS_SPAN(tracer, "name", Arg(...)...).
+#define OBS_SPAN(tracer, ...) \
+  ::noceas::obs::ScopedSpan NOCEAS_OBS_CONCAT(obs_span_, __LINE__)((tracer), __VA_ARGS__)
+/// Opens a named span so later code can attach args: OBS_SPAN_NAMED(var, tracer, "name").
+#define OBS_SPAN_NAMED(var, tracer, ...) ::noceas::obs::ScopedSpan var((tracer), __VA_ARGS__)
+/// Records an instant event: OBS_INSTANT(tracer, "name", Arg(...)...).
+#define OBS_INSTANT(tracer, name, ...)                                  \
+  do {                                                                  \
+    if ((tracer) != nullptr) (tracer)->instant((name), {__VA_ARGS__});  \
+  } while (false)
+#else
+#define OBS_SPAN(tracer, ...) ((void)(tracer))
+#define OBS_SPAN_NAMED(var, tracer, ...) \
+  ::noceas::obs::ScopedSpan var;         \
+  ((void)(tracer))
+#define OBS_INSTANT(tracer, name, ...) ((void)(tracer))
+#endif

@@ -35,6 +35,9 @@ SimReport simulate_schedule(const TaskGraph& g, const Platform& p, const Schedul
                             const SimOptions& options) {
   NOCEAS_REQUIRE(s.complete(), "simulate_schedule needs a complete schedule");
   NOCEAS_REQUIRE(options.buffer_flits >= 1, "buffer depth must be >= 1");
+  OBS_SPAN_NAMED(run_span, options.tracer, "sim.run",
+                 {obs::Arg("tasks", g.num_tasks()),
+                  obs::Arg("time_triggered", options.policy == ReleasePolicy::TimeTriggered)});
   NOCEAS_REQUIRE(options.exec_overrun >= 0.0, "negative overrun factor");
 
   // Per-task overrun multipliers (deterministic).
@@ -253,6 +256,19 @@ SimReport simulate_schedule(const TaskGraph& g, const Platform& p, const Schedul
   }
   report.avg_packet_latency =
       packets.empty() ? 0.0 : latency_sum / static_cast<double>(packets.size());
+  run_span.arg(obs::Arg("makespan", report.makespan));
+  run_span.arg(obs::Arg("packets", report.packets));
+  run_span.arg(obs::Arg("misses", report.misses.miss_count));
+  if (options.metrics != nullptr) {
+    obs::Registry& m = *options.metrics;
+    m.gauge("sim.makespan", "cycles").set(static_cast<double>(report.makespan));
+    m.gauge("sim.packets", "packets").set(static_cast<double>(report.packets));
+    m.gauge("sim.total_flits", "flits").set(static_cast<double>(report.total_flits));
+    m.gauge("sim.total_flit_hops", "flit-hops").set(static_cast<double>(report.total_flit_hops));
+    m.gauge("sim.avg_packet_latency", "cycles").set(report.avg_packet_latency);
+    m.gauge("sim.max_arrival_lag", "cycles").set(static_cast<double>(report.max_arrival_lag));
+    m.gauge("sim.misses", "tasks").set(static_cast<double>(report.misses.miss_count));
+  }
   return report;
 }
 

@@ -29,6 +29,8 @@
 #include "src/core/schedule.hpp"
 #include "src/ctg/task_graph.hpp"
 #include "src/noc/platform.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace noceas {
 
@@ -55,6 +57,10 @@ struct SimOptions {
   /// Models profiling error / data-dependent slowdown; 0 = exact profile.
   double exec_overrun = 0.0;
   std::uint64_t overrun_seed = 1;
+  /// Observability sinks (one "sim.run" span; sim.* gauges/counters).
+  /// Null = no overhead, identical results.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 /// Outcome of one simulation run.

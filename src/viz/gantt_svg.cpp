@@ -1,9 +1,12 @@
 #include "src/viz/gantt_svg.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <ostream>
 #include <sstream>
+
+#include "src/core/obs_export.hpp"
 
 namespace noceas {
 
@@ -71,7 +74,8 @@ void write_gantt_svg(std::ostream& os, const TaskGraph& g, const Platform& p, co
   }
 
   const int height = title_h + axis_h + static_cast<int>(lanes.size()) * options.row_height_px + 10;
-  const int width = label_w + options.width_px + 20;
+  // Extra right margin for the utilization percentages.
+  const int width = label_w + options.width_px + (options.show_link_heat ? 50 : 20);
 
   os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width << "\" height=\"" << height
      << "\" font-family=\"sans-serif\" font-size=\"11\">\n";
@@ -126,6 +130,26 @@ void write_gantt_svg(std::ostream& os, const TaskGraph& g, const Platform& p, co
            << "\" stroke=\"red\" stroke-width=\"1.5\"><title>deadline "
            << escape_xml(g.task(t).name) << "</title></line>\n";
       }
+    }
+  }
+
+  // Link-utilization heat: tint each link lane by the same utilization the
+  // metrics JSON reports (one shared code path, see src/core/obs_export.hpp)
+  // and print the percentage at the lane's right edge.
+  if (options.show_link_heat && options.show_links && !link_traffic.empty()) {
+    const std::vector<double> util = link_utilization(g, p, s);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (lanes[i].is_pe) continue;
+      const double u = std::clamp(util[lanes[i].index], 0.0, 1.0);
+      os << "<rect x=\"" << label_w << "\" y=\"" << y_of(i) + 1 << "\" width=\""
+         << options.width_px << "\" height=\"" << options.row_height_px - 2
+         << "\" fill=\"#d62728\" fill-opacity=\"" << 0.45 * u << "\"><title>utilization "
+         << u << "</title></rect>\n";
+      char pct[16];
+      std::snprintf(pct, sizeof(pct), "%.1f%%", 100.0 * u);
+      os << "<text x=\"" << label_w + options.width_px + 4 << "\" y=\""
+         << y_of(i) + options.row_height_px * 2 / 3 << "\" fill=\"#a00\" font-size=\"10\">"
+         << pct << "</text>\n";
     }
   }
 

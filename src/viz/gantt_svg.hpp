@@ -21,6 +21,11 @@ struct GanttSvgOptions {
   int row_height_px = 22;     ///< height of one swim lane
   bool show_links = true;     ///< include link lanes for network transactions
   bool show_deadlines = true; ///< red markers at task deadlines
+  /// Tint each link lane by its utilization (reserved time / makespan) and
+  /// print the percentage; the numbers come from the same
+  /// `link_utilization()` code path as the metrics JSON, so SVG and
+  /// metrics always agree.
+  bool show_link_heat = false;
   std::string title;          ///< optional heading
 };
 

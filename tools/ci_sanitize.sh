@@ -4,8 +4,12 @@
 # Builds the full test suite twice under NOCEAS_SANITIZE and runs tier-1
 # ctest under each instrumentation:
 #   1. address,undefined — whole suite (memory errors, UB in the schedulers)
-#   2. thread            — the probe/thread-pool tests, which exercise the
-#                          parallel F(i,k) evaluation path of ProbeEngine
+#   2. thread            — the probe/thread-pool/obs tests, which exercise
+#                          the parallel F(i,k) evaluation path of ProbeEngine
+#                          and multi-lane trace emission
+#
+# Afterwards runs the observability smoke gate (plain build): an attached
+# tracer must leave schedules bit-identical and cost < 5% runtime.
 #
 # Usage: tools/ci_sanitize.sh [build-dir-prefix]   (default: build-san)
 set -euo pipefail
@@ -34,9 +38,21 @@ configure_and_test() {
 # ASan+UBSan over the whole suite.
 configure_and_test "${prefix}-asan" "address,undefined"
 
-# TSan over the tests that drive the thread pool / parallel probe path.
+# TSan over the tests that drive the thread pool / parallel probe path and
+# the multi-lane tracer / lock-free metrics (obs_test).
 # halt_on_error makes a race fail the ctest run instead of just logging.
 TSAN_OPTIONS="halt_on_error=1" \
-  configure_and_test "${prefix}-tsan" "thread" "ProbeCache|ProbeEngine|ThreadPool|TentativeTables|list_common"
+  configure_and_test "${prefix}-tsan" "thread" "ProbeCache|ProbeEngine|ThreadPool|TentativeTables|list_common|Metrics|Trace"
+
+# Observability smoke gate: tracing must not change schedules and must stay
+# within the 5% overhead budget (docs/OBSERVABILITY.md).  Built without
+# sanitizers — the budget is a statement about the production build.
+smoke="${prefix}-smoke"
+echo "==> [obs-smoke] configuring $smoke"
+cmake -B "$smoke" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+echo "==> [obs-smoke] building"
+cmake --build "$smoke" -j "$(nproc)" --target runtime_scaling >/dev/null
+echo "==> [obs-smoke] running"
+"$smoke"/bench/runtime_scaling --obs-smoke
 
 echo "==> sanitize CI passed"

@@ -6,14 +6,17 @@
 //   noceas_cli gen       --category 1 --index 0 --ctg g.txt --platform p.txt
 //   noceas_cli info      --ctg g.txt
 //   noceas_cli schedule  --ctg g.txt --platform p.txt [--scheduler eas]
-//                        [--gantt] [--svg out.svg] [--dot out.dot]
-//                        [--simulate] [--dvs]
+//                        [--gantt] [--svg out.svg] [--link-heat] [--dot out.dot]
+//                        [--simulate] [--dvs] [--trace t.json] [--metrics m.json]
 //
 // Schedulers: eas (default), eas-base, edf, dls, greedy.
+// Unknown flags are rejected with an error (no silent typo swallowing).
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/baseline/dls.hpp"
 #include "src/baseline/edf.hpp"
@@ -41,16 +44,31 @@ int usage() {
       "             --ctg FILE [--platform FILE]\n"
       "  noceas_cli info --ctg FILE\n"
       "  noceas_cli schedule --ctg FILE --platform FILE [--scheduler eas|eas-base|edf|dls|greedy]\n"
-      "             [--gantt] [--svg FILE] [--dot FILE] [--simulate] [--dvs]\n";
+      "             [--gantt] [--svg FILE] [--link-heat] [--dot FILE] [--simulate] [--dvs]\n"
+      "             [--trace FILE] [--metrics FILE]\n"
+      "\n"
+      "schedule observability flags:\n"
+      "  --trace FILE    write a Chrome trace-event JSON of the scheduler run\n"
+      "                  (open in ui.perfetto.dev or chrome://tracing)\n"
+      "  --metrics FILE  write the metrics registry JSON (probe cache hit rate,\n"
+      "                  per-PE busy fraction, per-link utilization, ...)\n"
+      "  --link-heat     tint the --svg link lanes by utilization\n";
   return 2;
 }
 
-std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+/// Parses `--flag [value]` pairs.  A flag not in `allowed` is a hard error:
+/// a typo must never be silently ignored.
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first,
+                                               const std::vector<std::string>& allowed) {
   std::map<std::string, std::string> flags;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    NOCEAS_REQUIRE(arg.rfind("--", 0) == 0,
+                   "unexpected argument '" << arg << "' (flags start with --)");
     arg = arg.substr(2);
+    NOCEAS_REQUIRE(std::find(allowed.begin(), allowed.end(), arg) != allowed.end(),
+                   "unknown flag '--" << arg << "' for command '" << argv[1]
+                                      << "' (run noceas_cli without arguments for usage)");
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       flags[arg] = argv[++i];
     } else {
@@ -143,6 +161,12 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
   const Platform p = load_platform(flags.at("platform"));
   const std::string which = flags.count("scheduler") ? flags.at("scheduler") : "eas";
 
+  // Observability sinks, attached only when requested.
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::Tracer* const tr = flags.count("trace") ? &tracer : nullptr;
+  obs::Registry* const metrics = flags.count("metrics") ? &registry : nullptr;
+
   Schedule s;
   EnergyBreakdown energy;
   MissReport misses;
@@ -150,19 +174,22 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
   if (which == "eas" || which == "eas-base") {
     EasOptions options;
     options.repair = which == "eas";
+    options.tracer = tr;
+    options.metrics = metrics;
     const EasResult r = schedule_eas(g, p, options);
     s = r.schedule;
     energy = r.energy;
     misses = r.misses;
     seconds = r.seconds;
   } else {
+    const BaselineObs baseline_obs{tr, metrics};
     BaselineResult r;
     if (which == "edf")
-      r = schedule_edf(g, p);
+      r = schedule_edf(g, p, baseline_obs);
     else if (which == "dls")
-      r = schedule_dls(g, p);
+      r = schedule_dls(g, p, baseline_obs);
     else if (which == "greedy")
-      r = schedule_greedy_energy(g, p);
+      r = schedule_greedy_energy(g, p, baseline_obs);
     else
       NOCEAS_REQUIRE(false, "unknown scheduler '" << which << '\'');
     s = r.schedule;
@@ -188,7 +215,10 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
   if (flags.count("svg")) {
     std::ofstream os(flags.at("svg"));
     NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("svg") << '\'');
-    write_gantt_svg(os, g, p, s, {.title = which + " schedule"});
+    GanttSvgOptions svg_options;
+    svg_options.show_link_heat = flags.count("link-heat") > 0;
+    svg_options.title = which + " schedule";
+    write_gantt_svg(os, g, p, s, svg_options);
     std::cout << "wrote " << flags.at("svg") << '\n';
   }
   if (flags.count("dot")) {
@@ -198,15 +228,33 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
     std::cout << "wrote " << flags.at("dot") << '\n';
   }
   if (flags.count("simulate")) {
-    const SimReport sim = simulate_schedule(g, p, s);
+    SimOptions sim_options;
+    sim_options.tracer = tr;
+    sim_options.metrics = metrics;
+    const SimReport sim = simulate_schedule(g, p, s, sim_options);
     std::cout << "simulated:       makespan " << sim.makespan << ", misses "
               << sim.misses.miss_count << ", avg packet latency "
               << format_double(sim.avg_packet_latency, 1) << " cycles\n";
   }
   if (flags.count("dvs")) {
-    const DvsResult dvs = reclaim_slack(g, p, s);
+    DvsOptions dvs_options;
+    dvs_options.tracer = tr;
+    dvs_options.metrics = metrics;
+    const DvsResult dvs = reclaim_slack(g, p, s, dvs_options);
     std::cout << "DVS reclaims:    " << format_double(dvs.saved(), 1) << " nJ ("
               << dvs.slowed_tasks << " tasks slowed)\n";
+  }
+  if (tr != nullptr) {
+    std::ofstream os(flags.at("trace"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("trace") << '\'');
+    tracer.write_chrome_json(os);
+    std::cout << "wrote " << flags.at("trace") << " (" << tracer.size() << " events)\n";
+  }
+  if (metrics != nullptr) {
+    std::ofstream os(flags.at("metrics"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("metrics") << '\'');
+    registry.write_json(os);
+    std::cout << "wrote " << flags.at("metrics") << '\n';
   }
   return misses.all_met() ? 0 : 1;
 }
@@ -216,11 +264,20 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
   try {
-    if (cmd == "gen") return cmd_gen(flags);
-    if (cmd == "info") return cmd_info(flags);
-    if (cmd == "schedule") return cmd_schedule(flags);
+    if (cmd == "gen") {
+      return cmd_gen(parse_flags(argc, argv, 2,
+                                 {"category", "index", "msb", "clip", "ctg", "platform"}));
+    }
+    if (cmd == "info") {
+      return cmd_info(parse_flags(argc, argv, 2, {"ctg"}));
+    }
+    if (cmd == "schedule") {
+      return cmd_schedule(parse_flags(argc, argv, 2,
+                                      {"ctg", "platform", "scheduler", "gantt", "svg",
+                                       "link-heat", "dot", "simulate", "dvs", "trace",
+                                       "metrics"}));
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
