@@ -1,0 +1,494 @@
+#include "src/audit/decision_log.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "src/util/error.hpp"
+
+namespace noceas::audit {
+
+namespace {
+
+// ---- JSON writing ----------------------------------------------------------
+
+std::string fmt(double v) {
+  if (!std::isfinite(v)) return "null";  // NaN/inf are not JSON
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+template <typename T>
+void write_int_array(std::ostream& os, const std::vector<T>& xs) {
+  os << '[';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) os << ',';
+    os << xs[i];
+  }
+  os << ']';
+}
+
+/// kNoDeadline round-trips as -1 (same convention as the trace args).
+std::int64_t budget_repr(Time t) { return t == kNoDeadline ? -1 : t; }
+Time budget_parse(std::int64_t v) { return v < 0 ? kNoDeadline : v; }
+
+void write_place(std::ostream& os, const DecisionEvent& e) {
+  const PlacementDecision& d = e.place;
+  os << "{\"type\":\"place\",\"seq\":" << e.seq << ",\"task\":" << d.task << ",\"pe\":" << d.pe
+     << ",\"start\":" << d.start << ",\"finish\":" << d.finish
+     << ",\"bd\":" << budget_repr(d.budget) << ",\"rule\":";
+  write_string(os, d.rule);
+  os << ",\"ready\":";
+  write_int_array(os, d.ready);
+  os << ",\"candidates\":[";
+  for (std::size_t i = 0; i < d.candidates.size(); ++i) {
+    const CandidateRow& c = d.candidates[i];
+    if (i > 0) os << ',';
+    os << "{\"task\":" << c.task << ",\"pe\":" << c.pe << ",\"f\":" << c.finish
+       << ",\"e\":" << fmt(c.energy) << ",\"feasible\":" << (c.feasible ? "true" : "false")
+       << ",\"score\":" << fmt(c.score) << '}';
+  }
+  os << "],\"comms\":[";
+  for (std::size_t i = 0; i < d.comms.size(); ++i) {
+    const CommRecord& c = d.comms[i];
+    if (i > 0) os << ',';
+    os << "{\"edge\":" << c.edge << ",\"src_task\":" << c.src_task << ",\"src_pe\":" << c.src_pe
+       << ",\"dst_pe\":" << c.dst_pe << ",\"src_finish\":" << c.src_finish
+       << ",\"start\":" << c.start << ",\"dur\":" << c.duration << ",\"route\":";
+    write_int_array(os, c.route);
+    os << '}';
+  }
+  os << "]}\n";
+}
+
+void write_move(std::ostream& os, const DecisionEvent& e) {
+  const RepairMoveRecord& m = e.move;
+  os << "{\"type\":\"repair_move\",\"seq\":" << e.seq << ",\"kind\":";
+  write_string(os, m.kind);
+  os << ",\"task\":" << m.task;
+  if (m.kind == "lts") {
+    os << ",\"pe\":" << m.pe << ",\"pos_a\":" << m.pos_a << ",\"pos_b\":" << m.pos_b
+       << ",\"swap_with\":" << m.swap_with;
+  } else {
+    os << ",\"from_pe\":" << m.from_pe << ",\"to_pe\":" << m.to_pe
+       << ",\"insert_index\":" << m.insert_index << ",\"delta_e\":" << fmt(m.delta_energy);
+  }
+  os << ",\"accepted\":" << (m.accepted ? "true" : "false")
+     << ",\"misses_before\":" << m.misses_before << ",\"misses_after\":" << m.misses_after
+     << ",\"tardiness_before\":" << m.tardiness_before
+     << ",\"tardiness_after\":" << m.tardiness_after << "}\n";
+}
+
+void write_final(std::ostream& os, const FinalRecord& f) {
+  os << "{\"type\":\"final\",\"tasks\":[";
+  for (std::size_t i = 0; i < f.tasks.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '[' << f.tasks[i].pe << ',' << f.tasks[i].start << ',' << f.tasks[i].finish << ']';
+  }
+  os << "],\"comms\":[";
+  for (std::size_t i = 0; i < f.comms.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '[' << f.comms[i].src_pe << ',' << f.comms[i].dst_pe << ',' << f.comms[i].start << ','
+       << f.comms[i].duration << ']';
+  }
+  os << "],\"comp_energy\":" << fmt(f.computation_energy)
+     << ",\"comm_energy\":" << fmt(f.communication_energy) << ",\"misses\":" << f.miss_count
+     << ",\"tardiness\":" << f.total_tardiness << "}\n";
+}
+
+// ---- JSON parsing ----------------------------------------------------------
+// Minimal recursive-descent parser for the subset this writer emits
+// (objects, arrays, strings, numbers, booleans, null).  Throws noceas::Error
+// on malformed input, which the CLI surfaces as a file error.
+
+struct Json {
+  enum class Kind : std::uint8_t { Null, Bool, Num, Str, Arr, Obj };
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    const auto it = obj.find(key);
+    NOCEAS_REQUIRE(it != obj.end(), "decision stream: missing key '" << key << '\'');
+    return it->second;
+  }
+  [[nodiscard]] std::int64_t i64() const {
+    NOCEAS_REQUIRE(kind == Kind::Num, "decision stream: expected a number");
+    return static_cast<std::int64_t>(num);
+  }
+  [[nodiscard]] std::int32_t i32() const { return static_cast<std::int32_t>(i64()); }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& line) : s_(line) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    NOCEAS_REQUIRE(i_ == s_.size(), "decision stream: trailing characters on line");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
+  }
+  char peek() {
+    skip_ws();
+    NOCEAS_REQUIRE(i_ < s_.size(), "decision stream: unexpected end of line");
+    return s_[i_];
+  }
+  void expect(char c) {
+    NOCEAS_REQUIRE(peek() == c, "decision stream: expected '" << c << '\'');
+    ++i_;
+  }
+  bool consume(char c) {
+    if (i_ < s_.size() && peek() == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+      case 'f': return boolean();
+      case 'n': return null_value();
+      default: return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json v;
+    v.kind = Json::Kind::Obj;
+    if (consume('}')) return v;
+    do {
+      Json key = string_value();
+      expect(':');
+      v.obj[key.str] = value();
+    } while (consume(','));
+    expect('}');
+    return v;
+  }
+
+  Json array() {
+    expect('[');
+    Json v;
+    v.kind = Json::Kind::Arr;
+    if (consume(']')) return v;
+    do {
+      v.arr.push_back(value());
+    } while (consume(','));
+    expect(']');
+    return v;
+  }
+
+  Json string_value() {
+    expect('"');
+    Json v;
+    v.kind = Json::Kind::Str;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') {
+        ++i_;
+        NOCEAS_REQUIRE(i_ < s_.size(), "decision stream: bad escape");
+        switch (s_[i_]) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case 'n': v.str += '\n'; break;
+          default: NOCEAS_REQUIRE(false, "decision stream: unknown escape");
+        }
+        ++i_;
+      } else {
+        v.str += s_[i_++];
+      }
+    }
+    NOCEAS_REQUIRE(i_ < s_.size(), "decision stream: unterminated string");
+    ++i_;
+    return v;
+  }
+
+  Json boolean() {
+    Json v;
+    v.kind = Json::Kind::Bool;
+    if (s_.compare(i_, 4, "true") == 0) {
+      v.b = true;
+      i_ += 4;
+    } else if (s_.compare(i_, 5, "false") == 0) {
+      i_ += 5;
+    } else {
+      NOCEAS_REQUIRE(false, "decision stream: bad literal");
+    }
+    return v;
+  }
+
+  Json null_value() {
+    NOCEAS_REQUIRE(s_.compare(i_, 4, "null") == 0, "decision stream: bad literal");
+    i_ += 4;
+    Json v;
+    v.num = std::numeric_limits<double>::quiet_NaN();  // null doubles = NaN
+    return v;
+  }
+
+  Json number() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) || s_[i_] == '-' || s_[i_] == '+' ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+    }
+    NOCEAS_REQUIRE(i_ > start, "decision stream: bad number");
+    Json v;
+    v.kind = Json::Kind::Num;
+    double out = 0.0;
+    const auto [ptr, ec] = std::from_chars(s_.data() + start, s_.data() + i_, out);
+    NOCEAS_REQUIRE(ec == std::errc() && ptr == s_.data() + i_, "decision stream: bad number");
+    v.num = out;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+std::vector<std::int32_t> parse_int_array(const Json& j) {
+  NOCEAS_REQUIRE(j.kind == Json::Kind::Arr, "decision stream: expected an array");
+  std::vector<std::int32_t> out;
+  out.reserve(j.arr.size());
+  for (const Json& v : j.arr) out.push_back(v.i32());
+  return out;
+}
+
+DecisionEvent parse_place(const Json& j) {
+  DecisionEvent e;
+  e.kind = DecisionEvent::Kind::Place;
+  e.seq = static_cast<std::uint64_t>(j.at("seq").i64());
+  PlacementDecision& d = e.place;
+  d.task = j.at("task").i32();
+  d.pe = j.at("pe").i32();
+  d.start = j.at("start").i64();
+  d.finish = j.at("finish").i64();
+  d.budget = budget_parse(j.at("bd").i64());
+  d.rule = j.at("rule").str;
+  d.ready = parse_int_array(j.at("ready"));
+  for (const Json& c : j.at("candidates").arr) {
+    CandidateRow row;
+    row.task = c.at("task").i32();
+    row.pe = c.at("pe").i32();
+    row.finish = c.at("f").i64();
+    row.energy = c.at("e").num;
+    row.feasible = c.at("feasible").b;
+    row.score = c.at("score").num;
+    d.candidates.push_back(row);
+  }
+  for (const Json& c : j.at("comms").arr) {
+    CommRecord comm;
+    comm.edge = c.at("edge").i32();
+    comm.src_task = c.at("src_task").i32();
+    comm.src_pe = c.at("src_pe").i32();
+    comm.dst_pe = c.at("dst_pe").i32();
+    comm.src_finish = c.at("src_finish").i64();
+    comm.start = c.at("start").i64();
+    comm.duration = c.at("dur").i64();
+    comm.route = parse_int_array(c.at("route"));
+    d.comms.push_back(std::move(comm));
+  }
+  return e;
+}
+
+DecisionEvent parse_move(const Json& j) {
+  DecisionEvent e;
+  e.kind = DecisionEvent::Kind::RepairMove;
+  e.seq = static_cast<std::uint64_t>(j.at("seq").i64());
+  RepairMoveRecord& m = e.move;
+  m.kind = j.at("kind").str;
+  m.task = j.at("task").i32();
+  if (m.kind == "lts") {
+    m.pe = j.at("pe").i32();
+    m.pos_a = j.at("pos_a").i32();
+    m.pos_b = j.at("pos_b").i32();
+    m.swap_with = j.at("swap_with").i32();
+  } else if (m.kind == "gtm") {
+    m.from_pe = j.at("from_pe").i32();
+    m.to_pe = j.at("to_pe").i32();
+    m.insert_index = j.at("insert_index").i32();
+    m.delta_energy = j.at("delta_e").num;
+  } else {
+    NOCEAS_REQUIRE(false, "decision stream: unknown repair move kind '" << m.kind << '\'');
+  }
+  m.accepted = j.at("accepted").b;
+  m.misses_before = static_cast<std::uint64_t>(j.at("misses_before").i64());
+  m.misses_after = static_cast<std::uint64_t>(j.at("misses_after").i64());
+  m.tardiness_before = j.at("tardiness_before").i64();
+  m.tardiness_after = j.at("tardiness_after").i64();
+  return e;
+}
+
+FinalRecord parse_final(const Json& j) {
+  FinalRecord f;
+  for (const Json& t : j.at("tasks").arr) {
+    NOCEAS_REQUIRE(t.arr.size() == 3, "decision stream: final task row needs [pe,start,finish]");
+    f.tasks.push_back(FinalTask{t.arr[0].i32(), t.arr[1].i64(), t.arr[2].i64()});
+  }
+  for (const Json& c : j.at("comms").arr) {
+    NOCEAS_REQUIRE(c.arr.size() == 4,
+                   "decision stream: final comm row needs [src,dst,start,dur]");
+    f.comms.push_back(FinalComm{c.arr[0].i32(), c.arr[1].i32(), c.arr[2].i64(), c.arr[3].i64()});
+  }
+  f.computation_energy = j.at("comp_energy").num;
+  f.communication_energy = j.at("comm_energy").num;
+  f.miss_count = static_cast<std::uint64_t>(j.at("misses").i64());
+  f.total_tardiness = j.at("tardiness").i64();
+  return f;
+}
+
+}  // namespace
+
+// ---- DecisionLog -----------------------------------------------------------
+
+void DecisionLog::begin_run(const std::string& scheduler, std::size_t num_tasks,
+                            std::size_t num_edges, std::size_t num_pes) {
+  stream_ = DecisionStream{};
+  next_seq_ = 0;
+  stream_.scheduler = scheduler;
+  stream_.num_tasks = num_tasks;
+  stream_.num_edges = num_edges;
+  stream_.num_pes = num_pes;
+}
+
+DecisionEvent& DecisionLog::push(DecisionEvent::Kind kind) {
+  DecisionEvent e;
+  e.kind = kind;
+  e.seq = next_seq_++;
+  stream_.events.push_back(std::move(e));
+  return stream_.events.back();
+}
+
+void DecisionLog::begin_attempt(int index) { push(DecisionEvent::Kind::BeginAttempt).attempt = index; }
+
+void DecisionLog::record_placement(PlacementDecision decision) {
+  push(DecisionEvent::Kind::Place).place = std::move(decision);
+}
+
+void DecisionLog::record_repair_begin(std::uint64_t misses, Time tardiness) {
+  DecisionEvent& e = push(DecisionEvent::Kind::RepairBegin);
+  e.repair_misses = misses;
+  e.repair_tardiness = tardiness;
+}
+
+void DecisionLog::record_repair_move(RepairMoveRecord move) {
+  push(DecisionEvent::Kind::RepairMove).move = std::move(move);
+}
+
+void DecisionLog::record_repair_end(std::uint64_t misses, Time tardiness) {
+  DecisionEvent& e = push(DecisionEvent::Kind::RepairEnd);
+  e.repair_misses = misses;
+  e.repair_tardiness = tardiness;
+}
+
+void DecisionLog::record_final(FinalRecord final) {
+  stream_.has_final = true;
+  stream_.final = std::move(final);
+}
+
+void DecisionLog::write_jsonl(std::ostream& os) const { write_decision_jsonl(os, stream_); }
+
+void write_decision_jsonl(std::ostream& os, const DecisionStream& stream) {
+  os << "{\"schema\":\"noceas.decisions.v1\",\"scheduler\":";
+  write_string(os, stream.scheduler);
+  os << ",\"tasks\":" << stream.num_tasks << ",\"edges\":" << stream.num_edges
+     << ",\"pes\":" << stream.num_pes << "}\n";
+  for (const DecisionEvent& e : stream.events) {
+    switch (e.kind) {
+      case DecisionEvent::Kind::BeginAttempt:
+        os << "{\"type\":\"attempt\",\"seq\":" << e.seq << ",\"index\":" << e.attempt << "}\n";
+        break;
+      case DecisionEvent::Kind::Place: write_place(os, e); break;
+      case DecisionEvent::Kind::RepairBegin:
+      case DecisionEvent::Kind::RepairEnd:
+        os << "{\"type\":"
+           << (e.kind == DecisionEvent::Kind::RepairBegin ? "\"repair_begin\"" : "\"repair_end\"")
+           << ",\"seq\":" << e.seq << ",\"misses\":" << e.repair_misses
+           << ",\"tardiness\":" << e.repair_tardiness << "}\n";
+        break;
+      case DecisionEvent::Kind::RepairMove: write_move(os, e); break;
+    }
+  }
+  if (stream.has_final) write_final(os, stream.final);
+  NOCEAS_REQUIRE(os.good(), "failed writing decision stream");
+}
+
+DecisionStream read_decision_stream(std::istream& is) {
+  DecisionStream stream;
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const Json j = Parser(line).parse();
+    if (!saw_header) {
+      NOCEAS_REQUIRE(j.at("schema").str == "noceas.decisions.v1",
+                     "unknown decision stream schema '" << j.at("schema").str << '\'');
+      stream.scheduler = j.at("scheduler").str;
+      stream.num_tasks = static_cast<std::size_t>(j.at("tasks").i64());
+      stream.num_edges = static_cast<std::size_t>(j.at("edges").i64());
+      stream.num_pes = static_cast<std::size_t>(j.at("pes").i64());
+      saw_header = true;
+      continue;
+    }
+    const std::string& type = j.at("type").str;
+    if (type == "attempt") {
+      DecisionEvent e;
+      e.kind = DecisionEvent::Kind::BeginAttempt;
+      e.seq = static_cast<std::uint64_t>(j.at("seq").i64());
+      e.attempt = j.at("index").i32();
+      stream.events.push_back(std::move(e));
+    } else if (type == "place") {
+      stream.events.push_back(parse_place(j));
+    } else if (type == "repair_begin" || type == "repair_end") {
+      DecisionEvent e;
+      e.kind = type == "repair_begin" ? DecisionEvent::Kind::RepairBegin
+                                      : DecisionEvent::Kind::RepairEnd;
+      e.seq = static_cast<std::uint64_t>(j.at("seq").i64());
+      e.repair_misses = static_cast<std::uint64_t>(j.at("misses").i64());
+      e.repair_tardiness = j.at("tardiness").i64();
+      stream.events.push_back(std::move(e));
+    } else if (type == "repair_move") {
+      stream.events.push_back(parse_move(j));
+    } else if (type == "final") {
+      NOCEAS_REQUIRE(!stream.has_final, "decision stream: duplicate final record");
+      stream.has_final = true;
+      stream.final = parse_final(j);
+    } else {
+      NOCEAS_REQUIRE(false, "decision stream: unknown record type '" << type << '\'');
+    }
+  }
+  NOCEAS_REQUIRE(saw_header, "decision stream: missing header line");
+  return stream;
+}
+
+}  // namespace noceas::audit

@@ -1,0 +1,213 @@
+// Decision provenance log — the "why" behind every scheduling decision.
+//
+// Every scheduler in this library builds its result through a sequence of
+// discrete decisions: which ready task to place next, on which PE, and which
+// link slots its receiving transactions reserve; search & repair adds LTS
+// swap / GTM migration moves with accept/reject verdicts.  The tracer of
+// src/obs/ records *that* these decisions happened (one instant each); the
+// DecisionLog here records *why* — the full candidate table the scheduler
+// chose from (F(i,k), E(i,k), budgeted-deadline feasibility, the
+// rule-specific score) and the exact reservations the commit made — in a
+// form precise enough that an independent auditor can re-execute the stream
+// against fresh schedule tables and reproduce the final schedule
+// bit-for-bit (src/audit/replay.hpp).
+//
+// Design mirrors the obs sinks (DESIGN.md §9/§10): recording is opt-in via
+// a nullable pointer in the scheduler options, a null sink costs one
+// predicted branch per decision, and recording only *reads* scheduler state
+// — schedules are bit-identical with or without a log attached.  Unlike the
+// OBS_* macros the log does not compile out under -DNOCEAS_OBS=OFF: the
+// auditor is a correctness tool, not a profiling one, so it must stay
+// available in every build.
+//
+// Serialization is JSONL ("noceas.decisions.v1"): one JSON object per line,
+// a header line first, then events in decision order, a "final" record
+// last.  The format round-trips through read_decision_stream(), which is
+// what the explain/audit CLI verbs consume.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/util/ids.hpp"
+#include "src/util/types.hpp"
+
+namespace noceas::audit {
+
+/// One row of the candidate table of a placement decision: the scheduler's
+/// view of placing `task` on `pe` at the moment the decision was taken.
+struct CandidateRow {
+  std::int32_t task = -1;
+  std::int32_t pe = -1;
+  Time finish = 0;       ///< F(i,k) from the probe
+  double energy = 0.0;   ///< E(i,k) incl. incoming comms; NaN = not evaluated
+  bool feasible = true;  ///< F(i,k) <= BD(i) (true when no deadline applies)
+  double score = 0.0;    ///< rule-specific: urgency, regret, DL(i,k), ...
+};
+
+/// One committed receiving transaction of a placement, with the route its
+/// link reservations were made on.
+struct CommRecord {
+  std::int32_t edge = -1;
+  std::int32_t src_task = -1;  ///< sender task (the edge's source vertex)
+  std::int32_t src_pe = -1;
+  std::int32_t dst_pe = -1;
+  Time src_finish = 0;  ///< sender finish = earliest possible `start`
+  Time start = 0;
+  Duration duration = 0;            ///< 0 = local/control, no link usage
+  std::vector<std::int32_t> route;  ///< LinkId sequence; empty when local
+
+  /// Link-wait this transaction suffered (start − sender finish): the gap
+  /// `explain` attributes to earlier reservations on the shared links.
+  [[nodiscard]] Time wait() const { return start - src_finish; }
+};
+
+/// One task placement: the chosen (task, PE, start) plus everything the
+/// scheduler looked at to choose it.
+struct PlacementDecision {
+  std::int32_t task = -1;
+  std::int32_t pe = -1;
+  Time start = 0;
+  Time finish = 0;
+  /// Budget the rule checked against: BD(i) for EAS, the effective deadline
+  /// for EDF/map; kNoDeadline when the rule is deadline-blind.
+  Time budget = kNoDeadline;
+  /// Applied rule: "urgent" | "regret" (EAS Step 2.3/2.4), "edf" (earliest
+  /// effective deadline, finish-time tie-break), "dls" (max dynamic level),
+  /// "greedy" (min energy), "mapped" (phase-1 assignment fixed).
+  std::string rule;
+  std::vector<std::int32_t> ready;       ///< the ready set (RTL) at decision time
+  std::vector<CandidateRow> candidates;  ///< full table the rule chose from
+  std::vector<CommRecord> comms;         ///< committed link reservations
+};
+
+/// One LTS/GTM move tried by search & repair.  Accepted moves carry enough
+/// positional detail to be re-applied deterministically by the auditor.
+struct RepairMoveRecord {
+  std::string kind;  ///< "lts" | "gtm"
+  std::int32_t task = -1;
+  // LTS: swap positions pos_a/pos_b of the order of `pe` (pos_a < pos_b).
+  std::int32_t pe = -1;
+  std::int32_t pos_a = -1;
+  std::int32_t pos_b = -1;
+  std::int32_t swap_with = -1;
+  // GTM: move task from `from_pe` to `to_pe`, inserted at `insert_index`.
+  std::int32_t from_pe = -1;
+  std::int32_t to_pe = -1;
+  std::int32_t insert_index = -1;
+  double delta_energy = 0.0;  ///< migration energy delta (0 for LTS)
+  bool accepted = false;
+  // Objective the verdict was judged on: incumbent before vs candidate.
+  std::uint64_t misses_before = 0;
+  std::uint64_t misses_after = 0;
+  Time tardiness_before = 0;
+  Time tardiness_after = 0;
+};
+
+/// Placement of one task in the final schedule (indexed by task id).
+struct FinalTask {
+  std::int32_t pe = -1;
+  Time start = 0;
+  Time finish = 0;
+};
+
+/// Placement of one transaction in the final schedule (indexed by edge id).
+struct FinalComm {
+  std::int32_t src_pe = -1;
+  std::int32_t dst_pe = -1;
+  Time start = 0;
+  Duration duration = 0;
+};
+
+/// The schedule the run actually returned, with its claimed quality — the
+/// reference the auditor's replay is compared against.
+struct FinalRecord {
+  std::vector<FinalTask> tasks;
+  std::vector<FinalComm> comms;
+  double computation_energy = 0.0;
+  double communication_energy = 0.0;
+  std::uint64_t miss_count = 0;
+  Time total_tardiness = 0;
+};
+
+/// One event of the decision stream, in recording order.
+struct DecisionEvent {
+  enum class Kind : std::uint8_t {
+    BeginAttempt,  ///< fresh schedule tables (EAS budget-tightening retry)
+    Place,         ///< one task placement
+    RepairBegin,   ///< search & repair engaged (misses_before/tardiness_before)
+    RepairMove,    ///< one tried LTS/GTM move
+    RepairEnd,     ///< repair converged (misses_after/tardiness_after)
+  };
+
+  Kind kind = Kind::Place;
+  std::uint64_t seq = 0;  ///< monotonic over the whole stream
+
+  // BeginAttempt
+  std::int32_t attempt = -1;
+  // Place
+  PlacementDecision place;
+  // RepairBegin / RepairEnd
+  std::uint64_t repair_misses = 0;
+  Time repair_tardiness = 0;
+  // RepairMove
+  RepairMoveRecord move;
+};
+
+/// A parsed/recorded decision stream: header + events + final record.
+struct DecisionStream {
+  std::string scheduler;  ///< "eas" | "eas-base" | "edf" | "dls" | "greedy" | "map"
+  std::size_t num_tasks = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_pes = 0;
+  std::vector<DecisionEvent> events;
+  bool has_final = false;
+  FinalRecord final;
+};
+
+/// Recorder handed to the schedulers (EasOptions::decisions,
+/// BaselineObs::decisions, RepairOptions::decisions).  All record_* calls
+/// append to the in-memory stream; write_jsonl() serializes it.
+class DecisionLog {
+ public:
+  DecisionLog() = default;
+  DecisionLog(const DecisionLog&) = delete;
+  DecisionLog& operator=(const DecisionLog&) = delete;
+
+  /// Starts a new stream (clears any previous content).
+  void begin_run(const std::string& scheduler, std::size_t num_tasks, std::size_t num_edges,
+                 std::size_t num_pes);
+
+  /// Marks the start of a scheduling attempt over fresh tables.  Streams
+  /// without any BeginAttempt are treated as a single attempt.
+  void begin_attempt(int index);
+
+  void record_placement(PlacementDecision decision);
+  void record_repair_begin(std::uint64_t misses, Time tardiness);
+  void record_repair_move(RepairMoveRecord move);
+  void record_repair_end(std::uint64_t misses, Time tardiness);
+  void record_final(FinalRecord final);
+
+  [[nodiscard]] const DecisionStream& stream() const { return stream_; }
+  [[nodiscard]] std::size_t size() const { return stream_.events.size(); }
+
+  /// Writes the "noceas.decisions.v1" JSONL document.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  DecisionEvent& push(DecisionEvent::Kind kind);
+
+  DecisionStream stream_;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Serializes an arbitrary stream (not just a freshly recorded one).
+void write_decision_jsonl(std::ostream& os, const DecisionStream& stream);
+
+/// Parses a "noceas.decisions.v1" JSONL document; throws noceas::Error on
+/// malformed input or an unknown schema.
+[[nodiscard]] DecisionStream read_decision_stream(std::istream& is);
+
+}  // namespace noceas::audit

@@ -1,0 +1,124 @@
+#include "src/audit/explain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "src/util/error.hpp"
+#include "src/util/table.hpp"
+#include "src/util/types.hpp"
+
+namespace noceas::audit {
+
+namespace {
+
+std::string fmt_time(Time t) { return t == kNoDeadline ? "-" : std::to_string(t); }
+
+std::string fmt_score(double v) {
+  if (std::isnan(v)) return "-";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  return format_double(v, 3);
+}
+
+/// The decisions of the attempt containing event index `at` (the Place
+/// events recorded before `at` in the same attempt — the only ones that can
+/// have reserved links this decision waited for).
+std::vector<const PlacementDecision*> earlier_in_attempt(const DecisionStream& stream,
+                                                         std::size_t at) {
+  std::vector<const PlacementDecision*> out;
+  for (std::size_t i = 0; i < at; ++i) {
+    const DecisionEvent& e = stream.events[i];
+    if (e.kind == DecisionEvent::Kind::BeginAttempt) {
+      out.clear();  // a new attempt starts with fresh tables
+    } else if (e.kind == DecisionEvent::Kind::Place) {
+      out.push_back(&e.place);
+    }
+  }
+  return out;
+}
+
+bool routes_share_link(const std::vector<std::int32_t>& a, const std::vector<std::int32_t>& b,
+                       std::int32_t* shared) {
+  for (std::int32_t la : a) {
+    if (std::find(b.begin(), b.end(), la) != b.end()) {
+      *shared = la;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void explain_task(std::ostream& os, const DecisionStream& stream, std::int32_t task) {
+  // Show the placement of the last attempt — the one feeding the final
+  // schedule (earlier budget-tightening attempts are superseded).
+  const PlacementDecision* decision = nullptr;
+  std::size_t decision_index = 0;
+  for (std::size_t i = 0; i < stream.events.size(); ++i) {
+    const DecisionEvent& e = stream.events[i];
+    if (e.kind == DecisionEvent::Kind::Place && e.place.task == task) {
+      decision = &e.place;
+      decision_index = i;
+    }
+  }
+  NOCEAS_REQUIRE(decision != nullptr,
+                 "decision stream (" << stream.scheduler << ", " << stream.num_tasks
+                 << " tasks) contains no placement of task " << task);
+
+  os << "task " << task << " -> PE " << decision->pe << " [" << decision->start << ", "
+     << decision->finish << ")  rule=" << decision->rule
+     << "  budget=" << fmt_time(decision->budget) << "  (scheduler " << stream.scheduler
+     << ")\n";
+  os << "ready set at decision time:";
+  for (std::int32_t t : decision->ready) os << ' ' << t;
+  os << "\n\n";
+
+  AsciiTable table({"task", "pe", "F(i,k)", "E(i,k)", "feasible", "score"});
+  for (const CandidateRow& row : decision->candidates) {
+    const bool chosen = row.task == decision->task && row.pe == decision->pe;
+    table.add_row({(chosen ? "* " : "  ") + std::to_string(row.task), std::to_string(row.pe),
+                   std::to_string(row.finish), fmt_score(row.energy),
+                   row.feasible ? "yes" : "no", fmt_score(row.score)});
+  }
+  table.print(os);
+
+  if (decision->comms.empty()) {
+    os << "\nno receiving transactions (source task)\n";
+    return;
+  }
+  os << "\nreceiving transactions:\n";
+  const auto earlier = earlier_in_attempt(stream, decision_index);
+  for (const CommRecord& c : decision->comms) {
+    os << "  edge " << c.edge << ": task " << c.src_task << " (PE " << c.src_pe << ") -> PE "
+       << c.dst_pe;
+    if (c.route.empty()) {
+      os << "  local/control, no link reservation\n";
+      continue;
+    }
+    os << "  [" << c.start << ", +" << c.duration << ") over links";
+    for (std::int32_t l : c.route) os << ' ' << l;
+    os << "  wait=" << c.wait() << '\n';
+    if (c.wait() <= 0) continue;
+    // Which earlier decisions reserved the shared links during the window
+    // [sender finish, transaction start) this transaction sat out?
+    bool any = false;
+    for (const PlacementDecision* d : earlier) {
+      for (const CommRecord& b : d->comms) {
+        if (b.duration <= 0 || b.route.empty()) continue;
+        std::int32_t shared = -1;
+        if (!routes_share_link(c.route, b.route, &shared)) continue;
+        if (b.start + b.duration <= c.src_finish || b.start >= c.start) continue;
+        os << "    blocked by task " << d->task << "'s edge " << b.edge << " holding link "
+           << shared << " during [" << b.start << ", " << b.start + b.duration << ")\n";
+        any = true;
+      }
+    }
+    if (!any) {
+      os << "    (no overlapping reservation recorded — wait stems from the PE gap fit)\n";
+    }
+  }
+}
+
+}  // namespace noceas::audit

@@ -1,0 +1,21 @@
+// Human-readable rendering of one decision from a provenance stream:
+// why task T landed on its PE (the candidate table and the applied rule),
+// and which earlier decisions reserved the links its receiving transactions
+// had to wait for.  Consumes the parsed stream only — no problem instance
+// needed — so `noceas_cli explain` works from the JSONL file alone.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "src/audit/decision_log.hpp"
+
+namespace noceas::audit {
+
+/// Renders the placement decision of `task` to `os`.  When the stream holds
+/// several attempts, the decision of the last attempt is shown (the one
+/// closest to the final schedule).  Throws noceas::Error when the stream
+/// contains no placement of `task`.
+void explain_task(std::ostream& os, const DecisionStream& stream, std::int32_t task);
+
+}  // namespace noceas::audit

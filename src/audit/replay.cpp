@@ -1,0 +1,396 @@
+#include "src/audit/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/core/list_common.hpp"
+#include "src/core/resource_tables.hpp"
+#include "src/core/timing.hpp"
+#include "src/core/validator.hpp"
+#include "src/util/error.hpp"
+
+namespace noceas::audit {
+
+namespace {
+
+/// First violation aborts the replay; the message becomes the report issue.
+class Violation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+#define REPLAY_CHECK(cond, msg)                  \
+  do {                                           \
+    if (!(cond)) {                               \
+      std::ostringstream os_;                    \
+      os_ << msg;                                \
+      throw ::noceas::audit::Violation(os_.str()); \
+    }                                            \
+  } while (false)
+
+/// Splits the event stream into scheduling attempts.  Streams without any
+/// BeginAttempt marker (the baselines) are one attempt.
+std::vector<std::vector<const DecisionEvent*>> partition_attempts(const DecisionStream& stream) {
+  std::vector<std::vector<const DecisionEvent*>> attempts;
+  for (const DecisionEvent& e : stream.events) {
+    if (e.kind == DecisionEvent::Kind::BeginAttempt) {
+      attempts.emplace_back();
+      continue;
+    }
+    if (attempts.empty()) attempts.emplace_back();
+    attempts.back().push_back(&e);
+  }
+  if (attempts.empty()) attempts.emplace_back();
+  return attempts;
+}
+
+void verify_placement(const TaskGraph& g, const Platform& p, const PlacementDecision& d,
+                      const Schedule& s, const std::vector<TaskId>& ready_items) {
+  const TaskId task{d.task};
+  // The recorded ready set must be exactly the replayed one (both sorted by
+  // id), and the chosen task a member of it.
+  REPLAY_CHECK(d.ready.size() == ready_items.size(),
+               "place seq: ready-set size mismatch for task " << d.task << " (recorded "
+               << d.ready.size() << ", replayed " << ready_items.size() << ')');
+  for (std::size_t i = 0; i < d.ready.size(); ++i) {
+    REPLAY_CHECK(d.ready[i] == ready_items[i].value,
+                 "place: ready-set mismatch at slot " << i << " for task " << d.task);
+  }
+  const TaskPlacement& tp = s.at(task);
+  REPLAY_CHECK(tp.start == d.start && tp.finish == d.finish,
+               "place: task " << d.task << " on PE " << d.pe << " replayed to ["
+               << tp.start << ", " << tp.finish << "), recorded [" << d.start << ", "
+               << d.finish << ')');
+
+  // Every receiving transaction: recorded timing must equal the re-executed
+  // Fig. 3 outcome, and its reservations must sit on the platform route.
+  REPLAY_CHECK(d.comms.size() == g.in_degree(task),
+               "place: task " << d.task << " records " << d.comms.size()
+               << " transactions, graph has " << g.in_degree(task));
+  for (const CommRecord& c : d.comms) {
+    REPLAY_CHECK(c.edge >= 0 && static_cast<std::size_t>(c.edge) < g.num_edges(),
+                 "place: transaction edge " << c.edge << " out of range");
+    const EdgeId e{c.edge};
+    REPLAY_CHECK(g.edge(e).dst == task,
+                 "place: edge " << c.edge << " is not a receiving transaction of task "
+                 << d.task);
+    REPLAY_CHECK(g.edge(e).src.value == c.src_task &&
+                 s.at(g.edge(e).src).finish == c.src_finish,
+                 "place: edge " << c.edge << " records sender " << c.src_task
+                 << " finishing at " << c.src_finish << ", replay disagrees");
+    const CommPlacement& cp = s.at(e);
+    REPLAY_CHECK(cp.src_pe.value == c.src_pe && cp.dst_pe.value == c.dst_pe &&
+                 cp.start == c.start && cp.duration == c.duration,
+                 "place: edge " << c.edge << " replayed to " << cp.src_pe.value << "->"
+                 << cp.dst_pe.value << " @[" << cp.start << ", +" << cp.duration
+                 << "), recorded " << c.src_pe << "->" << c.dst_pe << " @[" << c.start
+                 << ", +" << c.duration << ')');
+    if (cp.uses_network()) {
+      const std::vector<LinkId>& route = p.route(cp.src_pe, cp.dst_pe);
+      REPLAY_CHECK(c.route.size() == route.size(),
+                   "place: edge " << c.edge << " recorded a " << c.route.size()
+                   << "-link route, the routing function gives " << route.size());
+      for (std::size_t i = 0; i < route.size(); ++i) {
+        REPLAY_CHECK(c.route[i] == route[i].value,
+                     "place: edge " << c.edge << " route hop " << i << " is link "
+                     << c.route[i] << ", the routing function gives " << route[i].value);
+      }
+    } else {
+      REPLAY_CHECK(c.route.empty(), "place: local/control edge " << c.edge
+                   << " must not record link reservations");
+    }
+  }
+
+  // The candidate table must contain the chosen row with the same F(i,k).
+  bool chosen_row = false;
+  for (const CandidateRow& row : d.candidates) {
+    if (row.task == d.task && row.pe == d.pe) {
+      chosen_row = true;
+      REPLAY_CHECK(row.finish == d.finish,
+                   "place: chosen candidate row of task " << d.task << " claims F="
+                   << row.finish << ", committed finish is " << d.finish);
+    }
+  }
+  REPLAY_CHECK(chosen_row,
+               "place: candidate table of task " << d.task << " lacks the chosen (task, PE) row");
+}
+
+struct Incumbent {
+  OrderedPlan plan;
+  Schedule schedule;
+  MissReport misses;
+};
+
+/// Mirrors the incumbent bootstrap of search_and_repair(): work on the
+/// rebuilt form of the schedule, keep whichever of {initial, rebuilt} is
+/// better.
+Incumbent bootstrap_incumbent(const TaskGraph& g, const Platform& p, TimingRebuilder& rebuilder,
+                              const Schedule& initial, const MissReport& initial_mr) {
+  Incumbent inc;
+  inc.plan = plan_from_schedule(initial, p.num_pes());
+  if (auto rebuilt = rebuilder.rebuild(inc.plan)) {
+    inc.schedule = std::move(*rebuilt);
+  } else {
+    inc.schedule = initial;
+  }
+  inc.misses = deadline_misses(g, inc.schedule);
+  if (initial_mr.better_than(inc.misses)) {
+    inc.schedule = initial;
+    inc.misses = initial_mr;
+  }
+  return inc;
+}
+
+/// Re-applies one accepted move to a copy of the incumbent plan, using the
+/// recorded positions.
+OrderedPlan apply_move(const Incumbent& inc, const RepairMoveRecord& m) {
+  OrderedPlan candidate = inc.plan;
+  const TaskId task{m.task};
+  if (m.kind == "lts") {
+    REPLAY_CHECK(m.pe >= 0 && static_cast<std::size_t>(m.pe) < candidate.pe_order.size(),
+                 "repair lts: PE " << m.pe << " out of range");
+    auto& order = candidate.pe_order[static_cast<std::size_t>(m.pe)];
+    REPLAY_CHECK(m.pos_a >= 0 && m.pos_b >= 0 && m.pos_a < m.pos_b &&
+                 static_cast<std::size_t>(m.pos_b) < order.size(),
+                 "repair lts: positions (" << m.pos_a << ", " << m.pos_b
+                 << ") invalid for PE " << m.pe << " order of size " << order.size());
+    REPLAY_CHECK(order[static_cast<std::size_t>(m.pos_b)] == task &&
+                 order[static_cast<std::size_t>(m.pos_a)] == TaskId{m.swap_with},
+                 "repair lts: PE " << m.pe << " order does not hold (task " << m.task
+                 << ", swap_with " << m.swap_with << ") at (" << m.pos_b << ", " << m.pos_a
+                 << ')');
+    std::swap(order[static_cast<std::size_t>(m.pos_a)], order[static_cast<std::size_t>(m.pos_b)]);
+  } else if (m.kind == "gtm") {
+    REPLAY_CHECK(m.task >= 0 && static_cast<std::size_t>(m.task) < candidate.assignment.size(),
+                 "repair gtm: task " << m.task << " out of range");
+    REPLAY_CHECK(m.from_pe >= 0 && m.to_pe >= 0 && m.from_pe != m.to_pe &&
+                 static_cast<std::size_t>(m.from_pe) < candidate.pe_order.size() &&
+                 static_cast<std::size_t>(m.to_pe) < candidate.pe_order.size(),
+                 "repair gtm: PE pair (" << m.from_pe << ", " << m.to_pe << ") invalid");
+    REPLAY_CHECK(candidate.assignment[task.index()] == PeId{m.from_pe},
+                 "repair gtm: task " << m.task << " is not on PE " << m.from_pe);
+    auto& src_order = candidate.pe_order[static_cast<std::size_t>(m.from_pe)];
+    const auto it = std::find(src_order.begin(), src_order.end(), task);
+    REPLAY_CHECK(it != src_order.end(),
+                 "repair gtm: task " << m.task << " missing from PE " << m.from_pe << " order");
+    src_order.erase(it);
+    candidate.assignment[task.index()] = PeId{m.to_pe};
+    auto& dst_order = candidate.pe_order[static_cast<std::size_t>(m.to_pe)];
+    REPLAY_CHECK(m.insert_index >= 0 &&
+                 static_cast<std::size_t>(m.insert_index) <= dst_order.size(),
+                 "repair gtm: insert index " << m.insert_index << " invalid for PE "
+                 << m.to_pe << " order of size " << dst_order.size());
+    dst_order.insert(dst_order.begin() + m.insert_index, task);
+  } else {
+    REPLAY_CHECK(false, "repair: unknown move kind '" << m.kind << '\'');
+  }
+  return candidate;
+}
+
+/// Replays one scheduling attempt: placements first, then (optionally) the
+/// recorded repair trajectory.  Returns the attempt's final schedule.
+Schedule replay_attempt(const TaskGraph& g, const Platform& p,
+                        const std::vector<const DecisionEvent*>& events, ReplayReport& report) {
+  const std::size_t n = g.num_tasks();
+  const std::size_t P = p.num_pes();
+  Schedule s(n, g.num_edges());
+  ResourceTables tables(p);
+
+  std::vector<std::size_t> unplaced_preds(n);
+  ReadyList ready;
+  for (TaskId t : g.all_tasks()) {
+    unplaced_preds[t.index()] = g.in_degree(t);
+    if (unplaced_preds[t.index()] == 0) ready.seed(t);
+  }
+
+  std::size_t i = 0;
+  std::size_t placed = 0;
+  for (; i < events.size() && events[i]->kind == DecisionEvent::Kind::Place; ++i) {
+    const PlacementDecision& d = events[i]->place;
+    REPLAY_CHECK(d.task >= 0 && static_cast<std::size_t>(d.task) < n,
+                 "place: task " << d.task << " out of range");
+    REPLAY_CHECK(d.pe >= 0 && static_cast<std::size_t>(d.pe) < P,
+                 "place: PE " << d.pe << " out of range");
+    const TaskId task{d.task};
+    REPLAY_CHECK(unplaced_preds[task.index()] == 0 && !s.at(task).placed(),
+                 "place: task " << d.task << " was not ready (dependency violation)");
+    // Snapshot before maintenance — commit_placement needs the predecessors.
+    const std::vector<TaskId> ready_items = ready.items();
+    commit_placement(g, p, task, PeId{d.pe}, s, tables);
+    verify_placement(g, p, d, s, ready_items);
+    ++placed;
+    ++report.placements;
+    ready.erase(task);
+    for (EdgeId e : g.out_edges(task)) {
+      const TaskId succ = g.edge(e).dst;
+      if (--unplaced_preds[succ.index()] == 0) ready.insert(succ);
+    }
+  }
+  REPLAY_CHECK(placed == n,
+               "attempt places " << placed << " of " << n << " tasks before "
+               << (i < events.size() ? "its repair records" : "ending"));
+
+  if (i == events.size()) return s;  // no repair recorded for this attempt
+
+  // ---- Recorded repair trajectory ------------------------------------
+  REPLAY_CHECK(events[i]->kind == DecisionEvent::Kind::RepairBegin,
+               "attempt: unexpected event after the placements (seq " << events[i]->seq << ')');
+  const DecisionEvent& begin = *events[i];
+  ++i;
+  const MissReport initial_mr = deadline_misses(g, s);
+  REPLAY_CHECK(initial_mr.miss_count == begin.repair_misses &&
+               initial_mr.total_tardiness == begin.repair_tardiness,
+               "repair begin: replayed objective (" << initial_mr.miss_count << " misses, "
+               << initial_mr.total_tardiness << " tardiness) != recorded ("
+               << begin.repair_misses << ", " << begin.repair_tardiness << ')');
+  REPLAY_CHECK(!initial_mr.all_met(),
+               "repair begin recorded although every deadline was met");
+
+  TimingRebuilder rebuilder(g, p);
+  Incumbent inc = bootstrap_incumbent(g, p, rebuilder, s, initial_mr);
+
+  bool ended = false;
+  for (; i < events.size(); ++i) {
+    const DecisionEvent& e = *events[i];
+    if (e.kind == DecisionEvent::Kind::RepairEnd) {
+      REPLAY_CHECK(inc.misses.miss_count == e.repair_misses &&
+                   inc.misses.total_tardiness == e.repair_tardiness,
+                   "repair end: replayed objective (" << inc.misses.miss_count << ", "
+                   << inc.misses.total_tardiness << ") != recorded (" << e.repair_misses
+                   << ", " << e.repair_tardiness << ')');
+      ended = true;
+      ++i;
+      break;
+    }
+    REPLAY_CHECK(e.kind == DecisionEvent::Kind::RepairMove,
+                 "repair: unexpected event kind inside the move stream (seq " << e.seq << ')');
+    const RepairMoveRecord& m = e.move;
+    REPLAY_CHECK(inc.misses.miss_count == m.misses_before &&
+                 inc.misses.total_tardiness == m.tardiness_before,
+                 "repair move (seq " << e.seq << "): incumbent objective ("
+                 << inc.misses.miss_count << ", " << inc.misses.total_tardiness
+                 << ") != recorded before-state (" << m.misses_before << ", "
+                 << m.tardiness_before << ')');
+    if (!m.accepted) continue;  // rejected moves leave no state behind
+
+    const OrderedPlan candidate = apply_move(inc, m);
+    auto rebuilt = rebuilder.rebuild(candidate);
+    REPLAY_CHECK(rebuilt.has_value(),
+                 "repair move (seq " << e.seq << "): accepted move does not rebuild");
+    const MissReport mr = deadline_misses(g, *rebuilt);
+    REPLAY_CHECK(mr.better_than(inc.misses),
+                 "repair move (seq " << e.seq << "): accepted move does not improve ("
+                 << mr.miss_count << ", " << mr.total_tardiness << ") over ("
+                 << inc.misses.miss_count << ", " << inc.misses.total_tardiness << ')');
+    REPLAY_CHECK(mr.miss_count == m.misses_after && mr.total_tardiness == m.tardiness_after,
+                 "repair move (seq " << e.seq << "): replayed objective (" << mr.miss_count
+                 << ", " << mr.total_tardiness << ") != recorded after-state ("
+                 << m.misses_after << ", " << m.tardiness_after << ')');
+    inc.plan = candidate;
+    inc.schedule = std::move(*rebuilt);
+    inc.misses = mr;
+    for (std::size_t t = 0; t < inc.plan.priority.size(); ++t) {
+      inc.plan.priority[t] = inc.schedule.tasks[t].start;
+    }
+    ++report.moves;
+  }
+  REPLAY_CHECK(ended, "repair: move stream is not closed by a repair_end record");
+  REPLAY_CHECK(i == events.size(),
+               "attempt: trailing events after the repair_end record");
+  return inc.schedule;
+}
+
+bool close(double a, double b) {
+  return std::abs(a - b) <= 1e-6 * std::max(1.0, std::abs(a) + std::abs(b));
+}
+
+}  // namespace
+
+ReplayReport replay_decisions(const TaskGraph& g, const Platform& p,
+                              const DecisionStream& stream) {
+  ReplayReport report;
+  try {
+    REPLAY_CHECK(stream.num_tasks == g.num_tasks() && stream.num_edges == g.num_edges() &&
+                 stream.num_pes == p.num_pes(),
+                 "header: stream is for " << stream.num_tasks << " tasks / "
+                 << stream.num_edges << " edges / " << stream.num_pes
+                 << " PEs, the problem instance has " << g.num_tasks() << " / "
+                 << g.num_edges() << " / " << p.num_pes());
+
+    // Replay every attempt and keep the best under the scheduler's own
+    // tie-break: lexicographic (misses, tardiness), then total energy.
+    Schedule best;
+    MissReport best_mr;
+    EnergyBreakdown best_energy;
+    bool have_best = false;
+    for (const auto& events : partition_attempts(stream)) {
+      Schedule s = replay_attempt(g, p, events, report);
+      ++report.attempts;
+      const MissReport mr = deadline_misses(g, s);
+      const EnergyBreakdown eb = compute_energy(g, p, s);
+      const bool better = !have_best || mr.better_than(best_mr) ||
+                          (!best_mr.better_than(mr) && eb.total() < best_energy.total());
+      if (better) {
+        best = std::move(s);
+        best_mr = mr;
+        best_energy = eb;
+        have_best = true;
+      }
+    }
+
+    // ---- Final record: bit-identical schedule + accounting ------------
+    REPLAY_CHECK(stream.has_final, "stream has no final record to verify against");
+    const FinalRecord& f = stream.final;
+    REPLAY_CHECK(f.tasks.size() == g.num_tasks() && f.comms.size() == g.num_edges(),
+                 "final: placement counts do not match the problem instance");
+    for (std::size_t t = 0; t < f.tasks.size(); ++t) {
+      const TaskPlacement& tp = best.tasks[t];
+      REPLAY_CHECK(tp.pe.value == f.tasks[t].pe && tp.start == f.tasks[t].start &&
+                   tp.finish == f.tasks[t].finish,
+                   "final: task " << t << " replayed to PE " << tp.pe.value << " @["
+                   << tp.start << ", " << tp.finish << "), recorded PE " << f.tasks[t].pe
+                   << " @[" << f.tasks[t].start << ", " << f.tasks[t].finish << ')');
+    }
+    for (std::size_t e = 0; e < f.comms.size(); ++e) {
+      const CommPlacement& cp = best.comms[e];
+      REPLAY_CHECK(cp.src_pe.value == f.comms[e].src_pe && cp.dst_pe.value == f.comms[e].dst_pe &&
+                   cp.start == f.comms[e].start && cp.duration == f.comms[e].duration,
+                   "final: transaction " << e << " diverges from the recorded placement");
+    }
+    const EnergyBreakdown eb = compute_energy(g, p, best);
+    REPLAY_CHECK(close(eb.computation, f.computation_energy) &&
+                 close(eb.communication, f.communication_energy),
+                 "final: Eq. 2/3 energy re-computation (" << eb.computation << " + "
+                 << eb.communication << ") != recorded (" << f.computation_energy << " + "
+                 << f.communication_energy << ')');
+    REPLAY_CHECK(best_mr.miss_count == f.miss_count &&
+                 best_mr.total_tardiness == f.total_tardiness,
+                 "final: deadline accounting (" << best_mr.miss_count << " misses, "
+                 << best_mr.total_tardiness << " tardiness) != recorded (" << f.miss_count
+                 << ", " << f.total_tardiness << ')');
+
+    // ---- Standalone invariants (independent validator) ----------------
+    // Deadline misses are legal scheduler output; they were checked against
+    // the recorded accounting above.
+    const ValidationReport vr = validate_schedule(g, p, best, {/*check_deadlines=*/false});
+    REPLAY_CHECK(vr.ok(), "invariants: " << vr.to_string());
+
+    report.schedule = std::move(best);
+    report.ok = true;
+  } catch (const Violation& v) {
+    report.ok = false;
+    report.issues.push_back(v.what());
+  } catch (const Error& e) {
+    // Library preconditions tripped by a corrupted stream (double commit,
+    // unplaced predecessor, out-of-range id, ...) are audit failures too.
+    report.ok = false;
+    report.issues.push_back(e.what());
+  }
+  return report;
+}
+
+#undef REPLAY_CHECK
+
+}  // namespace noceas::audit

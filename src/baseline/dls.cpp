@@ -19,6 +19,8 @@ BaselineResult schedule_dls(const TaskGraph& g, const Platform& p, const Baselin
 
   const auto mean = mean_durations(g);
   const auto sl = static_levels(g, mean);
+  audit::DecisionLog* const dlog = obs.decisions;
+  if (dlog != nullptr) dlog->begin_run("dls", g.num_tasks(), g.num_edges(), p.num_pes());
 
   Schedule s(g.num_tasks(), g.num_edges());
   ResourceTables tables(p);
@@ -64,6 +66,29 @@ BaselineResult schedule_dls(const TaskGraph& g, const Platform& p, const Baselin
     commit_placement(g, p, best_task, best_pe, s, tables);
     ++placed;
 
+    if (dlog != nullptr) {
+      // DLS is deadline-blind: every row is feasible, the score is DL(i,k).
+      // The chosen task is recorded before the ready list drops it below.
+      audit::PlacementDecision d = make_placement_record(g, p, best_task, best_pe, kNoDeadline,
+                                                         "dls", ready.items(), s);
+      d.candidates.reserve(ready.size() * p.num_pes());
+      for (TaskId t : ready) {
+        for (PeId k : p.all_pes()) {
+          const ProbeResult& pr = engine.result(t, k);
+          const double delta =
+              mean[t.index()] - static_cast<double>(g.task(t).exec_time[k.index()]);
+          audit::CandidateRow row;
+          row.task = t.value;
+          row.pe = k.value;
+          row.finish = pr.finish;
+          row.energy = engine.energy(t, k, s);  // pure + memoized: bit-neutral
+          row.score = sl[t.index()] - static_cast<double>(pr.start) + delta;
+          d.candidates.push_back(row);
+        }
+      }
+      dlog->record_placement(std::move(d));
+    }
+
     ready.erase(best_task);
     for (EdgeId e : g.out_edges(best_task)) {
       const TaskId succ = g.edge(e).dst;
@@ -77,6 +102,9 @@ BaselineResult schedule_dls(const TaskGraph& g, const Platform& p, const Baselin
   result.energy = compute_energy(g, p, result.schedule);
   result.probe = engine.stats();
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (dlog != nullptr) {
+    dlog->record_final(make_final_record(result.schedule, result.energy, result.misses));
+  }
   if (obs.metrics != nullptr) {
     export_probe_stats(result.probe, *obs.metrics);
     export_schedule_metrics(g, p, result.schedule, *obs.metrics);

@@ -21,6 +21,8 @@ BaselineResult schedule_edf(const TaskGraph& g, const Platform& p, const Baselin
   const auto eff_deadline = effective_deadlines(g, mean_durations(g));
 
   const std::size_t P = p.num_pes();
+  audit::DecisionLog* const dlog = obs.decisions;
+  if (dlog != nullptr) dlog->begin_run("edf", g.num_tasks(), g.num_edges(), P);
   Schedule s(g.num_tasks(), g.num_edges());
   ResourceTables tables(p);
   TentativeTables scratch(tables);  // reused probe overlay; tables stay const
@@ -45,6 +47,8 @@ BaselineResult schedule_edf(const TaskGraph& g, const Platform& p, const Baselin
   std::vector<DataIn> data_in;
   std::vector<Energy> energy_memo(P);
 
+  std::vector<TaskId> ready_snapshot;  // provenance only; empty when no log
+  std::vector<Time> finishes(P);
   std::size_t placed = 0;
   while (placed < g.num_tasks()) {
     NOCEAS_REQUIRE(!ready.empty(), "no ready task but unplaced tasks remain (cycle?)");
@@ -57,6 +61,7 @@ BaselineResult schedule_edf(const TaskGraph& g, const Platform& p, const Baselin
       return a < b;
     });
     const TaskId t = *it;
+    if (dlog != nullptr) ready_snapshot = items;
     ready.erase_at(static_cast<std::size_t>(it - items.begin()));
 
     data_in.clear();
@@ -84,6 +89,7 @@ BaselineResult schedule_edf(const TaskGraph& g, const Platform& p, const Baselin
     for (PeId k : p.all_pes()) {
       const ProbeResult pr = probe_placement(g, p, t, k, s, tables, scratch);
       ++stats.probes_issued;
+      if (dlog != nullptr) finishes[k.index()] = pr.finish;
       if (pr.finish < best_f) {
         best_f = pr.finish;
         best_pe = k;
@@ -98,6 +104,24 @@ BaselineResult schedule_edf(const TaskGraph& g, const Platform& p, const Baselin
     commit_placement(g, p, t, best_pe, s, tables);
     ++placed;
 
+    if (dlog != nullptr) {
+      const Time budget = eff_deadline[t.index()];
+      audit::PlacementDecision d =
+          make_placement_record(g, p, t, best_pe, budget, "edf", ready_snapshot, s);
+      d.candidates.reserve(P);
+      for (PeId k : p.all_pes()) {
+        audit::CandidateRow row;
+        row.task = t.value;
+        row.pe = k.value;
+        row.finish = finishes[k.index()];
+        row.energy = energy_of(k);  // pure + memoized: bit-neutral to fill
+        row.feasible = budget == kNoDeadline || row.finish <= budget;
+        row.score = static_cast<double>(row.finish);  // EDF minimizes F(i,k)
+        d.candidates.push_back(row);
+      }
+      dlog->record_placement(std::move(d));
+    }
+
     for (EdgeId e : g.out_edges(t)) {
       const TaskId succ = g.edge(e).dst;
       if (--unplaced_preds[succ.index()] == 0) ready.insert(succ);
@@ -110,6 +134,9 @@ BaselineResult schedule_edf(const TaskGraph& g, const Platform& p, const Baselin
   result.energy = compute_energy(g, p, result.schedule);
   result.probe = stats;
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (dlog != nullptr) {
+    dlog->record_final(make_final_record(result.schedule, result.energy, result.misses));
+  }
   if (obs.metrics != nullptr) {
     export_probe_stats(result.probe, *obs.metrics);
     export_schedule_metrics(g, p, result.schedule, *obs.metrics);

@@ -28,6 +28,10 @@ namespace noceas {
 struct BaselineObs {
   obs::Tracer* tracer = nullptr;
   obs::Registry* metrics = nullptr;
+  /// Optional decision provenance recorder (src/audit/): candidate table,
+  /// applied rule and link reservations per placement, replayable by
+  /// `noceas_cli audit`.  Null = one branch per placement, bit-neutral.
+  audit::DecisionLog* decisions = nullptr;
 };
 
 /// Result of a baseline scheduling run.

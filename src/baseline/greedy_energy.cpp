@@ -22,6 +22,11 @@ BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p,
   ResourceTables tables(p);
   TentativeTables scratch(tables);  // reused probe overlay; tables stay const
   ProbeStats stats;
+  audit::DecisionLog* const dlog = obs.decisions;
+  if (dlog != nullptr) dlog->begin_run("greedy", g.num_tasks(), g.num_edges(), p.num_pes());
+  std::vector<TaskId> ready_snapshot;  // provenance only; empty when no log
+  std::vector<Time> finishes(p.num_pes());
+  std::vector<Energy> energies(p.num_pes());
 
   std::vector<std::size_t> unplaced_preds(g.num_tasks());
   ReadyList ready;
@@ -36,6 +41,7 @@ BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p,
     // FIFO over ids: take the lowest ready id, place at min energy
     // (ties towards earlier finish).
     const TaskId t = ready.items().front();
+    if (dlog != nullptr) ready_snapshot = ready.items();
     ready.erase_at(0);
 
     PeId best_pe;
@@ -45,6 +51,10 @@ BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p,
       const Energy e = placement_energy(g, p, t, k, s);
       const ProbeResult pr = probe_placement(g, p, t, k, s, tables, scratch);
       ++stats.probes_issued;
+      if (dlog != nullptr) {
+        finishes[k.index()] = pr.finish;
+        energies[k.index()] = e;
+      }
       if (e < best_e || (e == best_e && pr.finish < best_f)) {
         best_e = e;
         best_f = pr.finish;
@@ -55,6 +65,22 @@ BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p,
                 obs::Arg("energy", best_e), obs::Arg("finish", best_f));
     commit_placement(g, p, t, best_pe, s, tables);
     ++placed;
+
+    if (dlog != nullptr) {
+      audit::PlacementDecision d =
+          make_placement_record(g, p, t, best_pe, kNoDeadline, "greedy", ready_snapshot, s);
+      d.candidates.reserve(p.num_pes());
+      for (PeId k : p.all_pes()) {
+        audit::CandidateRow row;
+        row.task = t.value;
+        row.pe = k.value;
+        row.finish = finishes[k.index()];
+        row.energy = energies[k.index()];
+        row.score = energies[k.index()];  // greedy minimizes E(i,k)
+        d.candidates.push_back(row);
+      }
+      dlog->record_placement(std::move(d));
+    }
 
     for (EdgeId e : g.out_edges(t)) {
       const TaskId succ = g.edge(e).dst;
@@ -68,6 +94,9 @@ BaselineResult schedule_greedy_energy(const TaskGraph& g, const Platform& p,
   result.energy = compute_energy(g, p, result.schedule);
   result.probe = stats;
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (dlog != nullptr) {
+    dlog->record_final(make_final_record(result.schedule, result.energy, result.misses));
+  }
   if (obs.metrics != nullptr) {
     export_probe_stats(result.probe, *obs.metrics);
     export_schedule_metrics(g, p, result.schedule, *obs.metrics);

@@ -158,6 +158,12 @@ MapScheduleResult schedule_map_then_list(const TaskGraph& g, const Platform& p,
   Schedule s(g.num_tasks(), g.num_edges());
   ResourceTables tables(p);
   const auto eff_deadline = effective_deadlines(g, mean);
+  // Provenance covers phase 2 only: the phase-1 assignment is an input of
+  // the decision stream (the single candidate row per placement), so replay
+  // re-executes the list scheduling, not the mapping search.
+  audit::DecisionLog* const dlog = options.obs.decisions;
+  if (dlog != nullptr) dlog->begin_run("map", g.num_tasks(), g.num_edges(), P);
+  std::vector<TaskId> ready_snapshot;  // provenance only; empty when no log
 
   std::vector<std::size_t> unplaced_preds(g.num_tasks());
   ReadyList ready;
@@ -175,11 +181,26 @@ MapScheduleResult schedule_map_then_list(const TaskGraph& g, const Platform& p,
       return a < b;
     });
     const TaskId t = *it;
+    if (dlog != nullptr) ready_snapshot = items;
     ready.erase_at(static_cast<std::size_t>(it - items.begin()));
     OBS_INSTANT(tr, "map.decision", obs::Arg("task", t.value),
                 obs::Arg("pe", mapping[t.index()].value));
     commit_placement(g, p, t, mapping[t.index()], s, tables);
     ++placed;
+    if (dlog != nullptr) {
+      const Time budget = eff_deadline[t.index()];
+      audit::PlacementDecision d =
+          make_placement_record(g, p, t, mapping[t.index()], budget, "mapped", ready_snapshot, s);
+      audit::CandidateRow row;  // the phase-1 mapping leaves one candidate
+      row.task = t.value;
+      row.pe = mapping[t.index()].value;
+      row.finish = s.at(t).finish;
+      row.energy = placement_energy(g, p, t, mapping[t.index()], s);
+      row.feasible = budget == kNoDeadline || row.finish <= budget;
+      row.score = static_cast<double>(budget == kNoDeadline ? -1 : budget);
+      d.candidates.push_back(row);
+      dlog->record_placement(std::move(d));
+    }
     for (EdgeId e : g.out_edges(t)) {
       const TaskId succ = g.edge(e).dst;
       if (--unplaced_preds[succ.index()] == 0) ready.insert(succ);
@@ -191,6 +212,10 @@ MapScheduleResult schedule_map_then_list(const TaskGraph& g, const Platform& p,
   out.result.energy = compute_energy(g, p, out.result.schedule);
   out.result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (dlog != nullptr) {
+    dlog->record_final(make_final_record(out.result.schedule, out.result.energy,
+                                         out.result.misses));
+  }
   if (options.obs.metrics != nullptr) {
     export_schedule_metrics(g, p, out.result.schedule, *options.obs.metrics);
     options.obs.metrics->gauge("map.mapping_energy", "energy").set(out.mapping_energy);

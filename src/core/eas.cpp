@@ -165,6 +165,32 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
     commit_placement(g, p, chosen->task, chosen_pe, s, tables);
     ++placed;
 
+    if (options.decisions != nullptr) {
+      // Full provenance: the committed timing/reservations plus the entire
+      // (ready task, PE) table the rule chose from.  engine.energy() is pure
+      // and memoized, so filling rows the scheduler itself never read is
+      // value-neutral — schedules stay bit-identical with a log attached.
+      audit::PlacementDecision d =
+          make_placement_record(g, p, chosen->task, chosen_pe, chosen_bd,
+                                urgent_mode ? "urgent" : "regret", ready.items(), s);
+      d.candidates.reserve(cands.size() * P);
+      for (const Candidate& c : cands) {
+        const Time budget = bd[c.task.index()];
+        const double score = c.urgency > -kInf ? c.urgency : c.regret;
+        for (std::size_t k = 0; k < P; ++k) {
+          audit::CandidateRow row;
+          row.task = c.task.value;
+          row.pe = static_cast<std::int32_t>(k);
+          row.finish = engine.result(c.task, PeId{k}).finish;
+          row.energy = engine.energy(c.task, PeId{k}, s);
+          row.feasible = budget == kNoDeadline || row.finish <= budget;
+          row.score = score;
+          d.candidates.push_back(row);
+        }
+      }
+      options.decisions->record_placement(std::move(d));
+    }
+
     // Maintain the ready list.
     ready.erase(chosen->task);
     for (EdgeId e : g.out_edges(chosen->task)) {
@@ -211,6 +237,10 @@ EasResult schedule_eas(const TaskGraph& g, const Platform& p, const EasOptions& 
            {obs::Arg("tasks", g.num_tasks()), obs::Arg("pes", p.num_pes())});
 
   EasResult result;
+  if (options.decisions != nullptr) {
+    options.decisions->begin_run(options.repair ? "eas" : "eas-base", g.num_tasks(),
+                                 g.num_edges(), p.num_pes());
+  }
 
   // ---- Step 1: budget slack allocation --------------------------------
   {
@@ -229,11 +259,13 @@ EasResult schedule_eas(const TaskGraph& g, const Platform& p, const EasOptions& 
   const int attempts = options.repair ? options.max_budget_retries + 1 : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     OBS_SPAN(options.tracer, "eas.attempt", {obs::Arg("attempt", attempt)});
+    if (options.decisions != nullptr) options.decisions->begin_attempt(attempt);
     Schedule s = level_based_schedule(g, p, bd, options, result.probe);
 
     if (options.repair) {
       RepairOptions repair_options = options.repair_options;
       repair_options.tracer = options.tracer;
+      repair_options.decisions = options.decisions;
       RepairResult rr = search_and_repair(g, p, s, repair_options);
       if (attempt == 0) result.repair = rr.stats;  // stats of the canonical flow
       s = std::move(rr.schedule);
@@ -263,6 +295,10 @@ EasResult schedule_eas(const TaskGraph& g, const Platform& p, const EasOptions& 
   result.schedule = std::move(best);
   result.misses = best_misses;
   result.energy = best_energy;
+  if (options.decisions != nullptr) {
+    options.decisions->record_final(
+        make_final_record(result.schedule, result.energy, result.misses));
+  }
   result.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   if (options.metrics != nullptr) {
     export_probe_stats(result.probe, *options.metrics);

@@ -55,6 +55,13 @@ struct EasOptions {
   /// never change any scheduling decision.
   obs::Tracer* tracer = nullptr;
   obs::Registry* metrics = nullptr;
+  /// Decision provenance recorder (see src/audit/ and docs/OBSERVABILITY.md).
+  /// A non-null log receives the full candidate table, applied rule and link
+  /// reservations of every placement, plus every repair move — enough for
+  /// `noceas_cli audit --replay` to re-execute and verify the run.  Null
+  /// (the default) costs one branch per placement and never changes any
+  /// scheduling decision.
+  audit::DecisionLog* decisions = nullptr;
 };
 
 /// Result of a full EAS run.

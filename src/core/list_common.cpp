@@ -46,6 +46,55 @@ void commit_placement(const TaskGraph& g, const Platform& p, TaskId task, PeId p
   for (const auto& [edge, cp] : comms.placements) schedule.comms[edge.index()] = cp;
 }
 
+audit::PlacementDecision make_placement_record(const TaskGraph& g, const Platform& p, TaskId task,
+                                               PeId pe, Time budget, const char* rule,
+                                               const std::vector<TaskId>& ready,
+                                               const Schedule& schedule) {
+  audit::PlacementDecision d;
+  d.task = task.value;
+  d.pe = pe.value;
+  d.start = schedule.at(task).start;
+  d.finish = schedule.at(task).finish;
+  d.budget = budget;
+  d.rule = rule;
+  d.ready.reserve(ready.size());
+  for (TaskId t : ready) d.ready.push_back(t.value);
+  for (EdgeId e : g.in_edges(task)) {
+    const CommPlacement& cp = schedule.at(e);
+    audit::CommRecord rec;
+    rec.edge = e.value;
+    rec.src_task = g.edge(e).src.value;
+    rec.src_finish = schedule.at(g.edge(e).src).finish;
+    rec.src_pe = cp.src_pe.value;
+    rec.dst_pe = cp.dst_pe.value;
+    rec.start = cp.start;
+    rec.duration = cp.duration;
+    if (cp.uses_network()) {
+      for (LinkId l : p.route(cp.src_pe, cp.dst_pe)) rec.route.push_back(l.value);
+    }
+    d.comms.push_back(std::move(rec));
+  }
+  return d;
+}
+
+audit::FinalRecord make_final_record(const Schedule& s, const EnergyBreakdown& e,
+                                     const MissReport& m) {
+  audit::FinalRecord f;
+  f.tasks.reserve(s.tasks.size());
+  for (const TaskPlacement& t : s.tasks) {
+    f.tasks.push_back(audit::FinalTask{t.pe.value, t.start, t.finish});
+  }
+  f.comms.reserve(s.comms.size());
+  for (const CommPlacement& c : s.comms) {
+    f.comms.push_back(audit::FinalComm{c.src_pe.value, c.dst_pe.value, c.start, c.duration});
+  }
+  f.computation_energy = e.computation;
+  f.communication_energy = e.communication;
+  f.miss_count = m.miss_count;
+  f.total_tardiness = m.total_tardiness;
+  return f;
+}
+
 Energy placement_energy(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
                         const Schedule& schedule) {
   return g.task(task).exec_energy.at(pe.index()) +

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "src/audit/decision_log.hpp"
 #include "src/core/comm_scheduler.hpp"
 #include "src/core/resource_tables.hpp"
 #include "src/core/schedule.hpp"
@@ -56,6 +57,24 @@ struct ProbeResult {
 /// Deterministic: produces exactly the timing probe_placement() reported.
 void commit_placement(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
                       Schedule& schedule, ResourceTables& tables);
+
+/// Builds the scheduler-independent part of a provenance record for a
+/// *just-committed* placement of `task` on `pe` (src/audit/): the chosen
+/// timing is read back from `schedule`, and every incoming transaction is
+/// recorded together with the route its link reservations were made on.
+/// The rule-specific candidate table is appended by the caller.  Pure —
+/// recording never changes a scheduling decision.
+[[nodiscard]] audit::PlacementDecision make_placement_record(const TaskGraph& g, const Platform& p,
+                                                             TaskId task, PeId pe, Time budget,
+                                                             const char* rule,
+                                                             const std::vector<TaskId>& ready,
+                                                             const Schedule& schedule);
+
+/// Snapshot of a finished run for the provenance log: the schedule the
+/// scheduler actually returned plus its claimed quality, the reference the
+/// audit replay is compared against.
+[[nodiscard]] audit::FinalRecord make_final_record(const Schedule& s, const EnergyBreakdown& e,
+                                                   const MissReport& m);
 
 /// Total energy cost of running `task` on `pe` given fixed predecessor
 /// placements: computation energy plus incoming communication energy.

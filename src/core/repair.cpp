@@ -89,6 +89,7 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
   NOCEAS_REQUIRE(initial.complete(), "search_and_repair needs a complete schedule");
 
   obs::Tracer* const tr = options.tracer;
+  audit::DecisionLog* const dlog = options.decisions;
   OBS_SPAN_NAMED(run_span, tr, "repair.run");
 
   RepairResult result{initial, RepairStats{}};
@@ -100,9 +101,10 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
     if (mr.all_met()) {
       stats.misses_after = 0;
       stats.tardiness_after = 0;
-      return result;  // nothing to repair
+      return result;  // nothing to repair (and nothing recorded)
     }
   }
+  if (dlog != nullptr) dlog->record_repair_begin(stats.misses_before, stats.tardiness_before);
 
   // Work on the rebuilt form of the initial schedule so that every candidate
   // is compared against an incumbent produced by the same (deterministic)
@@ -128,10 +130,17 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
 
   const ReachabilityMatrix reach(g);
 
-  auto try_plan = [&](const OrderedPlan& candidate) -> bool {
+  // `cand_mr` receives the candidate's (miss, tardiness) objective so the
+  // provenance log can record it even for rejected moves; a candidate whose
+  // rebuild fails reports the unchanged incumbent objective.
+  auto try_plan = [&](const OrderedPlan& candidate, MissReport& cand_mr) -> bool {
     auto rebuilt = rebuilder.rebuild(candidate);
-    if (!rebuilt) return false;
+    if (!rebuilt) {
+      cand_mr = inc.misses;
+      return false;
+    }
     const MissReport mr = deadline_misses(g, *rebuilt);
+    cand_mr = mr;
     if (!mr.better_than(inc.misses)) return false;
     inc.plan = candidate;
     inc.schedule = std::move(*rebuilt);
@@ -173,10 +182,27 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
           ++stats.lts_tried;
           OrderedPlan candidate = inc.plan;
           std::swap(candidate.pe_order[pe.index()][j], candidate.pe_order[pe.index()][pos1]);
-          const bool ok = try_plan(candidate);
+          const MissReport before = inc.misses;
+          MissReport cand_mr;
+          const bool ok = try_plan(candidate, cand_mr);
           OBS_INSTANT(tr, "repair.move", obs::Arg("kind", "lts"), obs::Arg("task", t1.value),
                       obs::Arg("swap_with", t2.value), obs::Arg("pe", pe.value),
                       obs::Arg("accepted", ok));
+          if (dlog != nullptr) {
+            audit::RepairMoveRecord rec;
+            rec.kind = "lts";
+            rec.task = t1.value;
+            rec.pe = pe.value;
+            rec.pos_a = static_cast<std::int32_t>(j);
+            rec.pos_b = static_cast<std::int32_t>(pos1);
+            rec.swap_with = t2.value;
+            rec.accepted = ok;
+            rec.misses_before = before.miss_count;
+            rec.misses_after = cand_mr.miss_count;
+            rec.tardiness_before = before.total_tardiness;
+            rec.tardiness_after = cand_mr.total_tardiness;
+            dlog->record_repair_move(std::move(rec));
+          }
           if (ok) {
             ++stats.lts_accepted;
             accepted = true;
@@ -221,11 +247,29 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
         auto it = std::find_if(dst_order.begin(), dst_order.end(), [&](TaskId other) {
           return inc.schedule.at(other).start >= t1_start;
         });
+        const auto insert_index = static_cast<std::int32_t>(it - dst_order.begin());
         dst_order.insert(it, t1);
-        const bool ok = try_plan(candidate);
+        const MissReport before = inc.misses;
+        MissReport cand_mr;
+        const bool ok = try_plan(candidate, cand_mr);
         OBS_INSTANT(tr, "repair.move", obs::Arg("kind", "gtm"), obs::Arg("task", t1.value),
                     obs::Arg("from", from.value), obs::Arg("to", to.value),
                     obs::Arg("delta_e", delta), obs::Arg("accepted", ok));
+        if (dlog != nullptr) {
+          audit::RepairMoveRecord rec;
+          rec.kind = "gtm";
+          rec.task = t1.value;
+          rec.from_pe = from.value;
+          rec.to_pe = to.value;
+          rec.insert_index = insert_index;
+          rec.delta_energy = delta;
+          rec.accepted = ok;
+          rec.misses_before = before.miss_count;
+          rec.misses_after = cand_mr.miss_count;
+          rec.tardiness_before = before.total_tardiness;
+          rec.tardiness_after = cand_mr.total_tardiness;
+          dlog->record_repair_move(std::move(rec));
+        }
         if (ok) {
           ++stats.gtm_accepted;
           gtm_accepted = true;
@@ -241,6 +285,7 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
 
   stats.misses_after = inc.misses.miss_count;
   stats.tardiness_after = inc.misses.total_tardiness;
+  if (dlog != nullptr) dlog->record_repair_end(stats.misses_after, stats.tardiness_after);
   run_span.arg(obs::Arg("misses_before", static_cast<std::int64_t>(stats.misses_before)));
   run_span.arg(obs::Arg("misses_after", static_cast<std::int64_t>(stats.misses_after)));
   run_span.arg(obs::Arg("rounds", stats.rounds));

@@ -17,6 +17,7 @@
 // procedure always converges.
 #pragma once
 
+#include "src/audit/decision_log.hpp"
 #include "src/core/schedule.hpp"
 #include "src/core/timing.hpp"
 #include "src/ctg/task_graph.hpp"
@@ -34,6 +35,10 @@ struct RepairOptions {
   /// "repair.move" instant per tried move (accept/reject in the args).
   /// Null = no overhead; never affects the repair result.
   obs::Tracer* tracer = nullptr;
+  /// Optional provenance recorder (src/audit/): one record per tried move
+  /// with the positions needed to re-apply it, bracketed by repair
+  /// begin/end records.  Null = one branch per move; never affects results.
+  audit::DecisionLog* decisions = nullptr;
 };
 
 /// What happened during repair.

@@ -1,0 +1,69 @@
+#include "src/core/schedule_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "src/util/error.hpp"
+
+namespace noceas {
+
+namespace {
+
+// kUnsetTime is INT64_MIN, which would be ugly and fragile in a text file;
+// unplaced entries round-trip through pe = -1 / start = 0 instead.
+Time start_repr(Time t) { return t == kUnsetTime ? 0 : t; }
+
+}  // namespace
+
+void write_schedule_text(std::ostream& os, const Schedule& s) {
+  os << "schedule " << s.tasks.size() << ' ' << s.comms.size() << '\n';
+  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+    const TaskPlacement& t = s.tasks[i];
+    os << "task " << i << ' ' << t.pe.value << ' ' << start_repr(t.start) << ' '
+       << start_repr(t.finish) << '\n';
+  }
+  for (std::size_t i = 0; i < s.comms.size(); ++i) {
+    const CommPlacement& c = s.comms[i];
+    os << "comm " << i << ' ' << c.src_pe.value << ' ' << c.dst_pe.value << ' '
+       << start_repr(c.start) << ' ' << c.duration << '\n';
+  }
+  NOCEAS_REQUIRE(os.good(), "failed writing schedule text");
+}
+
+Schedule read_schedule_text(std::istream& is) {
+  std::string keyword;
+  std::size_t num_tasks = 0, num_edges = 0;
+  NOCEAS_REQUIRE(is >> keyword >> num_tasks >> num_edges && keyword == "schedule",
+                 "schedule text: expected 'schedule <tasks> <edges>' header");
+  Schedule s(num_tasks, num_edges);
+  for (std::size_t i = 0; i < num_tasks; ++i) {
+    std::size_t id = 0;
+    std::int32_t pe = -1;
+    Time start = 0, finish = 0;
+    NOCEAS_REQUIRE(is >> keyword >> id >> pe >> start >> finish && keyword == "task" && id == i,
+                   "schedule text: bad task line " << i);
+    TaskPlacement& t = s.tasks[i];
+    t.pe = PeId(pe);
+    t.start = pe < 0 ? kUnsetTime : start;
+    t.finish = pe < 0 ? kUnsetTime : finish;
+  }
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    std::size_t id = 0;
+    std::int32_t src = -1, dst = -1;
+    Time start = 0;
+    Duration duration = 0;
+    NOCEAS_REQUIRE(
+        is >> keyword >> id >> src >> dst >> start >> duration && keyword == "comm" && id == i,
+        "schedule text: bad comm line " << i);
+    CommPlacement& c = s.comms[i];
+    c.src_pe = PeId(src);
+    c.dst_pe = PeId(dst);
+    c.start = src < 0 ? kUnsetTime : start;
+    c.duration = duration;
+  }
+  return s;
+}
+
+}  // namespace noceas

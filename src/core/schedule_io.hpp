@@ -1,0 +1,26 @@
+// Plain-text schedule export/import.
+//
+// `noceas_cli schedule --schedule FILE` writes this format and
+// `noceas_cli validate` reads it back to run the standalone invariant
+// checks, so a schedule produced on one machine (or by an external tool)
+// can be audited on another.  The format is line-oriented and stable:
+//
+//   schedule <num_tasks> <num_edges>
+//   task <id> <pe> <start> <finish>        (one per task, in id order)
+//   comm <id> <src_pe> <dst_pe> <start> <duration>   (one per edge)
+//
+// Unplaced entries use pe/src_pe = -1 with start = 0.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/core/schedule.hpp"
+
+namespace noceas {
+
+void write_schedule_text(std::ostream& os, const Schedule& s);
+
+/// Throws noceas::Error on malformed input.
+[[nodiscard]] Schedule read_schedule_text(std::istream& is);
+
+}  // namespace noceas

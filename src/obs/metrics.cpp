@@ -150,7 +150,7 @@ std::map<std::string, double> Registry::values() const {
 
 void Registry::write_json(std::ostream& os) const {
   std::lock_guard<std::mutex> lk(m_);
-  os << "{\"schema\":\"noceas.metrics.v1\",\"counters\":{";
+  os << "{\"schema\":\"noceas.metrics.v1.1\",\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
     if (!first) os << ',';
@@ -179,9 +179,10 @@ void Registry::write_json(std::ostream& os) const {
     write_json_string(os, name);
     os << ":{\"unit\":";
     write_json_string(os, h.unit);
+    const double mean = hist.count() ? hist.sum() / static_cast<double>(hist.count()) : 0.0;
     os << ",\"count\":" << hist.count() << ",\"sum\":" << format_double(hist.sum())
-       << ",\"min\":" << format_double(hist.min()) << ",\"max\":" << format_double(hist.max())
-       << ",\"buckets\":[";
+       << ",\"mean\":" << format_double(mean) << ",\"min\":" << format_double(hist.min())
+       << ",\"max\":" << format_double(hist.max()) << ",\"buckets\":[";
     for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
       if (i > 0) os << ',';
       os << "{\"le\":" << format_double(hist.bounds()[i]) << ",\"count\":" << hist.bucket_count(i)

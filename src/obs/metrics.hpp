@@ -1,6 +1,6 @@
 // Metrics registry for the scheduler observability layer: named counters,
 // gauges and fixed-bucket histograms with a stable JSON serialization
-// ("noceas.metrics.v1").
+// ("noceas.metrics.v1.1").
 //
 // Metric objects are created once through the Registry (find-or-create by
 // name; references stay valid for the registry's lifetime) and updated
@@ -97,7 +97,7 @@ class Registry {
   /// through.
   [[nodiscard]] std::map<std::string, double> values() const;
 
-  /// Writes the "noceas.metrics.v1" JSON document.
+  /// Writes the "noceas.metrics.v1.1" JSON document.
   void write_json(std::ostream& os) const;
 
  private:

@@ -269,9 +269,10 @@ TEST(Metrics, ValuesFlattensAllKinds) {
 
 // ---- Metrics JSON ----------------------------------------------------------
 
-/// Golden test: the serialized form is a stable schema ("noceas.metrics.v1")
+/// Golden test: the serialized form is a stable schema ("noceas.metrics.v1.1")
 /// that downstream tooling may depend on.  Deliberately brittle — change the
-/// writer, change this test, bump the schema version.
+/// writer, change this test, bump the schema version.  v1.1 added the
+/// per-histogram "mean" field (bounds were already in "buckets[].le").
 TEST(Metrics, JsonGolden) {
   obs::Registry r;
   r.counter("runs", "count").inc(2);
@@ -282,11 +283,11 @@ TEST(Metrics, JsonGolden) {
   std::ostringstream os;
   r.write_json(os);
   EXPECT_EQ(os.str(),
-            "{\"schema\":\"noceas.metrics.v1\","
+            "{\"schema\":\"noceas.metrics.v1.1\","
             "\"counters\":{\"runs\":{\"unit\":\"count\",\"value\":2}},"
             "\"gauges\":{\"rate\":{\"unit\":\"ratio\",\"value\":0.5}},"
             "\"histograms\":{\"lat\":{\"unit\":\"ms\",\"count\":2,\"sum\":100.5,"
-            "\"min\":0.5,\"max\":100,"
+            "\"mean\":50.25,\"min\":0.5,\"max\":100,"
             "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":8,\"count\":0},"
             "{\"le\":\"+inf\",\"count\":1}]}}}\n");
 }
@@ -299,11 +300,12 @@ TEST(Metrics, JsonParsesBack) {
   std::ostringstream os;
   r.write_json(os);
   const Json doc = parse_json(os.str());
-  EXPECT_EQ(doc.at("schema").str, "noceas.metrics.v1");
+  EXPECT_EQ(doc.at("schema").str, "noceas.metrics.v1.1");
   EXPECT_EQ(doc.at("counters").at("a.b").at("value").num, 1.0);
   EXPECT_EQ(doc.at("gauges").at("weird \"name\"\n").at("value").num, -2.25);
   const Json& h = doc.at("histograms").at("h");
   EXPECT_EQ(h.at("count").num, 1.0);
+  EXPECT_EQ(h.at("mean").num, 3.0);
   EXPECT_EQ(h.at("buckets").arr.size(), 13u);  // 12 bounds + overflow
   EXPECT_EQ(h.at("buckets").arr.back().at("le").str, "+inf");
 }

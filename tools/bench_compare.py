@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Record / check perf baselines for the runtime_scaling benchmark.
+
+Two modes:
+
+  record   run the bench + a deterministic metrics probe, stamp the result
+           with an environment fingerprint, write it to
+           bench/baselines/runtime_scaling.json and append a summary snapshot
+           to BENCH_runtime_scaling.json (the repo's perf trajectory).
+
+  check    re-run and compare against the checked-in baseline with a noise
+           tolerance.  Exits 2 on a timing regression, 0 otherwise.  When the
+           environment fingerprint does not match the baseline's the timings
+           are not comparable: differences are reported but never fail the
+           run (CI uses this as a soft gate until baselines stabilize).
+
+Timings are medians over --repetitions runs of google-benchmark.  The
+metrics section (probe cache hit rate, decision counters from a fixed
+`noceas_cli schedule --metrics` run) is deterministic, so any drift there is
+reported exactly; it warns rather than fails because a deliberate algorithm
+change legitimately moves those numbers — re-record the baseline with it.
+
+Usage:
+  tools/bench_compare.py record [--build-dir build] [--min-time 0.05]
+  tools/bench_compare.py check  [--build-dir build] [--tolerance 0.35]
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_SCHEMA = "noceas.bench_baseline.v1"
+TRAJECTORY_SCHEMA = "noceas.bench_trajectory.v1"
+
+
+def run(cmd, **kw):
+    return subprocess.run(cmd, check=True, capture_output=True, text=True, **kw)
+
+
+def cpu_model():
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine()
+
+
+def compiler_id(build_dir):
+    """Compiler path + version from the CMake cache."""
+    cache = os.path.join(build_dir, "CMakeCache.txt")
+    cxx = None
+    try:
+        with open(cache) as f:
+            for line in f:
+                m = re.match(r"CMAKE_CXX_COMPILER:\w+=(.*)", line)
+                if m:
+                    cxx = m.group(1).strip()
+    except OSError:
+        return "unknown"
+    if not cxx:
+        return "unknown"
+    try:
+        first = run([cxx, "--version"]).stdout.splitlines()[0]
+        return first
+    except (OSError, subprocess.CalledProcessError):
+        return cxx
+
+
+def git_rev():
+    try:
+        return run(["git", "rev-parse", "--short", "HEAD"], cwd=REPO).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def fingerprint(build_dir):
+    fp = {
+        "cpu": cpu_model(),
+        "cores": os.cpu_count(),
+        "compiler": compiler_id(build_dir),
+        "os": f"{platform.system()} {platform.release()}",
+    }
+    digest = hashlib.sha256(json.dumps(fp, sort_keys=True).encode()).hexdigest()[:12]
+    fp["id"] = digest
+    return fp
+
+
+def run_google_benchmark(build_dir, min_time, repetitions, bench_filter):
+    bench = os.path.join(build_dir, "bench", "runtime_scaling")
+    if not os.path.exists(bench):
+        sys.exit(f"error: '{bench}' not built (configure with -DNOCEAS_BUILD_BENCH=ON)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out = tmp.name
+    try:
+        cmd = [
+            bench,
+            f"--benchmark_out={out}",
+            "--benchmark_out_format=json",
+            f"--benchmark_min_time={min_time}",
+            f"--benchmark_repetitions={repetitions}",
+        ]
+        if bench_filter:
+            cmd.append(f"--benchmark_filter={bench_filter}")
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        with open(out) as f:
+            doc = json.load(f)
+    finally:
+        os.unlink(out)
+
+    # Min over repetitions: the least noise-sensitive point statistic for a
+    # regression gate (transient load only ever makes a run slower).
+    timings = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        if b.get("time_unit") not in (None, "ms"):
+            continue
+        name = b.get("run_name", b["name"])
+        ms = round(float(b["real_time"]), 4)
+        timings[name] = min(ms, timings.get(name, ms))
+    return timings
+
+
+def deterministic_metrics(build_dir):
+    """Counters/gauges of a fixed `noceas_cli schedule --metrics` run.
+
+    These are exact (no timing noise): probe cache hit counts, commit
+    counts, per-PE busy fractions.  Histogram aggregates are skipped — some
+    observe wall-clock durations.
+    """
+    cli = os.path.join(build_dir, "tools", "noceas_cli")
+    if not os.path.exists(cli):
+        sys.exit(f"error: '{cli}' not built")
+    with tempfile.TemporaryDirectory() as d:
+        ctg, plat, met = (os.path.join(d, n) for n in ("g.txt", "p.txt", "m.json"))
+        run([cli, "gen", "--category", "1", "--index", "0", "--ctg", ctg, "--platform", plat])
+        subprocess.run(
+            [cli, "schedule", "--ctg", ctg, "--platform", plat, "--scheduler", "eas",
+             "--metrics", met],
+            check=False, stdout=subprocess.DEVNULL)
+        with open(met) as f:
+            doc = json.load(f)
+    out = {}
+    for name, c in doc.get("counters", {}).items():
+        out[name] = c["value"]
+    for name, g in doc.get("gauges", {}).items():
+        if "seconds" in name or "time" in name:
+            continue
+        out[name] = g["value"]
+    return out
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def cmd_record(args):
+    fp = fingerprint(args.build_dir)
+    print(f"environment: {fp['cpu']} · {fp['cores']} cores · {fp['compiler']}")
+    print("running runtime_scaling ...")
+    bench = run_google_benchmark(args.build_dir, args.min_time, args.repetitions, args.filter)
+    print(f"  {len(bench)} benchmark timings")
+    metrics = deterministic_metrics(args.build_dir)
+    print(f"  {len(metrics)} deterministic metrics")
+
+    baseline = {
+        "schema": BASELINE_SCHEMA,
+        "fingerprint": fp,
+        "rev": git_rev(),
+        "bench_args": {"min_time": args.min_time, "repetitions": args.repetitions},
+        "bench_ms": bench,
+        "metrics": metrics,
+    }
+    os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+    with open(args.baseline, "w") as f:
+        json.dump(baseline, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {os.path.relpath(args.baseline, REPO)}")
+
+    # Append a snapshot to the perf trajectory.
+    if os.path.exists(args.trajectory):
+        traj = load_json(args.trajectory)
+    else:
+        traj = {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    traj["entries"].append({"rev": baseline["rev"], "fingerprint": fp["id"], "bench_ms": bench})
+    with open(args.trajectory, "w") as f:
+        json.dump(traj, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"appended snapshot {baseline['rev']} to {os.path.relpath(args.trajectory, REPO)}")
+    return 0
+
+
+def cmd_check(args):
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {os.path.relpath(args.baseline, REPO)}; "
+              "run 'tools/bench_compare.py record' first")
+        return 0
+    baseline = load_json(args.baseline)
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        sys.exit(f"error: unexpected baseline schema {baseline.get('schema')!r}")
+    fp = fingerprint(args.build_dir)
+    comparable = fp["id"] == baseline["fingerprint"]["id"]
+    if not comparable:
+        print(f"note: environment differs from baseline ({fp['id']} vs "
+              f"{baseline['fingerprint']['id']}, recorded on "
+              f"{baseline['fingerprint']['cpu']}); timings reported but not gated")
+
+    bench_args = baseline.get("bench_args", {})
+    bench = run_google_benchmark(
+        args.build_dir,
+        bench_args.get("min_time", args.min_time),
+        bench_args.get("repetitions", args.repetitions),
+        args.filter,
+    )
+
+    regressions = 0
+    for name, base_ms in sorted(baseline["bench_ms"].items()):
+        if name not in bench:
+            print(f"  MISSING  {name} (in baseline, not in this run)")
+            continue
+        cur = bench[name]
+        rel = cur / base_ms - 1.0 if base_ms > 0 else 0.0
+        tag = "ok"
+        if rel > args.tolerance:
+            tag = "REGRESSION"
+            regressions += 1
+        elif rel < -args.tolerance:
+            tag = "improved (consider re-recording the baseline)"
+        print(f"  {base_ms:10.2f} -> {cur:10.2f} ms  {rel:+7.1%}  {name}  {tag}")
+    for name in sorted(set(bench) - set(baseline["bench_ms"])):
+        print(f"  NEW      {name} = {bench[name]:.2f} ms (not in baseline)")
+
+    drift = 0
+    metrics = deterministic_metrics(args.build_dir)
+    for name, base_v in sorted(baseline.get("metrics", {}).items()):
+        cur = metrics.get(name)
+        if cur != base_v:
+            print(f"  metric drift: {name} {base_v} -> {cur}")
+            drift += 1
+    if drift:
+        print(f"{drift} deterministic metric(s) drifted — fine for a deliberate "
+              "algorithm change; re-record the baseline to acknowledge")
+
+    if regressions and comparable:
+        print(f"{regressions} benchmark(s) regressed beyond {args.tolerance:.0%}")
+        return 2
+    print("bench check passed" if comparable else "bench check done (not gated)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("mode", nargs="?", choices=["record", "check"])
+    ap.add_argument("--record", action="store_true", help="alias for the record mode")
+    ap.add_argument("--check", action="store_true", help="alias for the check mode")
+    ap.add_argument("--build-dir", default=os.path.join(REPO, "build"))
+    ap.add_argument("--baseline",
+                    default=os.path.join(REPO, "bench", "baselines", "runtime_scaling.json"))
+    ap.add_argument("--trajectory", default=os.path.join(REPO, "BENCH_runtime_scaling.json"))
+    ap.add_argument("--filter", default="", help="--benchmark_filter regex")
+    ap.add_argument("--min-time", default="0.05", help="--benchmark_min_time per benchmark")
+    ap.add_argument("--repetitions", type=int, default=3)
+    ap.add_argument("--tolerance", type=float, default=0.35,
+                    help="relative timing tolerance before flagging (default 35%%)")
+    args = ap.parse_args()
+
+    mode = args.mode or ("record" if args.record else "check" if args.check else None)
+    if mode is None:
+        ap.error("choose a mode: record | check (or --record / --check)")
+    return cmd_record(args) if mode == "record" else cmd_check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

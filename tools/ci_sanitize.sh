@@ -8,8 +8,14 @@
 #                          the parallel F(i,k) evaluation path of ProbeEngine
 #                          and multi-lane trace emission
 #
-# Afterwards runs the observability smoke gate (plain build): an attached
-# tracer must leave schedules bit-identical and cost < 5% runtime.
+# Afterwards:
+#   - audit-replay stage (under the ASan/UBSan build): records a decision
+#     provenance stream with the CLI, replays it with `audit --replay`, and
+#     runs `validate` on the exported schedule
+#   - observability smoke gate (plain build): an attached tracer must leave
+#     schedules bit-identical and cost < 5% runtime
+#   - perf-baseline soft gate: tools/bench_compare.py check (warns on
+#     regressions, never fails the run, until baselines stabilize)
 #
 # Usage: tools/ci_sanitize.sh [build-dir-prefix]   (default: build-san)
 set -euo pipefail
@@ -44,6 +50,26 @@ configure_and_test "${prefix}-asan" "address,undefined"
 TSAN_OPTIONS="halt_on_error=1" \
   configure_and_test "${prefix}-tsan" "thread" "ProbeCache|ProbeEngine|ThreadPool|TentativeTables|list_common|Metrics|Trace"
 
+# Audit-replay stage, reusing the ASan/UBSan binaries: record a decision
+# stream end to end through the CLI, replay-verify it, and validate the
+# exported schedule.  Any drift between the schedulers' bookkeeping and the
+# commit machinery (or a memory bug in the audit path itself) fails here.
+audit_dir="$(mktemp -d)"
+trap 'rm -rf "$audit_dir"' EXIT
+cli="${prefix}-asan/tools/noceas_cli"
+echo "==> [audit-replay] recording + replaying decision streams"
+"$cli" gen --category 2 --index 2 --ctg "$audit_dir/g.txt" --platform "$audit_dir/p.txt" >/dev/null
+for sched in eas edf dls greedy map; do
+  "$cli" schedule --ctg "$audit_dir/g.txt" --platform "$audit_dir/p.txt" \
+    --scheduler "$sched" --decisions "$audit_dir/d.jsonl" \
+    --schedule-out "$audit_dir/s.txt" >/dev/null || true  # non-zero = deadline miss
+  "$cli" audit --replay --decisions "$audit_dir/d.jsonl" \
+    --ctg "$audit_dir/g.txt" --platform "$audit_dir/p.txt" >/dev/null
+  "$cli" validate --schedule "$audit_dir/s.txt" \
+    --ctg "$audit_dir/g.txt" --platform "$audit_dir/p.txt" >/dev/null
+  echo "    $sched: replay + validate OK"
+done
+
 # Observability smoke gate: tracing must not change schedules and must stay
 # within the 5% overhead budget (docs/OBSERVABILITY.md).  Built without
 # sanitizers — the budget is a statement about the production build.
@@ -51,8 +77,14 @@ smoke="${prefix}-smoke"
 echo "==> [obs-smoke] configuring $smoke"
 cmake -B "$smoke" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 echo "==> [obs-smoke] building"
-cmake --build "$smoke" -j "$(nproc)" --target runtime_scaling >/dev/null
+cmake --build "$smoke" -j "$(nproc)" --target runtime_scaling --target noceas_cli >/dev/null
 echo "==> [obs-smoke] running"
 "$smoke"/bench/runtime_scaling --obs-smoke
+
+# Perf-baseline soft gate: compare against bench/baselines/*.json.  Warns
+# only — timings on shared CI boxes are too noisy to block on yet.
+echo "==> [bench-compare] soft gate"
+python3 tools/bench_compare.py check --build-dir "$smoke" \
+  || echo "warn: bench_compare flagged a regression (soft gate, not failing CI)"
 
 echo "==> sanitize CI passed"

@@ -8,8 +8,12 @@
 //   noceas_cli schedule  --ctg g.txt --platform p.txt [--scheduler eas]
 //                        [--gantt] [--svg out.svg] [--link-heat] [--dot out.dot]
 //                        [--simulate] [--dvs] [--trace t.json] [--metrics m.json]
+//                        [--decisions d.jsonl] [--schedule-out s.txt]
+//   noceas_cli explain   --decisions d.jsonl --task 7
+//   noceas_cli audit     --replay --decisions d.jsonl --ctg g.txt --platform p.txt
+//   noceas_cli validate  --schedule s.txt --ctg g.txt --platform p.txt
 //
-// Schedulers: eas (default), eas-base, edf, dls, greedy.
+// Schedulers: eas (default), eas-base, edf, dls, greedy, map.
 // Unknown flags are rejected with an error (no silent typo swallowing).
 #include <algorithm>
 #include <fstream>
@@ -18,10 +22,15 @@
 #include <string>
 #include <vector>
 
+#include "src/audit/decision_log.hpp"
+#include "src/audit/explain.hpp"
+#include "src/audit/replay.hpp"
 #include "src/baseline/dls.hpp"
 #include "src/baseline/edf.hpp"
 #include "src/baseline/greedy_energy.hpp"
+#include "src/baseline/map_then_schedule.hpp"
 #include "src/core/eas.hpp"
+#include "src/core/schedule_io.hpp"
 #include "src/core/validator.hpp"
 #include "src/ctg/serialize.hpp"
 #include "src/dvs/slack_reclaim.hpp"
@@ -43,16 +52,28 @@ int usage() {
       "  noceas_cli gen --msb <encoder|decoder|encdec> --clip <akiyo|foreman|toybox>\n"
       "             --ctg FILE [--platform FILE]\n"
       "  noceas_cli info --ctg FILE\n"
-      "  noceas_cli schedule --ctg FILE --platform FILE [--scheduler eas|eas-base|edf|dls|greedy]\n"
+      "  noceas_cli schedule --ctg FILE --platform FILE\n"
+      "             [--scheduler eas|eas-base|edf|dls|greedy|map]\n"
       "             [--gantt] [--svg FILE] [--link-heat] [--dot FILE] [--simulate] [--dvs]\n"
-      "             [--trace FILE] [--metrics FILE]\n"
+      "             [--trace FILE] [--metrics FILE] [--decisions FILE] [--schedule-out FILE]\n"
+      "  noceas_cli explain --decisions FILE --task ID\n"
+      "  noceas_cli audit --replay --decisions FILE --ctg FILE --platform FILE\n"
+      "  noceas_cli validate --schedule FILE --ctg FILE --platform FILE [--deadlines]\n"
       "\n"
       "schedule observability flags:\n"
       "  --trace FILE    write a Chrome trace-event JSON of the scheduler run\n"
       "                  (open in ui.perfetto.dev or chrome://tracing)\n"
       "  --metrics FILE  write the metrics registry JSON (probe cache hit rate,\n"
       "                  per-PE busy fraction, per-link utilization, ...)\n"
-      "  --link-heat     tint the --svg link lanes by utilization\n";
+      "  --link-heat     tint the --svg link lanes by utilization\n"
+      "  --decisions FILE     write the decision provenance JSONL\n"
+      "                       (schema noceas.decisions.v1; input to explain/audit)\n"
+      "  --schedule-out FILE  export the schedule as text (input to validate)\n"
+      "\n"
+      "explain prints the candidate table, applied rule and link reservations of\n"
+      "one placement decision; audit --replay re-executes the decision stream and\n"
+      "proves it reproduces the recorded schedule bit-for-bit; validate runs the\n"
+      "standalone invariant checks on an exported schedule.\n";
   return 2;
 }
 
@@ -164,8 +185,10 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
   // Observability sinks, attached only when requested.
   obs::Tracer tracer;
   obs::Registry registry;
+  audit::DecisionLog decision_log;
   obs::Tracer* const tr = flags.count("trace") ? &tracer : nullptr;
   obs::Registry* const metrics = flags.count("metrics") ? &registry : nullptr;
+  audit::DecisionLog* const decisions = flags.count("decisions") ? &decision_log : nullptr;
 
   Schedule s;
   EnergyBreakdown energy;
@@ -176,13 +199,22 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
     options.repair = which == "eas";
     options.tracer = tr;
     options.metrics = metrics;
+    options.decisions = decisions;
     const EasResult r = schedule_eas(g, p, options);
     s = r.schedule;
     energy = r.energy;
     misses = r.misses;
     seconds = r.seconds;
+  } else if (which == "map") {
+    MapScheduleOptions options;
+    options.obs = BaselineObs{tr, metrics, decisions};
+    const MapScheduleResult r = schedule_map_then_list(g, p, options);
+    s = r.result.schedule;
+    energy = r.result.energy;
+    misses = r.result.misses;
+    seconds = r.result.seconds;
   } else {
-    const BaselineObs baseline_obs{tr, metrics};
+    const BaselineObs baseline_obs{tr, metrics, decisions};
     BaselineResult r;
     if (which == "edf")
       r = schedule_edf(g, p, baseline_obs);
@@ -256,7 +288,76 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
     registry.write_json(os);
     std::cout << "wrote " << flags.at("metrics") << '\n';
   }
+  if (decisions != nullptr) {
+    std::ofstream os(flags.at("decisions"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("decisions") << '\'');
+    decision_log.write_jsonl(os);
+    std::cout << "wrote " << flags.at("decisions") << " (" << decision_log.size()
+              << " decisions)\n";
+  }
+  if (flags.count("schedule-out")) {
+    std::ofstream os(flags.at("schedule-out"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("schedule-out") << '\'');
+    write_schedule_text(os, s);
+    std::cout << "wrote " << flags.at("schedule-out") << '\n';
+  }
   return misses.all_met() ? 0 : 1;
+}
+
+audit::DecisionStream load_decisions(const std::string& path) {
+  std::ifstream is(path);
+  NOCEAS_REQUIRE(is.good(), "cannot open decision file '" << path << '\'');
+  return audit::read_decision_stream(is);
+}
+
+int cmd_explain(const std::map<std::string, std::string>& flags) {
+  NOCEAS_REQUIRE(flags.count("decisions") && flags.count("task"),
+                 "explain requires --decisions FILE and --task ID");
+  const audit::DecisionStream stream = load_decisions(flags.at("decisions"));
+  audit::explain_task(std::cout, stream, std::stoi(flags.at("task")));
+  return 0;
+}
+
+int cmd_audit(const std::map<std::string, std::string>& flags) {
+  NOCEAS_REQUIRE(flags.count("decisions") && flags.count("ctg") && flags.count("platform"),
+                 "audit requires --decisions FILE, --ctg FILE and --platform FILE");
+  // --replay is the only audit mode today; accept (and document) it anyway so
+  // the invocation reads as what it does.
+  const audit::DecisionStream stream = load_decisions(flags.at("decisions"));
+  const TaskGraph g = load_ctg(flags.at("ctg"));
+  const Platform p = load_platform(flags.at("platform"));
+  const audit::ReplayReport report = replay_decisions(g, p, stream);
+  std::cout << "scheduler:  " << stream.scheduler << '\n'
+            << "attempts:   " << report.attempts << '\n'
+            << "placements: " << report.placements << '\n'
+            << "moves:      " << report.moves << '\n';
+  if (report.ok) {
+    std::cout << "replay OK: decision stream reproduces the recorded schedule "
+                 "bit-for-bit and passes all invariant checks\n";
+    return 0;
+  }
+  std::cout << "replay FAILED:\n";
+  for (const std::string& issue : report.issues) std::cout << "  " << issue << '\n';
+  return 1;
+}
+
+int cmd_validate(const std::map<std::string, std::string>& flags) {
+  NOCEAS_REQUIRE(flags.count("schedule") && flags.count("ctg") && flags.count("platform"),
+                 "validate requires --schedule FILE, --ctg FILE and --platform FILE");
+  std::ifstream is(flags.at("schedule"));
+  NOCEAS_REQUIRE(is.good(), "cannot open schedule file '" << flags.at("schedule") << '\'');
+  const Schedule s = read_schedule_text(is);
+  const TaskGraph g = load_ctg(flags.at("ctg"));
+  const Platform p = load_platform(flags.at("platform"));
+  const ValidationReport report =
+      validate_schedule(g, p, s, {.check_deadlines = flags.count("deadlines") > 0});
+  if (report.ok()) {
+    std::cout << "schedule valid: " << g.num_tasks() << " tasks, " << g.num_edges()
+              << " comms pass all invariant checks\n";
+    return 0;
+  }
+  std::cout << report.to_string();
+  return 1;
 }
 
 }  // namespace
@@ -276,7 +377,17 @@ int main(int argc, char** argv) {
       return cmd_schedule(parse_flags(argc, argv, 2,
                                       {"ctg", "platform", "scheduler", "gantt", "svg",
                                        "link-heat", "dot", "simulate", "dvs", "trace",
-                                       "metrics"}));
+                                       "metrics", "decisions", "schedule-out"}));
+    }
+    if (cmd == "explain") {
+      return cmd_explain(parse_flags(argc, argv, 2, {"decisions", "task"}));
+    }
+    if (cmd == "audit") {
+      return cmd_audit(parse_flags(argc, argv, 2, {"replay", "decisions", "ctg", "platform"}));
+    }
+    if (cmd == "validate") {
+      return cmd_validate(parse_flags(argc, argv, 2,
+                                      {"schedule", "ctg", "platform", "deadlines"}));
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
