@@ -1,0 +1,437 @@
+#include "src/analysis/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "src/audit/xref.hpp"
+#include "src/core/obs_export.hpp"
+
+namespace noceas::analysis {
+
+namespace {
+
+/// Gap statistics of a sorted, pairwise-disjoint busy set within
+/// [0, makespan]: leading idle, inter-slot idle, trailing idle.
+struct GapStats {
+  std::size_t gaps = 0;
+  Duration idle = 0;
+  Duration longest = 0;
+};
+
+GapStats idle_gaps(const std::vector<Interval>& busy, Time makespan,
+                   obs::Histogram* histogram) {
+  GapStats out;
+  Time cursor = 0;
+  auto gap = [&](Time from, Time to) {
+    if (to <= from) return;
+    ++out.gaps;
+    out.idle += to - from;
+    out.longest = std::max(out.longest, to - from);
+    if (histogram != nullptr) histogram->observe(static_cast<double>(to - from));
+  };
+  for (const Interval& iv : busy) {
+    gap(cursor, iv.start);
+    cursor = std::max(cursor, iv.end);
+  }
+  gap(cursor, makespan);
+  return out;
+}
+
+std::vector<Interval> merged(std::vector<Interval> ivs) {
+  std::sort(ivs.begin(), ivs.end());
+  std::vector<Interval> out;
+  for (const Interval& iv : ivs) {
+    if (iv.empty()) continue;
+    if (!out.empty() && iv.start <= out.back().end) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+/// The uncontended availability of a task's inputs: every incoming
+/// transaction assumed to start the instant its sender finishes.
+Time uncontended_ready(const TaskGraph& g, const Schedule& s, TaskId t) {
+  Time ready = g.task(t).release;
+  for (EdgeId e : g.in_edges(t)) {
+    const CommPlacement& cp = s.at(e);
+    const TaskPlacement& sender = s.at(g.edge(e).src);
+    ready = std::max(ready, sender.finish + (cp.uses_network() ? cp.duration : 0));
+  }
+  return ready;
+}
+
+/// Among the transactions crossing a link of `route`, the one whose
+/// reservation ends exactly at `at` (the Fig. 3 earliest-fit blocker).
+/// Deterministic: smallest edge id wins.  Returns false when none matches.
+bool find_link_blocker(const Schedule& s, const std::vector<std::vector<EdgeId>>& by_link,
+                       const std::vector<LinkId>& route, EdgeId self, Time at,
+                       EdgeId* blocking_edge, LinkId* blocking_link) {
+  bool found = false;
+  for (LinkId l : route) {
+    for (EdgeId f : by_link[l.index()]) {
+      if (f == self) continue;
+      if (s.at(f).arrival() != at) continue;
+      if (!found || f < *blocking_edge) {
+        *blocking_edge = f;
+        *blocking_link = l;
+        found = true;
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace
+
+const char* to_string(PathSegment::Reason r) {
+  switch (r) {
+    case PathSegment::Reason::Source: return "source";
+    case PathSegment::Reason::Release: return "release";
+    case PathSegment::Reason::Gap: return "gap";
+    case PathSegment::Reason::Dep: return "dep";
+    case PathSegment::Reason::PeBusy: return "pe-busy";
+    case PathSegment::Reason::LinkBusy: return "link-busy";
+  }
+  return "?";
+}
+
+CriticalPath critical_path(const TaskGraph& g, const Platform& p, const Schedule& s) {
+  NOCEAS_REQUIRE(s.complete(), "critical path of incomplete schedule");
+  CriticalPath path;
+  if (g.num_tasks() == 0) return path;
+
+  const Time span = makespan(s);
+  const auto by_pe = pe_orders(s, p.num_pes());
+  const auto by_link = link_orders(g, p, s);
+
+  // Tail: the task that realizes the makespan (smallest id on ties).
+  TaskId tail{0};
+  for (TaskId t : g.all_tasks()) {
+    if (s.at(t).finish == span) {
+      tail = t;
+      break;
+    }
+  }
+
+  // Backward walk along tight in-edges of the event graph: at every node
+  // there is a predecessor event ending exactly at the node's start, because
+  // the Fig. 3 machinery starts every task/transaction either at its
+  // constraint time or at the end of a busy slot of the resource it fits
+  // into.  Walk-local reasons are attached to the *current* segment (why it
+  // starts when it does).
+  std::vector<PathSegment> reversed;
+  const std::size_t cap = 2 * (g.num_tasks() + g.num_edges()) + 4;
+
+  PathSegment cur;
+  cur.kind = PathSegment::Kind::Task;
+  cur.id = tail.value;
+  cur.start = s.at(tail).start;
+  cur.finish = s.at(tail).finish;
+  cur.resource = s.at(tail).pe.value;
+
+  bool done = false;
+  while (!done) {
+    if (reversed.size() >= cap) {  // degenerate input (zero-length cycle)
+      cur.reason = PathSegment::Reason::Gap;
+      path.complete = false;
+      reversed.push_back(cur);
+      break;
+    }
+    const Time at = cur.start;
+    PathSegment prev;
+    bool have_prev = false;
+
+    if (cur.kind == PathSegment::Kind::Task) {
+      const TaskId t{cur.id};
+      // Tight dependency first (ids ascend within in_edges — deterministic).
+      for (EdgeId e : g.in_edges(t)) {
+        const CommPlacement& cp = s.at(e);
+        const TaskId sender = g.edge(e).src;
+        if (cp.uses_network()) {
+          if (cp.arrival() != at) continue;
+          cur.reason = PathSegment::Reason::Dep;
+          prev.kind = PathSegment::Kind::Comm;
+          prev.id = e.value;
+          prev.start = cp.start;
+          prev.finish = cp.arrival();
+        } else {
+          if (s.at(sender).finish != at) continue;
+          cur.reason = PathSegment::Reason::Dep;
+          prev.kind = PathSegment::Kind::Task;
+          prev.id = sender.value;
+          prev.start = s.at(sender).start;
+          prev.finish = s.at(sender).finish;
+          prev.resource = s.at(sender).pe.value;
+        }
+        have_prev = true;
+        break;
+      }
+      // Then the PE: another task of the same PE finishing exactly here.
+      if (!have_prev) {
+        for (TaskId u : by_pe[s.at(t).pe.index()]) {
+          if (u == t || s.at(u).finish != at) continue;
+          cur.reason = PathSegment::Reason::PeBusy;
+          cur.via = u.value;
+          prev.kind = PathSegment::Kind::Task;
+          prev.id = u.value;
+          prev.start = s.at(u).start;
+          prev.finish = s.at(u).finish;
+          prev.resource = s.at(u).pe.value;
+          have_prev = true;
+          break;
+        }
+      }
+      if (!have_prev) {
+        const Time release = g.task(t).release;
+        cur.reason = at == 0                ? PathSegment::Reason::Source
+                     : at == release        ? PathSegment::Reason::Release
+                                            : PathSegment::Reason::Gap;
+        path.complete = path.complete && cur.reason != PathSegment::Reason::Gap;
+        done = true;
+      }
+    } else {  // Comm
+      const EdgeId e{cur.id};
+      const TaskId sender = g.edge(e).src;
+      if (s.at(sender).finish == at) {
+        cur.reason = PathSegment::Reason::Dep;
+        prev.kind = PathSegment::Kind::Task;
+        prev.id = sender.value;
+        prev.start = s.at(sender).start;
+        prev.finish = s.at(sender).finish;
+        prev.resource = s.at(sender).pe.value;
+        have_prev = true;
+      } else {
+        const CommPlacement& cp = s.at(e);
+        EdgeId blocking{};
+        LinkId link{};
+        if (find_link_blocker(s, by_link, p.route(cp.src_pe, cp.dst_pe), e, at, &blocking,
+                              &link)) {
+          cur.reason = PathSegment::Reason::LinkBusy;
+          cur.via = blocking.value;
+          cur.resource = link.value;
+          prev.kind = PathSegment::Kind::Comm;
+          prev.id = blocking.value;
+          prev.start = s.at(blocking).start;
+          prev.finish = s.at(blocking).arrival();
+          have_prev = true;
+        } else {
+          cur.reason = at == 0 ? PathSegment::Reason::Source : PathSegment::Reason::Gap;
+          path.complete = path.complete && at == 0;
+          done = true;
+        }
+      }
+    }
+
+    reversed.push_back(cur);
+    if (have_prev) cur = prev;
+  }
+
+  path.segments.assign(reversed.rbegin(), reversed.rend());
+  path.head_start = path.segments.front().start;
+  for (const PathSegment& seg : path.segments) path.length += seg.finish - seg.start;
+  return path;
+}
+
+std::vector<std::vector<Interval>> link_contention_windows(const TaskGraph& g, const Platform& p,
+                                                           const Schedule& s) {
+  std::vector<std::vector<Interval>> windows(p.num_links());
+  for (EdgeId e : g.all_edges()) {
+    const CommPlacement& cp = s.at(e);
+    if (!cp.uses_network()) continue;
+    const Time ready = s.at(g.edge(e).src).finish;
+    if (cp.start <= ready) continue;
+    for (LinkId l : p.route(cp.src_pe, cp.dst_pe)) {
+      windows[l.index()].push_back({ready, cp.start});
+    }
+  }
+  for (auto& w : windows) w = merged(std::move(w));
+  return windows;
+}
+
+Report analyze_schedule(const TaskGraph& g, const Platform& p, const Schedule& s,
+                        const AnalyzeOptions& options) {
+  NOCEAS_REQUIRE(s.complete(), "analysis of incomplete schedule");
+  NOCEAS_REQUIRE(s.tasks.size() == g.num_tasks() && s.comms.size() == g.num_edges(),
+                 "schedule arity mismatch");
+  NOCEAS_REQUIRE(g.num_pes() == p.num_pes(), "CTG/platform PE count mismatch");
+
+  Report r;
+  r.label = !options.label.empty()       ? options.label
+            : options.decisions != nullptr ? options.decisions->scheduler
+                                           : "schedule";
+  r.num_tasks = g.num_tasks();
+  r.num_edges = g.num_edges();
+  r.num_pes = p.num_pes();
+  r.num_links = p.num_links();
+  r.makespan = g.num_tasks() == 0 ? 0 : makespan(s);
+  r.misses = deadline_misses(g, s);
+  r.critical_path = critical_path(g, p, s);
+
+  const auto by_link = link_orders(g, p, s);
+  const auto drt = data_ready_times(g, s);
+  const SlackBudget budget = compute_slack_budget(g, options.weight);
+  std::optional<audit::PlacementIndex> xref;
+  if (options.decisions != nullptr) xref.emplace(*options.decisions);
+
+  // ---- per-task wait decomposition + slack accounting ----------------------
+  r.tasks.resize(g.num_tasks());
+  for (TaskId t : g.all_tasks()) {
+    const TaskPlacement& tp = s.at(t);
+    TaskAttribution& a = r.tasks[t.index()];
+    a.pe = tp.pe.value;
+    a.release = g.task(t).release;
+    a.start = tp.start;
+    a.finish = tp.finish;
+    a.dep_ready = uncontended_ready(g, s, t);
+    a.data_ready = drt[t.index()];
+    a.dep_wait = a.dep_ready - a.release;
+    a.link_wait = a.data_ready - a.dep_ready;
+    a.pe_wait = a.start - a.data_ready;
+    r.total_dep_wait += a.dep_wait;
+    r.total_link_wait += a.link_wait;
+    r.total_pe_wait += a.pe_wait;
+
+    for (EdgeId e : g.in_edges(t)) {
+      const CommPlacement& cp = s.at(e);
+      if (!cp.uses_network()) continue;
+      const Time wait = cp.start - s.at(g.edge(e).src).finish;
+      if (wait <= 0) continue;
+      BlockerRecord b;
+      b.edge = e.value;
+      b.wait = wait;
+      EdgeId blocking{};
+      LinkId link{};
+      if (find_link_blocker(s, by_link, p.route(cp.src_pe, cp.dst_pe), e, cp.start, &blocking,
+                            &link)) {
+        b.blocking_edge = blocking.value;
+        b.link = link.value;
+        b.blocking_task = g.edge(blocking).dst.value;
+        if (xref.has_value()) {
+          const audit::DecisionEvent* ev = xref->reserver(blocking.value);
+          if (ev != nullptr) b.decision_seq = static_cast<std::int64_t>(ev->seq);
+        }
+      }
+      a.blockers.push_back(b);
+    }
+
+    a.deadline = g.task(t).deadline;
+    a.budgeted_deadline = budget.budgeted_deadline[t.index()];
+    a.has_budget = budget.has_budget(t);
+    if (a.has_budget) {
+      const double ef = budget.earliest_finish[t.index()];
+      a.granted_slack = static_cast<double>(a.budgeted_deadline) - ef;
+      a.consumed_slack = static_cast<double>(a.finish) - ef;
+      a.residual_slack = a.granted_slack - a.consumed_slack;
+    }
+  }
+
+  // ---- per-PE utilization timeline ----------------------------------------
+  // Raw gap lengths only exist during this scan, so the idle-gap histograms
+  // are fed here; the aggregate gauges come from export_analysis_metrics().
+  obs::Histogram* pe_gap_hist =
+      options.metrics == nullptr
+          ? nullptr
+          : &options.metrics->histogram("analysis.pe.idle_gap", obs::exp_buckets(1.0, 2.0, 16),
+                                        "time");
+  obs::Histogram* link_gap_hist =
+      options.metrics == nullptr
+          ? nullptr
+          : &options.metrics->histogram("analysis.link.idle_gap", obs::exp_buckets(1.0, 2.0, 16),
+                                        "time");
+  const std::vector<double> pe_busy = pe_busy_fraction(g, p, s);
+  const auto by_pe = pe_orders(s, p.num_pes());
+  r.pes.resize(p.num_pes());
+  for (PeId k : p.all_pes()) {
+    PeUsage& u = r.pes[k.index()];
+    u.pe = k.value;
+    u.tasks = by_pe[k.index()].size();
+    u.utilization = pe_busy[k.index()];
+    std::vector<Interval> busy;
+    busy.reserve(u.tasks);
+    for (TaskId t : by_pe[k.index()]) busy.push_back({s.at(t).start, s.at(t).finish});
+    for (const Interval& iv : busy) u.busy += iv.length();
+    const GapStats gaps = idle_gaps(merged(std::move(busy)), r.makespan, pe_gap_hist);
+    u.idle_gaps = gaps.gaps;
+    u.idle_time = gaps.idle;
+    u.longest_idle = gaps.longest;
+  }
+
+  // ---- per-link utilization + contention ----------------------------------
+  const std::vector<double> link_util = link_utilization(g, p, s);
+  const auto contention = link_contention_windows(g, p, s);
+  for (std::size_t l = 0; l < p.num_links(); ++l) {
+    if (by_link[l].empty()) continue;
+    LinkUsage u;
+    u.link = static_cast<std::int32_t>(l);
+    u.transactions = by_link[l].size();
+    u.utilization = link_util[l];
+    std::vector<Interval> busy;
+    busy.reserve(u.transactions);
+    for (EdgeId e : by_link[l]) busy.push_back({s.at(e).start, s.at(e).arrival()});
+    for (const Interval& iv : busy) u.busy += iv.length();
+    const GapStats gaps = idle_gaps(merged(std::move(busy)), r.makespan, link_gap_hist);
+    u.idle_gaps = gaps.gaps;
+    u.idle_time = gaps.idle;
+    u.longest_idle = gaps.longest;
+    u.contention_windows = contention[l];
+    for (const Interval& w : u.contention_windows) u.contention_time += w.length();
+    r.links.push_back(std::move(u));
+  }
+
+  // ---- energy attribution --------------------------------------------------
+  // The totals use the exact accumulation loop of compute_energy() (task
+  // order, then edge order), so they reconcile bit-exactly with what the
+  // schedulers report.
+  r.energy.per_task.resize(g.num_tasks(), 0.0);
+  r.energy.per_edge.resize(g.num_edges(), 0.0);
+  for (TaskId t : g.all_tasks()) {
+    const Energy e = g.task(t).exec_energy.at(s.at(t).pe.index());
+    r.energy.per_task[t.index()] = e;
+    r.energy.totals.computation += e;
+  }
+  std::map<std::int32_t, LinkEnergyRow> per_link;
+  std::map<std::int32_t, InjectionEnergyRow> injection;
+  std::map<int, HopEnergyRow> per_hop;
+  const EnergyParams& ep = p.energy();
+  const Energy switch_bit = ep.e_sbit + ep.e_bbit;
+  for (EdgeId e : g.all_edges()) {
+    const CommEdge& edge = g.edge(e);
+    if (edge.is_control_only()) continue;
+    const PeId src = s.at(edge.src).pe;
+    const PeId dst = s.at(edge.dst).pe;
+    const Energy transfer = p.transfer_energy(edge.volume, src, dst);
+    r.energy.per_edge[e.index()] = transfer;
+    r.energy.totals.communication += transfer;
+
+    const int hops = p.hops(src, dst);
+    HopEnergyRow& h = per_hop[hops];
+    h.hops = hops;
+    ++h.packets;
+    h.energy += transfer;
+    if (src == dst) continue;
+    const double bits = static_cast<double>(edge.volume);
+    InjectionEnergyRow& inj = injection[src.value];
+    inj.pe = src.value;
+    inj.bits += edge.volume;
+    inj.switch_energy += bits * switch_bit;
+    for (LinkId l : p.route(src, dst)) {
+      LinkEnergyRow& row = per_link[l.value];
+      row.link = l.value;
+      row.bits += edge.volume;
+      row.link_energy += bits * ep.e_lbit;
+      row.switch_energy += bits * switch_bit;
+    }
+  }
+  for (auto& [_, row] : per_link) r.energy.per_link.push_back(row);
+  for (auto& [_, row] : injection) r.energy.injection.push_back(row);
+  for (auto& [_, row] : per_hop) r.energy.per_hop.push_back(row);
+
+  if (options.metrics != nullptr) export_analysis_metrics(r, *options.metrics);
+  return r;
+}
+
+}  // namespace noceas::analysis

@@ -1,0 +1,240 @@
+// Post-hoc schedule analytics: why a schedule is what it is.
+//
+// PR 3's DecisionLog records what every scheduler decided and the obs layer
+// records how long deciding took; this module explains the *result*.  Given
+// a finished schedule (plus, optionally, its decision provenance stream) it
+// computes:
+//
+//   * the exact critical path through the combined task+transaction event
+//     graph — a chain of schedule segments, each starting the instant its
+//     predecessor ends, whose total length equals the makespan;
+//   * a per-task wait-time attribution that decomposes each task's start
+//     delay *exactly* into dependency-wait (predecessors still computing or
+//     data still in flight at uncontended speed), link-blocked-wait (extra
+//     delay from contended links), and PE-busy-wait (data was there, the PE
+//     was not) — dep + link + pe == start − release by construction;
+//   * per-PE / per-link utilization timelines with idle gaps and link
+//     contention windows (the spans during which a ready transaction sat
+//     waiting for an occupied link);
+//   * slack accounting against the Step-1 budgeted deadlines BD(t), and a
+//     per-link / per-hop decomposition of the Eq. 2 communication energy
+//     whose totals reconcile bit-exactly with the schedulers' reported
+//     E_comp / E_comm (same accumulation loop as compute_energy()).
+//
+// Everything here is read-only over the schedule; the analyzer never touches
+// scheduler state.  Serialization is a single JSON document, schema
+// "noceas.analysis.v1", consumed by `noceas_cli analyze --json` and the CI
+// analyze smoke stage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/audit/decision_log.hpp"
+#include "src/core/schedule.hpp"
+#include "src/core/slack_budget.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/util/interval.hpp"
+
+namespace noceas::analysis {
+
+/// One segment of the critical path: a task execution or a network
+/// transaction, covering [start, finish] with finish(prev) == start(this).
+struct PathSegment {
+  enum class Kind : std::uint8_t { Task, Comm };
+  /// Why this segment starts exactly when it does (the tight in-edge of the
+  /// event graph the backward walk followed):
+  enum class Reason : std::uint8_t {
+    Source,   ///< head: starts at time 0
+    Release,  ///< head: starts at its release time
+    Gap,      ///< head: no tight predecessor found (degenerate schedule)
+    Dep,      ///< a dependency ends here (sender finish / data arrival)
+    PeBusy,   ///< the PE ran another task until this instant (via = task id)
+    LinkBusy, ///< a route link was reserved until this instant (via = edge id)
+  };
+
+  Kind kind = Kind::Task;
+  std::int32_t id = -1;        ///< TaskId or EdgeId
+  Time start = 0;
+  Time finish = 0;             ///< task finish / transaction arrival
+  std::int32_t resource = -1;  ///< PE id for tasks; blocking link id for LinkBusy
+  Reason reason = Reason::Source;
+  std::int32_t via = -1;       ///< blocking task/edge id for PeBusy/LinkBusy
+};
+
+[[nodiscard]] const char* to_string(PathSegment::Reason r);
+
+/// The critical path, head (earliest segment) first.
+struct CriticalPath {
+  std::vector<PathSegment> segments;
+  Time head_start = 0;   ///< start of the first segment
+  Time length = 0;       ///< sum of segment lengths == makespan − head_start
+  bool complete = true;  ///< false when the walk hit a Gap (handcrafted input)
+};
+
+/// Who held the link a waiting transaction sat out: the earlier transaction
+/// whose reservation on a shared route link ends exactly when this one
+/// starts, cross-referenced to the decision that made the reservation when a
+/// provenance stream is supplied.
+struct BlockerRecord {
+  std::int32_t edge = -1;           ///< the waiting transaction
+  Time wait = 0;                    ///< its start − sender finish
+  std::int32_t link = -1;           ///< the contended link (-1 = not identified)
+  std::int32_t blocking_edge = -1;  ///< transaction holding it (-1 = not identified)
+  std::int32_t blocking_task = -1;  ///< task whose placement reserved blocking_edge
+  std::int64_t decision_seq = -1;   ///< seq of that placement decision (-1 = no stream)
+};
+
+/// Wait-time attribution and slack accounting of one task.
+struct TaskAttribution {
+  std::int32_t pe = -1;
+  Time release = 0;
+  Time start = 0;
+  Time finish = 0;
+  /// max(release, uncontended data availability): every incoming transaction
+  /// assumed to start the instant its sender finishes.
+  Time dep_ready = 0;
+  /// max(release, actual DRT): latest real arrival over the in-edges.
+  Time data_ready = 0;
+  // Exact decomposition: dep_wait + link_wait + pe_wait == start − release.
+  Time dep_wait = 0;   ///< dep_ready − release
+  Time link_wait = 0;  ///< data_ready − dep_ready (contention-induced)
+  Time pe_wait = 0;    ///< start − data_ready (PE occupied / gap fit)
+  std::vector<BlockerRecord> blockers;  ///< one per delayed incoming transaction
+
+  // Slack accounting (Step 1 of EAS): BD(t) vs consumed vs residual.
+  Time deadline = kNoDeadline;
+  Time budgeted_deadline = kNoDeadline;
+  bool has_budget = false;
+  double granted_slack = 0.0;   ///< BD(t) − EF(t) (mean-duration relaxation)
+  double consumed_slack = 0.0;  ///< finish − EF(t)
+  double residual_slack = 0.0;  ///< granted − consumed (≥ 0 iff BD met)
+};
+
+/// Utilization timeline of one PE.
+struct PeUsage {
+  std::int32_t pe = -1;
+  std::size_t tasks = 0;
+  Duration busy = 0;
+  double utilization = 0.0;  ///< same code path as the metrics JSON
+  std::size_t idle_gaps = 0;
+  Duration idle_time = 0;
+  Duration longest_idle = 0;
+};
+
+/// Utilization + contention timeline of one link (links with traffic only).
+struct LinkUsage {
+  std::int32_t link = -1;
+  std::size_t transactions = 0;
+  Duration busy = 0;
+  double utilization = 0.0;  ///< same code path as the metrics JSON
+  /// Merged windows during which ≥ 1 ready transaction waited for this link.
+  std::vector<Interval> contention_windows;
+  Duration contention_time = 0;
+  std::size_t idle_gaps = 0;
+  Duration idle_time = 0;
+  Duration longest_idle = 0;
+};
+
+/// Eq. 2 decomposition rows.  A route of L links passes L+1 routers: each
+/// link carries volume·E_Lbit plus the switch energy of the router it feeds;
+/// the source router's switch energy is booked per injecting PE.
+struct LinkEnergyRow {
+  std::int32_t link = -1;
+  Volume bits = 0;
+  Energy link_energy = 0.0;    ///< volume · E_Lbit over this link
+  Energy switch_energy = 0.0;  ///< volume · (E_Sbit + E_Bbit), downstream router
+};
+struct InjectionEnergyRow {
+  std::int32_t pe = -1;
+  Volume bits = 0;
+  Energy switch_energy = 0.0;  ///< source-router share of Eq. 2
+};
+struct HopEnergyRow {
+  int hops = 0;
+  std::size_t packets = 0;
+  Energy energy = 0.0;
+};
+
+struct EnergyAttribution {
+  /// Recomputed with the exact accumulation loop of compute_energy(), so
+  /// totals reconcile bit-exactly with the schedulers' reported energies.
+  EnergyBreakdown totals;
+  std::vector<Energy> per_task;  ///< exec energy on the chosen PE, by task id
+  std::vector<Energy> per_edge;  ///< transfer energy, by edge id (0 = local)
+  std::vector<LinkEnergyRow> per_link;        ///< links with traffic, ascending id
+  std::vector<InjectionEnergyRow> injection;  ///< injecting PEs, ascending id
+  std::vector<HopEnergyRow> per_hop;          ///< ascending hop count
+};
+
+/// The full analysis report ("noceas.analysis.v1").
+struct Report {
+  std::string label;  ///< free-form run label (scheduler name, file, ...)
+  std::size_t num_tasks = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_pes = 0;
+  std::size_t num_links = 0;
+  Time makespan = 0;
+  MissReport misses;
+  CriticalPath critical_path;
+  std::vector<TaskAttribution> tasks;  ///< by task id
+  std::vector<PeUsage> pes;            ///< every PE
+  std::vector<LinkUsage> links;        ///< links with traffic only
+  EnergyAttribution energy;
+  // Aggregate wait decomposition over all tasks.
+  Time total_dep_wait = 0;
+  Time total_link_wait = 0;
+  Time total_pe_wait = 0;
+};
+
+struct AnalyzeOptions {
+  /// Run label copied into the report (defaults to the stream's scheduler
+  /// when a stream is given, else "schedule").
+  std::string label;
+  /// Decision provenance stream for blocking-decision cross-referencing;
+  /// null = blockers are still named from the schedule, without seq ids.
+  const audit::DecisionStream* decisions = nullptr;
+  /// Weight function for the BD(t) slack accounting (the scheduler's Step 1
+  /// configuration; the paper's default).
+  WeightKind weight = WeightKind::VarEVarR;
+  /// Metrics sink: idle-gap / contention / wait histograms and critical-path
+  /// gauges are registered under "analysis.*".  Null = skipped.
+  obs::Registry* metrics = nullptr;
+};
+
+/// Extracts the critical path alone (used by the Gantt overlay).  `s` must
+/// be complete.
+[[nodiscard]] CriticalPath critical_path(const TaskGraph& g, const Platform& p,
+                                         const Schedule& s);
+
+/// Merged contention windows per link, indexed by link id (empty vectors for
+/// uncontended links) — the Gantt overlay's hatching input.
+[[nodiscard]] std::vector<std::vector<Interval>> link_contention_windows(const TaskGraph& g,
+                                                                         const Platform& p,
+                                                                         const Schedule& s);
+
+/// Runs the full analysis.  `s` must be complete and consistent with `g`/`p`
+/// (run validate_schedule() first for untrusted input).
+[[nodiscard]] Report analyze_schedule(const TaskGraph& g, const Platform& p, const Schedule& s,
+                                      const AnalyzeOptions& options = {});
+
+/// Writes the "noceas.analysis.v1" JSON document.
+void write_analysis_json(std::ostream& os, const Report& report);
+
+/// Human-readable summary: critical path, top-`top` latest/most-delayed
+/// tasks with their wait decomposition and blockers, utilization and energy
+/// tables.
+void print_analysis(std::ostream& os, const TaskGraph& g, const Platform& p, const Report& report,
+                    std::size_t top = 5);
+
+/// Side-by-side diff of two reports over the same problem instance (the
+/// EAS-vs-baseline comparison workflow).
+void print_analysis_diff(std::ostream& os, const Report& a, const Report& b);
+
+/// Registers the report's aggregates in `registry` under "analysis.*"
+/// (idle-gap and contention histograms, wait totals, critical-path gauges).
+void export_analysis_metrics(const Report& report, obs::Registry& registry);
+
+}  // namespace noceas::analysis

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 
+#include "src/audit/xref.hpp"
 #include "src/util/error.hpp"
 #include "src/util/table.hpp"
 #include "src/util/types.hpp"
@@ -19,23 +20,6 @@ std::string fmt_score(double v) {
   if (std::isnan(v)) return "-";
   if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
   return format_double(v, 3);
-}
-
-/// The decisions of the attempt containing event index `at` (the Place
-/// events recorded before `at` in the same attempt — the only ones that can
-/// have reserved links this decision waited for).
-std::vector<const PlacementDecision*> earlier_in_attempt(const DecisionStream& stream,
-                                                         std::size_t at) {
-  std::vector<const PlacementDecision*> out;
-  for (std::size_t i = 0; i < at; ++i) {
-    const DecisionEvent& e = stream.events[i];
-    if (e.kind == DecisionEvent::Kind::BeginAttempt) {
-      out.clear();  // a new attempt starts with fresh tables
-    } else if (e.kind == DecisionEvent::Kind::Place) {
-      out.push_back(&e.place);
-    }
-  }
-  return out;
 }
 
 bool routes_share_link(const std::vector<std::int32_t>& a, const std::vector<std::int32_t>& b,
@@ -54,15 +38,11 @@ bool routes_share_link(const std::vector<std::int32_t>& a, const std::vector<std
 void explain_task(std::ostream& os, const DecisionStream& stream, std::int32_t task) {
   // Show the placement of the last attempt — the one feeding the final
   // schedule (earlier budget-tightening attempts are superseded).
-  const PlacementDecision* decision = nullptr;
-  std::size_t decision_index = 0;
-  for (std::size_t i = 0; i < stream.events.size(); ++i) {
-    const DecisionEvent& e = stream.events[i];
-    if (e.kind == DecisionEvent::Kind::Place && e.place.task == task) {
-      decision = &e.place;
-      decision_index = i;
-    }
-  }
+  const PlacementIndex index(stream);
+  const std::size_t decision_index = index.placement_event_index(task);
+  const PlacementDecision* decision =
+      decision_index == PlacementIndex::npos ? nullptr
+                                             : &stream.events[decision_index].place;
   NOCEAS_REQUIRE(decision != nullptr,
                  "decision stream (" << stream.scheduler << ", " << stream.num_tasks
                  << " tasks) contains no placement of task " << task);
@@ -89,7 +69,7 @@ void explain_task(std::ostream& os, const DecisionStream& stream, std::int32_t t
     return;
   }
   os << "\nreceiving transactions:\n";
-  const auto earlier = earlier_in_attempt(stream, decision_index);
+  const auto earlier = index.earlier_in_attempt(decision_index);
   for (const CommRecord& c : decision->comms) {
     os << "  edge " << c.edge << ": task " << c.src_task << " (PE " << c.src_pe << ") -> PE "
        << c.dst_pe;

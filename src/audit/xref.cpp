@@ -1,0 +1,56 @@
+#include "src/audit/xref.hpp"
+
+namespace noceas::audit {
+
+PlacementIndex::PlacementIndex(const DecisionStream& stream)
+    : stream_(stream),
+      task_to_event_(stream.num_tasks, npos),
+      edge_to_event_(stream.num_edges, npos) {
+  // Later occurrences overwrite earlier ones, so after the scan every entry
+  // points at the last attempt's decision.
+  for (std::size_t i = 0; i < stream_.events.size(); ++i) {
+    const DecisionEvent& e = stream_.events[i];
+    if (e.kind != DecisionEvent::Kind::Place) continue;
+    const PlacementDecision& d = e.place;
+    if (d.task >= 0 && static_cast<std::size_t>(d.task) < task_to_event_.size()) {
+      task_to_event_[static_cast<std::size_t>(d.task)] = i;
+    }
+    for (const CommRecord& c : d.comms) {
+      if (c.edge >= 0 && static_cast<std::size_t>(c.edge) < edge_to_event_.size()) {
+        edge_to_event_[static_cast<std::size_t>(c.edge)] = i;
+      }
+    }
+  }
+}
+
+const DecisionEvent* PlacementIndex::placement(std::int32_t task) const {
+  const std::size_t i = placement_event_index(task);
+  return i == npos ? nullptr : &stream_.events[i];
+}
+
+const DecisionEvent* PlacementIndex::reserver(std::int32_t edge) const {
+  if (edge < 0 || static_cast<std::size_t>(edge) >= edge_to_event_.size()) return nullptr;
+  const std::size_t i = edge_to_event_[static_cast<std::size_t>(edge)];
+  return i == npos ? nullptr : &stream_.events[i];
+}
+
+std::vector<const PlacementDecision*> PlacementIndex::earlier_in_attempt(
+    std::size_t event_index) const {
+  std::vector<const PlacementDecision*> out;
+  for (std::size_t i = 0; i < event_index && i < stream_.events.size(); ++i) {
+    const DecisionEvent& e = stream_.events[i];
+    if (e.kind == DecisionEvent::Kind::BeginAttempt) {
+      out.clear();  // a new attempt starts with fresh tables
+    } else if (e.kind == DecisionEvent::Kind::Place) {
+      out.push_back(&e.place);
+    }
+  }
+  return out;
+}
+
+std::size_t PlacementIndex::placement_event_index(std::int32_t task) const {
+  if (task < 0 || static_cast<std::size_t>(task) >= task_to_event_.size()) return npos;
+  return task_to_event_[static_cast<std::size_t>(task)];
+}
+
+}  // namespace noceas::audit

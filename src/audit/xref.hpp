@@ -1,0 +1,54 @@
+// Cross-referencing index over a decision provenance stream.
+//
+// Both the `explain` renderer and the schedule analyzer (src/analysis/) need
+// the same lookups over a parsed stream: "which placement decision put task
+// T where it is?", "which decision reserved the link slots of edge E?", and
+// "which decisions came earlier in the same attempt?" (the only ones whose
+// reservations a transaction can have waited for).  The index is built once
+// per stream and answers all three in O(1)/O(decision).
+//
+// Only the *last* attempt's placements are indexed for tasks/edges — earlier
+// EAS budget-tightening attempts were discarded with their tables, so their
+// reservations never blocked anything in the final schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/audit/decision_log.hpp"
+
+namespace noceas::audit {
+
+class PlacementIndex {
+ public:
+  /// `stream` must outlive the index.
+  explicit PlacementIndex(const DecisionStream& stream);
+
+  /// Placement event of `task` in the last attempt; nullptr when the stream
+  /// holds none.
+  [[nodiscard]] const DecisionEvent* placement(std::int32_t task) const;
+
+  /// Placement event whose committed receiving transactions include `edge`
+  /// (the decision that holds that edge's link reservations); nullptr when
+  /// the stream holds none.
+  [[nodiscard]] const DecisionEvent* reserver(std::int32_t edge) const;
+
+  /// The placements recorded before `event_index` within the same attempt,
+  /// in decision order — the candidates for "who held the link".
+  [[nodiscard]] std::vector<const PlacementDecision*> earlier_in_attempt(
+      std::size_t event_index) const;
+
+  /// Index into stream().events of the placement of `task`; npos when absent.
+  [[nodiscard]] std::size_t placement_event_index(std::int32_t task) const;
+
+  [[nodiscard]] const DecisionStream& stream() const { return stream_; }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  const DecisionStream& stream_;
+  std::vector<std::size_t> task_to_event_;  ///< npos = no placement recorded
+  std::vector<std::size_t> edge_to_event_;  ///< npos = no reservation recorded
+};
+
+}  // namespace noceas::audit

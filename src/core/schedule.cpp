@@ -84,6 +84,40 @@ std::vector<std::vector<TaskId>> pe_orders(const Schedule& s, std::size_t num_pe
   return orders;
 }
 
+std::vector<std::vector<EdgeId>> link_orders(const TaskGraph& g, const Platform& p,
+                                             const Schedule& s) {
+  std::vector<std::vector<EdgeId>> orders(p.num_links());
+  for (EdgeId e : g.all_edges()) {
+    const CommPlacement& cp = s.at(e);
+    if (!cp.uses_network()) continue;
+    for (LinkId l : p.route(cp.src_pe, cp.dst_pe)) orders.at(l.index()).push_back(e);
+  }
+  for (auto& order : orders) {
+    std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+      const auto& pa = s.at(a);
+      const auto& pb = s.at(b);
+      if (pa.start != pb.start) return pa.start < pb.start;
+      return a < b;
+    });
+  }
+  return orders;
+}
+
+std::vector<Time> data_ready_times(const TaskGraph& g, const Schedule& s) {
+  std::vector<Time> drt(g.num_tasks(), 0);
+  for (TaskId t : g.all_tasks()) {
+    Time ready = g.task(t).release;
+    for (EdgeId e : g.in_edges(t)) {
+      const CommPlacement& cp = s.at(e);
+      const TaskPlacement& sender = s.at(g.edge(e).src);
+      NOCEAS_REQUIRE(sender.placed(), "data_ready_times of incomplete schedule");
+      ready = std::max(ready, cp.uses_network() ? cp.arrival() : sender.finish);
+    }
+    drt[t.index()] = ready;
+  }
+  return drt;
+}
+
 void print_gantt(std::ostream& os, const TaskGraph& g, const Platform& p, const Schedule& s) {
   os << "Gantt (makespan " << makespan(s) << "):\n";
   const auto orders = pe_orders(s, p.num_pes());

@@ -97,6 +97,22 @@ struct MissReport {
 /// timing reconstructor used by search & repair.
 [[nodiscard]] std::vector<std::vector<TaskId>> pe_orders(const Schedule& s, std::size_t num_pes);
 
+/// Reservation order per physical link (network transactions sorted by start
+/// time, ties by edge id) — the link-order arcs of the combined
+/// task+transaction event graph.  Every consumer of "which transactions
+/// crossed link l, in what order" (the Gantt link lanes, the analysis
+/// layer's contention and blocking attribution) goes through this one
+/// accessor.  Entry l is empty for links without traffic.
+[[nodiscard]] std::vector<std::vector<EdgeId>> link_orders(const TaskGraph& g, const Platform& p,
+                                                           const Schedule& s);
+
+/// DRT(i) of every task in the *final* schedule: the latest availability of
+/// its incoming data (arrival for network transactions, sender finish for
+/// local/control dependencies), floored at the task's release time.  For a
+/// schedule produced by the Fig. 3 machinery, task start >= this value,
+/// with equality unless the PE was busy.
+[[nodiscard]] std::vector<Time> data_ready_times(const TaskGraph& g, const Schedule& s);
+
 /// Text Gantt chart (one line per PE and per link with occupied slots).
 void print_gantt(std::ostream& os, const TaskGraph& g, const Platform& p, const Schedule& s);
 

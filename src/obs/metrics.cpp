@@ -93,6 +93,15 @@ std::vector<double> exp_buckets(double start, double factor, std::size_t count) 
   return bounds;
 }
 
+std::vector<double> linear_buckets(double start, double step, std::size_t count) {
+  NOCEAS_REQUIRE(step > 0.0, "linear_buckets needs step > 0");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i, b += step) bounds.push_back(b);
+  return bounds;
+}
+
 Counter& Registry::counter(const std::string& name, const std::string& unit) {
   std::lock_guard<std::mutex> lk(m_);
   NOCEAS_REQUIRE(!gauges_.count(name) && !histograms_.count(name),

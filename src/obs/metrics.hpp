@@ -76,6 +76,11 @@ class Histogram {
 /// the standard shape for latency/size histograms.
 [[nodiscard]] std::vector<double> exp_buckets(double start, double factor, std::size_t count);
 
+/// Arithmetic bucket bounds {start, start+step, ...} of length `count` —
+/// for bounded-ratio histograms (utilization, busy fractions) where
+/// geometric buckets would waste resolution.
+[[nodiscard]] std::vector<double> linear_buckets(double start, double step, std::size_t count);
+
 /// Named metric store.  Find-or-create by name; names must be unique
 /// across all three metric kinds.  Serializes to a stable, sorted JSON
 /// schema so downstream tooling can diff runs.

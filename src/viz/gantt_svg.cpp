@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <map>
 #include <ostream>
 #include <sstream>
 
+#include "src/analysis/analysis.hpp"
 #include "src/core/obs_export.hpp"
 
 namespace noceas {
@@ -39,6 +39,8 @@ void write_gantt_svg(std::ostream& os, const TaskGraph& g, const Platform& p, co
   NOCEAS_REQUIRE(s.complete(), "gantt of incomplete schedule");
   NOCEAS_REQUIRE(options.width_px > 100 && options.row_height_px > 8, "implausible dimensions");
 
+  // makespan() is 0 for an empty schedule and may be 0 when every task has
+  // zero duration; the max() keeps px_per_tick finite either way.
   const Time span = std::max<Time>(1, makespan(s));
   const int label_w = 150;
   const int axis_h = 24;
@@ -54,21 +56,21 @@ void write_gantt_svg(std::ostream& os, const TaskGraph& g, const Platform& p, co
   std::vector<Lane> lanes;
   for (PeId pe : p.all_pes()) lanes.push_back({p.pe(pe).name, true, pe.index()});
 
-  std::map<std::size_t, std::vector<EdgeId>> link_traffic;
+  // Shared reservation-order accessor (same data the analysis layer uses),
+  // indexed by link id; links without traffic get no lane.
+  const std::vector<std::vector<EdgeId>> link_traffic = link_orders(g, p, s);
+  std::vector<std::size_t> link_lane(p.num_links(), static_cast<std::size_t>(-1));
   if (options.show_links) {
-    for (EdgeId e : g.all_edges()) {
-      const CommPlacement& cp = s.at(e);
-      if (!cp.uses_network()) continue;
-      for (LinkId l : p.route(cp.src_pe, cp.dst_pe)) link_traffic[l.index()].push_back(e);
-    }
-    for (const auto& [link, _] : link_traffic) {
+    for (std::size_t link = 0; link < link_traffic.size(); ++link) {
+      if (link_traffic[link].empty()) continue;
       std::ostringstream label;
-      const Link& lk = p.is_mesh() ? p.mesh().link(LinkId{link}) : Link{};
       if (p.is_mesh()) {
+        const Link& lk = p.mesh().link(LinkId{link});
         label << "link " << p.tile_name(lk.from) << "->" << p.tile_name(lk.to);
       } else {
         label << "link #" << link;
       }
+      link_lane[link] = lanes.size();
       lanes.push_back({label.str(), false, link});
     }
   }
@@ -135,21 +137,45 @@ void write_gantt_svg(std::ostream& os, const TaskGraph& g, const Platform& p, co
 
   // Link-utilization heat: tint each link lane by the same utilization the
   // metrics JSON reports (one shared code path, see src/core/obs_export.hpp)
-  // and print the percentage at the lane's right edge.
-  if (options.show_link_heat && options.show_links && !link_traffic.empty()) {
+  // and print the percentage at the lane's right edge.  The tint is
+  // normalized by the busiest link; when every utilization is zero (all-local
+  // placements, zero-duration transfers) the lanes stay untinted instead of
+  // dividing by zero.
+  if (options.show_link_heat && options.show_links) {
     const std::vector<double> util = link_utilization(g, p, s);
+    const double max_util =
+        util.empty() ? 0.0 : std::clamp(*std::max_element(util.begin(), util.end()), 0.0, 1.0);
     for (std::size_t i = 0; i < lanes.size(); ++i) {
       if (lanes[i].is_pe) continue;
       const double u = std::clamp(util[lanes[i].index], 0.0, 1.0);
+      const double tint = max_util > 0.0 ? 0.45 * (u / max_util) : 0.0;
       os << "<rect x=\"" << label_w << "\" y=\"" << y_of(i) + 1 << "\" width=\""
          << options.width_px << "\" height=\"" << options.row_height_px - 2
-         << "\" fill=\"#d62728\" fill-opacity=\"" << 0.45 * u << "\"><title>utilization "
+         << "\" fill=\"#d62728\" fill-opacity=\"" << tint << "\"><title>utilization "
          << u << "</title></rect>\n";
       char pct[16];
       std::snprintf(pct, sizeof(pct), "%.1f%%", 100.0 * u);
       os << "<text x=\"" << label_w + options.width_px + 4 << "\" y=\""
          << y_of(i) + options.row_height_px * 2 / 3 << "\" fill=\"#a00\" font-size=\"10\">"
          << pct << "</text>\n";
+    }
+  }
+
+  // Contention windows: shade the spans during which a ready transaction
+  // sat waiting for the link (drawn under the transaction boxes).
+  if (options.show_contention && options.show_links) {
+    const auto windows = analysis::link_contention_windows(g, p, s);
+    for (std::size_t link = 0; link < windows.size(); ++link) {
+      const std::size_t lane = link_lane[link];
+      if (lane == static_cast<std::size_t>(-1)) continue;
+      for (const Interval& w : windows[link]) {
+        os << "<rect x=\"" << x_of(w.start) << "\" y=\"" << y_of(lane) + 2 << "\" width=\""
+           << std::max(1.0, static_cast<double>(w.length()) * px_per_tick) << "\" height=\""
+           << options.row_height_px - 4
+           << "\" fill=\"#d62728\" fill-opacity=\"0.2\" stroke=\"#d62728\""
+           << " stroke-dasharray=\"3,2\" stroke-width=\"0.8\"><title>contention [" << w.start
+           << ", " << w.end << ")</title></rect>\n";
+      }
     }
   }
 
@@ -167,6 +193,35 @@ void write_gantt_svg(std::ostream& os, const TaskGraph& g, const Platform& p, co
          << "\" fill-opacity=\"0.6\" stroke=\"#555\" stroke-width=\"0.5\"><title>"
          << escape_xml(g.task(edge.src).name) << " -&gt; " << escape_xml(g.task(edge.dst).name)
          << " (" << edge.volume << " bits)</title></rect>\n";
+    }
+  }
+
+  // Critical-path overlay: gold outline on every segment of the chain that
+  // determines the makespan (drawn last, on top of everything).  Transaction
+  // segments are outlined on each route-link lane they reserve.
+  if (options.show_critical_path && g.num_tasks() > 0) {
+    const analysis::CriticalPath path = analysis::critical_path(g, p, s);
+    auto outline = [&](std::size_t lane, Time start, Time finish, std::size_t seg_index,
+                       const char* what, std::int32_t id) {
+      os << "<rect x=\"" << x_of(start) << "\" y=\"" << y_of(lane) + 1 << "\" width=\""
+         << std::max(1.5, static_cast<double>(finish - start) * px_per_tick) << "\" height=\""
+         << options.row_height_px - 2
+         << "\" fill=\"none\" stroke=\"#d4a017\" stroke-width=\"2\"><title>critical path #"
+         << seg_index << ": " << what << ' ' << id << "</title></rect>\n";
+    };
+    for (std::size_t k = 0; k < path.segments.size(); ++k) {
+      const analysis::PathSegment& seg = path.segments[k];
+      if (seg.kind == analysis::PathSegment::Kind::Task) {
+        outline(s.at(TaskId{seg.id}).pe.index(), seg.start, seg.finish, k, "task", seg.id);
+      } else if (options.show_links) {
+        const CommPlacement& cp = s.at(EdgeId{seg.id});
+        for (LinkId l : p.route(cp.src_pe, cp.dst_pe)) {
+          const std::size_t lane = link_lane[l.index()];
+          if (lane != static_cast<std::size_t>(-1)) {
+            outline(lane, seg.start, seg.finish, k, "edge", seg.id);
+          }
+        }
+      }
     }
   }
 

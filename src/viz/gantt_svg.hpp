@@ -24,8 +24,16 @@ struct GanttSvgOptions {
   /// Tint each link lane by its utilization (reserved time / makespan) and
   /// print the percentage; the numbers come from the same
   /// `link_utilization()` code path as the metrics JSON, so SVG and
-  /// metrics always agree.
+  /// metrics always agree.  Tints are normalized by the busiest link so
+  /// relative load stays visible (a zero-traffic chart renders untinted).
   bool show_link_heat = false;
+  /// Outline the analysis layer's critical path: every task/transaction
+  /// segment of the chain that determines the makespan gets a gold border
+  /// on its lane.
+  bool show_critical_path = false;
+  /// Shade the analysis layer's link contention windows (spans where a
+  /// ready transaction waited for the link) on the link lanes.
+  bool show_contention = false;
   std::string title;          ///< optional heading
 };
 

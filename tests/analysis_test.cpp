@@ -1,0 +1,339 @@
+// Post-hoc schedule analytics tests.
+//
+// The properties at the heart of this file, checked across 50 seeds and all
+// six scheduler configurations:
+//   * the critical path is a contiguous chain of schedule segments whose
+//     total length equals the makespan exactly;
+//   * the per-task wait decomposition dep + link + pe equals start − release
+//     exactly, with every component non-negative on scheduler output;
+//   * the energy totals reconcile BIT-exactly with the scheduler-reported
+//     EnergyBreakdown (same accumulation loop), and the per-link / per-hop /
+//     injection decompositions sum back to the communication total;
+//   * every identified blocker really holds a shared route link until the
+//     instant the waiting transaction starts, and cross-references a
+//     recorded placement decision when a provenance stream is attached.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/analysis/analysis.hpp"
+#include "src/audit/decision_log.hpp"
+#include "src/baseline/dls.hpp"
+#include "src/baseline/edf.hpp"
+#include "src/baseline/greedy_energy.hpp"
+#include "src/baseline/map_then_schedule.hpp"
+#include "src/core/eas.hpp"
+#include "src/gen/tgff.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace noceas {
+namespace {
+
+struct Instance {
+  TaskGraph g;
+  Platform p;
+};
+
+/// Same instance family as the audit replay property: 2-3x3 heterogeneous
+/// mesh, 26 tasks / 52 edges, odd seeds with tight deadlines so repair and
+/// budget-tightening attempts shape the schedules.
+Instance make_instance(std::uint64_t seed) {
+  const int rows = 2 + static_cast<int>(seed % 2);
+  const int cols = 3;
+  const PeCatalog catalog = make_hetero_catalog(rows, cols, seed * 31 + 5);
+  TgffParams params;
+  params.num_tasks = 26;
+  params.num_edges = 52;
+  params.avg_layer_width = 5.0;
+  params.seed = seed * 977 + 11;
+  if (seed % 2 == 1) {
+    params.deadline_tightness_min = 0.8;
+    params.deadline_tightness_max = 1.1;
+    params.interior_deadline_fraction = 0.15;
+  }
+  return {generate_tgff_like(params, catalog), make_platform_for(catalog, rows, cols)};
+}
+
+const char* const kSchedulers[] = {"eas", "eas-base", "edf", "dls", "greedy", "map"};
+
+struct Run {
+  Schedule schedule;
+  EnergyBreakdown energy;  ///< as reported by the scheduler itself
+};
+
+Run run_scheduler(const std::string& which, const TaskGraph& g, const Platform& p,
+                  audit::DecisionLog* log) {
+  if (which == "eas" || which == "eas-base") {
+    EasOptions options;
+    options.repair = which == "eas";
+    options.decisions = log;
+    const EasResult r = schedule_eas(g, p, options);
+    return {r.schedule, r.energy};
+  }
+  BaselineObs obs;
+  obs.decisions = log;
+  if (which == "edf") {
+    const BaselineResult r = schedule_edf(g, p, obs);
+    return {r.schedule, r.energy};
+  }
+  if (which == "dls") {
+    const BaselineResult r = schedule_dls(g, p, obs);
+    return {r.schedule, r.energy};
+  }
+  if (which == "greedy") {
+    const BaselineResult r = schedule_greedy_energy(g, p, obs);
+    return {r.schedule, r.energy};
+  }
+  NOCEAS_REQUIRE(which == "map", "unknown scheduler " << which);
+  MapScheduleOptions options;
+  options.obs = obs;
+  const MapScheduleResult r = schedule_map_then_list(g, p, options);
+  return {r.result.schedule, r.result.energy};
+}
+
+/// All analyzer invariants on one (instance, scheduler) pair.
+void check_report(const std::string& which, const Instance& in, std::uint64_t seed) {
+  audit::DecisionLog log;
+  const Run run = run_scheduler(which, in.g, in.p, &log);
+  const Schedule& s = run.schedule;
+
+  analysis::AnalyzeOptions options;
+  options.label = which;
+  options.decisions = &log.stream();
+  const analysis::Report r = analysis::analyze_schedule(in.g, in.p, s, options);
+  const std::string ctx = which + " seed " + std::to_string(seed);
+
+  // -- critical path: contiguous chain, length provably equals makespan ------
+  ASSERT_TRUE(r.critical_path.complete) << ctx;
+  ASSERT_FALSE(r.critical_path.segments.empty()) << ctx;
+  EXPECT_EQ(r.critical_path.head_start, 0) << ctx;
+  EXPECT_EQ(r.critical_path.length, r.makespan) << ctx;
+  EXPECT_EQ(r.critical_path.segments.back().finish, r.makespan) << ctx;
+  for (std::size_t i = 1; i < r.critical_path.segments.size(); ++i) {
+    EXPECT_EQ(r.critical_path.segments[i - 1].finish, r.critical_path.segments[i].start)
+        << ctx << " segment " << i << " is not contiguous";
+  }
+
+  // -- exact wait decomposition ----------------------------------------------
+  Time dep = 0, link = 0, pe = 0;
+  for (TaskId t : in.g.all_tasks()) {
+    const analysis::TaskAttribution& a = r.tasks[t.index()];
+    EXPECT_EQ(a.dep_wait + a.link_wait + a.pe_wait, a.start - a.release)
+        << ctx << " task " << t.value;
+    EXPECT_GE(a.dep_wait, 0) << ctx << " task " << t.value;
+    EXPECT_GE(a.link_wait, 0) << ctx << " task " << t.value;
+    EXPECT_GE(a.pe_wait, 0) << ctx << " task " << t.value;
+    dep += a.dep_wait;
+    link += a.link_wait;
+    pe += a.pe_wait;
+
+    // Blockers: the named transaction really holds a shared route link until
+    // the instant the waiting one starts, and names a recorded decision.
+    for (const analysis::BlockerRecord& b : a.blockers) {
+      EXPECT_EQ(s.at(EdgeId{b.edge}).start - s.at(in.g.edge(EdgeId{b.edge}).src).finish, b.wait)
+          << ctx;
+      if (b.blocking_edge < 0) continue;
+      const CommPlacement& blocking = s.at(EdgeId{b.blocking_edge});
+      EXPECT_EQ(blocking.arrival(), s.at(EdgeId{b.edge}).start) << ctx;
+      const auto& route = in.p.route(blocking.src_pe, blocking.dst_pe);
+      EXPECT_NE(std::find(route.begin(), route.end(), LinkId{b.link}), route.end()) << ctx;
+      EXPECT_EQ(b.blocking_task, in.g.edge(EdgeId{b.blocking_edge}).dst.value) << ctx;
+      EXPECT_GE(b.decision_seq, 0) << ctx << " (stream attached, seq must resolve)";
+    }
+
+    // Slack accounting is internally consistent by construction.
+    if (a.has_budget) {
+      EXPECT_EQ(a.residual_slack, a.granted_slack - a.consumed_slack) << ctx;
+    }
+  }
+  EXPECT_EQ(r.total_dep_wait, dep) << ctx;
+  EXPECT_EQ(r.total_link_wait, link) << ctx;
+  EXPECT_EQ(r.total_pe_wait, pe) << ctx;
+
+  // -- bit-exact energy reconciliation ---------------------------------------
+  EXPECT_EQ(r.energy.totals.computation, run.energy.computation) << ctx;
+  EXPECT_EQ(r.energy.totals.communication, run.energy.communication) << ctx;
+  EXPECT_EQ(r.energy.totals.total(), run.energy.total()) << ctx;
+
+  // The decompositions are FP re-orderings of the same Eq. 2 terms: they
+  // must sum back to the communication total to tight tolerance.
+  double by_link = 0.0, by_hop = 0.0, per_edge = 0.0;
+  for (const analysis::LinkEnergyRow& row : r.energy.per_link) {
+    by_link += row.link_energy + row.switch_energy;
+  }
+  for (const analysis::InjectionEnergyRow& row : r.energy.injection) {
+    by_link += row.switch_energy;
+  }
+  for (const analysis::HopEnergyRow& row : r.energy.per_hop) by_hop += row.energy;
+  for (const Energy e : r.energy.per_edge) per_edge += e;
+  const double tol = 1e-9 * std::max(1.0, run.energy.communication);
+  EXPECT_NEAR(by_link, run.energy.communication, tol) << ctx;
+  EXPECT_NEAR(by_hop, run.energy.communication, tol) << ctx;
+  EXPECT_NEAR(per_edge, run.energy.communication, tol) << ctx;
+
+  // -- utilization timelines reconcile with the shared obs code path --------
+  for (const analysis::PeUsage& u : r.pes) {
+    EXPECT_NEAR(u.utilization,
+                static_cast<double>(u.busy) / static_cast<double>(std::max<Time>(1, r.makespan)),
+                1e-12)
+        << ctx;
+    EXPECT_EQ(u.busy + u.idle_time, r.makespan) << ctx << " PE " << u.pe;
+  }
+  for (const analysis::LinkUsage& u : r.links) {
+    EXPECT_GT(u.transactions, 0u) << ctx;
+    EXPECT_EQ(u.busy + u.idle_time, r.makespan) << ctx << " link " << u.link;
+  }
+}
+
+// ---- 50-seed, all-scheduler property ---------------------------------------
+
+TEST(Analysis, FiftySeedsAllSchedulersInvariantsHold) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const Instance in = make_instance(seed);
+    for (const char* which : kSchedulers) {
+      check_report(which, in, seed);
+    }
+  }
+}
+
+// ---- handcrafted contention fixture ----------------------------------------
+
+/// Two producers on PE 0 feeding one consumer on PE 1 over the same link;
+/// edge 1 is ready at t=20 but the link is held by edge 0 until t=30.
+struct ContendedFixture {
+  Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g{4};
+  Schedule s;
+
+  ContendedFixture() {
+    g.add_task("a", {10, 10, 10, 10}, {1, 2, 3, 4});
+    g.add_task("b", {10, 10, 10, 10}, {1, 2, 3, 4});
+    g.add_task("c", {10, 10, 10, 10}, {1, 2, 3, 4}, 60);
+    g.add_edge(TaskId{0}, TaskId{2}, 200);
+    g.add_edge(TaskId{1}, TaskId{2}, 100);
+    s = Schedule(3, 2);
+    s.tasks[0] = {PeId{0}, 0, 10};
+    s.tasks[1] = {PeId{0}, 10, 20};
+    s.tasks[2] = {PeId{1}, 40, 50};
+    s.comms[0] = {PeId{0}, PeId{1}, 10, 20};
+    s.comms[1] = {PeId{0}, PeId{1}, 30, 10};
+  }
+};
+
+TEST(Analysis, ContendedFixtureAttribution) {
+  ContendedFixture f;
+  const analysis::Report r = analysis::analyze_schedule(f.g, f.p, f.s);
+
+  EXPECT_EQ(r.makespan, 50);
+  ASSERT_TRUE(r.critical_path.complete);
+  EXPECT_EQ(r.critical_path.length, 50);
+  // a -> edge0 -> (link busy) edge1 -> c: the walk must pass the blocking arc.
+  bool saw_link_busy = false;
+  for (const analysis::PathSegment& seg : r.critical_path.segments) {
+    saw_link_busy |= seg.reason == analysis::PathSegment::Reason::LinkBusy;
+  }
+  EXPECT_TRUE(saw_link_busy);
+
+  // Task c: release 0, start 40 = 30 dep (uncontended arrival) + 10 link.
+  const analysis::TaskAttribution& c = r.tasks[2];
+  EXPECT_EQ(c.dep_ready, 30);
+  EXPECT_EQ(c.data_ready, 40);
+  EXPECT_EQ(c.dep_wait, 30);
+  EXPECT_EQ(c.link_wait, 10);
+  EXPECT_EQ(c.pe_wait, 0);
+  ASSERT_EQ(c.blockers.size(), 1u);
+  EXPECT_EQ(c.blockers[0].edge, 1);
+  EXPECT_EQ(c.blockers[0].blocking_edge, 0);
+  EXPECT_EQ(c.blockers[0].blocking_task, 2);
+  EXPECT_EQ(c.blockers[0].wait, 10);
+  EXPECT_EQ(c.blockers[0].decision_seq, -1);  // no stream attached
+
+  // One contention window [20, 30) on the shared link.
+  ASSERT_EQ(r.links.size(), 1u);
+  ASSERT_EQ(r.links[0].contention_windows.size(), 1u);
+  EXPECT_EQ(r.links[0].contention_windows[0], (Interval{20, 30}));
+  EXPECT_EQ(r.links[0].contention_time, 10);
+
+  // Eq. 2 on the defaults: bit_energy(2 hops) = 2*e_sbit + 1*e_lbit = 0.0065.
+  EXPECT_DOUBLE_EQ(r.energy.totals.communication, 300 * 0.0065);
+  EXPECT_DOUBLE_EQ(r.energy.totals.computation, 1.0 + 1.0 + 2.0);
+}
+
+TEST(Analysis, EmptyScheduleAnalyzes) {
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  const TaskGraph g{4};
+  const analysis::Report r = analysis::analyze_schedule(g, p, Schedule(0, 0));
+  EXPECT_EQ(r.makespan, 0);
+  EXPECT_TRUE(r.critical_path.complete);
+  EXPECT_TRUE(r.critical_path.segments.empty());
+  EXPECT_TRUE(r.links.empty());
+  EXPECT_EQ(r.energy.totals.total(), 0.0);
+}
+
+TEST(Analysis, DegenerateGapScheduleReportsIncompletePath) {
+  // A handcrafted schedule where the last task starts out of thin air (no
+  // tight predecessor): the walk must terminate with complete == false
+  // instead of hanging.
+  ContendedFixture f;
+  f.s.tasks[2] = {PeId{1}, 45, 55};  // 5 ticks after its data arrived, PE idle
+  const analysis::CriticalPath path = analysis::critical_path(f.g, f.p, f.s);
+  EXPECT_FALSE(path.complete);
+  EXPECT_FALSE(path.segments.empty());
+  EXPECT_EQ(path.segments.front().reason, analysis::PathSegment::Reason::Gap);
+}
+
+TEST(Analysis, MetricsExportRegistersGaugesAndHistograms) {
+  ContendedFixture f;
+  obs::Registry registry;
+  analysis::AnalyzeOptions options;
+  options.metrics = &registry;
+  (void)analyze_schedule(f.g, f.p, f.s, options);
+  const auto values = registry.values();
+  EXPECT_EQ(values.at("analysis.makespan"), 50.0);
+  EXPECT_EQ(values.at("analysis.critical_path.length"), 50.0);
+  EXPECT_EQ(values.at("analysis.wait.link"), 10.0);
+  EXPECT_EQ(values.at("analysis.contention.time"), 10.0);
+  EXPECT_EQ(values.at("analysis.blockers"), 1.0);
+  EXPECT_GT(values.at("analysis.pe.idle_gap.count"), 0.0);
+}
+
+TEST(Analysis, LinearBucketsShape) {
+  const auto b = obs::linear_buckets(0.1, 0.1, 9);
+  ASSERT_EQ(b.size(), 9u);
+  EXPECT_DOUBLE_EQ(b.front(), 0.1);
+  EXPECT_DOUBLE_EQ(b.back(), 0.9);
+  EXPECT_THROW((void)obs::linear_buckets(0.0, 0.0, 3), Error);
+}
+
+// ---- golden JSON -----------------------------------------------------------
+
+TEST(Analysis, GoldenJson) {
+  ContendedFixture f;
+  analysis::AnalyzeOptions options;
+  options.label = "golden";
+  const analysis::Report r = analysis::analyze_schedule(f.g, f.p, f.s, options);
+  std::ostringstream os;
+  write_analysis_json(os, r);
+  const std::string json = os.str();
+  // Structural goldens: stable substrings of the v1 schema that downstream
+  // tooling (CI smoke stage, bench_compare) keys on.
+  EXPECT_NE(json.find("\"schema\":\"noceas.analysis.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"golden\""), std::string::npos);
+  EXPECT_NE(json.find("\"makespan\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path\":{\"complete\":true,\"head_start\":0,\"length\":50"),
+            std::string::npos);
+  // a: no waits; b: PE busy until 10; c: 30 dep (uncontended) + 10 link.
+  EXPECT_NE(json.find("\"waits\":{\"dep\":30,\"link\":10,\"pe\":10}"), std::string::npos);
+  EXPECT_NE(json.find("\"blockers\":[{\"edge\":1,\"wait\":10,\"link\":"), std::string::npos);
+  EXPECT_NE(json.find("\"contention_windows\":[[20,30]]"), std::string::npos);
+  EXPECT_NE(json.find("\"communication\":1.95"), std::string::npos);
+  // The hop energy is a double accumulation (200 + 100 bits at 0.0065/bit), so
+  // match only the prefix of the shortest-round-trip rendering.
+  EXPECT_NE(json.find("\"per_hop\":[{\"hops\":2,\"packets\":2,\"energy\":1.95"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace noceas

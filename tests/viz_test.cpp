@@ -77,6 +77,102 @@ TEST(GanttSvg, RejectsBadInputs) {
   EXPECT_THROW((void)gantt_svg(f.g, f.p, f.s, tiny), Error);
 }
 
+/// Two producers on PE 0 feeding one consumer on PE 1 over the same link;
+/// the second transaction is ready at t=20 but the link is held until t=30,
+/// so the schedule has one real contention window and a tight critical path.
+struct ContendedFixture {
+  Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  TaskGraph g{4};
+  Schedule s;
+
+  ContendedFixture() {
+    g.add_task("a", {10, 10, 10, 10}, {1, 1, 1, 1});
+    g.add_task("b", {10, 10, 10, 10}, {1, 1, 1, 1});
+    g.add_task("c", {10, 10, 10, 10}, {1, 1, 1, 1});
+    g.add_edge(TaskId{0}, TaskId{2}, 200);  // reserves the link for [10, 30)
+    g.add_edge(TaskId{1}, TaskId{2}, 100);  // ready at 20, starts at 30
+    s = Schedule(3, 2);
+    s.tasks[0] = {PeId{0}, 0, 10};
+    s.tasks[1] = {PeId{0}, 10, 20};
+    s.tasks[2] = {PeId{1}, 40, 50};
+    s.comms[0] = {PeId{0}, PeId{1}, 10, 20};
+    s.comms[1] = {PeId{0}, PeId{1}, 30, 10};
+  }
+};
+
+TEST(GanttSvg, EmptyScheduleRendersValidSvg) {
+  const Platform p = make_mesh_platform(2, 2, {"A", "B", "C", "D"}, 10.0);
+  const TaskGraph g{4};
+  const Schedule s(0, 0);
+  GanttSvgOptions options;
+  options.show_link_heat = true;
+  options.show_critical_path = true;
+  options.show_contention = true;
+  const std::string svg = gantt_svg(g, p, s, options);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+TEST(GanttSvg, ZeroDurationTasksAndTransactionsRender) {
+  Fixture f;
+  // Handcrafted degenerate placements: zero-length task, zero-length local
+  // transaction, zero makespan overall.
+  f.s.tasks[0] = {PeId{0}, 0, 0};
+  f.s.tasks[1] = {PeId{0}, 0, 0};
+  f.s.comms[0] = {PeId{0}, PeId{0}, 0, 0};
+  GanttSvgOptions heat;
+  heat.show_link_heat = true;
+  const std::string svg = gantt_svg(f.g, f.p, f.s, heat);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  // Zero-duration boxes are still visible (minimum 1px width).
+  EXPECT_NE(svg.find("width=\"1\""), std::string::npos);
+}
+
+TEST(GanttSvg, LinkHeatWithZeroUtilizationStaysFinite) {
+  // All placements local: no link carries traffic, so every utilization is
+  // zero and the heat normalization must not divide by it.
+  Fixture f;
+  f.s.tasks[1] = {PeId{0}, 10, 20};
+  f.s.comms[0] = {PeId{0}, PeId{0}, 10, 0};
+  GanttSvgOptions heat;
+  heat.show_link_heat = true;
+  const std::string svg = gantt_svg(f.g, f.p, f.s, heat);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("fill-opacity=\"-"), std::string::npos);
+}
+
+TEST(GanttSvg, LinkHeatNormalizedByBusiestLink) {
+  // The busiest link gets the full tint (0.45) even below 100% utilization.
+  ContendedFixture f;
+  GanttSvgOptions heat;
+  heat.show_link_heat = true;
+  const std::string svg = gantt_svg(f.g, f.p, f.s, heat);
+  EXPECT_NE(svg.find("fill-opacity=\"0.45\""), std::string::npos);
+}
+
+TEST(GanttSvg, CriticalPathOverlay) {
+  ContendedFixture f;
+  GanttSvgOptions with;
+  with.show_critical_path = true;
+  const std::string svg = gantt_svg(f.g, f.p, f.s, with);
+  EXPECT_NE(svg.find("critical path #"), std::string::npos);
+  EXPECT_NE(svg.find("stroke=\"#d4a017\""), std::string::npos);
+  EXPECT_EQ(gantt_svg(f.g, f.p, f.s).find("critical path #"), std::string::npos);
+}
+
+TEST(GanttSvg, ContentionOverlay) {
+  ContendedFixture f;
+  GanttSvgOptions with;
+  with.show_contention = true;
+  const std::string svg = gantt_svg(f.g, f.p, f.s, with);
+  EXPECT_NE(svg.find("contention [20, 30)"), std::string::npos);
+  EXPECT_EQ(gantt_svg(f.g, f.p, f.s).find("contention ["), std::string::npos);
+}
+
 TEST(GanttSvg, WorksOnRealMsbSchedule) {
   const PeCatalog catalog = msb_catalog_3x3();
   const Platform p = msb_platform_3x3();

@@ -20,9 +20,15 @@ metrics section (probe cache hit rate, decision counters from a fixed
 reported exactly; it warns rather than fails because a deliberate algorithm
 change legitimately moves those numbers — re-record the baseline with it.
 
+`check --json PATH` additionally writes a machine-readable diff
+(`noceas.bench_compare.v1`): per-benchmark baseline/current/delta with an
+ok / improved / regression / missing / new verdict, the exact metric drift,
+and an overall pass / warn / fail verdict.  Pass `-` to write it to stdout
+(the human-readable table then goes to stderr).
+
 Usage:
   tools/bench_compare.py record [--build-dir build] [--min-time 0.05]
-  tools/bench_compare.py check  [--build-dir build] [--tolerance 0.35]
+  tools/bench_compare.py check  [--build-dir build] [--tolerance 0.35] [--json out.json]
 """
 
 import argparse
@@ -38,6 +44,7 @@ import tempfile
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_SCHEMA = "noceas.bench_baseline.v1"
 TRAJECTORY_SCHEMA = "noceas.bench_trajectory.v1"
+COMPARE_SCHEMA = "noceas.bench_compare.v1"
 
 
 def run(cmd, **kw):
@@ -165,6 +172,65 @@ def load_json(path):
         return json.load(f)
 
 
+def compare(baseline, bench, metrics, tolerance, comparable):
+    """Pure diff of a re-run against a recorded baseline.
+
+    No I/O and no benchmark execution: `baseline` is the parsed baseline
+    document, `bench` maps benchmark name -> current ms, `metrics` maps
+    metric name -> current value.  Returns a `noceas.bench_compare.v1`
+    report.  Verdict semantics:
+
+      per benchmark: ok | improved | regression | missing | new
+      overall:       fail  iff a regression on a comparable environment,
+                     warn  for regressions on foreign hardware, missing /
+                           new benchmarks, improvements, or metric drift,
+                     pass  otherwise.
+    """
+    rows = []
+    for name, base_ms in sorted(baseline.get("bench_ms", {}).items()):
+        if name not in bench:
+            rows.append({"name": name, "baseline_ms": base_ms, "current_ms": None,
+                         "delta_rel": None, "verdict": "missing"})
+            continue
+        cur = bench[name]
+        rel = cur / base_ms - 1.0 if base_ms > 0 else 0.0
+        if rel > tolerance:
+            verdict = "regression"
+        elif rel < -tolerance:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append({"name": name, "baseline_ms": base_ms, "current_ms": cur,
+                     "delta_rel": round(rel, 4), "verdict": verdict})
+    for name in sorted(set(bench) - set(baseline.get("bench_ms", {}))):
+        rows.append({"name": name, "baseline_ms": None, "current_ms": bench[name],
+                     "delta_rel": None, "verdict": "new"})
+
+    drift = []
+    for name, base_v in sorted(baseline.get("metrics", {}).items()):
+        cur = metrics.get(name)
+        if cur != base_v:
+            drift.append({"name": name, "baseline": base_v, "current": cur})
+
+    regressions = sum(1 for r in rows if r["verdict"] == "regression")
+    attention = sum(1 for r in rows if r["verdict"] in ("improved", "missing", "new"))
+    if regressions and comparable:
+        overall = "fail"
+    elif regressions or attention or drift:
+        overall = "warn"
+    else:
+        overall = "pass"
+    return {
+        "schema": COMPARE_SCHEMA,
+        "comparable": comparable,
+        "tolerance": tolerance,
+        "verdict": overall,
+        "regressions": regressions,
+        "benchmarks": rows,
+        "metric_drift": drift,
+    }
+
+
 def cmd_record(args):
     fp = fingerprint(args.build_dir)
     print(f"environment: {fp['cpu']} · {fp['cores']} cores · {fp['compiler']}")
@@ -201,10 +267,42 @@ def cmd_record(args):
     return 0
 
 
+def print_report(report, out=sys.stdout):
+    """Render a compare() report as the human-readable check table."""
+    for row in report["benchmarks"]:
+        v = row["verdict"]
+        if v == "missing":
+            print(f"  MISSING  {row['name']} (in baseline, not in this run)", file=out)
+        elif v == "new":
+            print(f"  NEW      {row['name']} = {row['current_ms']:.2f} ms "
+                  "(not in baseline)", file=out)
+        else:
+            tag = {"ok": "ok", "regression": "REGRESSION",
+                   "improved": "improved (consider re-recording the baseline)"}[v]
+            print(f"  {row['baseline_ms']:10.2f} -> {row['current_ms']:10.2f} ms  "
+                  f"{row['delta_rel']:+7.1%}  {row['name']}  {tag}", file=out)
+    for d in report["metric_drift"]:
+        print(f"  metric drift: {d['name']} {d['baseline']} -> {d['current']}", file=out)
+    if report["metric_drift"]:
+        print(f"{len(report['metric_drift'])} deterministic metric(s) drifted — fine "
+              "for a deliberate algorithm change; re-record the baseline to "
+              "acknowledge", file=out)
+    if report["verdict"] == "fail":
+        print(f"{report['regressions']} benchmark(s) regressed beyond "
+              f"{report['tolerance']:.0%}", file=out)
+    elif report["comparable"]:
+        print("bench check passed" if report["verdict"] == "pass"
+              else f"bench check: {report['verdict']}", file=out)
+    else:
+        print("bench check done (not gated)", file=out)
+
+
 def cmd_check(args):
+    # With --json - the report owns stdout; route the table to stderr.
+    text_out = sys.stderr if args.json == "-" else sys.stdout
     if not os.path.exists(args.baseline):
         print(f"no baseline at {os.path.relpath(args.baseline, REPO)}; "
-              "run 'tools/bench_compare.py record' first")
+              "run 'tools/bench_compare.py record' first", file=text_out)
         return 0
     baseline = load_json(args.baseline)
     if baseline.get("schema") != BASELINE_SCHEMA:
@@ -214,7 +312,8 @@ def cmd_check(args):
     if not comparable:
         print(f"note: environment differs from baseline ({fp['id']} vs "
               f"{baseline['fingerprint']['id']}, recorded on "
-              f"{baseline['fingerprint']['cpu']}); timings reported but not gated")
+              f"{baseline['fingerprint']['cpu']}); timings reported but not gated",
+              file=text_out)
 
     bench_args = baseline.get("bench_args", {})
     bench = run_google_benchmark(
@@ -223,40 +322,24 @@ def cmd_check(args):
         bench_args.get("repetitions", args.repetitions),
         args.filter,
     )
-
-    regressions = 0
-    for name, base_ms in sorted(baseline["bench_ms"].items()):
-        if name not in bench:
-            print(f"  MISSING  {name} (in baseline, not in this run)")
-            continue
-        cur = bench[name]
-        rel = cur / base_ms - 1.0 if base_ms > 0 else 0.0
-        tag = "ok"
-        if rel > args.tolerance:
-            tag = "REGRESSION"
-            regressions += 1
-        elif rel < -args.tolerance:
-            tag = "improved (consider re-recording the baseline)"
-        print(f"  {base_ms:10.2f} -> {cur:10.2f} ms  {rel:+7.1%}  {name}  {tag}")
-    for name in sorted(set(bench) - set(baseline["bench_ms"])):
-        print(f"  NEW      {name} = {bench[name]:.2f} ms (not in baseline)")
-
-    drift = 0
     metrics = deterministic_metrics(args.build_dir)
-    for name, base_v in sorted(baseline.get("metrics", {}).items()):
-        cur = metrics.get(name)
-        if cur != base_v:
-            print(f"  metric drift: {name} {base_v} -> {cur}")
-            drift += 1
-    if drift:
-        print(f"{drift} deterministic metric(s) drifted — fine for a deliberate "
-              "algorithm change; re-record the baseline to acknowledge")
 
-    if regressions and comparable:
-        print(f"{regressions} benchmark(s) regressed beyond {args.tolerance:.0%}")
-        return 2
-    print("bench check passed" if comparable else "bench check done (not gated)")
-    return 0
+    report = compare(baseline, bench, metrics, args.tolerance, comparable)
+    report["baseline_rev"] = baseline.get("rev", "unknown")
+    report["rev"] = git_rev()
+    print_report(report, out=text_out)
+
+    if args.json:
+        if args.json == "-":
+            json.dump(report, sys.stdout, indent=1, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            with open(args.json, "w") as f:
+                json.dump(report, f, indent=1, sort_keys=True)
+                f.write("\n")
+            print(f"wrote {os.path.relpath(args.json, REPO)}", file=text_out)
+
+    return 2 if report["verdict"] == "fail" else 0
 
 
 def main():
@@ -270,6 +353,9 @@ def main():
                     default=os.path.join(REPO, "bench", "baselines", "runtime_scaling.json"))
     ap.add_argument("--trajectory", default=os.path.join(REPO, "BENCH_runtime_scaling.json"))
     ap.add_argument("--filter", default="", help="--benchmark_filter regex")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="check mode: also write a noceas.bench_compare.v1 "
+                         "report to PATH ('-' for stdout)")
     ap.add_argument("--min-time", default="0.05", help="--benchmark_min_time per benchmark")
     ap.add_argument("--repetitions", type=int, default=3)
     ap.add_argument("--tolerance", type=float, default=0.35,

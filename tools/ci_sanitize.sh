@@ -12,6 +12,9 @@
 #   - audit-replay stage (under the ASan/UBSan build): records a decision
 #     provenance stream with the CLI, replays it with `audit --replay`, and
 #     runs `validate` on the exported schedule
+#   - analyze smoke stage (same build): `analyze --json` for every scheduler,
+#     asserting the noceas.analysis.v1 identities (critical path length ==
+#     makespan, exact wait decomposition)
 #   - observability smoke gate (plain build): an attached tracer must leave
 #     schedules bit-identical and cost < 5% runtime
 #   - perf-baseline soft gate: tools/bench_compare.py check (warns on
@@ -69,6 +72,36 @@ for sched in eas edf dls greedy map; do
     --ctg "$audit_dir/g.txt" --platform "$audit_dir/p.txt" >/dev/null
   echo "    $sched: replay + validate OK"
 done
+
+# Analyze smoke stage (same ASan/UBSan binaries): run the post-hoc schedule
+# analytics for every scheduler and check the report's load-bearing
+# identities — schema, a complete critical path whose length equals the
+# makespan, and the exact per-task wait decomposition.
+echo "==> [analyze] post-hoc analytics under ASan/UBSan"
+for sched in eas eas-base edf dls greedy map; do
+  "$cli" analyze --ctg "$audit_dir/g.txt" --platform "$audit_dir/p.txt" \
+    --scheduler "$sched" --json "$audit_dir/a.json" >/dev/null
+  python3 - "$audit_dir/a.json" "$sched" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+sched = sys.argv[2]
+assert doc["schema"] == "noceas.analysis.v1", doc.get("schema")
+cp = doc["critical_path"]
+assert cp["complete"], f"{sched}: incomplete critical path"
+assert cp["length"] == doc["makespan"], (sched, cp["length"], doc["makespan"])
+for t in doc["tasks"]:
+    waits = t["dep_wait"] + t["link_wait"] + t["pe_wait"]
+    assert waits == t["start"] - t["release"], (sched, t)
+PY
+  echo "    $sched: analyze OK"
+done
+# The exported-schedule route too, with the decision stream attached
+# (s.txt / d.jsonl are the last scheduler's from the audit loop above).
+"$cli" analyze --ctg "$audit_dir/g.txt" --platform "$audit_dir/p.txt" \
+  --schedule "$audit_dir/s.txt" --decisions "$audit_dir/d.jsonl" \
+  --json "$audit_dir/a.json" >/dev/null
+echo "    exported schedule + decisions: analyze OK"
 
 # Observability smoke gate: tracing must not change schedules and must stay
 # within the 5% overhead budget (docs/OBSERVABILITY.md).  Built without

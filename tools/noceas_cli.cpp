@@ -12,6 +12,8 @@
 //   noceas_cli explain   --decisions d.jsonl --task 7
 //   noceas_cli audit     --replay --decisions d.jsonl --ctg g.txt --platform p.txt
 //   noceas_cli validate  --schedule s.txt --ctg g.txt --platform p.txt
+//   noceas_cli analyze   --ctg g.txt --platform p.txt [--scheduler eas]
+//                        [--json out.json] [--compare edf] [--svg out.svg]
 //
 // Schedulers: eas (default), eas-base, edf, dls, greedy, map.
 // Unknown flags are rejected with an error (no silent typo swallowing).
@@ -22,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/analysis.hpp"
 #include "src/audit/decision_log.hpp"
 #include "src/audit/explain.hpp"
 #include "src/audit/replay.hpp"
@@ -59,6 +62,10 @@ int usage() {
       "  noceas_cli explain --decisions FILE --task ID\n"
       "  noceas_cli audit --replay --decisions FILE --ctg FILE --platform FILE\n"
       "  noceas_cli validate --schedule FILE --ctg FILE --platform FILE [--deadlines]\n"
+      "  noceas_cli analyze --ctg FILE --platform FILE\n"
+      "             [--scheduler eas|eas-base|edf|dls|greedy|map | --schedule FILE]\n"
+      "             [--decisions FILE] [--json FILE] [--metrics FILE] [--svg FILE]\n"
+      "             [--top N] [--compare SCHEDULER]\n"
       "\n"
       "schedule observability flags:\n"
       "  --trace FILE    write a Chrome trace-event JSON of the scheduler run\n"
@@ -73,7 +80,16 @@ int usage() {
       "explain prints the candidate table, applied rule and link reservations of\n"
       "one placement decision; audit --replay re-executes the decision stream and\n"
       "proves it reproduces the recorded schedule bit-for-bit; validate runs the\n"
-      "standalone invariant checks on an exported schedule.\n";
+      "standalone invariant checks on an exported schedule.\n"
+      "\n"
+      "analyze runs the post-hoc schedule analytics (critical path, exact wait\n"
+      "decomposition, utilization/contention timelines, slack and energy\n"
+      "attribution).  It schedules the instance itself (--scheduler, recording\n"
+      "decision provenance in-memory for blocker cross-referencing) or consumes\n"
+      "an exported schedule (--schedule, optionally with --decisions).  --json\n"
+      "writes the noceas.analysis.v1 document, --svg a Gantt with critical-path\n"
+      "and contention overlays, --compare a second scheduler's report diffed\n"
+      "against the first.\n";
   return 2;
 }
 
@@ -175,6 +191,28 @@ int cmd_info(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Runs one scheduler by name (no tracing/metrics; optional decision
+/// recording) — the analyze verb's way of producing schedules to dissect.
+Schedule run_named_scheduler(const TaskGraph& g, const Platform& p, const std::string& which,
+                             audit::DecisionLog* decisions) {
+  if (which == "eas" || which == "eas-base") {
+    EasOptions options;
+    options.repair = which == "eas";
+    options.decisions = decisions;
+    return schedule_eas(g, p, options).schedule;
+  }
+  if (which == "map") {
+    MapScheduleOptions options;
+    options.obs = BaselineObs{nullptr, nullptr, decisions};
+    return schedule_map_then_list(g, p, options).result.schedule;
+  }
+  const BaselineObs obs{nullptr, nullptr, decisions};
+  if (which == "edf") return schedule_edf(g, p, obs).schedule;
+  if (which == "dls") return schedule_dls(g, p, obs).schedule;
+  if (which == "greedy") return schedule_greedy_energy(g, p, obs).schedule;
+  NOCEAS_REQUIRE(false, "unknown scheduler '" << which << '\'');
+}
+
 int cmd_schedule(const std::map<std::string, std::string>& flags) {
   NOCEAS_REQUIRE(flags.count("ctg") && flags.count("platform"),
                  "schedule requires --ctg FILE and --platform FILE");
@@ -249,6 +287,8 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
     NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("svg") << '\'');
     GanttSvgOptions svg_options;
     svg_options.show_link_heat = flags.count("link-heat") > 0;
+    svg_options.show_critical_path = flags.count("critical-path") > 0;
+    svg_options.show_contention = flags.count("contention") > 0;
     svg_options.title = which + " schedule";
     write_gantt_svg(os, g, p, s, svg_options);
     std::cout << "wrote " << flags.at("svg") << '\n';
@@ -341,6 +381,87 @@ int cmd_audit(const std::map<std::string, std::string>& flags) {
   return 1;
 }
 
+int cmd_analyze(const std::map<std::string, std::string>& flags) {
+  NOCEAS_REQUIRE(flags.count("ctg") && flags.count("platform"),
+                 "analyze requires --ctg FILE and --platform FILE");
+  NOCEAS_REQUIRE(!(flags.count("schedule") && flags.count("scheduler")),
+                 "--schedule FILE and --scheduler NAME are mutually exclusive");
+  const TaskGraph g = load_ctg(flags.at("ctg"));
+  const Platform p = load_platform(flags.at("platform"));
+
+  // The schedule under analysis: an exported file, or a fresh scheduler run
+  // with in-memory decision provenance for blocker cross-referencing.
+  Schedule s;
+  audit::DecisionLog decision_log;
+  audit::DecisionStream loaded_stream;
+  const audit::DecisionStream* stream = nullptr;
+  std::string label;
+  if (flags.count("schedule")) {
+    std::ifstream is(flags.at("schedule"));
+    NOCEAS_REQUIRE(is.good(), "cannot open schedule file '" << flags.at("schedule") << '\'');
+    s = read_schedule_text(is);
+    label = flags.at("schedule");
+    if (flags.count("decisions")) {
+      loaded_stream = load_decisions(flags.at("decisions"));
+      stream = &loaded_stream;
+    }
+  } else {
+    label = flags.count("scheduler") ? flags.at("scheduler") : "eas";
+    s = run_named_scheduler(g, p, label, &decision_log);
+    stream = &decision_log.stream();
+  }
+  const ValidationReport vr = validate_schedule(g, p, s, {.check_deadlines = false});
+  NOCEAS_REQUIRE(vr.ok(), "schedule fails invariant checks:\n" << vr.to_string());
+
+  obs::Registry registry;
+  analysis::AnalyzeOptions options;
+  options.label = label;
+  options.decisions = stream;
+  options.metrics = flags.count("metrics") ? &registry : nullptr;
+  const analysis::Report report = analyze_schedule(g, p, s, options);
+
+  if (flags.count("json")) {
+    std::ofstream os(flags.at("json"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("json") << '\'');
+    write_analysis_json(os, report);
+    std::cout << "wrote " << flags.at("json") << '\n';
+  } else {
+    const std::size_t top = flags.count("top")
+                                ? static_cast<std::size_t>(std::stoul(flags.at("top")))
+                                : 5;
+    print_analysis(std::cout, g, p, report, top);
+  }
+  if (flags.count("metrics")) {
+    std::ofstream os(flags.at("metrics"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("metrics") << '\'');
+    registry.write_json(os);
+    std::cout << "wrote " << flags.at("metrics") << '\n';
+  }
+  if (flags.count("svg")) {
+    std::ofstream os(flags.at("svg"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("svg") << '\'');
+    GanttSvgOptions svg_options;
+    svg_options.show_link_heat = true;
+    svg_options.show_critical_path = true;
+    svg_options.show_contention = true;
+    svg_options.title = label + " (critical path + contention)";
+    write_gantt_svg(os, g, p, s, svg_options);
+    std::cout << "wrote " << flags.at("svg") << '\n';
+  }
+  if (flags.count("compare")) {
+    const std::string other = flags.at("compare");
+    audit::DecisionLog other_log;
+    const Schedule s2 = run_named_scheduler(g, p, other, &other_log);
+    analysis::AnalyzeOptions other_options;
+    other_options.label = other;
+    other_options.decisions = &other_log.stream();
+    const analysis::Report other_report = analyze_schedule(g, p, s2, other_options);
+    std::cout << '\n';
+    print_analysis_diff(std::cout, report, other_report);
+  }
+  return 0;
+}
+
 int cmd_validate(const std::map<std::string, std::string>& flags) {
   NOCEAS_REQUIRE(flags.count("schedule") && flags.count("ctg") && flags.count("platform"),
                  "validate requires --schedule FILE, --ctg FILE and --platform FILE");
@@ -376,8 +497,9 @@ int main(int argc, char** argv) {
     if (cmd == "schedule") {
       return cmd_schedule(parse_flags(argc, argv, 2,
                                       {"ctg", "platform", "scheduler", "gantt", "svg",
-                                       "link-heat", "dot", "simulate", "dvs", "trace",
-                                       "metrics", "decisions", "schedule-out"}));
+                                       "link-heat", "critical-path", "contention", "dot",
+                                       "simulate", "dvs", "trace", "metrics", "decisions",
+                                       "schedule-out"}));
     }
     if (cmd == "explain") {
       return cmd_explain(parse_flags(argc, argv, 2, {"decisions", "task"}));
@@ -388,6 +510,11 @@ int main(int argc, char** argv) {
     if (cmd == "validate") {
       return cmd_validate(parse_flags(argc, argv, 2,
                                       {"schedule", "ctg", "platform", "deadlines"}));
+    }
+    if (cmd == "analyze") {
+      return cmd_analyze(parse_flags(argc, argv, 2,
+                                     {"ctg", "platform", "scheduler", "schedule", "decisions",
+                                      "json", "metrics", "svg", "top", "compare"}));
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Self-check for the pure comparison core of tools/bench_compare.py.
+
+Exercises compare() on synthetic baseline/run pairs only — no benchmark
+binaries are executed, so this runs in milliseconds and is wired into ctest.
+"""
+
+import io
+import json
+import unittest
+
+import bench_compare
+
+
+def make_baseline(bench_ms, metrics=None):
+    return {
+        "schema": bench_compare.BASELINE_SCHEMA,
+        "bench_ms": dict(bench_ms),
+        "metrics": dict(metrics or {}),
+    }
+
+
+class CompareTest(unittest.TestCase):
+    def test_identical_run_passes(self):
+        base = make_baseline({"a": 10.0, "b": 2.5}, {"m": 7})
+        r = bench_compare.compare(base, {"a": 10.0, "b": 2.5}, {"m": 7}, 0.35, True)
+        self.assertEqual(r["schema"], bench_compare.COMPARE_SCHEMA)
+        self.assertEqual(r["verdict"], "pass")
+        self.assertEqual(r["regressions"], 0)
+        self.assertEqual([row["verdict"] for row in r["benchmarks"]], ["ok", "ok"])
+        self.assertEqual(r["metric_drift"], [])
+
+    def test_within_tolerance_is_ok(self):
+        base = make_baseline({"a": 10.0})
+        r = bench_compare.compare(base, {"a": 13.0}, {}, 0.35, True)
+        self.assertEqual(r["benchmarks"][0]["verdict"], "ok")
+        self.assertAlmostEqual(r["benchmarks"][0]["delta_rel"], 0.3)
+        self.assertEqual(r["verdict"], "pass")
+
+    def test_regression_fails_when_comparable(self):
+        base = make_baseline({"a": 10.0, "b": 5.0})
+        r = bench_compare.compare(base, {"a": 20.0, "b": 5.0}, {}, 0.35, True)
+        self.assertEqual(r["verdict"], "fail")
+        self.assertEqual(r["regressions"], 1)
+        by_name = {row["name"]: row for row in r["benchmarks"]}
+        self.assertEqual(by_name["a"]["verdict"], "regression")
+        self.assertEqual(by_name["b"]["verdict"], "ok")
+
+    def test_regression_only_warns_on_foreign_hardware(self):
+        base = make_baseline({"a": 10.0})
+        r = bench_compare.compare(base, {"a": 20.0}, {}, 0.35, False)
+        self.assertEqual(r["verdict"], "warn")
+        self.assertFalse(r["comparable"])
+
+    def test_improvement_warns_to_suggest_rerecord(self):
+        base = make_baseline({"a": 10.0})
+        r = bench_compare.compare(base, {"a": 5.0}, {}, 0.35, True)
+        self.assertEqual(r["benchmarks"][0]["verdict"], "improved")
+        self.assertEqual(r["verdict"], "warn")
+
+    def test_missing_and_new_benchmarks_warn(self):
+        base = make_baseline({"gone": 10.0})
+        r = bench_compare.compare(base, {"fresh": 1.0}, {}, 0.35, True)
+        by_name = {row["name"]: row for row in r["benchmarks"]}
+        self.assertEqual(by_name["gone"]["verdict"], "missing")
+        self.assertIsNone(by_name["gone"]["current_ms"])
+        self.assertEqual(by_name["fresh"]["verdict"], "new")
+        self.assertIsNone(by_name["fresh"]["baseline_ms"])
+        self.assertEqual(r["verdict"], "warn")
+
+    def test_metric_drift_is_exact_and_warns(self):
+        base = make_baseline({"a": 1.0}, {"hits": 100, "commits": 5})
+        r = bench_compare.compare(base, {"a": 1.0}, {"hits": 101, "commits": 5},
+                                  0.35, True)
+        self.assertEqual(r["metric_drift"],
+                         [{"name": "hits", "baseline": 100, "current": 101}])
+        self.assertEqual(r["verdict"], "warn")
+
+    def test_zero_baseline_does_not_divide(self):
+        base = make_baseline({"a": 0.0})
+        r = bench_compare.compare(base, {"a": 3.0}, {}, 0.35, True)
+        self.assertEqual(r["benchmarks"][0]["delta_rel"], 0.0)
+        self.assertEqual(r["benchmarks"][0]["verdict"], "ok")
+
+    def test_report_is_json_serializable(self):
+        base = make_baseline({"a": 10.0}, {"m": 1})
+        r = bench_compare.compare(base, {"b": 2.0}, {}, 0.35, False)
+        round_tripped = json.loads(json.dumps(r))
+        self.assertEqual(round_tripped, r)
+
+    def test_print_report_renders_every_verdict(self):
+        base = make_baseline({"slow": 10.0, "gone": 1.0}, {"m": 1})
+        r = bench_compare.compare(base, {"slow": 20.0, "fresh": 2.0}, {"m": 3},
+                                  0.35, True)
+        out = io.StringIO()
+        bench_compare.print_report(r, out=out)
+        text = out.getvalue()
+        self.assertIn("REGRESSION", text)
+        self.assertIn("MISSING  gone", text)
+        self.assertIn("NEW      fresh", text)
+        self.assertIn("metric drift: m 1 -> 3", text)
+        self.assertIn("regressed beyond 35%", text)
+
+
+if __name__ == "__main__":
+    unittest.main()
