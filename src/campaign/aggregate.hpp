@@ -1,0 +1,105 @@
+// Cross-run aggregation of campaign outcomes: distributions, QoS rates,
+// win matrices, outliers ("noceas.campaign.aggregate.v1").
+//
+// Everything here is a pure, deterministic function of the outcome rows in
+// unit order: accumulation order is fixed, quantiles interpolate over the
+// sorted sample, and the per-scheduler means are the plain
+// sum-in-unit-order / count — so they reconcile bit-exactly with the
+// individual runs' scheduler-reported energies and makespans.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/campaign/campaign.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace noceas::campaign {
+
+/// Summary statistics of one metric over a scheduler's successful runs.
+/// `mean` is the exact unit-order sum divided by count; quantiles use
+/// linear interpolation over the ascending-sorted sample.
+struct Dist {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Dist over `values` (already in unit order).  Empty input
+/// yields an all-zero Dist.
+[[nodiscard]] Dist make_dist(const std::vector<double>& values);
+
+/// One run flagged as an outlier of its scheduler's makespan distribution.
+struct OutlierRun {
+  std::size_t unit_index = 0;  ///< index into CampaignResult::units/outcomes
+  std::string run_id;
+  double deviation = 0.0;      ///< |makespan − scheduler p50|
+  Time makespan = 0;
+  Energy energy = 0.0;
+  ReasonMix reasons;           ///< why its critical path was long
+};
+
+/// Population statistics of one scheduler across the campaign.
+struct SchedulerAggregate {
+  std::string scheduler;
+  std::size_t runs = 0;    ///< successful runs aggregated below
+  std::size_t failed = 0;  ///< ok=false runs (excluded from the stats)
+  Dist energy;             ///< energy_total across runs
+  Dist makespan;
+  std::size_t runs_with_misses = 0;
+  double miss_rate = 0.0;  ///< runs_with_misses / runs (QoS verdict rate)
+  std::uint64_t total_misses = 0;
+  Time total_tardiness = 0;
+  double mean_hops = 0.0;
+  ReasonMix reasons;  ///< summed critical-path reason mix
+  std::vector<OutlierRun> outliers;  ///< top runs by |makespan − p50|, desc
+};
+
+/// Pairwise comparison cell: row scheduler vs column scheduler over the
+/// (app, seed) instances both completed.
+struct WinCell {
+  std::size_t wins = 0;
+  std::size_t losses = 0;
+  std::size_t ties = 0;
+};
+
+/// Win matrices over shared instances (row beats column with strictly
+/// smaller value).  Indexed [row][col] in scheduler order.
+struct WinMatrix {
+  std::vector<std::string> schedulers;
+  std::vector<std::vector<WinCell>> energy;
+  std::vector<std::vector<WinCell>> makespan;
+};
+
+/// The full cross-run aggregate.
+struct Aggregate {
+  std::size_t total_runs = 0;
+  std::size_t failed_runs = 0;
+  std::vector<SchedulerAggregate> schedulers;  ///< in spec.schedulers order
+  WinMatrix wins;
+};
+
+/// Number of outliers kept per scheduler.
+inline constexpr std::size_t kMaxOutliers = 3;
+
+/// Aggregates the outcome rows (in unit order) of one campaign.
+[[nodiscard]] Aggregate aggregate_outcomes(const CampaignSpec& spec,
+                                           const std::vector<RunUnit>& units,
+                                           const std::vector<RunOutcome>& outcomes);
+
+/// Writes the deterministic "noceas.campaign.aggregate.v1" JSON document.
+void write_aggregate_json(std::ostream& os, const Aggregate& aggregate);
+
+/// Registers the aggregate as "campaign.*" series in `registry`:
+/// campaign.runs / campaign.failed_runs counters and, per scheduler S,
+/// campaign.<S>.energy.{mean,p50,p90} / campaign.<S>.makespan.{mean,p50,p90}
+/// / campaign.<S>.miss_rate gauges.
+void export_campaign_metrics(const Aggregate& aggregate, obs::Registry& registry);
+
+}  // namespace noceas::campaign

@@ -1,0 +1,391 @@
+#include "src/campaign/campaign.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/analysis/analysis.hpp"
+#include "src/audit/decision_log.hpp"
+#include "src/baseline/dls.hpp"
+#include "src/baseline/edf.hpp"
+#include "src/baseline/greedy_energy.hpp"
+#include "src/baseline/map_then_schedule.hpp"
+#include "src/campaign/aggregate.hpp"
+#include "src/campaign/dashboard.hpp"
+#include "src/campaign/json_util.hpp"
+#include "src/core/eas.hpp"
+#include "src/core/validator.hpp"
+#include "src/gen/hetero.hpp"
+#include "src/msb/msb.hpp"
+#include "src/util/error.hpp"
+#include "src/util/thread_pool.hpp"
+
+namespace noceas::campaign {
+
+namespace {
+
+using detail::fmt;
+using detail::write_string;
+
+const char* const kKnownSchedulers[] = {"eas", "eas-base", "edf", "dls", "greedy", "map"};
+
+bool known_scheduler(const std::string& name) {
+  return std::find(std::begin(kKnownSchedulers), std::end(kKnownSchedulers), name) !=
+         std::end(kKnownSchedulers);
+}
+
+/// One generated problem instance.
+struct Instance {
+  TaskGraph g;
+  Platform p;
+};
+
+/// Regenerates the unit's problem instance from its seed.  Pure function of
+/// (app, seed): every run builds its own instance, so execution order and
+/// thread assignment cannot leak between runs.
+Instance make_instance(const AppSpec& app, std::uint64_t seed) {
+  switch (app.kind) {
+    case AppSpec::Kind::Msb: {
+      ClipProfile clip = clip_foreman();
+      for (const ClipProfile& c : all_clips()) {
+        if (c.name == app.msb_clip) clip = c;
+      }
+      const bool small = app.msb_app != "encdec";
+      const PeCatalog catalog = small ? msb_catalog_2x2() : msb_catalog_3x3();
+      Platform p = small ? msb_platform_2x2() : msb_platform_3x3();
+      TaskGraph g = app.msb_app == "encoder"   ? make_av_encoder(clip, catalog)
+                    : app.msb_app == "decoder" ? make_av_decoder(clip, catalog)
+                                               : make_av_encdec(clip, catalog);
+      return {std::move(g), std::move(p)};
+    }
+    case AppSpec::Kind::Tgff:
+    case AppSpec::Kind::Custom: {
+      const PeCatalog catalog = make_hetero_catalog(4, 4, 42);
+      Platform p = make_platform_for(catalog, 4, 4);
+      TgffParams params = app.kind == AppSpec::Kind::Tgff
+                              ? category_params(app.category, app.index)
+                              : app.custom;
+      params.seed = seed;
+      TaskGraph g = generate_tgff_like(params, catalog);
+      return {std::move(g), std::move(p)};
+    }
+  }
+  NOCEAS_REQUIRE(false, "unreachable app kind");
+}
+
+/// Common denominator of one scheduler run.
+struct SchedRun {
+  Schedule schedule;
+  EnergyBreakdown energy;
+  MissReport misses;
+  ProbeStats probe;
+};
+
+SchedRun run_scheduler(const std::string& which, const TaskGraph& g, const Platform& p,
+                       obs::Registry* metrics, audit::DecisionLog* decisions) {
+  if (which == "eas" || which == "eas-base") {
+    EasOptions options;
+    options.repair = which == "eas";
+    options.metrics = metrics;
+    options.decisions = decisions;
+    EasResult r = schedule_eas(g, p, options);
+    return {std::move(r.schedule), r.energy, std::move(r.misses), r.probe};
+  }
+  if (which == "map") {
+    MapScheduleOptions options;
+    options.obs = BaselineObs{nullptr, metrics, decisions};
+    MapScheduleResult r = schedule_map_then_list(g, p, options);
+    return {std::move(r.result.schedule), r.result.energy, std::move(r.result.misses),
+            r.result.probe};
+  }
+  const BaselineObs obs{nullptr, metrics, decisions};
+  BaselineResult r;
+  if (which == "edf")
+    r = schedule_edf(g, p, obs);
+  else if (which == "dls")
+    r = schedule_dls(g, p, obs);
+  else if (which == "greedy")
+    r = schedule_greedy_energy(g, p, obs);
+  else
+    NOCEAS_REQUIRE(false, "unknown scheduler '" << which << '\'');
+  return {std::move(r.schedule), r.energy, std::move(r.misses), r.probe};
+}
+
+ReasonMix reason_mix(const analysis::CriticalPath& path) {
+  ReasonMix mix;
+  for (const analysis::PathSegment& seg : path.segments) {
+    const Time len = seg.finish - seg.start;
+    switch (seg.reason) {
+      case analysis::PathSegment::Reason::Dep: mix.dep += len; break;
+      case analysis::PathSegment::Reason::PeBusy: mix.pe_busy += len; break;
+      case analysis::PathSegment::Reason::LinkBusy: mix.link_busy += len; break;
+      default: mix.head += len; break;
+    }
+  }
+  return mix;
+}
+
+/// Relative artifact paths inside the manifest directory (deterministic —
+/// never absolute).
+std::string metrics_path(const RunUnit& u) { return "runs/" + u.id + ".metrics.json"; }
+std::string analysis_path(const RunUnit& u) { return "runs/" + u.id + ".analysis.json"; }
+std::string decisions_path(const RunUnit& u) { return "runs/" + u.id + ".decisions.jsonl"; }
+
+void write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream os(path);
+  NOCEAS_REQUIRE(os.good(), "cannot write '" << path.string() << '\'');
+  os << content;
+}
+
+/// Executes one unit; fills the outcome and resource slots.  Failures are
+/// captured in the outcome row instead of escaping — one broken run must
+/// not sink a fleet.
+void run_one(const CampaignSpec& spec, const RunUnit& unit, RunOutcome& outcome,
+             ResourceSample& resources) {
+  const ResourceSampler sampler;
+  outcome.id = unit.id;
+  outcome.app = unit.app.name();
+  outcome.seed = unit.seed;
+  outcome.scheduler = unit.scheduler;
+  try {
+    const Instance inst = make_instance(unit.app, unit.seed);
+    outcome.num_tasks = inst.g.num_tasks();
+    outcome.num_edges = inst.g.num_edges();
+
+    const bool artifacts = spec.artifacts && !spec.out_dir.empty();
+    obs::Registry registry;
+    audit::DecisionLog decisions;
+    const SchedRun run =
+        run_scheduler(unit.scheduler, inst.g, inst.p, artifacts ? &registry : nullptr,
+                      artifacts ? &decisions : nullptr);
+
+    const ValidationReport vr =
+        validate_schedule(inst.g, inst.p, run.schedule, {.check_deadlines = false});
+    NOCEAS_REQUIRE(vr.ok(), "invalid schedule:\n" << vr.to_string());
+
+    outcome.energy_total = run.energy.total();
+    outcome.energy_comp = run.energy.computation;
+    outcome.energy_comm = run.energy.communication;
+    outcome.makespan = makespan(run.schedule);
+    outcome.miss_count = run.misses.miss_count;
+    outcome.tardiness = run.misses.total_tardiness;
+    outcome.deadlines_met = run.misses.all_met();
+    outcome.avg_hops = average_hops_per_packet(inst.g, inst.p, run.schedule);
+    outcome.probes_issued = run.probe.probes_issued;
+    outcome.probe_cache_hits = run.probe.cache_hits;
+    outcome.probe_hit_rate = run.probe.hit_rate();
+
+    if (artifacts) {
+      // Full analysis (with decision cross-referencing) only when the
+      // artifact is requested; the manifest's reason mix needs just the
+      // critical path.
+      analysis::AnalyzeOptions options;
+      options.label = unit.scheduler;
+      options.decisions = &decisions.stream();
+      options.metrics = &registry;
+      const analysis::Report report = analyze_schedule(inst.g, inst.p, run.schedule, options);
+      outcome.reasons = reason_mix(report.critical_path);
+
+      const std::filesystem::path dir(spec.out_dir);
+      std::ostringstream os;
+      write_analysis_json(os, report);
+      write_file(dir / analysis_path(unit), os.str());
+      os.str("");
+      registry.write_json(os);
+      write_file(dir / metrics_path(unit), os.str());
+      os.str("");
+      decisions.write_jsonl(os);
+      write_file(dir / decisions_path(unit), os.str());
+    } else {
+      outcome.reasons = reason_mix(analysis::critical_path(inst.g, inst.p, run.schedule));
+    }
+    outcome.ok = true;
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.error = e.what();
+  }
+  resources = sampler.sample();
+}
+
+void write_reason_mix(std::ostream& os, const ReasonMix& mix) {
+  os << "{\"head\":" << mix.head << ",\"dep\":" << mix.dep << ",\"pe_busy\":" << mix.pe_busy
+     << ",\"link_busy\":" << mix.link_busy << '}';
+}
+
+void write_app_spec(std::ostream& os, const AppSpec& app) {
+  os << "{\"name\":";
+  write_string(os, app.name());
+  os << ",\"kind\":\""
+     << (app.kind == AppSpec::Kind::Tgff    ? "tgff"
+         : app.kind == AppSpec::Kind::Msb ? "msb"
+                                          : "custom")
+     << '"';
+  if (app.kind == AppSpec::Kind::Tgff) {
+    os << ",\"category\":" << app.category << ",\"index\":" << app.index;
+  } else if (app.kind == AppSpec::Kind::Msb) {
+    os << ",\"app\":";
+    write_string(os, app.msb_app);
+    os << ",\"clip\":";
+    write_string(os, app.msb_clip);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string AppSpec::name() const {
+  switch (kind) {
+    case Kind::Tgff:
+      return "cat" + std::to_string(category) + "-i" + std::to_string(index);
+    case Kind::Msb:
+      return "msb-" + msb_app + "-" + msb_clip;
+    case Kind::Custom:
+      return custom_name.empty() ? "custom" : custom_name;
+  }
+  return "unknown";
+}
+
+std::vector<RunUnit> expand_spec(const CampaignSpec& spec) {
+  if (!spec.apps.empty()) {
+    NOCEAS_REQUIRE(!spec.seeds.empty(), "campaign spec has apps but no seeds");
+    NOCEAS_REQUIRE(!spec.schedulers.empty(), "campaign spec has apps but no schedulers");
+  }
+  for (const std::string& s : spec.schedulers) {
+    NOCEAS_REQUIRE(known_scheduler(s), "unknown scheduler '" << s << "' in campaign spec");
+  }
+  std::vector<RunUnit> units;
+  for (const AppSpec& app : spec.apps) {
+    const std::size_t seed_count = app.seeded() ? spec.seeds.size() : 1;
+    for (std::size_t si = 0; si < seed_count; ++si) {
+      for (const std::string& scheduler : spec.schedulers) {
+        RunUnit unit;
+        unit.app = app;
+        unit.seed = spec.seeds[si];
+        unit.scheduler = scheduler;
+        unit.id = app.name() + "-s" + std::to_string(unit.seed) + "-" + scheduler;
+        units.push_back(std::move(unit));
+      }
+    }
+  }
+  return units;
+}
+
+CampaignResult run_campaign(const CampaignSpec& spec) {
+  CampaignResult result;
+  result.spec = spec;
+  result.units = expand_spec(spec);
+  result.outcomes.resize(result.units.size());
+  result.resources.resize(result.units.size());
+
+  const std::filesystem::path dir(spec.out_dir);
+  if (!spec.out_dir.empty()) {
+    std::filesystem::create_directories(spec.artifacts ? dir / "runs" : dir);
+  }
+
+  // One private pool per campaign: unit i writes slot i, so the merge is
+  // seq-ordered and independent of which lane ran what.  The schedulers'
+  // own probe batches still go through the (distinct) shared probe pool;
+  // its submissions are serialized internally and bit-neutral.
+  const unsigned workers = spec.threads > 1 ? spec.threads - 1 : 0;
+  ThreadPool pool(workers);
+  pool.parallel_for(result.units.size(), [&](std::size_t i, unsigned /*lane*/) {
+    run_one(spec, result.units[i], result.outcomes[i], result.resources[i]);
+  });
+
+  if (!spec.out_dir.empty()) {
+    const Aggregate aggregate = aggregate_outcomes(spec, result.units, result.outcomes);
+    std::ostringstream os;
+    write_manifest_json(os, result);
+    write_file(dir / "manifest.json", os.str());
+    os.str("");
+    write_aggregate_json(os, aggregate);
+    write_file(dir / "aggregate.json", os.str());
+    os.str("");
+    write_resources_json(os, result);
+    write_file(dir / "resources.json", os.str());
+    os.str("");
+    write_dashboard_html(os, result, aggregate);
+    write_file(dir / "dashboard.html", os.str());
+  }
+  return result;
+}
+
+void write_manifest_json(std::ostream& os, const CampaignResult& result) {
+  // Deterministic by construction: unit order only, no wall-clock fields,
+  // no thread counts, no absolute paths.
+  const CampaignSpec& spec = result.spec;
+  os << "{\"schema\":\"noceas.campaign.v1\",\"spec\":{\"apps\":[";
+  for (std::size_t i = 0; i < spec.apps.size(); ++i) {
+    if (i > 0) os << ',';
+    write_app_spec(os, spec.apps[i]);
+  }
+  os << "],\"seeds\":[";
+  for (std::size_t i = 0; i < spec.seeds.size(); ++i) {
+    if (i > 0) os << ',';
+    os << spec.seeds[i];
+  }
+  os << "],\"schedulers\":[";
+  for (std::size_t i = 0; i < spec.schedulers.size(); ++i) {
+    if (i > 0) os << ',';
+    write_string(os, spec.schedulers[i]);
+  }
+  os << "],\"artifacts\":" << (spec.artifacts ? "true" : "false") << "},\"runs\":[";
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const RunOutcome& r = result.outcomes[i];
+    if (i > 0) os << ',';
+    os << "\n{\"id\":";
+    write_string(os, r.id);
+    os << ",\"app\":";
+    write_string(os, r.app);
+    os << ",\"seed\":" << r.seed << ",\"scheduler\":";
+    write_string(os, r.scheduler);
+    os << ",\"ok\":" << (r.ok ? "true" : "false");
+    if (!r.ok) {
+      os << ",\"error\":";
+      write_string(os, r.error);
+      os << '}';
+      continue;
+    }
+    os << ",\"num_tasks\":" << r.num_tasks << ",\"num_edges\":" << r.num_edges
+       << ",\"energy\":" << fmt(r.energy_total) << ",\"energy_comp\":" << fmt(r.energy_comp)
+       << ",\"energy_comm\":" << fmt(r.energy_comm) << ",\"makespan\":" << r.makespan
+       << ",\"miss_count\":" << r.miss_count << ",\"tardiness\":" << r.tardiness
+       << ",\"avg_hops\":" << fmt(r.avg_hops)
+       << ",\"deadlines_met\":" << (r.deadlines_met ? "true" : "false") << ",\"reasons\":";
+    write_reason_mix(os, r.reasons);
+    os << ",\"probes_issued\":" << r.probes_issued
+       << ",\"probe_cache_hits\":" << r.probe_cache_hits
+       << ",\"probe_hit_rate\":" << fmt(r.probe_hit_rate);
+    if (spec.artifacts && !spec.out_dir.empty()) {
+      const RunUnit& unit = result.units[i];
+      os << ",\"artifacts\":{\"metrics\":";
+      write_string(os, metrics_path(unit));
+      os << ",\"analysis\":";
+      write_string(os, analysis_path(unit));
+      os << ",\"decisions\":";
+      write_string(os, decisions_path(unit));
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+void write_resources_json(std::ostream& os, const CampaignResult& result) {
+  os << "{\"schema\":\"noceas.campaign.resources.v1\",\"threads\":" << result.spec.threads
+     << ",\"peak_rss_kb\":" << ResourceSampler::current_peak_rss_kb() << ",\"runs\":[";
+  for (std::size_t i = 0; i < result.resources.size(); ++i) {
+    const ResourceSample& r = result.resources[i];
+    if (i > 0) os << ',';
+    os << "\n{\"id\":";
+    write_string(os, result.outcomes[i].id);
+    os << ",\"wall_seconds\":" << fmt(r.wall_seconds)
+       << ",\"cpu_seconds\":" << fmt(r.cpu_seconds) << ",\"peak_rss_kb\":" << r.peak_rss_kb
+       << '}';
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace noceas::campaign

@@ -1,0 +1,156 @@
+// Campaign runner: fleet-scale execution of (app × seed × scheduler) runs.
+//
+// Every observability artifact below this layer (trace, metrics, decision
+// log, analysis report) describes exactly one scheduler run.  A campaign
+// executes a whole population of runs — the shape in which the paper's own
+// claims are evaluated (Fig. 5/6 averages over many TGFF graphs, Tables
+// 1–3 per-application numbers) — and aggregates them into population-level
+// evidence: per-scheduler energy/makespan distributions, deadline-miss
+// rates, pairwise win matrices, and outlier runs annotated with their
+// critical-path reason mix.
+//
+// Determinism contract: the expansion order of the (app, seed, scheduler)
+// matrix is fixed, every run regenerates its own problem instance from the
+// seed, results are merged into slot i regardless of which thread executed
+// unit i, and the manifest/aggregate documents contain no wall-clock
+// fields.  A campaign therefore produces *byte-identical* manifest and
+// aggregate JSON for any `threads` value.  Wall/CPU/RSS samples go into a
+// separate resources document (schema noceas.campaign.resources.v1) that is
+// explicitly outside the determinism contract.
+//
+// Artifact layout under CampaignSpec::out_dir:
+//   manifest.json     "noceas.campaign.v1"            (deterministic)
+//   aggregate.json    "noceas.campaign.aggregate.v1"  (deterministic)
+//   resources.json    "noceas.campaign.resources.v1"  (non-deterministic)
+//   dashboard.html    self-contained HTML dashboard
+//   runs/<id>.metrics.json / <id>.analysis.json / <id>.decisions.jsonl
+//                     per-run artifacts, when spec.artifacts is set
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/campaign/resources.hpp"
+#include "src/gen/tgff.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/util/types.hpp"
+
+namespace noceas::campaign {
+
+/// One application cell of the campaign matrix.
+struct AppSpec {
+  enum class Kind : std::uint8_t {
+    Tgff,    ///< paper-style random benchmark: category_params(category, index)
+    Msb,     ///< multimedia system benchmark: msb_app on its fixed MSB platform
+    Custom,  ///< explicit TgffParams (tests and power users)
+  };
+
+  Kind kind = Kind::Tgff;
+  int category = 1;  ///< Tgff: paper benchmark category (1 or 2)
+  int index = 0;     ///< Tgff: benchmark index within the category [0, 10)
+  std::string msb_app = "encoder";  ///< Msb: encoder | decoder | encdec
+  std::string msb_clip = "foreman"; ///< Msb: akiyo | foreman | toybox
+  TgffParams custom;                ///< Custom: generator parameters (seed overridden per run)
+  std::string custom_name;          ///< Custom: label used in run ids
+
+  /// Whether the generated instance varies with the campaign seed.  MSB
+  /// applications are fixed task graphs, so they run under the first seed
+  /// only instead of wasting identical repeats.
+  [[nodiscard]] bool seeded() const { return kind != Kind::Msb; }
+
+  /// Stable label: "cat1-i0", "msb-encoder-foreman", or custom_name.
+  [[nodiscard]] std::string name() const;
+};
+
+/// The campaign matrix plus execution knobs.
+struct CampaignSpec {
+  std::vector<AppSpec> apps;
+  std::vector<std::uint64_t> seeds = {1};
+  std::vector<std::string> schedulers = {"eas"};  ///< eas|eas-base|edf|dls|greedy|map
+  unsigned threads = 1;    ///< execution lanes (1 = serial; results identical either way)
+  bool artifacts = false;  ///< write per-run metrics/analysis/decisions under runs/
+  std::string out_dir;     ///< manifest directory; empty = in-memory only
+};
+
+/// One expanded cell of the matrix, in deterministic expansion order.
+struct RunUnit {
+  AppSpec app;
+  std::uint64_t seed = 1;
+  std::string scheduler;
+  std::string id;  ///< deterministic run id: "<app>-s<seed>-<scheduler>"
+};
+
+/// Critical-path length attributed to each segment reason — what kept the
+/// makespan up in this run (raw dependency chains vs PE vs link contention).
+struct ReasonMix {
+  Time head = 0;       ///< Source/Release/Gap head segments
+  Time dep = 0;        ///< dependency-chained segments
+  Time pe_busy = 0;    ///< PE-contention segments
+  Time link_busy = 0;  ///< link-contention segments
+
+  ReasonMix& operator+=(const ReasonMix& o) {
+    head += o.head;
+    dep += o.dep;
+    pe_busy += o.pe_busy;
+    link_busy += o.link_busy;
+    return *this;
+  }
+};
+
+/// Deterministic outcome row of one run (the manifest's per-run record).
+struct RunOutcome {
+  std::string id;
+  std::string app;
+  std::uint64_t seed = 0;
+  std::string scheduler;
+  bool ok = false;          ///< scheduler ran and the schedule validated
+  std::string error;        ///< failure message when !ok
+
+  std::size_t num_tasks = 0;
+  std::size_t num_edges = 0;
+  Energy energy_total = 0.0;
+  Energy energy_comp = 0.0;
+  Energy energy_comm = 0.0;
+  Time makespan = 0;
+  std::size_t miss_count = 0;
+  Time tardiness = 0;
+  double avg_hops = 0.0;
+  bool deadlines_met = false;  ///< per-run QoS verdict
+  ReasonMix reasons;           ///< critical-path reason mix
+
+  // Probe-path instrumentation (deterministic counters, not timings).
+  std::uint64_t probes_issued = 0;
+  std::uint64_t probe_cache_hits = 0;
+  double probe_hit_rate = 0.0;
+};
+
+/// Everything a campaign produced, resident in memory.  `outcomes[i]` and
+/// `resources[i]` belong to `units[i]`.  The cross-run aggregate is a pure
+/// function of this (see aggregate.hpp).
+struct CampaignResult {
+  CampaignSpec spec;
+  std::vector<RunUnit> units;
+  std::vector<RunOutcome> outcomes;
+  std::vector<ResourceSample> resources;  ///< non-deterministic section
+};
+
+/// Expands the spec matrix in deterministic order: apps (outer) × seeds ×
+/// schedulers (inner); non-seeded apps take only the first seed.
+[[nodiscard]] std::vector<RunUnit> expand_spec(const CampaignSpec& spec);
+
+/// Executes every unit (concurrently when spec.threads > 1), writing the
+/// artifact files into spec.out_dir when it is non-empty.  Failed runs are
+/// captured as ok=false outcome rows; the campaign itself only throws on
+/// malformed specs or unwritable output directories.
+[[nodiscard]] CampaignResult run_campaign(const CampaignSpec& spec);
+
+/// Writes the deterministic "noceas.campaign.v1" manifest document.
+void write_manifest_json(std::ostream& os, const CampaignResult& result);
+
+/// Writes the non-deterministic "noceas.campaign.resources.v1" document
+/// (per-run wall/CPU/peak-RSS samples).
+void write_resources_json(std::ostream& os, const CampaignResult& result);
+
+}  // namespace noceas::campaign

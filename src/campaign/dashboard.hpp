@@ -1,0 +1,24 @@
+// Self-contained HTML observability dashboard for one campaign.
+//
+// One file, no external assets: summary tiles, a per-scheduler statistics
+// table, inline-SVG distribution strips (every run a dot, median marked) for
+// energy and makespan, pairwise win matrices, and the outlier runs with
+// their critical-path reason mix and links to the per-run artifacts (when
+// the campaign recorded them) — the fleet-level counterpart of the per-run
+// `analyze` output.  Degenerate campaigns (zero runs, single run, all runs
+// failed) render a valid document instead of failing.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/campaign/aggregate.hpp"
+#include "src/campaign/campaign.hpp"
+
+namespace noceas::campaign {
+
+/// Writes the dashboard for `result`/`aggregate` (the latter must come from
+/// aggregate_outcomes over the same result).
+void write_dashboard_html(std::ostream& os, const CampaignResult& result,
+                          const Aggregate& aggregate);
+
+}  // namespace noceas::campaign

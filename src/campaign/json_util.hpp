@@ -1,0 +1,34 @@
+// Private JSON emission helpers of the campaign artifact writers.  Same
+// conventions as the decision log and the analysis report: shortest
+// round-trip doubles (NaN/inf degrade to null) and minimal string escaping,
+// so all artifact families agree on number rendering.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+namespace noceas::campaign::detail {
+
+inline std::string fmt(double v) {
+  if (!std::isfinite(v)) return "null";  // NaN/inf are not JSON
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+inline void write_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace noceas::campaign::detail

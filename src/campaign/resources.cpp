@@ -1,0 +1,75 @@
+#include "src/campaign/resources.hpp"
+
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define NOCEAS_HAVE_GETRUSAGE 1
+#else
+#define NOCEAS_HAVE_GETRUSAGE 0
+#endif
+
+#if defined(__linux__)
+#include <ctime>
+#define NOCEAS_HAVE_THREAD_CPUTIME 1
+#else
+#define NOCEAS_HAVE_THREAD_CPUTIME 0
+#endif
+
+namespace noceas::campaign {
+
+namespace {
+
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// CPU time of the calling thread in seconds; {0, false} when the platform
+/// has no per-thread clock.
+std::pair<double, bool> thread_cpu_seconds() {
+#if NOCEAS_HAVE_THREAD_CPUTIME
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return {static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9, true};
+  }
+#endif
+  return {0.0, false};
+}
+
+}  // namespace
+
+ResourceSampler::ResourceSampler() : wall_start_ns_(wall_now_ns()) {
+  const auto [cpu, ok] = thread_cpu_seconds();
+  cpu_start_s_ = cpu;
+  cpu_available_ = ok;
+}
+
+ResourceSample ResourceSampler::sample() const {
+  ResourceSample out;
+  const std::int64_t wall_ns = wall_now_ns() - wall_start_ns_;
+  out.wall_seconds = wall_ns > 0 ? static_cast<double>(wall_ns) * 1e-9 : 0.0;
+  if (cpu_available_) {
+    const auto [cpu, ok] = thread_cpu_seconds();
+    if (ok && cpu > cpu_start_s_) out.cpu_seconds = cpu - cpu_start_s_;
+  }
+  out.peak_rss_kb = current_peak_rss_kb();
+  return out;
+}
+
+std::int64_t ResourceSampler::current_peak_rss_kb() {
+#if NOCEAS_HAVE_GETRUSAGE
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
+#else
+    return static_cast<std::int64_t>(ru.ru_maxrss);  // KiB on Linux/BSD
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace noceas::campaign

@@ -7,32 +7,12 @@
 
 #include "src/analysis/analysis.hpp"
 #include "src/core/obs_export.hpp"
+#include "src/viz/svg_common.hpp"
 
 namespace noceas {
 
-namespace {
-
-/// Muted qualitative palette; tasks are colored by id hash so related runs
-/// stay visually stable.
-const char* kPalette[] = {"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
-                          "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"};
-
-std::string escape_xml(const std::string& in) {
-  std::string out;
-  out.reserve(in.size());
-  for (char c : in) {
-    switch (c) {
-      case '&': out += "&amp;"; break;
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '"': out += "&quot;"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using viz::escape_xml;
+using viz::palette_color;
 
 void write_gantt_svg(std::ostream& os, const TaskGraph& g, const Platform& p, const Schedule& s,
                      const GanttSvgOptions& options) {
@@ -115,7 +95,7 @@ void write_gantt_svg(std::ostream& os, const TaskGraph& g, const Platform& p, co
     for (TaskId t : g.all_tasks()) {
       const TaskPlacement& tp = s.at(t);
       if (tp.pe.index() != lanes[i].index) continue;
-      const char* fill = kPalette[t.index() % (sizeof(kPalette) / sizeof(kPalette[0]))];
+      const char* fill = palette_color(t.index());
       os << "<rect x=\"" << x_of(tp.start) << "\" y=\"" << y_of(i) + 2 << "\" width=\""
          << std::max(1.0, static_cast<double>(tp.finish - tp.start) * px_per_tick)
          << "\" height=\"" << options.row_height_px - 4 << "\" fill=\"" << fill
@@ -185,8 +165,7 @@ void write_gantt_svg(std::ostream& os, const TaskGraph& g, const Platform& p, co
     for (EdgeId e : link_traffic[lanes[i].index]) {
       const CommPlacement& cp = s.at(e);
       const CommEdge& edge = g.edge(e);
-      const char* fill =
-          kPalette[edge.src.index() % (sizeof(kPalette) / sizeof(kPalette[0]))];
+      const char* fill = palette_color(edge.src.index());
       os << "<rect x=\"" << x_of(cp.start) << "\" y=\"" << y_of(i) + 5 << "\" width=\""
          << std::max(1.0, static_cast<double>(cp.duration) * px_per_tick) << "\" height=\""
          << options.row_height_px - 10 << "\" fill=\"" << fill

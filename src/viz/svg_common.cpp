@@ -1,0 +1,30 @@
+#include "src/viz/svg_common.hpp"
+
+namespace noceas::viz {
+
+namespace {
+const char* kPalette[] = {"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+                          "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+}  // namespace
+
+std::string escape_xml(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+const char* palette_color(std::size_t index) { return kPalette[index % kPaletteSize]; }
+
+std::size_t palette_size() { return kPaletteSize; }
+
+}  // namespace noceas::viz

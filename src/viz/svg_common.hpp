@@ -1,0 +1,23 @@
+// Shared helpers of the SVG renderers (gantt_svg, campaign dashboard).
+//
+// Both renderers emit self-contained SVG with no external dependencies and
+// must agree on escaping and on the qualitative palette, so the helpers live
+// here instead of being duplicated per chart.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace noceas::viz {
+
+/// Escapes &, <, >, " for use in SVG/HTML text and attribute content.
+[[nodiscard]] std::string escape_xml(const std::string& in);
+
+/// Muted qualitative palette (10 colors); entities colored by id/index hash
+/// stay visually stable across charts and runs.
+[[nodiscard]] const char* palette_color(std::size_t index);
+
+/// Number of distinct palette entries.
+[[nodiscard]] std::size_t palette_size();
+
+}  // namespace noceas::viz

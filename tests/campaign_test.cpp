@@ -1,0 +1,333 @@
+// Campaign subsystem tests.
+//
+// The load-bearing property is the determinism contract: a campaign of 20+
+// runs produces BYTE-identical manifest, aggregate, and dashboard documents
+// whether it executes on 1 thread or many, and the aggregate's per-scheduler
+// means reconcile bit-exactly with a reader summing the individual outcome
+// rows in unit order.  Alongside that: expansion-order semantics, aggregate
+// math on synthetic outcomes (quantiles, win matrices, outliers, failed-run
+// accounting), resource-sampler monotonicity, metrics export, and dashboard
+// rendering on empty/degenerate campaigns.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/campaign/aggregate.hpp"
+#include "src/campaign/campaign.hpp"
+#include "src/campaign/dashboard.hpp"
+#include "src/campaign/resources.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace noceas::campaign {
+namespace {
+
+/// Small custom app so a 20-run campaign stays fast under sanitizers.
+AppSpec small_app(const std::string& name, std::size_t tasks) {
+  AppSpec app;
+  app.kind = AppSpec::Kind::Custom;
+  app.custom_name = name;
+  app.custom.num_tasks = tasks;
+  app.custom.num_edges = tasks * 2;
+  app.custom.avg_layer_width = 4.0;
+  return app;
+}
+
+/// 2 apps x 5 seeds x 2 schedulers = 20 runs.
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.apps = {small_app("tiny-a", 18), small_app("tiny-b", 24)};
+  spec.seeds = {1, 2, 3, 4, 5};
+  spec.schedulers = {"edf", "greedy"};
+  return spec;
+}
+
+std::string manifest_of(const CampaignResult& result) {
+  std::ostringstream os;
+  write_manifest_json(os, result);
+  return os.str();
+}
+
+std::string aggregate_json_of(const CampaignSpec& spec, const CampaignResult& result) {
+  std::ostringstream os;
+  write_aggregate_json(os, aggregate_outcomes(spec, result.units, result.outcomes));
+  return os.str();
+}
+
+std::string dashboard_of(const CampaignResult& result) {
+  std::ostringstream os;
+  write_dashboard_html(os, result, aggregate_outcomes(result.spec, result.units, result.outcomes));
+  return os.str();
+}
+
+/// A synthetic successful outcome row for aggregate-math tests.
+RunOutcome outcome(const std::string& app, std::uint64_t seed, const std::string& scheduler,
+                   double energy, Time makespan) {
+  RunOutcome r;
+  r.id = app + "-s" + std::to_string(seed) + "-" + scheduler;
+  r.app = app;
+  r.seed = seed;
+  r.scheduler = scheduler;
+  r.ok = true;
+  r.energy_total = energy;
+  r.makespan = makespan;
+  return r;
+}
+
+TEST(ExpandSpec, DeterministicOrderAndIds) {
+  CampaignSpec spec;
+  spec.apps = {small_app("x", 10)};
+  AppSpec msb;
+  msb.kind = AppSpec::Kind::Msb;
+  msb.msb_app = "encoder";
+  msb.msb_clip = "akiyo";
+  spec.apps.push_back(msb);
+  spec.seeds = {7, 9};
+  spec.schedulers = {"eas", "edf"};
+
+  const std::vector<RunUnit> units = expand_spec(spec);
+  // Seeded app takes every seed; the MSB app is a fixed graph and takes the
+  // first seed only: 1*2*2 + 1*1*2 = 6 units, apps outer / seeds / schedulers
+  // inner.
+  ASSERT_EQ(units.size(), 6u);
+  EXPECT_EQ(units[0].id, "x-s7-eas");
+  EXPECT_EQ(units[1].id, "x-s7-edf");
+  EXPECT_EQ(units[2].id, "x-s9-eas");
+  EXPECT_EQ(units[3].id, "x-s9-edf");
+  EXPECT_EQ(units[4].id, "msb-encoder-akiyo-s7-eas");
+  EXPECT_EQ(units[5].id, "msb-encoder-akiyo-s7-edf");
+}
+
+TEST(ExpandSpec, RejectsUnknownScheduler) {
+  CampaignSpec spec;
+  spec.apps = {small_app("x", 10)};
+  spec.schedulers = {"edf", "bogus"};
+  EXPECT_THROW((void)expand_spec(spec), std::exception);
+}
+
+TEST(Campaign, ByteIdenticalAcrossThreadCounts) {
+  CampaignSpec serial = small_spec();
+  serial.threads = 1;
+  CampaignSpec parallel = small_spec();
+  parallel.threads = std::max(2u, std::thread::hardware_concurrency());
+
+  const CampaignResult a = run_campaign(serial);
+  const CampaignResult b = run_campaign(parallel);
+  ASSERT_EQ(a.units.size(), 20u);
+  ASSERT_EQ(b.units.size(), 20u);
+  for (const RunOutcome& r : a.outcomes) EXPECT_TRUE(r.ok) << r.id << ": " << r.error;
+
+  // The entire deterministic document set is byte-identical; `threads` is an
+  // execution knob, not an input, and must not leak into any of them.
+  EXPECT_EQ(manifest_of(a), manifest_of(b));
+  EXPECT_EQ(aggregate_json_of(serial, a), aggregate_json_of(parallel, b));
+  EXPECT_EQ(dashboard_of(a), dashboard_of(b));
+}
+
+TEST(Campaign, MeansReconcileBitExactlyWithOutcomeRows) {
+  CampaignSpec spec = small_spec();
+  spec.threads = 4;
+  const CampaignResult result = run_campaign(spec);
+  const Aggregate aggregate = aggregate_outcomes(spec, result.units, result.outcomes);
+
+  for (const SchedulerAggregate& s : aggregate.schedulers) {
+    // Replay the documented accumulation: plain sum over the outcome rows in
+    // unit order, divided by the count.  Bit-exact, not approximate.
+    double energy_sum = 0.0, makespan_sum = 0.0;
+    std::size_t count = 0;
+    for (const RunOutcome& r : result.outcomes) {
+      if (r.scheduler != s.scheduler || !r.ok) continue;
+      energy_sum += r.energy_total;
+      makespan_sum += static_cast<double>(r.makespan);
+      ++count;
+    }
+    ASSERT_EQ(count, s.runs);
+    ASSERT_GT(count, 0u);
+    EXPECT_EQ(s.energy.mean, energy_sum / static_cast<double>(count));
+    EXPECT_EQ(s.makespan.mean, makespan_sum / static_cast<double>(count));
+  }
+}
+
+TEST(Campaign, WritesManifestDirectory) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "noceas_campaign_test";
+  std::filesystem::remove_all(dir);
+
+  CampaignSpec spec;
+  spec.apps = {small_app("tiny-a", 18)};
+  spec.seeds = {1, 2};
+  spec.schedulers = {"edf"};
+  spec.artifacts = true;
+  spec.out_dir = dir.string();
+  const CampaignResult result = run_campaign(spec);
+
+  for (const char* name : {"manifest.json", "aggregate.json", "resources.json",
+                           "dashboard.html"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir / name)) << name;
+  }
+  for (const RunUnit& u : result.units) {
+    for (const char* suffix : {".metrics.json", ".analysis.json", ".decisions.jsonl"}) {
+      EXPECT_TRUE(std::filesystem::exists(dir / "runs" / (u.id + suffix))) << u.id << suffix;
+    }
+  }
+  // The manifest file is exactly the in-memory serialization (and therefore
+  // inherits its determinism guarantee).
+  std::ifstream in(dir / "manifest.json");
+  std::stringstream file;
+  file << in.rdbuf();
+  EXPECT_EQ(file.str(), manifest_of(result));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Aggregate, DistQuantilesInterpolateOverSortedSample) {
+  const Dist d = make_dist({40.0, 10.0, 30.0, 20.0});  // sorted: 10 20 30 40
+  EXPECT_EQ(d.count, 4u);
+  EXPECT_DOUBLE_EQ(d.mean, 25.0);
+  EXPECT_DOUBLE_EQ(d.min, 10.0);
+  EXPECT_DOUBLE_EQ(d.max, 40.0);
+  EXPECT_DOUBLE_EQ(d.p50, 25.0);  // midpoint of 20 and 30
+  EXPECT_DOUBLE_EQ(d.p10, 13.0);  // 10 + 0.3 * (20 - 10)
+  EXPECT_DOUBLE_EQ(d.p90, 37.0);
+
+  const Dist empty = make_dist({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.mean, 0.0);
+}
+
+TEST(Aggregate, WinMatrixCountsSharedInstancesOnly) {
+  CampaignSpec spec;
+  spec.schedulers = {"eas", "edf"};
+  // Two instances.  On (a,1) eas wins energy and loses makespan; on (a,2)
+  // edf's run failed, so the instance is shared by nobody and counts nowhere.
+  std::vector<RunOutcome> outcomes = {
+      outcome("a", 1, "eas", 100.0, 50),
+      outcome("a", 1, "edf", 200.0, 40),
+      outcome("a", 2, "eas", 100.0, 50),
+      outcome("a", 2, "edf", 200.0, 40),
+  };
+  outcomes[3].ok = false;
+  outcomes[3].error = "synthetic failure";
+  std::vector<RunUnit> units(outcomes.size());
+
+  const Aggregate agg = aggregate_outcomes(spec, units, outcomes);
+  EXPECT_EQ(agg.total_runs, 4u);
+  EXPECT_EQ(agg.failed_runs, 1u);
+  ASSERT_EQ(agg.wins.schedulers.size(), 2u);
+  EXPECT_EQ(agg.wins.energy[0][1].wins, 1u);
+  EXPECT_EQ(agg.wins.energy[0][1].losses, 0u);
+  EXPECT_EQ(agg.wins.energy[1][0].wins, 0u);
+  EXPECT_EQ(agg.wins.energy[1][0].losses, 1u);
+  EXPECT_EQ(agg.wins.makespan[0][1].wins, 0u);
+  EXPECT_EQ(agg.wins.makespan[0][1].losses, 1u);
+  // The failed run is excluded from its scheduler's distributions.
+  EXPECT_EQ(agg.schedulers[1].runs, 1u);
+  EXPECT_EQ(agg.schedulers[1].failed, 1u);
+  EXPECT_DOUBLE_EQ(agg.schedulers[1].energy.mean, 200.0);
+}
+
+TEST(Aggregate, OutliersAreFarthestFromMedianDeterministically) {
+  CampaignSpec spec;
+  spec.schedulers = {"eas"};
+  std::vector<RunOutcome> outcomes;
+  const Time makespans[] = {100, 100, 100, 100, 500};  // p50 = 100
+  for (std::size_t i = 0; i < 5; ++i)
+    outcomes.push_back(outcome("a", i + 1, "eas", 1.0, makespans[i]));
+  std::vector<RunUnit> units(outcomes.size());
+
+  const Aggregate agg = aggregate_outcomes(spec, units, outcomes);
+  ASSERT_EQ(agg.schedulers.size(), 1u);
+  const std::vector<OutlierRun>& outliers = agg.schedulers[0].outliers;
+  ASSERT_EQ(outliers.size(), kMaxOutliers);
+  EXPECT_EQ(outliers[0].unit_index, 4u);  // the 500-tick run leads
+  EXPECT_DOUBLE_EQ(outliers[0].deviation, 400.0);
+  // Ties at deviation 0 keep unit order (stable sort).
+  EXPECT_EQ(outliers[1].unit_index, 0u);
+  EXPECT_EQ(outliers[2].unit_index, 1u);
+}
+
+TEST(Aggregate, ExportsCampaignMetricSeries) {
+  CampaignSpec spec;
+  spec.schedulers = {"eas"};
+  std::vector<RunOutcome> outcomes = {outcome("a", 1, "eas", 123.0, 77)};
+  std::vector<RunUnit> units(1);
+  const Aggregate agg = aggregate_outcomes(spec, units, outcomes);
+
+  obs::Registry registry;
+  export_campaign_metrics(agg, registry);
+  std::ostringstream os;
+  registry.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"campaign.runs\""), std::string::npos);
+  EXPECT_NE(json.find("\"campaign.failed_runs\""), std::string::npos);
+  EXPECT_NE(json.find("\"campaign.eas.energy.mean\""), std::string::npos);
+  EXPECT_NE(json.find("\"campaign.eas.makespan.p90\""), std::string::npos);
+  EXPECT_NE(json.find("\"campaign.eas.miss_rate\""), std::string::npos);
+}
+
+TEST(Resources, SamplesAreMonotonic) {
+  const ResourceSampler sampler;
+  // Burn a little CPU so the deltas have something to measure.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  const ResourceSample first = sampler.sample();
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i) * 1e-9;
+  const ResourceSample second = sampler.sample();
+
+  EXPECT_GE(first.wall_seconds, 0.0);
+  EXPECT_GE(first.cpu_seconds, 0.0);
+  EXPECT_GE(first.peak_rss_kb, 0);
+  // Later samples never go backwards.
+  EXPECT_GE(second.wall_seconds, first.wall_seconds);
+  EXPECT_GE(second.cpu_seconds, first.cpu_seconds);
+  EXPECT_GE(second.peak_rss_kb, first.peak_rss_kb);
+  EXPECT_GT(second.wall_seconds, 0.0);
+#ifdef __linux__
+  // Where getrusage exists the peak RSS of a running gtest binary is
+  // definitely nonzero; elsewhere the sampler degrades to zeros gracefully.
+  EXPECT_GT(second.peak_rss_kb, 0);
+  EXPECT_GT(second.cpu_seconds, 0.0);
+#endif
+}
+
+TEST(Dashboard, EmptyCampaignRendersValidDocument) {
+  CampaignSpec spec;  // zero apps -> zero runs
+  const CampaignResult result = run_campaign(spec);
+  EXPECT_TRUE(result.units.empty());
+  const std::string html = dashboard_of(result);
+  EXPECT_NE(html.find("empty campaign"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(Dashboard, AllFailedCampaignRendersWithoutPlots) {
+  CampaignResult result;
+  result.spec.schedulers = {"eas"};
+  result.units.resize(1);
+  RunOutcome failed = outcome("a", 1, "eas", 0.0, 0);
+  failed.ok = false;
+  failed.error = "synthetic failure";
+  result.outcomes = {failed};
+
+  const std::string html = dashboard_of(result);
+  EXPECT_NE(html.find("no successful runs"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(Dashboard, SingleRunCampaignRendersFiniteScale) {
+  CampaignResult result;
+  result.spec.schedulers = {"edf"};
+  result.units.resize(1);
+  result.outcomes = {outcome("a", 1, "edf", 42.0, 100)};
+
+  // One value means a zero-width scale; the dashboard must still produce a
+  // finite SVG (no NaN coordinates) and a closing tag.
+  const std::string html = dashboard_of(result);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_EQ(html.find("nan"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace noceas::campaign

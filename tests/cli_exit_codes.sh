@@ -1,0 +1,70 @@
+#!/bin/sh
+# Asserts the machine-readable exit-code contract of noceas_cli:
+#   0  success
+#   1  run failed (unreadable input, deadline misses, failed campaign runs)
+#   2  bad invocation (unknown command/flag, missing required flag)
+#   3  validation / replay mismatch
+#
+# Usage: cli_exit_codes.sh /path/to/noceas_cli
+# Registered as a ctest case; any unexpected exit code fails the script.
+set -u
+
+cli="${1:?usage: cli_exit_codes.sh /path/to/noceas_cli}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+failures=0
+
+expect() {
+  want="$1"
+  label="$2"
+  shift 2
+  "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $label: expected exit $want, got $got (cmd: $*)" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $label -> $got"
+  fi
+}
+
+# --- fixtures -----------------------------------------------------------
+"$cli" gen --category 1 --index 0 --ctg "$tmp/g.txt" --platform "$tmp/p.txt" >/dev/null
+expect 0 "schedule + export" \
+  "$cli" schedule --ctg "$tmp/g.txt" --platform "$tmp/p.txt" --scheduler edf \
+         --schedule-out "$tmp/s.txt" --decisions "$tmp/d.jsonl"
+
+# --- exit 0: success ----------------------------------------------------
+expect 0 "validate intact schedule" \
+  "$cli" validate --schedule "$tmp/s.txt" --ctg "$tmp/g.txt" --platform "$tmp/p.txt"
+expect 0 "audit replay intact stream" \
+  "$cli" audit --replay --decisions "$tmp/d.jsonl" --ctg "$tmp/g.txt" --platform "$tmp/p.txt"
+
+# --- exit 2: bad invocation --------------------------------------------
+expect 2 "no command" "$cli"
+expect 2 "unknown command" "$cli" frobnicate
+expect 2 "unknown flag" \
+  "$cli" schedule --ctg "$tmp/g.txt" --platform "$tmp/p.txt" --bogus
+expect 2 "missing required flag" "$cli" schedule --ctg "$tmp/g.txt"
+expect 2 "campaign without --out" "$cli" campaign --categories 1
+expect 2 "campaign without apps" "$cli" campaign --out "$tmp/camp"
+
+# --- exit 1: run failed -------------------------------------------------
+expect 1 "unreadable ctg" \
+  "$cli" schedule --ctg "$tmp/missing.txt" --platform "$tmp/p.txt"
+expect 1 "campaign with unknown scheduler" \
+  "$cli" campaign --out "$tmp/camp" --categories 1 --schedulers frobnicate
+
+# --- exit 3: validation / replay mismatch ------------------------------
+# Corrupt the exported schedule: bump task 0's finish time by one tick.  The
+# validator flags finish != start + exec unconditionally, so this mismatch is
+# guaranteed regardless of the schedule's shape.
+awk '$1 == "task" && $2 == 0 { $5 = $5 + 1 } { print }' "$tmp/s.txt" > "$tmp/bad.txt"
+expect 3 "validate tampered schedule" \
+  "$cli" validate --schedule "$tmp/bad.txt" --ctg "$tmp/g.txt" --platform "$tmp/p.txt"
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures exit-code assertion(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code assertions passed"

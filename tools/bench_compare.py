@@ -16,9 +16,11 @@ Two modes:
 
 Timings are medians over --repetitions runs of google-benchmark.  The
 metrics section (probe cache hit rate, decision counters from a fixed
-`noceas_cli schedule --metrics` run) is deterministic, so any drift there is
-reported exactly; it warns rather than fails because a deliberate algorithm
-change legitimately moves those numbers — re-record the baseline with it.
+`noceas_cli schedule --metrics` run, plus the cross-run aggregates of a
+fixed `noceas_cli campaign` mini-fleet) is deterministic, so any drift there
+is reported exactly; it warns rather than fails because a deliberate
+algorithm change legitimately moves those numbers — re-record the baseline
+with it.
 
 `check --json PATH` additionally writes a machine-readable diff
 (`noceas.bench_compare.v1`): per-benchmark baseline/current/delta with an
@@ -167,6 +169,39 @@ def deterministic_metrics(build_dir):
     return out
 
 
+def flatten_campaign_aggregate(doc):
+    """Flattens a noceas.campaign.aggregate.v1 document into exact metrics.
+
+    Per scheduler: run count, miss rate, and the mean/p50/p90 of the energy
+    and makespan distributions, keyed campaign.<scheduler>.<metric>.<stat>.
+    All of these are deterministic (the campaign runner guarantees
+    byte-identical aggregates for any thread count), so they ride the same
+    exact-drift comparison as the scheduler counters.
+    """
+    flat = {}
+    for s in doc.get("schedulers", []):
+        prefix = f"campaign.{s['scheduler']}"
+        flat[f"{prefix}.runs"] = s["runs"]
+        flat[f"{prefix}.miss_rate"] = s["miss_rate"]
+        for metric in ("energy", "makespan"):
+            for stat in ("mean", "p50", "p90"):
+                flat[f"{prefix}.{metric}.{stat}"] = s[metric][stat]
+    return flat
+
+
+def campaign_aggregates(build_dir):
+    """Cross-run aggregates of a fixed mini-campaign (exact, no noise)."""
+    cli = os.path.join(build_dir, "tools", "noceas_cli")
+    if not os.path.exists(cli):
+        sys.exit(f"error: '{cli}' not built")
+    with tempfile.TemporaryDirectory() as d:
+        out = os.path.join(d, "campaign")
+        run([cli, "campaign", "--out", out, "--categories", "1", "--seeds", "3",
+             "--schedulers", "eas,edf", "--threads", "2"])
+        doc = load_json(os.path.join(out, "aggregate.json"))
+    return flatten_campaign_aggregate(doc)
+
+
 def load_json(path):
     with open(path) as f:
         return json.load(f)
@@ -239,6 +274,9 @@ def cmd_record(args):
     print(f"  {len(bench)} benchmark timings")
     metrics = deterministic_metrics(args.build_dir)
     print(f"  {len(metrics)} deterministic metrics")
+    campaign = campaign_aggregates(args.build_dir)
+    metrics.update(campaign)
+    print(f"  {len(campaign)} campaign aggregates")
 
     baseline = {
         "schema": BASELINE_SCHEMA,
@@ -323,6 +361,7 @@ def cmd_check(args):
         args.filter,
     )
     metrics = deterministic_metrics(args.build_dir)
+    metrics.update(campaign_aggregates(args.build_dir))
 
     report = compare(baseline, bench, metrics, args.tolerance, comparable)
     report["baseline_rev"] = baseline.get("rev", "unknown")

@@ -15,6 +15,10 @@
 #   - analyze smoke stage (same build): `analyze --json` for every scheduler,
 #     asserting the noceas.analysis.v1 identities (critical path length ==
 #     makespan, exact wait decomposition)
+#   - campaign smoke stage (same build): a mini-campaign under ASan/UBSan,
+#     asserting the manifest/aggregate invariants (every run ok, byte-
+#     identical reruns across thread counts, bit-exact mean reconciliation)
+#     and that the dashboard renders
 #   - observability smoke gate (plain build): an attached tracer must leave
 #     schedules bit-identical and cost < 5% runtime
 #   - perf-baseline soft gate: tools/bench_compare.py check (warns on
@@ -102,6 +106,46 @@ done
   --schedule "$audit_dir/s.txt" --decisions "$audit_dir/d.jsonl" \
   --json "$audit_dir/a.json" >/dev/null
 echo "    exported schedule + decisions: analyze OK"
+
+# Campaign smoke stage (same ASan/UBSan binaries): run a small fleet twice —
+# parallel and serial — and hold the campaign subsystem to its contract:
+# every run succeeds, manifest/aggregate/dashboard are byte-identical across
+# thread counts, and the aggregate means reconcile bit-exactly with the
+# manifest's outcome rows.
+echo "==> [campaign] mini-campaign under ASan/UBSan"
+"$cli" campaign --out "$audit_dir/camp" --categories 1 --seeds 3 \
+  --schedulers eas,edf --threads 4 >/dev/null
+"$cli" campaign --out "$audit_dir/camp1" --categories 1 --seeds 3 \
+  --schedulers eas,edf --threads 1 >/dev/null
+for f in manifest.json aggregate.json dashboard.html; do
+  cmp "$audit_dir/camp/$f" "$audit_dir/camp1/$f" \
+    || { echo "FAIL: $f differs across thread counts"; exit 1; }
+done
+python3 - "$audit_dir/camp" <<'PY'
+import json, os, sys
+d = sys.argv[1]
+with open(os.path.join(d, "manifest.json")) as f:
+    manifest = json.load(f)
+with open(os.path.join(d, "aggregate.json")) as f:
+    aggregate = json.load(f)
+assert manifest["schema"] == "noceas.campaign.v1"
+assert aggregate["schema"] == "noceas.campaign.aggregate.v1"
+runs = manifest["runs"]
+assert len(runs) == 6 and all(r["ok"] for r in runs), runs
+# Bit-exact reconciliation: the aggregate mean is the plain sum of the
+# manifest rows in order, divided by the count.
+for s in aggregate["schedulers"]:
+    mine = [r for r in runs if r["scheduler"] == s["scheduler"]]
+    assert s["runs"] == len(mine)
+    total = 0.0
+    for r in mine:
+        total += r["energy"]
+    assert s["energy"]["mean"] == total / len(mine), s["scheduler"]
+with open(os.path.join(d, "dashboard.html")) as f:
+    html = f.read()
+assert "</html>" in html and "<svg" in html
+PY
+echo "    campaign: determinism + reconciliation + dashboard OK"
 
 # Observability smoke gate: tracing must not change schedules and must stay
 # within the 5% overhead budget (docs/OBSERVABILITY.md).  Built without

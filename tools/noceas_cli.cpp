@@ -14,14 +14,27 @@
 //   noceas_cli validate  --schedule s.txt --ctg g.txt --platform p.txt
 //   noceas_cli analyze   --ctg g.txt --platform p.txt [--scheduler eas]
 //                        [--json out.json] [--compare edf] [--svg out.svg]
+//   noceas_cli campaign  --out DIR --categories 1,2 [--indices 0,1] [--msb encoder:foreman]
+//                        [--seeds 20 | --seed-list 3,7,9] [--schedulers eas,edf,dls]
+//                        [--threads N] [--artifacts]
 //
 // Schedulers: eas (default), eas-base, edf, dls, greedy, map.
 // Unknown flags are rejected with an error (no silent typo swallowing).
+//
+// Exit codes are machine-readable failure classes (campaign + CI depend on
+// them):
+//   0  success (for `schedule`: all deadlines met)
+//   1  run failed (unreadable input, scheduler error, deadline misses,
+//      failed campaign runs)
+//   2  bad invocation (unknown command, unknown flag, missing required flag)
+//   3  validation / replay mismatch (`audit --replay`, `validate`)
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/analysis.hpp"
@@ -32,6 +45,8 @@
 #include "src/baseline/edf.hpp"
 #include "src/baseline/greedy_energy.hpp"
 #include "src/baseline/map_then_schedule.hpp"
+#include "src/campaign/aggregate.hpp"
+#include "src/campaign/campaign.hpp"
 #include "src/core/eas.hpp"
 #include "src/core/schedule_io.hpp"
 #include "src/core/validator.hpp"
@@ -47,6 +62,24 @@
 using namespace noceas;
 
 namespace {
+
+// Exit-code classes (documented in the file header and docs/USAGE.md).
+constexpr int kExitOk = 0;
+constexpr int kExitRunFailed = 1;
+constexpr int kExitBadInvocation = 2;
+constexpr int kExitMismatch = 3;
+
+/// Bad invocation: unknown command/flag or a missing required flag.
+/// Distinct from noceas::Error so main() can map it to its own exit code.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws UsageError when a required flag combination is not satisfied.
+void require_usage(bool ok, const std::string& msg) {
+  if (!ok) throw UsageError(msg);
+}
 
 int usage() {
   std::cerr <<
@@ -66,6 +99,10 @@ int usage() {
       "             [--scheduler eas|eas-base|edf|dls|greedy|map | --schedule FILE]\n"
       "             [--decisions FILE] [--json FILE] [--metrics FILE] [--svg FILE]\n"
       "             [--top N] [--compare SCHEDULER]\n"
+      "  noceas_cli campaign --out DIR\n"
+      "             [--categories 1,2] [--indices 0,1,..] [--msb APP[:CLIP],..]\n"
+      "             [--seeds N | --seed-list 3,7,9] [--schedulers eas,edf,dls]\n"
+      "             [--threads N] [--artifacts]\n"
       "\n"
       "schedule observability flags:\n"
       "  --trace FILE    write a Chrome trace-event JSON of the scheduler run\n"
@@ -89,23 +126,35 @@ int usage() {
       "an exported schedule (--schedule, optionally with --decisions).  --json\n"
       "writes the noceas.analysis.v1 document, --svg a Gantt with critical-path\n"
       "and contention overlays, --compare a second scheduler's report diffed\n"
-      "against the first.\n";
-  return 2;
+      "against the first.\n"
+      "\n"
+      "campaign executes the (app x seed x scheduler) matrix concurrently and\n"
+      "writes a manifest directory: manifest.json (noceas.campaign.v1, one\n"
+      "deterministic outcome row per run), aggregate.json (per-scheduler\n"
+      "distributions, miss rates, win matrices, outliers), resources.json\n"
+      "(wall/CPU/peak-RSS samples) and dashboard.html (self-contained HTML).\n"
+      "--artifacts additionally records per-run metrics/analysis/decisions\n"
+      "under runs/.  manifest.json and aggregate.json are byte-identical for\n"
+      "any --threads value.\n"
+      "\n"
+      "exit codes: 0 success, 1 run failed (incl. deadline misses),\n"
+      "2 bad invocation, 3 validation/replay mismatch.\n";
+  return kExitBadInvocation;
 }
 
-/// Parses `--flag [value]` pairs.  A flag not in `allowed` is a hard error:
-/// a typo must never be silently ignored.
+/// Parses `--flag [value]` pairs.  A flag not in `allowed` is a usage error
+/// (exit 2): a typo must never be silently ignored.
 std::map<std::string, std::string> parse_flags(int argc, char** argv, int first,
                                                const std::vector<std::string>& allowed) {
   std::map<std::string, std::string> flags;
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
-    NOCEAS_REQUIRE(arg.rfind("--", 0) == 0,
-                   "unexpected argument '" << arg << "' (flags start with --)");
+    require_usage(arg.rfind("--", 0) == 0,
+                  "unexpected argument '" + arg + "' (flags start with --)");
     arg = arg.substr(2);
-    NOCEAS_REQUIRE(std::find(allowed.begin(), allowed.end(), arg) != allowed.end(),
-                   "unknown flag '--" << arg << "' for command '" << argv[1]
-                                      << "' (run noceas_cli without arguments for usage)");
+    require_usage(std::find(allowed.begin(), allowed.end(), arg) != allowed.end(),
+                  "unknown flag '--" + arg + "' for command '" + argv[1] +
+                      "' (run noceas_cli without arguments for usage)");
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       flags[arg] = argv[++i];
     } else {
@@ -128,7 +177,7 @@ Platform load_platform(const std::string& path) {
 }
 
 int cmd_gen(const std::map<std::string, std::string>& flags) {
-  NOCEAS_REQUIRE(flags.count("ctg"), "gen requires --ctg FILE");
+  require_usage(flags.count("ctg") > 0, "gen requires --ctg FILE");
   TaskGraph g(1);
   Platform p = make_mesh_platform(1, 1, {"NONE"});
   if (flags.count("msb")) {
@@ -170,7 +219,7 @@ int cmd_gen(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_info(const std::map<std::string, std::string>& flags) {
-  NOCEAS_REQUIRE(flags.count("ctg"), "info requires --ctg FILE");
+  require_usage(flags.count("ctg") > 0, "info requires --ctg FILE");
   const TaskGraph g = load_ctg(flags.at("ctg"));
   std::size_t with_deadline = 0, control_edges = 0;
   Volume total_volume = 0;
@@ -214,8 +263,8 @@ Schedule run_named_scheduler(const TaskGraph& g, const Platform& p, const std::s
 }
 
 int cmd_schedule(const std::map<std::string, std::string>& flags) {
-  NOCEAS_REQUIRE(flags.count("ctg") && flags.count("platform"),
-                 "schedule requires --ctg FILE and --platform FILE");
+  require_usage(flags.count("ctg") && flags.count("platform"),
+                "schedule requires --ctg FILE and --platform FILE");
   const TaskGraph g = load_ctg(flags.at("ctg"));
   const Platform p = load_platform(flags.at("platform"));
   const std::string which = flags.count("scheduler") ? flags.at("scheduler") : "eas";
@@ -351,16 +400,16 @@ audit::DecisionStream load_decisions(const std::string& path) {
 }
 
 int cmd_explain(const std::map<std::string, std::string>& flags) {
-  NOCEAS_REQUIRE(flags.count("decisions") && flags.count("task"),
-                 "explain requires --decisions FILE and --task ID");
+  require_usage(flags.count("decisions") && flags.count("task"),
+                "explain requires --decisions FILE and --task ID");
   const audit::DecisionStream stream = load_decisions(flags.at("decisions"));
   audit::explain_task(std::cout, stream, std::stoi(flags.at("task")));
   return 0;
 }
 
 int cmd_audit(const std::map<std::string, std::string>& flags) {
-  NOCEAS_REQUIRE(flags.count("decisions") && flags.count("ctg") && flags.count("platform"),
-                 "audit requires --decisions FILE, --ctg FILE and --platform FILE");
+  require_usage(flags.count("decisions") && flags.count("ctg") && flags.count("platform"),
+                "audit requires --decisions FILE, --ctg FILE and --platform FILE");
   // --replay is the only audit mode today; accept (and document) it anyway so
   // the invocation reads as what it does.
   const audit::DecisionStream stream = load_decisions(flags.at("decisions"));
@@ -378,14 +427,14 @@ int cmd_audit(const std::map<std::string, std::string>& flags) {
   }
   std::cout << "replay FAILED:\n";
   for (const std::string& issue : report.issues) std::cout << "  " << issue << '\n';
-  return 1;
+  return kExitMismatch;
 }
 
 int cmd_analyze(const std::map<std::string, std::string>& flags) {
-  NOCEAS_REQUIRE(flags.count("ctg") && flags.count("platform"),
-                 "analyze requires --ctg FILE and --platform FILE");
-  NOCEAS_REQUIRE(!(flags.count("schedule") && flags.count("scheduler")),
-                 "--schedule FILE and --scheduler NAME are mutually exclusive");
+  require_usage(flags.count("ctg") && flags.count("platform"),
+                "analyze requires --ctg FILE and --platform FILE");
+  require_usage(!(flags.count("schedule") && flags.count("scheduler")),
+                "--schedule FILE and --scheduler NAME are mutually exclusive");
   const TaskGraph g = load_ctg(flags.at("ctg"));
   const Platform p = load_platform(flags.at("platform"));
 
@@ -463,8 +512,8 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
 }
 
 int cmd_validate(const std::map<std::string, std::string>& flags) {
-  NOCEAS_REQUIRE(flags.count("schedule") && flags.count("ctg") && flags.count("platform"),
-                 "validate requires --schedule FILE, --ctg FILE and --platform FILE");
+  require_usage(flags.count("schedule") && flags.count("ctg") && flags.count("platform"),
+                "validate requires --schedule FILE, --ctg FILE and --platform FILE");
   std::ifstream is(flags.at("schedule"));
   NOCEAS_REQUIRE(is.good(), "cannot open schedule file '" << flags.at("schedule") << '\'');
   const Schedule s = read_schedule_text(is);
@@ -478,7 +527,98 @@ int cmd_validate(const std::map<std::string, std::string>& flags) {
     return 0;
   }
   std::cout << report.to_string();
-  return 1;
+  return kExitMismatch;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string item = s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int cmd_campaign(const std::map<std::string, std::string>& flags) {
+  require_usage(flags.count("out") > 0, "campaign requires --out DIR");
+  require_usage(flags.count("categories") || flags.count("msb"),
+                "campaign requires at least one app source: --categories and/or --msb");
+  require_usage(!(flags.count("seeds") && flags.count("seed-list")),
+                "--seeds N and --seed-list a,b,c are mutually exclusive");
+
+  campaign::CampaignSpec spec;
+  spec.out_dir = flags.at("out");
+  if (flags.count("categories")) {
+    std::vector<int> indices = {0};
+    if (flags.count("indices")) {
+      indices.clear();
+      for (const std::string& i : split_csv(flags.at("indices"))) indices.push_back(std::stoi(i));
+    }
+    for (const std::string& c : split_csv(flags.at("categories"))) {
+      for (int index : indices) {
+        campaign::AppSpec app;
+        app.kind = campaign::AppSpec::Kind::Tgff;
+        app.category = std::stoi(c);
+        app.index = index;
+        spec.apps.push_back(std::move(app));
+      }
+    }
+  }
+  if (flags.count("msb")) {
+    for (const std::string& entry : split_csv(flags.at("msb"))) {
+      campaign::AppSpec app;
+      app.kind = campaign::AppSpec::Kind::Msb;
+      const std::size_t colon = entry.find(':');
+      app.msb_app = entry.substr(0, colon);
+      if (colon != std::string::npos) app.msb_clip = entry.substr(colon + 1);
+      spec.apps.push_back(std::move(app));
+    }
+  }
+  if (flags.count("seed-list")) {
+    spec.seeds.clear();
+    for (const std::string& s : split_csv(flags.at("seed-list")))
+      spec.seeds.push_back(std::stoull(s));
+  } else if (flags.count("seeds")) {
+    const int n = std::stoi(flags.at("seeds"));
+    require_usage(n > 0, "--seeds N must be positive");
+    spec.seeds.clear();
+    for (int s = 1; s <= n; ++s) spec.seeds.push_back(static_cast<std::uint64_t>(s));
+  }
+  if (flags.count("schedulers")) spec.schedulers = split_csv(flags.at("schedulers"));
+  spec.threads = flags.count("threads")
+                     ? static_cast<unsigned>(std::stoul(flags.at("threads")))
+                     : std::max(1u, std::thread::hardware_concurrency());
+  require_usage(spec.threads > 0, "--threads must be positive");
+  spec.artifacts = flags.count("artifacts") > 0;
+
+  const campaign::CampaignResult result = campaign::run_campaign(spec);
+  const campaign::Aggregate aggregate =
+      campaign::aggregate_outcomes(spec, result.units, result.outcomes);
+
+  std::cout << "campaign:        " << result.units.size() << " runs (" << spec.apps.size()
+            << " apps x " << spec.seeds.size() << " seeds x " << spec.schedulers.size()
+            << " schedulers, " << spec.threads << " threads)\n";
+  AsciiTable table(
+      {"scheduler", "runs", "energy mean", "energy p50", "makespan p50", "miss rate"});
+  for (const campaign::SchedulerAggregate& s : aggregate.schedulers) {
+    table.add_row({s.scheduler, std::to_string(s.runs), format_double(s.energy.mean, 1),
+                   format_double(s.energy.p50, 1), format_double(s.makespan.p50, 1),
+                   format_double(s.miss_rate, 3)});
+  }
+  table.print(std::cout);
+  if (aggregate.failed_runs > 0) {
+    std::cout << aggregate.failed_runs << " run(s) FAILED:\n";
+    for (const campaign::RunOutcome& r : result.outcomes) {
+      if (!r.ok) std::cout << "  " << r.id << ": " << r.error << '\n';
+    }
+  }
+  std::cout << "wrote " << spec.out_dir << "/{manifest.json,aggregate.json,resources.json,"
+            << "dashboard.html}" << (spec.artifacts ? " + runs/*" : "") << '\n';
+  return aggregate.failed_runs > 0 ? kExitRunFailed : kExitOk;
 }
 
 }  // namespace
@@ -516,9 +656,17 @@ int main(int argc, char** argv) {
                                      {"ctg", "platform", "scheduler", "schedule", "decisions",
                                       "json", "metrics", "svg", "top", "compare"}));
     }
+    if (cmd == "campaign") {
+      return cmd_campaign(parse_flags(argc, argv, 2,
+                                      {"out", "categories", "indices", "msb", "seeds",
+                                       "seed-list", "schedulers", "threads", "artifacts"}));
+    }
+  } catch (const UsageError& e) {
+    std::cerr << "usage error: " << e.what() << '\n';
+    return kExitBadInvocation;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return kExitRunFailed;
   }
   return usage();
 }

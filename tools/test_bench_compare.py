@@ -88,6 +88,35 @@ class CompareTest(unittest.TestCase):
         round_tripped = json.loads(json.dumps(r))
         self.assertEqual(round_tripped, r)
 
+    def test_flatten_campaign_aggregate(self):
+        doc = {
+            "schema": "noceas.campaign.aggregate.v1",
+            "schedulers": [
+                {"scheduler": "eas", "runs": 3, "miss_rate": 0.0,
+                 "energy": {"mean": 10.0, "p50": 9.0, "p90": 12.0, "min": 8.0},
+                 "makespan": {"mean": 100.0, "p50": 90.0, "p90": 120.0}},
+                {"scheduler": "edf", "runs": 2, "miss_rate": 0.5,
+                 "energy": {"mean": 20.0, "p50": 19.0, "p90": 22.0},
+                 "makespan": {"mean": 50.0, "p50": 45.0, "p90": 60.0}},
+            ],
+        }
+        flat = bench_compare.flatten_campaign_aggregate(doc)
+        self.assertEqual(flat["campaign.eas.runs"], 3)
+        self.assertEqual(flat["campaign.eas.energy.p90"], 12.0)
+        self.assertEqual(flat["campaign.edf.miss_rate"], 0.5)
+        self.assertEqual(flat["campaign.edf.makespan.p50"], 45.0)
+        # 2 schedulers x (runs + miss_rate + 2 metrics x 3 stats) keys.
+        self.assertEqual(len(flat), 16)
+
+    def test_campaign_drift_flows_through_compare(self):
+        base = make_baseline({"a": 1.0}, {"campaign.eas.energy.mean": 10.0})
+        r = bench_compare.compare(base, {"a": 1.0},
+                                  {"campaign.eas.energy.mean": 11.0}, 0.35, True)
+        self.assertEqual(r["metric_drift"],
+                         [{"name": "campaign.eas.energy.mean",
+                           "baseline": 10.0, "current": 11.0}])
+        self.assertEqual(r["verdict"], "warn")
+
     def test_print_report_renders_every_verdict(self):
         base = make_baseline({"slow": 10.0, "gone": 1.0}, {"m": 1})
         r = bench_compare.compare(base, {"slow": 20.0, "fresh": 2.0}, {"m": 3},
