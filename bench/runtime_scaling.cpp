@@ -90,6 +90,79 @@ void report_probe_counters(benchmark::State& state, const ProbeStats& probe) {
   }
 }
 
+/// Same routing for the repair-phase instrumentation (repair.* counters).
+void report_repair_counters(benchmark::State& state, const RepairStats& stats) {
+  obs::Registry registry;
+  export_repair_stats(stats, registry);
+  for (const auto& [name, value] : registry.values()) {
+    state.counters[name] = value;
+  }
+}
+
+/// The canonical repair input: the attempt-0 level-based schedule of a miss
+/// benchmark (deadlines missed, so search & repair has real work).
+const Schedule& miss_base_schedule(int index) {
+  static Schedule cache[4];
+  static bool built[4] = {false, false, false, false};
+  if (!built[index]) {
+    EasOptions options;
+    options.repair = false;
+    cache[index] = schedule_eas(miss_benchmark(index), platform_4x4(), options).schedule;
+    built[index] = true;
+  }
+  return cache[index];
+}
+
+/// Step 3 phase isolation: LTS moves only (order swaps, zero energy delta).
+void BM_Repair_LtsOnly(benchmark::State& state) {
+  const int index = static_cast<int>(state.range(0));
+  const TaskGraph& g = miss_benchmark(index);
+  const Schedule& base = miss_base_schedule(index);
+  RepairOptions options;
+  options.gtm = false;
+  RepairStats last;
+  for (auto _ : state) {
+    RepairResult r = search_and_repair(g, platform_4x4(), base, options);
+    last = r.stats;
+    benchmark::DoNotOptimize(r);
+  }
+  report_repair_counters(state, last);
+}
+BENCHMARK(BM_Repair_LtsOnly)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+/// Step 3 phase isolation: GTM moves only (migrations, energy-ordered).
+void BM_Repair_GtmOnly(benchmark::State& state) {
+  const int index = static_cast<int>(state.range(0));
+  const TaskGraph& g = miss_benchmark(index);
+  const Schedule& base = miss_base_schedule(index);
+  RepairOptions options;
+  options.lts = false;
+  RepairStats last;
+  for (auto _ : state) {
+    RepairResult r = search_and_repair(g, platform_4x4(), base, options);
+    last = r.stats;
+    benchmark::DoNotOptimize(r);
+  }
+  report_repair_counters(state, last);
+}
+BENCHMARK(BM_Repair_GtmOnly)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+/// The repair inner loop's unit of work: one full timing reconstruction of
+/// the incumbent plan (the cost every candidate paid before incremental
+/// suffix evaluation).
+void BM_Repair_RebuildOnly(benchmark::State& state) {
+  const int index = static_cast<int>(state.range(0));
+  const TaskGraph& g = miss_benchmark(index);
+  const OrderedPlan plan = plan_from_schedule(miss_base_schedule(index), platform_4x4().num_pes());
+  TimingRebuilder rb(g, platform_4x4());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rb.rebuild(plan));
+  }
+  state.counters["rebuild.commits"] =
+      static_cast<double>(g.num_tasks()) * static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Repair_RebuildOnly)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
 /// Scaling with task count (fixed 4x4 platform, Category I style deadlines).
 void BM_EasBase_TaskScaling(benchmark::State& state) {
   TgffParams params = category_params(1, 0);

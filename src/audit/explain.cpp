@@ -64,6 +64,28 @@ void explain_task(std::ostream& os, const DecisionStream& stream, std::int32_t t
   }
   table.print(os);
 
+  // Repair history involving this task (any attempt): every tried LTS/GTM
+  // move that named it as the critical task or the swap partner, with the
+  // objective the first-improvement verdict was judged on.
+  std::size_t moves_involving = 0;
+  for (const DecisionEvent& ev : stream.events) {
+    if (ev.kind != DecisionEvent::Kind::RepairMove) continue;
+    const RepairMoveRecord& m = ev.move;
+    if (m.task != task && m.swap_with != task) continue;
+    if (moves_involving++ == 0) os << "\nrepair moves involving this task:\n";
+    os << "  " << (m.accepted ? "* " : "  ") << m.kind;
+    if (m.kind == "lts") {
+      os << " swap with task " << (m.task == task ? m.swap_with : m.task) << " on PE " << m.pe
+         << " (pos " << m.pos_a << " <-> " << m.pos_b << ")";
+    } else {
+      os << " migrate PE " << m.from_pe << " -> " << m.to_pe << " at index " << m.insert_index
+         << " (dE " << fmt_score(m.delta_energy) << ")";
+    }
+    os << "  misses " << m.misses_before << " -> " << m.misses_after << ", tardiness "
+       << m.tardiness_before << " -> " << m.tardiness_after
+       << (m.accepted ? "  [accepted]" : "  [rejected]") << '\n';
+  }
+
   if (decision->comms.empty()) {
     os << "\nno receiving transactions (source task)\n";
     return;

@@ -8,29 +8,30 @@ namespace {
 
 /// The LCT, sorted by the finish time of each sender (Fig. 3: "sort LCT by
 /// the finish time of its sender"), ties by edge id for determinism.
-std::vector<EdgeId> sorted_lct(const TaskGraph& g, TaskId task,
-                               const std::vector<TaskPlacement>& task_placements) {
-  std::vector<EdgeId> lct(g.in_edges(task).begin(), g.in_edges(task).end());
+void sorted_lct(const TaskGraph& g, TaskId task,
+                const std::vector<TaskPlacement>& task_placements, std::vector<EdgeId>& lct) {
+  lct.assign(g.in_edges(task).begin(), g.in_edges(task).end());
   std::sort(lct.begin(), lct.end(), [&](EdgeId a, EdgeId b) {
     const Time fa = task_placements[g.edge(a).src.index()].finish;
     const Time fb = task_placements[g.edge(b).src.index()].finish;
     if (fa != fb) return fa < fb;
     return a < b;
   });
-  return lct;
 }
 
 }  // namespace
 
-IncomingCommResult schedule_incoming_comms(const TaskGraph& g, const Platform& p, TaskId task,
-                                           PeId dest,
-                                           const std::vector<TaskPlacement>& task_placements,
-                                           ResourceTables& tables, ReservationLog& log) {
-  IncomingCommResult result;
-  const std::vector<EdgeId> lct = sorted_lct(g, task, task_placements);
+const IncomingCommResult& schedule_incoming_comms(
+    const TaskGraph& g, const Platform& p, TaskId task, PeId dest,
+    const std::vector<TaskPlacement>& task_placements, ResourceTables& tables,
+    ReservationLog& log, CommScratch& scratch) {
+  IncomingCommResult& result = scratch.result;
+  result.data_ready_time = 0;
+  result.placements.clear();
+  sorted_lct(g, task, task_placements, scratch.lct);
 
-  result.placements.reserve(lct.size());
-  for (EdgeId e : lct) {
+  result.placements.reserve(scratch.lct.size());
+  for (EdgeId e : scratch.lct) {
     const CommEdge& edge = g.edge(e);
     const TaskPlacement& sender = task_placements[edge.src.index()];
     NOCEAS_REQUIRE(sender.placed(), "sender task " << edge.src.value << " not yet scheduled");
@@ -47,7 +48,8 @@ IncomingCommResult schedule_incoming_comms(const TaskGraph& g, const Platform& p
       cp.duration = 0;
     } else {
       const std::vector<LinkId>& route = p.route(sender.pe, dest);
-      std::vector<const ScheduleTable*> path_tables;
+      std::vector<const ScheduleTable*>& path_tables = scratch.path_tables;
+      path_tables.clear();
       path_tables.reserve(route.size());
       for (LinkId l : route) path_tables.push_back(&tables.link[l.index()]);
 
@@ -62,16 +64,26 @@ IncomingCommResult schedule_incoming_comms(const TaskGraph& g, const Platform& p
   return result;
 }
 
-IncomingCommResult probe_incoming_comms(const TaskGraph& g, const Platform& p, TaskId task,
-                                        PeId dest,
-                                        const std::vector<TaskPlacement>& task_placements,
-                                        TentativeTables& overlay) {
-  overlay.reset();
-  IncomingCommResult result;
-  const std::vector<EdgeId> lct = sorted_lct(g, task, task_placements);
+IncomingCommResult schedule_incoming_comms(const TaskGraph& g, const Platform& p, TaskId task,
+                                           PeId dest,
+                                           const std::vector<TaskPlacement>& task_placements,
+                                           ResourceTables& tables, ReservationLog& log) {
+  CommScratch scratch;
+  return schedule_incoming_comms(g, p, task, dest, task_placements, tables, log, scratch);
+}
 
-  result.placements.reserve(lct.size());
-  for (EdgeId e : lct) {
+const IncomingCommResult& probe_incoming_comms(
+    const TaskGraph& g, const Platform& p, TaskId task, PeId dest,
+    const std::vector<TaskPlacement>& task_placements, TentativeTables& overlay,
+    CommScratch& scratch) {
+  overlay.reset();
+  IncomingCommResult& result = scratch.result;
+  result.data_ready_time = 0;
+  result.placements.clear();
+  sorted_lct(g, task, task_placements, scratch.lct);
+
+  result.placements.reserve(scratch.lct.size());
+  for (EdgeId e : scratch.lct) {
     const CommEdge& edge = g.edge(e);
     const TaskPlacement& sender = task_placements[edge.src.index()];
     NOCEAS_REQUIRE(sender.placed(), "sender task " << edge.src.value << " not yet scheduled");
@@ -94,6 +106,14 @@ IncomingCommResult probe_incoming_comms(const TaskGraph& g, const Platform& p, T
     result.placements.emplace_back(e, cp);
   }
   return result;
+}
+
+IncomingCommResult probe_incoming_comms(const TaskGraph& g, const Platform& p, TaskId task,
+                                        PeId dest,
+                                        const std::vector<TaskPlacement>& task_placements,
+                                        TentativeTables& overlay) {
+  CommScratch scratch;
+  return probe_incoming_comms(g, p, task, dest, task_placements, overlay, scratch);
 }
 
 Energy incoming_comm_energy(const TaskGraph& g, const Platform& p, TaskId task, PeId dest,

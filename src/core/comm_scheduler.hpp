@@ -29,10 +29,28 @@ struct IncomingCommResult {
   std::vector<std::pair<EdgeId, CommPlacement>> placements;
 };
 
+/// Reusable buffers for the Fig. 3 scheduler.  The probe and rebuild hot
+/// paths call it hundreds of thousands of times per schedule; routing the
+/// sorted LCT, the per-route table list and the result through one of these
+/// keeps those calls allocation-free after warm-up.
+struct CommScratch {
+  std::vector<EdgeId> lct;
+  std::vector<const ScheduleTable*> path_tables;
+  IncomingCommResult result;
+};
+
 /// Runs the Fig. 3 scheduler for task `task` on destination PE `dest`.
 /// All predecessors of `task` must already be placed in `task_placements`.
 /// Link reservations are made through `log` so the caller can either
 /// commit() (assignment decided) or rollback() (F(i,k) probing).
+/// The returned reference points into `scratch.result` and is valid until
+/// the next call through the same scratch.
+[[nodiscard]] const IncomingCommResult& schedule_incoming_comms(
+    const TaskGraph& g, const Platform& p, TaskId task, PeId dest,
+    const std::vector<TaskPlacement>& task_placements, ResourceTables& tables,
+    ReservationLog& log, CommScratch& scratch);
+
+/// Convenience form with a private scratch (allocates; cold paths / tests).
 [[nodiscard]] IncomingCommResult schedule_incoming_comms(
     const TaskGraph& g, const Platform& p, TaskId task, PeId dest,
     const std::vector<TaskPlacement>& task_placements, ResourceTables& tables,
@@ -43,8 +61,14 @@ struct IncomingCommResult {
 /// table.  Tentative link claims of earlier transactions of the same probe
 /// are recorded in `overlay` (which is reset() on entry), so transactions
 /// that share links still serialise exactly as in the committing path.
-/// Probes with private overlays over the same const base may run in
-/// parallel.
+/// Probes with private overlays (and scratches) over the same const base
+/// may run in parallel.
+[[nodiscard]] const IncomingCommResult& probe_incoming_comms(
+    const TaskGraph& g, const Platform& p, TaskId task, PeId dest,
+    const std::vector<TaskPlacement>& task_placements, TentativeTables& overlay,
+    CommScratch& scratch);
+
+/// Convenience form with a private scratch (allocates; cold paths / tests).
 [[nodiscard]] IncomingCommResult probe_incoming_comms(
     const TaskGraph& g, const Platform& p, TaskId task, PeId dest,
     const std::vector<TaskPlacement>& task_placements, TentativeTables& overlay);

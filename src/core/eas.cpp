@@ -5,6 +5,7 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <optional>
 
 #include "src/core/list_common.hpp"
 #include "src/core/obs_export.hpp"
@@ -52,6 +53,15 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
     if (unplaced_preds[t.index()] == 0) ready.seed(t);
   }
 
+  // The lazy probe path consults only the pairs the selection rule actually
+  // reads, so it cannot fill the full candidate table the observability and
+  // provenance sinks expect; with any sink attached the eager batch path
+  // runs instead (bit-identical schedules either way, see below).
+  const bool lazy_probes = options.tracer == nullptr && options.metrics == nullptr &&
+                           options.decisions == nullptr;
+  std::vector<std::pair<Energy, std::uint32_t>> pe_by_energy;
+  pe_by_energy.reserve(P);
+
   std::size_t placed = 0;
   while (placed < n) {
     NOCEAS_REQUIRE(!ready.empty(), "no ready task but " << (n - placed) << " unplaced (cycle?)");
@@ -61,7 +71,7 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
     // reuses every probe whose consulted tables (the PE, the links of the
     // incoming routes) are unchanged since it was computed, and evaluates
     // the stale remainder — pure functions over const tables — in parallel.
-    engine.refresh(ready.items(), s);
+    if (!lazy_probes) engine.refresh(ready.items(), s);
 
     struct Candidate {
       TaskId task;
@@ -77,6 +87,93 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
     for (TaskId t : ready) {
       Candidate c;
       c.task = t;
+      const Time budget = bd[t.index()];
+
+      if (lazy_probes) {
+        // Lazy probing: the selection rule reads (a) which PEs are feasible
+        // up to the *second* feasible one (E1/E2 and the regret), (b) exact
+        // finishes only for ties inside the minimum-energy feasible group,
+        // and (c) the full F row only when the task is over budget on every
+        // PE.  Energies are memoized and never stale, so PEs are scanned in
+        // ascending (energy, id) order and F(i,k) is materialised on
+        // demand.  Every value consumed is exact, so decisions — and thus
+        // schedules — are bit-identical to the eager batch path.
+        pe_by_energy.clear();
+        for (std::size_t k = 0; k < P; ++k) {
+          pe_by_energy.emplace_back(engine.energy(t, PeId{k}, s),
+                                    static_cast<std::uint32_t>(k));
+        }
+        std::sort(pe_by_energy.begin(), pe_by_energy.end());
+
+        double e1 = kInf, e2 = kInf;
+        PeId best_pe;
+        Time best_f = std::numeric_limits<Time>::max();
+        int feasible = 0;
+        for (std::size_t gi = 0; gi < P && feasible < 2;) {
+          std::size_t ge = gi + 1;  // [gi, ge) = one equal-energy group
+          while (ge < P && pe_by_energy[ge].first == pe_by_energy[gi].first) ++ge;
+          if (feasible == 0) {
+            // May contain E1: resolve the whole group, with exact finishes
+            // for the (e == e1, finish) tie-break.  A group with a single
+            // member and no budget needs no probe at all — it is feasible
+            // by definition and nothing ties against it.
+            for (std::size_t i = gi; i < ge; ++i) {
+              const PeId k{static_cast<std::size_t>(pe_by_energy[i].second)};
+              if (budget == kNoDeadline && ge - gi == 1) {
+                e1 = pe_by_energy[i].first;
+                best_pe = k;
+                ++feasible;
+                break;
+              }
+              const Time finish = engine.fresh(t, k, s).finish;
+              if (budget != kNoDeadline && finish > budget) continue;
+              const Energy e = pe_by_energy[i].first;
+              if (e < e1 || (e == e1 && finish < best_f)) {
+                e2 = e1;
+                e1 = e;
+                best_pe = k;
+                best_f = finish;
+              } else if (e < e2) {
+                e2 = e;
+              }
+              ++feasible;
+            }
+            if (feasible >= 2) e2 = e1;  // >= 2 feasible PEs at minimum energy
+          } else {
+            // E1 is fixed (this group's energy is strictly larger): the
+            // first feasible member closes E2 and the scan.
+            for (std::size_t i = gi; i < ge; ++i) {
+              const PeId k{static_cast<std::size_t>(pe_by_energy[i].second)};
+              if (budget != kNoDeadline && engine.fresh(t, k, s).finish > budget) continue;
+              e2 = pe_by_energy[i].first;
+              ++feasible;
+              break;
+            }
+          }
+          gi = ge;
+        }
+
+        if (feasible == 0) {
+          // Over budget on every PE (proved by the fresh probes above):
+          // urgency mode candidate (paper Step 2.3), needs the exact row.
+          Time min_f = std::numeric_limits<Time>::max();
+          for (std::size_t k = 0; k < P; ++k) {
+            const Time finish = engine.fresh(t, PeId{k}, s).finish;
+            if (finish < min_f) {
+              min_f = finish;
+              c.urgent_pe = PeId{k};
+            }
+          }
+          c.min_finish = min_f;
+          c.urgency = static_cast<double>(min_f - budget);
+        } else {
+          c.energy_pe = best_pe;
+          c.regret = (e2 == kInf) ? kInf : e2 - e1;
+        }
+        cands.push_back(c);
+        continue;
+      }
+
       Time min_f = std::numeric_limits<Time>::max();
       for (std::size_t k = 0; k < P; ++k) {
         const Time finish = engine.result(t, PeId{k}).finish;
@@ -87,7 +184,6 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
       }
       c.min_finish = min_f;
 
-      const Time budget = bd[t.index()];
       if (budget != kNoDeadline && min_f > budget) {
         // Over budget on every PE: urgency mode candidate (paper Step 2.3).
         c.urgency = static_cast<double>(min_f - budget);
@@ -256,6 +352,11 @@ EasResult schedule_eas(const TaskGraph& g, const Platform& p, const EasOptions& 
   EnergyBreakdown best_energy;
   bool have_best = false;
 
+  // Reachability is graph-derived only, so one matrix serves every repair
+  // invocation of the retry loop.  Built on the first attempt that actually
+  // has something to repair (miss-free runs never pay the O(V^2) cost).
+  std::optional<ReachabilityMatrix> shared_reach;
+
   const int attempts = options.repair ? options.max_budget_retries + 1 : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     OBS_SPAN(options.tracer, "eas.attempt", {obs::Arg("attempt", attempt)});
@@ -266,6 +367,10 @@ EasResult schedule_eas(const TaskGraph& g, const Platform& p, const EasOptions& 
       RepairOptions repair_options = options.repair_options;
       repair_options.tracer = options.tracer;
       repair_options.decisions = options.decisions;
+      if (repair_options.reachability == nullptr) {
+        if (!shared_reach && !deadline_misses(g, s).all_met()) shared_reach.emplace(g);
+        if (shared_reach) repair_options.reachability = &*shared_reach;
+      }
       RepairResult rr = search_and_repair(g, p, s, repair_options);
       if (attempt == 0) result.repair = rr.stats;  // stats of the canonical flow
       s = std::move(rr.schedule);

@@ -9,15 +9,23 @@ namespace noceas {
 
 ProbeResult probe_placement(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
                             const Schedule& schedule, const ResourceTables& tables,
-                            TentativeTables& scratch) {
+                            TentativeTables& scratch, CommScratch& comm_scratch) {
   NOCEAS_REQUIRE(&scratch.base() == &tables, "scratch overlay bound to different tables");
-  const IncomingCommResult comms = probe_incoming_comms(g, p, task, pe, schedule.tasks, scratch);
+  const IncomingCommResult& comms =
+      probe_incoming_comms(g, p, task, pe, schedule.tasks, scratch, comm_scratch);
   const Duration exec = g.task(task).exec_time.at(pe.index());
   ProbeResult r;
   r.data_ready_time = std::max(comms.data_ready_time, g.task(task).release);
   r.start = tables.pe[pe.index()].earliest_fit(r.data_ready_time, exec);
   r.finish = r.start + exec;
   return r;
+}
+
+ProbeResult probe_placement(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
+                            const Schedule& schedule, const ResourceTables& tables,
+                            TentativeTables& scratch) {
+  CommScratch comm_scratch;
+  return probe_placement(g, p, task, pe, schedule, tables, scratch, comm_scratch);
 }
 
 ProbeResult probe_placement(const TaskGraph& g, const Platform& p, TaskId task, PeId pe,
@@ -130,6 +138,7 @@ ProbeEngine::ProbeEngine(const TaskGraph& g, const Platform& p, const ResourceTa
   const unsigned lanes = pool_ ? pool_->lanes() : 1;
   scratch_.reserve(lanes);
   for (unsigned i = 0; i < lanes; ++i) scratch_.emplace_back(tables_);
+  comm_scratch_.resize(lanes);
   if (options_.metrics != nullptr) {
     batch_size_h_ = &options_.metrics->histogram("probe.batch_size",
                                                  obs::exp_buckets(1.0, 2.0, 12), "probes");
@@ -170,7 +179,7 @@ void ProbeEngine::refresh(std::span<const TaskId> tasks, const Schedule& schedul
     Entry& e = entries_[item.task * num_pes_ + item.pe];
     e.result = probe_placement(g_, p_, TaskId{static_cast<std::size_t>(item.task)},
                                PeId{static_cast<std::size_t>(item.pe)}, schedule, tables_,
-                               scratch_[lane]);
+                               scratch_[lane], comm_scratch_[lane]);
     e.footprint = item.footprint;
     e.valid = true;
   };
@@ -193,6 +202,23 @@ void ProbeEngine::refresh(std::span<const TaskId> tasks, const Schedule& schedul
                                                              eval_t0)
             .count()));
   }
+}
+
+const ProbeResult& ProbeEngine::fresh(TaskId t, PeId k, const Schedule& schedule) {
+  Entry& e = entries_[t.index() * num_pes_ + k.index()];
+  if (options_.cache) {
+    const std::uint64_t fv = probe_footprint_version(g_, p_, t, k, schedule.tasks, tables_);
+    if (e.valid && e.footprint == fv) {
+      ++stats_.cache_hits;
+      return e.result;
+    }
+    if (e.valid) ++stats_.invalidations;
+    e.footprint = fv;
+  }
+  e.result = probe_placement(g_, p_, t, k, schedule, tables_, scratch_[0], comm_scratch_[0]);
+  e.valid = true;
+  ++stats_.probes_issued;
+  return e.result;
 }
 
 Energy ProbeEngine::energy(TaskId t, PeId k, const Schedule& schedule) {

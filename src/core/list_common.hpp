@@ -46,6 +46,13 @@ struct ProbeResult {
                                           const ResourceTables& tables,
                                           TentativeTables& scratch);
 
+/// Allocation-free form: also reuses the caller's Fig. 3 buffers.  The hot
+/// probe loop (ProbeEngine) goes through this one.
+[[nodiscard]] ProbeResult probe_placement(const TaskGraph& g, const Platform& p, TaskId task,
+                                          PeId pe, const Schedule& schedule,
+                                          const ResourceTables& tables, TentativeTables& scratch,
+                                          CommScratch& comm_scratch);
+
 /// Convenience overload that builds a throwaway overlay (tests, one-off
 /// probes; hot loops should reuse a scratch or go through ProbeEngine).
 [[nodiscard]] ProbeResult probe_placement(const TaskGraph& g, const Platform& p, TaskId task,
@@ -148,6 +155,13 @@ class ProbeEngine {
   /// Makes result(t, k) exact for every t in `tasks` and every PE k.
   void refresh(std::span<const TaskId> tasks, const Schedule& schedule);
 
+  /// Lazy twin of refresh() for a single pair: validates the cached entry
+  /// against the pair's footprint and re-probes only when stale (always on
+  /// the calling thread).  Returns the exact F(i,k).  Lets a caller that
+  /// consumes only a few pairs per iteration (the energy-ordered feasibility
+  /// scan of the level scheduler) skip the rest of the row entirely.
+  const ProbeResult& fresh(TaskId t, PeId k, const Schedule& schedule);
+
   /// Cached F(i,k) of the last refresh that covered (t, k).
   [[nodiscard]] const ProbeResult& result(TaskId t, PeId k) const {
     return entries_[t.index() * num_pes_ + k.index()].result;
@@ -180,7 +194,8 @@ class ProbeEngine {
   std::vector<Entry> entries_;
   std::vector<Energy> energy_;  // NaN = not yet computed
   std::vector<StaleItem> stale_;
-  std::vector<TentativeTables> scratch_;  // one per pool lane
+  std::vector<TentativeTables> scratch_;   // one per pool lane
+  std::vector<CommScratch> comm_scratch_;  // one per pool lane
   ProbeStats stats_;
   obs::Histogram* batch_size_h_ = nullptr;  // hoisted registry lookups
   obs::Histogram* batch_ns_h_ = nullptr;

@@ -81,6 +81,19 @@ void export_repair_stats(const RepairStats& stats, obs::Registry& registry) {
   registry.counter("repair.gtm_accepted", "moves")
       .inc(static_cast<std::uint64_t>(stats.gtm_accepted));
   registry.counter("repair.rounds", "rounds").inc(static_cast<std::uint64_t>(stats.rounds));
+  registry.counter("repair.pruned_deferred", "tasks")
+      .inc(static_cast<std::uint64_t>(stats.pruned_deferred));
+  registry.counter("repair.fallback_passes", "passes")
+      .inc(static_cast<std::uint64_t>(stats.fallback_passes));
+  registry.counter("repair.speculative_evals", "moves")
+      .inc(static_cast<std::uint64_t>(stats.speculative_evals));
+  registry.counter("repair.rebuilds", "rebuilds").inc(stats.rebuilds);
+  registry.counter("repair.full_rebuilds", "rebuilds").inc(stats.full_rebuilds);
+  registry.counter("repair.suffix_rebuilds", "rebuilds").inc(stats.suffix_rebuilds);
+  registry.counter("repair.commits_rebuilt", "commits").inc(stats.commits_rebuilt);
+  registry.counter("repair.commits_reused", "commits").inc(stats.commits_reused);
+  registry.counter("repair.bound_aborts", "evals").inc(stats.bound_aborts);
+  registry.gauge("repair.suffix_reuse_rate", "fraction").set(stats.suffix_reuse_rate());
   registry.gauge("repair.misses_before", "tasks").set(static_cast<double>(stats.misses_before));
   registry.gauge("repair.misses_after", "tasks").set(static_cast<double>(stats.misses_after));
   registry.gauge("repair.tardiness_before", "time units")

@@ -1,9 +1,15 @@
 #include "src/core/repair.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "src/ctg/dag_algos.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace noceas {
 
@@ -76,10 +82,116 @@ Energy migration_energy_delta(const TaskGraph& g, const Platform& p, const Sched
   return delta;
 }
 
+/// Tasks on a *tight* chain ending in a deadline miss: walking backwards
+/// from each missed task along arcs whose bound is met with equality —
+/// a data arrival exactly at the start (dep arc), the previous task of the
+/// PE order finishing exactly at the start (PE-busy arc), and, for queued
+/// network transactions, the sender plus the transactions whose shared-link
+/// reservation ends exactly when the queued one starts (link-busy arcs).
+/// Only a move involving one of these tasks can shorten the chain into the
+/// miss, so the pruned enumeration tries them first; the exhaustive
+/// fallback keeps the approximation sound (DESIGN.md §11.2).
+std::vector<bool> focus_mask(const TaskGraph& g, const Platform& p, const Schedule& s,
+                             const OrderedPlan& plan) {
+  std::vector<bool> focus(g.num_tasks(), false);
+  std::vector<TaskId> prev_on_pe(g.num_tasks(), TaskId{});
+  for (const auto& order : plan.pe_order) {
+    for (std::size_t i = 1; i < order.size(); ++i) prev_on_pe[order[i].index()] = order[i - 1];
+  }
+  // Shared-link predecessors whose reservation ends exactly when the queued
+  // transaction begins — the exact link_busy blame of the analysis layer.
+  const auto lorders = link_orders(g, p, s);
+  std::vector<std::vector<TaskId>> link_blockers(g.num_edges());
+  for (const auto& lo : lorders) {
+    for (std::size_t i = 1; i < lo.size(); ++i) {
+      const CommPlacement& prev = s.at(lo[i - 1]);
+      if (prev.arrival() == s.at(lo[i]).start) {
+        link_blockers[lo[i].index()].push_back(g.edge(lo[i - 1]).src);
+      }
+    }
+  }
+  std::deque<TaskId> frontier;
+  auto visit = [&](TaskId t) {
+    if (!t.valid() || focus[t.index()]) return;
+    focus[t.index()] = true;
+    frontier.push_back(t);
+  };
+  for (TaskId t : g.all_tasks()) {
+    const Task& task = g.task(t);
+    if (task.has_deadline() && s.at(t).finish > task.deadline) visit(t);
+  }
+  while (!frontier.empty()) {
+    const TaskId t = frontier.front();
+    frontier.pop_front();
+    const Time start = s.at(t).start;
+    for (EdgeId e : g.in_edges(t)) {
+      const CommPlacement& cp = s.at(e);
+      const TaskId src = g.edge(e).src;
+      const Time arrival = cp.uses_network() ? cp.arrival() : s.at(src).finish;
+      if (arrival == start) visit(src);
+      if (cp.uses_network() && cp.start > s.at(src).finish) {
+        visit(src);
+        for (TaskId b : link_blockers[e.index()]) visit(b);
+      }
+    }
+    const TaskId prev = prev_on_pe[t.index()];
+    if (prev.valid() && s.at(prev).finish == start) visit(prev);
+  }
+  return focus;
+}
+
+/// One candidate LTS/GTM move, pre-resolved to plan positions so evaluation
+/// lanes can apply/undo it in place on their plan scratch.
+struct Move {
+  enum class Kind : std::uint8_t { Lts, Gtm };
+  Kind kind = Kind::Lts;
+  TaskId task{};
+  TaskId swap_with{};            // LTS
+  PeId pe{};                     // LTS: the shared PE; GTM: source PE
+  PeId to{};                     // GTM
+  std::uint32_t pos_a = 0;       // LTS swap positions, pos_a < pos_b
+  std::uint32_t pos_b = 0;
+  std::uint32_t src_pos = 0;     // GTM: position of task in source order
+  std::uint32_t insert_index = 0;  // GTM: position in destination order
+  Energy delta_energy = 0.0;     // GTM
+  std::size_t cutoff = 0;        ///< divergence_at() of the base rebuild
+};
+
+void apply_move(OrderedPlan& plan, const Move& m) {
+  if (m.kind == Move::Kind::Lts) {
+    auto& order = plan.pe_order[m.pe.index()];
+    std::swap(order[m.pos_a], order[m.pos_b]);
+  } else {
+    auto& src = plan.pe_order[m.pe.index()];
+    src.erase(src.begin() + m.src_pos);
+    plan.assignment[m.task.index()] = m.to;
+    auto& dst = plan.pe_order[m.to.index()];
+    dst.insert(dst.begin() + m.insert_index, m.task);
+  }
+}
+
+void undo_move(OrderedPlan& plan, const Move& m) {
+  if (m.kind == Move::Kind::Lts) {
+    apply_move(plan, m);  // a swap is its own inverse
+  } else {
+    auto& dst = plan.pe_order[m.to.index()];
+    dst.erase(dst.begin() + m.insert_index);
+    plan.assignment[m.task.index()] = m.pe;
+    auto& src = plan.pe_order[m.pe.index()];
+    src.insert(src.begin() + m.src_pos, m.task);
+  }
+}
+
 struct Incumbent {
   OrderedPlan plan;
   Schedule schedule;
   MissReport misses;
+};
+
+/// Outcome of one candidate evaluation (counts only; no schedule copy).
+struct Eval {
+  bool rebuilt = false;
+  MissReport mr;
 };
 
 }  // namespace
@@ -106,14 +218,30 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
   }
   if (dlog != nullptr) dlog->record_repair_begin(stats.misses_before, stats.tardiness_before);
 
+  // The escape hatch forces every candidate through a from-scratch rebuild
+  // (cutoff 0) so differential tests can compare the two paths bit-for-bit.
+  const bool incremental =
+      options.incremental && std::getenv("NOCEAS_REPAIR_FULL_REBUILD") == nullptr;
+  ThreadPool* const pool = options.parallel ? &shared_probe_pool() : nullptr;
+  const std::size_t lane_count = pool != nullptr ? pool->lanes() : 1;
+  const std::size_t wave = static_cast<std::size_t>(std::max(1, options.wave));
+
   // Work on the rebuilt form of the initial schedule so that every candidate
   // is compared against an incumbent produced by the same (deterministic)
-  // timing reconstruction.  All LTS/GTM re-probes share one rebuilder so the
-  // schedule tables are allocated once instead of per candidate move.
-  TimingRebuilder rebuilder(g, p);
+  // timing reconstruction.  Lane 0 is the master: it holds the base commit
+  // sequence candidates diverge from; further lanes are rebased copies so
+  // waves of independent moves can be probed concurrently.
+  std::vector<std::unique_ptr<TimingRebuilder>> lane_rb;
+  lane_rb.reserve(lane_count);
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    lane_rb.push_back(std::make_unique<TimingRebuilder>(g, p));
+  }
+  TimingRebuilder& master = *lane_rb[0];
+  std::vector<OrderedPlan> lane_plans(lane_count);
+
   Incumbent inc;
   inc.plan = plan_from_schedule(initial, p.num_pes());
-  if (auto rebuilt = rebuilder.rebuild(inc.plan)) {
+  if (auto rebuilt = master.rebuild(inc.plan)) {
     inc.schedule = std::move(*rebuilt);
   } else {
     inc.schedule = initial;  // should not happen for a valid schedule
@@ -127,30 +255,282 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
       inc.misses = initial_mr;
     }
   }
+  bool have_base = master.has_base();
+  auto sync_lanes = [&] {
+    for (std::size_t i = 1; i < lane_rb.size(); ++i) lane_rb[i]->sync_to(master);
+    for (OrderedPlan& lp : lane_plans) lp = inc.plan;
+  };
+  sync_lanes();
 
-  const ReachabilityMatrix reach(g);
+  // O(V^2) bitmap; graph-derived only, so a caller that repairs the same
+  // graph repeatedly (the budget-retry loop) shares one via the options.
+  std::optional<ReachabilityMatrix> local_reach;
+  if (options.reachability == nullptr) local_reach.emplace(g);
+  const ReachabilityMatrix& reach = options.reachability != nullptr ? *options.reachability
+                                                                    : *local_reach;
 
-  // `cand_mr` receives the candidate's (miss, tardiness) objective so the
-  // provenance log can record it even for rejected moves; a candidate whose
-  // rebuild fails reports the unchanged incumbent objective.
-  auto try_plan = [&](const OrderedPlan& candidate, MissReport& cand_mr) -> bool {
-    auto rebuilt = rebuilder.rebuild(candidate);
-    if (!rebuilt) {
-      cand_mr = inc.misses;
-      return false;
+  // ---- candidate generation (seed enumeration order, flattened) ---------
+  auto gen_lts_for = [&](TaskId t1, const std::vector<bool>& critical, std::vector<Move>& out) {
+    const PeId pe = inc.schedule.at(t1).pe;
+    const auto& order = inc.plan.pe_order[pe.index()];
+    const auto pos1 =
+        static_cast<std::size_t>(std::find(order.begin(), order.end(), t1) - order.begin());
+    // Swap the critical task with non-critical tasks scheduled *earlier*
+    // on the same PE, closest first.
+    for (std::size_t j = pos1; j-- > 0;) {
+      const TaskId t2 = order[j];
+      if (critical[t2.index()]) continue;
+      // Order feasibility: t2 must not be an ancestor of t1.
+      if (reach.reachable(t2, t1)) continue;
+      Move m;
+      m.kind = Move::Kind::Lts;
+      m.task = t1;
+      m.swap_with = t2;
+      m.pe = pe;
+      m.pos_a = static_cast<std::uint32_t>(j);
+      m.pos_b = static_cast<std::uint32_t>(pos1);
+      if (have_base) {
+        // Tight divergence bound (DESIGN.md §11.1): base and candidate
+        // sequences stay identical until either the base commits the
+        // displaced head t2, or t1 — visible at position j and with all
+        // predecessors committed — wins a selection against the base's
+        // choice.  Both events are answered from the base commit index.
+        std::size_t d = master.base_step_of(t2);
+        const std::size_t scan =
+            std::max(master.divergence_at(pe, j), master.eligible_step_of(t1));
+        if (scan < d) d = std::min(d, master.first_defeat(scan, t1));
+        m.cutoff = d;
+      }
+      out.push_back(m);
     }
-    const MissReport mr = deadline_misses(g, *rebuilt);
-    cand_mr = mr;
-    if (!mr.better_than(inc.misses)) return false;
-    inc.plan = candidate;
-    inc.schedule = std::move(*rebuilt);
-    inc.misses = mr;
+  };
+
+  auto gen_gtm_for = [&](TaskId t1, std::vector<Move>& out) {
+    const PeId from = inc.schedule.at(t1).pe;
+    // Destinations in increasing order of the energy increase (the paper:
+    // "the destination PEs are tried in the increasing order of the
+    // execution and communication energy").
+    std::vector<std::pair<Energy, PeId>> dests;
+    for (PeId to : p.all_pes()) {
+      if (to == from) continue;
+      dests.emplace_back(migration_energy_delta(g, p, inc.schedule, t1, from, to), to);
+    }
+    std::sort(dests.begin(), dests.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    });
+    const auto& src_order = inc.plan.pe_order[from.index()];
+    const auto src_pos = static_cast<std::size_t>(
+        std::find(src_order.begin(), src_order.end(), t1) - src_order.begin());
+    const Time t1_start = inc.schedule.at(t1).start;
+    for (const auto& [delta, to] : dests) {
+      // Insert into the destination order at the position matching the
+      // task's current start time.
+      const auto& dst_order = inc.plan.pe_order[to.index()];
+      const auto it = std::find_if(dst_order.begin(), dst_order.end(), [&](TaskId other) {
+        return inc.schedule.at(other).start >= t1_start;
+      });
+      const auto insert_index = static_cast<std::size_t>(it - dst_order.begin());
+      Move m;
+      m.kind = Move::Kind::Gtm;
+      m.task = t1;
+      m.pe = from;
+      m.to = to;
+      m.src_pos = static_cast<std::uint32_t>(src_pos);
+      m.insert_index = static_cast<std::uint32_t>(insert_index);
+      m.delta_energy = delta;
+      if (have_base) {
+        // Source PE: the base commits t1 at a step the candidate cannot
+        // match, and the successor task promoted to the head may win a
+        // selection before that.  Destination PE: the displaced head (if
+        // any) commits in the base, and t1 as the new head may win first.
+        std::size_t d = master.base_step_of(t1);
+        if (src_pos + 1 < src_order.size()) {
+          const TaskId succ = src_order[src_pos + 1];
+          const std::size_t scan =
+              std::max(master.divergence_at(from, src_pos), master.eligible_step_of(succ));
+          if (scan < d) d = std::min(d, master.first_defeat(scan, succ));
+        }
+        if (insert_index < dst_order.size()) {
+          d = std::min(d, master.base_step_of(dst_order[insert_index]));
+        }
+        const std::size_t scan =
+            std::max(master.divergence_at(to, insert_index), master.eligible_step_of(t1));
+        if (scan < d) d = std::min(d, master.first_defeat(scan, t1));
+        m.cutoff = d;
+      }
+      out.push_back(m);
+    }
+  };
+
+  // ---- move bookkeeping --------------------------------------------------
+  auto log_move = [&](const Move& m, const MissReport& cand, bool ok) {
+    if (m.kind == Move::Kind::Lts) {
+      ++stats.lts_tried;
+      OBS_INSTANT(tr, "repair.move", obs::Arg("kind", "lts"), obs::Arg("task", m.task.value),
+                  obs::Arg("swap_with", m.swap_with.value), obs::Arg("pe", m.pe.value),
+                  obs::Arg("accepted", ok));
+    } else {
+      ++stats.gtm_tried;
+      OBS_INSTANT(tr, "repair.move", obs::Arg("kind", "gtm"), obs::Arg("task", m.task.value),
+                  obs::Arg("from", m.pe.value), obs::Arg("to", m.to.value),
+                  obs::Arg("delta_e", m.delta_energy), obs::Arg("accepted", ok));
+    }
+    if (dlog != nullptr) {
+      audit::RepairMoveRecord rec;
+      rec.task = m.task.value;
+      if (m.kind == Move::Kind::Lts) {
+        rec.kind = "lts";
+        rec.pe = m.pe.value;
+        rec.pos_a = static_cast<std::int32_t>(m.pos_a);
+        rec.pos_b = static_cast<std::int32_t>(m.pos_b);
+        rec.swap_with = m.swap_with.value;
+      } else {
+        rec.kind = "gtm";
+        rec.from_pe = m.pe.value;
+        rec.to_pe = m.to.value;
+        rec.insert_index = static_cast<std::int32_t>(m.insert_index);
+        rec.delta_energy = m.delta_energy;
+      }
+      rec.accepted = ok;
+      rec.misses_before = inc.misses.miss_count;
+      rec.misses_after = cand.miss_count;
+      rec.tardiness_before = inc.misses.total_tardiness;
+      rec.tardiness_after = cand.total_tardiness;
+      dlog->record_repair_move(std::move(rec));
+    }
+  };
+
+  auto accept = [&](const Move& m) {
+    OBS_SPAN(tr, "repair.accept",
+             {obs::Arg("kind", m.kind == Move::Kind::Lts ? "lts" : "gtm"),
+              obs::Arg("task", m.task.value)});
+    apply_move(inc.plan, m);
+    std::optional<Schedule> s = have_base
+                                    ? master.rebuild_suffix(inc.plan, incremental ? m.cutoff : 0)
+                                    : rebuild_timing(g, p, inc.plan);
+    NOCEAS_REQUIRE(s.has_value(), "accepted repair move failed to rebuild");
+    inc.schedule = std::move(*s);
+    inc.misses = deadline_misses(g, inc.schedule);
     // Refresh the cross-PE commit priorities so later rebuilds track the
     // accepted timing.
     for (std::size_t i = 0; i < inc.plan.priority.size(); ++i) {
       inc.plan.priority[i] = inc.schedule.tasks[i].start;
     }
-    return true;
+    if (m.kind == Move::Kind::Lts) {
+      ++stats.lts_accepted;
+    } else {
+      ++stats.gtm_accepted;
+    }
+    // The refreshed priorities invalidate the recorded commit sequence (a
+    // rebuild under them may commit in a different global order), so the
+    // base must be re-established before the next candidate diverges from
+    // it.  One full rebuild per accepted move; accepts are rare next to
+    // tried moves.
+    (void)master.rebuild(inc.plan);
+    have_base = master.has_base();
+    sync_lanes();
+  };
+
+  // Evaluates `mv` in fixed-size waves and accepts the first improving move
+  // in enumeration order.  The wave partition and the scan order are
+  // independent of the pool size, and move records cover only candidates up
+  // to the accepted one, so schedules, stats and decision streams are
+  // byte-identical for any thread count.  Returns true on accept.
+  std::vector<Eval> evals(wave);
+  auto run_moves = [&](const std::vector<Move>& mv) -> bool {
+    if (mv.empty()) return false;
+    OBS_SPAN(tr, "repair.evaluate",
+             {obs::Arg("candidates", static_cast<std::int64_t>(mv.size()))});
+    for (std::size_t base = 0; base < mv.size(); base += wave) {
+      const std::size_t count = std::min(wave, mv.size() - base);
+      auto eval_one = [&](std::size_t i, unsigned lane) {
+        const Move& m = mv[base + i];
+        OrderedPlan& plan = lane_plans[lane];
+        apply_move(plan, m);
+        Eval ev;
+        if (have_base) {
+          const MissReport* bound = options.bound ? &inc.misses : nullptr;
+          if (auto obj = lane_rb[lane]->evaluate_suffix(plan, incremental ? m.cutoff : 0, bound)) {
+            ev.rebuilt = true;
+            ev.mr = std::move(*obj);
+          }
+        } else if (auto cand = rebuild_timing(g, p, plan)) {  // degraded path
+          ev.rebuilt = true;
+          ev.mr = deadline_misses(g, *cand);
+        }
+        undo_move(plan, m);
+        evals[i] = std::move(ev);
+      };
+      if (pool != nullptr) {
+        pool->parallel_for(count, eval_one);
+      } else {
+        for (std::size_t i = 0; i < count; ++i) eval_one(i, 0);
+      }
+      std::ptrdiff_t acc = -1;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (evals[i].rebuilt && evals[i].mr.better_than(inc.misses)) {
+          acc = static_cast<std::ptrdiff_t>(i);
+          break;
+        }
+      }
+      const std::size_t logged = acc >= 0 ? static_cast<std::size_t>(acc) + 1 : count;
+      for (std::size_t i = 0; i < logged; ++i) {
+        const bool ok = static_cast<std::ptrdiff_t>(i) == acc;
+        // A candidate whose rebuild failed reports the unchanged incumbent
+        // objective (matching the pre-incremental records).
+        log_move(mv[base + i], evals[i].rebuilt ? evals[i].mr : inc.misses, ok);
+      }
+      stats.speculative_evals += static_cast<int>(count - logged);
+      if (acc >= 0) {
+        accept(mv[base + static_cast<std::size_t>(acc)]);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Runs one enumeration pass of `mode`: focused candidates first when
+  // pruning, the exhaustive remainder only when the focused phase accepted
+  // nothing.  Returns true when a move was accepted.
+  std::vector<Move> moves;
+  enum class Mode { Lts, Gtm };
+  auto pass = [&](Mode mode) -> bool {
+    const auto critical = critical_mask(g, inc.schedule);
+    const auto order_list = critical_order(g, inc.schedule, critical);
+    std::vector<bool> focus;
+    const int phases = options.prune ? (options.fallback ? 2 : 1) : 1;
+    for (int phase = 0; phase < phases; ++phase) {
+      moves.clear();
+      {
+        OBS_SPAN(tr, "repair.candidates",
+                 {obs::Arg("kind", mode == Mode::Lts ? "lts" : "gtm"), obs::Arg("phase", phase)});
+        if (options.prune && phase == 0) focus = focus_mask(g, p, inc.schedule, inc.plan);
+        std::size_t deferred = 0;
+        for (TaskId t1 : order_list) {
+          if (options.prune) {
+            const bool in_focus = focus[t1.index()];
+            if (phase == 0 && !in_focus) {
+              ++deferred;
+              continue;
+            }
+            if (phase == 1 && in_focus) continue;
+          }
+          if (mode == Mode::Lts) {
+            gen_lts_for(t1, critical, moves);
+          } else {
+            gen_gtm_for(t1, moves);
+          }
+        }
+        if (phase == 0) stats.pruned_deferred += static_cast<int>(deferred);
+      }
+      if (phase == 1) {
+        if (moves.empty()) break;
+        ++stats.fallback_passes;
+      }
+      if (run_moves(moves)) return true;
+    }
+    return false;
   };
 
   for (int round = 0; round < options.max_rounds && !inc.misses.all_met(); ++round) {
@@ -161,134 +541,39 @@ RepairResult search_and_repair(const TaskGraph& g, const Platform& p, const Sche
     bool improved_this_round = false;
 
     // ---- Local task swapping mode -------------------------------------
-    bool lts_improved = true;
+    bool lts_improved = options.lts;
     while (lts_improved && !inc.misses.all_met()) {
       OBS_SPAN(tr, "repair.lts_pass");
-      lts_improved = false;
-      const auto critical = critical_mask(g, inc.schedule);
-      for (TaskId t1 : critical_order(g, inc.schedule, critical)) {
-        const PeId pe = inc.schedule.at(t1).pe;
-        const auto& order = inc.plan.pe_order[pe.index()];
-        const auto pos1 =
-            static_cast<std::size_t>(std::find(order.begin(), order.end(), t1) - order.begin());
-        bool accepted = false;
-        // Swap the critical task with non-critical tasks scheduled *earlier*
-        // on the same PE, closest first.
-        for (std::size_t j = pos1; j-- > 0;) {
-          const TaskId t2 = order[j];
-          if (critical[t2.index()]) continue;
-          // Order feasibility: t2 must not be an ancestor of t1.
-          if (reach.reachable(t2, t1)) continue;
-          ++stats.lts_tried;
-          OrderedPlan candidate = inc.plan;
-          std::swap(candidate.pe_order[pe.index()][j], candidate.pe_order[pe.index()][pos1]);
-          const MissReport before = inc.misses;
-          MissReport cand_mr;
-          const bool ok = try_plan(candidate, cand_mr);
-          OBS_INSTANT(tr, "repair.move", obs::Arg("kind", "lts"), obs::Arg("task", t1.value),
-                      obs::Arg("swap_with", t2.value), obs::Arg("pe", pe.value),
-                      obs::Arg("accepted", ok));
-          if (dlog != nullptr) {
-            audit::RepairMoveRecord rec;
-            rec.kind = "lts";
-            rec.task = t1.value;
-            rec.pe = pe.value;
-            rec.pos_a = static_cast<std::int32_t>(j);
-            rec.pos_b = static_cast<std::int32_t>(pos1);
-            rec.swap_with = t2.value;
-            rec.accepted = ok;
-            rec.misses_before = before.miss_count;
-            rec.misses_after = cand_mr.miss_count;
-            rec.tardiness_before = before.total_tardiness;
-            rec.tardiness_after = cand_mr.total_tardiness;
-            dlog->record_repair_move(std::move(rec));
-          }
-          if (ok) {
-            ++stats.lts_accepted;
-            accepted = true;
-            lts_improved = true;
-            improved_this_round = true;
-            break;
-          }
-        }
-        if (accepted) break;  // criticals changed; re-enumerate
-      }
+      lts_improved = pass(Mode::Lts);
+      improved_this_round |= lts_improved;
     }
     if (inc.misses.all_met()) break;
 
     // ---- Global task migration mode ------------------------------------
-    OBS_SPAN(tr, "repair.gtm_pass");
-    bool gtm_accepted = false;
-    const auto critical = critical_mask(g, inc.schedule);
-    for (TaskId t1 : critical_order(g, inc.schedule, critical)) {
-      const PeId from = inc.schedule.at(t1).pe;
-      // Destinations in increasing order of the energy increase (the paper:
-      // "the destination PEs are tried in the increasing order of the
-      // execution and communication energy").
-      std::vector<std::pair<Energy, PeId>> dests;
-      for (PeId to : p.all_pes()) {
-        if (to == from) continue;
-        dests.emplace_back(migration_energy_delta(g, p, inc.schedule, t1, from, to), to);
-      }
-      std::sort(dests.begin(), dests.end(), [](const auto& a, const auto& b) {
-        if (a.first != b.first) return a.first < b.first;
-        return a.second < b.second;
-      });
-      for (const auto& [delta, to] : dests) {
-        ++stats.gtm_tried;
-        OrderedPlan candidate = inc.plan;
-        auto& src_order = candidate.pe_order[from.index()];
-        src_order.erase(std::find(src_order.begin(), src_order.end(), t1));
-        candidate.assignment[t1.index()] = to;
-        // Insert into the destination order at the position matching the
-        // task's current start time.
-        auto& dst_order = candidate.pe_order[to.index()];
-        const Time t1_start = inc.schedule.at(t1).start;
-        auto it = std::find_if(dst_order.begin(), dst_order.end(), [&](TaskId other) {
-          return inc.schedule.at(other).start >= t1_start;
-        });
-        const auto insert_index = static_cast<std::int32_t>(it - dst_order.begin());
-        dst_order.insert(it, t1);
-        const MissReport before = inc.misses;
-        MissReport cand_mr;
-        const bool ok = try_plan(candidate, cand_mr);
-        OBS_INSTANT(tr, "repair.move", obs::Arg("kind", "gtm"), obs::Arg("task", t1.value),
-                    obs::Arg("from", from.value), obs::Arg("to", to.value),
-                    obs::Arg("delta_e", delta), obs::Arg("accepted", ok));
-        if (dlog != nullptr) {
-          audit::RepairMoveRecord rec;
-          rec.kind = "gtm";
-          rec.task = t1.value;
-          rec.from_pe = from.value;
-          rec.to_pe = to.value;
-          rec.insert_index = insert_index;
-          rec.delta_energy = delta;
-          rec.accepted = ok;
-          rec.misses_before = before.miss_count;
-          rec.misses_after = cand_mr.miss_count;
-          rec.tardiness_before = before.total_tardiness;
-          rec.tardiness_after = cand_mr.total_tardiness;
-          dlog->record_repair_move(std::move(rec));
-        }
-        if (ok) {
-          ++stats.gtm_accepted;
-          gtm_accepted = true;
-          improved_this_round = true;
-          break;
-        }
-      }
-      if (gtm_accepted) break;  // back to LTS mode
+    if (options.gtm) {
+      OBS_SPAN(tr, "repair.gtm_pass");
+      improved_this_round |= pass(Mode::Gtm);
     }
 
     if (!improved_this_round) break;  // converged with residual misses
   }
 
+  for (const auto& rb : lane_rb) {
+    stats.rebuilds += rb->rebuilds();
+    stats.full_rebuilds += rb->full_rebuilds();
+    stats.suffix_rebuilds += rb->suffix_rebuilds();
+    stats.commits_rebuilt += rb->commits_rebuilt();
+    stats.commits_reused += rb->commits_reused();
+    stats.bound_aborts += rb->bound_aborts();
+  }
   stats.misses_after = inc.misses.miss_count;
   stats.tardiness_after = inc.misses.total_tardiness;
   if (dlog != nullptr) dlog->record_repair_end(stats.misses_after, stats.tardiness_after);
   run_span.arg(obs::Arg("misses_before", static_cast<std::int64_t>(stats.misses_before)));
   run_span.arg(obs::Arg("misses_after", static_cast<std::int64_t>(stats.misses_after)));
   run_span.arg(obs::Arg("rounds", stats.rounds));
+  run_span.arg(obs::Arg("rebuilds", static_cast<std::int64_t>(stats.rebuilds)));
+  run_span.arg(obs::Arg("suffix_reuse", stats.suffix_reuse_rate()));
   result.schedule = std::move(inc.schedule);
   return result;
 }

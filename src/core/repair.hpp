@@ -15,11 +15,22 @@
 // deadline").  Moves are kept only when they strictly improve the
 // lexicographic (miss count, total tardiness) objective, so the greedy
 // procedure always converges.
+//
+// Hot-path engineering (DESIGN.md §11): candidate moves are evaluated with
+// incremental suffix rebuilds (TimingRebuilder::evaluate_suffix), enumerated
+// tight-chain-first (`prune`), and probed in fixed-size waves that may run
+// on the shared thread pool (`parallel`) — all three layers preserve the
+// deterministic first-improvement accept order, so the repaired schedule is
+// byte-identical for any thread count and bit-identical to the full-rebuild
+// escape hatch (NOCEAS_REPAIR_FULL_REBUILD=1).
 #pragma once
+
+#include <cstdint>
 
 #include "src/audit/decision_log.hpp"
 #include "src/core/schedule.hpp"
 #include "src/core/timing.hpp"
+#include "src/ctg/dag_algos.hpp"
 #include "src/ctg/task_graph.hpp"
 #include "src/noc/platform.hpp"
 #include "src/obs/trace.hpp"
@@ -31,14 +42,56 @@ struct RepairOptions {
   /// Upper bound on LTS+GTM rounds (safety net; the lexicographic
   /// improvement rule already guarantees termination).
   int max_rounds = 256;
-  /// Optional tracer: spans per repair round / LTS sweep / GTM pass and a
-  /// "repair.move" instant per tried move (accept/reject in the args).
-  /// Null = no overhead; never affects the repair result.
+  /// Incremental candidate evaluation: reuse the committed prefix of the
+  /// incumbent's rebuild and re-run only the suffix a move can affect.
+  /// Bit-identical to full rebuilds by construction; setting the
+  /// NOCEAS_REPAIR_FULL_REBUILD environment variable forces full rebuilds
+  /// regardless (the differential-testing escape hatch).
+  bool incremental = true;
+  /// Candidate pruning ("repair.v2" enumeration): enumerate moves only for
+  /// critical tasks on a tight chain into a deadline miss — the tasks whose
+  /// placement binds the missed finish time (DESIGN.md §11.2).  Changes the
+  /// explored candidate set (a versioned enumeration, not a silent drift):
+  /// false restores the v1 (pre-incremental) exhaustive enumeration exactly.
+  bool prune = true;
+  /// With `prune`, additionally run an exhaustive pass over the remaining
+  /// critical tasks whenever the focused set yields no accepted move.  This
+  /// restores the v1 *accept/no-accept outcome* at v1 cost on converged
+  /// (no-move-left) passes — the dominant cost of the repair phase — so it
+  /// is off by default; see DESIGN.md §11.2 for the quality argument.
+  bool fallback = false;
+  /// Bounded candidate evaluation: abort a candidate's suffix run as soon
+  /// as its partial (miss count, tardiness) — both monotone in the commit
+  /// prefix — can no longer strictly beat the incumbent.  Accepted moves
+  /// and final schedules are unchanged; rejected moves cut short this way
+  /// record the incumbent objective as their after-state (the audit
+  /// replayer never re-checks rejected objectives).  false restores the v1
+  /// exact per-candidate reports.
+  bool bound = true;
+  /// Evaluate candidate waves on the shared probe pool.  The wave partition
+  /// is fixed (`wave`), results are scanned in enumeration order, and move
+  /// records cover only candidates up to the accepted one — schedules,
+  /// stats and decision streams are byte-identical for any thread count.
+  bool parallel = true;
+  /// Candidate moves per evaluation wave (independent of the pool size).
+  int wave = 8;
+  /// Enable the LTS / GTM modes (bench isolation; both on in production).
+  bool lts = true;
+  bool gtm = true;
+  /// Optional tracer: spans per repair round / candidate-generation phase /
+  /// evaluation pass / accept, and a "repair.move" instant per tried move
+  /// (accept/reject in the args).  Null = no overhead; never affects the
+  /// repair result.
   obs::Tracer* tracer = nullptr;
   /// Optional provenance recorder (src/audit/): one record per tried move
   /// with the positions needed to re-apply it, bracketed by repair
   /// begin/end records.  Null = one branch per move; never affects results.
   audit::DecisionLog* decisions = nullptr;
+  /// Optional precomputed reachability of `g` (purely graph-derived, so it
+  /// is valid across any number of repair invocations on the same graph).
+  /// schedule_eas builds it once and shares it across all budget-retry
+  /// attempts; null = build locally.
+  const ReachabilityMatrix* reachability = nullptr;
 };
 
 /// What happened during repair.
@@ -48,12 +101,31 @@ struct RepairStats {
   int gtm_tried = 0;
   int gtm_accepted = 0;
   int rounds = 0;
+  /// Candidate tasks deferred past a pruned (focus-first) enumeration pass.
+  int pruned_deferred = 0;
+  /// Exhaustive fallback passes that actually ran (pruning found nothing).
+  int fallback_passes = 0;
+  /// Wave evaluations past the accepted move: computed, then discarded to
+  /// keep the accept order deterministic.  Never logged as tried.
+  int speculative_evals = 0;
+  /// Timing rebuild cost behind the tried/speculative moves.
+  std::uint64_t rebuilds = 0;         ///< total (full + suffix)
+  std::uint64_t full_rebuilds = 0;
+  std::uint64_t suffix_rebuilds = 0;
+  std::uint64_t commits_rebuilt = 0;  ///< task commits re-executed
+  std::uint64_t commits_reused = 0;   ///< base prefix commits reused
+  std::uint64_t bound_aborts = 0;     ///< evaluations cut short by the bound
   std::size_t misses_before = 0;
   std::size_t misses_after = 0;
   Time tardiness_before = 0;
   Time tardiness_after = 0;
 
   [[nodiscard]] bool repaired_all() const { return misses_after == 0; }
+  /// Fraction of commit work avoided by suffix reuse.
+  [[nodiscard]] double suffix_reuse_rate() const {
+    const double total = static_cast<double>(commits_rebuilt + commits_reused);
+    return total > 0.0 ? static_cast<double>(commits_reused) / total : 0.0;
+  }
 };
 
 /// Result of search & repair.

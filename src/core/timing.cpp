@@ -31,73 +31,316 @@ TimingRebuilder::TimingRebuilder(const TaskGraph& g, const Platform& p)
       tables_(p),
       next_in_order_(p.num_pes(), 0),
       unplaced_preds_(g.num_tasks(), 0),
-      pe_last_finish_(p.num_pes(), 0) {}
+      pe_last_finish_(p.num_pes(), 0),
+      work_(g.num_tasks(), g.num_edges()),
+      pe_commit_index_(p.num_pes()) {
+  commits_.reserve(g.num_tasks());
+}
 
-std::optional<Schedule> TimingRebuilder::rebuild(const OrderedPlan& plan) {
+void TimingRebuilder::reset_state() {
+  tables_.clear();  // version counters keep rising; occupancy resets
+  std::fill(next_in_order_.begin(), next_in_order_.end(), 0);
+  for (TaskId t : g_.all_tasks()) unplaced_preds_[t.index()] = g_.in_degree(t);
+  std::fill(pe_last_finish_.begin(), pe_last_finish_.end(), 0);
+  work_.tasks.assign(g_.num_tasks(), TaskPlacement{});
+  work_.comms.assign(g_.num_edges(), CommPlacement{});
+  commits_.clear();
+  for (auto& idx : pe_commit_index_) idx.clear();
+  checkpoints_used_ = 0;
+}
+
+void TimingRebuilder::push_checkpoint() {
+  if (checkpoints_used_ == checkpoints_.size()) {
+    checkpoints_.push_back(
+        Snapshot{tables_, next_in_order_, unplaced_preds_, pe_last_finish_, work_});
+  } else {
+    // Reuse the slot's allocations: vector assignment keeps capacity.
+    Snapshot& s = checkpoints_[checkpoints_used_];
+    s.tables = tables_;
+    s.next_in_order = next_in_order_;
+    s.unplaced_preds = unplaced_preds_;
+    s.pe_last_finish = pe_last_finish_;
+    s.work = work_;
+  }
+  ++checkpoints_used_;
+}
+
+void TimingRebuilder::apply_base_range(std::size_t lo, std::size_t hi) {
+  for (std::size_t s = lo; s < hi; ++s) {
+    const Commit& c = commits_[s];
+    const std::size_t k = c.pe.index();
+    tables_.pe[k].reserve(Interval{c.start, c.finish});
+    for (const auto& [e, cp] : c.comms) {
+      if (cp.uses_network()) {
+        const Interval iv{cp.start, cp.start + cp.duration};
+        for (LinkId l : p_.route(cp.src_pe, cp.dst_pe)) tables_.link[l.index()].reserve(iv);
+      }
+      work_.comms[e.index()] = cp;
+    }
+    TaskPlacement& tp = work_.tasks[c.task.index()];
+    tp.pe = c.pe;
+    tp.start = c.start;
+    tp.finish = c.finish;
+    pe_last_finish_[k] = c.finish;
+    ++next_in_order_[k];
+    for (EdgeId e : g_.out_edges(c.task)) --unplaced_preds_[g_.edge(e).dst.index()];
+  }
+}
+
+void TimingRebuilder::restore_to(std::size_t cutoff) {
+  NOCEAS_REQUIRE(checkpoints_used_ > 0, "restore_to without checkpoints");
+  const std::size_t j = std::min(cutoff / kCheckpointStride, checkpoints_used_ - 1);
+  const Snapshot& snap = checkpoints_[j];
+  tables_ = snap.tables;
+  next_in_order_ = snap.next_in_order;
+  unplaced_preds_ = snap.unplaced_preds;
+  pe_last_finish_ = snap.pe_last_finish;
+  work_ = snap.work;
+  apply_base_range(j * kCheckpointStride, cutoff);
+}
+
+TimingRebuilder::RunStatus TimingRebuilder::run_from(const OrderedPlan& plan, std::size_t& pm,
+                                                     Time& pt, const MissReport* bound,
+                                                     bool record) {
   const TaskGraph& g = g_;
   const Platform& p = p_;
-  NOCEAS_REQUIRE(plan.assignment.size() == g.num_tasks(), "plan arity mismatch");
-  NOCEAS_REQUIRE(plan.pe_order.size() == p.num_pes(), "plan PE arity mismatch");
-
-  NOCEAS_REQUIRE(plan.priority.size() == g.num_tasks(), "plan priority arity mismatch");
-  ++rebuilds_;
-
-  Schedule s(g.num_tasks(), g.num_edges());
-  tables_.clear();  // version counters keep rising; occupancy resets
-
-  std::vector<std::size_t>& next_in_order = next_in_order_;  // head of each PE's order
-  std::fill(next_in_order.begin(), next_in_order.end(), 0);
-  std::vector<std::size_t>& unplaced_preds = unplaced_preds_;
-  for (TaskId t : g.all_tasks()) unplaced_preds[t.index()] = g.in_degree(t);
-  std::vector<Time>& pe_last_finish = pe_last_finish_;
-  std::fill(pe_last_finish.begin(), pe_last_finish.end(), 0);
-  ResourceTables& tables = tables_;
-
+  ReservationLog log;  // commit()ed per task; buffer reused across commits
   std::size_t placed = 0;
+  for (const std::size_t n : next_in_order_) placed += n;
   while (placed < g.num_tasks()) {
+    if (record && placed % kCheckpointStride == 0) push_checkpoint();
     // Among the eligible heads of all PE orders, commit the task with the
     // smallest cross-PE priority (original start time), so link slots are
     // granted in (almost) the original global sequence.
     TaskId best{};
     std::size_t best_pe = 0;
     for (std::size_t k = 0; k < p.num_pes(); ++k) {
-      if (next_in_order[k] >= plan.pe_order[k].size()) continue;
-      const TaskId t = plan.pe_order[k][next_in_order[k]];
+      if (next_in_order_[k] >= plan.pe_order[k].size()) continue;
+      const TaskId t = plan.pe_order[k][next_in_order_[k]];
       NOCEAS_REQUIRE(plan.assignment[t.index()] == PeId{k},
                      "task " << t.value << " in order of PE " << k << " but assigned elsewhere");
-      if (unplaced_preds[t.index()] > 0) continue;  // head not ready yet
+      if (unplaced_preds_[t.index()] > 0) continue;  // head not ready yet
       if (!best.valid() || plan.priority[t.index()] < plan.priority[best.index()] ||
           (plan.priority[t.index()] == plan.priority[best.index()] && t < best)) {
         best = t;
         best_pe = k;
       }
     }
-    if (!best.valid()) return std::nullopt;  // cyclic cross-PE wait
+    if (!best.valid()) return RunStatus::Deadlock;  // cyclic cross-PE wait
 
-    ReservationLog log;
-    const IncomingCommResult comms =
-        schedule_incoming_comms(g, p, best, PeId{best_pe}, s.tasks, tables, log);
+    const IncomingCommResult& comms = schedule_incoming_comms(g, p, best, PeId{best_pe},
+                                                              work_.tasks, tables_, log,
+                                                              comm_scratch_);
     const Duration exec = g.task(best).exec_time[best_pe];
     // Respect the PE order: never start before the previous task of this PE
     // finished, even if an earlier gap exists.
-    const Time not_before = std::max({comms.data_ready_time, pe_last_finish[best_pe],
+    const Time not_before = std::max({comms.data_ready_time, pe_last_finish_[best_pe],
                                       g.task(best).release});
-    const Time start = tables.pe[best_pe].earliest_fit(not_before, exec);
-    tables.pe[best_pe].reserve(Interval{start, start + exec});
+    const Time start = tables_.pe[best_pe].earliest_fit(not_before, exec);
+    tables_.pe[best_pe].reserve(Interval{start, start + exec});
     log.commit();
+    const Time finish = start + exec;
 
-    TaskPlacement& tp = s.tasks[best.index()];
+    TaskPlacement& tp = work_.tasks[best.index()];
     tp.pe = PeId{best_pe};
     tp.start = start;
-    tp.finish = start + exec;
-    pe_last_finish[best_pe] = tp.finish;
-    for (const auto& [edge, cp] : comms.placements) s.comms[edge.index()] = cp;
+    tp.finish = finish;
+    pe_last_finish_[best_pe] = finish;
+    for (const auto& [edge, cp] : comms.placements) work_.comms[edge.index()] = cp;
 
-    for (EdgeId e : g.out_edges(best)) --unplaced_preds[g.edge(e).dst.index()];
-    ++next_in_order[best_pe];
+    for (EdgeId e : g.out_edges(best)) --unplaced_preds_[g.edge(e).dst.index()];
+    ++next_in_order_[best_pe];
+    if (record) {
+      Commit c;
+      c.task = best;
+      c.pe = PeId{best_pe};
+      c.start = start;
+      c.finish = finish;
+      c.comms = comms.placements;  // copy: the scratch buffer is reused
+      pe_commit_index_[best_pe].push_back(static_cast<std::uint32_t>(commits_.size()));
+      commits_.push_back(std::move(c));
+    }
     ++placed;
+    ++commits_rebuilt_;
+
+    const Task& task = g.task(best);
+    if (task.has_deadline() && finish > task.deadline) {
+      ++pm;
+      pt += finish - task.deadline;
+      // Both partial counts are monotone in the committed prefix, so once
+      // the partial objective is no better than the bound the full one
+      // cannot be either — the candidate is rejected without finishing.
+      if (bound != nullptr &&
+          (pm > bound->miss_count ||
+           (pm == bound->miss_count && pt >= bound->total_tardiness))) {
+        return RunStatus::Bounded;
+      }
+    }
   }
-  return s;
+  return RunStatus::Done;
+}
+
+std::optional<Schedule> TimingRebuilder::rebuild(const OrderedPlan& plan) {
+  NOCEAS_REQUIRE(plan.assignment.size() == g_.num_tasks(), "plan arity mismatch");
+  NOCEAS_REQUIRE(plan.pe_order.size() == p_.num_pes(), "plan PE arity mismatch");
+  NOCEAS_REQUIRE(plan.priority.size() == g_.num_tasks(), "plan priority arity mismatch");
+  ++rebuilds_;
+  ++full_rebuilds_;
+  reset_state();
+  std::size_t pm = 0;
+  Time pt = 0;
+  base_valid_ = run_from(plan, pm, pt, nullptr, /*record=*/true) == RunStatus::Done;
+  if (!base_valid_) return std::nullopt;
+  build_base_index(plan);
+  return work_;
+}
+
+void TimingRebuilder::build_base_index(const OrderedPlan& plan) {
+  const std::size_t n = commits_.size();
+  task_step_.assign(g_.num_tasks(), 0);
+  base_priority_ = plan.priority;
+  step_key_.resize(n);
+  prefix_miss_count_.assign(n + 1, 0);
+  prefix_miss_tard_.assign(n + 1, 0);
+  for (std::size_t s = 0; s < n; ++s) {
+    const Commit& c = commits_[s];
+    task_step_[c.task.index()] = static_cast<std::uint32_t>(s);
+    step_key_[s] = {plan.priority[c.task.index()], c.task.value};
+    const Task& task = g_.task(c.task);
+    const bool miss = task.has_deadline() && c.finish > task.deadline;
+    prefix_miss_count_[s + 1] = prefix_miss_count_[s] + (miss ? 1 : 0);
+    prefix_miss_tard_[s + 1] = prefix_miss_tard_[s] + (miss ? c.finish - task.deadline : 0);
+  }
+  // Sparse table of range-max selection keys, for first_defeat().
+  std::size_t levels = 1;
+  while ((std::size_t{1} << levels) <= n) ++levels;
+  defeat_max_.assign(levels, {});
+  defeat_max_[0] = step_key_;
+  for (std::size_t l = 1; l < levels; ++l) {
+    const std::size_t half = std::size_t{1} << (l - 1);
+    if (n < 2 * half) break;
+    defeat_max_[l].resize(n - 2 * half + 1);
+    for (std::size_t s = 0; s + 2 * half <= n; ++s) {
+      defeat_max_[l][s] = std::max(defeat_max_[l - 1][s], defeat_max_[l - 1][s + half]);
+    }
+  }
+}
+
+std::size_t TimingRebuilder::base_step_of(TaskId t) const {
+  NOCEAS_REQUIRE(base_valid_, "base_step_of without a valid base");
+  return task_step_[t.index()];
+}
+
+std::size_t TimingRebuilder::eligible_step_of(TaskId t) const {
+  NOCEAS_REQUIRE(base_valid_, "eligible_step_of without a valid base");
+  std::size_t step = 0;
+  for (EdgeId e : g_.in_edges(t)) {
+    step = std::max(step, static_cast<std::size_t>(task_step_[g_.edge(e).src.index()]) + 1);
+  }
+  return step;
+}
+
+std::size_t TimingRebuilder::first_defeat(std::size_t from, TaskId challenger) const {
+  NOCEAS_REQUIRE(base_valid_, "first_defeat without a valid base");
+  const std::size_t n = commits_.size();
+  const std::pair<Time, std::int32_t> q{base_priority_[challenger.index()], challenger.value};
+  std::size_t s = from;
+  while (s < n) {
+    if (step_key_[s] > q) return s;
+    // Skip ahead by the largest power-of-two block that cannot contain a
+    // defeat; amortized O(log n) per query.
+    std::size_t l = 0;
+    while (l + 1 < defeat_max_.size() && s + (std::size_t{2} << l) <= n &&
+           defeat_max_[l + 1].size() > s && defeat_max_[l + 1][s] <= q) {
+      ++l;
+    }
+    s += std::size_t{1} << l;
+  }
+  return n;
+}
+
+std::size_t TimingRebuilder::divergence_at(PeId pe, std::size_t pos) const {
+  NOCEAS_REQUIRE(base_valid_, "divergence_at without a valid base");
+  if (pos == 0) return 0;
+  const auto& idx = pe_commit_index_[pe.index()];
+  NOCEAS_REQUIRE(pos - 1 < idx.size(), "divergence position beyond base order of PE "
+                                           << pe.value << ": " << pos << " > " << idx.size());
+  // The head pointer of `pe` reaches position `pos` right after the commit
+  // of the task at position pos-1; from that step on the candidate's head
+  // differs and may win (or lose) the selection.
+  return static_cast<std::size_t>(idx[pos - 1]) + 1;
+}
+
+std::optional<MissReport> TimingRebuilder::evaluate_suffix(const OrderedPlan& plan,
+                                                           std::size_t cutoff,
+                                                           const MissReport* bound) {
+  NOCEAS_REQUIRE(base_valid_, "evaluate_suffix without a valid base");
+  NOCEAS_REQUIRE(cutoff <= commits_.size(), "suffix cutoff beyond base");
+  ++rebuilds_;
+  cutoff > 0 ? ++suffix_rebuilds_ : ++full_rebuilds_;
+  commits_reused_ += cutoff;
+  // The reused prefix is shared with the base, so its (miss, tardiness)
+  // contribution is a table lookup; the suffix run accumulates on top.
+  std::size_t pm = prefix_miss_count_[cutoff];
+  Time pt = prefix_miss_tard_[cutoff];
+  if (bound != nullptr &&
+      (pm > bound->miss_count ||
+       (pm == bound->miss_count && pt >= bound->total_tardiness))) {
+    ++bound_aborts_;  // the shared prefix alone already rules the move out
+    return std::nullopt;
+  }
+  restore_to(cutoff);
+  std::optional<MissReport> out;
+  const RunStatus st = run_from(plan, pm, pt, bound, /*record=*/false);
+  if (st == RunStatus::Done) {
+    MissReport mr;
+    mr.miss_count = pm;
+    mr.total_tardiness = pt;
+    out = std::move(mr);
+  } else if (st == RunStatus::Bounded) {
+    ++bound_aborts_;
+  }
+  // The scratch state is left dirty on purpose: the next probe restores
+  // from a checkpoint anyway, so no unwind/replay is ever paid.
+  return out;
+}
+
+std::optional<Schedule> TimingRebuilder::rebuild_suffix(const OrderedPlan& plan,
+                                                        std::size_t cutoff) {
+  NOCEAS_REQUIRE(base_valid_, "rebuild_suffix without a valid base");
+  NOCEAS_REQUIRE(cutoff <= commits_.size(), "suffix cutoff beyond base");
+  ++rebuilds_;
+  cutoff > 0 ? ++suffix_rebuilds_ : ++full_rebuilds_;
+  commits_reused_ += cutoff;
+  restore_to(cutoff);
+  std::optional<Schedule> out;
+  std::size_t pm = 0;
+  Time pt = 0;
+  if (run_from(plan, pm, pt, nullptr, /*record=*/false) == RunStatus::Done) out = work_;
+  return out;
+}
+
+void TimingRebuilder::sync_to(const TimingRebuilder& master) {
+  NOCEAS_REQUIRE(&g_ == &master.g_ && &p_ == &master.p_,
+                 "sync_to across different graph/platform");
+  tables_ = master.tables_;
+  next_in_order_ = master.next_in_order_;
+  unplaced_preds_ = master.unplaced_preds_;
+  pe_last_finish_ = master.pe_last_finish_;
+  work_ = master.work_;
+  commits_ = master.commits_;
+  pe_commit_index_ = master.pe_commit_index_;
+  base_valid_ = master.base_valid_;
+  checkpoints_used_ = master.checkpoints_used_;
+  checkpoints_.resize(std::max(checkpoints_.size(), checkpoints_used_),
+                      Snapshot{tables_, next_in_order_, unplaced_preds_, pe_last_finish_, work_});
+  for (std::size_t i = 0; i < checkpoints_used_; ++i) checkpoints_[i] = master.checkpoints_[i];
+  task_step_ = master.task_step_;
+  base_priority_ = master.base_priority_;
+  step_key_ = master.step_key_;
+  defeat_max_ = master.defeat_max_;
+  prefix_miss_count_ = master.prefix_miss_count_;
+  prefix_miss_tard_ = master.prefix_miss_tard_;
 }
 
 }  // namespace noceas

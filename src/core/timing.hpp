@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/core/comm_scheduler.hpp"
 #include "src/core/resource_tables.hpp"
 #include "src/core/schedule.hpp"
 #include "src/ctg/task_graph.hpp"
@@ -52,23 +53,182 @@ struct OrderedPlan {
 /// per rebuild, instead of reconstructing a ResourceTables — a vector of
 /// vectors — for every candidate move.  rebuild() is bit-identical to
 /// rebuild_timing().
+///
+/// Incremental evaluation: rebuild() additionally records the commit
+/// sequence (task, PE, interval, incoming transaction placements) as the
+/// *base*, and snapshots the scratch state (tables, placements,
+/// bookkeeping) every kCheckpointStride commits.  A candidate plan that
+/// differs from the base plan only from some per-PE order position onwards
+/// commits identically below the divergence point — the selection loop only
+/// sees the heads of the orders, and a head at a position before the first
+/// changed one is the same task in the same global state.
+/// evaluate_suffix()/rebuild_suffix() exploit this: they restore the
+/// scratch state to the cutoff (copying the nearest checkpoint at or below
+/// it and re-applying the few base commit records in between) and resume
+/// the commit loop with the candidate plan.  Nothing is unwound afterwards
+/// — the next probe restores from a checkpoint again — so the per-candidate
+/// cost is one bounded state copy plus the commits the move can actually
+/// affect.  A cutoff of 0 degenerates to a full rebuild — the
+/// differential-testing escape hatch (NOCEAS_REPAIR_FULL_REBUILD) and the
+/// safe value for any move.
 class TimingRebuilder {
  public:
   TimingRebuilder(const TaskGraph& g, const Platform& p);
 
+  /// Full rebuild; on success the commit sequence becomes the new base.
   [[nodiscard]] std::optional<Schedule> rebuild(const OrderedPlan& plan);
 
-  /// Candidate rebuilds performed so far (repair instrumentation).
+  /// True after a successful rebuild(): suffix evaluation is available.
+  [[nodiscard]] bool has_base() const { return base_valid_; }
+  /// Number of commits in the base sequence (== number of tasks).
+  [[nodiscard]] std::size_t base_commits() const { return commits_.size(); }
+
+  /// First commit index at which a candidate that changes the order of `pe`
+  /// from position `pos` onwards (and nothing before, on any PE) can
+  /// diverge from the base sequence: the step at which the commit loop's
+  /// head pointer for `pe` first *reaches* `pos`.  Any commit below the
+  /// returned index is provably identical between base and candidate.
+  [[nodiscard]] std::size_t divergence_at(PeId pe, std::size_t pos) const;
+
+  /// Global base commit index of task `t` (every task commits exactly once
+  /// in a valid base).
+  [[nodiscard]] std::size_t base_step_of(TaskId t) const;
+
+  /// First base step at which `t` could be eligible: one past the latest
+  /// base commit among its predecessors (0 for a source task).  While base
+  /// and candidate sequences agree, eligibility of `t` is identical too.
+  [[nodiscard]] std::size_t eligible_step_of(TaskId t) const;
+
+  /// First base step >= `from` whose committed task *loses* a selection
+  /// against `challenger` under the base plan's (priority, task id) order —
+  /// i.e. the first step at which a candidate plan exposing `challenger` as
+  /// an eligible head would commit it instead.  base_commits() when no such
+  /// step exists.  Together with divergence_at()/base_step_of() this yields
+  /// the tight per-move divergence bound (DESIGN.md §11.1): until either the
+  /// displaced base head commits or the new head wins a selection, base and
+  /// candidate sequences are provably identical.
+  [[nodiscard]] std::size_t first_defeat(std::size_t from, TaskId challenger) const;
+
+  /// (miss count, total tardiness) of the candidate plan, rebuilt with base
+  /// commits [0, cutoff) reused.  `cutoff` must come from the divergence
+  /// helpers above (or be 0); the caller guarantees the candidate plan is
+  /// identical to the base plan below the corresponding order positions.
+  /// Restores the base state before returning; nullopt on a cross-PE cyclic
+  /// wait.  The returned report carries counts only (missed list empty).
+  ///
+  /// When `bound` is non-null the evaluation is *bounded*: both partial
+  /// miss count and partial tardiness only grow as commits accumulate, so
+  /// the run aborts — returning nullopt — as soon as the candidate provably
+  /// cannot be strictly better than `bound`.  A returned report is then
+  /// always strictly better than the bound; the abort decision is a pure
+  /// function of (plan, bound) and independent of the cutoff, so bounded
+  /// suffix and bounded full evaluations stay bit-identical.
+  [[nodiscard]] std::optional<MissReport> evaluate_suffix(const OrderedPlan& plan,
+                                                          std::size_t cutoff,
+                                                          const MissReport* bound = nullptr);
+
+  /// Like evaluate_suffix() but returns the full candidate schedule —
+  /// bit-identical to rebuild(plan) — still restoring the base state.
+  [[nodiscard]] std::optional<Schedule> rebuild_suffix(const OrderedPlan& plan,
+                                                       std::size_t cutoff);
+
+  /// Copies the base state (commits, tables, bookkeeping) of `master`, so a
+  /// parallel evaluation lane probes against the same prefix.  Counters are
+  /// left untouched — each lane keeps its own instrumentation.
+  void sync_to(const TimingRebuilder& master);
+
+  /// Candidate rebuilds performed so far (full + suffix).
   [[nodiscard]] std::uint64_t rebuilds() const { return rebuilds_; }
+  /// Rebuilds that ran the commit loop from scratch (cutoff 0 included).
+  [[nodiscard]] std::uint64_t full_rebuilds() const { return full_rebuilds_; }
+  /// Rebuilds that reused a non-empty base prefix.
+  [[nodiscard]] std::uint64_t suffix_rebuilds() const { return suffix_rebuilds_; }
+  /// Task commits actually re-executed through the Fig. 3 machinery.
+  [[nodiscard]] std::uint64_t commits_rebuilt() const { return commits_rebuilt_; }
+  /// Base prefix commits reused instead of re-executed.
+  [[nodiscard]] std::uint64_t commits_reused() const { return commits_reused_; }
+  /// Bounded evaluations cut short because the candidate provably could not
+  /// beat the bound (the commits after the abort point were never run).
+  [[nodiscard]] std::uint64_t bound_aborts() const { return bound_aborts_; }
 
  private:
+  /// One committed task of the base sequence — everything needed to
+  /// re-apply it verbatim when restoring scratch state to a cutoff.
+  struct Commit {
+    TaskId task{};
+    PeId pe{};
+    Time start = 0;
+    Time finish = 0;
+    std::vector<std::pair<EdgeId, CommPlacement>> comms;
+  };
+
+  /// Scratch state snapshot taken every kCheckpointStride base commits.
+  struct Snapshot {
+    ResourceTables tables;
+    std::vector<std::size_t> next_in_order;
+    std::vector<std::size_t> unplaced_preds;
+    std::vector<Time> pe_last_finish;
+    Schedule work;
+  };
+  static constexpr std::size_t kCheckpointStride = 32;
+
+  enum class RunStatus { Done, Deadlock, Bounded };
+
+  /// Runs the commit loop from the current scratch state to completion.
+  /// With `record`, commit records / per-PE indices / checkpoints are
+  /// appended (base establishment); without, only the scratch state is
+  /// advanced (candidate probes).  `pm`/`pt` carry the running (miss count,
+  /// tardiness) over committed deadline tasks in and out; with a non-null
+  /// `bound` the loop returns Bounded as soon as the partial objective can
+  /// no longer beat it.
+  RunStatus run_from(const OrderedPlan& plan, std::size_t& pm, Time& pt, const MissReport* bound,
+                     bool record);
+  /// Restores the scratch state to "base commits [0, cutoff) applied":
+  /// copies the nearest checkpoint at or below the cutoff and re-applies
+  /// the base commit records in between.
+  void restore_to(std::size_t cutoff);
+  /// Re-applies base commit records [lo, hi) to the scratch state.
+  void apply_base_range(std::size_t lo, std::size_t hi);
+  void push_checkpoint();
+  void reset_state();
+
   const TaskGraph& g_;
   const Platform& p_;
+  CommScratch comm_scratch_;  ///< Fig. 3 buffers reused across commits
   ResourceTables tables_;
   std::vector<std::size_t> next_in_order_;
   std::vector<std::size_t> unplaced_preds_;
   std::vector<Time> pe_last_finish_;
+  Schedule work_;                 ///< placements mirroring the commit state
+  std::vector<Commit> commits_;   ///< base commit sequence, in commit order
+  /// pe_commit_index_[pe][i] = global commit index of the task at order
+  /// position i of that PE — the divergence_at() lookup.
+  std::vector<std::vector<std::uint32_t>> pe_commit_index_;
+  /// Checkpoints at base steps 0, K, 2K, ...; storage is reused across
+  /// rebuilds (checkpoints_used_ counts the live prefix).
+  std::vector<Snapshot> checkpoints_;
+  std::size_t checkpoints_used_ = 0;
+  bool base_valid_ = false;
+
+  // ---- per-base indices, rebuilt by rebuild() ------------------------
+  /// Builds every index below from the freshly established base.
+  void build_base_index(const OrderedPlan& plan);
+  std::vector<std::uint32_t> task_step_;   ///< base commit step per task
+  std::vector<Time> base_priority_;        ///< plan.priority of the base
+  /// step_key_[s] = (priority, task id) of base commit s — the selection
+  /// key; sparse table defeat_max_[l][s] = max over steps [s, s + 2^l).
+  std::vector<std::pair<Time, std::int32_t>> step_key_;
+  std::vector<std::vector<std::pair<Time, std::int32_t>>> defeat_max_;
+  /// Misses among base commits [0, s): the bounded evaluation's seed.
+  std::vector<std::uint32_t> prefix_miss_count_;
+  std::vector<Time> prefix_miss_tard_;
+
   std::uint64_t rebuilds_ = 0;
+  std::uint64_t full_rebuilds_ = 0;
+  std::uint64_t suffix_rebuilds_ = 0;
+  std::uint64_t commits_rebuilt_ = 0;
+  std::uint64_t commits_reused_ = 0;
+  std::uint64_t bound_aborts_ = 0;
 };
 
 }  // namespace noceas

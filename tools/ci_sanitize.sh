@@ -19,10 +19,13 @@
 #     asserting the manifest/aggregate invariants (every run ok, byte-
 #     identical reruns across thread counts, bit-exact mean reconciliation)
 #     and that the dashboard renders
+#   - repair-replay stage (same build): schedules an eas run twice — with
+#     incremental suffix evaluation and under the NOCEAS_REPAIR_FULL_REBUILD
+#     escape hatch — and requires byte-identical schedules/decision streams
 #   - observability smoke gate (plain build): an attached tracer must leave
 #     schedules bit-identical and cost < 5% runtime
-#   - perf-baseline soft gate: tools/bench_compare.py check (warns on
-#     regressions, never fails the run, until baselines stabilize)
+#   - perf-baseline gates: tools/bench_compare.py check — hard on the repair
+#     hot-path benches (BM_EasFull_MissBenchmarks/1 and /3), soft elsewhere
 #
 # Usage: tools/ci_sanitize.sh [build-dir-prefix]   (default: build-san)
 set -euo pipefail
@@ -51,11 +54,12 @@ configure_and_test() {
 # ASan+UBSan over the whole suite.
 configure_and_test "${prefix}-asan" "address,undefined"
 
-# TSan over the tests that drive the thread pool / parallel probe path and
+# TSan over the tests that drive the thread pool / parallel probe path, the
+# parallel repair-wave evaluation (Repair/Timing/SuffixRebuild lanes), and
 # the multi-lane tracer / lock-free metrics (obs_test).
 # halt_on_error makes a race fail the ctest run instead of just logging.
 TSAN_OPTIONS="halt_on_error=1" \
-  configure_and_test "${prefix}-tsan" "thread" "ProbeCache|ProbeEngine|ThreadPool|TentativeTables|list_common|Metrics|Trace"
+  configure_and_test "${prefix}-tsan" "thread" "ProbeCache|ProbeEngine|ThreadPool|TentativeTables|list_common|Metrics|Trace|Repair|Timing|SuffixRebuild|BudgetRetries|LazyProbes"
 
 # Audit-replay stage, reusing the ASan/UBSan binaries: record a decision
 # stream end to end through the CLI, replay-verify it, and validate the
@@ -76,6 +80,28 @@ for sched in eas edf dls greedy map; do
     --ctg "$audit_dir/g.txt" --platform "$audit_dir/p.txt" >/dev/null
   echo "    $sched: replay + validate OK"
 done
+
+# Repair-replay stage (same ASan/UBSan binaries): the incremental suffix
+# evaluation against the NOCEAS_REPAIR_FULL_REBUILD escape hatch, end to end
+# through the CLI.  Exported schedules AND decision streams (both fully
+# deterministic) must be byte-identical — any drift in the reuse machinery,
+# the bounded aborts, or the accept order fails here under sanitizers.
+echo "==> [repair-replay] incremental vs full-rebuild escape hatch"
+"$cli" gen --category 2 --index 4 --ctg "$audit_dir/g2.txt" --platform "$audit_dir/p2.txt" >/dev/null
+"$cli" schedule --ctg "$audit_dir/g2.txt" --platform "$audit_dir/p2.txt" \
+  --scheduler eas --decisions "$audit_dir/d_inc.jsonl" \
+  --schedule-out "$audit_dir/s_inc.txt" >/dev/null || true  # non-zero = deadline miss
+NOCEAS_REPAIR_FULL_REBUILD=1 \
+  "$cli" schedule --ctg "$audit_dir/g2.txt" --platform "$audit_dir/p2.txt" \
+  --scheduler eas --decisions "$audit_dir/d_full.jsonl" \
+  --schedule-out "$audit_dir/s_full.txt" >/dev/null || true
+cmp "$audit_dir/s_inc.txt" "$audit_dir/s_full.txt" \
+  || { echo "FAIL: incremental repair schedule differs from full rebuild"; exit 1; }
+cmp "$audit_dir/d_inc.jsonl" "$audit_dir/d_full.jsonl" \
+  || { echo "FAIL: incremental repair decision stream differs from full rebuild"; exit 1; }
+"$cli" audit --replay --decisions "$audit_dir/d_inc.jsonl" \
+  --ctg "$audit_dir/g2.txt" --platform "$audit_dir/p2.txt" >/dev/null
+echo "    incremental == full rebuild (schedule + decision stream), replay OK"
 
 # Analyze smoke stage (same ASan/UBSan binaries): run the post-hoc schedule
 # analytics for every scheduler and check the report's load-bearing
@@ -158,9 +184,17 @@ cmake --build "$smoke" -j "$(nproc)" --target runtime_scaling --target noceas_cl
 echo "==> [obs-smoke] running"
 "$smoke"/bench/runtime_scaling --obs-smoke
 
-# Perf-baseline soft gate: compare against bench/baselines/*.json.  Warns
-# only — timings on shared CI boxes are too noisy to block on yet.
-echo "==> [bench-compare] soft gate"
+# Perf-baseline gates: compare against bench/baselines/*.json.
+#  - Hard gate on the repair hot-path benchmarks (the 10x win this library
+#    promises): a regression on BM_EasFull_MissBenchmarks/1 or /3 fails CI
+#    when the environment fingerprint matches the baseline's (check exits 0,
+#    "not gated", on foreign hardware).
+#  - Soft gate over the full suite — timings on shared CI boxes are too
+#    noisy to block on wholesale.
+echo "==> [bench-compare] hard gate on the repair hot path"
+python3 tools/bench_compare.py check --build-dir "$smoke" \
+  --filter 'BM_EasFull_MissBenchmarks/(1|3)$'
+echo "==> [bench-compare] soft gate (full suite)"
 python3 tools/bench_compare.py check --build-dir "$smoke" \
   || echo "warn: bench_compare flagged a regression (soft gate, not failing CI)"
 

@@ -242,13 +242,18 @@ int cmd_info(const std::map<std::string, std::string>& flags) {
 
 /// Runs one scheduler by name (no tracing/metrics; optional decision
 /// recording) — the analyze verb's way of producing schedules to dissect.
+/// For the repairing eas flow, `repair_out` (when non-null) receives the
+/// canonical attempt's RepairStats so callers can report rebuild economics.
 Schedule run_named_scheduler(const TaskGraph& g, const Platform& p, const std::string& which,
-                             audit::DecisionLog* decisions) {
+                             audit::DecisionLog* decisions,
+                             RepairStats* repair_out = nullptr) {
   if (which == "eas" || which == "eas-base") {
     EasOptions options;
     options.repair = which == "eas";
     options.decisions = decisions;
-    return schedule_eas(g, p, options).schedule;
+    EasResult r = schedule_eas(g, p, options);
+    if (repair_out != nullptr && options.repair) *repair_out = r.repair;
+    return std::move(r.schedule);
   }
   if (which == "map") {
     MapScheduleOptions options;
@@ -281,6 +286,8 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
   EnergyBreakdown energy;
   MissReport misses;
   double seconds = 0.0;
+  RepairStats repair;
+  bool have_repair = false;
   if (which == "eas" || which == "eas-base") {
     EasOptions options;
     options.repair = which == "eas";
@@ -292,6 +299,8 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
     energy = r.energy;
     misses = r.misses;
     seconds = r.seconds;
+    repair = r.repair;
+    have_repair = options.repair;
   } else if (which == "map") {
     MapScheduleOptions options;
     options.obs = BaselineObs{tr, metrics, decisions};
@@ -329,6 +338,15 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
             << misses.total_tardiness << ")\n"
             << "avg hops/packet: " << format_double(average_hops_per_packet(g, p, s), 2) << '\n'
             << "runtime:         " << format_double(seconds, 3) << " s\n";
+  if (have_repair) {
+    std::cout << "repair:          " << repair.lts_accepted << "/" << repair.lts_tried
+              << " LTS, " << repair.gtm_accepted << "/" << repair.gtm_tried << " GTM accepted ("
+              << repair.rounds << " rounds)\n"
+              << "repair rebuilds: " << repair.rebuilds << " (" << repair.full_rebuilds
+              << " full, " << repair.suffix_rebuilds << " suffix, "
+              << format_double(100.0 * repair.suffix_reuse_rate(), 1) << "% commits reused, "
+              << repair.bound_aborts << " bound-aborted)\n";
+  }
 
   if (flags.count("gantt")) print_gantt(std::cout, g, p, s);
   if (flags.count("svg")) {
@@ -445,6 +463,8 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
   audit::DecisionStream loaded_stream;
   const audit::DecisionStream* stream = nullptr;
   std::string label;
+  RepairStats repair;
+  bool have_repair = false;
   if (flags.count("schedule")) {
     std::ifstream is(flags.at("schedule"));
     NOCEAS_REQUIRE(is.good(), "cannot open schedule file '" << flags.at("schedule") << '\'');
@@ -456,8 +476,9 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
     }
   } else {
     label = flags.count("scheduler") ? flags.at("scheduler") : "eas";
-    s = run_named_scheduler(g, p, label, &decision_log);
+    s = run_named_scheduler(g, p, label, &decision_log, &repair);
     stream = &decision_log.stream();
+    have_repair = label == "eas";
   }
   const ValidationReport vr = validate_schedule(g, p, s, {.check_deadlines = false});
   NOCEAS_REQUIRE(vr.ok(), "schedule fails invariant checks:\n" << vr.to_string());
@@ -479,6 +500,16 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
                                 ? static_cast<std::size_t>(std::stoul(flags.at("top")))
                                 : 5;
     print_analysis(std::cout, g, p, report, top);
+    if (have_repair) {
+      std::cout << "\nrepair economics (canonical attempt):\n"
+                << "  moves:    " << repair.lts_accepted << "/" << repair.lts_tried << " LTS, "
+                << repair.gtm_accepted << "/" << repair.gtm_tried << " GTM accepted in "
+                << repair.rounds << " rounds\n"
+                << "  rebuilds: " << repair.rebuilds << " (" << repair.full_rebuilds << " full, "
+                << repair.suffix_rebuilds << " suffix), "
+                << format_double(100.0 * repair.suffix_reuse_rate(), 1)
+                << "% commits reused, " << repair.bound_aborts << " bound-aborted\n";
+    }
   }
   if (flags.count("metrics")) {
     std::ofstream os(flags.at("metrics"));
