@@ -9,8 +9,9 @@
 // runtime scales with task count.
 // A second entry point, `runtime_scaling --obs-smoke`, asserts the two
 // hard promises of the observability layer (docs/OBSERVABILITY.md): an
-// attached tracer/registry leaves the schedule bit-identical, and its
-// runtime overhead stays under 5% (best of adjacent plain/traced pairs).
+// attached tracer/registry — and separately an attached span-statistics
+// profiler — leaves the schedule bit-identical, and its runtime overhead
+// stays under 5% (best of adjacent plain/instrumented pairs).
 // ci_sanitize.sh runs it as a smoke gate.
 #include <benchmark/benchmark.h>
 
@@ -23,6 +24,7 @@
 #include "src/core/eas.hpp"
 #include "src/core/obs_export.hpp"
 #include "src/gen/tgff.hpp"
+#include "src/obs/profile.hpp"
 
 using namespace noceas;
 
@@ -52,6 +54,26 @@ const TaskGraph& miss_benchmark(int index) {
   }
 }
 
+/// One extra *unprofiled-timing-preserving* run after the timed loop: a
+/// span-profiler spine (no event recording) is attached and every call
+/// path's exclusive self time is exported as a "self_ms:<path>" counter.
+/// tools/bench_compare.py stores these next to bench_ms and, when a
+/// benchmark regresses, attributes the regression to the span whose self
+/// time grew the most.  The timed loop itself stays uninstrumented.
+void report_profile_counters(benchmark::State& state, const TaskGraph& g, EasOptions options) {
+  obs::Profiler profiler;
+  obs::TracerOptions spine_options;
+  spine_options.record_events = false;
+  spine_options.profiler = &profiler;
+  obs::Tracer spine(spine_options);
+  options.tracer = &spine;
+  benchmark::DoNotOptimize(schedule_eas(g, platform_4x4(), options));
+  for (const obs::ProfileRecord& r : profiler.snapshot().records) {
+    if (r.self_ns <= 0) continue;
+    state.counters["self_ms:" + r.path] = static_cast<double>(r.self_ns) / 1e6;
+  }
+}
+
 void BM_EasBase_MissBenchmarks(benchmark::State& state) {
   const TaskGraph& g = miss_benchmark(static_cast<int>(state.range(0)));
   EasOptions options;
@@ -59,6 +81,7 @@ void BM_EasBase_MissBenchmarks(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(schedule_eas(g, platform_4x4(), options));
   }
+  report_profile_counters(state, g, options);
 }
 BENCHMARK(BM_EasBase_MissBenchmarks)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
@@ -67,6 +90,7 @@ void BM_EasFull_MissBenchmarks(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(schedule_eas(g, platform_4x4()));
   }
+  report_profile_counters(state, g, EasOptions{});
 }
 BENCHMARK(BM_EasFull_MissBenchmarks)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
@@ -228,9 +252,14 @@ bool same_schedule(const TaskGraph& g, const Schedule& a, const Schedule& b) {
 }
 
 /// Smoke gate for the observability layer: a full EAS run (repair fires on
-/// this workload) with a tracer + registry attached must produce the
-/// bit-identical schedule, and the min-of-N runtime must stay within 5% of
-/// the null-sink run.  Exits 0 on pass, 1 with a diagnostic on fail.
+/// this workload) with a tracer + registry attached — and separately with a
+/// span-profiler spine attached — must produce the bit-identical schedule,
+/// and the min-of-N runtime must stay within 5% of an *identically probing*
+/// reference (force_eager_probes, no sinks).  Any attached sink selects the
+/// eager probe path, so pricing sinks against the default lazy path would
+/// measure that algorithmic difference, not emission cost; the lazy-vs-eager
+/// delta is reported separately as information.  Exits 0 on pass, 1 with a
+/// diagnostic on fail.
 int obs_smoke() {
   const TaskGraph& g = miss_benchmark(0);
   const Platform& p = platform_4x4();
@@ -247,51 +276,110 @@ int obs_smoke() {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   };
 
+  EasOptions eager_options;
+  eager_options.force_eager_probes = true;
+
   obs::Tracer tracer;
   obs::Registry registry;
   EasOptions traced_options;
   traced_options.tracer = &tracer;
   traced_options.metrics = &registry;
 
-  // Run plain/traced samples as adjacent pairs (alternating which goes
-  // first) and judge the *smallest* per-pair ratio: the quietest pair the
-  // machine gave us.  Ambient load can only inflate a ratio's halves, so a
-  // genuine instrumentation cost shows up even in the cleanest pair, while
-  // a noisy CI host does not produce spurious failures the way a
+  obs::Profiler profiler;
+  obs::TracerOptions spine_options;
+  spine_options.record_events = false;
+  spine_options.profiler = &profiler;
+  obs::Tracer spine(spine_options);
+  EasOptions profiled_options;
+  profiled_options.tracer = &spine;
+
+  // The default (lazy-probing) schedule is the identity reference for every
+  // instrumented leg, and its runtime gives the informational lazy-vs-eager
+  // delta.
+  Schedule plain_schedule;
+  const double lazy = sample_seconds(EasOptions{}, &plain_schedule);
+
+  // Run reference/instrumented samples as adjacent pairs (alternating which
+  // goes first) and judge the *smallest* per-pair ratio: the quietest pair
+  // the machine gave us.  Ambient load can only inflate a ratio's halves,
+  // so a genuine instrumentation cost shows up even in the cleanest pair,
+  // while a noisy CI host does not produce spurious failures the way a
   // min-of-each-side or median estimator does.
   constexpr int kPairs = 7;
-  Schedule plain_schedule, traced_schedule;
-  double plain = 1e300, traced = 1e300;
-  double best_ratio = 1e300;
+  Schedule eager_schedule, traced_schedule, profiled_schedule;
+  double eager = 1e300, traced = 1e300, prof = 1e300;
+  double traced_best_ratio = 1e300, prof_best_ratio = 1e300;
   for (int i = 0; i < kPairs; ++i) {
-    double p_s, t_s;
+    double e_s, t_s, f_s;
     if (i % 2 == 0) {
-      p_s = sample_seconds(EasOptions{}, i == 0 ? &plain_schedule : nullptr);
+      e_s = sample_seconds(eager_options, i == 0 ? &eager_schedule : nullptr);
       t_s = sample_seconds(traced_options, i == 0 ? &traced_schedule : nullptr);
+      f_s = sample_seconds(profiled_options, i == 0 ? &profiled_schedule : nullptr);
     } else {
+      f_s = sample_seconds(profiled_options, nullptr);
       t_s = sample_seconds(traced_options, nullptr);
-      p_s = sample_seconds(EasOptions{}, nullptr);
+      e_s = sample_seconds(eager_options, nullptr);
     }
-    plain = std::min(plain, p_s);
+    eager = std::min(eager, e_s);
     traced = std::min(traced, t_s);
-    best_ratio = std::min(best_ratio, t_s / p_s);
+    prof = std::min(prof, f_s);
+    traced_best_ratio = std::min(traced_best_ratio, t_s / e_s);
+    prof_best_ratio = std::min(prof_best_ratio, f_s / e_s);
   }
 
+  if (!same_schedule(g, plain_schedule, eager_schedule)) {
+    std::fprintf(stderr, "obs-smoke FAIL: eager probing changed the schedule\n");
+    return 1;
+  }
   if (!same_schedule(g, plain_schedule, traced_schedule)) {
     std::fprintf(stderr, "obs-smoke FAIL: tracing changed the schedule\n");
+    return 1;
+  }
+  if (!same_schedule(g, plain_schedule, profiled_schedule)) {
+    std::fprintf(stderr, "obs-smoke FAIL: profiling changed the schedule\n");
     return 1;
   }
   if (tracer.size() == 0 || registry.values().empty()) {
     std::fprintf(stderr, "obs-smoke FAIL: sinks attached but nothing recorded\n");
     return 1;
   }
-  const double overhead = best_ratio - 1.0;
-  std::printf("obs-smoke: schedules bit-identical; %zu events; overhead %.2f%% "
-              "(best of %d pairs; best plain sample %.3f ms, traced %.3f ms)\n",
-              tracer.size(), 100.0 * overhead, kPairs, 1e3 * plain, 1e3 * traced);
-  if (overhead > 0.05) {
-    std::fprintf(stderr, "obs-smoke FAIL: overhead %.2f%% exceeds the 5%% budget\n",
-                 100.0 * overhead);
+
+  const obs::ProfileSnapshot snap = profiler.snapshot(spine.now_ns());
+  if (snap.records.empty()) {
+    std::fprintf(stderr, "obs-smoke FAIL: profiler attached but no records\n");
+    return 1;
+  }
+  // The self-time identity (docs/OBSERVABILITY.md): exclusive self times of
+  // all call paths sum exactly to the root spans' total, which fits inside
+  // the spine tracer's wall clock.
+  if (snap.sum_self_ns() != snap.root_total_ns() || snap.root_total_ns() > snap.wall_ns) {
+    std::fprintf(stderr,
+                 "obs-smoke FAIL: profile identity broken (self %lld, root %lld, wall %lld)\n",
+                 static_cast<long long>(snap.sum_self_ns()),
+                 static_cast<long long>(snap.root_total_ns()),
+                 static_cast<long long>(snap.wall_ns));
+    return 1;
+  }
+
+  std::printf("obs-smoke: schedules bit-identical (lazy / eager / traced / profiled); "
+              "lazy-vs-eager delta %.2f%% (informational; lazy %.3f ms, eager %.3f ms)\n",
+              100.0 * (eager / (lazy > 0 ? lazy : eager) - 1.0), 1e3 * lazy, 1e3 * eager);
+  const double traced_overhead = traced_best_ratio - 1.0;
+  std::printf("obs-smoke: tracer+metrics: %zu events; overhead %.2f%% "
+              "(best of %d pairs; best eager sample %.3f ms, traced %.3f ms)\n",
+              tracer.size(), 100.0 * traced_overhead, kPairs, 1e3 * eager, 1e3 * traced);
+  const double prof_overhead = prof_best_ratio - 1.0;
+  std::printf("obs-smoke: profiler: %zu call paths; overhead %.2f%% "
+              "(best of %d pairs; best eager sample %.3f ms, profiled %.3f ms)\n",
+              snap.records.size(), 100.0 * prof_overhead, kPairs, 1e3 * eager, 1e3 * prof);
+  if (traced_overhead > 0.05) {
+    std::fprintf(stderr, "obs-smoke FAIL: tracer overhead %.2f%% exceeds the 5%% budget\n",
+                 100.0 * traced_overhead);
+    return 1;
+  }
+  if (prof_overhead > 0.05) {
+    std::fprintf(stderr, "obs-smoke FAIL: profiler overhead %.2f%% exceeds the 5%% budget\n",
+                 100.0 * prof_overhead);
     return 1;
   }
   return 0;

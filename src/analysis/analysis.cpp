@@ -259,6 +259,8 @@ Report analyze_schedule(const TaskGraph& g, const Platform& p, const Schedule& s
                  "schedule arity mismatch");
   NOCEAS_REQUIRE(g.num_pes() == p.num_pes(), "CTG/platform PE count mismatch");
 
+  OBS_SPAN(options.tracer, "analyze");
+
   Report r;
   r.label = !options.label.empty()       ? options.label
             : options.decisions != nullptr ? options.decisions->scheduler
@@ -269,7 +271,10 @@ Report analyze_schedule(const TaskGraph& g, const Platform& p, const Schedule& s
   r.num_links = p.num_links();
   r.makespan = g.num_tasks() == 0 ? 0 : makespan(s);
   r.misses = deadline_misses(g, s);
-  r.critical_path = critical_path(g, p, s);
+  {
+    OBS_SPAN(options.tracer, "analyze.critical_path");
+    r.critical_path = critical_path(g, p, s);
+  }
 
   const auto by_link = link_orders(g, p, s);
   const auto drt = data_ready_times(g, s);
@@ -278,6 +283,7 @@ Report analyze_schedule(const TaskGraph& g, const Platform& p, const Schedule& s
   if (options.decisions != nullptr) xref.emplace(*options.decisions);
 
   // ---- per-task wait decomposition + slack accounting ----------------------
+  OBS_SPAN_NAMED(waits_span, options.tracer, "analyze.waits");
   r.tasks.resize(g.num_tasks());
   for (TaskId t : g.all_tasks()) {
     const TaskPlacement& tp = s.at(t);
@@ -329,9 +335,12 @@ Report analyze_schedule(const TaskGraph& g, const Platform& p, const Schedule& s
     }
   }
 
+  waits_span.end();
+
   // ---- per-PE utilization timeline ----------------------------------------
   // Raw gap lengths only exist during this scan, so the idle-gap histograms
   // are fed here; the aggregate gauges come from export_analysis_metrics().
+  OBS_SPAN_NAMED(timelines_span, options.tracer, "analyze.timelines");
   obs::Histogram* pe_gap_hist =
       options.metrics == nullptr
           ? nullptr
@@ -382,10 +391,13 @@ Report analyze_schedule(const TaskGraph& g, const Platform& p, const Schedule& s
     r.links.push_back(std::move(u));
   }
 
+  timelines_span.end();
+
   // ---- energy attribution --------------------------------------------------
   // The totals use the exact accumulation loop of compute_energy() (task
   // order, then edge order), so they reconcile bit-exactly with what the
   // schedulers report.
+  OBS_SPAN_NAMED(energy_span, options.tracer, "analyze.energy");
   r.energy.per_task.resize(g.num_tasks(), 0.0);
   r.energy.per_edge.resize(g.num_edges(), 0.0);
   for (TaskId t : g.all_tasks()) {
@@ -429,6 +441,7 @@ Report analyze_schedule(const TaskGraph& g, const Platform& p, const Schedule& s
   for (auto& [_, row] : per_link) r.energy.per_link.push_back(row);
   for (auto& [_, row] : injection) r.energy.injection.push_back(row);
   for (auto& [_, row] : per_hop) r.energy.per_hop.push_back(row);
+  energy_span.end();
 
   if (options.metrics != nullptr) export_analysis_metrics(r, *options.metrics);
   return r;

@@ -36,6 +36,7 @@
 #include "src/core/schedule.hpp"
 #include "src/core/slack_budget.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/interval.hpp"
 
 namespace noceas::analysis {
@@ -202,6 +203,9 @@ struct AnalyzeOptions {
   /// Metrics sink: idle-gap / contention / wait histograms and critical-path
   /// gauges are registered under "analysis.*".  Null = skipped.
   obs::Registry* metrics = nullptr;
+  /// Span sink: the analysis phases emit "analyze.*" spans (critical path,
+  /// wait attribution, timelines, energy).  Null = off.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Extracts the critical path alone (used by the Gantt overlay).  `s` must

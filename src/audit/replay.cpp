@@ -309,7 +309,8 @@ bool close(double a, double b) {
 }  // namespace
 
 ReplayReport replay_decisions(const TaskGraph& g, const Platform& p,
-                              const DecisionStream& stream) {
+                              const DecisionStream& stream, obs::Tracer* tracer) {
+  OBS_SPAN(tracer, "replay");
   ReplayReport report;
   try {
     REPLAY_CHECK(stream.num_tasks == g.num_tasks() && stream.num_edges == g.num_edges() &&
@@ -326,6 +327,7 @@ ReplayReport replay_decisions(const TaskGraph& g, const Platform& p,
     EnergyBreakdown best_energy;
     bool have_best = false;
     for (const auto& events : partition_attempts(stream)) {
+      OBS_SPAN(tracer, "replay.attempt");
       Schedule s = replay_attempt(g, p, events, report);
       ++report.attempts;
       const MissReport mr = deadline_misses(g, s);
@@ -341,6 +343,7 @@ ReplayReport replay_decisions(const TaskGraph& g, const Platform& p,
     }
 
     // ---- Final record: bit-identical schedule + accounting ------------
+    OBS_SPAN_NAMED(final_span, tracer, "replay.final_check");
     REPLAY_CHECK(stream.has_final, "stream has no final record to verify against");
     const FinalRecord& f = stream.final;
     REPLAY_CHECK(f.tasks.size() == g.num_tasks() && f.comms.size() == g.num_edges(),
@@ -371,9 +374,12 @@ ReplayReport replay_decisions(const TaskGraph& g, const Platform& p,
                  << best_mr.total_tardiness << " tardiness) != recorded (" << f.miss_count
                  << ", " << f.total_tardiness << ')');
 
+    final_span.end();
+
     // ---- Standalone invariants (independent validator) ----------------
     // Deadline misses are legal scheduler output; they were checked against
     // the recorded accounting above.
+    OBS_SPAN(tracer, "replay.validate");
     const ValidationReport vr = validate_schedule(g, p, best, {/*check_deadlines=*/false});
     REPLAY_CHECK(vr.ok(), "invariants: " << vr.to_string());
 

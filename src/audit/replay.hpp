@@ -28,6 +28,7 @@
 #include "src/core/schedule.hpp"
 #include "src/ctg/task_graph.hpp"
 #include "src/noc/platform.hpp"
+#include "src/obs/trace.hpp"
 
 namespace noceas::audit {
 
@@ -44,8 +45,10 @@ struct ReplayReport {
 };
 
 /// Re-executes `stream` against `g`/`p` (which must be the instance the
-/// stream was recorded from) and verifies it end to end.
+/// stream was recorded from) and verifies it end to end.  `tracer` (may be
+/// null) receives "replay.*" spans per phase.
 [[nodiscard]] ReplayReport replay_decisions(const TaskGraph& g, const Platform& p,
-                                            const DecisionStream& stream);
+                                            const DecisionStream& stream,
+                                            obs::Tracer* tracer = nullptr);
 
 }  // namespace noceas::audit

@@ -84,10 +84,12 @@ struct SchedRun {
 };
 
 SchedRun run_scheduler(const std::string& which, const TaskGraph& g, const Platform& p,
-                       obs::Registry* metrics, audit::DecisionLog* decisions) {
+                       obs::Tracer* tracer, obs::Registry* metrics,
+                       audit::DecisionLog* decisions) {
   if (which == "eas" || which == "eas-base") {
     EasOptions options;
     options.repair = which == "eas";
+    options.tracer = tracer;
     options.metrics = metrics;
     options.decisions = decisions;
     EasResult r = schedule_eas(g, p, options);
@@ -95,12 +97,12 @@ SchedRun run_scheduler(const std::string& which, const TaskGraph& g, const Platf
   }
   if (which == "map") {
     MapScheduleOptions options;
-    options.obs = BaselineObs{nullptr, metrics, decisions};
+    options.obs = BaselineObs{tracer, metrics, decisions};
     MapScheduleResult r = schedule_map_then_list(g, p, options);
     return {std::move(r.result.schedule), r.result.energy, std::move(r.result.misses),
             r.result.probe};
   }
-  const BaselineObs obs{nullptr, metrics, decisions};
+  const BaselineObs obs{tracer, metrics, decisions};
   BaselineResult r;
   if (which == "edf")
     r = schedule_edf(g, p, obs);
@@ -143,12 +145,23 @@ void write_file(const std::filesystem::path& path, const std::string& content) {
 /// captured in the outcome row instead of escaping — one broken run must
 /// not sink a fleet.
 void run_one(const CampaignSpec& spec, const RunUnit& unit, RunOutcome& outcome,
-             ResourceSample& resources) {
+             ResourceSample& resources, obs::ProfileSnapshot* profile) {
   const ResourceSampler sampler;
   outcome.id = unit.id;
   outcome.app = unit.app.name();
   outcome.seed = unit.seed;
   outcome.scheduler = unit.scheduler;
+
+  // Span-notification spine for the per-unit profiler: no ring storage, so
+  // a profiled fleet pays aggregation only.  Each unit owns its profiler,
+  // so profiles can be merged slot-ordered regardless of thread assignment.
+  obs::Profiler profiler;
+  obs::TracerOptions spine_options;
+  spine_options.record_events = false;
+  spine_options.profiler = &profiler;
+  obs::Tracer spine(spine_options);
+  obs::Tracer* const tracer = profile != nullptr ? &spine : nullptr;
+
   try {
     const Instance inst = make_instance(unit.app, unit.seed);
     outcome.num_tasks = inst.g.num_tasks();
@@ -158,8 +171,8 @@ void run_one(const CampaignSpec& spec, const RunUnit& unit, RunOutcome& outcome,
     obs::Registry registry;
     audit::DecisionLog decisions;
     const SchedRun run =
-        run_scheduler(unit.scheduler, inst.g, inst.p, artifacts ? &registry : nullptr,
-                      artifacts ? &decisions : nullptr);
+        run_scheduler(unit.scheduler, inst.g, inst.p, tracer,
+                      artifacts ? &registry : nullptr, artifacts ? &decisions : nullptr);
 
     const ValidationReport vr =
         validate_schedule(inst.g, inst.p, run.schedule, {.check_deadlines = false});
@@ -206,6 +219,7 @@ void run_one(const CampaignSpec& spec, const RunUnit& unit, RunOutcome& outcome,
     outcome.ok = false;
     outcome.error = e.what();
   }
+  if (profile != nullptr) *profile = profiler.snapshot(spine.now_ns());
   resources = sampler.sample();
 }
 
@@ -272,12 +286,19 @@ std::vector<RunUnit> expand_spec(const CampaignSpec& spec) {
   return units;
 }
 
+obs::ProfileSnapshot CampaignResult::fleet_profile() const {
+  obs::ProfileSnapshot fleet;
+  for (const obs::ProfileSnapshot& p : profiles) fleet.merge(p);
+  return fleet;
+}
+
 CampaignResult run_campaign(const CampaignSpec& spec) {
   CampaignResult result;
   result.spec = spec;
   result.units = expand_spec(spec);
   result.outcomes.resize(result.units.size());
   result.resources.resize(result.units.size());
+  if (spec.profile) result.profiles.resize(result.units.size());
 
   const std::filesystem::path dir(spec.out_dir);
   if (!spec.out_dir.empty()) {
@@ -291,7 +312,8 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   const unsigned workers = spec.threads > 1 ? spec.threads - 1 : 0;
   ThreadPool pool(workers);
   pool.parallel_for(result.units.size(), [&](std::size_t i, unsigned /*lane*/) {
-    run_one(spec, result.units[i], result.outcomes[i], result.resources[i]);
+    run_one(spec, result.units[i], result.outcomes[i], result.resources[i],
+            spec.profile ? &result.profiles[i] : nullptr);
   });
 
   if (!spec.out_dir.empty()) {
@@ -308,6 +330,18 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     os.str("");
     write_dashboard_html(os, result, aggregate);
     write_file(dir / "dashboard.html", os.str());
+    if (spec.profile) {
+      const obs::ProfileSnapshot fleet = result.fleet_profile();
+      os.str("");
+      obs::write_profile_json(os, fleet, /*include_timings=*/false);
+      write_file(dir / "profile.json", os.str());
+      os.str("");
+      obs::write_profile_json(os, fleet, /*include_timings=*/true);
+      write_file(dir / "profile_timings.json", os.str());
+      os.str("");
+      obs::write_profile_folded(os, fleet);
+      write_file(dir / "profile.folded", os.str());
+    }
   }
   return result;
 }

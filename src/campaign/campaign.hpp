@@ -23,6 +23,11 @@
 //   aggregate.json    "noceas.campaign.aggregate.v1"  (deterministic)
 //   resources.json    "noceas.campaign.resources.v1"  (non-deterministic)
 //   dashboard.html    self-contained HTML dashboard
+//   profile.json      "noceas.profile.v1", fleet-merged span shapes
+//                     (deterministic), when spec.profile is set
+//   profile_timings.json / profile.folded
+//                     the same profile with wall-clock durations /
+//                     collapsed-stack text (non-deterministic)
 //   runs/<id>.metrics.json / <id>.analysis.json / <id>.decisions.jsonl
 //                     per-run artifacts, when spec.artifacts is set
 #pragma once
@@ -35,6 +40,7 @@
 #include "src/campaign/resources.hpp"
 #include "src/gen/tgff.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/profile.hpp"
 #include "src/util/types.hpp"
 
 namespace noceas::campaign {
@@ -71,6 +77,12 @@ struct CampaignSpec {
   std::vector<std::string> schedulers = {"eas"};  ///< eas|eas-base|edf|dls|greedy|map
   unsigned threads = 1;    ///< execution lanes (1 = serial; results identical either way)
   bool artifacts = false;  ///< write per-run metrics/analysis/decisions under runs/
+  /// Attach a span-statistics profiler to every run and write the
+  /// fleet-merged profile artifacts.  Profile *shapes* (paths, counts) stay
+  /// byte-identical for any `threads`; note that attaching the span spine
+  /// selects the schedulers' eager probe path, so the manifest's probe
+  /// counters differ from a profile-less campaign (deterministically so).
+  bool profile = false;
   std::string out_dir;     ///< manifest directory; empty = in-memory only
 };
 
@@ -134,6 +146,13 @@ struct CampaignResult {
   std::vector<RunUnit> units;
   std::vector<RunOutcome> outcomes;
   std::vector<ResourceSample> resources;  ///< non-deterministic section
+  /// Per-unit span profiles (empty unless spec.profile); shapes are
+  /// deterministic, durations are not.  `fleet_profile()` merges them.
+  std::vector<obs::ProfileSnapshot> profiles;
+
+  /// Slot-ordered merge of every unit profile — deterministic shapes for
+  /// any thread count.
+  [[nodiscard]] obs::ProfileSnapshot fleet_profile() const;
 };
 
 /// Expands the spec matrix in deterministic order: apps (outer) × seeds ×

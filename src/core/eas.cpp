@@ -58,7 +58,7 @@ Schedule level_based_schedule(const TaskGraph& g, const Platform& p, const std::
   // provenance sinks expect; with any sink attached the eager batch path
   // runs instead (bit-identical schedules either way, see below).
   const bool lazy_probes = options.tracer == nullptr && options.metrics == nullptr &&
-                           options.decisions == nullptr;
+                           options.decisions == nullptr && !options.force_eager_probes;
   std::vector<std::pair<Energy, std::uint32_t>> pe_by_energy;
   pe_by_energy.reserve(P);
 

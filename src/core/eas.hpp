@@ -47,6 +47,14 @@ struct EasOptions {
   /// functions over const tables and results are merged in (task, PE)
   /// order, so schedules are bit-identical to the serial path.
   bool parallel_probes = true;
+  /// With no sink attached the level scheduler probes lazily — only the
+  /// (task, PE) pairs its selection rule reads.  Setting this forces the
+  /// eager batch path (the one any attached sink selects) even without
+  /// sinks; schedules are bit-identical either way.  Benchmarking knob: it
+  /// lets `runtime_scaling --obs-smoke` price sink *emission* against an
+  /// identically-probing reference instead of conflating it with the
+  /// lazy-vs-eager algorithmic difference.
+  bool force_eager_probes = false;
   /// Observability sinks (see src/obs/ and docs/OBSERVABILITY.md).  A
   /// non-null tracer records spans for every phase (slack budgeting,
   /// scheduling levels, probe batches, repair passes) and an "eas.decision"

@@ -74,6 +74,30 @@ void Histogram::observe(double x) {
   atomic_max(max_, x);
 }
 
+double Histogram::percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double lo_clamp = min();
+  const double hi_clamp = max();
+  const double rank = q * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::uint64_t c = bucket_count(i);
+    cum += c;
+    if (c > 0 && static_cast<double>(cum) >= rank) {
+      // Interpolate inside (lo, hi] by the fraction of the bucket's
+      // population below the rank.  The first bucket's lower edge and the
+      // overflow bucket's upper edge are unbounded; the min/max clamp
+      // supplies the real stream extremes there.
+      const double lo = i == 0 ? lo_clamp : bounds_[i - 1];
+      const double hi = i == bounds_.size() ? hi_clamp : bounds_[i];
+      const double into = (rank - static_cast<double>(cum - c)) / static_cast<double>(c);
+      return std::clamp(lo + into * (hi - lo), lo_clamp, hi_clamp);
+    }
+  }
+  return hi_clamp;
+}
+
 double Histogram::min() const {
   const double v = min_.load(std::memory_order_relaxed);
   return count() == 0 ? 0.0 : v;
@@ -159,7 +183,7 @@ std::map<std::string, double> Registry::values() const {
 
 void Registry::write_json(std::ostream& os) const {
   std::lock_guard<std::mutex> lk(m_);
-  os << "{\"schema\":\"noceas.metrics.v1.1\",\"counters\":{";
+  os << "{\"schema\":\"noceas.metrics.v1.2\",\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
     if (!first) os << ',';
@@ -191,7 +215,10 @@ void Registry::write_json(std::ostream& os) const {
     const double mean = hist.count() ? hist.sum() / static_cast<double>(hist.count()) : 0.0;
     os << ",\"count\":" << hist.count() << ",\"sum\":" << format_double(hist.sum())
        << ",\"mean\":" << format_double(mean) << ",\"min\":" << format_double(hist.min())
-       << ",\"max\":" << format_double(hist.max()) << ",\"buckets\":[";
+       << ",\"max\":" << format_double(hist.max())
+       << ",\"p50\":" << format_double(hist.percentile(0.50))
+       << ",\"p95\":" << format_double(hist.percentile(0.95))
+       << ",\"p99\":" << format_double(hist.percentile(0.99)) << ",\"buckets\":[";
     for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
       if (i > 0) os << ',';
       os << "{\"le\":" << format_double(hist.bounds()[i]) << ",\"count\":" << hist.bucket_count(i)

@@ -1,6 +1,6 @@
 // Metrics registry for the scheduler observability layer: named counters,
 // gauges and fixed-bucket histograms with a stable JSON serialization
-// ("noceas.metrics.v1.1").
+// ("noceas.metrics.v1.2").
 //
 // Metric objects are created once through the Registry (find-or-create by
 // name; references stay valid for the registry's lifetime) and updated
@@ -58,6 +58,9 @@ class Histogram {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Percentile estimate (q in [0,1]) by linear interpolation inside the
+  /// covering bucket, clamped to [min(), max()].  0 when empty.
+  [[nodiscard]] double percentile(double q) const;
   /// Count of bucket i (i == bounds().size() is the overflow bucket).
   [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
@@ -102,7 +105,7 @@ class Registry {
   /// through.
   [[nodiscard]] std::map<std::string, double> values() const;
 
-  /// Writes the "noceas.metrics.v1.1" JSON document.
+  /// Writes the "noceas.metrics.v1.2" JSON document.
   void write_json(std::ostream& os) const;
 
  private:

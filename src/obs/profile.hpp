@@ -1,0 +1,163 @@
+// Streaming span-statistics profiler for the scheduler observability layer.
+//
+// The Tracer's ring buffers answer "what happened, in order" but overwrite
+// their oldest events on long runs; the Profiler answers "where does the
+// time go" and never loses data, because spans are folded into aggregate
+// records *inline at span close* (ScopedSpan notifies the Tracer, the
+// Tracer forwards to its attached Profiler) instead of being replayed from
+// the rings.  Aggregation is per call path — the stack of open span names
+// on the emitting thread, e.g. "eas.schedule;eas.attempt;probe.batch" —
+// so the same span name is attributed separately per context.
+//
+// Per (lane, call-path) record: count, total time, exclusive *self* time
+// (total minus the time spent in child spans of the same activation),
+// min/max, and a log2-bucket duration histogram from which p50/p95/p99 are
+// estimated.  Self time is the quantity that makes regressions attributable:
+// the self times of all records sum exactly to the total of the root spans
+// (an integer identity, asserted in tests and in the CI profile stage).
+//
+// Determinism contract (the campaign merge depends on it): record *shapes* —
+// the set of call paths and their counts — are a pure function of the
+// scheduler's deterministic control flow, so they are byte-identical for any
+// thread count; durations are wall-clock and live in a separate
+// non-deterministic "timings" section of the JSON document (the
+// ResourceSampler precedent: resources.json vs manifest.json).
+//
+// Exports:
+//   * "noceas.profile.v1" JSON — deterministic section (schema, lanes,
+//     records with path/name/depth/count) plus, when requested, the
+//     "timings" section (wall_ns and per-record durations/percentiles).
+//   * collapsed-stack "folded" text (one "path;sub;leaf weight" line per
+//     record, weight = self time in ns) — load directly in speedscope
+//     (https://speedscope.app) or feed to FlameGraph's flamegraph.pl.
+//
+// Thread model: open()/close() follow the Tracer's per-thread lane pattern
+// (registration under a mutex, lock-free after), so emission from the
+// scheduler control thread and any pool thread is race-free; snapshot()
+// must not overlap emission (the schedulers quiesce first, as for
+// Tracer::merged()).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace noceas::obs {
+
+/// Number of log2 duration buckets: bucket i counts spans with
+/// floor(log2(dur_ns)) == i (durations <= 1 ns land in bucket 0).
+inline constexpr int kProfileBuckets = 64;
+
+/// Aggregate statistics of one call path.  The identity fields (path, name,
+/// depth, count) are deterministic for a deterministic span stream; the
+/// duration fields are wall-clock and are not.
+struct ProfileRecord {
+  std::string path;  ///< span names joined by ';' (root first)
+  std::string name;  ///< leaf span name
+  int depth = 0;     ///< path segments minus one (root spans have depth 0)
+  std::uint64_t count = 0;
+
+  std::int64_t total_ns = 0;  ///< inclusive: sum of span durations
+  std::int64_t self_ns = 0;   ///< exclusive: total minus child-span time
+  std::int64_t min_ns = 0;
+  std::int64_t max_ns = 0;
+  /// Sparse log2 histogram: (bucket index, count), ascending by index.
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+
+  /// Percentile estimate from the log2 buckets: geometric interpolation
+  /// inside the covering bucket, clamped to [min_ns, max_ns].  0 when empty.
+  [[nodiscard]] double percentile_ns(double q) const;
+
+  /// Folds another activation set of the same path into this record.
+  void merge(const ProfileRecord& o);
+};
+
+/// A quiesced, mergeable profile: records sorted by path (lanes already
+/// folded together per path).  This is the unit the campaign runner merges
+/// across its fleet and the writers serialize.
+struct ProfileSnapshot {
+  std::uint32_t lanes = 0;    ///< emitting threads folded into the records
+  std::int64_t wall_ns = 0;   ///< caller-supplied wall clock (timings section)
+  std::vector<ProfileRecord> records;
+
+  /// Merges another snapshot path-wise (campaign fleet merge).  Lane and
+  /// wall counters add; record identity fields must agree where paths match.
+  void merge(const ProfileSnapshot& o);
+
+  /// Sum of root-record totals / self times over all records — the two
+  /// sides of the self-time identity (equal by construction).
+  [[nodiscard]] std::int64_t root_total_ns() const;
+  [[nodiscard]] std::int64_t sum_self_ns() const;
+};
+
+/// Streaming aggregator.  Attach to a Tracer (TracerOptions::profiler) so
+/// every ScopedSpan feeds it at open/close, or drive open()/close() directly
+/// (tests inject exact durations that way).
+class Profiler {
+ public:
+  Profiler();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+  ~Profiler();
+
+  /// Pushes a span onto the calling thread's call-path stack.  `name` must
+  /// outlive the profiler (string literals, like the Tracer's event names).
+  void open(const char* name);
+
+  /// Pops the innermost open span of the calling thread and folds
+  /// `dur_ns` into its call-path record.  Unmatched closes are ignored.
+  void close(std::int64_t dur_ns);
+
+  /// Records per call path, lanes folded, sorted by path.  Call only while
+  /// no thread is emitting.  `wall_ns` is copied into the snapshot (pass
+  /// the run's wall time so root self-times can be reconciled against it).
+  [[nodiscard]] ProfileSnapshot snapshot(std::int64_t wall_ns = 0) const;
+
+ private:
+  struct Node {
+    const char* name = nullptr;
+    Node* parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t self_ns = 0;
+    std::int64_t min_ns = 0;
+    std::int64_t max_ns = 0;
+    std::array<std::uint64_t, kProfileBuckets> buckets{};
+  };
+  struct Frame {
+    Node* node = nullptr;
+    std::int64_t child_ns = 0;  ///< closed-child time of this activation
+  };
+  struct Lane {
+    Node root;                 ///< synthetic parent of the lane's root spans
+    std::vector<Frame> stack;  ///< open spans, outermost first
+  };
+
+  Lane& this_lane();
+
+  const std::uint64_t profiler_id_;  ///< process-unique, for thread-local caching
+  mutable std::mutex lanes_m_;       ///< guards lane registration + snapshot
+  std::deque<Lane> lanes_;           ///< deque: stable addresses across registration
+  std::map<std::thread::id, Lane*> lane_of_thread_;
+};
+
+/// Writes the "noceas.profile.v1" document.  With `include_timings` false
+/// only the deterministic section is emitted (the campaign determinism
+/// contract); true appends the non-deterministic "timings" section.
+void write_profile_json(std::ostream& os, const ProfileSnapshot& snapshot, bool include_timings);
+
+/// Writes collapsed-stack folded text: one "a;b;c weight" line per record
+/// with positive self time, weight = self_ns.  Loadable by speedscope and
+/// FlameGraph.
+void write_profile_folded(std::ostream& os, const ProfileSnapshot& snapshot);
+
+}  // namespace noceas::obs

@@ -1,6 +1,8 @@
 #include "src/obs/trace.hpp"
 
 #include <algorithm>
+
+#include "src/obs/profile.hpp"
 #include <charconv>
 #include <cmath>
 #include <ostream>
@@ -99,6 +101,7 @@ Tracer::Lane& Tracer::this_lane() {
 }
 
 void Tracer::push(const TraceEvent& e) {
+  if (!options_.record_events) return;  // profile-only spine: no ring storage
   Lane& lane = this_lane();
   TraceEvent stamped = e;
   stamped.lane = lane.id;
@@ -107,8 +110,24 @@ void Tracer::push(const TraceEvent& e) {
   } else {
     lane.ring[lane.head] = stamped;
     lane.head = (lane.head + 1) % options_.max_events_per_lane;
+    ++lane.dropped;
     dropped_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void Tracer::span_open(const char* name) {
+  if (options_.profiler != nullptr) options_.profiler->open(name);
+}
+
+void Tracer::span_close(std::int64_t dur_ns) {
+  if (options_.profiler != nullptr) options_.profiler->close(dur_ns);
+}
+
+std::vector<std::uint64_t> Tracer::dropped_per_lane() const {
+  std::lock_guard<std::mutex> lk(lanes_m_);
+  std::vector<std::uint64_t> out(lanes_.size(), 0);
+  for (const Lane& lane : lanes_) out[lane.id] = lane.dropped;
+  return out;
 }
 
 void Tracer::complete(const char* name, std::uint64_t seq, std::int64_t ts_ns, std::int64_t dur_ns,
@@ -192,7 +211,13 @@ void Tracer::write_chrome_json(std::ostream& os) const {
     os << '}';
   }
   os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"schema\":\"noceas.trace.v1\",\"dropped\":"
-     << dropped() << "}}\n";
+     << dropped() << ",\"dropped_per_lane\":[";
+  const std::vector<std::uint64_t> per_lane = dropped_per_lane();
+  for (std::size_t i = 0; i < per_lane.size(); ++i) {
+    if (i > 0) os << ',';
+    os << per_lane[i];
+  }
+  os << "]}}\n";
 }
 
 }  // namespace noceas::obs

@@ -47,6 +47,8 @@
 
 namespace noceas::obs {
 
+class Profiler;  // src/obs/profile.hpp
+
 /// One key/value argument of an event.  Keys and string values must be
 /// string literals (or otherwise outlive the tracer): events store the
 /// pointers, never copies, to keep emission allocation-free.
@@ -86,6 +88,14 @@ struct TracerOptions {
   /// Ring capacity per emitting thread; oldest events are overwritten once
   /// a lane is full (dropped() reports how many).
   std::size_t max_events_per_lane = 1u << 20;
+  /// When false, no events are stored at all — the tracer degenerates to a
+  /// span-notification spine for the attached profiler (a `--profile`-only
+  /// run pays no ring memory and can never drop).
+  bool record_events = true;
+  /// Streaming span-statistics sink: ScopedSpan notifies it at open/close,
+  /// independent of the ring buffers, so aggregation never loses spans to
+  /// ring overwrite.  Null = no profiling.
+  Profiler* profiler = nullptr;
 };
 
 class Tracer {
@@ -119,6 +129,20 @@ class Tracer {
   /// Events lost to ring-buffer overwrite.
   [[nodiscard]] std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
+  /// Events lost per lane, indexed by lane id.  Call only while no thread
+  /// is emitting (like merged()).
+  [[nodiscard]] std::vector<std::uint64_t> dropped_per_lane() const;
+
+  /// Span open/close notifications from ScopedSpan, forwarded to the
+  /// attached profiler (no-ops without one).  Open fires before the span's
+  /// start timestamp is taken, close after its duration is computed, so
+  /// profiler bookkeeping is excluded from the span's own time.
+  void span_open(const char* name);
+  void span_close(std::int64_t dur_ns);
+
+  /// The attached streaming profiler (null when none).
+  [[nodiscard]] Profiler* profiler() const { return options_.profiler; }
+
   /// Total events currently held (before any merge).
   [[nodiscard]] std::size_t size() const;
 
@@ -130,7 +154,8 @@ class Tracer {
   struct Lane {
     std::uint32_t id = 0;
     std::vector<TraceEvent> ring;
-    std::size_t head = 0;  ///< next overwrite position once full
+    std::size_t head = 0;       ///< next overwrite position once full
+    std::uint64_t dropped = 0;  ///< events this lane overwrote
   };
 
   Lane& this_lane();
@@ -156,6 +181,7 @@ class ScopedSpan {
     if (!t_) return;
     for (const Arg& a : args) arg(a);
     seq_ = t_->next_seq();
+    t_->span_open(name_);
     start_ns_ = t_->now_ns();
   }
 
@@ -170,7 +196,11 @@ class ScopedSpan {
   /// Closes the span now instead of at scope exit (for phases that end
   /// mid-function).  Later arg()/end() calls become no-ops.
   void end() {
-    if (t_) t_->complete(name_, seq_, start_ns_, t_->now_ns() - start_ns_, args_, num_args_);
+    if (t_) {
+      const std::int64_t dur_ns = t_->now_ns() - start_ns_;
+      t_->complete(name_, seq_, start_ns_, dur_ns, args_, num_args_);
+      t_->span_close(dur_ns);
+    }
     t_ = nullptr;
   }
 

@@ -269,10 +269,12 @@ TEST(Metrics, ValuesFlattensAllKinds) {
 
 // ---- Metrics JSON ----------------------------------------------------------
 
-/// Golden test: the serialized form is a stable schema ("noceas.metrics.v1.1")
+/// Golden test: the serialized form is a stable schema ("noceas.metrics.v1.2")
 /// that downstream tooling may depend on.  Deliberately brittle — change the
 /// writer, change this test, bump the schema version.  v1.1 added the
-/// per-histogram "mean" field (bounds were already in "buckets[].le").
+/// per-histogram "mean" field (bounds were already in "buckets[].le"); v1.2
+/// added per-histogram "p50"/"p95"/"p99" (bucket-interpolated estimates
+/// clamped to the observed min/max).
 TEST(Metrics, JsonGolden) {
   obs::Registry r;
   r.counter("runs", "count").inc(2);
@@ -283,11 +285,12 @@ TEST(Metrics, JsonGolden) {
   std::ostringstream os;
   r.write_json(os);
   EXPECT_EQ(os.str(),
-            "{\"schema\":\"noceas.metrics.v1.1\","
+            "{\"schema\":\"noceas.metrics.v1.2\","
             "\"counters\":{\"runs\":{\"unit\":\"count\",\"value\":2}},"
             "\"gauges\":{\"rate\":{\"unit\":\"ratio\",\"value\":0.5}},"
             "\"histograms\":{\"lat\":{\"unit\":\"ms\",\"count\":2,\"sum\":100.5,"
             "\"mean\":50.25,\"min\":0.5,\"max\":100,"
+            "\"p50\":1,\"p95\":90.8,\"p99\":98.16,"
             "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":8,\"count\":0},"
             "{\"le\":\"+inf\",\"count\":1}]}}}\n");
 }
@@ -300,7 +303,7 @@ TEST(Metrics, JsonParsesBack) {
   std::ostringstream os;
   r.write_json(os);
   const Json doc = parse_json(os.str());
-  EXPECT_EQ(doc.at("schema").str, "noceas.metrics.v1.1");
+  EXPECT_EQ(doc.at("schema").str, "noceas.metrics.v1.2");
   EXPECT_EQ(doc.at("counters").at("a.b").at("value").num, 1.0);
   EXPECT_EQ(doc.at("gauges").at("weird \"name\"\n").at("value").num, -2.25);
   const Json& h = doc.at("histograms").at("h");

@@ -1,0 +1,221 @@
+// Tests for the streaming span-statistics profiler (src/obs/profile.hpp):
+// the deterministic "noceas.profile.v1" / folded exports (golden), the
+// self-time and nesting identities on directly-injected durations and on a
+// real scheduler run, and the campaign fleet merge's thread-count
+// invariance.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/campaign/campaign.hpp"
+#include "src/core/eas.hpp"
+#include "src/gen/tgff.hpp"
+#include "src/obs/profile.hpp"
+#include "src/obs/trace.hpp"
+
+namespace noceas {
+namespace {
+
+using obs::ProfileRecord;
+using obs::Profiler;
+using obs::ProfileSnapshot;
+
+/// The fixed activation set used by the golden tests: two "root" spans, the
+/// first with children "child" (x2) and "other".
+ProfileSnapshot golden_snapshot() {
+  Profiler profiler;
+  profiler.open("root");
+  profiler.open("child");
+  profiler.close(100);
+  profiler.open("child");
+  profiler.close(300);
+  profiler.open("other");
+  profiler.close(50);
+  profiler.close(1000);  // root #1: self = 1000 - 450 = 550
+  profiler.open("root");
+  profiler.close(200);   // root #2: leaf activation, self = 200
+  return profiler.snapshot(/*wall_ns=*/5000);
+}
+
+TEST(ProfileGolden, DeterministicJson) {
+  std::ostringstream os;
+  write_profile_json(os, golden_snapshot(), /*include_timings=*/false);
+  EXPECT_EQ(os.str(),
+            "{\"schema\":\"noceas.profile.v1\",\"lanes\":1,\"records\":["
+            "\n{\"path\":\"root\",\"name\":\"root\",\"depth\":0,\"count\":2},"
+            "\n{\"path\":\"root;child\",\"name\":\"child\",\"depth\":1,\"count\":2},"
+            "\n{\"path\":\"root;other\",\"name\":\"other\",\"depth\":1,\"count\":1}"
+            "\n]}\n");
+}
+
+TEST(ProfileGolden, FoldedExport) {
+  std::ostringstream os;
+  write_profile_folded(os, golden_snapshot());
+  EXPECT_EQ(os.str(),
+            "root 750\n"
+            "root;child 400\n"
+            "root;other 50\n");
+}
+
+TEST(ProfileGolden, TimingsSection) {
+  const ProfileSnapshot snap = golden_snapshot();
+  std::ostringstream os;
+  write_profile_json(os, snap, /*include_timings=*/true);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"timings\":{\"wall_ns\":5000,\"records\":["), std::string::npos);
+  // root: 200 lands in log2 bucket 7, 1000 in bucket 9.
+  EXPECT_NE(json.find("{\"path\":\"root\",\"total_ns\":1200,\"self_ns\":750,"
+                      "\"min_ns\":200,\"max_ns\":1000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[[7,1],[9,1]]}"), std::string::npos);
+  // A single-sample record's percentiles collapse to that sample (clamped
+  // to [min, max]).
+  EXPECT_NE(json.find("{\"path\":\"root;other\",\"total_ns\":50,\"self_ns\":50,"
+                      "\"min_ns\":50,\"max_ns\":50,\"p50_ns\":50,\"p95_ns\":50,"
+                      "\"p99_ns\":50,\"buckets\":[[5,1]]}"),
+            std::string::npos);
+}
+
+TEST(Profile, SelfTimeIdentity) {
+  const ProfileSnapshot snap = golden_snapshot();
+  EXPECT_EQ(snap.root_total_ns(), 1200);
+  EXPECT_EQ(snap.sum_self_ns(), snap.root_total_ns());
+}
+
+TEST(Profile, PercentilesStayWithinMinMax) {
+  for (const ProfileRecord& r : golden_snapshot().records) {
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+      EXPECT_GE(r.percentile_ns(q), static_cast<double>(r.min_ns)) << r.path << " q=" << q;
+      EXPECT_LE(r.percentile_ns(q), static_cast<double>(r.max_ns)) << r.path << " q=" << q;
+    }
+  }
+}
+
+TEST(Profile, MergePreservesIdentities) {
+  ProfileSnapshot a = golden_snapshot();
+  const ProfileSnapshot b = golden_snapshot();
+  a.merge(b);
+  EXPECT_EQ(a.lanes, 2u);
+  EXPECT_EQ(a.wall_ns, 10000);
+  ASSERT_EQ(a.records.size(), 3u);
+  EXPECT_EQ(a.records[0].path, "root");
+  EXPECT_EQ(a.records[0].count, 4u);
+  EXPECT_EQ(a.records[0].total_ns, 2400);
+  EXPECT_EQ(a.records[0].min_ns, 200);
+  EXPECT_EQ(a.records[0].max_ns, 1000);
+  EXPECT_EQ(a.sum_self_ns(), a.root_total_ns());
+  // Bucket counts double, indices stay sorted and unique.
+  const auto& buckets = a.records[0].buckets;
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0], (std::pair<int, std::uint64_t>{7, 2}));
+  EXPECT_EQ(buckets[1], (std::pair<int, std::uint64_t>{9, 2}));
+}
+
+TEST(Profile, UnmatchedCloseIsIgnored) {
+  Profiler profiler;
+  profiler.close(123);
+  const ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_TRUE(snap.records.empty());
+  EXPECT_EQ(snap.sum_self_ns(), 0);
+}
+
+/// Children of a record are the records one level deeper whose path extends
+/// it; their inclusive totals can never exceed the parent's.
+void expect_nesting_invariant(const ProfileSnapshot& snap) {
+  std::map<std::string, const ProfileRecord*> by_path;
+  for (const ProfileRecord& r : snap.records) by_path[r.path] = &r;
+  for (const ProfileRecord& r : snap.records) {
+    std::int64_t child_total = 0;
+    const std::string prefix = r.path + ';';
+    for (const ProfileRecord& c : snap.records) {
+      if (c.depth == r.depth + 1 && c.path.compare(0, prefix.size(), prefix) == 0) {
+        child_total += c.total_ns;
+      }
+    }
+    EXPECT_LE(child_total, r.total_ns) << r.path;
+    // Per-activation self clamps at 0, so aggregate self may exceed the
+    // subtraction but never fall below it.
+    EXPECT_GE(r.self_ns, r.total_ns - child_total) << r.path;
+    EXPECT_GE(r.self_ns, 0) << r.path;
+  }
+}
+
+TEST(Profile, RealSchedulerRunSatisfiesInvariants) {
+  const PeCatalog catalog = make_hetero_catalog(4, 4, /*seed=*/42);
+  const Platform platform = make_platform_for(catalog, 4, 4);
+  const TaskGraph g = generate_tgff_like(category_params(2, 2), catalog);
+
+  Profiler profiler;
+  obs::TracerOptions spine_options;
+  spine_options.record_events = false;
+  spine_options.profiler = &profiler;
+  obs::Tracer spine(spine_options);
+
+  EasOptions options;
+  options.tracer = &spine;
+  const EasResult with = schedule_eas(g, platform, options);
+  const ProfileSnapshot snap = profiler.snapshot(spine.now_ns());
+
+  ASSERT_FALSE(snap.records.empty());
+  EXPECT_EQ(snap.lanes, 1u);  // scheduler spans are emitted on the control thread
+  // Self-time identity and wall-clock reconciliation.
+  EXPECT_EQ(snap.sum_self_ns(), snap.root_total_ns());
+  EXPECT_LE(snap.root_total_ns(), snap.wall_ns);
+  EXPECT_GT(snap.root_total_ns(), 0);
+  expect_nesting_invariant(snap);
+  // The root span is the scheduler's own.
+  EXPECT_EQ(snap.records.front().path, "eas.schedule");
+  EXPECT_EQ(snap.records.front().depth, 0);
+
+  // Profiling must not change the schedule.
+  const EasResult without = schedule_eas(g, platform);
+  for (TaskId t : g.all_tasks()) {
+    EXPECT_EQ(with.schedule.at(t).pe, without.schedule.at(t).pe);
+    EXPECT_EQ(with.schedule.at(t).start, without.schedule.at(t).start);
+    EXPECT_EQ(with.schedule.at(t).finish, without.schedule.at(t).finish);
+  }
+}
+
+/// The campaign determinism contract: a 20-run fleet produces byte-identical
+/// profile *shapes* (the deterministic JSON section) for any thread count.
+TEST(Profile, CampaignFleetShapesAreThreadCountInvariant) {
+  campaign::CampaignSpec spec;
+  campaign::AppSpec app;
+  app.kind = campaign::AppSpec::Kind::Tgff;
+  app.category = 1;
+  app.index = 0;
+  campaign::AppSpec app2 = app;
+  app2.index = 1;
+  spec.apps = {app, app2};
+  spec.seeds = {1, 2, 3, 4, 5};
+  spec.schedulers = {"eas", "edf"};
+  spec.profile = true;
+
+  spec.threads = 1;
+  const campaign::CampaignResult serial = run_campaign(spec);
+  spec.threads = 4;
+  const campaign::CampaignResult parallel = run_campaign(spec);
+
+  ASSERT_EQ(serial.units.size(), 20u);
+  ASSERT_EQ(serial.profiles.size(), 20u);
+  ASSERT_EQ(parallel.profiles.size(), 20u);
+
+  const ProfileSnapshot fleet_serial = serial.fleet_profile();
+  const ProfileSnapshot fleet_parallel = parallel.fleet_profile();
+  EXPECT_EQ(fleet_serial.lanes, 20u);  // one emitting lane per unit
+
+  std::ostringstream a, b;
+  write_profile_json(a, fleet_serial, /*include_timings=*/false);
+  write_profile_json(b, fleet_parallel, /*include_timings=*/false);
+  EXPECT_EQ(a.str(), b.str());
+
+  // The merged fleet keeps the identities every unit satisfied.
+  EXPECT_EQ(fleet_serial.sum_self_ns(), fleet_serial.root_total_ns());
+  expect_nesting_invariant(fleet_serial);
+}
+
+}  // namespace
+}  // namespace noceas

@@ -14,6 +14,14 @@ Two modes:
            are not comparable: differences are reported but never fail the
            run (CI uses this as a soft gate until baselines stabilize).
 
+The bench exports per-phase span self times as "self_ms:<call path>"
+counters (one extra profiled run per benchmark, outside the timed loop).
+record stores them as profile_self_ms next to bench_ms; check uses them to
+attribute a timing regression to the span whose exclusive self time grew
+the most (the report row gains a suspect_span object).
+tools/perf_report.py renders the accumulated trajectory as an HTML
+dashboard.
+
 Timings are medians over --repetitions runs of google-benchmark.  The
 metrics section (probe cache hit rate, decision counters from a fixed
 `noceas_cli schedule --metrics` run, plus the cross-run aggregates of a
@@ -47,6 +55,7 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_SCHEMA = "noceas.bench_baseline.v1"
 TRAJECTORY_SCHEMA = "noceas.bench_trajectory.v1"
 COMPARE_SCHEMA = "noceas.bench_compare.v1"
+PROFILE_PREFIX = "self_ms:"  # span self-time counters exported by the bench
 
 
 def run(cmd, **kw):
@@ -127,8 +136,12 @@ def run_google_benchmark(build_dir, min_time, repetitions, bench_filter):
         os.unlink(out)
 
     # Min over repetitions: the least noise-sensitive point statistic for a
-    # regression gate (transient load only ever makes a run slower).
+    # regression gate (transient load only ever makes a run slower).  The
+    # per-span self times ("self_ms:<path>" counters) are taken from the
+    # same repetition the kept timing came from, so the attribution and the
+    # timing describe one coherent run.
     timings = {}
+    profile = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
@@ -136,8 +149,16 @@ def run_google_benchmark(build_dir, min_time, repetitions, bench_filter):
             continue
         name = b.get("run_name", b["name"])
         ms = round(float(b["real_time"]), 4)
-        timings[name] = min(ms, timings.get(name, ms))
-    return timings
+        if name in timings and ms >= timings[name]:
+            continue
+        timings[name] = ms
+        spans = {k[len(PROFILE_PREFIX):]: round(float(v), 4)
+                 for k, v in b.items() if k.startswith(PROFILE_PREFIX)}
+        if spans:
+            profile[name] = spans
+        else:
+            profile.pop(name, None)
+    return timings, profile
 
 
 def deterministic_metrics(build_dir):
@@ -207,20 +228,50 @@ def load_json(path):
         return json.load(f)
 
 
-def compare(baseline, bench, metrics, tolerance, comparable):
+def attribute_regression(base_spans, cur_spans):
+    """Names the span whose exclusive self time grew the most.
+
+    `base_spans` / `cur_spans` map call path -> self ms for one benchmark
+    (a span missing on either side counts as 0 there).  Returns a
+    suspect_span object, or None when either side lacks profile data or
+    nothing grew — a regression without span growth is its own signal
+    (time went somewhere uninstrumented).
+    """
+    if not base_spans or not cur_spans:
+        return None
+    best = None
+    for path in sorted(set(base_spans) | set(cur_spans)):
+        delta = cur_spans.get(path, 0.0) - base_spans.get(path, 0.0)
+        if best is None or delta > best[1]:
+            best = (path, delta)
+    if best is None or best[1] <= 0:
+        return None
+    path, delta = best
+    return {"path": path, "baseline_ms": base_spans.get(path, 0.0),
+            "current_ms": cur_spans.get(path, 0.0), "delta_ms": round(delta, 4)}
+
+
+def compare(baseline, bench, metrics, tolerance, comparable, profile=None):
     """Pure diff of a re-run against a recorded baseline.
 
     No I/O and no benchmark execution: `baseline` is the parsed baseline
     document, `bench` maps benchmark name -> current ms, `metrics` maps
-    metric name -> current value.  Returns a `noceas.bench_compare.v1`
-    report.  Verdict semantics:
+    metric name -> current value, `profile` (optional) maps benchmark name
+    -> {span path: self ms} for the current run.  Returns a
+    `noceas.bench_compare.v1` report.  Verdict semantics:
 
       per benchmark: ok | improved | regression | missing | new
       overall:       fail  iff a regression on a comparable environment,
                      warn  for regressions on foreign hardware, missing /
                            new benchmarks, improvements, or metric drift,
                      pass  otherwise.
+
+    A regression row carries a suspect_span naming the call path whose
+    self time grew the most, when both the baseline and the current run
+    have profile data for that benchmark.
     """
+    base_profile = baseline.get("profile_self_ms", {})
+    cur_profile = profile or {}
     rows = []
     for name, base_ms in sorted(baseline.get("bench_ms", {}).items()):
         if name not in bench:
@@ -235,8 +286,12 @@ def compare(baseline, bench, metrics, tolerance, comparable):
             verdict = "improved"
         else:
             verdict = "ok"
-        rows.append({"name": name, "baseline_ms": base_ms, "current_ms": cur,
-                     "delta_rel": round(rel, 4), "verdict": verdict})
+        row = {"name": name, "baseline_ms": base_ms, "current_ms": cur,
+               "delta_rel": round(rel, 4), "verdict": verdict}
+        if verdict == "regression":
+            row["suspect_span"] = attribute_regression(
+                base_profile.get(name), cur_profile.get(name))
+        rows.append(row)
     for name in sorted(set(bench) - set(baseline.get("bench_ms", {}))):
         rows.append({"name": name, "baseline_ms": None, "current_ms": bench[name],
                      "delta_rel": None, "verdict": "new"})
@@ -270,8 +325,9 @@ def cmd_record(args):
     fp = fingerprint(args.build_dir)
     print(f"environment: {fp['cpu']} · {fp['cores']} cores · {fp['compiler']}")
     print("running runtime_scaling ...")
-    bench = run_google_benchmark(args.build_dir, args.min_time, args.repetitions, args.filter)
-    print(f"  {len(bench)} benchmark timings")
+    bench, profile = run_google_benchmark(args.build_dir, args.min_time, args.repetitions,
+                                          args.filter)
+    print(f"  {len(bench)} benchmark timings, {len(profile)} with span self-times")
     metrics = deterministic_metrics(args.build_dir)
     print(f"  {len(metrics)} deterministic metrics")
     campaign = campaign_aggregates(args.build_dir)
@@ -284,6 +340,7 @@ def cmd_record(args):
         "rev": git_rev(),
         "bench_args": {"min_time": args.min_time, "repetitions": args.repetitions},
         "bench_ms": bench,
+        "profile_self_ms": profile,
         "metrics": metrics,
     }
     os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
@@ -297,7 +354,8 @@ def cmd_record(args):
         traj = load_json(args.trajectory)
     else:
         traj = {"schema": TRAJECTORY_SCHEMA, "entries": []}
-    traj["entries"].append({"rev": baseline["rev"], "fingerprint": fp["id"], "bench_ms": bench})
+    traj["entries"].append({"rev": baseline["rev"], "fingerprint": fp["id"],
+                            "bench_ms": bench, "profile_self_ms": profile})
     with open(args.trajectory, "w") as f:
         json.dump(traj, f, indent=1, sort_keys=True)
         f.write("\n")
@@ -319,6 +377,11 @@ def print_report(report, out=sys.stdout):
                    "improved": "improved (consider re-recording the baseline)"}[v]
             print(f"  {row['baseline_ms']:10.2f} -> {row['current_ms']:10.2f} ms  "
                   f"{row['delta_rel']:+7.1%}  {row['name']}  {tag}", file=out)
+            suspect = row.get("suspect_span")
+            if suspect:
+                print(f"             suspect: {suspect['path']} self "
+                      f"{suspect['baseline_ms']:.2f} -> {suspect['current_ms']:.2f} ms "
+                      f"(+{suspect['delta_ms']:.2f} ms)", file=out)
     for d in report["metric_drift"]:
         print(f"  metric drift: {d['name']} {d['baseline']} -> {d['current']}", file=out)
     if report["metric_drift"]:
@@ -354,7 +417,7 @@ def cmd_check(args):
               file=text_out)
 
     bench_args = baseline.get("bench_args", {})
-    bench = run_google_benchmark(
+    bench, profile = run_google_benchmark(
         args.build_dir,
         bench_args.get("min_time", args.min_time),
         bench_args.get("repetitions", args.repetitions),
@@ -363,7 +426,7 @@ def cmd_check(args):
     metrics = deterministic_metrics(args.build_dir)
     metrics.update(campaign_aggregates(args.build_dir))
 
-    report = compare(baseline, bench, metrics, args.tolerance, comparable)
+    report = compare(baseline, bench, metrics, args.tolerance, comparable, profile)
     report["baseline_rev"] = baseline.get("rev", "unknown")
     report["rev"] = git_rev()
     print_report(report, out=text_out)

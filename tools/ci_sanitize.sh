@@ -22,10 +22,17 @@
 #   - repair-replay stage (same build): schedules an eas run twice — with
 #     incremental suffix evaluation and under the NOCEAS_REPAIR_FULL_REBUILD
 #     escape hatch — and requires byte-identical schedules/decision streams
-#   - observability smoke gate (plain build): an attached tracer must leave
-#     schedules bit-identical and cost < 5% runtime
-#   - perf-baseline gates: tools/bench_compare.py check — hard on the repair
-#     hot-path benches (BM_EasFull_MissBenchmarks/1 and /3), soft elsewhere
+#   - profile smoke stage (same build): `schedule --profile` under
+#     ASan/UBSan, python-asserting the noceas.profile.v1 identities (self
+#     times sum to the root total, children nest inside parents, folded
+#     lines mirror the JSON) and the campaign fleet merge's thread-count
+#     byte-identity
+#   - observability smoke gate (plain build): an attached tracer — and the
+#     span-profiler spine — must leave schedules bit-identical and cost
+#     < 5% runtime against an identically-probing reference
+#   - perf-baseline gates: tools/bench_compare.py check — hard on all four
+#     repair hot-path benches (BM_EasFull_MissBenchmarks/0-3), soft
+#     elsewhere; regressions are attributed to the span whose self time grew
 #
 # Usage: tools/ci_sanitize.sh [build-dir-prefix]   (default: build-san)
 set -euo pipefail
@@ -173,9 +180,59 @@ assert "</html>" in html and "<svg" in html
 PY
 echo "    campaign: determinism + reconciliation + dashboard OK"
 
-# Observability smoke gate: tracing must not change schedules and must stay
-# within the 5% overhead budget (docs/OBSERVABILITY.md).  Built without
-# sanitizers — the budget is a statement about the production build.
+# Profile smoke stage (same ASan/UBSan binaries): the span-statistics
+# profiler end to end through the CLI, held to its integer identities —
+# every call path's exclusive self time sums to the root spans' total,
+# children nest inside their parents, and the folded export mirrors the
+# JSON's positive self times.
+echo "==> [profile] span-stats profiler under ASan/UBSan"
+"$cli" schedule --ctg "$audit_dir/g.txt" --platform "$audit_dir/p.txt" \
+  --scheduler eas --profile "$audit_dir/prof.json" \
+  --profile-folded "$audit_dir/prof.folded" >/dev/null || true  # non-zero = deadline miss
+python3 - "$audit_dir/prof.json" "$audit_dir/prof.folded" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "noceas.profile.v1", doc.get("schema")
+assert doc["lanes"] >= 1 and doc["records"], "empty profile"
+shapes = {r["path"]: r for r in doc["records"]}
+timings = {r["path"]: r for r in doc["timings"]["records"]}
+assert set(timings) == set(shapes)
+# Self-time identity: exclusive self times sum exactly to the root total,
+# which fits inside the run's wall clock.
+roots = sum(t["total_ns"] for p, t in timings.items() if shapes[p]["depth"] == 0)
+selfs = sum(t["self_ns"] for t in timings.values())
+assert selfs == roots, (selfs, roots)
+assert 0 < roots <= doc["timings"]["wall_ns"]
+# Nesting: a record's direct children never exceed its inclusive total.
+for path, t in timings.items():
+    kids = sum(c["total_ns"] for p2, c in timings.items()
+               if p2.startswith(path + ";")
+               and shapes[p2]["depth"] == shapes[path]["depth"] + 1)
+    assert kids <= t["total_ns"], (path, kids, t["total_ns"])
+# Folded lines mirror the JSON's positive self times exactly.
+folded = {}
+with open(sys.argv[2]) as f:
+    for line in f:
+        p, w = line.rstrip("\n").rsplit(" ", 1)
+        folded[p] = int(w)
+assert folded == {p: t["self_ns"] for p, t in timings.items() if t["self_ns"] > 0}
+print("    profile: identities + folded export OK")
+PY
+# Fleet merge determinism: profile *shapes* byte-identical across thread
+# counts (durations live in profile_timings.json, outside the contract).
+"$cli" campaign --out "$audit_dir/campP" --categories 1 --seeds 2 \
+  --schedulers eas,edf --threads 4 --profile >/dev/null
+"$cli" campaign --out "$audit_dir/campP1" --categories 1 --seeds 2 \
+  --schedulers eas,edf --threads 1 --profile >/dev/null
+cmp "$audit_dir/campP/profile.json" "$audit_dir/campP1/profile.json" \
+  || { echo "FAIL: fleet profile shapes differ across thread counts"; exit 1; }
+echo "    profile: campaign fleet merge deterministic across threads"
+
+# Observability smoke gate: tracing and span profiling must not change
+# schedules and must stay within the 5% overhead budget against an
+# identically-probing (eager) reference (docs/OBSERVABILITY.md).  Built
+# without sanitizers — the budget is a statement about the production build.
 smoke="${prefix}-smoke"
 echo "==> [obs-smoke] configuring $smoke"
 cmake -B "$smoke" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -185,15 +242,17 @@ echo "==> [obs-smoke] running"
 "$smoke"/bench/runtime_scaling --obs-smoke
 
 # Perf-baseline gates: compare against bench/baselines/*.json.
-#  - Hard gate on the repair hot-path benchmarks (the 10x win this library
-#    promises): a regression on BM_EasFull_MissBenchmarks/1 or /3 fails CI
-#    when the environment fingerprint matches the baseline's (check exits 0,
-#    "not gated", on foreign hardware).
+#  - Hard gate on all four repair hot-path benchmarks (the 10x win this
+#    library promises): a regression on any BM_EasFull_MissBenchmarks/0-3
+#    fails CI when the environment fingerprint matches the baseline's
+#    (check exits 0, "not gated", on foreign hardware).  A regression row
+#    names the span whose self time grew (the bench exports per-phase
+#    self_ms counters).
 #  - Soft gate over the full suite — timings on shared CI boxes are too
 #    noisy to block on wholesale.
 echo "==> [bench-compare] hard gate on the repair hot path"
 python3 tools/bench_compare.py check --build-dir "$smoke" \
-  --filter 'BM_EasFull_MissBenchmarks/(1|3)$'
+  --filter 'BM_EasFull_MissBenchmarks/(0|1|2|3)$'
 echo "==> [bench-compare] soft gate (full suite)"
 python3 tools/bench_compare.py check --build-dir "$smoke" \
   || echo "warn: bench_compare flagged a regression (soft gate, not failing CI)"

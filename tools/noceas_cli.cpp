@@ -55,6 +55,7 @@
 #include "src/gen/tgff.hpp"
 #include "src/msb/msb.hpp"
 #include "src/noc/platform_io.hpp"
+#include "src/obs/profile.hpp"
 #include "src/sim/wormhole_sim.hpp"
 #include "src/util/table.hpp"
 #include "src/viz/gantt_svg.hpp"
@@ -92,23 +93,30 @@ int usage() {
       "             [--scheduler eas|eas-base|edf|dls|greedy|map]\n"
       "             [--gantt] [--svg FILE] [--link-heat] [--dot FILE] [--simulate] [--dvs]\n"
       "             [--trace FILE] [--metrics FILE] [--decisions FILE] [--schedule-out FILE]\n"
+      "             [--profile FILE] [--profile-folded FILE]\n"
       "  noceas_cli explain --decisions FILE --task ID\n"
       "  noceas_cli audit --replay --decisions FILE --ctg FILE --platform FILE\n"
+      "             [--profile FILE] [--profile-folded FILE]\n"
       "  noceas_cli validate --schedule FILE --ctg FILE --platform FILE [--deadlines]\n"
       "  noceas_cli analyze --ctg FILE --platform FILE\n"
       "             [--scheduler eas|eas-base|edf|dls|greedy|map | --schedule FILE]\n"
       "             [--decisions FILE] [--json FILE] [--metrics FILE] [--svg FILE]\n"
-      "             [--top N] [--compare SCHEDULER]\n"
+      "             [--top N] [--compare SCHEDULER] [--profile FILE] [--profile-folded FILE]\n"
       "  noceas_cli campaign --out DIR\n"
       "             [--categories 1,2] [--indices 0,1,..] [--msb APP[:CLIP],..]\n"
       "             [--seeds N | --seed-list 3,7,9] [--schedulers eas,edf,dls]\n"
-      "             [--threads N] [--artifacts]\n"
+      "             [--threads N] [--artifacts] [--profile]\n"
       "\n"
       "schedule observability flags:\n"
       "  --trace FILE    write a Chrome trace-event JSON of the scheduler run\n"
       "                  (open in ui.perfetto.dev or chrome://tracing)\n"
       "  --metrics FILE  write the metrics registry JSON (probe cache hit rate,\n"
       "                  per-PE busy fraction, per-link utilization, ...)\n"
+      "  --profile FILE  write the span-statistics profile (noceas.profile.v1:\n"
+      "                  per-call-path count/total/self-time/min/max/p50/p95/p99;\n"
+      "                  aggregated inline at span close, never truncated)\n"
+      "  --profile-folded FILE  write the collapsed-stack text (weight = self ns;\n"
+      "                  load in speedscope.app or FlameGraph)\n"
       "  --link-heat     tint the --svg link lanes by utilization\n"
       "  --decisions FILE     write the decision provenance JSONL\n"
       "                       (schema noceas.decisions.v1; input to explain/audit)\n"
@@ -240,16 +248,18 @@ int cmd_info(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-/// Runs one scheduler by name (no tracing/metrics; optional decision
-/// recording) — the analyze verb's way of producing schedules to dissect.
+/// Runs one scheduler by name (optional span sink and decision recording) —
+/// the analyze verb's way of producing schedules to dissect.
 /// For the repairing eas flow, `repair_out` (when non-null) receives the
 /// canonical attempt's RepairStats so callers can report rebuild economics.
 Schedule run_named_scheduler(const TaskGraph& g, const Platform& p, const std::string& which,
                              audit::DecisionLog* decisions,
-                             RepairStats* repair_out = nullptr) {
+                             RepairStats* repair_out = nullptr,
+                             obs::Tracer* tracer = nullptr) {
   if (which == "eas" || which == "eas-base") {
     EasOptions options;
     options.repair = which == "eas";
+    options.tracer = tracer;
     options.decisions = decisions;
     EasResult r = schedule_eas(g, p, options);
     if (repair_out != nullptr && options.repair) *repair_out = r.repair;
@@ -257,14 +267,40 @@ Schedule run_named_scheduler(const TaskGraph& g, const Platform& p, const std::s
   }
   if (which == "map") {
     MapScheduleOptions options;
-    options.obs = BaselineObs{nullptr, nullptr, decisions};
+    options.obs = BaselineObs{tracer, nullptr, decisions};
     return schedule_map_then_list(g, p, options).result.schedule;
   }
-  const BaselineObs obs{nullptr, nullptr, decisions};
+  const BaselineObs obs{tracer, nullptr, decisions};
   if (which == "edf") return schedule_edf(g, p, obs).schedule;
   if (which == "dls") return schedule_dls(g, p, obs).schedule;
   if (which == "greedy") return schedule_greedy_energy(g, p, obs).schedule;
   NOCEAS_REQUIRE(false, "unknown scheduler '" << which << '\'');
+}
+
+bool wants_profile(const std::map<std::string, std::string>& flags) {
+  return flags.count("profile") > 0 || flags.count("profile-folded") > 0;
+}
+
+/// --profile/--profile-folded epilogue shared by schedule/analyze/audit:
+/// snapshots the profiler against the tracer's wall clock and writes the
+/// requested exports ("noceas.profile.v1" JSON with timings; collapsed-stack
+/// folded text for speedscope/FlameGraph).
+void write_profile_outputs(const std::map<std::string, std::string>& flags,
+                           const obs::Profiler& profiler, const obs::Tracer& tracer) {
+  const obs::ProfileSnapshot snap = profiler.snapshot(tracer.now_ns());
+  if (flags.count("profile")) {
+    std::ofstream os(flags.at("profile"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("profile") << '\'');
+    obs::write_profile_json(os, snap, /*include_timings=*/true);
+    std::cout << "wrote " << flags.at("profile") << " (" << snap.records.size()
+              << " call paths)\n";
+  }
+  if (flags.count("profile-folded")) {
+    std::ofstream os(flags.at("profile-folded"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("profile-folded") << '\'');
+    obs::write_profile_folded(os, snap);
+    std::cout << "wrote " << flags.at("profile-folded") << '\n';
+  }
 }
 
 int cmd_schedule(const std::map<std::string, std::string>& flags) {
@@ -274,11 +310,18 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
   const Platform p = load_platform(flags.at("platform"));
   const std::string which = flags.count("scheduler") ? flags.at("scheduler") : "eas";
 
-  // Observability sinks, attached only when requested.
-  obs::Tracer tracer;
+  // Observability sinks, attached only when requested.  --profile attaches
+  // the streaming span profiler to the tracer spine; without --trace the
+  // spine stores no events (aggregation only, nothing to drop).
+  const bool profile = wants_profile(flags);
+  obs::Profiler profiler;
+  obs::TracerOptions tracer_options;
+  tracer_options.record_events = flags.count("trace") > 0;
+  tracer_options.profiler = profile ? &profiler : nullptr;
+  obs::Tracer tracer(tracer_options);
   obs::Registry registry;
   audit::DecisionLog decision_log;
-  obs::Tracer* const tr = flags.count("trace") ? &tracer : nullptr;
+  obs::Tracer* const tr = (flags.count("trace") || profile) ? &tracer : nullptr;
   obs::Registry* const metrics = flags.count("metrics") ? &registry : nullptr;
   audit::DecisionLog* const decisions = flags.count("decisions") ? &decision_log : nullptr;
 
@@ -383,12 +426,23 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
     std::cout << "DVS reclaims:    " << format_double(dvs.saved(), 1) << " nJ ("
               << dvs.slowed_tasks << " tasks slowed)\n";
   }
-  if (tr != nullptr) {
+  if (flags.count("trace")) {
     std::ofstream os(flags.at("trace"));
     NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("trace") << '\'');
     tracer.write_chrome_json(os);
     std::cout << "wrote " << flags.at("trace") << " (" << tracer.size() << " events)\n";
   }
+  // Dropped events are a data-integrity problem for trace consumers:
+  // surface them as a metric and a loud warning, never silently.
+  if (tr != nullptr && metrics != nullptr) {
+    registry.counter("obs.trace.dropped", "events").inc(tracer.dropped());
+  }
+  if (tracer.dropped() > 0) {
+    std::cerr << "warning: trace ring buffers overwrote " << tracer.dropped()
+              << " events (raise TracerOptions::max_events_per_lane); "
+                 "per-lane drop counts are in the trace header\n";
+  }
+  if (profile) write_profile_outputs(flags, profiler, tracer);
   if (metrics != nullptr) {
     std::ofstream os(flags.at("metrics"));
     NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("metrics") << '\'');
@@ -433,7 +487,17 @@ int cmd_audit(const std::map<std::string, std::string>& flags) {
   const audit::DecisionStream stream = load_decisions(flags.at("decisions"));
   const TaskGraph g = load_ctg(flags.at("ctg"));
   const Platform p = load_platform(flags.at("platform"));
-  const audit::ReplayReport report = replay_decisions(g, p, stream);
+
+  const bool profile = wants_profile(flags);
+  obs::Profiler profiler;
+  obs::TracerOptions spine_options;
+  spine_options.record_events = false;
+  spine_options.profiler = &profiler;
+  obs::Tracer spine(spine_options);
+
+  const audit::ReplayReport report =
+      replay_decisions(g, p, stream, profile ? &spine : nullptr);
+  if (profile) write_profile_outputs(flags, profiler, spine);
   std::cout << "scheduler:  " << stream.scheduler << '\n'
             << "attempts:   " << report.attempts << '\n'
             << "placements: " << report.placements << '\n'
@@ -456,6 +520,16 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
   const TaskGraph g = load_ctg(flags.at("ctg"));
   const Platform p = load_platform(flags.at("platform"));
 
+  // Span profiler covering both the scheduling run (when analyze schedules
+  // itself) and the analysis phases.
+  const bool profile = wants_profile(flags);
+  obs::Profiler profiler;
+  obs::TracerOptions spine_options;
+  spine_options.record_events = false;
+  spine_options.profiler = &profiler;
+  obs::Tracer spine(spine_options);
+  obs::Tracer* const tr = profile ? &spine : nullptr;
+
   // The schedule under analysis: an exported file, or a fresh scheduler run
   // with in-memory decision provenance for blocker cross-referencing.
   Schedule s;
@@ -476,7 +550,7 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
     }
   } else {
     label = flags.count("scheduler") ? flags.at("scheduler") : "eas";
-    s = run_named_scheduler(g, p, label, &decision_log, &repair);
+    s = run_named_scheduler(g, p, label, &decision_log, &repair, tr);
     stream = &decision_log.stream();
     have_repair = label == "eas";
   }
@@ -488,6 +562,7 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
   options.label = label;
   options.decisions = stream;
   options.metrics = flags.count("metrics") ? &registry : nullptr;
+  options.tracer = tr;
   const analysis::Report report = analyze_schedule(g, p, s, options);
 
   if (flags.count("json")) {
@@ -531,14 +606,16 @@ int cmd_analyze(const std::map<std::string, std::string>& flags) {
   if (flags.count("compare")) {
     const std::string other = flags.at("compare");
     audit::DecisionLog other_log;
-    const Schedule s2 = run_named_scheduler(g, p, other, &other_log);
+    const Schedule s2 = run_named_scheduler(g, p, other, &other_log, nullptr, tr);
     analysis::AnalyzeOptions other_options;
     other_options.label = other;
     other_options.decisions = &other_log.stream();
+    other_options.tracer = tr;
     const analysis::Report other_report = analyze_schedule(g, p, s2, other_options);
     std::cout << '\n';
     print_analysis_diff(std::cout, report, other_report);
   }
+  if (profile) write_profile_outputs(flags, profiler, spine);
   return 0;
 }
 
@@ -625,6 +702,7 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
                      : std::max(1u, std::thread::hardware_concurrency());
   require_usage(spec.threads > 0, "--threads must be positive");
   spec.artifacts = flags.count("artifacts") > 0;
+  spec.profile = flags.count("profile") > 0;
 
   const campaign::CampaignResult result = campaign::run_campaign(spec);
   const campaign::Aggregate aggregate =
@@ -648,7 +726,9 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
     }
   }
   std::cout << "wrote " << spec.out_dir << "/{manifest.json,aggregate.json,resources.json,"
-            << "dashboard.html}" << (spec.artifacts ? " + runs/*" : "") << '\n';
+            << "dashboard.html}"
+            << (spec.profile ? " + {profile.json,profile_timings.json,profile.folded}" : "")
+            << (spec.artifacts ? " + runs/*" : "") << '\n';
   return aggregate.failed_runs > 0 ? kExitRunFailed : kExitOk;
 }
 
@@ -670,13 +750,15 @@ int main(int argc, char** argv) {
                                       {"ctg", "platform", "scheduler", "gantt", "svg",
                                        "link-heat", "critical-path", "contention", "dot",
                                        "simulate", "dvs", "trace", "metrics", "decisions",
-                                       "schedule-out"}));
+                                       "schedule-out", "profile", "profile-folded"}));
     }
     if (cmd == "explain") {
       return cmd_explain(parse_flags(argc, argv, 2, {"decisions", "task"}));
     }
     if (cmd == "audit") {
-      return cmd_audit(parse_flags(argc, argv, 2, {"replay", "decisions", "ctg", "platform"}));
+      return cmd_audit(parse_flags(argc, argv, 2,
+                                   {"replay", "decisions", "ctg", "platform", "profile",
+                                    "profile-folded"}));
     }
     if (cmd == "validate") {
       return cmd_validate(parse_flags(argc, argv, 2,
@@ -685,12 +767,14 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") {
       return cmd_analyze(parse_flags(argc, argv, 2,
                                      {"ctg", "platform", "scheduler", "schedule", "decisions",
-                                      "json", "metrics", "svg", "top", "compare"}));
+                                      "json", "metrics", "svg", "top", "compare", "profile",
+                                      "profile-folded"}));
     }
     if (cmd == "campaign") {
       return cmd_campaign(parse_flags(argc, argv, 2,
                                       {"out", "categories", "indices", "msb", "seeds",
-                                       "seed-list", "schedulers", "threads", "artifacts"}));
+                                       "seed-list", "schedulers", "threads", "artifacts",
+                                       "profile"}));
     }
   } catch (const UsageError& e) {
     std::cerr << "usage error: " << e.what() << '\n';

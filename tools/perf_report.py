@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Render the perf trajectory (BENCH_runtime_scaling.json) as an HTML page.
+
+The trajectory file accumulates one entry per `tools/bench_compare.py
+record` invocation: revision, environment fingerprint, min-of-repetitions
+timing per benchmark, and (since the profiler landed) the per-span self
+times of one profiled run.  This tool turns it into a single
+self-contained HTML dashboard — no external assets, stdlib only:
+
+  * one row per benchmark with an inline-SVG sparkline across every
+    recorded revision; a step that grew beyond the tolerance is drawn as a
+    highlighted regression point,
+  * a revision axis covering every entry (rev, fingerprint, benchmark
+    count), so nothing recorded is silently dropped,
+  * a "where the time goes" section from the newest entry with span
+    self-times: top spans per benchmark, with the step delta against the
+    previous entry when it also carried profile data.
+
+Colors follow the repo's SVG palette (src/viz/svg_common.cpp), so the
+dashboard matches the Gantt/campaign artifacts.
+
+Usage:
+  tools/perf_report.py [--trajectory BENCH_runtime_scaling.json]
+                       [--out perf_report.html] [--tolerance 0.35]
+  tools/perf_report.py selfcheck
+
+selfcheck renders a synthetic trajectory plus the repo's real one (when
+present) and asserts the coverage invariants; ctest runs it as
+perf_report_selfcheck.
+"""
+
+import argparse
+import html
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TRAJECTORY_SCHEMA = "noceas.bench_trajectory.v1"
+
+# The categorical palette of src/viz/svg_common.cpp, in the same order.
+PALETTE = ["#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+           "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac"]
+REGRESS_COLOR = "#e15759"
+IMPROVE_COLOR = "#59a14f"
+
+CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 68em; color: #222; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 1.6em; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85em; }
+th, td { padding: 0.3em 0.6em; text-align: left; border-bottom: 1px solid #e4e4e4; }
+th { color: #666; font-weight: 600; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.chip { display: inline-block; width: 0.7em; height: 0.7em; border-radius: 50%;
+        margin-right: 0.45em; vertical-align: baseline; }
+.regress { color: #e15759; font-weight: 600; }
+.improve { color: #59a14f; }
+.muted { color: #888; }
+code { background: #f4f4f4; padding: 0.1em 0.3em; border-radius: 3px; }
+"""
+
+
+def load_trajectory(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != TRAJECTORY_SCHEMA:
+        sys.exit(f"error: unexpected trajectory schema {doc.get('schema')!r}")
+    return doc
+
+
+def series_of(entries):
+    """benchmark name -> [ms or None per entry], covering every entry."""
+    names = sorted({n for e in entries for n in e.get("bench_ms", {})})
+    return {n: [e.get("bench_ms", {}).get(n) for e in entries] for n in names}
+
+
+def step_verdicts(values, tolerance):
+    """Per entry: 'regress' / 'improve' / None vs the previous present value."""
+    verdicts = [None] * len(values)
+    prev = None
+    for i, v in enumerate(values):
+        if v is None:
+            continue
+        if prev is not None and prev > 0:
+            if v > prev * (1.0 + tolerance):
+                verdicts[i] = "regress"
+            elif v < prev * (1.0 - tolerance):
+                verdicts[i] = "improve"
+        prev = v
+    return verdicts
+
+
+def sparkline(values, verdicts, color):
+    """Inline SVG: one x slot per entry, y normalized to the series range."""
+    width, height, pad = 16 * max(1, len(values) - 1) + 12, 30, 6
+    present = [v for v in values if v is not None]
+    lo, hi = min(present), max(present)
+    span = (hi - lo) or 1.0
+
+    def xy(i, v):
+        x = pad + (16 * i if len(values) > 1 else 0)
+        y = height - pad - (v - lo) / span * (height - 2 * pad)
+        return x, y
+
+    points = [(i, v) for i, v in enumerate(values) if v is not None]
+    polyline = " ".join(f"{xy(i, v)[0]:.1f},{xy(i, v)[1]:.1f}" for i, v in points)
+    dots = []
+    for i, v in points:
+        x, y = xy(i, v)
+        if verdicts[i] == "regress":
+            dots.append(f'<circle class="regress-dot" cx="{x:.1f}" cy="{y:.1f}" r="3.4" '
+                        f'fill="{REGRESS_COLOR}"><title>regression: {v:g} ms</title></circle>')
+        elif verdicts[i] == "improve":
+            dots.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.6" fill="{IMPROVE_COLOR}">'
+                        f'<title>improvement: {v:g} ms</title></circle>')
+        else:
+            dots.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="1.8" fill="{color}"/>')
+    return (f'<svg width="{width}" height="{height}" role="img">'
+            f'<polyline points="{polyline}" fill="none" stroke="{color}" '
+            f'stroke-width="1.2"/>{"".join(dots)}</svg>')
+
+
+def fmt_ms(v):
+    return "—" if v is None else f"{v:,.2f}"
+
+
+def render(doc, tolerance):
+    """Pure trajectory -> HTML string (what selfcheck exercises)."""
+    entries = doc.get("entries", [])
+    series = series_of(entries)
+    families = sorted({n.split("/")[0] for n in series})
+    color_of = {f: PALETTE[i % len(PALETTE)] for i, f in enumerate(families)}
+
+    out = ["<!DOCTYPE html><html><head><meta charset='utf-8'>",
+           "<title>noceas perf trajectory</title>",
+           f"<style>{CSS}</style></head><body>",
+           "<h1>Perf trajectory — <code>bench/runtime_scaling</code></h1>",
+           f"<p class='muted'>{len(entries)} recorded revision(s), "
+           f"{len(series)} benchmark(s), regression tolerance "
+           f"{tolerance:.0%} per step. Rendered from "
+           f"<code>BENCH_runtime_scaling.json</code> "
+           "(<code>tools/bench_compare.py record</code> appends entries).</p>"]
+
+    # Revision axis: every entry, oldest first — full coverage by design.
+    out.append("<h2>Revisions</h2><table><tr><th>#</th><th>rev</th>"
+               "<th>fingerprint</th><th class='num'>benchmarks</th>"
+               "<th class='num'>spans profiled</th><th class='num'>regressions</th></tr>")
+    all_verdicts = {n: step_verdicts(vs, tolerance) for n, vs in series.items()}
+    for i, e in enumerate(entries):
+        n_reg = sum(1 for n in series if all_verdicts[n][i] == "regress")
+        reg = f"<td class='num regress'>{n_reg}</td>" if n_reg else "<td class='num'>0</td>"
+        spans = sum(len(v) for v in e.get("profile_self_ms", {}).values())
+        out.append(f"<tr><td>{i + 1}</td><td><code>{html.escape(str(e.get('rev', '?')))}"
+                   f"</code></td><td class='muted'><code>"
+                   f"{html.escape(str(e.get('fingerprint', '?')))}</code></td>"
+                   f"<td class='num'>{len(e.get('bench_ms', {}))}</td>"
+                   f"<td class='num'>{spans or '—'}</td>{reg}</tr>")
+    out.append("</table>")
+
+    # One sparkline row per benchmark.
+    out.append("<h2>Benchmarks</h2><table><tr><th></th><th>benchmark</th>"
+               "<th>trend</th><th class='num'>first ms</th><th class='num'>latest ms</th>"
+               "<th class='num'>last step</th><th>verdict</th></tr>")
+    for name, values in series.items():
+        verdicts = all_verdicts[name]
+        color = color_of[name.split("/")[0]]
+        present = [(i, v) for i, v in enumerate(values) if v is not None]
+        first, latest = present[0][1], present[-1][1]
+        prev = present[-2][1] if len(present) > 1 else None
+        step = (latest / prev - 1.0) if prev else None
+        verdict = verdicts[present[-1][0]]
+        step_cell = "—" if step is None else f"{step:+.1%}"
+        verdict_cell = {"regress": "<span class='regress'>REGRESSED</span>",
+                        "improve": "<span class='improve'>improved</span>",
+                        None: "<span class='muted'>steady</span>"}[verdict]
+        out.append(f"<tr><td><span class='chip' style='background:{color}'></span></td>"
+                   f"<td><code>{html.escape(name)}</code></td>"
+                   f"<td>{sparkline(values, verdicts, color)}</td>"
+                   f"<td class='num'>{fmt_ms(first)}</td><td class='num'>{fmt_ms(latest)}</td>"
+                   f"<td class='num'>{step_cell}</td><td>{verdict_cell}</td></tr>")
+    out.append("</table>")
+
+    # Span self-times of the newest profiled entry, with step deltas.
+    profiled = [e for e in entries if e.get("profile_self_ms")]
+    if profiled:
+        newest = profiled[-1]
+        before = profiled[-2] if len(profiled) > 1 else None
+        out.append(f"<h2>Where the time goes — rev "
+                   f"<code>{html.escape(str(newest.get('rev', '?')))}</code></h2>"
+                   "<p class='muted'>Exclusive self time per call path, one profiled "
+                   "run per benchmark (outside the timed loop); delta vs the previous "
+                   "profiled entry. The span that grew the most is what "
+                   "<code>bench_compare.py check</code> names as a regression's "
+                   "suspect.</p>")
+        for bench_name in sorted(newest["profile_self_ms"]):
+            spans = newest["profile_self_ms"][bench_name]
+            prev_spans = (before or {}).get("profile_self_ms", {}).get(bench_name, {})
+            out.append(f"<h3><code>{html.escape(bench_name)}</code></h3>"
+                       "<table><tr><th>call path</th><th class='num'>self ms</th>"
+                       "<th class='num'>Δ ms</th></tr>")
+            top = sorted(spans.items(), key=lambda kv: -kv[1])[:10]
+            for path, ms in top:
+                delta = ms - prev_spans[path] if path in prev_spans else None
+                if delta is None:
+                    delta_cell = "<td class='num muted'>—</td>"
+                else:
+                    cls = " regress" if delta > 0.05 * max(ms, 1e-9) and delta > 0 else ""
+                    delta_cell = f"<td class='num{cls}'>{delta:+,.2f}</td>"
+                out.append(f"<tr><td><code>{html.escape(path)}</code></td>"
+                           f"<td class='num'>{ms:,.2f}</td>{delta_cell}</tr>")
+            if len(spans) > len(top):
+                out.append(f"<tr><td class='muted' colspan='3'>… {len(spans) - len(top)} "
+                           "more span(s)</td></tr>")
+            out.append("</table>")
+
+    if not entries:
+        out.append("<p class='muted'>No entries yet — run "
+                   "<code>tools/bench_compare.py record</code>.</p>")
+    out.append("</body></html>\n")
+    return "".join(out)
+
+
+def selfcheck():
+    """Coverage invariants on a synthetic trajectory + the repo's real one."""
+    synth = {
+        "schema": TRAJECTORY_SCHEMA,
+        "entries": [
+            {"rev": "aaa1111", "fingerprint": "fp0",
+             "bench_ms": {"BM_Steady/0": 10.0, "BM_Hot/3": 100.0}},
+            {"rev": "bbb2222", "fingerprint": "fp0",
+             "bench_ms": {"BM_Steady/0": 10.3, "BM_Hot/3": 95.0, "BM_New/1": 2.0},
+             "profile_self_ms": {"BM_Hot/3": {"eas.schedule": 5.0,
+                                              "eas.schedule;probe.batch": 80.0}}},
+            {"rev": "ccc3333", "fingerprint": "fp0",
+             "bench_ms": {"BM_Steady/0": 9.9, "BM_Hot/3": 170.0, "BM_New/1": 1.1},
+             "profile_self_ms": {"BM_Hot/3": {"eas.schedule": 5.5,
+                                              "eas.schedule;probe.batch": 151.0}}},
+        ],
+    }
+    page = render(synth, 0.35)
+    for e in synth["entries"]:
+        assert str(e["rev"]) in page, f"entry {e['rev']} not covered"
+    for name in ("BM_Steady/0", "BM_Hot/3", "BM_New/1"):
+        assert name in page, f"benchmark {name} missing"
+    assert "regress-dot" in page, "the 170ms step must render a regression point"
+    assert "REGRESSED" in page
+    assert "eas.schedule;probe.batch" in page, "span table missing"
+    assert "+71.00" in page, "span delta (151-80) missing"
+    assert page.count("</html>") == 1 and page.startswith("<!DOCTYPE html>")
+
+    # A benchmark present in only some entries must still get a full row.
+    verdicts = step_verdicts([None, 2.0, 1.1], 0.35)
+    assert verdicts == [None, None, "improve"], verdicts
+
+    empty = render({"schema": TRAJECTORY_SCHEMA, "entries": []}, 0.35)
+    assert "</html>" in empty and "No entries yet" in empty
+
+    real_path = os.path.join(REPO, "BENCH_runtime_scaling.json")
+    if os.path.exists(real_path):
+        doc = load_trajectory(real_path)
+        page = render(doc, 0.35)
+        for e in doc.get("entries", []):
+            assert str(e.get("rev")) in page, f"real entry {e.get('rev')} not covered"
+        for name in {n for e in doc.get("entries", []) for n in e.get("bench_ms", {})}:
+            assert name in page, f"real benchmark {name} not covered"
+        print(f"perf_report selfcheck OK ({len(doc.get('entries', []))} real entries covered)")
+    else:
+        print("perf_report selfcheck OK (no real trajectory present)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("mode", nargs="?", choices=["render", "selfcheck"], default="render")
+    ap.add_argument("--trajectory", default=os.path.join(REPO, "BENCH_runtime_scaling.json"))
+    ap.add_argument("--out", default=os.path.join(REPO, "perf_report.html"))
+    ap.add_argument("--tolerance", type=float, default=0.35,
+                    help="per-step relative growth flagged as a regression (default 35%%)")
+    args = ap.parse_args()
+
+    if args.mode == "selfcheck":
+        return selfcheck()
+
+    doc = load_trajectory(args.trajectory)
+    page = render(doc, args.tolerance)
+    with open(args.out, "w") as f:
+        f.write(page)
+    n = len(doc.get("entries", []))
+    print(f"wrote {os.path.relpath(args.out, os.getcwd())} ({n} entries, "
+          f"{len(series_of(doc.get('entries', [])))} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,12 +12,15 @@ import unittest
 import bench_compare
 
 
-def make_baseline(bench_ms, metrics=None):
-    return {
+def make_baseline(bench_ms, metrics=None, profile=None):
+    base = {
         "schema": bench_compare.BASELINE_SCHEMA,
         "bench_ms": dict(bench_ms),
         "metrics": dict(metrics or {}),
     }
+    if profile is not None:
+        base["profile_self_ms"] = profile
+    return base
 
 
 class CompareTest(unittest.TestCase):
@@ -116,6 +119,49 @@ class CompareTest(unittest.TestCase):
                          [{"name": "campaign.eas.energy.mean",
                            "baseline": 10.0, "current": 11.0}])
         self.assertEqual(r["verdict"], "warn")
+
+    def test_regression_names_the_span_that_grew(self):
+        base = make_baseline(
+            {"a": 10.0},
+            profile={"a": {"eas.schedule": 2.0, "eas.schedule;probe.batch": 8.0}})
+        cur_profile = {"a": {"eas.schedule": 2.5, "eas.schedule;probe.batch": 17.0}}
+        r = bench_compare.compare(base, {"a": 20.0}, {}, 0.35, True, cur_profile)
+        suspect = r["benchmarks"][0]["suspect_span"]
+        self.assertEqual(suspect["path"], "eas.schedule;probe.batch")
+        self.assertEqual(suspect["baseline_ms"], 8.0)
+        self.assertEqual(suspect["current_ms"], 17.0)
+        self.assertAlmostEqual(suspect["delta_ms"], 9.0)
+        self.assertEqual(r["verdict"], "fail")
+
+    def test_regression_without_profile_data_has_no_suspect(self):
+        base = make_baseline({"a": 10.0})
+        r = bench_compare.compare(base, {"a": 20.0}, {}, 0.35, True)
+        self.assertIsNone(r["benchmarks"][0]["suspect_span"])
+
+    def test_ok_rows_carry_no_suspect_key(self):
+        base = make_baseline({"a": 10.0}, profile={"a": {"s": 9.0}})
+        r = bench_compare.compare(base, {"a": 10.0}, {}, 0.35, True, {"a": {"s": 9.0}})
+        self.assertNotIn("suspect_span", r["benchmarks"][0])
+
+    def test_attribution_counts_a_new_span_as_growth(self):
+        suspect = bench_compare.attribute_regression(
+            {"old": 5.0}, {"old": 5.0, "fresh": 4.0})
+        self.assertEqual(suspect["path"], "fresh")
+        self.assertEqual(suspect["baseline_ms"], 0.0)
+        self.assertEqual(suspect["delta_ms"], 4.0)
+
+    def test_attribution_with_no_growth_returns_none(self):
+        self.assertIsNone(bench_compare.attribute_regression({"s": 5.0}, {"s": 4.0}))
+        self.assertIsNone(bench_compare.attribute_regression({}, {"s": 4.0}))
+        self.assertIsNone(bench_compare.attribute_regression({"s": 4.0}, None))
+
+    def test_print_report_names_the_suspect(self):
+        base = make_baseline({"a": 10.0}, profile={"a": {"repair.evaluate": 6.0}})
+        r = bench_compare.compare(base, {"a": 20.0}, {}, 0.35, True,
+                                  {"a": {"repair.evaluate": 15.5}})
+        out = io.StringIO()
+        bench_compare.print_report(r, out=out)
+        self.assertIn("suspect: repair.evaluate self 6.00 -> 15.50 ms", out.getvalue())
 
     def test_print_report_renders_every_verdict(self):
         base = make_baseline({"slow": 10.0, "gone": 1.0}, {"m": 1})
