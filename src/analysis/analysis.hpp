@@ -190,6 +190,50 @@ struct Report {
   Time total_pe_wait = 0;
 };
 
+/// Length of the critical path attributed to each Reason (what kept the
+/// makespan up: raw work chained by deps, PE contention, or link contention).
+/// Shared by the diff renderer, the metrics exporter, and the campaign
+/// manifest's per-run reason mix.
+struct ReasonSplit {
+  Time dep = 0;
+  Time pe = 0;
+  Time link = 0;
+  Time head = 0;
+};
+
+[[nodiscard]] ReasonSplit split_by_reason(const CriticalPath& path);
+
+/// Scalar differences between two reports of the same problem instance,
+/// signed b − a throughout — the "downstream impact" half of a run diff.
+/// All comparisons are exact (the determinism contracts promise bit-equal
+/// runs, so any nonzero delta is a real divergence, not float noise).
+struct ReportDelta {
+  Time makespan = 0;
+  std::int64_t misses = 0;       ///< miss-count delta
+  Time tardiness = 0;
+  Energy energy_total = 0.0;
+  Energy energy_comp = 0.0;
+  Energy energy_comm = 0.0;
+  Time dep_wait = 0;
+  Time link_wait = 0;
+  Time pe_wait = 0;
+  Time cp_length = 0;
+  ReasonSplit reasons_a;         ///< a's critical-path reason mix
+  ReasonSplit reasons_b;         ///< b's critical-path reason mix
+  /// First critical-path segment where the two paths disagree (by kind+id);
+  /// == both segment counts when the paths are identical.
+  std::size_t cp_divergence = 0;
+  bool cp_identical = true;
+  std::vector<std::int32_t> moved_tasks;    ///< different PE in b
+  std::vector<std::int32_t> retimed_tasks;  ///< same PE, different start/finish
+
+  /// True when the two reports describe byte-identical outcomes.
+  [[nodiscard]] bool empty() const;
+};
+
+/// Computes the delta between two reports over the same task graph.
+[[nodiscard]] ReportDelta diff_reports(const Report& a, const Report& b);
+
 struct AnalyzeOptions {
   /// Run label copied into the report (defaults to the stream's scheduler
   /// when a stream is given, else "schedule").

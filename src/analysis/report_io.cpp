@@ -68,14 +68,11 @@ void write_task(std::ostream& os, const TaskAttribution& a, std::size_t id) {
   os << "]}";
 }
 
-/// Length of the critical path attributed to each Reason (what kept the
-/// makespan up: raw work chained by deps, PE contention, or link contention).
-struct ReasonSplit {
-  Time dep = 0;
-  Time pe = 0;
-  Time link = 0;
-  Time head = 0;
-};
+std::string seg_name(const PathSegment& seg) {
+  return (seg.kind == PathSegment::Kind::Task ? "task " : "edge ") + std::to_string(seg.id);
+}
+
+}  // namespace
 
 ReasonSplit split_by_reason(const CriticalPath& path) {
   ReasonSplit out;
@@ -91,11 +88,48 @@ ReasonSplit split_by_reason(const CriticalPath& path) {
   return out;
 }
 
-std::string seg_name(const PathSegment& seg) {
-  return (seg.kind == PathSegment::Kind::Task ? "task " : "edge ") + std::to_string(seg.id);
+bool ReportDelta::empty() const {
+  return makespan == 0 && misses == 0 && tardiness == 0 && energy_total == 0.0 &&
+         energy_comp == 0.0 && energy_comm == 0.0 && dep_wait == 0 && link_wait == 0 &&
+         pe_wait == 0 && cp_length == 0 && cp_identical && moved_tasks.empty() &&
+         retimed_tasks.empty();
 }
 
-}  // namespace
+ReportDelta diff_reports(const Report& a, const Report& b) {
+  ReportDelta d;
+  d.makespan = b.makespan - a.makespan;
+  d.misses = static_cast<std::int64_t>(b.misses.miss_count) -
+             static_cast<std::int64_t>(a.misses.miss_count);
+  d.tardiness = b.misses.total_tardiness - a.misses.total_tardiness;
+  d.energy_total = b.energy.totals.total() - a.energy.totals.total();
+  d.energy_comp = b.energy.totals.computation - a.energy.totals.computation;
+  d.energy_comm = b.energy.totals.communication - a.energy.totals.communication;
+  d.dep_wait = b.total_dep_wait - a.total_dep_wait;
+  d.link_wait = b.total_link_wait - a.total_link_wait;
+  d.pe_wait = b.total_pe_wait - a.total_pe_wait;
+  d.cp_length = b.critical_path.length - a.critical_path.length;
+  d.reasons_a = split_by_reason(a.critical_path);
+  d.reasons_b = split_by_reason(b.critical_path);
+
+  const auto& pa = a.critical_path.segments;
+  const auto& pb = b.critical_path.segments;
+  std::size_t i = 0;
+  while (i < pa.size() && i < pb.size() && pa[i].kind == pb[i].kind && pa[i].id == pb[i].id) ++i;
+  d.cp_divergence = i;
+  d.cp_identical = i == pa.size() && i == pb.size();
+
+  const std::size_t tasks = std::min(a.tasks.size(), b.tasks.size());
+  for (std::size_t t = 0; t < tasks; ++t) {
+    const TaskAttribution& ta = a.tasks[t];
+    const TaskAttribution& tb = b.tasks[t];
+    if (ta.pe != tb.pe) {
+      d.moved_tasks.push_back(static_cast<std::int32_t>(t));
+    } else if (ta.start != tb.start || ta.finish != tb.finish) {
+      d.retimed_tasks.push_back(static_cast<std::int32_t>(t));
+    }
+  }
+  return d;
+}
 
 void write_analysis_json(std::ostream& os, const Report& r) {
   os << "{\"schema\":\"noceas.analysis.v1\",\"label\":";

@@ -1,13 +1,12 @@
 #include "src/audit/decision_log.hpp"
 
-#include <cctype>
 #include <charconv>
 #include <cmath>
 #include <istream>
-#include <map>
 #include <ostream>
 
 #include "src/util/error.hpp"
+#include "src/util/json.hpp"
 
 namespace noceas::audit {
 
@@ -114,167 +113,10 @@ void write_final(std::ostream& os, const FinalRecord& f) {
 }
 
 // ---- JSON parsing ----------------------------------------------------------
-// Minimal recursive-descent parser for the subset this writer emits
-// (objects, arrays, strings, numbers, booleans, null).  Throws noceas::Error
-// on malformed input, which the CLI surfaces as a file error.
+// The subset parser is shared repo-wide (src/util/json.hpp); this file only
+// maps parsed values back onto the decision-event structs.
 
-struct Json {
-  enum class Kind : std::uint8_t { Null, Bool, Num, Str, Arr, Obj };
-  Kind kind = Kind::Null;
-  bool b = false;
-  double num = 0.0;
-  std::string str;
-  std::vector<Json> arr;
-  std::map<std::string, Json> obj;
-
-  [[nodiscard]] const Json& at(const std::string& key) const {
-    const auto it = obj.find(key);
-    NOCEAS_REQUIRE(it != obj.end(), "decision stream: missing key '" << key << '\'');
-    return it->second;
-  }
-  [[nodiscard]] std::int64_t i64() const {
-    NOCEAS_REQUIRE(kind == Kind::Num, "decision stream: expected a number");
-    return static_cast<std::int64_t>(num);
-  }
-  [[nodiscard]] std::int32_t i32() const { return static_cast<std::int32_t>(i64()); }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& line) : s_(line) {}
-
-  Json parse() {
-    Json v = value();
-    skip_ws();
-    NOCEAS_REQUIRE(i_ == s_.size(), "decision stream: trailing characters on line");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
-  }
-  char peek() {
-    skip_ws();
-    NOCEAS_REQUIRE(i_ < s_.size(), "decision stream: unexpected end of line");
-    return s_[i_];
-  }
-  void expect(char c) {
-    NOCEAS_REQUIRE(peek() == c, "decision stream: expected '" << c << '\'');
-    ++i_;
-  }
-  bool consume(char c) {
-    if (i_ < s_.size() && peek() == c) {
-      ++i_;
-      return true;
-    }
-    return false;
-  }
-
-  Json value() {
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't':
-      case 'f': return boolean();
-      case 'n': return null_value();
-      default: return number();
-    }
-  }
-
-  Json object() {
-    expect('{');
-    Json v;
-    v.kind = Json::Kind::Obj;
-    if (consume('}')) return v;
-    do {
-      Json key = string_value();
-      expect(':');
-      v.obj[key.str] = value();
-    } while (consume(','));
-    expect('}');
-    return v;
-  }
-
-  Json array() {
-    expect('[');
-    Json v;
-    v.kind = Json::Kind::Arr;
-    if (consume(']')) return v;
-    do {
-      v.arr.push_back(value());
-    } while (consume(','));
-    expect(']');
-    return v;
-  }
-
-  Json string_value() {
-    expect('"');
-    Json v;
-    v.kind = Json::Kind::Str;
-    while (i_ < s_.size() && s_[i_] != '"') {
-      if (s_[i_] == '\\') {
-        ++i_;
-        NOCEAS_REQUIRE(i_ < s_.size(), "decision stream: bad escape");
-        switch (s_[i_]) {
-          case '"': v.str += '"'; break;
-          case '\\': v.str += '\\'; break;
-          case 'n': v.str += '\n'; break;
-          default: NOCEAS_REQUIRE(false, "decision stream: unknown escape");
-        }
-        ++i_;
-      } else {
-        v.str += s_[i_++];
-      }
-    }
-    NOCEAS_REQUIRE(i_ < s_.size(), "decision stream: unterminated string");
-    ++i_;
-    return v;
-  }
-
-  Json boolean() {
-    Json v;
-    v.kind = Json::Kind::Bool;
-    if (s_.compare(i_, 4, "true") == 0) {
-      v.b = true;
-      i_ += 4;
-    } else if (s_.compare(i_, 5, "false") == 0) {
-      i_ += 5;
-    } else {
-      NOCEAS_REQUIRE(false, "decision stream: bad literal");
-    }
-    return v;
-  }
-
-  Json null_value() {
-    NOCEAS_REQUIRE(s_.compare(i_, 4, "null") == 0, "decision stream: bad literal");
-    i_ += 4;
-    Json v;
-    v.num = std::numeric_limits<double>::quiet_NaN();  // null doubles = NaN
-    return v;
-  }
-
-  Json number() {
-    const std::size_t start = i_;
-    while (i_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[i_])) || s_[i_] == '-' || s_[i_] == '+' ||
-            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E')) {
-      ++i_;
-    }
-    NOCEAS_REQUIRE(i_ > start, "decision stream: bad number");
-    Json v;
-    v.kind = Json::Kind::Num;
-    double out = 0.0;
-    const auto [ptr, ec] = std::from_chars(s_.data() + start, s_.data() + i_, out);
-    NOCEAS_REQUIRE(ec == std::errc() && ptr == s_.data() + i_, "decision stream: bad number");
-    v.num = out;
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t i_ = 0;
-};
+using Json = json::Value;
 
 std::vector<std::int32_t> parse_int_array(const Json& j) {
   NOCEAS_REQUIRE(j.kind == Json::Kind::Arr, "decision stream: expected an array");
@@ -449,7 +291,7 @@ DecisionStream read_decision_stream(std::istream& is) {
   bool saw_header = false;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
-    const Json j = Parser(line).parse();
+    const Json j = json::parse(line, "decision stream");
     if (!saw_header) {
       NOCEAS_REQUIRE(j.at("schema").str == "noceas.decisions.v1",
                      "unknown decision stream schema '" << j.at("schema").str << '\'');

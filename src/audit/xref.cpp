@@ -1,5 +1,9 @@
 #include "src/audit/xref.hpp"
 
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
 namespace noceas::audit {
 
 PlacementIndex::PlacementIndex(const DecisionStream& stream)
@@ -51,6 +55,38 @@ std::vector<const PlacementDecision*> PlacementIndex::earlier_in_attempt(
 std::size_t PlacementIndex::placement_event_index(std::int32_t task) const {
   if (task < 0 || static_cast<std::size_t>(task) >= task_to_event_.size()) return npos;
   return task_to_event_[static_cast<std::size_t>(task)];
+}
+
+StreamCursor::StreamCursor(const DecisionStream& stream) : stream_(stream) {
+  for (std::size_t i = 1; i < stream_.events.size(); ++i) {
+    NOCEAS_REQUIRE(stream_.events[i - 1].seq < stream_.events[i].seq,
+                   "decision stream: seq ids not strictly increasing at event " << i);
+  }
+}
+
+const DecisionEvent& StreamCursor::event() const {
+  NOCEAS_REQUIRE(!done(), "stream cursor: read past the end");
+  return stream_.events[index_];
+}
+
+void StreamCursor::next() {
+  NOCEAS_REQUIRE(!done(), "stream cursor: advance past the end");
+  ++index_;
+}
+
+void StreamCursor::seek(std::uint64_t seq) {
+  const auto it = std::lower_bound(
+      stream_.events.begin(), stream_.events.end(), seq,
+      [](const DecisionEvent& e, std::uint64_t s) { return e.seq < s; });
+  index_ = static_cast<std::size_t>(it - stream_.events.begin());
+}
+
+const DecisionEvent* StreamCursor::find(std::uint64_t seq) const {
+  const auto it = std::lower_bound(
+      stream_.events.begin(), stream_.events.end(), seq,
+      [](const DecisionEvent& e, std::uint64_t s) { return e.seq < s; });
+  if (it == stream_.events.end() || it->seq != seq) return nullptr;
+  return &*it;
 }
 
 }  // namespace noceas::audit

@@ -51,4 +51,35 @@ class PlacementIndex {
   std::vector<std::size_t> edge_to_event_;  ///< npos = no reservation recorded
 };
 
+/// Seq-ordered walk over a decision stream.  The recorder assigns seq ids
+/// monotonically, so two streams of the same problem can be walked in
+/// lockstep to find their first divergence; the constructor verifies the
+/// ordering (a tampered or hand-edited stream fails fast here instead of
+/// mis-diffing).  `find()` answers "what happened at seq S" in O(log n) —
+/// the lookup the diff engine and its CI tamper gate are built on.
+class StreamCursor {
+ public:
+  /// `stream` must outlive the cursor.  Throws noceas::Error when the seq
+  /// ids are not strictly increasing.
+  explicit StreamCursor(const DecisionStream& stream);
+
+  [[nodiscard]] bool done() const { return index_ >= stream_.events.size(); }
+  [[nodiscard]] const DecisionEvent& event() const;
+  [[nodiscard]] std::uint64_t seq() const { return event().seq; }
+  [[nodiscard]] std::size_t index() const { return index_; }
+  void next();
+
+  /// Repositions at the first event with seq >= `seq` (or end()).
+  void seek(std::uint64_t seq);
+
+  /// Event with exactly this seq; nullptr when the stream holds none.
+  [[nodiscard]] const DecisionEvent* find(std::uint64_t seq) const;
+
+  [[nodiscard]] const DecisionStream& stream() const { return stream_; }
+
+ private:
+  const DecisionStream& stream_;
+  std::size_t index_ = 0;
+};
+
 }  // namespace noceas::audit

@@ -116,17 +116,10 @@ SchedRun run_scheduler(const std::string& which, const TaskGraph& g, const Platf
 }
 
 ReasonMix reason_mix(const analysis::CriticalPath& path) {
-  ReasonMix mix;
-  for (const analysis::PathSegment& seg : path.segments) {
-    const Time len = seg.finish - seg.start;
-    switch (seg.reason) {
-      case analysis::PathSegment::Reason::Dep: mix.dep += len; break;
-      case analysis::PathSegment::Reason::PeBusy: mix.pe_busy += len; break;
-      case analysis::PathSegment::Reason::LinkBusy: mix.link_busy += len; break;
-      default: mix.head += len; break;
-    }
-  }
-  return mix;
+  // One reason-attribution code path repo-wide (analysis::split_by_reason),
+  // so the manifest's mix can never drift from the analysis report's.
+  const analysis::ReasonSplit split = analysis::split_by_reason(path);
+  return ReasonMix{split.head, split.dep, split.pe, split.link};
 }
 
 /// Relative artifact paths inside the manifest directory (deterministic —

@@ -1,0 +1,250 @@
+// Differential observability: explain how two runs diverged, not just that
+// they did.
+//
+// The repo's trust gates (bit-identity tests, bench_compare, replay audit)
+// can prove two runs differ; this module answers the follow-up question.
+// Given two runs of the same problem it finds the **first divergent
+// decision** — same seq, different chosen (task, PE), timing, candidate
+// table, or link reservations — renders the side-by-side candidate-table
+// delta, and quantifies the downstream impact by diffing the two analysis
+// reports (energy attribution, critical-path reason mix, wait
+// decomposition, deadline accounting).  A second mode diffs whole campaign
+// manifests: per-(app, seed, scheduler) row deltas, regressed units ranked
+// by |Δenergy| then |Δmakespan|, and win-matrix flips.
+//
+// Everything is a pure function of its inputs and fully deterministic: the
+// JSON document ("noceas.diff.v1") is byte-identical however the inputs
+// were produced (any --threads value), and a self-diff is provably empty —
+// `RunDiff::identical()` / `CampaignDiff::identical()` drive the CLI's
+// exit-code contract (0 = empty diff, 1 = divergence found).
+//
+// This target (noceas_diff) sits above analysis and campaign; it is built
+// separately from noceas_obs so the low-level tracer/metrics library keeps
+// its util-only footprint.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analysis.hpp"
+#include "src/audit/decision_log.hpp"
+#include "src/campaign/aggregate.hpp"
+#include "src/campaign/manifest_io.hpp"
+#include "src/core/schedule.hpp"
+
+namespace noceas::diff {
+
+// ---- run diff: decision streams --------------------------------------------
+
+/// One row of the side-by-side candidate table at the divergent decision,
+/// merged by (task, PE).  `differs` flags rows present on both sides with
+/// different F(i,k)/E(i,k)/feasibility/score.
+struct CandidateDelta {
+  std::int32_t task = -1;
+  std::int32_t pe = -1;
+  bool in_a = false;
+  bool in_b = false;
+  audit::CandidateRow a;  ///< valid when in_a
+  audit::CandidateRow b;  ///< valid when in_b
+  bool differs = false;
+  bool chosen_a = false;  ///< this (task, pe) is what side A committed
+  bool chosen_b = false;
+};
+
+/// One committed link reservation at the divergent decision, merged by edge.
+struct CommDelta {
+  std::int32_t edge = -1;
+  bool in_a = false;
+  bool in_b = false;
+  audit::CommRecord a;
+  audit::CommRecord b;
+  bool differs = false;  ///< start/duration/route differ between the sides
+};
+
+/// The first divergent event between two decision streams.
+struct StreamDivergence {
+  /// What differed first, in diagnosis order (the coarsest signal wins):
+  enum class What : std::uint8_t {
+    Header,      ///< scheduler name or problem shape
+    Seq,         ///< event seq ids disagree (stream edited/truncated mid-way)
+    Kind,        ///< same seq, different event kind
+    Attempt,     ///< different attempt index
+    Choice,      ///< Place: different chosen (task, PE)
+    Timing,      ///< Place: same choice, different start/finish/budget
+    Rule,        ///< Place: different rule fired or different ready set
+    Candidates,  ///< Place: same outcome, different candidate table
+    Comms,       ///< Place: different link reservations
+    Repair,      ///< repair begin/move/end fields differ
+    Length,      ///< one stream ends early
+    Final,       ///< events identical, final records differ
+  };
+
+  bool found = false;
+  What what = What::Choice;
+  std::uint64_t seq = 0;    ///< seq of the divergent event (first extra for Length)
+  std::size_t index = 0;    ///< event index of the divergence
+  std::string detail;       ///< one-line human summary
+  bool has_a = false;       ///< `a` below holds the divergent event of side A
+  bool has_b = false;
+  audit::DecisionEvent a;
+  audit::DecisionEvent b;
+  std::vector<CandidateDelta> candidates;  ///< merged table (both sides Place)
+  std::vector<CommDelta> comms;            ///< merged reservations (both Place)
+};
+
+[[nodiscard]] const char* to_string(StreamDivergence::What w);
+
+/// Walks both streams in seq lockstep and reports the first divergence.
+[[nodiscard]] StreamDivergence diff_streams(const audit::DecisionStream& a,
+                                            const audit::DecisionStream& b);
+
+// ---- run diff: schedules ---------------------------------------------------
+
+/// First differing row between two schedules — the stream-less fallback,
+/// and a cross-check when streams are present.
+struct ScheduleDivergence {
+  enum class Where : std::uint8_t { TaskCount, CommCount, Task, Comm };
+
+  bool found = false;
+  Where where = Where::Task;
+  std::int32_t id = -1;  ///< task id or edge id (row counts: the smaller size)
+  TaskPlacement task_a, task_b;
+  CommPlacement comm_a, comm_b;
+};
+
+[[nodiscard]] ScheduleDivergence diff_schedule_rows(const Schedule& a, const Schedule& b);
+
+// ---- run diff: assembled ---------------------------------------------------
+
+/// Scalar outcome of one side, echoed into the JSON document.
+struct RunSummary {
+  Time makespan = 0;
+  std::uint64_t misses = 0;
+  Time tardiness = 0;
+  Energy energy_total = 0.0;
+  Energy energy_comp = 0.0;
+  Energy energy_comm = 0.0;
+  Time dep_wait = 0;
+  Time link_wait = 0;
+  Time pe_wait = 0;
+  Time cp_length = 0;
+  analysis::ReasonSplit reasons;
+};
+
+[[nodiscard]] RunSummary summarize_report(const analysis::Report& r);
+
+/// One side of a run diff.  `schedule` is required; `stream` unlocks the
+/// decision-level divergence, `report` the downstream-impact delta.
+struct RunSide {
+  std::string label;
+  const Schedule* schedule = nullptr;
+  const audit::DecisionStream* stream = nullptr;
+  const analysis::Report* report = nullptr;
+};
+
+struct RunDiff {
+  std::string label_a, label_b;
+  bool has_streams = false;
+  StreamDivergence stream;
+  ScheduleDivergence schedule;
+  bool has_impact = false;
+  RunSummary summary_a, summary_b;
+  analysis::ReportDelta impact;
+
+  /// Empty diff: no divergence at any layer that was compared.
+  [[nodiscard]] bool identical() const;
+};
+
+[[nodiscard]] RunDiff diff_runs(const RunSide& a, const RunSide& b);
+
+// ---- campaign diff ---------------------------------------------------------
+
+/// Delta of one (app, seed, scheduler) unit between two campaigns.
+struct UnitDelta {
+  enum class Status : std::uint8_t {
+    Unchanged,    ///< both ok, all row fields identical
+    Changed,      ///< both ok, some field differs
+    OnlyA,        ///< unit missing from campaign B
+    OnlyB,        ///< unit missing from campaign A
+    NewlyFailed,  ///< ok in A, failed in B
+    NewlyFixed,   ///< failed in A, ok in B
+    BothFailed,   ///< failed on both sides
+  };
+
+  std::string id;
+  Status status = Status::Unchanged;
+  campaign::RunOutcome a;  ///< valid unless OnlyB
+  campaign::RunOutcome b;  ///< valid unless OnlyA
+  // Signed deltas (b − a), meaningful when both sides are ok.
+  double d_energy = 0.0;
+  Time d_makespan = 0;
+  std::int64_t d_misses = 0;
+};
+
+[[nodiscard]] const char* to_string(UnitDelta::Status s);
+
+/// A win-matrix cell that changed between the two campaigns' aggregates.
+struct WinFlip {
+  std::string metric;  ///< "energy" | "makespan"
+  std::string row, col;
+  campaign::WinCell a, b;
+};
+
+/// Per-scheduler population delta, recomputed from the manifest rows with
+/// the aggregate's own unit-order accumulation (so these reconcile
+/// bit-exactly with the aggregate documents).
+struct SchedulerDelta {
+  std::string scheduler;
+  std::size_t runs_a = 0, runs_b = 0;
+  double mean_energy_a = 0.0, mean_energy_b = 0.0;
+  double mean_makespan_a = 0.0, mean_makespan_b = 0.0;
+  double miss_rate_a = 0.0, miss_rate_b = 0.0;
+};
+
+struct CampaignDiff {
+  std::vector<UnitDelta> units;  ///< union of run ids: A's order, then new-in-B
+  std::size_t unchanged = 0, changed = 0, only_a = 0, only_b = 0, newly_failed = 0,
+              newly_fixed = 0, both_failed = 0;
+  /// Indices into `units` of Changed units where any metric got worse
+  /// (improved: strictly better on some metric, worse on none), ranked by
+  /// |Δenergy| desc, then |Δmakespan| desc, then unit order.
+  std::vector<std::size_t> regressed;
+  std::vector<std::size_t> improved;
+  std::vector<WinFlip> flips;
+  std::vector<SchedulerDelta> schedulers;  ///< union of scheduler lists
+
+  [[nodiscard]] bool identical() const;
+};
+
+/// Verifies that `agg` is bit-exactly the aggregate of the manifest's rows
+/// (recomputed with the same unit-order accumulation).  Returns mismatch
+/// descriptions; empty = consistent.
+[[nodiscard]] std::vector<std::string> reconcile(const campaign::Manifest& m,
+                                                 const campaign::Aggregate& agg);
+
+/// Diffs two campaigns from their parsed manifests + aggregates.  Throws
+/// noceas::Error when either aggregate fails to reconcile with its own
+/// manifest (a corrupted or hand-edited artifact pair must not be ranked).
+[[nodiscard]] CampaignDiff diff_campaigns(const campaign::Manifest& a,
+                                          const campaign::Aggregate& agg_a,
+                                          const campaign::Manifest& b,
+                                          const campaign::Aggregate& agg_b);
+
+// ---- output ----------------------------------------------------------------
+
+/// Writes the "noceas.diff.v1" document, mode "run".  Complete and
+/// deterministic: byte-identical for identical inputs.
+void write_run_diff_json(std::ostream& os, const RunDiff& d);
+
+/// Writes the "noceas.diff.v1" document, mode "campaign".
+void write_campaign_diff_json(std::ostream& os, const CampaignDiff& d);
+
+/// Human-readable run report; `top` caps the candidate/comm delta tables.
+void print_run_diff(std::ostream& os, const RunDiff& d, std::size_t top = 10);
+
+/// Human-readable campaign report; `top` caps the ranked unit lists.
+void print_campaign_diff(std::ostream& os, const CampaignDiff& d, std::size_t top = 10);
+
+}  // namespace noceas::diff

@@ -1,0 +1,155 @@
+#include "src/util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <limits>
+
+namespace noceas::json {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& what) : s_(text), what_(what) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    NOCEAS_REQUIRE(i_ == s_.size(), what_ << ": trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
+  }
+  char peek() {
+    skip_ws();
+    NOCEAS_REQUIRE(i_ < s_.size(), what_ << ": unexpected end of input");
+    return s_[i_];
+  }
+  void expect(char c) {
+    NOCEAS_REQUIRE(peek() == c, what_ << ": expected '" << c << '\'');
+    ++i_;
+  }
+  bool consume(char c) {
+    if (i_ < s_.size() && peek() == c) {
+      ++i_;
+      return true;
+    }
+    return false;
+  }
+
+  Value value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+      case 'f': return boolean();
+      case 'n': return null_value();
+      default: return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::Obj;
+    if (consume('}')) return v;
+    do {
+      Value key = string_value();
+      expect(':');
+      v.obj[key.str] = value();
+    } while (consume(','));
+    expect('}');
+    return v;
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::Arr;
+    if (consume(']')) return v;
+    do {
+      v.arr.push_back(value());
+    } while (consume(','));
+    expect(']');
+    return v;
+  }
+
+  Value string_value() {
+    expect('"');
+    Value v;
+    v.kind = Value::Kind::Str;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') {
+        ++i_;
+        NOCEAS_REQUIRE(i_ < s_.size(), what_ << ": bad escape");
+        switch (s_[i_]) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case 'n': v.str += '\n'; break;
+          default: NOCEAS_REQUIRE(false, what_ << ": unknown escape");
+        }
+        ++i_;
+      } else {
+        v.str += s_[i_++];
+      }
+    }
+    NOCEAS_REQUIRE(i_ < s_.size(), what_ << ": unterminated string");
+    ++i_;
+    return v;
+  }
+
+  Value boolean() {
+    Value v;
+    v.kind = Value::Kind::Bool;
+    if (s_.compare(i_, 4, "true") == 0) {
+      v.b = true;
+      i_ += 4;
+    } else if (s_.compare(i_, 5, "false") == 0) {
+      i_ += 5;
+    } else {
+      NOCEAS_REQUIRE(false, what_ << ": bad literal");
+    }
+    return v;
+  }
+
+  Value null_value() {
+    NOCEAS_REQUIRE(s_.compare(i_, 4, "null") == 0, what_ << ": bad literal");
+    i_ += 4;
+    Value v;
+    v.num = std::numeric_limits<double>::quiet_NaN();  // null doubles = NaN
+    return v;
+  }
+
+  Value number() {
+    const std::size_t start = i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) || s_[i_] == '-' || s_[i_] == '+' ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+    }
+    NOCEAS_REQUIRE(i_ > start, what_ << ": bad number");
+    Value v;
+    v.kind = Value::Kind::Num;
+    double out = 0.0;
+    const auto [ptr, ec] = std::from_chars(s_.data() + start, s_.data() + i_, out);
+    NOCEAS_REQUIRE(ec == std::errc() && ptr == s_.data() + i_, what_ << ": bad number");
+    v.num = out;
+    return v;
+  }
+
+  const std::string& s_;
+  const std::string& what_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text, const std::string& what) {
+  return Parser(text, what).parse();
+}
+
+}  // namespace noceas::json

@@ -1,0 +1,52 @@
+// Minimal JSON reader shared by every artifact-consuming layer.
+//
+// The repo's writers (decision streams, analysis reports, campaign manifests
+// and aggregates) emit a small, predictable subset of JSON: objects, arrays,
+// strings, shortest-round-trip numbers, booleans, and null.  This is the one
+// recursive-descent parser for that subset — extracted from the decision-log
+// reader so the campaign manifest reader and the diff engine parse the same
+// way instead of growing private copies.
+//
+// Conventions match the writers: `null` numbers read back as NaN (the
+// writers emit `null` for NaN/inf), and malformed input throws noceas::Error
+// tagged with the caller-supplied context string so the CLI can surface
+// "manifest: bad number" rather than a bare parse error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace noceas::json {
+
+struct Value {
+  enum class Kind : std::uint8_t { Null, Bool, Num, Str, Arr, Obj };
+  Kind kind = Kind::Null;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::map<std::string, Value> obj;
+
+  [[nodiscard]] bool has(const std::string& key) const { return obj.contains(key); }
+  [[nodiscard]] const Value& at(const std::string& key) const {
+    const auto it = obj.find(key);
+    NOCEAS_REQUIRE(it != obj.end(), "json: missing key '" << key << '\'');
+    return it->second;
+  }
+  [[nodiscard]] std::int64_t i64() const {
+    NOCEAS_REQUIRE(kind == Kind::Num, "json: expected a number");
+    return static_cast<std::int64_t>(num);
+  }
+  [[nodiscard]] std::int32_t i32() const { return static_cast<std::int32_t>(i64()); }
+  [[nodiscard]] std::uint64_t u64() const { return static_cast<std::uint64_t>(i64()); }
+};
+
+/// Parse one complete JSON document (a line of JSONL or a whole file).
+/// `what` tags error messages, e.g. "decision stream" or "manifest".
+Value parse(const std::string& text, const std::string& what = "json");
+
+}  // namespace noceas::json

@@ -1,0 +1,57 @@
+#include "src/util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+#include "src/util/error.hpp"
+
+namespace noceas::log {
+
+namespace {
+
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_level{-1};
+
+int env_level() {
+  const char* env = std::getenv("NOCEAS_LOG");
+  if (env == nullptr || *env == '\0') return static_cast<int>(Level::Warn);
+  try {
+    return static_cast<int>(parse_level(env));
+  } catch (...) {
+    return static_cast<int>(Level::Warn);  // bad env value: keep the default
+  }
+}
+
+}  // namespace
+
+Level level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = env_level();
+    int expected = -1;
+    // First writer wins; a concurrent set_level() is preserved.
+    g_level.compare_exchange_strong(expected, v, std::memory_order_relaxed);
+    v = g_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<Level>(v);
+}
+
+void set_level(Level lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+Level parse_level(const std::string& name) {
+  if (name == "error") return Level::Error;
+  if (name == "warn") return Level::Warn;
+  NOCEAS_REQUIRE(name == "info", "unknown log level '" << name << "' (expected error|warn|info)");
+  return Level::Info;
+}
+
+bool enabled(Level at) { return static_cast<int>(at) <= static_cast<int>(level()); }
+
+void emit(Level at, const std::string& message) {
+  if (!enabled(at)) return;
+  const char* tag = at == Level::Error ? "error" : at == Level::Warn ? "warning" : "info";
+  std::cerr << tag << ": " << message << '\n';
+}
+
+}  // namespace noceas::log

@@ -1,0 +1,55 @@
+// Tiny leveled logger for the few diagnostic prints the toolchain emits.
+//
+// Campaign fleets run thousands of units; an ad-hoc `std::cerr << "warning:"`
+// per unit (e.g. the tracer ring-buffer truncation notice) turns into
+// thousands of interleaved lines that differ run to run.  Routing those
+// prints through one gate makes them suppressible deterministically:
+//
+//   noceas --log-level error campaign ...    # CLI flag
+//   NOCEAS_LOG=error noceas campaign ...     # environment
+//
+// Levels: error (always actionable), warn (default), info (chatty).  The
+// flag wins over the environment; both parse the same level names.  Output
+// goes to stderr prefixed with the level so existing `2>/dev/null` habits
+// and CI greps keep working.  This is intentionally not a general logging
+// framework — no timestamps, no categories, no sinks — just a deterministic
+// mute button.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace noceas::log {
+
+enum class Level : int { Error = 0, Warn = 1, Info = 2 };
+
+/// Current minimum level. Initialized lazily from NOCEAS_LOG on first use;
+/// set_level() (e.g. from --log-level) overrides the environment.
+Level level();
+void set_level(Level level);
+
+/// Parse "error"/"warn"/"info"; throws noceas::Error on anything else.
+Level parse_level(const std::string& name);
+
+/// True when messages at `at` would be emitted — use to skip building
+/// expensive messages.
+bool enabled(Level at);
+
+/// Emit one line to stderr as "<level>: <message>\n" when enabled.
+void emit(Level at, const std::string& message);
+
+}  // namespace noceas::log
+
+// Streaming convenience: NOCEAS_WARN("trace dropped " << n << " events");
+#define NOCEAS_LOG_AT(lvl, expr)                          \
+  do {                                                    \
+    if (::noceas::log::enabled(lvl)) {                    \
+      std::ostringstream noceas_log_os_;                  \
+      noceas_log_os_ << expr;                             \
+      ::noceas::log::emit(lvl, noceas_log_os_.str());     \
+    }                                                     \
+  } while (0)
+
+#define NOCEAS_ERROR(expr) NOCEAS_LOG_AT(::noceas::log::Level::Error, expr)
+#define NOCEAS_WARN(expr) NOCEAS_LOG_AT(::noceas::log::Level::Warn, expr)
+#define NOCEAS_INFO(expr) NOCEAS_LOG_AT(::noceas::log::Level::Info, expr)

@@ -1,0 +1,445 @@
+// Differential observability tests.
+//
+// The load-bearing properties: (1) a self-diff is provably empty for every
+// scheduler on 50 seeds, and the emitted "noceas.diff.v1" document is
+// byte-deterministic across independent reruns; (2) a single tampered
+// decision is localized to exactly that seq, with the right divergence class
+// and a correct side-by-side candidate-table delta; (3) the campaign diff
+// refuses aggregates that do not reconcile bit-exactly with their manifest,
+// and ranks regressed/improved units deterministically.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "src/analysis/analysis.hpp"
+#include "src/audit/decision_log.hpp"
+#include "src/audit/xref.hpp"
+#include "src/baseline/dls.hpp"
+#include "src/baseline/edf.hpp"
+#include "src/baseline/greedy_energy.hpp"
+#include "src/baseline/map_then_schedule.hpp"
+#include "src/campaign/aggregate.hpp"
+#include "src/campaign/campaign.hpp"
+#include "src/campaign/manifest_io.hpp"
+#include "src/core/eas.hpp"
+#include "src/gen/tgff.hpp"
+#include "src/obs/diff.hpp"
+
+namespace noceas {
+namespace {
+
+struct Instance {
+  TaskGraph g;
+  Platform p;
+};
+
+/// Same construction as audit_test: small instances, odd seeds tight enough
+/// that repair engages and streams carry moves.
+Instance make_instance(std::uint64_t seed) {
+  const int rows = 2 + static_cast<int>(seed % 2);
+  const int cols = 3;
+  const PeCatalog catalog = make_hetero_catalog(rows, cols, seed * 31 + 5);
+  TgffParams params;
+  params.num_tasks = 26;
+  params.num_edges = 52;
+  params.avg_layer_width = 5.0;
+  params.seed = seed * 977 + 11;
+  if (seed % 2 == 1) {
+    params.deadline_tightness_min = 0.8;
+    params.deadline_tightness_max = 1.1;
+    params.interior_deadline_fraction = 0.15;
+  }
+  return {generate_tgff_like(params, catalog), make_platform_for(catalog, rows, cols)};
+}
+
+const char* const kSchedulers[] = {"eas", "eas-base", "edf", "dls", "greedy", "map"};
+
+Schedule run_scheduler(const std::string& which, const TaskGraph& g, const Platform& p,
+                       audit::DecisionLog* log) {
+  if (which == "eas" || which == "eas-base") {
+    EasOptions options;
+    options.repair = which == "eas";
+    options.decisions = log;
+    return schedule_eas(g, p, options).schedule;
+  }
+  BaselineObs obs;
+  obs.decisions = log;
+  if (which == "edf") return schedule_edf(g, p, obs).schedule;
+  if (which == "dls") return schedule_dls(g, p, obs).schedule;
+  if (which == "greedy") return schedule_greedy_energy(g, p, obs).schedule;
+  NOCEAS_REQUIRE(which == "map", "unknown scheduler " << which);
+  MapScheduleOptions options;
+  options.obs = obs;
+  return schedule_map_then_list(g, p, options).result.schedule;
+}
+
+std::string run_diff_json(const diff::RunDiff& d) {
+  std::ostringstream os;
+  diff::write_run_diff_json(os, d);
+  return os.str();
+}
+
+/// Finds the index of the `n`-th Place event of a stream.
+std::size_t nth_place(const audit::DecisionStream& stream, std::size_t n) {
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < stream.events.size(); ++i) {
+    if (stream.events[i].kind != audit::DecisionEvent::Kind::Place) continue;
+    if (seen++ == n) return i;
+  }
+  ADD_FAILURE() << "stream has fewer than " << n + 1 << " place events";
+  return 0;
+}
+
+// ---- 50-seed self-diff property --------------------------------------------
+
+TEST(RunDiff, FiftySeedsAllSchedulersSelfDiffEmptyAndByteDeterministic) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const Instance in = make_instance(seed);
+    for (const char* which : kSchedulers) {
+      SCOPED_TRACE(std::string(which) + " seed " + std::to_string(seed));
+      // Two fully independent runs of the same problem.
+      audit::DecisionLog log1, log2;
+      const Schedule s1 = run_scheduler(which, in.g, in.p, &log1);
+      const Schedule s2 = run_scheduler(which, in.g, in.p, &log2);
+
+      const diff::RunSide a{"a", &s1, &log1.stream(), nullptr};
+      const diff::RunSide b{"b", &s2, &log2.stream(), nullptr};
+      const diff::RunDiff d = diff::diff_runs(a, b);
+      EXPECT_TRUE(d.identical())
+          << "self-diff non-empty: " << (d.stream.found ? d.stream.detail : "schedule rows");
+      EXPECT_FALSE(d.stream.found);
+      EXPECT_FALSE(d.schedule.found);
+      // The document for the rerun pair is byte-identical to a re-serialization.
+      const std::string doc = run_diff_json(d);
+      EXPECT_EQ(doc, run_diff_json(diff::diff_runs(a, b)));
+    }
+  }
+}
+
+TEST(RunDiff, SelfDiffWithReportsIsEmptyAndDocumentIsStable) {
+  const Instance in = make_instance(7);
+  audit::DecisionLog log1, log2;
+  const Schedule s1 = run_scheduler("eas", in.g, in.p, &log1);
+  const Schedule s2 = run_scheduler("eas", in.g, in.p, &log2);
+  analysis::AnalyzeOptions options;
+  options.decisions = &log1.stream();
+  const analysis::Report r1 = analyze_schedule(in.g, in.p, s1, options);
+  options.decisions = &log2.stream();
+  const analysis::Report r2 = analyze_schedule(in.g, in.p, s2, options);
+
+  const diff::RunSide a{"a", &s1, &log1.stream(), &r1};
+  const diff::RunSide b{"b", &s2, &log2.stream(), &r2};
+  const diff::RunDiff d = diff::diff_runs(a, b);
+  EXPECT_TRUE(d.identical());
+  EXPECT_TRUE(d.impact.empty());
+  const std::string doc = run_diff_json(d);
+  EXPECT_NE(doc.find("\"identical\":true"), std::string::npos);
+  EXPECT_EQ(doc, run_diff_json(diff::diff_runs(a, b)));
+}
+
+// ---- tamper localization ----------------------------------------------------
+
+TEST(StreamDiff, TamperedChoiceIsLocalizedToExactSeqWithCandidateDelta) {
+  const Instance in = make_instance(4);
+  audit::DecisionLog log;
+  const Schedule s = run_scheduler("eas-base", in.g, in.p, &log);
+  const audit::DecisionStream& a = log.stream();
+
+  audit::DecisionStream b = a;
+  const std::size_t idx = nth_place(b, 9);
+  audit::PlacementDecision& place = b.events[idx].place;
+  // Re-choose a different PE that is in the candidate table, so the delta
+  // marks both chosen rows.
+  std::int32_t other_pe = -1;
+  for (const audit::CandidateRow& row : place.candidates) {
+    if (row.task == place.task && row.pe != place.pe) {
+      other_pe = row.pe;
+      break;
+    }
+  }
+  ASSERT_GE(other_pe, 0) << "candidate table has no alternative PE for the task";
+  const std::int32_t original_pe = place.pe;
+  place.pe = other_pe;
+
+  const diff::StreamDivergence d = diff::diff_streams(a, b);
+  ASSERT_TRUE(d.found);
+  EXPECT_EQ(d.what, diff::StreamDivergence::What::Choice);
+  EXPECT_EQ(d.seq, a.events[idx].seq);
+  EXPECT_EQ(d.index, idx);
+  ASSERT_TRUE(d.has_a);
+  ASSERT_TRUE(d.has_b);
+  EXPECT_EQ(d.a.place.pe, original_pe);
+  EXPECT_EQ(d.b.place.pe, other_pe);
+
+  // Candidate-table delta: exactly one row chosen per side, rows themselves
+  // unchanged (the tamper moved the choice, not the table).
+  std::size_t chosen_a = 0, chosen_b = 0, differing = 0;
+  for (const diff::CandidateDelta& c : d.candidates) {
+    if (c.chosen_a) {
+      ++chosen_a;
+      EXPECT_EQ(c.pe, original_pe);
+    }
+    if (c.chosen_b) {
+      ++chosen_b;
+      EXPECT_EQ(c.pe, other_pe);
+    }
+    if (c.differs) ++differing;
+  }
+  EXPECT_EQ(chosen_a, 1u);
+  EXPECT_EQ(chosen_b, 1u);
+  EXPECT_EQ(differing, 0u);
+}
+
+TEST(StreamDiff, ClassifiesTimingRuleCandidateAndCommTampering) {
+  const Instance in = make_instance(2);
+  audit::DecisionLog log;
+  (void)run_scheduler("eas-base", in.g, in.p, &log);
+  const audit::DecisionStream& a = log.stream();
+
+  {  // Same choice, shifted finish → Timing.
+    audit::DecisionStream b = a;
+    const std::size_t idx = nth_place(b, 3);
+    b.events[idx].place.finish += 1;
+    const diff::StreamDivergence d = diff::diff_streams(a, b);
+    ASSERT_TRUE(d.found);
+    EXPECT_EQ(d.what, diff::StreamDivergence::What::Timing);
+    EXPECT_EQ(d.seq, a.events[idx].seq);
+  }
+  {  // Different rule label → Rule.
+    audit::DecisionStream b = a;
+    const std::size_t idx = nth_place(b, 3);
+    b.events[idx].place.rule = "forged";
+    const diff::StreamDivergence d = diff::diff_streams(a, b);
+    ASSERT_TRUE(d.found);
+    EXPECT_EQ(d.what, diff::StreamDivergence::What::Rule);
+  }
+  {  // Same outcome, one candidate energy nudged → Candidates, row flagged.
+    audit::DecisionStream b = a;
+    const std::size_t idx = nth_place(b, 3);
+    ASSERT_FALSE(b.events[idx].place.candidates.empty());
+    b.events[idx].place.candidates[0].energy += 0.5;
+    const diff::StreamDivergence d = diff::diff_streams(a, b);
+    ASSERT_TRUE(d.found);
+    EXPECT_EQ(d.what, diff::StreamDivergence::What::Candidates);
+    std::size_t differing = 0;
+    for (const diff::CandidateDelta& c : d.candidates)
+      if (c.differs) ++differing;
+    EXPECT_EQ(differing, 1u);
+  }
+  {  // Shifted link reservation → Comms.
+    audit::DecisionStream b = a;
+    bool tampered = false;
+    for (audit::DecisionEvent& e : b.events) {
+      if (e.kind == audit::DecisionEvent::Kind::Place && !e.place.comms.empty()) {
+        e.place.comms[0].start += 1;
+        tampered = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(tampered) << "no placement carried a link reservation";
+    const diff::StreamDivergence d = diff::diff_streams(a, b);
+    ASSERT_TRUE(d.found);
+    EXPECT_EQ(d.what, diff::StreamDivergence::What::Comms);
+  }
+  {  // Edited seq numbering → Seq.
+    audit::DecisionStream b = a;
+    b.events[5].seq += 1;
+    // The cursor rejects non-monotonic seqs, so renumber the tail too.
+    for (std::size_t i = 6; i < b.events.size(); ++i) b.events[i].seq += 1;
+    const diff::StreamDivergence d = diff::diff_streams(a, b);
+    ASSERT_TRUE(d.found);
+    EXPECT_EQ(d.what, diff::StreamDivergence::What::Seq);
+    EXPECT_EQ(d.index, 5u);
+  }
+  {  // Truncated stream → Length.
+    audit::DecisionStream b = a;
+    b.events.resize(b.events.size() / 2);
+    const diff::StreamDivergence d = diff::diff_streams(a, b);
+    ASSERT_TRUE(d.found);
+    EXPECT_EQ(d.what, diff::StreamDivergence::What::Length);
+    EXPECT_TRUE(d.has_a);
+    EXPECT_FALSE(d.has_b);
+  }
+  {  // Forged final energy → Final.
+    audit::DecisionStream b = a;
+    ASSERT_TRUE(b.has_final);
+    b.final.computation_energy += 1.0;
+    const diff::StreamDivergence d = diff::diff_streams(a, b);
+    ASSERT_TRUE(d.found);
+    EXPECT_EQ(d.what, diff::StreamDivergence::What::Final);
+  }
+}
+
+TEST(ScheduleDiff, FirstDifferingRowIsNamed) {
+  const Instance in = make_instance(1);
+  const Schedule a = run_scheduler("edf", in.g, in.p, nullptr);
+  EXPECT_FALSE(diff::diff_schedule_rows(a, a).found);
+
+  Schedule b = a;
+  b.tasks[11].start += 3;
+  b.tasks[11].finish += 3;
+  const diff::ScheduleDivergence d = diff::diff_schedule_rows(a, b);
+  ASSERT_TRUE(d.found);
+  EXPECT_EQ(d.where, diff::ScheduleDivergence::Where::Task);
+  EXPECT_EQ(d.id, 11);
+
+  Schedule c = a;
+  c.comms.pop_back();
+  EXPECT_EQ(diff::diff_schedule_rows(a, c).where, diff::ScheduleDivergence::Where::CommCount);
+}
+
+// ---- stream cursor ----------------------------------------------------------
+
+TEST(StreamCursor, SeekAndFindBySeq) {
+  const Instance in = make_instance(3);
+  audit::DecisionLog log;
+  (void)run_scheduler("eas", in.g, in.p, &log);
+  const audit::DecisionStream& stream = log.stream();
+  ASSERT_GE(stream.events.size(), 10u);
+
+  audit::StreamCursor cursor(stream);
+  EXPECT_EQ(cursor.index(), 0u);
+  const std::uint64_t target = stream.events[7].seq;
+  cursor.seek(target);
+  EXPECT_EQ(cursor.seq(), target);
+  EXPECT_EQ(cursor.index(), 7u);
+  const audit::DecisionEvent* hit = cursor.find(target);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->seq, target);
+  EXPECT_EQ(cursor.find(stream.events.back().seq + 1000), nullptr);
+  cursor.seek(stream.events.back().seq + 1000);
+  EXPECT_TRUE(cursor.done());
+}
+
+// ---- campaign diff ----------------------------------------------------------
+
+campaign::AppSpec small_app(const std::string& name, std::size_t tasks) {
+  campaign::AppSpec app;
+  app.kind = campaign::AppSpec::Kind::Custom;
+  app.custom_name = name;
+  app.custom.num_tasks = tasks;
+  app.custom.num_edges = tasks * 2;
+  app.custom.avg_layer_width = 4.0;
+  return app;
+}
+
+struct ParsedCampaign {
+  campaign::Manifest manifest;
+  campaign::Aggregate aggregate;
+};
+
+/// Runs the campaign and round-trips both artifacts through their JSON
+/// documents — the exact path the CLI's campaign diff takes.
+ParsedCampaign run_and_parse(const campaign::CampaignSpec& spec) {
+  const campaign::CampaignResult result = campaign::run_campaign(spec);
+  std::stringstream manifest_os;
+  campaign::write_manifest_json(manifest_os, result);
+  std::stringstream aggregate_os;
+  campaign::write_aggregate_json(
+      aggregate_os, campaign::aggregate_outcomes(spec, result.units, result.outcomes));
+  return {campaign::read_manifest_json(manifest_os), campaign::read_aggregate_json(aggregate_os)};
+}
+
+campaign::CampaignSpec base_spec() {
+  campaign::CampaignSpec spec;
+  spec.apps = {small_app("tiny-a", 18), small_app("tiny-b", 24)};
+  spec.seeds = {1, 2, 3};
+  spec.schedulers = {"edf", "greedy"};
+  spec.threads = 1;
+  return spec;
+}
+
+TEST(CampaignDiff, AggregateReconcilesBitExactlyThroughJsonRoundTrip) {
+  const ParsedCampaign c = run_and_parse(base_spec());
+  EXPECT_EQ(c.manifest.runs.size(), 12u);
+  const std::vector<std::string> issues = diff::reconcile(c.manifest, c.aggregate);
+  EXPECT_TRUE(issues.empty()) << "first issue: " << (issues.empty() ? "" : issues.front());
+}
+
+TEST(CampaignDiff, SelfDiffIsIdenticalAndThreadCountInvariant) {
+  const ParsedCampaign a = run_and_parse(base_spec());
+  campaign::CampaignSpec parallel = base_spec();
+  parallel.threads = std::max(2u, std::thread::hardware_concurrency());
+  const ParsedCampaign b = run_and_parse(parallel);
+
+  const diff::CampaignDiff d = diff::diff_campaigns(a.manifest, a.aggregate,
+                                                    b.manifest, b.aggregate);
+  EXPECT_TRUE(d.identical());
+  EXPECT_EQ(d.unchanged, 12u);
+  std::ostringstream doc1, doc2;
+  diff::write_campaign_diff_json(doc1, d);
+  diff::write_campaign_diff_json(
+      doc2, diff::diff_campaigns(a.manifest, a.aggregate, b.manifest, b.aggregate));
+  EXPECT_EQ(doc1.str(), doc2.str());
+  EXPECT_NE(doc1.str().find("\"identical\":true"), std::string::npos);
+}
+
+TEST(CampaignDiff, RanksChangedUnitsAndDetectsMissingOnes) {
+  const ParsedCampaign a = run_and_parse(base_spec());
+  // Campaign B: tiny-b has a different shape (same app name → same unit ids,
+  // different outcomes) and one extra seed.
+  campaign::CampaignSpec spec_b = base_spec();
+  spec_b.apps[1].custom.num_tasks = 30;
+  spec_b.apps[1].custom.num_edges = 60;
+  spec_b.seeds = {1, 2, 3, 4};
+  const ParsedCampaign b = run_and_parse(spec_b);
+
+  const diff::CampaignDiff d = diff::diff_campaigns(a.manifest, a.aggregate,
+                                                    b.manifest, b.aggregate);
+  EXPECT_FALSE(d.identical());
+  // tiny-a rows are unchanged, tiny-b rows changed; seed 4 rows exist only
+  // in B (2 apps x 2 schedulers).
+  EXPECT_EQ(d.unchanged, 6u);
+  EXPECT_EQ(d.changed, 6u);
+  EXPECT_EQ(d.only_a, 0u);
+  EXPECT_EQ(d.only_b, 4u);
+  EXPECT_EQ(d.regressed.size() + d.improved.size(), d.changed);
+  // Ranking invariant: |Δenergy| non-increasing within each list.
+  for (const std::vector<std::size_t>* list : {&d.regressed, &d.improved}) {
+    for (std::size_t i = 1; i < list->size(); ++i) {
+      EXPECT_GE(std::abs(d.units[(*list)[i - 1]].d_energy),
+                std::abs(d.units[(*list)[i]].d_energy));
+    }
+  }
+  for (const std::size_t i : d.regressed) {
+    const diff::UnitDelta& u = d.units[i];
+    EXPECT_TRUE(u.d_energy > 0.0 || u.d_makespan > 0 || u.d_misses > 0) << u.id;
+  }
+}
+
+TEST(CampaignDiff, RefusesAggregateThatDoesNotReconcile) {
+  const ParsedCampaign a = run_and_parse(base_spec());
+  campaign::Aggregate tampered = a.aggregate;
+  ASSERT_FALSE(tampered.schedulers.empty());
+  tampered.schedulers[0].energy.mean += 1.0;
+  EXPECT_FALSE(diff::reconcile(a.manifest, tampered).empty());
+  EXPECT_THROW((void)diff::diff_campaigns(a.manifest, tampered, a.manifest, a.aggregate),
+               Error);
+  EXPECT_THROW((void)diff::diff_campaigns(a.manifest, a.aggregate, a.manifest, tampered),
+               Error);
+}
+
+TEST(CampaignDiff, WinMatrixFlipsAreReported) {
+  const ParsedCampaign a = run_and_parse(base_spec());
+  campaign::CampaignSpec spec_b = base_spec();
+  spec_b.apps[1].custom.num_tasks = 30;
+  spec_b.apps[1].custom.num_edges = 60;
+  const ParsedCampaign b = run_and_parse(spec_b);
+  const diff::CampaignDiff d = diff::diff_campaigns(a.manifest, a.aggregate,
+                                                    b.manifest, b.aggregate);
+  for (const diff::WinFlip& f : d.flips) {
+    EXPECT_TRUE(f.metric == "energy" || f.metric == "makespan");
+    EXPECT_NE(f.row, f.col);
+    EXPECT_FALSE(f.a.wins == f.b.wins && f.a.losses == f.b.losses && f.a.ties == f.b.ties);
+  }
+  // Scheduler population deltas cover the union of both campaigns.
+  ASSERT_EQ(d.schedulers.size(), 2u);
+  EXPECT_EQ(d.schedulers[0].scheduler, "edf");
+  EXPECT_EQ(d.schedulers[1].scheduler, "greedy");
+  EXPECT_EQ(d.schedulers[0].runs_a, 6u);
+  EXPECT_EQ(d.schedulers[0].runs_b, 6u);
+}
+
+}  // namespace
+}  // namespace noceas

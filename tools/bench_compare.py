@@ -251,7 +251,45 @@ def attribute_regression(base_spans, cur_spans):
             "current_ms": cur_spans.get(path, 0.0), "delta_ms": round(delta, 4)}
 
 
-def compare(baseline, bench, metrics, tolerance, comparable, profile=None):
+# `noceas diff` hints for regressed benchmarks: which scheduler the bench
+# family runs and which generated instance each DenseRange index maps to
+# (catalog/platform match `noceas_cli gen` defaults, so the CLI reproduces
+# the exact problem the bench timed).
+MISS_BENCH_INSTANCES = {0: (2, 2), 1: (2, 4), 2: (2, 5), 3: (2, 8)}
+MISS_BENCH_SCHEDULERS = {
+    "BM_EasBase_MissBenchmarks": "eas-base",
+    "BM_EasFull_MissBenchmarks": "eas",
+    "BM_Edf_MissBenchmarks": "edf",
+}
+
+
+def diff_command(name, build_dir="build"):
+    """Ready-to-run `noceas diff` invocation for a regressed benchmark.
+
+    Answers "did behavior change, or only speed?": regenerate the exact
+    instance the benchmark timed, then diff a live run of its scheduler
+    against the decision stream recorded at the baseline revision (export
+    one there with `noceas_cli schedule --decisions`).  An empty diff
+    (exit 0) proves the regression is timing-only.  Returns None for
+    benchmarks without a 1:1 scheduler-run mapping (e.g. repair ablations).
+    """
+    family, sep, arg = name.partition("/")
+    if not sep or family not in MISS_BENCH_SCHEDULERS:
+        return None
+    try:
+        category, index = MISS_BENCH_INSTANCES[int(arg)]
+    except (KeyError, ValueError):
+        return None
+    cli = os.path.join(build_dir, "tools", "noceas_cli")
+    ctg, plat = "/tmp/noceas_diff_g.txt", "/tmp/noceas_diff_p.txt"
+    return (f"{cli} gen --category {category} --index {index}"
+            f" --ctg {ctg} --platform {plat}"
+            f" && {cli} diff --ctg {ctg} --platform {plat}"
+            f" --scheduler-a {MISS_BENCH_SCHEDULERS[family]}"
+            f" --decisions-b BASELINE_DECISIONS.jsonl")
+
+
+def compare(baseline, bench, metrics, tolerance, comparable, profile=None, build_dir="build"):
     """Pure diff of a re-run against a recorded baseline.
 
     No I/O and no benchmark execution: `baseline` is the parsed baseline
@@ -291,6 +329,9 @@ def compare(baseline, bench, metrics, tolerance, comparable, profile=None):
         if verdict == "regression":
             row["suspect_span"] = attribute_regression(
                 base_profile.get(name), cur_profile.get(name))
+            cmd = diff_command(name, build_dir)
+            if cmd:
+                row["diff_command"] = cmd
         rows.append(row)
     for name in sorted(set(bench) - set(baseline.get("bench_ms", {}))):
         rows.append({"name": name, "baseline_ms": None, "current_ms": bench[name],
@@ -382,6 +423,12 @@ def print_report(report, out=sys.stdout):
                 print(f"             suspect: {suspect['path']} self "
                       f"{suspect['baseline_ms']:.2f} -> {suspect['current_ms']:.2f} ms "
                       f"(+{suspect['delta_ms']:.2f} ms)", file=out)
+            cmd = row.get("diff_command")
+            if cmd:
+                print(f"             behavioral diff (record the -b side at the"
+                      " baseline rev with 'noceas_cli schedule --decisions'):",
+                      file=out)
+                print(f"               {cmd}", file=out)
     for d in report["metric_drift"]:
         print(f"  metric drift: {d['name']} {d['baseline']} -> {d['current']}", file=out)
     if report["metric_drift"]:
@@ -426,7 +473,8 @@ def cmd_check(args):
     metrics = deterministic_metrics(args.build_dir)
     metrics.update(campaign_aggregates(args.build_dir))
 
-    report = compare(baseline, bench, metrics, args.tolerance, comparable, profile)
+    report = compare(baseline, bench, metrics, args.tolerance, comparable,
+                     profile, build_dir=args.build_dir)
     report["baseline_rev"] = baseline.get("rev", "unknown")
     report["rev"] = git_rev()
     print_report(report, out=text_out)

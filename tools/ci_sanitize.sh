@@ -19,6 +19,11 @@
 #     asserting the manifest/aggregate invariants (every run ok, byte-
 #     identical reruns across thread counts, bit-exact mean reconciliation)
 #     and that the dashboard renders
+#   - diff stage (same build): the first-divergence engine under ASan/UBSan —
+#     six-scheduler self-diff must be empty (exit 0), a decision stream with
+#     one tampered mid-stream place record must be localized to exactly that
+#     seq (exit 1), and the campaign-mode self-diff across thread counts must
+#     be empty
 #   - repair-replay stage (same build): schedules an eas run twice — with
 #     incremental suffix evaluation and under the NOCEAS_REPAIR_FULL_REBUILD
 #     escape hatch — and requires byte-identical schedules/decision streams
@@ -179,6 +184,57 @@ with open(os.path.join(d, "dashboard.html")) as f:
 assert "</html>" in html and "<svg" in html
 PY
 echo "    campaign: determinism + reconciliation + dashboard OK"
+
+# Differential-observability stage (same ASan/UBSan binaries): the diff
+# engine's core contracts, end to end through the CLI.
+#  - Self-diff is empty: every scheduler diffed against a second live run of
+#    itself must report an empty diff and exit 0.
+#  - Tamper localization: flipping the chosen PE of one place record in the
+#    middle of a recorded decision stream must be pinpointed to exactly that
+#    seq as a choice divergence, with exit 1.
+#  - Campaign self-diff: the two thread-count variants above are
+#    byte-identical, so the campaign-mode diff must also come back empty.
+echo "==> [diff] first-divergence engine under ASan/UBSan"
+for sched in eas eas-base edf dls greedy map; do
+  "$cli" diff --ctg "$audit_dir/g.txt" --platform "$audit_dir/p.txt" \
+    --scheduler-a "$sched" --scheduler-b "$sched" >/dev/null \
+    || { echo "FAIL: $sched self-diff is not empty"; exit 1; }
+  echo "    $sched: self-diff empty"
+done
+"$cli" schedule --ctg "$audit_dir/g.txt" --platform "$audit_dir/p.txt" \
+  --scheduler eas --decisions "$audit_dir/d_ref.jsonl" >/dev/null || true
+tamper_seq="$(python3 - "$audit_dir/d_ref.jsonl" "$audit_dir/d_tampered.jsonl" <<'PY'
+import json, sys
+out, places, seq = [], 0, None
+for line in open(sys.argv[1]).read().splitlines():
+    rec = json.loads(line)
+    if seq is None and rec.get("type") == "place":
+        places += 1
+        if places == 8:  # a mid-stream decision, well past the header
+            rec["pe"] = (rec["pe"] + 1) % 16
+            seq = rec["seq"]
+    out.append(json.dumps(rec, separators=(",", ":")))
+assert seq is not None, "stream has fewer than 8 place records"
+with open(sys.argv[2], "w") as f:
+    f.write("\n".join(out) + "\n")
+print(seq)
+PY
+)"
+set +e
+"$cli" diff --decisions-a "$audit_dir/d_ref.jsonl" \
+  --decisions-b "$audit_dir/d_tampered.jsonl" > "$audit_dir/diff_out.txt"
+diff_rc=$?
+set -e
+[[ $diff_rc -eq 1 ]] \
+  || { echo "FAIL: tampered diff exited $diff_rc (want 1)"; cat "$audit_dir/diff_out.txt"; exit 1; }
+grep -q "first divergence at seq $tamper_seq " "$audit_dir/diff_out.txt" \
+  || { echo "FAIL: diff did not localize tampered seq $tamper_seq"; cat "$audit_dir/diff_out.txt"; exit 1; }
+grep -q "choice" "$audit_dir/diff_out.txt" \
+  || { echo "FAIL: tampered PE not classified as a choice divergence"; cat "$audit_dir/diff_out.txt"; exit 1; }
+echo "    tampered place record localized to seq $tamper_seq (choice), exit 1"
+"$cli" diff --campaign-a "$audit_dir/camp" --campaign-b "$audit_dir/camp1" >/dev/null \
+  || { echo "FAIL: campaign self-diff is not empty"; exit 1; }
+echo "    campaign self-diff (threads 4 vs 1): empty"
 
 # Profile smoke stage (same ASan/UBSan binaries): the span-statistics
 # profiler end to end through the CLI, held to its integer identities —

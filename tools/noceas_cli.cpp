@@ -17,15 +17,19 @@
 //   noceas_cli campaign  --out DIR --categories 1,2 [--indices 0,1] [--msb encoder:foreman]
 //                        [--seeds 20 | --seed-list 3,7,9] [--schedulers eas,edf,dls]
 //                        [--threads N] [--artifacts]
+//   noceas_cli diff      --ctg g.txt --platform p.txt --scheduler-a eas --decisions-b d.jsonl
+//   noceas_cli diff      --campaign-a DIR --campaign-b DIR
 //
 // Schedulers: eas (default), eas-base, edf, dls, greedy, map.
 // Unknown flags are rejected with an error (no silent typo swallowing).
+// The global --log-level error|warn|info flag (or NOCEAS_LOG) gates the
+// toolchain's diagnostic prints on stderr.
 //
 // Exit codes are machine-readable failure classes (campaign + CI depend on
 // them):
-//   0  success (for `schedule`: all deadlines met)
+//   0  success (for `schedule`: all deadlines met; for `diff`: empty diff)
 //   1  run failed (unreadable input, scheduler error, deadline misses,
-//      failed campaign runs)
+//      failed campaign runs, non-empty diff)
 //   2  bad invocation (unknown command, unknown flag, missing required flag)
 //   3  validation / replay mismatch (`audit --replay`, `validate`)
 #include <algorithm>
@@ -47,6 +51,7 @@
 #include "src/baseline/map_then_schedule.hpp"
 #include "src/campaign/aggregate.hpp"
 #include "src/campaign/campaign.hpp"
+#include "src/campaign/manifest_io.hpp"
 #include "src/core/eas.hpp"
 #include "src/core/schedule_io.hpp"
 #include "src/core/validator.hpp"
@@ -55,8 +60,10 @@
 #include "src/gen/tgff.hpp"
 #include "src/msb/msb.hpp"
 #include "src/noc/platform_io.hpp"
+#include "src/obs/diff.hpp"
 #include "src/obs/profile.hpp"
 #include "src/sim/wormhole_sim.hpp"
+#include "src/util/log.hpp"
 #include "src/util/table.hpp"
 #include "src/viz/gantt_svg.hpp"
 
@@ -106,6 +113,15 @@ int usage() {
       "             [--categories 1,2] [--indices 0,1,..] [--msb APP[:CLIP],..]\n"
       "             [--seeds N | --seed-list 3,7,9] [--schedulers eas,edf,dls]\n"
       "             [--threads N] [--artifacts] [--profile]\n"
+      "  noceas_cli diff [--ctg FILE --platform FILE]\n"
+      "             --scheduler-a NAME | --decisions-a FILE | --schedule-a FILE\n"
+      "             --scheduler-b NAME | --decisions-b FILE | --schedule-b FILE\n"
+      "             [--json FILE] [--top N]\n"
+      "  noceas_cli diff --campaign-a DIR --campaign-b DIR [--json FILE] [--top N]\n"
+      "\n"
+      "global flags (any command):\n"
+      "  --log-level error|warn|info   gate diagnostic stderr prints (also the\n"
+      "                                NOCEAS_LOG environment variable; the flag wins)\n"
       "\n"
       "schedule observability flags:\n"
       "  --trace FILE    write a Chrome trace-event JSON of the scheduler run\n"
@@ -144,6 +160,19 @@ int usage() {
       "--artifacts additionally records per-run metrics/analysis/decisions\n"
       "under runs/.  manifest.json and aggregate.json are byte-identical for\n"
       "any --threads value.\n"
+      "\n"
+      "diff explains how two runs (or two campaigns) diverged.  Each side is a\n"
+      "live scheduler run (--scheduler-a/-b, needs --ctg/--platform), a recorded\n"
+      "decision stream (--decisions-a/-b) or an exported schedule\n"
+      "(--schedule-a/-b).  It reports the first divergent decision with the\n"
+      "side-by-side candidate table and link reservations, then the downstream\n"
+      "impact (energy attribution, critical-path reason mix, wait decomposition,\n"
+      "deadline accounting; computed when --ctg/--platform are given).  Campaign\n"
+      "mode diffs two manifest directories after verifying each aggregate\n"
+      "reconciles bit-exactly with its manifest: per-unit deltas, regressed and\n"
+      "improved units ranked by |d energy| then |d makespan|, win-matrix flips.\n"
+      "--json writes the deterministic noceas.diff.v1 document.  Exit 0 = empty\n"
+      "diff, 1 = divergence found.\n"
       "\n"
       "exit codes: 0 success, 1 run failed (incl. deadline misses),\n"
       "2 bad invocation, 3 validation/replay mismatch.\n";
@@ -438,9 +467,10 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
     registry.counter("obs.trace.dropped", "events").inc(tracer.dropped());
   }
   if (tracer.dropped() > 0) {
-    std::cerr << "warning: trace ring buffers overwrote " << tracer.dropped()
-              << " events (raise TracerOptions::max_events_per_lane); "
-                 "per-lane drop counts are in the trace header\n";
+    NOCEAS_WARN("trace ring buffers overwrote "
+                << tracer.dropped()
+                << " events (raise TracerOptions::max_events_per_lane); "
+                   "per-lane drop counts are in the trace header");
   }
   if (profile) write_profile_outputs(flags, profiler, tracer);
   if (metrics != nullptr) {
@@ -638,6 +668,143 @@ int cmd_validate(const std::map<std::string, std::string>& flags) {
   return kExitMismatch;
 }
 
+/// One resolved side of a `diff` invocation: a schedule (always), plus the
+/// decision stream when the side was produced live or loaded from a
+/// provenance file.
+struct DiffSide {
+  std::string label;
+  Schedule schedule;
+  audit::DecisionStream stream;
+  bool has_stream = false;
+};
+
+/// Rebuilds the schedule a decision stream committed to from its final
+/// record — lets `diff` compare a recorded run without re-executing it.
+Schedule schedule_from_final(const audit::DecisionStream& stream) {
+  NOCEAS_REQUIRE(stream.has_final,
+                 "decision stream has no final record; cannot reconstruct the schedule "
+                 "(re-export with a current noceas build or pass --schedule-* instead)");
+  Schedule s;
+  s.tasks.reserve(stream.final.tasks.size());
+  for (const audit::FinalTask& t : stream.final.tasks) {
+    s.tasks.push_back(TaskPlacement{PeId{t.pe}, t.start, t.finish});
+  }
+  s.comms.reserve(stream.final.comms.size());
+  for (const audit::FinalComm& c : stream.final.comms) {
+    s.comms.push_back(CommPlacement{PeId{c.src_pe}, PeId{c.dst_pe}, c.start, c.duration});
+  }
+  return s;
+}
+
+/// Resolves `--scheduler-X | --decisions-X | --schedule-X` for side X.
+/// `g`/`p` are non-null only when --ctg/--platform were given (required for
+/// live scheduler sides).
+DiffSide load_diff_side(const std::map<std::string, std::string>& flags, const std::string& side,
+                        const TaskGraph* g, const Platform* p) {
+  const std::string sched_flag = "scheduler-" + side;
+  const std::string dec_flag = "decisions-" + side;
+  const std::string file_flag = "schedule-" + side;
+  const int sources = static_cast<int>(flags.count(sched_flag)) +
+                      static_cast<int>(flags.count(dec_flag)) +
+                      static_cast<int>(flags.count(file_flag));
+  require_usage(sources == 1, "diff side " + side + " needs exactly one of --" + sched_flag +
+                                  " NAME, --" + dec_flag + " FILE, --" + file_flag + " FILE");
+  DiffSide out;
+  if (flags.count(sched_flag)) {
+    require_usage(g != nullptr && p != nullptr,
+                  "--" + sched_flag + " runs the scheduler live and needs --ctg and --platform");
+    out.label = flags.at(sched_flag) + " (" + side + ')';
+    audit::DecisionLog log;
+    out.schedule = run_named_scheduler(*g, *p, flags.at(sched_flag), &log);
+    out.stream = log.stream();
+    out.has_stream = true;
+  } else if (flags.count(dec_flag)) {
+    out.label = flags.at(dec_flag);
+    out.stream = load_decisions(flags.at(dec_flag));
+    out.schedule = schedule_from_final(out.stream);
+    out.has_stream = true;
+  } else {
+    out.label = flags.at(file_flag);
+    std::ifstream is(flags.at(file_flag));
+    NOCEAS_REQUIRE(is.good(), "cannot open schedule file '" << flags.at(file_flag) << '\'');
+    out.schedule = read_schedule_text(is);
+  }
+  return out;
+}
+
+int cmd_diff(const std::map<std::string, std::string>& flags) {
+  const std::size_t top = flags.count("top")
+                              ? static_cast<std::size_t>(std::stoul(flags.at("top")))
+                              : 10;
+  const bool campaign_mode = flags.count("campaign-a") || flags.count("campaign-b");
+
+  if (campaign_mode) {
+    require_usage(flags.count("campaign-a") && flags.count("campaign-b"),
+                  "campaign diff requires both --campaign-a DIR and --campaign-b DIR");
+    auto load = [](const std::string& dir) {
+      std::ifstream mis(dir + "/manifest.json");
+      NOCEAS_REQUIRE(mis.good(), "cannot open '" << dir << "/manifest.json'");
+      std::ifstream ais(dir + "/aggregate.json");
+      NOCEAS_REQUIRE(ais.good(), "cannot open '" << dir << "/aggregate.json'");
+      return std::pair{campaign::read_manifest_json(mis), campaign::read_aggregate_json(ais)};
+    };
+    const auto [ma, aa] = load(flags.at("campaign-a"));
+    const auto [mb, ab] = load(flags.at("campaign-b"));
+    const diff::CampaignDiff d = diff::diff_campaigns(ma, aa, mb, ab);
+    diff::print_campaign_diff(std::cout, d, top);
+    if (flags.count("json")) {
+      std::ofstream os(flags.at("json"));
+      NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("json") << '\'');
+      diff::write_campaign_diff_json(os, d);
+      std::cout << "wrote " << flags.at("json") << '\n';
+    }
+    return d.identical() ? kExitOk : kExitRunFailed;
+  }
+
+  require_usage(flags.count("ctg") == flags.count("platform"),
+                "--ctg and --platform must be given together");
+  TaskGraph g(1);
+  Platform p = make_mesh_platform(1, 1, {"NONE"});
+  const bool have_problem = flags.count("ctg") > 0;
+  if (have_problem) {
+    g = load_ctg(flags.at("ctg"));
+    p = load_platform(flags.at("platform"));
+  }
+  const DiffSide a = load_diff_side(flags, "a", have_problem ? &g : nullptr,
+                                    have_problem ? &p : nullptr);
+  const DiffSide b = load_diff_side(flags, "b", have_problem ? &g : nullptr,
+                                    have_problem ? &p : nullptr);
+
+  diff::RunSide side_a{a.label, &a.schedule, a.has_stream ? &a.stream : nullptr, nullptr};
+  diff::RunSide side_b{b.label, &b.schedule, b.has_stream ? &b.stream : nullptr, nullptr};
+
+  // Downstream impact: route both schedules through the analyzer when the
+  // problem instance is available.
+  analysis::Report report_a, report_b;
+  if (have_problem) {
+    analysis::AnalyzeOptions options_a;
+    options_a.label = a.label;
+    options_a.decisions = side_a.stream;
+    report_a = analyze_schedule(g, p, a.schedule, options_a);
+    analysis::AnalyzeOptions options_b;
+    options_b.label = b.label;
+    options_b.decisions = side_b.stream;
+    report_b = analyze_schedule(g, p, b.schedule, options_b);
+    side_a.report = &report_a;
+    side_b.report = &report_b;
+  }
+
+  const diff::RunDiff d = diff::diff_runs(side_a, side_b);
+  diff::print_run_diff(std::cout, d, top);
+  if (flags.count("json")) {
+    std::ofstream os(flags.at("json"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("json") << '\'');
+    diff::write_run_diff_json(os, d);
+    std::cout << "wrote " << flags.at("json") << '\n';
+  }
+  return d.identical() ? kExitOk : kExitRunFailed;
+}
+
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
   std::size_t pos = 0;
@@ -735,6 +902,29 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The global --log-level flag is consumed here, before verb dispatch, so
+  // every command accepts it in any position.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  try {
+    for (int i = 0; i < argc; ++i) {
+      if (std::string(argv[i]) == "--log-level") {
+        require_usage(i + 1 < argc, "--log-level requires a value (error|warn|info)");
+        try {
+          log::set_level(log::parse_level(argv[++i]));
+        } catch (const Error& e) {
+          throw UsageError(e.what());
+        }
+        continue;
+      }
+      args.push_back(argv[i]);
+    }
+  } catch (const UsageError& e) {
+    std::cerr << "usage error: " << e.what() << '\n';
+    return kExitBadInvocation;
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -775,6 +965,12 @@ int main(int argc, char** argv) {
                                       {"out", "categories", "indices", "msb", "seeds",
                                        "seed-list", "schedulers", "threads", "artifacts",
                                        "profile"}));
+    }
+    if (cmd == "diff") {
+      return cmd_diff(parse_flags(argc, argv, 2,
+                                  {"ctg", "platform", "scheduler-a", "scheduler-b",
+                                   "decisions-a", "decisions-b", "schedule-a", "schedule-b",
+                                   "campaign-a", "campaign-b", "json", "top"}));
     }
   } catch (const UsageError& e) {
     std::cerr << "usage error: " << e.what() << '\n';

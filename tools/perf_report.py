@@ -256,6 +256,18 @@ def selfcheck():
     empty = render({"schema": TRAJECTORY_SCHEMA, "entries": []}, 0.35)
     assert "</html>" in empty and "No entries yet" in empty
 
+    # A single-revision trajectory (the very first `bench_compare.py record`)
+    # must render a valid page: one-point sparklines, no steps to judge, every
+    # benchmark a steady row with first == latest and no step percentage.
+    single = render({"schema": TRAJECTORY_SCHEMA,
+                     "entries": [synth["entries"][0]]}, 0.35)
+    assert single.count("</html>") == 1 and single.startswith("<!DOCTYPE html>")
+    assert "aaa1111" in single
+    for name in ("BM_Steady/0", "BM_Hot/3"):
+        assert name in single, f"benchmark {name} missing from single-rev page"
+    assert "REGRESSED" not in single and "regress-dot" not in single
+    assert "steady" in single and single.count("<svg") == 2
+
     real_path = os.path.join(REPO, "BENCH_runtime_scaling.json")
     if os.path.exists(real_path):
         doc = load_trajectory(real_path)

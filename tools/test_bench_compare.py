@@ -177,5 +177,52 @@ class CompareTest(unittest.TestCase):
         self.assertIn("regressed beyond 35%", text)
 
 
+class DiffCommandTest(unittest.TestCase):
+    def test_maps_miss_benchmarks_to_instances_and_schedulers(self):
+        cmd = bench_compare.diff_command("BM_EasBase_MissBenchmarks/0", "bld")
+        self.assertIn("gen --category 2 --index 2", cmd)
+        self.assertIn("--scheduler-a eas-base", cmd)
+        self.assertIn("bld/tools/noceas_cli diff", cmd)
+        cmd = bench_compare.diff_command("BM_EasFull_MissBenchmarks/3")
+        self.assertIn("gen --category 2 --index 8", cmd)
+        self.assertIn("--scheduler-a eas", cmd)
+        cmd = bench_compare.diff_command("BM_Edf_MissBenchmarks/1")
+        self.assertIn("gen --category 2 --index 4", cmd)
+        self.assertIn("--scheduler-a edf", cmd)
+
+    def test_unmapped_benchmarks_get_no_hint(self):
+        self.assertIsNone(bench_compare.diff_command("BM_Repair_LtsOnly/0"))
+        self.assertIsNone(bench_compare.diff_command("BM_EasFull_MissBenchmarks"))
+        self.assertIsNone(bench_compare.diff_command("BM_EasFull_MissBenchmarks/9"))
+        self.assertIsNone(bench_compare.diff_command("BM_EasFull_MissBenchmarks/x"))
+
+    def test_regression_row_carries_diff_command(self):
+        base = make_baseline({"BM_EasFull_MissBenchmarks/0": 10.0})
+        r = bench_compare.compare(base, {"BM_EasFull_MissBenchmarks/0": 20.0},
+                                  {}, 0.35, True, build_dir="bld")
+        row = r["benchmarks"][0]
+        self.assertEqual(row["verdict"], "regression")
+        self.assertIn("bld/tools/noceas_cli diff", row["diff_command"])
+        json.dumps(r)  # hint must keep the report serializable
+
+    def test_ok_rows_and_unmapped_regressions_carry_no_diff_command(self):
+        base = make_baseline({"BM_EasFull_MissBenchmarks/0": 10.0,
+                              "BM_Repair_LtsOnly/0": 10.0})
+        r = bench_compare.compare(base, {"BM_EasFull_MissBenchmarks/0": 10.0,
+                                         "BM_Repair_LtsOnly/0": 20.0}, {}, 0.35, True)
+        by_name = {row["name"]: row for row in r["benchmarks"]}
+        self.assertNotIn("diff_command", by_name["BM_EasFull_MissBenchmarks/0"])
+        self.assertNotIn("diff_command", by_name["BM_Repair_LtsOnly/0"])
+
+    def test_print_report_shows_the_hint(self):
+        base = make_baseline({"BM_EasFull_MissBenchmarks/0": 10.0})
+        r = bench_compare.compare(base, {"BM_EasFull_MissBenchmarks/0": 20.0},
+                                  {}, 0.35, True)
+        out = io.StringIO()
+        bench_compare.print_report(r, out=out)
+        self.assertIn("behavioral diff", out.getvalue())
+        self.assertIn("--decisions-b BASELINE_DECISIONS.jsonl", out.getvalue())
+
+
 if __name__ == "__main__":
     unittest.main()
