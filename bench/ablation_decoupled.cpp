@@ -15,6 +15,7 @@
 #include "src/baseline/map_then_schedule.hpp"
 #include "src/gen/tgff.hpp"
 #include "src/msb/msb.hpp"
+#include "src/util/log.hpp"
 
 using namespace noceas;
 using namespace noceas::bench;
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
     const ValidationReport vr =
         validate_schedule(g, p, two.result.schedule, {.check_deadlines = false});
     if (!vr.ok()) {
-      std::cerr << "two-phase produced invalid schedule:\n" << vr.to_string();
+      NOCEAS_ERROR("two-phase produced invalid schedule:\n" << vr.to_string());
       std::exit(2);
     }
     table.add_row({name, "EAS (concurrent)", format_double(eas.energy.total(), 0),

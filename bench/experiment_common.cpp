@@ -7,6 +7,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "src/util/log.hpp"
+
 namespace noceas::bench {
 
 namespace {
@@ -17,7 +19,7 @@ int g_metrics_seq = 0;      // run-ordered file numbering
 void check_valid(const TaskGraph& g, const Platform& p, const Schedule& s, const char* who) {
   const ValidationReport vr = validate_schedule(g, p, s, {.check_deadlines = false});
   if (!vr.ok()) {
-    std::cerr << "FATAL: " << who << " produced an invalid schedule:\n" << vr.to_string();
+    NOCEAS_ERROR(who << " produced an invalid schedule:\n" << vr.to_string());
     std::exit(2);
   }
 }
@@ -47,7 +49,7 @@ void write_metrics_json(const obs::Registry& registry, const std::string& slug) 
   const std::string path = g_metrics_dir + "/" + seq + "_" + slug + ".json";
   std::ofstream os(path);
   if (!os.good()) {
-    std::cerr << "FATAL: cannot write metrics JSON '" << path << "'\n";
+    NOCEAS_ERROR("cannot write metrics JSON '" << path << '\'');
     std::exit(2);
   }
   registry.write_json(os);

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <string>
 
 #include "src/baseline/edf.hpp"
@@ -25,6 +26,8 @@
 #include "src/core/obs_export.hpp"
 #include "src/gen/tgff.hpp"
 #include "src/obs/profile.hpp"
+#include "src/obs/telemetry.hpp"
+#include "src/util/log.hpp"
 
 using namespace noceas;
 
@@ -258,8 +261,11 @@ bool same_schedule(const TaskGraph& g, const Schedule& a, const Schedule& b) {
 /// reference (force_eager_probes, no sinks).  Any attached sink selects the
 /// eager probe path, so pricing sinks against the default lazy path would
 /// measure that algorithmic difference, not emission cost; the lazy-vs-eager
-/// delta is reported separately as information.  Exits 0 on pass, 1 with a
-/// diagnostic on fail.
+/// delta is reported separately as information.  A fourth leg prices the
+/// live-telemetry sampler: an ambient 250 ms TelemetryHub (no scheduler
+/// sinks, so the lazy path stays selected) must leave the schedule
+/// bit-identical and cost < 2% against the plain lazy reference.  Exits 0
+/// on pass, 1 with a diagnostic on fail.
 int obs_smoke() {
   const TaskGraph& g = miss_benchmark(0);
   const Platform& p = platform_4x4();
@@ -327,37 +333,75 @@ int obs_smoke() {
     prof_best_ratio = std::min(prof_best_ratio, f_s / e_s);
   }
 
+  // Telemetry leg: an *ambient* sampler hub (250 ms period, in-memory
+  // stream, its own registry) with no scheduler sinks attached — the lazy
+  // probe path stays selected, so the reference is the plain lazy run.
+  // Same adjacent-pair best-ratio estimator; the budget is tighter (2%)
+  // because a sampler that wakes 4×/s has no business costing anything.
+  std::ostringstream telemetry_sink;
+  obs::Registry ambient_registry;
+  Schedule telemetry_schedule;
+  double tele = 1e300, tele_lazy = 1e300, tele_best_ratio = 1e300;
+  for (int i = 0; i < kPairs; ++i) {
+    double l_s = 0.0, m_s = 0.0;
+    const auto telemetry_sample = [&] {
+      obs::TelemetryOptions topt;
+      topt.interval_ms = 250;
+      topt.timeseries = &telemetry_sink;
+      topt.registry = &ambient_registry;
+      obs::TelemetryHub hub(topt);  // hub lifecycle billed to this leg
+      m_s = sample_seconds(EasOptions{}, i == 0 ? &telemetry_schedule : nullptr);
+      hub.stop();
+    };
+    if (i % 2 == 0) {
+      l_s = sample_seconds(EasOptions{}, nullptr);
+      telemetry_sample();
+    } else {
+      telemetry_sample();
+      l_s = sample_seconds(EasOptions{}, nullptr);
+    }
+    tele_lazy = std::min(tele_lazy, l_s);
+    tele = std::min(tele, m_s);
+    tele_best_ratio = std::min(tele_best_ratio, m_s / l_s);
+  }
+
   if (!same_schedule(g, plain_schedule, eager_schedule)) {
-    std::fprintf(stderr, "obs-smoke FAIL: eager probing changed the schedule\n");
+    NOCEAS_ERROR("obs-smoke FAIL: eager probing changed the schedule");
     return 1;
   }
   if (!same_schedule(g, plain_schedule, traced_schedule)) {
-    std::fprintf(stderr, "obs-smoke FAIL: tracing changed the schedule\n");
+    NOCEAS_ERROR("obs-smoke FAIL: tracing changed the schedule");
     return 1;
   }
   if (!same_schedule(g, plain_schedule, profiled_schedule)) {
-    std::fprintf(stderr, "obs-smoke FAIL: profiling changed the schedule\n");
+    NOCEAS_ERROR("obs-smoke FAIL: profiling changed the schedule");
+    return 1;
+  }
+  if (!same_schedule(g, plain_schedule, telemetry_schedule)) {
+    NOCEAS_ERROR("obs-smoke FAIL: ambient telemetry changed the schedule");
+    return 1;
+  }
+  if (telemetry_sink.str().find("noceas.timeseries.v1") == std::string::npos) {
+    NOCEAS_ERROR("obs-smoke FAIL: telemetry hub produced no timeseries stream");
     return 1;
   }
   if (tracer.size() == 0 || registry.values().empty()) {
-    std::fprintf(stderr, "obs-smoke FAIL: sinks attached but nothing recorded\n");
+    NOCEAS_ERROR("obs-smoke FAIL: sinks attached but nothing recorded");
     return 1;
   }
 
   const obs::ProfileSnapshot snap = profiler.snapshot(spine.now_ns());
   if (snap.records.empty()) {
-    std::fprintf(stderr, "obs-smoke FAIL: profiler attached but no records\n");
+    NOCEAS_ERROR("obs-smoke FAIL: profiler attached but no records");
     return 1;
   }
   // The self-time identity (docs/OBSERVABILITY.md): exclusive self times of
   // all call paths sum exactly to the root spans' total, which fits inside
   // the spine tracer's wall clock.
   if (snap.sum_self_ns() != snap.root_total_ns() || snap.root_total_ns() > snap.wall_ns) {
-    std::fprintf(stderr,
-                 "obs-smoke FAIL: profile identity broken (self %lld, root %lld, wall %lld)\n",
-                 static_cast<long long>(snap.sum_self_ns()),
-                 static_cast<long long>(snap.root_total_ns()),
-                 static_cast<long long>(snap.wall_ns));
+    NOCEAS_ERROR("obs-smoke FAIL: profile identity broken (self "
+                 << snap.sum_self_ns() << ", root " << snap.root_total_ns() << ", wall "
+                 << snap.wall_ns << ')');
     return 1;
   }
 
@@ -372,14 +416,29 @@ int obs_smoke() {
   std::printf("obs-smoke: profiler: %zu call paths; overhead %.2f%% "
               "(best of %d pairs; best eager sample %.3f ms, profiled %.3f ms)\n",
               snap.records.size(), 100.0 * prof_overhead, kPairs, 1e3 * eager, 1e3 * prof);
+  const double tele_overhead = tele_best_ratio - 1.0;
+  std::printf("obs-smoke: telemetry: 250 ms sampler; overhead %.2f%% "
+              "(best of %d pairs; best lazy sample %.3f ms, sampled %.3f ms)\n",
+              100.0 * tele_overhead, kPairs, 1e3 * tele_lazy, 1e3 * tele);
+  char fail[160];
   if (traced_overhead > 0.05) {
-    std::fprintf(stderr, "obs-smoke FAIL: tracer overhead %.2f%% exceeds the 5%% budget\n",
-                 100.0 * traced_overhead);
+    std::snprintf(fail, sizeof(fail), "obs-smoke FAIL: tracer overhead %.2f%% exceeds the 5%% budget",
+                  100.0 * traced_overhead);
+    NOCEAS_ERROR(fail);
     return 1;
   }
   if (prof_overhead > 0.05) {
-    std::fprintf(stderr, "obs-smoke FAIL: profiler overhead %.2f%% exceeds the 5%% budget\n",
-                 100.0 * prof_overhead);
+    std::snprintf(fail, sizeof(fail),
+                  "obs-smoke FAIL: profiler overhead %.2f%% exceeds the 5%% budget",
+                  100.0 * prof_overhead);
+    NOCEAS_ERROR(fail);
+    return 1;
+  }
+  if (tele_overhead > 0.02) {
+    std::snprintf(fail, sizeof(fail),
+                  "obs-smoke FAIL: telemetry overhead %.2f%% exceeds the 2%% budget",
+                  100.0 * tele_overhead);
+    NOCEAS_ERROR(fail);
     return 1;
   }
   return 0;

@@ -1,10 +1,15 @@
 #include "src/campaign/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include "src/analysis/analysis.hpp"
 #include "src/audit/decision_log.hpp"
@@ -19,6 +24,8 @@
 #include "src/core/validator.hpp"
 #include "src/gen/hetero.hpp"
 #include "src/msb/msb.hpp"
+#include "src/obs/telemetry.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/error.hpp"
 #include "src/util/thread_pool.hpp"
 
@@ -134,11 +141,25 @@ void write_file(const std::filesystem::path& path, const std::string& content) {
   os << content;
 }
 
+/// Test hook for the stall watchdog: when NOCEAS_TEST_STALL_UNIT names this
+/// unit, sleep NOCEAS_TEST_STALL_MS inside a dedicated span so CI can
+/// verify a hung unit is localized to its id and open span path.
+void maybe_test_stall(const std::string& unit_id, obs::Tracer* phases) {
+  const char* want = std::getenv("NOCEAS_TEST_STALL_UNIT");
+  if (want == nullptr || unit_id != want) return;
+  const char* ms_text = std::getenv("NOCEAS_TEST_STALL_MS");
+  const long ms = ms_text != nullptr ? std::atol(ms_text) : 0;
+  if (ms <= 0) return;
+  OBS_SPAN(phases, "test.stall_hook");
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
 /// Executes one unit; fills the outcome and resource slots.  Failures are
 /// captured in the outcome row instead of escaping — one broken run must
 /// not sink a fleet.
-void run_one(const CampaignSpec& spec, const RunUnit& unit, RunOutcome& outcome,
-             ResourceSample& resources, obs::ProfileSnapshot* profile) {
+void run_one(const CampaignSpec& spec, std::size_t slot, const RunUnit& unit,
+             RunOutcome& outcome, ResourceSample& resources, obs::ProfileSnapshot* profile,
+             obs::TelemetryHub* telemetry) {
   const ResourceSampler sampler;
   outcome.id = unit.id;
   outcome.app = unit.app.name();
@@ -155,21 +176,42 @@ void run_one(const CampaignSpec& spec, const RunUnit& unit, RunOutcome& outcome,
   obs::Tracer spine(spine_options);
   obs::Tracer* const tracer = profile != nullptr ? &spine : nullptr;
 
+  // Separate span spine for the stall watchdog's phase attribution.  It
+  // carries campaign-level phase spans only and is never handed to the
+  // schedulers: attaching any sink there would select their eager probe
+  // path and change the manifest's probe counters, breaking byte-identity
+  // between telemetry-on and telemetry-off campaigns.
+  obs::TracerOptions phase_options;
+  phase_options.record_events = false;
+  obs::Tracer phase_spine(phase_options);
+  obs::Tracer* const phases = telemetry != nullptr ? &phase_spine : nullptr;
+  if (telemetry != nullptr) {
+    telemetry->unit_start(slot, unit.id, unit.scheduler, &phase_spine);
+  }
+  OBS_SPAN_NAMED(run_span, phases, "unit.run");
+
   try {
+    maybe_test_stall(unit.id, phases);
+    OBS_SPAN_NAMED(gen_span, phases, "unit.generate");
     const Instance inst = make_instance(unit.app, unit.seed);
+    gen_span.end();
     outcome.num_tasks = inst.g.num_tasks();
     outcome.num_edges = inst.g.num_edges();
 
     const bool artifacts = spec.artifacts && !spec.out_dir.empty();
     obs::Registry registry;
     audit::DecisionLog decisions;
+    OBS_SPAN_NAMED(sched_span, phases, "unit.schedule");
     const SchedRun run =
         run_scheduler(unit.scheduler, inst.g, inst.p, tracer,
                       artifacts ? &registry : nullptr, artifacts ? &decisions : nullptr);
+    sched_span.end();
 
+    OBS_SPAN_NAMED(val_span, phases, "unit.validate");
     const ValidationReport vr =
         validate_schedule(inst.g, inst.p, run.schedule, {.check_deadlines = false});
     NOCEAS_REQUIRE(vr.ok(), "invalid schedule:\n" << vr.to_string());
+    val_span.end();
 
     outcome.energy_total = run.energy.total();
     outcome.energy_comp = run.energy.computation;
@@ -183,6 +225,7 @@ void run_one(const CampaignSpec& spec, const RunUnit& unit, RunOutcome& outcome,
     outcome.probe_cache_hits = run.probe.cache_hits;
     outcome.probe_hit_rate = run.probe.hit_rate();
 
+    OBS_SPAN_NAMED(analyze_span, phases, "unit.analyze");
     if (artifacts) {
       // Full analysis (with decision cross-referencing) only when the
       // artifact is requested; the manifest's reason mix needs just the
@@ -211,6 +254,12 @@ void run_one(const CampaignSpec& spec, const RunUnit& unit, RunOutcome& outcome,
   } catch (const std::exception& e) {
     outcome.ok = false;
     outcome.error = e.what();
+  }
+  run_span.end();
+  if (telemetry != nullptr) {
+    // After this returns the hub holds no pointer to phase_spine, so its
+    // destruction at scope exit cannot race a watchdog tick.
+    telemetry->unit_finish(slot, outcome.ok, outcome.error);
   }
   if (profile != nullptr) *profile = profiler.snapshot(spine.now_ns());
   resources = sampler.sample();
@@ -298,6 +347,35 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     std::filesystem::create_directories(spec.artifacts ? dir / "runs" : dir);
   }
 
+  // Live telemetry: streams and watchdog live for the duration of the
+  // fleet, entirely beside the deterministic artifacts (the hub attaches
+  // no scheduler sinks and writes no manifest bytes).
+  std::ofstream progress_file;
+  std::ofstream timeseries_file;
+  std::unique_ptr<obs::TelemetryHub> hub;
+  if (spec.telemetry_enabled()) {
+    obs::TelemetryOptions topt;
+    topt.interval_ms = spec.telemetry_interval_ms;
+    topt.total_units = result.units.size();
+    topt.lanes = spec.threads > 0 ? spec.threads : 1;
+    topt.stall_multiplier = spec.stall_multiplier;
+    topt.stall_floor_ms = spec.stall_floor_ms;
+    if (spec.progress && !spec.out_dir.empty()) {
+      progress_file.open(dir / "progress.jsonl");
+      NOCEAS_REQUIRE(progress_file.good(), "cannot write '" << (dir / "progress.jsonl").string()
+                                                            << '\'');
+      topt.progress = &progress_file;
+    }
+    if (spec.timeseries && !spec.out_dir.empty()) {
+      timeseries_file.open(dir / "timeseries.jsonl");
+      NOCEAS_REQUIRE(timeseries_file.good(),
+                     "cannot write '" << (dir / "timeseries.jsonl").string() << '\'');
+      topt.timeseries = &timeseries_file;
+    }
+    if (spec.ticker) topt.ticker = &std::cerr;
+    hub = std::make_unique<obs::TelemetryHub>(topt);
+  }
+
   // One private pool per campaign: unit i writes slot i, so the merge is
   // seq-ordered and independent of which lane ran what.  The schedulers'
   // own probe batches still go through the (distinct) shared probe pool;
@@ -305,9 +383,18 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   const unsigned workers = spec.threads > 1 ? spec.threads - 1 : 0;
   ThreadPool pool(workers);
   pool.parallel_for(result.units.size(), [&](std::size_t i, unsigned /*lane*/) {
-    run_one(spec, result.units[i], result.outcomes[i], result.resources[i],
-            spec.profile ? &result.profiles[i] : nullptr);
+    run_one(spec, i, result.units[i], result.outcomes[i], result.resources[i],
+            spec.profile ? &result.profiles[i] : nullptr, hub.get());
   });
+
+  if (hub != nullptr) {
+    hub->stop();
+    if (spec.timeseries && !spec.out_dir.empty()) {
+      std::ostringstream os;
+      obs::write_timeline_html(os, hub->timeline(), result.units.size());
+      write_file(dir / "timeline.html", os.str());
+    }
+  }
 
   if (!spec.out_dir.empty()) {
     const Aggregate aggregate = aggregate_outcomes(spec, result.units, result.outcomes);
@@ -401,8 +488,9 @@ void write_manifest_json(std::ostream& os, const CampaignResult& result) {
 }
 
 void write_resources_json(std::ostream& os, const CampaignResult& result) {
-  os << "{\"schema\":\"noceas.campaign.resources.v1\",\"threads\":" << result.spec.threads
-     << ",\"peak_rss_kb\":" << ResourceSampler::current_peak_rss_kb() << ",\"runs\":[";
+  os << "{\"schema\":\"noceas.campaign.resources.v2\",\"threads\":" << result.spec.threads
+     << ",\"peak_rss_kb\":" << ResourceSampler::current_peak_rss_kb()
+     << ",\"rss_kb\":" << ResourceSampler::current_rss_kb() << ",\"runs\":[";
   for (std::size_t i = 0; i < result.resources.size(); ++i) {
     const ResourceSample& r = result.resources[i];
     if (i > 0) os << ',';
@@ -410,7 +498,7 @@ void write_resources_json(std::ostream& os, const CampaignResult& result) {
     write_string(os, result.outcomes[i].id);
     os << ",\"wall_seconds\":" << fmt(r.wall_seconds)
        << ",\"cpu_seconds\":" << fmt(r.cpu_seconds) << ",\"peak_rss_kb\":" << r.peak_rss_kb
-       << '}';
+       << ",\"rss_kb\":" << r.rss_kb << '}';
   }
   os << "\n]}\n";
 }

@@ -15,14 +15,20 @@
 // unit i, and the manifest/aggregate documents contain no wall-clock
 // fields.  A campaign therefore produces *byte-identical* manifest and
 // aggregate JSON for any `threads` value.  Wall/CPU/RSS samples go into a
-// separate resources document (schema noceas.campaign.resources.v1) that is
-// explicitly outside the determinism contract.
+// separate resources document (schema noceas.campaign.resources.v2) that is
+// explicitly outside the determinism contract, and the live-telemetry
+// streams (progress.jsonl, timeseries.jsonl) follow the same segregation.
 //
 // Artifact layout under CampaignSpec::out_dir:
 //   manifest.json     "noceas.campaign.v1"            (deterministic)
 //   aggregate.json    "noceas.campaign.aggregate.v1"  (deterministic)
-//   resources.json    "noceas.campaign.resources.v1"  (non-deterministic)
+//   resources.json    "noceas.campaign.resources.v2"  (non-deterministic)
 //   dashboard.html    self-contained HTML dashboard
+//   progress.jsonl    "noceas.progress.v1" live event stream
+//                     (non-deterministic), when spec.progress is set
+//   timeseries.jsonl  "noceas.timeseries.v1" sampler stream and
+//   timeline.html     fleet-timeline strip (both non-deterministic),
+//                     when spec.timeseries is set
 //   profile.json      "noceas.profile.v1", fleet-merged span shapes
 //                     (deterministic), when spec.profile is set
 //   profile_timings.json / profile.folded
@@ -84,6 +90,21 @@ struct CampaignSpec {
   /// counters differ from a profile-less campaign (deterministically so).
   bool profile = false;
   std::string out_dir;     ///< manifest directory; empty = in-memory only
+
+  // Live telemetry (src/obs/telemetry.hpp).  Everything below is
+  // wall-clock-shaped and segregated from the deterministic artifacts:
+  // enabling it changes *which extra files exist*, never a byte of
+  // manifest/aggregate/dashboard.  Notably it attaches no scheduler sinks,
+  // so the lazy/eager probe-path selection is unaffected.
+  bool progress = false;    ///< write progress.jsonl ("noceas.progress.v1")
+  bool ticker = false;      ///< mirror progress to stderr as a one-line ticker
+  bool timeseries = false;  ///< write timeseries.jsonl + timeline.html
+  int telemetry_interval_ms = 250;   ///< sampler/watchdog period (0 = no thread)
+  double stall_multiplier = 20.0;    ///< watchdog: × rolling median unit wall
+  double stall_floor_ms = 1000.0;    ///< watchdog: deadline floor
+
+  /// True when any telemetry stream or the watchdog should be live.
+  [[nodiscard]] bool telemetry_enabled() const { return progress || ticker || timeseries; }
 };
 
 /// One expanded cell of the matrix, in deterministic expansion order.
@@ -168,8 +189,8 @@ struct CampaignResult {
 /// Writes the deterministic "noceas.campaign.v1" manifest document.
 void write_manifest_json(std::ostream& os, const CampaignResult& result);
 
-/// Writes the non-deterministic "noceas.campaign.resources.v1" document
-/// (per-run wall/CPU/peak-RSS samples).
+/// Writes the non-deterministic "noceas.campaign.resources.v2" document
+/// (per-run wall/CPU/current+peak-RSS samples).
 void write_resources_json(std::ostream& os, const CampaignResult& result);
 
 }  // namespace noceas::campaign

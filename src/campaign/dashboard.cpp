@@ -200,6 +200,12 @@ void write_dashboard_html(std::ostream& os, const CampaignResult& result,
      << "<p>Drill into any run with <code>noceas_cli analyze</code> (regenerate the instance "
      << "with the run's app + seed) or <code>noceas_cli explain --decisions "
      << "runs/&lt;run&gt;.decisions.jsonl --task T</code> when artifacts were recorded.</p>\n"
+     // Static text (not conditional on telemetry) so the dashboard stays
+     // byte-identical whether or not the live streams were captured.
+     << "<p>Wall-clock companions, when captured: <code>resources.json</code>, "
+     << "<code>progress.jsonl</code>, <code>timeseries.jsonl</code>, and the "
+     << "<a href=\"timeline.html\">fleet timeline</a> (units in flight + RSS over time; "
+     << "run the campaign with <code>--timeseries</code> to produce it).</p>\n"
      << "</body></html>\n";
 }
 

@@ -1,46 +1,15 @@
 // Per-run resource sampling for campaign execution.
 //
-// A ResourceSampler is constructed at the start of a unit of work and
-// sample()d at its end; the sample is the delta of wall time and of the
-// executing thread's CPU time, plus the process-wide peak RSS at sample
-// time.  Counters a platform cannot provide read as zero rather than
-// failing — campaign artifacts must be producible everywhere the scheduler
-// builds.
-//
-// All of this is wall-clock-adjacent and therefore *non-deterministic*: it
-// feeds the resources section of the campaign manifest, never the
-// deterministic outcome rows.
+// The implementation lives in the obs layer (src/obs/resources.hpp) so the
+// live-telemetry sampler can share it; this header keeps the historical
+// campaign-namespace spelling alive for existing call sites.
 #pragma once
 
-#include <cstdint>
+#include "src/obs/resources.hpp"
 
 namespace noceas::campaign {
 
-/// One resource measurement (deltas since the sampler's construction,
-/// except peak_rss_kb which is an absolute process-wide high-water mark).
-struct ResourceSample {
-  double wall_seconds = 0.0;    ///< steady-clock elapsed time
-  double cpu_seconds = 0.0;     ///< executing thread's CPU time (0 if unavailable)
-  std::int64_t peak_rss_kb = 0; ///< process peak resident set, KiB (0 if unavailable)
-};
-
-/// Captures a start point at construction; sample() returns the deltas.
-/// Samples are monotonic: a later sample() never reports smaller wall/CPU
-/// times or a smaller peak RSS than an earlier one.
-class ResourceSampler {
- public:
-  ResourceSampler();
-
-  [[nodiscard]] ResourceSample sample() const;
-
-  /// Process-wide peak RSS in KiB right now (0 when the platform has no
-  /// getrusage / ru_maxrss).  Exposed for host fingerprinting.
-  [[nodiscard]] static std::int64_t current_peak_rss_kb();
-
- private:
-  std::int64_t wall_start_ns_ = 0;
-  double cpu_start_s_ = 0.0;
-  bool cpu_available_ = false;
-};
+using obs::ResourceSample;
+using obs::ResourceSampler;
 
 }  // namespace noceas::campaign

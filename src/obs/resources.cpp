@@ -1,0 +1,142 @@
+#include "src/obs/resources.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define NOCEAS_HAVE_GETRUSAGE 1
+#else
+#define NOCEAS_HAVE_GETRUSAGE 0
+#endif
+
+#if defined(__linux__)
+#include <ctime>
+#include <unistd.h>
+#define NOCEAS_HAVE_THREAD_CPUTIME 1
+#define NOCEAS_HAVE_PROC_STATM 1
+#else
+#define NOCEAS_HAVE_THREAD_CPUTIME 0
+#define NOCEAS_HAVE_PROC_STATM 0
+#endif
+
+namespace noceas::obs {
+
+namespace {
+
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// CPU time of the calling thread in seconds; {0, false} when the platform
+/// has no per-thread clock.
+std::pair<double, bool> thread_cpu_seconds() {
+#if NOCEAS_HAVE_THREAD_CPUTIME
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return {static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9, true};
+  }
+#endif
+  return {0.0, false};
+}
+
+}  // namespace
+
+namespace detail {
+
+std::int64_t parse_statm_rss_kb(std::string_view statm, long page_size_bytes) {
+  if (page_size_bytes <= 0) return 0;
+  // statm is "size resident shared text lib data dt"; we want field 2.
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < statm.size() && std::isspace(static_cast<unsigned char>(statm[i]))) ++i;
+  };
+  const auto read_field = [&]() -> std::pair<std::int64_t, bool> {
+    skip_ws();
+    if (i >= statm.size() || !std::isdigit(static_cast<unsigned char>(statm[i]))) {
+      return {0, false};
+    }
+    std::int64_t v = 0;
+    while (i < statm.size() && std::isdigit(static_cast<unsigned char>(statm[i]))) {
+      v = v * 10 + (statm[i] - '0');
+      ++i;
+    }
+    return {v, true};
+  };
+  const auto [size_pages, size_ok] = read_field();
+  (void)size_pages;
+  if (!size_ok) return 0;
+  const auto [resident_pages, resident_ok] = read_field();
+  if (!resident_ok || resident_pages < 0) return 0;
+  return resident_pages * (static_cast<std::int64_t>(page_size_bytes) / 1024);
+}
+
+}  // namespace detail
+
+ResourceSampler::ResourceSampler() : wall_start_ns_(wall_now_ns()) {
+  const auto [cpu, ok] = thread_cpu_seconds();
+  cpu_start_s_ = cpu;
+  cpu_available_ = ok;
+}
+
+ResourceSample ResourceSampler::sample() const {
+  ResourceSample out;
+  const std::int64_t wall_ns = wall_now_ns() - wall_start_ns_;
+  out.wall_seconds = wall_ns > 0 ? static_cast<double>(wall_ns) * 1e-9 : 0.0;
+  if (cpu_available_) {
+    const auto [cpu, ok] = thread_cpu_seconds();
+    if (ok && cpu > cpu_start_s_) out.cpu_seconds = cpu - cpu_start_s_;
+  }
+  out.peak_rss_kb = current_peak_rss_kb();
+  out.rss_kb = current_rss_kb();
+  return out;
+}
+
+std::int64_t ResourceSampler::current_peak_rss_kb() {
+#if NOCEAS_HAVE_GETRUSAGE
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
+#else
+    return static_cast<std::int64_t>(ru.ru_maxrss);  // KiB on Linux/BSD
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::int64_t ResourceSampler::current_rss_kb() {
+#if NOCEAS_HAVE_PROC_STATM
+  // /proc/self/statm is two short integer fields away from the answer and
+  // never blocks; the read is a single syscall-sized buffer.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  char buf[128];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  return detail::parse_statm_rss_kb(std::string_view(buf, n), sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+double ResourceSampler::process_cpu_seconds() {
+#if NOCEAS_HAVE_GETRUSAGE
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    const auto tv_s = [](const timeval& tv) {
+      return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+    };
+    return tv_s(ru.ru_utime) + tv_s(ru.ru_stime);
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace noceas::obs

@@ -1,0 +1,68 @@
+// Process/thread resource sampling for the observability layer.
+//
+// A ResourceSampler is constructed at the start of a unit of work and
+// sample()d at its end; the sample is the delta of wall time and of the
+// executing thread's CPU time, plus the process-wide peak and current RSS
+// at sample time.  Counters a platform cannot provide read as zero rather
+// than failing — campaign artifacts must be producible everywhere the
+// scheduler builds.
+//
+// All of this is wall-clock-adjacent and therefore *non-deterministic*: it
+// feeds the resources section of the campaign manifest and the live
+// telemetry stream (src/obs/telemetry.hpp), never the deterministic
+// outcome rows.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace noceas::obs {
+
+/// One resource measurement (deltas since the sampler's construction,
+/// except the RSS fields which are absolute process-wide figures).
+struct ResourceSample {
+  double wall_seconds = 0.0;    ///< steady-clock elapsed time
+  double cpu_seconds = 0.0;     ///< executing thread's CPU time (0 if unavailable)
+  std::int64_t peak_rss_kb = 0; ///< process peak resident set, KiB (0 if unavailable)
+  std::int64_t rss_kb = 0;      ///< process current resident set, KiB (0 if unavailable)
+};
+
+/// Captures a start point at construction; sample() returns the deltas.
+/// Samples are monotonic: a later sample() never reports smaller wall/CPU
+/// times or a smaller peak RSS than an earlier one.  (Current RSS is not
+/// monotone — memory can be returned to the OS between samples.)
+class ResourceSampler {
+ public:
+  ResourceSampler();
+
+  [[nodiscard]] ResourceSample sample() const;
+
+  /// Process-wide peak RSS in KiB right now (0 when the platform has no
+  /// getrusage / ru_maxrss).  Exposed for host fingerprinting.
+  [[nodiscard]] static std::int64_t current_peak_rss_kb();
+
+  /// Process-wide *current* RSS in KiB (0 when the platform exposes
+  /// neither /proc/self/statm nor a Mach equivalent).
+  [[nodiscard]] static std::int64_t current_rss_kb();
+
+  /// Whole-process CPU time (user + system, all threads) in seconds; 0.0
+  /// when getrusage is unavailable.  The per-sampler cpu_seconds delta is
+  /// per-*thread*; this is the figure a process-level telemetry sampler
+  /// wants.
+  [[nodiscard]] static double process_cpu_seconds();
+
+ private:
+  std::int64_t wall_start_ns_ = 0;
+  double cpu_start_s_ = 0.0;
+  bool cpu_available_ = false;
+};
+
+namespace detail {
+/// Parses the resident-page count out of a /proc/self/statm line
+/// ("size resident shared ...") and converts to KiB given the page size.
+/// Returns 0 on any malformed input — the graceful-zero contract.
+/// Exposed for unit testing.
+[[nodiscard]] std::int64_t parse_statm_rss_kb(std::string_view statm, long page_size_bytes);
+}  // namespace detail
+
+}  // namespace noceas::obs

@@ -1,0 +1,219 @@
+// Live telemetry: time-series sampler, progress stream, and stall watchdog.
+//
+// Every other obs artifact (metrics.v1, profile.v1, analysis.v1, diff.v1)
+// is an end-of-run snapshot.  This subsystem answers the fleet-scale
+// question those cannot: "what is the run doing *right now*, and is
+// anything stuck?"  Three coupled pieces share one hub:
+//
+//  * A sampler thread that periodically (default 250 ms) folds the obs
+//    Registry plus process stats (wall, CPU, current/peak RSS via
+//    ResourceSampler) into an append-only `noceas.timeseries.v1` JSONL
+//    stream.
+//  * A progress stream (`noceas.progress.v1`): one JSONL event per unit
+//    start/finish/error carrying unit id, scheduler, wall ms, running
+//    done/total, and an EWMA-based ETA — optionally mirrored to stderr as
+//    a single-line ticker.
+//  * A stall watchdog: each in-flight unit gets a deadline (multiplier ×
+//    rolling median of finished unit wall times, floored); a trip emits a
+//    `stall` event naming the unit and every lane's currently-open span
+//    path (Tracer::open_span_paths()), so a hung run names its phase
+//    without a debugger.
+//
+// Both streams are wall-clock-shaped and therefore *non-deterministic*;
+// they are segregated from the deterministic campaign artifacts exactly
+// like resources.json.  summarize_stream() folds either stream into a
+// deterministic-shape summary (and, for progress streams, deterministic
+// *content*: event counts per unit carry no timestamps), which is what
+// tests and the dashboard timeline consume.
+//
+// Threading: all hub state lives under one mutex; unit_start/unit_finish
+// are called from worker lanes, tick() from the sampler thread (or
+// manually, for deterministic tests, with interval_ms = 0).  A unit's
+// span-spine Tracer outlives its in-flight registration: unit_finish()
+// removes the tracer pointer under the hub lock before the caller may
+// destroy the tracer, so a concurrent watchdog tick never dereferences a
+// dead tracer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+#include <condition_variable>
+
+namespace noceas::obs {
+
+class Registry;  // src/obs/metrics.hpp
+class Tracer;    // src/obs/trace.hpp
+
+struct TelemetryOptions {
+  /// Sampler/watchdog period.  0 disables the background thread entirely —
+  /// tests drive the hub with explicit tick() calls instead.
+  int interval_ms = 250;
+  /// `noceas.timeseries.v1` JSONL sink (null = no time series).
+  std::ostream* timeseries = nullptr;
+  /// Registry whose counters/gauges each sample folds in (may be null).
+  const Registry* registry = nullptr;
+  /// `noceas.progress.v1` JSONL sink (null = no progress stream).
+  std::ostream* progress = nullptr;
+  /// Live single-line ticker sink, conventionally stderr (null = none).
+  std::ostream* ticker = nullptr;
+  /// Fleet size, for done/total and the ETA.
+  std::size_t total_units = 0;
+  /// Worker lanes executing units concurrently; divides the ETA.
+  unsigned lanes = 1;
+  /// A unit is stalled once open for multiplier × median finished wall ms.
+  double stall_multiplier = 20.0;
+  /// ...but never earlier than this floor (guards tiny medians).
+  double stall_floor_ms = 1000.0;
+  /// EWMA smoothing for the per-unit wall time that feeds the ETA.
+  double ewma_alpha = 0.25;
+};
+
+/// One tripped watchdog (also emitted to the progress stream as a `stall`
+/// event and logged at warn level).
+struct StallEvent {
+  std::string unit;
+  double open_ms = 0.0;      ///< how long the unit had been in flight
+  double deadline_ms = 0.0;  ///< the deadline it blew through
+  std::vector<std::string> spans;  ///< per-lane open span paths at trip time
+};
+
+/// One sampler observation kept for the fleet-timeline strip.
+struct TimelinePoint {
+  double t_ms = 0.0;
+  int inflight = 0;
+  std::size_t done = 0;
+  std::int64_t rss_kb = 0;
+};
+
+class TelemetryHub {
+ public:
+  explicit TelemetryHub(TelemetryOptions options);
+  ~TelemetryHub();
+
+  TelemetryHub(const TelemetryHub&) = delete;
+  TelemetryHub& operator=(const TelemetryHub&) = delete;
+
+  /// A worker lane began executing unit `slot` (its index in the fleet).
+  /// `spans` is the unit's telemetry span spine; it must stay alive until
+  /// this slot's unit_finish() returns.  May be null (no phase attribution
+  /// on stall).
+  void unit_start(std::size_t slot, const std::string& id, const std::string& scheduler,
+                  const Tracer* spans);
+
+  /// The unit finished (ok) or threw (`error` non-empty).  After this
+  /// returns the caller may destroy the unit's span spine.
+  void unit_finish(std::size_t slot, bool ok, const std::string& error);
+
+  /// One sampler + watchdog pass.  The background thread calls this every
+  /// interval_ms; tests with interval_ms = 0 call it directly.
+  void tick();
+
+  /// Stops the background thread (if any), takes a final sample, and
+  /// finishes the ticker line.  Idempotent; the destructor calls it.
+  void stop();
+
+  /// Watchdog trips so far (stable order: trip time).
+  [[nodiscard]] std::vector<StallEvent> stalls() const;
+
+  /// Sampler observations for the fleet-timeline strip.
+  [[nodiscard]] std::vector<TimelinePoint> timeline() const;
+
+ private:
+  struct InFlight {
+    std::string id;
+    std::string scheduler;
+    const Tracer* spans = nullptr;
+    std::int64_t start_ns = 0;
+    bool stalled = false;
+  };
+
+  void sample_locked();    ///< emit one timeseries sample (m_ held)
+  void watchdog_locked();  ///< check in-flight deadlines (m_ held)
+  void ticker_locked(const std::string& last_unit);
+  [[nodiscard]] double now_ms_locked() const;
+  [[nodiscard]] double median_wall_ms_locked() const;
+  [[nodiscard]] double eta_ms_locked() const;
+
+  const TelemetryOptions options_;
+  const std::int64_t t0_ns_;
+
+  mutable std::mutex m_;
+  std::map<std::size_t, InFlight> inflight_;
+  std::vector<double> finished_wall_ms_;  ///< kept sorted (median lookup)
+  std::size_t done_ = 0;
+  std::size_t ok_ = 0;
+  std::size_t errors_ = 0;
+  double ewma_wall_ms_ = 0.0;
+  bool ewma_seeded_ = false;
+  std::vector<StallEvent> stalls_;
+  std::vector<TimelinePoint> timeline_;
+  std::size_t ticker_width_ = 0;  ///< widest ticker line yet (for \r erase)
+  bool stopped_ = false;
+
+  std::condition_variable cv_;
+  bool quit_ = false;  ///< under m_; wakes the sampler thread for shutdown
+  std::thread sampler_;
+};
+
+// ---------------------------------------------------------------------------
+// Stream summarization (the deterministic-shape view of either stream).
+
+/// Per-series fold of a timeseries stream: count/min/max/last.
+struct SeriesStat {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;
+};
+
+/// Per-unit fold of a progress stream.  Event *counts* only — no wall
+/// times — so the summary is byte-identical across thread counts.
+struct UnitStat {
+  std::uint64_t starts = 0;
+  std::uint64_t finishes = 0;  ///< finish + error events
+  std::uint64_t ok = 0;
+};
+
+struct StreamSummary {
+  std::string source_schema;  ///< schema line of the summarized stream
+
+  // Populated for `noceas.timeseries.v1` input:
+  std::uint64_t samples = 0;
+  std::map<std::string, SeriesStat> series;
+
+  // Populated for `noceas.progress.v1` input:
+  std::uint64_t total = 0;
+  std::uint64_t starts = 0;
+  std::uint64_t finishes = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t stall_events = 0;
+  bool done_monotone = true;  ///< running `done` never decreased
+  bool eta_finite_after_second_finish = true;
+  std::map<std::string, UnitStat> units;
+};
+
+/// Folds one JSONL stream (timeseries or progress; dispatched on the
+/// header's schema) into its summary.  Throws noceas::Error on a stream
+/// whose header is missing or names an unknown schema.
+[[nodiscard]] StreamSummary summarize_stream(std::istream& in);
+
+/// Writes the summary as one deterministic JSON document
+/// (`noceas.stream.summary.v1`).
+void write_summary_json(std::ostream& os, const StreamSummary& summary);
+
+/// Human-readable rendering of the summary.
+void print_summary(std::ostream& os, const StreamSummary& summary);
+
+/// Renders the fleet-timeline strip (units in flight + RSS over time) as a
+/// small self-contained HTML document.  Wall-clock-shaped, so it lives
+/// beside timeline data's source streams, never inside dashboard.html.
+void write_timeline_html(std::ostream& os, const std::vector<TimelinePoint>& points,
+                         std::size_t total_units);
+
+}  // namespace noceas::obs

@@ -116,11 +116,40 @@ void Tracer::push(const TraceEvent& e) {
 }
 
 void Tracer::span_open(const char* name) {
+  Lane& lane = this_lane();
+  const int d = lane.open_depth.load(std::memory_order_relaxed);
+  if (d < kMaxOpenDepth) lane.open_names[static_cast<std::size_t>(d)].store(name, std::memory_order_relaxed);
+  // Release so a watchdog thread that acquire-loads the new depth also
+  // sees the name written above.
+  lane.open_depth.store(d + 1, std::memory_order_release);
   if (options_.profiler != nullptr) options_.profiler->open(name);
 }
 
 void Tracer::span_close(std::int64_t dur_ns) {
+  Lane& lane = this_lane();
+  const int d = lane.open_depth.load(std::memory_order_relaxed);
+  if (d > 0) lane.open_depth.store(d - 1, std::memory_order_release);
   if (options_.profiler != nullptr) options_.profiler->close(dur_ns);
+}
+
+std::vector<std::string> Tracer::open_span_paths() const {
+  std::lock_guard<std::mutex> lk(lanes_m_);
+  std::vector<std::string> out;
+  for (const Lane& lane : lanes_) {
+    const int depth = lane.open_depth.load(std::memory_order_acquire);
+    if (depth <= 0) continue;
+    std::string path;
+    const int named = depth < kMaxOpenDepth ? depth : kMaxOpenDepth;
+    for (int i = 0; i < named; ++i) {
+      const char* name = lane.open_names[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+      if (name == nullptr) continue;  // racing close/open: slot momentarily empty
+      if (!path.empty()) path += ';';
+      path += name;
+    }
+    if (depth > kMaxOpenDepth) path += ";...";
+    if (!path.empty()) out.push_back(std::move(path));
+  }
+  return out;
 }
 
 std::vector<std::uint64_t> Tracer::dropped_per_lane() const {

@@ -29,6 +29,7 @@
 // chrome://tracing.  See docs/OBSERVABILITY.md for the span taxonomy.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -37,6 +38,7 @@
 #include <iosfwd>
 #include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -134,11 +136,26 @@ class Tracer {
   [[nodiscard]] std::vector<std::uint64_t> dropped_per_lane() const;
 
   /// Span open/close notifications from ScopedSpan, forwarded to the
-  /// attached profiler (no-ops without one).  Open fires before the span's
-  /// start timestamp is taken, close after its duration is computed, so
-  /// profiler bookkeeping is excluded from the span's own time.
+  /// attached profiler (no-ops without one) and mirrored into a per-lane
+  /// open-span stack.  Open fires before the span's start timestamp is
+  /// taken, close after its duration is computed, so the bookkeeping is
+  /// excluded from the span's own time.
   void span_open(const char* name);
   void span_close(std::int64_t dur_ns);
+
+  /// The currently-open span path of every lane, one ";"-joined string per
+  /// lane with at least one open span (e.g. "unit.run;unit.schedule"),
+  /// sorted by lane id.  Safe to call from any thread *while other threads
+  /// are emitting* — this is the stall watchdog's view into a live run, so
+  /// it cannot wait for quiescence the way merged() does.  Each lane's
+  /// stack is read with an acquire-ordered depth load; a torn read across
+  /// a concurrent open/close can at worst report the path as it was a
+  /// moment ago, never garbage.  Depth beyond kMaxOpenDepth is tracked but
+  /// the path is truncated with a ";..." suffix.
+  [[nodiscard]] std::vector<std::string> open_span_paths() const;
+
+  /// Deepest open-span nesting the per-lane stacks can name.
+  static constexpr int kMaxOpenDepth = 32;
 
   /// The attached streaming profiler (null when none).
   [[nodiscard]] Profiler* profiler() const { return options_.profiler; }
@@ -156,6 +173,12 @@ class Tracer {
     std::vector<TraceEvent> ring;
     std::size_t head = 0;       ///< next overwrite position once full
     std::uint64_t dropped = 0;  ///< events this lane overwrote
+    /// Open-span stack: names of spans entered but not yet closed on this
+    /// lane, readable concurrently by open_span_paths().  The owning
+    /// thread release-stores open_depth after writing the name slot;
+    /// readers acquire-load the depth and then read only slots below it.
+    std::array<std::atomic<const char*>, kMaxOpenDepth> open_names{};
+    std::atomic<int> open_depth{0};
   };
 
   Lane& this_lane();

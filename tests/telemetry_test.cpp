@@ -1,0 +1,357 @@
+// Live-telemetry tests: progress stream, time-series sampler, stall
+// watchdog, open-span paths, and resource sampling.
+//
+// The load-bearing properties: a 20-unit campaign emits exactly one start
+// and one finish per unit with a monotone done counter and a finite ETA
+// from the second finish on; the progress *summary* is byte-identical for
+// 1 and 4 threads (the deterministic-shape view of a wall-clock stream);
+// enabling telemetry changes no byte of the deterministic artifacts; and a
+// deliberately stalled unit trips the watchdog exactly once, naming the
+// unit and its open span path.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/campaign/campaign.hpp"
+#include "src/campaign/aggregate.hpp"
+#include "src/campaign/dashboard.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/resources.hpp"
+#include "src/obs/telemetry.hpp"
+#include "src/obs/trace.hpp"
+#include "src/util/error.hpp"
+
+namespace noceas::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Small custom app so a 20-run campaign stays fast under sanitizers.
+campaign::AppSpec small_app(const std::string& name, std::size_t tasks) {
+  campaign::AppSpec app;
+  app.kind = campaign::AppSpec::Kind::Custom;
+  app.custom_name = name;
+  app.custom.num_tasks = tasks;
+  app.custom.num_edges = tasks * 2;
+  app.custom.avg_layer_width = 4.0;
+  return app;
+}
+
+/// 2 apps x 5 seeds x 2 schedulers = 20 runs.
+campaign::CampaignSpec small_spec() {
+  campaign::CampaignSpec spec;
+  spec.apps = {small_app("tiny-a", 18), small_app("tiny-b", 24)};
+  spec.seeds = {1, 2, 3, 4, 5};
+  spec.schedulers = {"edf", "greedy"};
+  return spec;
+}
+
+StreamSummary summarize_file(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  return summarize_stream(in);
+}
+
+std::string summary_json(const StreamSummary& summary) {
+  std::ostringstream os;
+  write_summary_json(os, summary);
+  return os.str();
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() / ("noceas_telemetry_" + tag)) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(Progress, TwentyUnitCampaignEmitsOneStartOneFinishPerUnit) {
+  TempDir dir("progress20");
+  campaign::CampaignSpec spec = small_spec();
+  spec.out_dir = dir.path().string();
+  spec.progress = true;
+  spec.telemetry_interval_ms = 0;  // no background thread needed here
+  const campaign::CampaignResult result = campaign::run_campaign(spec);
+  ASSERT_EQ(result.units.size(), 20u);
+
+  const StreamSummary s = summarize_file(dir.path() / "progress.jsonl");
+  EXPECT_EQ(s.source_schema, "noceas.progress.v1");
+  EXPECT_EQ(s.total, 20u);
+  EXPECT_EQ(s.starts, 20u);
+  EXPECT_EQ(s.finishes, 20u);
+  EXPECT_EQ(s.ok + s.errors, 20u);
+  EXPECT_EQ(s.stall_events, 0u);
+  EXPECT_TRUE(s.done_monotone);
+  EXPECT_TRUE(s.eta_finite_after_second_finish);
+  ASSERT_EQ(s.units.size(), 20u);
+  for (const auto& [id, unit] : s.units) {
+    EXPECT_EQ(unit.starts, 1u) << id;
+    EXPECT_EQ(unit.finishes, 1u) << id;
+  }
+  // Every manifest unit appears in the stream under its manifest id.
+  for (const campaign::RunUnit& unit : result.units) {
+    EXPECT_EQ(s.units.count(unit.id), 1u) << unit.id;
+  }
+}
+
+TEST(Progress, SummaryByteIdenticalAcrossThreadCounts) {
+  TempDir dir1("threads1");
+  TempDir dir4("threads4");
+  campaign::CampaignSpec spec = small_spec();
+  spec.progress = true;
+
+  spec.threads = 1;
+  spec.out_dir = dir1.path().string();
+  (void)campaign::run_campaign(spec);
+  spec.threads = 4;
+  spec.out_dir = dir4.path().string();
+  (void)campaign::run_campaign(spec);
+
+  const std::string s1 = summary_json(summarize_file(dir1.path() / "progress.jsonl"));
+  const std::string s4 = summary_json(summarize_file(dir4.path() / "progress.jsonl"));
+  EXPECT_EQ(s1, s4);
+  EXPECT_NE(s1.find("\"noceas.stream.summary.v1\""), std::string::npos);
+}
+
+TEST(Campaign, DeterministicArtifactsIdenticalWithTelemetryOnAndOff) {
+  TempDir off("teleoff");
+  TempDir on("teleon");
+  campaign::CampaignSpec spec = small_spec();
+  spec.threads = 2;
+
+  spec.out_dir = off.path().string();
+  (void)campaign::run_campaign(spec);
+
+  spec.out_dir = on.path().string();
+  spec.progress = true;
+  spec.timeseries = true;
+  spec.telemetry_interval_ms = 50;
+  (void)campaign::run_campaign(spec);
+
+  for (const char* name : {"manifest.json", "aggregate.json", "dashboard.html"}) {
+    EXPECT_EQ(slurp(off.path() / name), slurp(on.path() / name)) << name;
+  }
+  // The telemetry streams exist only on the enabled side.
+  EXPECT_FALSE(fs::exists(off.path() / "progress.jsonl"));
+  EXPECT_TRUE(fs::exists(on.path() / "progress.jsonl"));
+  EXPECT_TRUE(fs::exists(on.path() / "timeseries.jsonl"));
+  EXPECT_TRUE(fs::exists(on.path() / "timeline.html"));
+  const StreamSummary ts = summarize_file(on.path() / "timeseries.jsonl");
+  EXPECT_EQ(ts.source_schema, "noceas.timeseries.v1");
+  EXPECT_GE(ts.samples, 1u);  // stop() guarantees at least the final sample
+}
+
+TEST(Watchdog, ManualTickTripsExactlyOnceWithOpenSpanPath) {
+  std::ostringstream progress;
+  TelemetryOptions opt;
+  opt.interval_ms = 0;  // manual tick()
+  opt.progress = &progress;
+  opt.total_units = 4;
+  opt.stall_multiplier = 1.0;
+  opt.stall_floor_ms = 5.0;
+
+  TelemetryHub hub(opt);
+  // Two quick finishes arm the watchdog (it needs a median to trust).
+  hub.unit_start(0, "fast-a", "edf", nullptr);
+  hub.unit_finish(0, true, "");
+  hub.unit_start(1, "fast-b", "edf", nullptr);
+  hub.unit_finish(1, true, "");
+
+  Tracer spans({.record_events = false});
+  {
+    OBS_SPAN(&spans, "unit.run");
+    OBS_SPAN(&spans, "unit.schedule");
+    hub.unit_start(2, "slow-c", "greedy", &spans);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    hub.tick();
+    hub.tick();  // second tick must not re-trip the same unit
+  }
+  hub.unit_finish(2, true, "");
+  hub.stop();
+
+  const std::vector<StallEvent> stalls = hub.stalls();
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].unit, "slow-c");
+  EXPECT_GE(stalls[0].open_ms, stalls[0].deadline_ms);
+  ASSERT_EQ(stalls[0].spans.size(), 1u);
+  EXPECT_EQ(stalls[0].spans[0], "unit.run;unit.schedule");
+
+  // The stream carries the stall event and stays a valid progress stream.
+  std::istringstream in(progress.str());
+  const StreamSummary s = summarize_stream(in);
+  EXPECT_EQ(s.stall_events, 1u);
+  EXPECT_EQ(s.starts, 3u);
+  EXPECT_EQ(s.finishes, 3u);
+  EXPECT_NE(progress.str().find("\"unit.run;unit.schedule\""), std::string::npos);
+}
+
+TEST(Watchdog, DoesNotArmBeforeTwoFinishes) {
+  TelemetryOptions opt;
+  opt.interval_ms = 0;
+  opt.total_units = 2;
+  opt.stall_multiplier = 1.0;
+  opt.stall_floor_ms = 1.0;
+  TelemetryHub hub(opt);
+
+  hub.unit_start(0, "lonely", "eas", nullptr);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  hub.tick();  // would trip if armed — but no finished median exists yet
+  EXPECT_TRUE(hub.stalls().empty());
+  hub.unit_finish(0, true, "");
+  hub.stop();
+}
+
+TEST(Timeseries, SamplerFoldsRegistryAndProcessStats) {
+  std::ostringstream out;
+  Registry registry;
+  registry.counter("demo.widgets").inc(7);
+  TelemetryOptions opt;
+  opt.interval_ms = 0;
+  opt.timeseries = &out;
+  opt.registry = &registry;
+  opt.total_units = 3;
+
+  TelemetryHub hub(opt);
+  hub.unit_start(0, "u0", "eas", nullptr);
+  hub.tick();
+  hub.unit_finish(0, true, "");
+  hub.tick();
+  hub.stop();  // takes the final sample
+
+  std::istringstream in(out.str());
+  const StreamSummary s = summarize_stream(in);
+  EXPECT_EQ(s.source_schema, "noceas.timeseries.v1");
+  EXPECT_GE(s.samples, 3u);
+  ASSERT_EQ(s.series.count("demo.widgets"), 1u);
+  EXPECT_DOUBLE_EQ(s.series.at("demo.widgets").last, 7.0);
+  for (const char* key : {"proc.wall_ms", "proc.cpu_s", "proc.rss_kb", "proc.peak_rss_kb",
+                          "units.inflight", "units.done", "units.stalled"}) {
+    EXPECT_EQ(s.series.count(key), 1u) << key;
+  }
+  EXPECT_DOUBLE_EQ(s.series.at("units.done").last, 1.0);
+  EXPECT_DOUBLE_EQ(s.series.at("units.inflight").max, 1.0);
+  // The timeline mirror kept one point per sample.
+  EXPECT_EQ(hub.timeline().size(), s.samples);
+}
+
+TEST(Timeseries, SummarizeRejectsMissingOrUnknownHeader) {
+  std::istringstream empty("");
+  EXPECT_THROW((void)summarize_stream(empty), Error);
+  std::istringstream unknown("{\"schema\":\"noceas.mystery.v9\"}\n");
+  EXPECT_THROW((void)summarize_stream(unknown), Error);
+}
+
+TEST(Timeseries, SummaryFoldIsExact) {
+  std::istringstream in(
+      "{\"schema\":\"noceas.timeseries.v1\",\"interval_ms\":250}\n"
+      "{\"t_ms\":1,\"series\":{\"a\":3,\"b\":-1}}\n"
+      "{\"t_ms\":2,\"series\":{\"a\":5}}\n"
+      "{\"t_ms\":3,\"series\":{\"a\":4,\"b\":2}}\n");
+  const StreamSummary s = summarize_stream(in);
+  EXPECT_EQ(s.samples, 3u);
+  ASSERT_EQ(s.series.size(), 2u);
+  EXPECT_EQ(s.series.at("a").count, 3u);
+  EXPECT_DOUBLE_EQ(s.series.at("a").min, 3.0);
+  EXPECT_DOUBLE_EQ(s.series.at("a").max, 5.0);
+  EXPECT_DOUBLE_EQ(s.series.at("a").last, 4.0);
+  EXPECT_EQ(s.series.at("b").count, 2u);
+  EXPECT_DOUBLE_EQ(s.series.at("b").min, -1.0);
+  EXPECT_DOUBLE_EQ(s.series.at("b").last, 2.0);
+}
+
+TEST(Timeline, HtmlRendersPointsAndEmptyFallback) {
+  std::vector<TimelinePoint> points;
+  points.push_back({0.0, 1, 0, 1000});
+  points.push_back({100.0, 2, 1, 2000});
+  std::ostringstream os;
+  write_timeline_html(os, points, 4);
+  const std::string html = os.str();
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("fleet timeline"), std::string::npos);
+
+  // An empty timeline still renders a complete document (no polyline).
+  std::ostringstream empty_os;
+  write_timeline_html(empty_os, {}, 0);
+  EXPECT_NE(empty_os.str().find("0 samples"), std::string::npos);
+  EXPECT_EQ(empty_os.str().find("<polyline"), std::string::npos);
+  EXPECT_NE(empty_os.str().find("</html>"), std::string::npos);
+}
+
+TEST(Tracer, OpenSpanPathsReflectsLiveNesting) {
+  Tracer tracer({.record_events = false});
+  EXPECT_TRUE(tracer.open_span_paths().empty());
+  {
+    OBS_SPAN(&tracer, "outer");
+    {
+      OBS_SPAN(&tracer, "inner");
+      const std::vector<std::string> paths = tracer.open_span_paths();
+      ASSERT_EQ(paths.size(), 1u);
+      EXPECT_EQ(paths[0], "outer;inner");
+    }
+    const std::vector<std::string> paths = tracer.open_span_paths();
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0], "outer");
+  }
+  EXPECT_TRUE(tracer.open_span_paths().empty());
+}
+
+TEST(Tracer, OpenSpanPathsSeesEveryEmittingLane) {
+  Tracer tracer({.record_events = false});
+  OBS_SPAN(&tracer, "main.lane");
+  std::thread worker([&] {
+    OBS_SPAN(&tracer, "worker.lane");
+    const std::vector<std::string> paths = tracer.open_span_paths();
+    EXPECT_EQ(paths.size(), 2u);
+  });
+  worker.join();
+  // The worker's span closed with the thread; only this lane stays open.
+  const std::vector<std::string> paths = tracer.open_span_paths();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], "main.lane");
+}
+
+TEST(Resources, StatmParserGracefulZeroOnMalformedInput) {
+  // "size resident shared ..." — resident is field two, in pages.
+  EXPECT_EQ(detail::parse_statm_rss_kb("1234 567 89 0 0 0 0", 4096), 567 * 4);
+  EXPECT_EQ(detail::parse_statm_rss_kb("8 2 1", 1024), 2);
+  EXPECT_EQ(detail::parse_statm_rss_kb("", 4096), 0);
+  EXPECT_EQ(detail::parse_statm_rss_kb("1234", 4096), 0);       // missing field
+  EXPECT_EQ(detail::parse_statm_rss_kb("12 abc 3", 4096), 0);   // non-numeric
+  EXPECT_EQ(detail::parse_statm_rss_kb("12 34 5", 0), 0);       // no page size
+  EXPECT_EQ(detail::parse_statm_rss_kb("12 34 5", -4096), 0);   // negative page size
+}
+
+TEST(Resources, CurrentRssAndProcessCpuAreSane) {
+  EXPECT_GE(ResourceSampler::current_rss_kb(), 0);
+  EXPECT_GE(ResourceSampler::process_cpu_seconds(), 0.0);
+  const ResourceSampler sampler;
+  const ResourceSample sample = sampler.sample();
+  EXPECT_GE(sample.rss_kb, 0);
+#ifdef __linux__
+  // A running gtest binary definitely has resident pages on Linux; other
+  // platforms may degrade to the graceful zero.
+  EXPECT_GT(ResourceSampler::current_rss_kb(), 0);
+  EXPECT_GT(sample.rss_kb, 0);
+#endif
+}
+
+}  // namespace
+}  // namespace noceas::obs

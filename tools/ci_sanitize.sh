@@ -19,6 +19,13 @@
 #     asserting the manifest/aggregate invariants (every run ok, byte-
 #     identical reruns across thread counts, bit-exact mean reconciliation)
 #     and that the dashboard renders
+#   - telemetry stage (ASan/UBSan build, plus a TSan'd live campaign): the
+#     progress/timeseries streams and the stall watchdog end to end — an
+#     artificially slowed unit (NOCEAS_TEST_STALL_UNIT/_MS) must produce
+#     exactly one stall event naming that unit and its open span path, the
+#     streams must be schema-valid with one start + one finish per unit,
+#     and manifest/aggregate/dashboard must be byte-identical with
+#     sampling on vs off
 #   - diff stage (same build): the first-divergence engine under ASan/UBSan —
 #     six-scheduler self-diff must be empty (exit 0), a decision stream with
 #     one tampered mid-stream place record must be localized to exactly that
@@ -71,7 +78,7 @@ configure_and_test "${prefix}-asan" "address,undefined"
 # the multi-lane tracer / lock-free metrics (obs_test).
 # halt_on_error makes a race fail the ctest run instead of just logging.
 TSAN_OPTIONS="halt_on_error=1" \
-  configure_and_test "${prefix}-tsan" "thread" "ProbeCache|ProbeEngine|ThreadPool|TentativeTables|list_common|Metrics|Trace|Repair|Timing|SuffixRebuild|BudgetRetries|LazyProbes"
+  configure_and_test "${prefix}-tsan" "thread" "ProbeCache|ProbeEngine|ThreadPool|TentativeTables|list_common|Metrics|Trace|Repair|Timing|SuffixRebuild|BudgetRetries|LazyProbes|Progress|Watchdog|Timeseries"
 
 # Audit-replay stage, reusing the ASan/UBSan binaries: record a decision
 # stream end to end through the CLI, replay-verify it, and validate the
@@ -184,6 +191,85 @@ with open(os.path.join(d, "dashboard.html")) as f:
 assert "</html>" in html and "<svg" in html
 PY
 echo "    campaign: determinism + reconciliation + dashboard OK"
+
+# Live-telemetry stage.  Three contracts, end to end through the CLI:
+#  1. Segregation: the deterministic artifacts are byte-identical with the
+#     sampler + progress stream + watchdog enabled vs fully disabled
+#     (telemetry only ever adds files; camp/ above is the disabled side).
+#  2. Stall localization: a unit artificially slowed via the span-spine
+#     test hook must produce exactly one stall event naming that unit and
+#     an open span path ending in the hook's span.
+#  3. Stream validity: progress.jsonl carries one start + one finish per
+#     unit with a monotone done counter, timeseries.jsonl carries schema'd
+#     samples, and `timeseries summarize` folds both.
+# The watchdog/sampler threads also get a TSan pass: the telemetry unit
+# tests run under the thread-sanitized suite above, and a live sampled +
+# watchdogged mini-campaign runs under the TSan binaries here.
+echo "==> [telemetry] byte-identity with sampling on vs off"
+"$cli" campaign --out "$audit_dir/campT" --categories 1 --seeds 3 \
+  --schedulers eas,edf --threads 4 --progress --timeseries \
+  --telemetry-interval-ms 50 >/dev/null
+for f in manifest.json aggregate.json dashboard.html; do
+  cmp "$audit_dir/camp/$f" "$audit_dir/campT/$f" \
+    || { echo "FAIL: $f differs with telemetry enabled"; exit 1; }
+done
+[[ -s "$audit_dir/campT/progress.jsonl" && -s "$audit_dir/campT/timeseries.jsonl" \
+   && -s "$audit_dir/campT/timeline.html" ]] \
+  || { echo "FAIL: telemetry streams missing from campT"; exit 1; }
+echo "    manifest/aggregate/dashboard identical; streams + timeline present"
+
+echo "==> [telemetry] injected stall localization under ASan/UBSan"
+stall_unit="cat1-i0-s3-edf"  # the last unit in expansion order
+NOCEAS_TEST_STALL_UNIT="$stall_unit" NOCEAS_TEST_STALL_MS=8000 \
+  "$cli" campaign --out "$audit_dir/campS" --categories 1 --seeds 3 \
+  --schedulers eas,edf --threads 2 --progress --timeseries \
+  --telemetry-interval-ms 100 --stall-multiplier 2 --stall-floor-ms 500 \
+  >/dev/null 2>"$audit_dir/campS_stderr.txt"
+python3 - "$audit_dir/campS" "$stall_unit" <<'PY'
+import json, os, sys
+d, stall_unit = sys.argv[1], sys.argv[2]
+lines = open(os.path.join(d, "progress.jsonl")).read().splitlines()
+header = json.loads(lines[0])
+assert header["schema"] == "noceas.progress.v1", header
+total = header["total"]
+starts, finishes, stalls, prev_done = {}, {}, [], 0
+for line in lines[1:]:
+    ev = json.loads(line)
+    if ev["ev"] == "start":
+        starts[ev["unit"]] = starts.get(ev["unit"], 0) + 1
+    elif ev["ev"] in ("finish", "error"):
+        finishes[ev["unit"]] = finishes.get(ev["unit"], 0) + 1
+        assert ev["done"] >= prev_done, "done counter went backwards"
+        prev_done = ev["done"]
+    elif ev["ev"] == "stall":
+        stalls.append(ev)
+assert len(starts) == total and all(n == 1 for n in starts.values()), starts
+assert len(finishes) == total and all(n == 1 for n in finishes.values()), finishes
+assert prev_done == total
+# Exactly one stall, naming the slowed unit, localized to the hook's span.
+assert len(stalls) == 1, stalls
+assert stalls[0]["unit"] == stall_unit, stalls[0]
+assert any("test.stall_hook" in s for s in stalls[0]["spans"]), stalls[0]
+assert stalls[0]["open_ms"] >= stalls[0]["deadline_ms"] > 0
+ts_lines = open(os.path.join(d, "timeseries.jsonl")).read().splitlines()
+assert json.loads(ts_lines[0])["schema"] == "noceas.timeseries.v1"
+assert len(ts_lines) >= 2 and all("series" in json.loads(l) for l in ts_lines[1:])
+print("    stall localized to %s (spans: %s); streams valid"
+      % (stall_unit, stalls[0]["spans"]))
+PY
+"$cli" timeseries summarize --in "$audit_dir/campS/progress.jsonl" \
+  --json "$audit_dir/campS_progress_summary.json" >/dev/null
+"$cli" timeseries summarize --in "$audit_dir/campS/timeseries.jsonl" >/dev/null
+grep -q '"stalls":1' "$audit_dir/campS_progress_summary.json" \
+  || { echo "FAIL: progress summary does not count the stall"; exit 1; }
+echo "    timeseries summarize: both streams fold OK"
+
+echo "==> [telemetry] sampled + watchdogged mini-campaign under TSan"
+TSAN_OPTIONS="halt_on_error=1" \
+  "${prefix}-tsan/tools/noceas_cli" campaign --out "$audit_dir/campTsan" \
+  --categories 1 --seeds 2 --schedulers eas,edf --threads 4 \
+  --progress --timeseries --telemetry-interval-ms 20 >/dev/null
+echo "    TSan live campaign clean"
 
 # Differential-observability stage (same ASan/UBSan binaries): the diff
 # engine's core contracts, end to end through the CLI.

@@ -36,10 +36,15 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "src/analysis/analysis.hpp"
 #include "src/audit/decision_log.hpp"
@@ -62,6 +67,7 @@
 #include "src/noc/platform_io.hpp"
 #include "src/obs/diff.hpp"
 #include "src/obs/profile.hpp"
+#include "src/obs/telemetry.hpp"
 #include "src/sim/wormhole_sim.hpp"
 #include "src/util/log.hpp"
 #include "src/util/table.hpp"
@@ -100,7 +106,7 @@ int usage() {
       "             [--scheduler eas|eas-base|edf|dls|greedy|map]\n"
       "             [--gantt] [--svg FILE] [--link-heat] [--dot FILE] [--simulate] [--dvs]\n"
       "             [--trace FILE] [--metrics FILE] [--decisions FILE] [--schedule-out FILE]\n"
-      "             [--profile FILE] [--profile-folded FILE]\n"
+      "             [--profile FILE] [--profile-folded FILE] [--timeseries FILE]\n"
       "  noceas_cli explain --decisions FILE --task ID\n"
       "  noceas_cli audit --replay --decisions FILE --ctg FILE --platform FILE\n"
       "             [--profile FILE] [--profile-folded FILE]\n"
@@ -113,6 +119,9 @@ int usage() {
       "             [--categories 1,2] [--indices 0,1,..] [--msb APP[:CLIP],..]\n"
       "             [--seeds N | --seed-list 3,7,9] [--schedulers eas,edf,dls]\n"
       "             [--threads N] [--artifacts] [--profile]\n"
+      "             [--progress] [--timeseries] [--telemetry-interval-ms N]\n"
+      "             [--stall-multiplier X] [--stall-floor-ms N]\n"
+      "  noceas_cli timeseries summarize --in FILE [--json FILE]\n"
       "  noceas_cli diff [--ctg FILE --platform FILE]\n"
       "             --scheduler-a NAME | --decisions-a FILE | --schedule-a FILE\n"
       "             --scheduler-b NAME | --decisions-b FILE | --schedule-b FILE\n"
@@ -133,6 +142,9 @@ int usage() {
       "                  aggregated inline at span close, never truncated)\n"
       "  --profile-folded FILE  write the collapsed-stack text (weight = self ns;\n"
       "                  load in speedscope.app or FlameGraph)\n"
+      "  --timeseries FILE  sample the metrics registry + process stats into a\n"
+      "                  noceas.timeseries.v1 JSONL stream while the run executes\n"
+      "                  (every 250 ms; fold it with `timeseries summarize`)\n"
       "  --link-heat     tint the --svg link lanes by utilization\n"
       "  --decisions FILE     write the decision provenance JSONL\n"
       "                       (schema noceas.decisions.v1; input to explain/audit)\n"
@@ -160,6 +172,24 @@ int usage() {
       "--artifacts additionally records per-run metrics/analysis/decisions\n"
       "under runs/.  manifest.json and aggregate.json are byte-identical for\n"
       "any --threads value.\n"
+      "\n"
+      "campaign live telemetry (all outside the determinism contract —\n"
+      "manifest/aggregate/dashboard bytes never change with these on or off):\n"
+      "  --progress      write progress.jsonl (noceas.progress.v1: one event per\n"
+      "                  unit start/finish/error with done/total + EWMA ETA, plus\n"
+      "                  stall events from the watchdog) and, when stderr is a\n"
+      "                  terminal, render a live single-line ticker\n"
+      "  --timeseries    write timeseries.jsonl (noceas.timeseries.v1 sampler\n"
+      "                  stream) and timeline.html (fleet timeline strip)\n"
+      "  --telemetry-interval-ms N   sampler/watchdog period (default 250)\n"
+      "  --stall-multiplier X  a unit is stalled after X x the rolling median\n"
+      "                  unit wall time (default 20; arms after 2 finishes)\n"
+      "  --stall-floor-ms N    ...but never earlier than N ms (default 1000)\n"
+      "\n"
+      "timeseries summarize folds a noceas.timeseries.v1 or noceas.progress.v1\n"
+      "JSONL stream into a deterministic-shape summary (per-series\n"
+      "count/min/max/last; per-unit event counts).  --json writes the\n"
+      "noceas.stream.summary.v1 document.\n"
       "\n"
       "diff explains how two runs (or two campaigns) diverged.  Each side is a\n"
       "live scheduler run (--scheduler-a/-b, needs --ctg/--platform), a recorded\n"
@@ -351,8 +381,24 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
   obs::Registry registry;
   audit::DecisionLog decision_log;
   obs::Tracer* const tr = (flags.count("trace") || profile) ? &tracer : nullptr;
-  obs::Registry* const metrics = flags.count("metrics") ? &registry : nullptr;
+  // --timeseries samples the registry live, so it needs the metrics sink
+  // attached even without --metrics (which alone controls the file write).
+  obs::Registry* const metrics =
+      (flags.count("metrics") || flags.count("timeseries")) ? &registry : nullptr;
   audit::DecisionLog* const decisions = flags.count("decisions") ? &decision_log : nullptr;
+
+  // Live time series of the run: registry values + process stats, sampled
+  // every 250 ms into a noceas.timeseries.v1 JSONL stream.
+  std::ofstream timeseries_file;
+  std::unique_ptr<obs::TelemetryHub> hub;
+  if (flags.count("timeseries")) {
+    timeseries_file.open(flags.at("timeseries"));
+    NOCEAS_REQUIRE(timeseries_file.good(), "cannot write '" << flags.at("timeseries") << '\'');
+    obs::TelemetryOptions topt;
+    topt.timeseries = &timeseries_file;
+    topt.registry = &registry;
+    hub = std::make_unique<obs::TelemetryHub>(topt);
+  }
 
   Schedule s;
   EnergyBreakdown energy;
@@ -472,8 +518,13 @@ int cmd_schedule(const std::map<std::string, std::string>& flags) {
                 << " events (raise TracerOptions::max_events_per_lane); "
                    "per-lane drop counts are in the trace header");
   }
+  if (hub != nullptr) {
+    hub->stop();  // final sample, so even a sub-250 ms run yields data
+    std::cout << "wrote " << flags.at("timeseries") << " (" << hub->timeline().size()
+              << " samples)\n";
+  }
   if (profile) write_profile_outputs(flags, profiler, tracer);
-  if (metrics != nullptr) {
+  if (flags.count("metrics")) {
     std::ofstream os(flags.at("metrics"));
     NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("metrics") << '\'');
     registry.write_json(os);
@@ -870,6 +921,25 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
   require_usage(spec.threads > 0, "--threads must be positive");
   spec.artifacts = flags.count("artifacts") > 0;
   spec.profile = flags.count("profile") > 0;
+  spec.progress = flags.count("progress") > 0;
+  spec.timeseries = flags.count("timeseries") > 0;
+#if defined(__unix__) || defined(__APPLE__)
+  // The live ticker redraws one line with \r — only sensible on a real
+  // terminal; a redirected stderr gets the progress.jsonl stream instead.
+  spec.ticker = spec.progress && isatty(fileno(stderr)) != 0;
+#endif
+  if (flags.count("telemetry-interval-ms")) {
+    spec.telemetry_interval_ms = std::stoi(flags.at("telemetry-interval-ms"));
+    require_usage(spec.telemetry_interval_ms >= 0, "--telemetry-interval-ms must be >= 0");
+  }
+  if (flags.count("stall-multiplier")) {
+    spec.stall_multiplier = std::stod(flags.at("stall-multiplier"));
+    require_usage(spec.stall_multiplier > 0.0, "--stall-multiplier must be positive");
+  }
+  if (flags.count("stall-floor-ms")) {
+    spec.stall_floor_ms = std::stod(flags.at("stall-floor-ms"));
+    require_usage(spec.stall_floor_ms >= 0.0, "--stall-floor-ms must be >= 0");
+  }
 
   const campaign::CampaignResult result = campaign::run_campaign(spec);
   const campaign::Aggregate aggregate =
@@ -895,8 +965,25 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
   std::cout << "wrote " << spec.out_dir << "/{manifest.json,aggregate.json,resources.json,"
             << "dashboard.html}"
             << (spec.profile ? " + {profile.json,profile_timings.json,profile.folded}" : "")
+            << (spec.progress ? " + progress.jsonl" : "")
+            << (spec.timeseries ? " + {timeseries.jsonl,timeline.html}" : "")
             << (spec.artifacts ? " + runs/*" : "") << '\n';
   return aggregate.failed_runs > 0 ? kExitRunFailed : kExitOk;
+}
+
+int cmd_timeseries_summarize(const std::map<std::string, std::string>& flags) {
+  require_usage(flags.count("in") > 0, "timeseries summarize requires --in FILE");
+  std::ifstream is(flags.at("in"));
+  NOCEAS_REQUIRE(is.good(), "cannot open stream file '" << flags.at("in") << '\'');
+  const obs::StreamSummary summary = obs::summarize_stream(is);
+  obs::print_summary(std::cout, summary);
+  if (flags.count("json")) {
+    std::ofstream os(flags.at("json"));
+    NOCEAS_REQUIRE(os.good(), "cannot write '" << flags.at("json") << '\'');
+    obs::write_summary_json(os, summary);
+    std::cout << "wrote " << flags.at("json") << '\n';
+  }
+  return kExitOk;
 }
 
 }  // namespace
@@ -940,7 +1027,8 @@ int main(int argc, char** argv) {
                                       {"ctg", "platform", "scheduler", "gantt", "svg",
                                        "link-heat", "critical-path", "contention", "dot",
                                        "simulate", "dvs", "trace", "metrics", "decisions",
-                                       "schedule-out", "profile", "profile-folded"}));
+                                       "schedule-out", "profile", "profile-folded",
+                                       "timeseries"}));
     }
     if (cmd == "explain") {
       return cmd_explain(parse_flags(argc, argv, 2, {"decisions", "task"}));
@@ -964,7 +1052,14 @@ int main(int argc, char** argv) {
       return cmd_campaign(parse_flags(argc, argv, 2,
                                       {"out", "categories", "indices", "msb", "seeds",
                                        "seed-list", "schedulers", "threads", "artifacts",
-                                       "profile"}));
+                                       "profile", "progress", "timeseries",
+                                       "telemetry-interval-ms", "stall-multiplier",
+                                       "stall-floor-ms"}));
+    }
+    if (cmd == "timeseries") {
+      require_usage(argc >= 3 && std::string(argv[2]) == "summarize",
+                    "timeseries supports one subcommand: summarize");
+      return cmd_timeseries_summarize(parse_flags(argc, argv, 3, {"in", "json"}));
     }
     if (cmd == "diff") {
       return cmd_diff(parse_flags(argc, argv, 2,
@@ -976,7 +1071,9 @@ int main(int argc, char** argv) {
     std::cerr << "usage error: " << e.what() << '\n';
     return kExitBadInvocation;
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
+    // Through the log gate (same "error: " prefix) so --log-level governs
+    // every diagnostic line the CLI can produce.
+    NOCEAS_ERROR(e.what());
     return kExitRunFailed;
   }
   return usage();
