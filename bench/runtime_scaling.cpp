@@ -18,10 +18,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/baseline/edf.hpp"
+#include "src/campaign/campaign.hpp"
+#include "src/campaign/shard.hpp"
 #include "src/core/eas.hpp"
 #include "src/core/obs_export.hpp"
 #include "src/gen/tgff.hpp"
@@ -239,6 +243,66 @@ BENCHMARK(BM_EasBase_TaskScaling_NoCache)
     ->Range(64, 1024)
     ->Unit(benchmark::kMillisecond)
     ->Complexity();
+
+/// Custom campaign app for the merge bench (mirrors the campaign tests).
+campaign::AppSpec merge_bench_app(const std::string& name, std::size_t tasks) {
+  campaign::AppSpec app;
+  app.kind = campaign::AppSpec::Kind::Custom;
+  app.custom_name = name;
+  app.custom.num_tasks = tasks;
+  app.custom.num_edges = tasks * 2;
+  app.custom.avg_layer_width = 4.0;
+  return app;
+}
+
+/// A 3-shard fleet of the 20-unit mini-campaign, run once per process
+/// (setup, outside any timed loop).
+const std::vector<std::string>& merge_bench_shards() {
+  static const std::vector<std::string> dirs = [] {
+    namespace fs = std::filesystem;
+    const fs::path root = fs::temp_directory_path() / "noceas_bench_merge";
+    fs::remove_all(root);
+    std::vector<std::string> out;
+    for (unsigned i = 0; i < 3; ++i) {
+      campaign::CampaignSpec spec;
+      spec.apps = {merge_bench_app("bench-a", 18), merge_bench_app("bench-b", 24)};
+      spec.seeds = {1, 2, 3, 4, 5};
+      spec.schedulers = {"edf", "greedy"};
+      std::string name = "s";
+      name += std::to_string(i);
+      spec.out_dir = (root / name).string();
+      spec.shard_index = i;
+      spec.shard_count = 3;
+      (void)campaign::run_campaign(spec);
+      out.push_back(spec.out_dir);
+    }
+    return out;
+  }();
+  return dirs;
+}
+
+/// Fleet-merge throughput: parse + validate + reassemble + rewrite of the
+/// deterministic artifacts from 3 shard directories.  Exports merged
+/// units/sec ("units_per_s"), which tools/bench_compare.py records in the
+/// perf baseline and trajectory — fleet-path regressions are caught like
+/// scheduler regressions.
+void BM_CampaignMerge(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  campaign::MergeOptions options;
+  options.shard_dirs = merge_bench_shards();
+  const fs::path out = fs::temp_directory_path() / "noceas_bench_merge" / "merged";
+  options.out_dir = out.string();
+  std::size_t units = 0;
+  for (auto _ : state) {
+    fs::remove_all(out);
+    const campaign::MergeReport report = campaign::merge_shards(options);
+    units += report.units;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["units_per_s"] =
+      benchmark::Counter(static_cast<double>(units), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CampaignMerge)->Unit(benchmark::kMillisecond);
 
 bool same_schedule(const TaskGraph& g, const Schedule& a, const Schedule& b) {
   for (TaskId t : g.all_tasks()) {

@@ -20,6 +20,7 @@
 #include "src/campaign/aggregate.hpp"
 #include "src/campaign/dashboard.hpp"
 #include "src/campaign/json_util.hpp"
+#include "src/campaign/shard.hpp"
 #include "src/core/eas.hpp"
 #include "src/core/validator.hpp"
 #include "src/gen/hetero.hpp"
@@ -129,11 +130,9 @@ ReasonMix reason_mix(const analysis::CriticalPath& path) {
   return ReasonMix{split.head, split.dep, split.pe, split.link};
 }
 
-/// Relative artifact paths inside the manifest directory (deterministic —
-/// never absolute).
-std::string metrics_path(const RunUnit& u) { return "runs/" + u.id + ".metrics.json"; }
-std::string analysis_path(const RunUnit& u) { return "runs/" + u.id + ".analysis.json"; }
-std::string decisions_path(const RunUnit& u) { return "runs/" + u.id + ".decisions.jsonl"; }
+using detail::analysis_path;
+using detail::decisions_path;
+using detail::metrics_path;
 
 void write_file(const std::filesystem::path& path, const std::string& content) {
   std::ofstream os(path);
@@ -270,7 +269,70 @@ void write_reason_mix(std::ostream& os, const ReasonMix& mix) {
      << ",\"link_busy\":" << mix.link_busy << '}';
 }
 
-void write_app_spec(std::ostream& os, const AppSpec& app) {
+/// Content hashes of the unit's artifact files, read back after run_one so
+/// the shard row records what actually hit disk.
+ArtifactHashes hash_artifacts(const CampaignSpec& spec, const std::filesystem::path& dir,
+                              const RunUnit& unit, const RunOutcome& outcome) {
+  ArtifactHashes hashes;
+  if (!spec.artifacts || spec.out_dir.empty() || !outcome.ok) return hashes;
+  hashes.metrics = detail::file_fnv1a_hex((dir / metrics_path(unit)).string());
+  hashes.analysis = detail::file_fnv1a_hex((dir / analysis_path(unit)).string());
+  hashes.decisions = detail::file_fnv1a_hex((dir / decisions_path(unit)).string());
+  return hashes;
+}
+
+/// Rows of `spec.resume_from`'s shard.jsonl that survive validation:
+/// parsed cleanly (a killed run's torn tail is dropped), owned by this
+/// shard, succeeded, id still matching the expanded unit, and — with
+/// artifacts on — every artifact file matching its recorded hash.
+std::vector<ShardRow> reusable_rows(const CampaignSpec& spec,
+                                    const std::vector<RunUnit>& units) {
+  std::vector<ShardRow> rows;
+  if (spec.resume_from.empty()) return rows;
+  const std::filesystem::path prev(spec.resume_from);
+  std::ifstream is(prev / "shard.jsonl");
+  if (!is.good()) return rows;  // nothing recorded yet: run everything
+  const ShardManifest m = read_shard_manifest(is, /*lenient=*/true);
+  NOCEAS_REQUIRE(m.fingerprint == spec_fingerprint(spec),
+                 "resume: '" << spec.resume_from
+                             << "' holds a different campaign (spec fingerprint "
+                             << m.fingerprint << " != " << spec_fingerprint(spec) << ')');
+  NOCEAS_REQUIRE(m.shard == spec.shard_index && m.shards == spec.shard_count,
+                 "resume: '" << spec.resume_from << "' is shard " << m.shard << '/' << m.shards
+                             << ", not " << spec.shard_index << '/' << spec.shard_count);
+  for (const ShardRow& row : m.rows) {
+    if (row.unit >= units.size() || row.unit % spec.shard_count != spec.shard_index) continue;
+    if (!row.outcome.ok || row.outcome.id != units[row.unit].id) continue;
+    if (spec.artifacts) {
+      if (!row.hashes.any()) continue;
+      const RunUnit& unit = units[row.unit];
+      const auto valid = [&](const std::string& rel, const std::string& want) {
+        try {
+          return detail::file_fnv1a_hex((prev / rel).string()) == want;
+        } catch (const Error&) {
+          return false;  // artifact gone: re-run the unit
+        }
+      };
+      if (!valid(metrics_path(unit), row.hashes.metrics) ||
+          !valid(analysis_path(unit), row.hashes.analysis) ||
+          !valid(decisions_path(unit), row.hashes.decisions)) {
+        continue;
+      }
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::string metrics_path(const RunUnit& u) { return "runs/" + u.id + ".metrics.json"; }
+std::string analysis_path(const RunUnit& u) { return "runs/" + u.id + ".analysis.json"; }
+std::string decisions_path(const RunUnit& u) { return "runs/" + u.id + ".decisions.jsonl"; }
+
+void write_app_spec_json(std::ostream& os, const AppSpec& app) {
   os << "{\"name\":";
   write_string(os, app.name());
   os << ",\"kind\":\""
@@ -289,7 +351,43 @@ void write_app_spec(std::ostream& os, const AppSpec& app) {
   os << '}';
 }
 
-}  // namespace
+void write_outcome_json(std::ostream& os, const RunOutcome& r, const RunUnit* unit) {
+  os << "{\"id\":";
+  write_string(os, r.id);
+  os << ",\"app\":";
+  write_string(os, r.app);
+  os << ",\"seed\":" << r.seed << ",\"scheduler\":";
+  write_string(os, r.scheduler);
+  os << ",\"ok\":" << (r.ok ? "true" : "false");
+  if (!r.ok) {
+    os << ",\"error\":";
+    write_string(os, r.error);
+    os << '}';
+    return;
+  }
+  os << ",\"num_tasks\":" << r.num_tasks << ",\"num_edges\":" << r.num_edges
+     << ",\"energy\":" << fmt(r.energy_total) << ",\"energy_comp\":" << fmt(r.energy_comp)
+     << ",\"energy_comm\":" << fmt(r.energy_comm) << ",\"makespan\":" << r.makespan
+     << ",\"miss_count\":" << r.miss_count << ",\"tardiness\":" << r.tardiness
+     << ",\"avg_hops\":" << fmt(r.avg_hops)
+     << ",\"deadlines_met\":" << (r.deadlines_met ? "true" : "false") << ",\"reasons\":";
+  write_reason_mix(os, r.reasons);
+  os << ",\"probes_issued\":" << r.probes_issued
+     << ",\"probe_cache_hits\":" << r.probe_cache_hits
+     << ",\"probe_hit_rate\":" << fmt(r.probe_hit_rate);
+  if (unit != nullptr) {
+    os << ",\"artifacts\":{\"metrics\":";
+    write_string(os, metrics_path(*unit));
+    os << ",\"analysis\":";
+    write_string(os, analysis_path(*unit));
+    os << ",\"decisions\":";
+    write_string(os, decisions_path(*unit));
+    os << '}';
+  }
+  os << '}';
+}
+
+}  // namespace detail
 
 std::string AppSpec::name() const {
   switch (kind) {
@@ -335,16 +433,57 @@ obs::ProfileSnapshot CampaignResult::fleet_profile() const {
 }
 
 CampaignResult run_campaign(const CampaignSpec& spec) {
+  NOCEAS_REQUIRE(spec.shard_count >= 1, "campaign shard_count must be >= 1");
+  NOCEAS_REQUIRE(spec.shard_index < spec.shard_count,
+                 "campaign shard_index " << spec.shard_index << " out of range for shard_count "
+                                         << spec.shard_count);
+  NOCEAS_REQUIRE(spec.resume_from.empty() || !spec.profile,
+                 "campaign resume cannot be combined with profile "
+                 "(per-unit profiles are not persisted per manifest row)");
+
   CampaignResult result;
   result.spec = spec;
   result.units = expand_spec(spec);
   result.outcomes.resize(result.units.size());
   result.resources.resize(result.units.size());
   if (spec.profile) result.profiles.resize(result.units.size());
+  // Round-robin unit ownership: global index ≡ shard_index (mod
+  // shard_count).  Interleaving spreads each app's expensive seeds across
+  // the fleet instead of handing one shard a whole hot category.
+  for (std::size_t i = spec.shard_index; i < result.units.size(); i += spec.shard_count) {
+    result.shard_units.push_back(i);
+  }
+  const bool sharded = spec.shard_count > 1;
+  const bool with_artifacts = spec.artifacts && !spec.out_dir.empty();
 
   const std::filesystem::path dir(spec.out_dir);
   if (!spec.out_dir.empty()) {
     std::filesystem::create_directories(spec.artifacts ? dir / "runs" : dir);
+  }
+
+  // Resume: pre-fill slots whose previous rows (and artifacts) validate;
+  // everything else executes below.  The artifact copies matter only when
+  // resuming into a fresh directory.
+  std::vector<ArtifactHashes> hashes(result.units.size());
+  std::vector<char> prefilled(result.units.size(), 0);
+  for (const ShardRow& row : reusable_rows(spec, result.units)) {
+    result.outcomes[row.unit] = row.outcome;
+    hashes[row.unit] = row.hashes;
+    prefilled[row.unit] = 1;
+    ++result.resumed_units;
+    if (with_artifacts && spec.resume_from != spec.out_dir) {
+      const std::filesystem::path prev(spec.resume_from);
+      const RunUnit& unit = result.units[row.unit];
+      for (const std::string& rel :
+           {metrics_path(unit), analysis_path(unit), decisions_path(unit)}) {
+        std::filesystem::copy_file(prev / rel, dir / rel,
+                                   std::filesystem::copy_options::overwrite_existing);
+      }
+    }
+  }
+  std::vector<std::size_t> pending;
+  for (std::size_t i : result.shard_units) {
+    if (prefilled[i] == 0) pending.push_back(i);
   }
 
   // Live telemetry: streams and watchdog live for the duration of the
@@ -356,7 +495,7 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
   if (spec.telemetry_enabled()) {
     obs::TelemetryOptions topt;
     topt.interval_ms = spec.telemetry_interval_ms;
-    topt.total_units = result.units.size();
+    topt.total_units = pending.size();
     topt.lanes = spec.threads > 0 ? spec.threads : 1;
     topt.stall_multiplier = spec.stall_multiplier;
     topt.stall_floor_ms = spec.stall_floor_ms;
@@ -376,40 +515,89 @@ CampaignResult run_campaign(const CampaignSpec& spec) {
     hub = std::make_unique<obs::TelemetryHub>(topt);
   }
 
+  // Incremental partial manifest: the header goes out before any unit
+  // runs, resumed rows follow, and every finished unit appends its row
+  // under the stream mutex — a killed shard loses at most a torn final
+  // line, which the lenient resume reader drops.  The file is rewritten in
+  // global unit order (deterministic bytes) once the fleet completes.
+  std::ofstream shard_stream;
+  std::mutex shard_m;
+  if (!spec.out_dir.empty()) {
+    shard_stream.open(dir / "shard.jsonl");
+    NOCEAS_REQUIRE(shard_stream.good(),
+                   "cannot write '" << (dir / "shard.jsonl").string() << '\'');
+    write_shard_header_json(shard_stream, spec, result.units.size());
+    for (std::size_t i : result.shard_units) {
+      if (prefilled[i] != 0) {
+        write_shard_row_json(shard_stream, i, result.outcomes[i],
+                             with_artifacts ? &result.units[i] : nullptr, hashes[i]);
+      }
+    }
+    shard_stream.flush();
+  }
+
   // One private pool per campaign: unit i writes slot i, so the merge is
   // seq-ordered and independent of which lane ran what.  The schedulers'
   // own probe batches still go through the (distinct) shared probe pool;
   // its submissions are serialized internally and bit-neutral.
   const unsigned workers = spec.threads > 1 ? spec.threads - 1 : 0;
   ThreadPool pool(workers);
-  pool.parallel_for(result.units.size(), [&](std::size_t i, unsigned /*lane*/) {
+  pool.parallel_for(pending.size(), [&](std::size_t k, unsigned /*lane*/) {
+    const std::size_t i = pending[k];
     run_one(spec, i, result.units[i], result.outcomes[i], result.resources[i],
             spec.profile ? &result.profiles[i] : nullptr, hub.get());
+    if (shard_stream.is_open()) {
+      const ArtifactHashes h =
+          hash_artifacts(spec, dir, result.units[i], result.outcomes[i]);
+      std::lock_guard<std::mutex> lk(shard_m);
+      hashes[i] = h;
+      write_shard_row_json(shard_stream, i, result.outcomes[i],
+                           with_artifacts ? &result.units[i] : nullptr, hashes[i]);
+      shard_stream.flush();
+    }
   });
 
   if (hub != nullptr) {
     hub->stop();
     if (spec.timeseries && !spec.out_dir.empty()) {
       std::ostringstream os;
-      obs::write_timeline_html(os, hub->timeline(), result.units.size());
+      obs::write_timeline_html(os, hub->timeline(), pending.size());
       write_file(dir / "timeline.html", os.str());
     }
   }
 
   if (!spec.out_dir.empty()) {
-    const Aggregate aggregate = aggregate_outcomes(spec, result.units, result.outcomes);
+    // Final deterministic form of the partial manifest: same header, rows
+    // sorted into global unit order.
+    shard_stream.close();
     std::ostringstream os;
-    write_manifest_json(os, result);
-    write_file(dir / "manifest.json", os.str());
+    write_shard_header_json(os, spec, result.units.size());
+    for (std::size_t i : result.shard_units) {
+      write_shard_row_json(os, i, result.outcomes[i],
+                           with_artifacts ? &result.units[i] : nullptr, hashes[i]);
+    }
+    write_file(dir / "shard.jsonl", os.str());
     os.str("");
-    write_aggregate_json(os, aggregate);
-    write_file(dir / "aggregate.json", os.str());
-    os.str("");
+
+    // A sharded run holds a fraction of the fleet's rows: the
+    // manifest/aggregate/dashboard schemas would lie about the campaign, so
+    // only `merge` writes them.  The wall-clock companions (resources,
+    // profile, telemetry streams) are per-process by nature and are written
+    // either way.
+    if (!sharded) {
+      const Aggregate aggregate = aggregate_outcomes(spec, result.units, result.outcomes);
+      write_manifest_json(os, result);
+      write_file(dir / "manifest.json", os.str());
+      os.str("");
+      write_aggregate_json(os, aggregate);
+      write_file(dir / "aggregate.json", os.str());
+      os.str("");
+      write_dashboard_html(os, result, aggregate);
+      write_file(dir / "dashboard.html", os.str());
+      os.str("");
+    }
     write_resources_json(os, result);
     write_file(dir / "resources.json", os.str());
-    os.str("");
-    write_dashboard_html(os, result, aggregate);
-    write_file(dir / "dashboard.html", os.str());
     if (spec.profile) {
       const obs::ProfileSnapshot fleet = result.fleet_profile();
       os.str("");
@@ -433,7 +621,7 @@ void write_manifest_json(std::ostream& os, const CampaignResult& result) {
   os << "{\"schema\":\"noceas.campaign.v1\",\"spec\":{\"apps\":[";
   for (std::size_t i = 0; i < spec.apps.size(); ++i) {
     if (i > 0) os << ',';
-    write_app_spec(os, spec.apps[i]);
+    detail::write_app_spec_json(os, spec.apps[i]);
   }
   os << "],\"seeds\":[";
   for (std::size_t i = 0; i < spec.seeds.size(); ++i) {
@@ -446,43 +634,13 @@ void write_manifest_json(std::ostream& os, const CampaignResult& result) {
     write_string(os, spec.schedulers[i]);
   }
   os << "],\"artifacts\":" << (spec.artifacts ? "true" : "false") << "},\"runs\":[";
+  const bool with_artifacts = spec.artifacts && !spec.out_dir.empty();
   for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
-    const RunOutcome& r = result.outcomes[i];
     if (i > 0) os << ',';
-    os << "\n{\"id\":";
-    write_string(os, r.id);
-    os << ",\"app\":";
-    write_string(os, r.app);
-    os << ",\"seed\":" << r.seed << ",\"scheduler\":";
-    write_string(os, r.scheduler);
-    os << ",\"ok\":" << (r.ok ? "true" : "false");
-    if (!r.ok) {
-      os << ",\"error\":";
-      write_string(os, r.error);
-      os << '}';
-      continue;
-    }
-    os << ",\"num_tasks\":" << r.num_tasks << ",\"num_edges\":" << r.num_edges
-       << ",\"energy\":" << fmt(r.energy_total) << ",\"energy_comp\":" << fmt(r.energy_comp)
-       << ",\"energy_comm\":" << fmt(r.energy_comm) << ",\"makespan\":" << r.makespan
-       << ",\"miss_count\":" << r.miss_count << ",\"tardiness\":" << r.tardiness
-       << ",\"avg_hops\":" << fmt(r.avg_hops)
-       << ",\"deadlines_met\":" << (r.deadlines_met ? "true" : "false") << ",\"reasons\":";
-    write_reason_mix(os, r.reasons);
-    os << ",\"probes_issued\":" << r.probes_issued
-       << ",\"probe_cache_hits\":" << r.probe_cache_hits
-       << ",\"probe_hit_rate\":" << fmt(r.probe_hit_rate);
-    if (spec.artifacts && !spec.out_dir.empty()) {
-      const RunUnit& unit = result.units[i];
-      os << ",\"artifacts\":{\"metrics\":";
-      write_string(os, metrics_path(unit));
-      os << ",\"analysis\":";
-      write_string(os, analysis_path(unit));
-      os << ",\"decisions\":";
-      write_string(os, decisions_path(unit));
-      os << '}';
-    }
-    os << '}';
+    os << '\n';
+    detail::write_outcome_json(os, result.outcomes[i],
+                               with_artifacts && result.outcomes[i].ok ? &result.units[i]
+                                                                       : nullptr);
   }
   os << "\n]}\n";
 }
@@ -491,9 +649,12 @@ void write_resources_json(std::ostream& os, const CampaignResult& result) {
   os << "{\"schema\":\"noceas.campaign.resources.v2\",\"threads\":" << result.spec.threads
      << ",\"peak_rss_kb\":" << ResourceSampler::current_peak_rss_kb()
      << ",\"rss_kb\":" << ResourceSampler::current_rss_kb() << ",\"runs\":[";
-  for (std::size_t i = 0; i < result.resources.size(); ++i) {
+  // Owned slots only: a sharded campaign reports the runs it executed (a
+  // full campaign owns every slot, so the document is unchanged there).
+  for (std::size_t k = 0; k < result.shard_units.size(); ++k) {
+    const std::size_t i = result.shard_units[k];
     const ResourceSample& r = result.resources[i];
-    if (i > 0) os << ',';
+    if (k > 0) os << ',';
     os << "\n{\"id\":";
     write_string(os, result.outcomes[i].id);
     os << ",\"wall_seconds\":" << fmt(r.wall_seconds)

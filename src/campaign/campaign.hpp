@@ -91,6 +91,25 @@ struct CampaignSpec {
   bool profile = false;
   std::string out_dir;     ///< manifest directory; empty = in-memory only
 
+  // Fleet sharding (src/campaign/shard.hpp).  A campaign with
+  // shard_count > 1 executes only the units whose *global* index is
+  // congruent to shard_index modulo shard_count and writes a partial
+  // manifest (shard.jsonl, schema "noceas.campaign.shard.v1") instead of
+  // the manifest/aggregate/dashboard trio; `merge_shards` later
+  // reconstitutes those artifacts byte-identically from all N shard
+  // directories.  shard_count == 1 runs the whole fleet as before (and
+  // still writes shard.jsonl, so every campaign directory is resumable
+  // and mergeable).
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
+  /// Directory holding a previous shard.jsonl of the *same* spec and shard
+  /// geometry whose validated rows should be reused instead of re-run
+  /// (empty = fresh run).  Rows are reused only when they parsed cleanly,
+  /// succeeded, and — with artifacts on — every artifact file still matches
+  /// its recorded content hash; everything else re-runs.  Incompatible with
+  /// `profile` (per-unit profiles are not persisted per row).
+  std::string resume_from;
+
   // Live telemetry (src/obs/telemetry.hpp).  Everything below is
   // wall-clock-shaped and segregated from the deterministic artifacts:
   // enabling it changes *which extra files exist*, never a byte of
@@ -171,6 +190,13 @@ struct CampaignResult {
   /// deterministic, durations are not.  `fleet_profile()` merges them.
   std::vector<obs::ProfileSnapshot> profiles;
 
+  /// Global indices of the units this process owned (all of them when
+  /// shard_count == 1).  Slots outside this list hold default-constructed
+  /// outcomes/resources.
+  std::vector<std::size_t> shard_units;
+  /// Rows reused from `resume_from` instead of re-executed.
+  std::size_t resumed_units = 0;
+
   /// Slot-ordered merge of every unit profile — deterministic shapes for
   /// any thread count.
   [[nodiscard]] obs::ProfileSnapshot fleet_profile() const;
@@ -192,5 +218,27 @@ void write_manifest_json(std::ostream& os, const CampaignResult& result);
 /// Writes the non-deterministic "noceas.campaign.resources.v2" document
 /// (per-run wall/CPU/current+peak-RSS samples).
 void write_resources_json(std::ostream& os, const CampaignResult& result);
+
+namespace detail {
+
+// Shared serialization of the deterministic manifest pieces.  The shard
+// writer (shard.cpp) emits the exact same bytes as write_manifest_json for
+// the spec echo and each outcome row, which is what makes a merged manifest
+// byte-identical to a single-process one.
+
+/// One spec-echo app object, exactly as the manifest writer emits it.
+void write_app_spec_json(std::ostream& os, const AppSpec& app);
+
+/// One deterministic outcome row ("{...}"), exactly as the manifest writer
+/// emits it.  `unit` non-null appends the relative artifact-path object
+/// (callers pass it only when the campaign records artifacts).
+void write_outcome_json(std::ostream& os, const RunOutcome& r, const RunUnit* unit);
+
+/// Relative per-run artifact paths inside a campaign directory.
+[[nodiscard]] std::string metrics_path(const RunUnit& u);
+[[nodiscard]] std::string analysis_path(const RunUnit& u);
+[[nodiscard]] std::string decisions_path(const RunUnit& u);
+
+}  // namespace detail
 
 }  // namespace noceas::campaign

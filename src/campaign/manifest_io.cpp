@@ -25,34 +25,6 @@ ReasonMix parse_reasons(const Json& j) {
   return mix;
 }
 
-RunOutcome parse_run(const Json& j) {
-  RunOutcome r;
-  r.id = j.at("id").str;
-  r.app = j.at("app").str;
-  r.seed = j.at("seed").u64();
-  r.scheduler = j.at("scheduler").str;
-  r.ok = j.at("ok").b;
-  if (!r.ok) {
-    r.error = j.at("error").str;
-    return r;
-  }
-  r.num_tasks = static_cast<std::size_t>(j.at("num_tasks").i64());
-  r.num_edges = static_cast<std::size_t>(j.at("num_edges").i64());
-  r.energy_total = j.at("energy").num;
-  r.energy_comp = j.at("energy_comp").num;
-  r.energy_comm = j.at("energy_comm").num;
-  r.makespan = j.at("makespan").i64();
-  r.miss_count = static_cast<std::size_t>(j.at("miss_count").i64());
-  r.tardiness = j.at("tardiness").i64();
-  r.avg_hops = j.at("avg_hops").num;
-  r.deadlines_met = j.at("deadlines_met").b;
-  r.reasons = parse_reasons(j.at("reasons"));
-  r.probes_issued = j.at("probes_issued").u64();
-  r.probe_cache_hits = j.at("probe_cache_hits").u64();
-  r.probe_hit_rate = j.at("probe_hit_rate").num;
-  return r;
-}
-
 Dist parse_dist(const Json& j) {
   Dist d;
   d.count = static_cast<std::size_t>(j.at("count").i64());
@@ -83,6 +55,49 @@ std::vector<std::vector<WinCell>> parse_win_rows(const Json& j) {
 
 }  // namespace
 
+namespace detail {
+
+RunOutcome parse_outcome_json(const json::Value& j) {
+  RunOutcome r;
+  r.id = j.at("id").str;
+  r.app = j.at("app").str;
+  r.seed = j.at("seed").u64();
+  r.scheduler = j.at("scheduler").str;
+  r.ok = j.at("ok").b;
+  if (!r.ok) {
+    r.error = j.at("error").str;
+    return r;
+  }
+  r.num_tasks = static_cast<std::size_t>(j.at("num_tasks").i64());
+  r.num_edges = static_cast<std::size_t>(j.at("num_edges").i64());
+  r.energy_total = j.at("energy").num;
+  r.energy_comp = j.at("energy_comp").num;
+  r.energy_comm = j.at("energy_comm").num;
+  r.makespan = j.at("makespan").i64();
+  r.miss_count = static_cast<std::size_t>(j.at("miss_count").i64());
+  r.tardiness = j.at("tardiness").i64();
+  r.avg_hops = j.at("avg_hops").num;
+  r.deadlines_met = j.at("deadlines_met").b;
+  r.reasons = parse_reasons(j.at("reasons"));
+  r.probes_issued = j.at("probes_issued").u64();
+  r.probe_cache_hits = j.at("probe_cache_hits").u64();
+  r.probe_hit_rate = j.at("probe_hit_rate").num;
+  return r;
+}
+
+ArtifactPaths parse_artifact_paths(const json::Value& j) {
+  ArtifactPaths paths;
+  if (j.has("artifacts")) {
+    const Json& a = j.at("artifacts");
+    paths.metrics = a.at("metrics").str;
+    paths.analysis = a.at("analysis").str;
+    paths.decisions = a.at("decisions").str;
+  }
+  return paths;
+}
+
+}  // namespace detail
+
 Manifest read_manifest_json(std::istream& is) {
   const Json doc = json::parse(slurp(is), "manifest");
   NOCEAS_REQUIRE(doc.at("schema").str == "noceas.campaign.v1",
@@ -94,15 +109,8 @@ Manifest read_manifest_json(std::istream& is) {
   for (const Json& s : spec.at("schedulers").arr) m.schedulers.push_back(s.str);
   m.artifacts = spec.at("artifacts").b;
   for (const Json& run : doc.at("runs").arr) {
-    m.runs.push_back(parse_run(run));
-    ArtifactPaths paths;
-    if (run.has("artifacts")) {
-      const Json& a = run.at("artifacts");
-      paths.metrics = a.at("metrics").str;
-      paths.analysis = a.at("analysis").str;
-      paths.decisions = a.at("decisions").str;
-    }
-    m.paths.push_back(std::move(paths));
+    m.runs.push_back(detail::parse_outcome_json(run));
+    m.paths.push_back(detail::parse_artifact_paths(run));
   }
   return m;
 }

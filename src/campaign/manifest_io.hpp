@@ -14,6 +14,7 @@
 
 #include "src/campaign/aggregate.hpp"
 #include "src/campaign/campaign.hpp"
+#include "src/util/json.hpp"
 
 namespace noceas::campaign {
 
@@ -44,5 +45,20 @@ struct Manifest {
 /// Parses a "noceas.campaign.aggregate.v1" document back into the Aggregate
 /// the writer serialized (outliers' unit indices included).
 [[nodiscard]] Aggregate read_aggregate_json(std::istream& is);
+
+namespace detail {
+
+// Row-level parsers shared with the shard reader (shard.cpp): a shard
+// file's "run" objects are byte-for-byte manifest outcome rows, so both
+// documents must parse through the same code path.
+
+/// Parses one deterministic outcome row (a manifest "runs" element or a
+/// shard row's "run" object).  Throws noceas::Error on missing keys.
+[[nodiscard]] RunOutcome parse_outcome_json(const json::Value& row);
+
+/// Extracts the optional relative artifact paths from an outcome row.
+[[nodiscard]] ArtifactPaths parse_artifact_paths(const json::Value& row);
+
+}  // namespace detail
 
 }  // namespace noceas::campaign

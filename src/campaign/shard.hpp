@@ -1,0 +1,161 @@
+// Fleet sharding: partial campaign manifests and their deterministic merge.
+//
+// A campaign sharded `--shard i/N` executes only the units whose global
+// index is congruent to i modulo N and records a *partial manifest* —
+// shard.jsonl, schema "noceas.campaign.shard.v1" — instead of the
+// single-process manifest/aggregate/dashboard trio.  The document is JSONL
+// so a killed shard loses at most its last line:
+//
+//   {"schema":"noceas.campaign.shard.v1","fingerprint":"<16 hex>",
+//    "shard":I,"shards":N,"units":TOTAL,"profile":B,"spec":{...}}
+//   {"unit":G,"run":{...}}                        one line per owned unit,
+//   {"unit":G,"run":{...},"hashes":{...}}         ascending global order
+//
+// The header's "spec" object is byte-for-byte the manifest's spec echo, and
+// every "run" object is byte-for-byte a manifest outcome row — the shard
+// file *is* the manifest, restricted to the shard's residue class.  The
+// fingerprint (FNV-1a 64 over a canonical spec serialization) covers
+// everything that determines row bytes: apps including custom generator
+// parameters, seeds, schedulers, artifacts, profile.  It deliberately
+// excludes threads, shard geometry, output paths, and telemetry knobs —
+// shards may run with any thread count on any machine and still merge.
+// "hashes" records the FNV-1a of each per-run artifact file (ok rows of an
+// artifact campaign only); resume and merge validate artifacts against it.
+//
+// merge_shards() reconstitutes the single-process artifacts from N shard
+// directories: outcome rows are reassembled in global unit order and fed
+// through the unchanged writers (the unit-order-sum mean contract makes the
+// aggregate merge trivial; quantiles, win matrices, and outliers recompute
+// from the merged rows), so manifest.json / aggregate.json / dashboard.html
+// are byte-identical to a 1-process run of the same spec.  Incompatible
+// shard sets — overlapping or missing shard indices, fingerprint or
+// geometry mismatches, incomplete or tampered rows — are refused with
+// ShardMergeError, which the CLI maps to its own exit code (4) with a
+// one-line machine-readable reason.
+//
+// The wall-clock companions merge beside the contract, never inside it:
+// per-shard profiles fold through ProfileSnapshot::merge (the self-time
+// identity survives), resources.json files roll up into a fleet document,
+// and progress/timeseries streams concatenate (summarize_stream accepts the
+// multi-header result) and render as a per-shard-lane fleet timeline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/campaign/campaign.hpp"
+#include "src/util/error.hpp"
+
+namespace noceas::campaign {
+
+/// Canonical spec fingerprint: 16 lowercase hex digits (FNV-1a 64) over the
+/// row-byte-determining fields of the spec.  Two specs share a fingerprint
+/// iff their shard files can legally merge.
+[[nodiscard]] std::string spec_fingerprint(const CampaignSpec& spec);
+
+/// Content hashes of one row's artifact files, in the same 16-hex form.
+/// All empty when the campaign runs without artifacts or the row failed.
+struct ArtifactHashes {
+  std::string metrics;
+  std::string analysis;
+  std::string decisions;
+
+  [[nodiscard]] bool any() const {
+    return !metrics.empty() || !analysis.empty() || !decisions.empty();
+  }
+};
+
+/// One parsed shard.jsonl row: a manifest outcome row plus its global unit
+/// index and artifact hashes.
+struct ShardRow {
+  std::size_t unit = 0;  ///< global unit index
+  RunOutcome outcome;
+  ArtifactHashes hashes;
+};
+
+/// A parsed "noceas.campaign.shard.v1" document.
+struct ShardManifest {
+  std::string fingerprint;
+  unsigned shard = 0;
+  unsigned shards = 1;
+  std::size_t total_units = 0;  ///< global fleet size (all shards)
+  bool profile = false;
+  /// Spec reconstructed from the header echo: apps (custom apps keep their
+  /// name only — enough to rebuild every deterministic artifact, not to
+  /// re-run), seeds, schedulers, artifacts.
+  CampaignSpec spec;
+  std::vector<ShardRow> rows;  ///< ascending global unit order
+};
+
+/// Writes the shard header line (newline-terminated).
+void write_shard_header_json(std::ostream& os, const CampaignSpec& spec,
+                             std::size_t total_units);
+
+/// Writes one shard row line (newline-terminated).  `unit` supplies the
+/// artifact paths echoed inside the run object when the spec records
+/// artifacts; `hashes` is emitted only when non-empty.
+void write_shard_row_json(std::ostream& os, std::size_t unit_index, const RunOutcome& outcome,
+                          const RunUnit* unit, const ArtifactHashes& hashes);
+
+/// Parses a shard.jsonl document.  Strict mode throws noceas::Error on any
+/// malformed or out-of-order line; lenient mode (resume after a kill) stops
+/// at the first unparsable row and returns the valid prefix.  The header
+/// must parse in either mode.
+[[nodiscard]] ShardManifest read_shard_manifest(std::istream& is, bool lenient);
+
+/// An incompatible shard set.  `reason()` is a stable machine-readable slug
+/// (overlapping_shards, missing_shard, fingerprint_mismatch,
+/// geometry_mismatch, incomplete_shard, unit_mismatch, unreadable_shard,
+/// artifact_hash_mismatch); the what() string leads with
+/// "reason=<slug>" so one stderr line carries the whole verdict.
+class ShardMergeError : public Error {
+ public:
+  ShardMergeError(const std::string& reason, const std::string& detail)
+      : Error("reason=" + reason + " " + detail), reason_(reason) {}
+
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+ private:
+  std::string reason_;
+};
+
+struct MergeOptions {
+  std::vector<std::string> shard_dirs;  ///< one directory per shard, any order
+  std::string out_dir;                  ///< merged campaign directory
+};
+
+/// What a merge produced (the CLI's summary line).
+struct MergeReport {
+  std::size_t shards = 0;
+  std::size_t units = 0;
+  std::size_t failed_runs = 0;
+  bool artifacts = false;
+  bool profile = false;
+  bool telemetry = false;          ///< fleet timeline + merged streams written
+  std::size_t stall_events = 0;    ///< across all shard progress streams
+  std::vector<std::string> stragglers;  ///< straggler shard labels
+};
+
+/// Merges N shard directories into `out_dir`: byte-identical deterministic
+/// artifacts (manifest/aggregate/dashboard, plus profile.* when all shards
+/// profiled, plus runs/* copies when the spec recorded artifacts) and the
+/// merged wall-clock companions (fleet resources.json, concatenated
+/// progress/timeseries streams, fleet timeline.html).  Throws
+/// ShardMergeError on an incompatible shard set and noceas::Error on plain
+/// I/O failure.
+MergeReport merge_shards(const MergeOptions& options);
+
+namespace detail {
+
+/// FNV-1a 64 as 16 lowercase hex digits (the fingerprint/hash primitive).
+[[nodiscard]] std::string fnv1a_hex(std::string_view bytes);
+
+/// FNV-1a of a file's bytes; throws noceas::Error when unreadable.
+[[nodiscard]] std::string file_fnv1a_hex(const std::string& path);
+
+}  // namespace detail
+
+}  // namespace noceas::campaign

@@ -1,0 +1,23 @@
+// Reader for "noceas.profile.v1" documents.
+//
+// The writer lives in profile.cpp; this reader is split out (and built into
+// the telemetry library) so noceas_obs can stay a util-free leaf: parsing
+// needs util/json, which the obs core deliberately does not link.  The
+// fleet merge is the consumer — per-shard profile_timings.json documents
+// are read back into ProfileSnapshots and folded through
+// ProfileSnapshot::merge, preserving the self-time identity across shards.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/obs/profile.hpp"
+
+namespace noceas::obs {
+
+/// Parses a profile document (with or without its "timings" section) back
+/// into a ProfileSnapshot.  Percentile fields are ignored on read — they
+/// are estimates recomputed from the histogram buckets on write.  Throws
+/// noceas::Error on malformed input or an unknown schema.
+[[nodiscard]] ProfileSnapshot read_profile_json(std::istream& is);
+
+}  // namespace noceas::obs

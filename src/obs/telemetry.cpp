@@ -311,6 +311,13 @@ StreamSummary summarize_stream(std::istream& in) {
     while (std::getline(in, line)) {
       if (line.empty()) continue;
       const json::Value v = json::parse(line, "timeseries sample");
+      if (v.has("schema")) {
+        // Segment boundary of a concatenated fleet stream: not a sample.
+        NOCEAS_REQUIRE(v.at("schema").str == out.source_schema,
+                       "stream summarize: concatenated stream mixes schemas ('"
+                           << out.source_schema << "' then '" << v.at("schema").str << "')");
+        continue;
+      }
       ++out.samples;
       if (!v.has("series")) continue;
       for (const auto& [name, val] : v.at("series").obj) {
@@ -338,6 +345,17 @@ StreamSummary summarize_stream(std::istream& in) {
     while (std::getline(in, line)) {
       if (line.empty()) continue;
       const json::Value v = json::parse(line, "progress event");
+      if (v.has("schema")) {
+        // Segment boundary: totals add across shards, while the running
+        // `done` counter and the ETA arming restart with the new segment.
+        NOCEAS_REQUIRE(v.at("schema").str == out.source_schema,
+                       "stream summarize: concatenated stream mixes schemas ('"
+                           << out.source_schema << "' then '" << v.at("schema").str << "')");
+        out.total += v.has("total") ? v.at("total").u64() : 0;
+        prev_done = 0;
+        finish_count = 0;
+        continue;
+      }
       const std::string ev = v.has("ev") ? v.at("ev").str : "";
       if (ev == "start") {
         ++out.starts;
@@ -479,6 +497,158 @@ void write_timeline_html(std::ostream& os, const std::vector<TimelinePoint>& poi
   strip("RSS (KiB)", "#cc4422", kStripH + kPad + 8,
         [](const TimelinePoint& p) { return static_cast<double>(p.rss_kb); },
         static_cast<double>(rss_max), std::to_string(rss_max));
+  os << "</svg>\n</body></html>\n";
+}
+
+// ---------------------------------------------------------------------------
+// Fleet observability.
+
+std::vector<TimelinePoint> read_timeline_points(std::istream& in) {
+  std::vector<TimelinePoint> points;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      const json::Value v = json::parse(line, "timeseries sample");
+      if (!v.has("t_ms") || !v.has("series")) continue;  // header or foreign line
+      const json::Value& series = v.at("series");
+      TimelinePoint p;
+      p.t_ms = v.at("t_ms").num;
+      if (series.has("units.inflight")) p.inflight = series.at("units.inflight").i32();
+      if (series.has("units.done")) {
+        p.done = static_cast<std::size_t>(series.at("units.done").i64());
+      }
+      if (series.has("proc.rss_kb")) p.rss_kb = series.at("proc.rss_kb").i64();
+      points.push_back(p);
+    } catch (const Error&) {
+      continue;  // torn line of a killed shard: keep the healthy prefix
+    }
+  }
+  return points;
+}
+
+std::vector<FleetStall> read_progress_stalls(std::istream& in) {
+  std::vector<FleetStall> stalls;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      const json::Value v = json::parse(line, "progress event");
+      if (!v.has("ev") || v.at("ev").str != "stall") continue;
+      FleetStall s;
+      s.unit = v.at("unit").str;
+      if (v.has("t_ms")) s.t_ms = v.at("t_ms").num;
+      stalls.push_back(std::move(s));
+    } catch (const Error&) {
+      continue;
+    }
+  }
+  return stalls;
+}
+
+std::vector<std::size_t> fleet_stragglers(const std::vector<FleetLane>& lanes) {
+  std::vector<double> durations;
+  for (const FleetLane& lane : lanes) {
+    if (!lane.points.empty()) durations.push_back(lane.points.back().t_ms);
+  }
+  std::vector<std::size_t> out;
+  if (durations.size() < 2) return out;  // a straggler needs peers to lag behind
+  std::sort(durations.begin(), durations.end());
+  const double median = durations[(durations.size() - 1) / 2];
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (lanes[i].points.empty()) continue;
+    const double d = lanes[i].points.back().t_ms;
+    if (d > 1.5 * median && d > median + 100.0) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal HTML text escape for unit ids and labels inside the SVG.
+void write_html_text(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '<') {
+      os << "&lt;";
+    } else if (c == '&') {
+      os << "&amp;";
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void write_fleet_timeline_html(std::ostream& os, const std::vector<FleetLane>& lanes) {
+  constexpr int kW = 900;
+  constexpr int kLaneH = 70;
+  constexpr int kPad = 40;
+
+  double t_max = 1.0;
+  int inflight_max = 1;
+  std::size_t stall_total = 0;
+  for (const FleetLane& lane : lanes) {
+    for (const TimelinePoint& p : lane.points) {
+      t_max = std::max(t_max, p.t_ms);
+      inflight_max = std::max(inflight_max, p.inflight);
+    }
+    for (const FleetStall& s : lane.stalls) t_max = std::max(t_max, s.t_ms);
+    stall_total += lane.stalls.size();
+  }
+  const std::vector<std::size_t> stragglers = fleet_stragglers(lanes);
+  const auto is_straggler = [&](std::size_t i) {
+    return std::find(stragglers.begin(), stragglers.end(), i) != stragglers.end();
+  };
+  const auto x_of = [&](double t_ms) { return kPad + (t_ms / t_max) * (kW - 2 * kPad); };
+
+  os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>noceas fleet dashboard"
+        "</title>\n<style>body{font-family:system-ui,sans-serif;margin:24px;background:#fafafa}"
+        "svg{background:#fff;border:1px solid #ddd}.t{font-size:12px;fill:#444}"
+        ".s{font-size:10px;fill:#a00}.ax{stroke:#ccc}.lag{fill:#fff3e6}</style></head><body>\n";
+  os << "<h1>Fleet timeline</h1>\n<p>" << lanes.size() << " shard lanes over "
+     << fmt(t_max / 1000.0) << " s; " << stall_total << " stall event"
+     << (stall_total == 1 ? "" : "s");
+  if (!stragglers.empty()) {
+    os << "; stragglers:";
+    for (const std::size_t i : stragglers) {
+      os << ' ';
+      write_html_text(os, lanes[i].label);
+    }
+  }
+  os << ". Wall-clock data &mdash; outside the deterministic contract.</p>\n";
+  os << "<svg width=\"" << kW << "\" height=\""
+     << (static_cast<int>(lanes.size()) * kLaneH + kPad) << "\">\n";
+  for (std::size_t li = 0; li < lanes.size(); ++li) {
+    const FleetLane& lane = lanes[li];
+    os << "<g transform=\"translate(0," << (static_cast<int>(li) * kLaneH + 8) << ")\">\n";
+    if (is_straggler(li)) {
+      os << "<rect x=\"" << kPad << "\" y=\"0\" width=\"" << (kW - 2 * kPad) << "\" height=\""
+         << (kLaneH - 12) << "\" class=\"lag\"/>\n";
+    }
+    os << "<text x=\"" << kPad << "\" y=\"12\" class=\"t\">";
+    write_html_text(os, lane.label);
+    os << " (" << lane.units << " units" << (is_straggler(li) ? ", straggler" : "")
+       << ")</text>\n";
+    os << "<line x1=\"" << kPad << "\" y1=\"" << (kLaneH - 12) << "\" x2=\"" << (kW - kPad)
+       << "\" y2=\"" << (kLaneH - 12) << "\" class=\"ax\"/>\n";
+    if (!lane.points.empty()) {
+      os << "<polyline fill=\"none\" stroke=\"#2266cc\" stroke-width=\"1.5\" points=\"";
+      for (const TimelinePoint& p : lane.points) {
+        const double frac = static_cast<double>(p.inflight) / inflight_max;
+        os << fmt(x_of(p.t_ms)) << ',' << fmt((kLaneH - 12) - frac * (kLaneH - 28)) << ' ';
+      }
+      os << "\"/>\n";
+    }
+    for (const FleetStall& s : lane.stalls) {
+      os << "<circle cx=\"" << fmt(x_of(s.t_ms)) << "\" cy=\"" << (kLaneH - 12)
+         << "\" r=\"4\" fill=\"#cc2222\"/>\n<text x=\"" << fmt(x_of(s.t_ms) + 6) << "\" y=\""
+         << (kLaneH - 16) << "\" class=\"s\">stall: ";
+      write_html_text(os, s.unit);
+      os << "</text>\n";
+    }
+    os << "</g>\n";
+  }
   os << "</svg>\n</body></html>\n";
 }
 

@@ -199,8 +199,14 @@ struct StreamSummary {
 };
 
 /// Folds one JSONL stream (timeseries or progress; dispatched on the
-/// header's schema) into its summary.  Throws noceas::Error on a stream
-/// whose header is missing or names an unknown schema.
+/// header's schema) into its summary.  Accepts a *concatenation* of
+/// streams of the same schema — the natural shape of fleet-merged shard
+/// files — by treating every subsequent header line as a segment boundary:
+/// progress `total`s add up and the done-monotonicity/ETA checks reset per
+/// segment, while timeseries headers simply don't count as samples.  A
+/// single-header stream summarizes exactly as before.  Throws
+/// noceas::Error on a stream whose first header is missing, names an
+/// unknown schema, or whose segments mix schemas.
 [[nodiscard]] StreamSummary summarize_stream(std::istream& in);
 
 /// Writes the summary as one deterministic JSON document
@@ -215,5 +221,42 @@ void print_summary(std::ostream& os, const StreamSummary& summary);
 /// beside timeline data's source streams, never inside dashboard.html.
 void write_timeline_html(std::ostream& os, const std::vector<TimelinePoint>& points,
                          std::size_t total_units);
+
+// ---------------------------------------------------------------------------
+// Fleet observability: per-shard lanes of a merged campaign.
+
+/// One stall event recovered from a shard's progress stream.
+struct FleetStall {
+  std::string unit;
+  double t_ms = 0.0;  ///< stream-relative trip time
+};
+
+/// One shard's telemetry, as a lane of the fleet timeline.
+struct FleetLane {
+  std::string label;                 ///< e.g. "shard 2"
+  std::vector<TimelinePoint> points;  ///< from its timeseries stream
+  std::vector<FleetStall> stalls;     ///< from its progress stream
+  std::size_t units = 0;              ///< units the shard owned
+};
+
+/// Recovers timeline points (t_ms, units.inflight, units.done,
+/// proc.rss_kb) from a `noceas.timeseries.v1` stream; lines that don't
+/// parse as samples are skipped, so a torn shard stream still yields its
+/// healthy prefix.
+[[nodiscard]] std::vector<TimelinePoint> read_timeline_points(std::istream& in);
+
+/// Recovers stall events from a `noceas.progress.v1` stream (same
+/// tolerance).
+[[nodiscard]] std::vector<FleetStall> read_progress_stalls(std::istream& in);
+
+/// Indices of straggler lanes: duration (last sample time) beyond 1.5× the
+/// fleet's median lane duration, and at least 100 ms beyond it (so a
+/// sub-second fleet never flags noise).  Lanes without samples are skipped.
+[[nodiscard]] std::vector<std::size_t> fleet_stragglers(const std::vector<FleetLane>& lanes);
+
+/// Renders the fleet dashboard: one lane per shard (in-flight trace over a
+/// shared time axis), stall markers with unit ids, and straggler shards
+/// called out.  Wall-clock-shaped, like write_timeline_html.
+void write_fleet_timeline_html(std::ostream& os, const std::vector<FleetLane>& lanes);
 
 }  // namespace noceas::obs

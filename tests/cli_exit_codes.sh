@@ -4,6 +4,7 @@
 #   1  run failed (unreadable input, deadline misses, failed campaign runs)
 #   2  bad invocation (unknown command/flag, missing required flag)
 #   3  validation / replay mismatch
+#   4  incompatible shard set (campaign merge)
 #
 # Usage: cli_exit_codes.sh /path/to/noceas_cli
 # Registered as a ctest case; any unexpected exit code fails the script.
@@ -62,6 +63,41 @@ expect 1 "campaign with unknown scheduler" \
 awk '$1 == "task" && $2 == 0 { $5 = $5 + 1 } { print }' "$tmp/s.txt" > "$tmp/bad.txt"
 expect 3 "validate tampered schedule" \
   "$cli" validate --schedule "$tmp/bad.txt" --ctg "$tmp/g.txt" --platform "$tmp/p.txt"
+
+# --- exit 4: incompatible shard set (campaign merge) --------------------
+# A small 2-shard fleet: category-1 apps x 2 seeds x 1 scheduler.
+expect 0 "campaign shard 0/2" \
+  "$cli" campaign --out "$tmp/fleet/s0" --categories 1 --seeds 2 \
+         --schedulers edf --shard 0/2
+expect 0 "campaign shard 1/2" \
+  "$cli" campaign --out "$tmp/fleet/s1" --categories 1 --seeds 2 \
+         --schedulers edf --shard 1/2
+expect 2 "bad --shard syntax" \
+  "$cli" campaign --out "$tmp/fleet/sx" --categories 1 --shard 2of3
+expect 2 "merge without --shards" "$cli" campaign merge --out "$tmp/fleet/m"
+expect 0 "merge complete fleet" \
+  "$cli" campaign merge --out "$tmp/fleet/merged" \
+         --shards "$tmp/fleet/s0,$tmp/fleet/s1"
+expect 4 "merge overlapping shards" \
+  "$cli" campaign merge --out "$tmp/fleet/m2" \
+         --shards "$tmp/fleet/s0,$tmp/fleet/s0"
+expect 4 "merge missing shard" \
+  "$cli" campaign merge --out "$tmp/fleet/m3" --shards "$tmp/fleet/s0"
+# A shard of a different spec (extra seed) cannot merge with the fleet.
+expect 0 "campaign foreign shard" \
+  "$cli" campaign --out "$tmp/fleet/sF" --categories 1 --seeds 3 \
+         --schedulers edf --shard 1/2
+expect 4 "merge fingerprint mismatch" \
+  "$cli" campaign merge --out "$tmp/fleet/m4" \
+         --shards "$tmp/fleet/s0,$tmp/fleet/sF"
+# The refusal reason is one machine-readable stderr line.
+reason="$("$cli" campaign merge --out "$tmp/fleet/m5" \
+          --shards "$tmp/fleet/s0,$tmp/fleet/s0" 2>&1 >/dev/null)"
+case "$reason" in
+  *"reason=overlapping_shards"*) echo "ok: merge refusal names its reason" ;;
+  *) echo "FAIL: merge refusal reason missing (got: $reason)" >&2
+     failures=$((failures + 1)) ;;
+esac
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures exit-code assertion(s) failed" >&2

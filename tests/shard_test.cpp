@@ -1,0 +1,441 @@
+// Fleet sharding tests.
+//
+// The load-bearing property is merge byte-identity: N shard directories,
+// each produced independently (any per-shard thread count), merge into
+// manifest/aggregate/dashboard documents BYTE-identical to a 1-process run
+// of the same spec — for N in {2, 3, 7}, with and without per-run
+// artifacts and profiles.  Around that: the partial-manifest round trip,
+// fingerprint sensitivity (row-byte-determining fields only), every merge
+// refusal reason, resume-after-kill (truncated shard.jsonl), and
+// tampered-artifact re-runs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "src/campaign/aggregate.hpp"
+#include "src/campaign/campaign.hpp"
+#include "src/campaign/manifest_io.hpp"
+#include "src/campaign/shard.hpp"
+#include "src/obs/profile_io.hpp"
+
+namespace noceas::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+AppSpec small_app(const std::string& name, std::size_t tasks) {
+  AppSpec app;
+  app.kind = AppSpec::Kind::Custom;
+  app.custom_name = name;
+  app.custom.num_tasks = tasks;
+  app.custom.num_edges = tasks * 2;
+  app.custom.avg_layer_width = 4.0;
+  return app;
+}
+
+/// 2 apps x 5 seeds x 2 schedulers = 20 units.
+CampaignSpec small_spec() {
+  CampaignSpec spec;
+  spec.apps = {small_app("tiny-a", 18), small_app("tiny-b", 24)};
+  spec.seeds = {1, 2, 3, 4, 5};
+  spec.schedulers = {"edf", "greedy"};
+  return spec;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("noceas_shard_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot read " << path;
+  return std::string(std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+}
+
+void spit(const fs::path& path, const std::string& content) {
+  std::ofstream os(path);
+  os << content;
+}
+
+fs::path shard_dir(const fs::path& dir, unsigned index) {
+  std::string name = "s";
+  name += std::to_string(index);
+  return dir / name;
+}
+
+/// Runs one shard of `base` into dir/sI.
+CampaignResult run_shard(const CampaignSpec& base, const fs::path& dir, unsigned index,
+                         unsigned count, unsigned threads = 1) {
+  CampaignSpec spec = base;
+  spec.out_dir = shard_dir(dir, index).string();
+  spec.shard_index = index;
+  spec.shard_count = count;
+  spec.threads = threads;
+  return run_campaign(spec);
+}
+
+std::vector<std::string> shard_dirs(const fs::path& dir, unsigned count) {
+  std::vector<std::string> out;
+  for (unsigned i = 0; i < count; ++i) out.push_back(shard_dir(dir, i).string());
+  return out;
+}
+
+/// The merge refusal reason, or "" when the merge succeeded.
+std::string merge_reason(const MergeOptions& options) {
+  try {
+    (void)merge_shards(options);
+    return "";
+  } catch (const ShardMergeError& e) {
+    return e.reason();
+  }
+}
+
+TEST(SpecFingerprint, CoversRowDeterminingFieldsOnly) {
+  const CampaignSpec base = small_spec();
+  const std::string fp = spec_fingerprint(base);
+
+  // Insensitive: execution geometry, paths, telemetry.
+  CampaignSpec same = base;
+  same.threads = 7;
+  same.out_dir = "elsewhere";
+  same.shard_index = 2;
+  same.shard_count = 5;
+  same.resume_from = "prev";
+  same.progress = true;
+  same.timeseries = true;
+  same.telemetry_interval_ms = 1;
+  EXPECT_EQ(spec_fingerprint(same), fp);
+
+  // Sensitive: everything that changes manifest row bytes.
+  CampaignSpec seeds = base;
+  seeds.seeds.push_back(6);
+  EXPECT_NE(spec_fingerprint(seeds), fp);
+  CampaignSpec schedulers = base;
+  schedulers.schedulers = {"edf"};
+  EXPECT_NE(spec_fingerprint(schedulers), fp);
+  CampaignSpec artifacts = base;
+  artifacts.artifacts = true;
+  EXPECT_NE(spec_fingerprint(artifacts), fp);
+  CampaignSpec profile = base;
+  profile.profile = true;  // profiling selects the eager probe path
+  EXPECT_NE(spec_fingerprint(profile), fp);
+  CampaignSpec params = base;
+  params.apps[0].custom.table_jitter += 0.01;  // same name, different generator
+  EXPECT_NE(spec_fingerprint(params), fp);
+}
+
+TEST(ShardManifestIO, RoundTripsHeaderAndRows) {
+  CampaignSpec spec = small_spec();
+  spec.shard_index = 1;
+  spec.shard_count = 3;
+  const std::vector<RunUnit> units = expand_spec(spec);
+
+  RunOutcome ok;
+  ok.id = units[1].id;
+  ok.app = units[1].app.name();
+  ok.seed = units[1].seed;
+  ok.scheduler = units[1].scheduler;
+  ok.ok = true;
+  ok.energy_total = 12.5;
+  ok.makespan = 77;
+  RunOutcome bad;
+  bad.id = units[4].id;
+  bad.app = units[4].app.name();
+  bad.seed = units[4].seed;
+  bad.scheduler = units[4].scheduler;
+  bad.ok = false;
+  bad.error = "boom";
+
+  std::ostringstream os;
+  write_shard_header_json(os, spec, units.size());
+  write_shard_row_json(os, 1, ok, nullptr, {});
+  write_shard_row_json(os, 4, bad, nullptr, {});
+
+  std::istringstream is(os.str());
+  const ShardManifest m = read_shard_manifest(is, /*lenient=*/false);
+  EXPECT_EQ(m.fingerprint, spec_fingerprint(spec));
+  EXPECT_EQ(m.shard, 1u);
+  EXPECT_EQ(m.shards, 3u);
+  EXPECT_EQ(m.total_units, units.size());
+  ASSERT_EQ(m.rows.size(), 2u);
+  EXPECT_EQ(m.rows[0].unit, 1u);
+  EXPECT_EQ(m.rows[0].outcome.id, ok.id);
+  EXPECT_DOUBLE_EQ(m.rows[0].outcome.energy_total, 12.5);
+  EXPECT_EQ(m.rows[1].unit, 4u);
+  EXPECT_FALSE(m.rows[1].outcome.ok);
+  EXPECT_EQ(m.rows[1].outcome.error, "boom");
+
+  // The header's spec echo re-expands to the same unit ids and fingerprint
+  // geometry (custom apps keep their name).
+  const std::vector<RunUnit> echoed = expand_spec(m.spec);
+  ASSERT_EQ(echoed.size(), units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) EXPECT_EQ(echoed[i].id, units[i].id);
+}
+
+TEST(ShardManifestIO, LenientReadDropsTornTail) {
+  CampaignSpec spec = small_spec();
+  const std::vector<RunUnit> units = expand_spec(spec);
+  RunOutcome r;
+  r.id = units[0].id;
+  r.ok = false;
+  r.error = "x";
+  std::ostringstream os;
+  write_shard_header_json(os, spec, units.size());
+  write_shard_row_json(os, 0, r, nullptr, {});
+  std::string text = os.str();
+  text += "{\"unit\":2,\"run\":{\"id\":\"torn";  // killed mid-write
+
+  std::istringstream lenient(text);
+  EXPECT_EQ(read_shard_manifest(lenient, /*lenient=*/true).rows.size(), 1u);
+  std::istringstream strict(text);
+  EXPECT_THROW((void)read_shard_manifest(strict, /*lenient=*/false), Error);
+}
+
+TEST(ShardMerge, ByteIdenticalToSingleProcessFor2And3And7Shards) {
+  const fs::path dir = fresh_dir("byte_identity");
+  CampaignSpec full = small_spec();
+  full.out_dir = (dir / "full").string();
+  full.threads = 2;
+  const CampaignResult reference = run_campaign(full);
+  ASSERT_EQ(reference.units.size(), 20u);
+  const std::string manifest = slurp(dir / "full" / "manifest.json");
+  const std::string aggregate = slurp(dir / "full" / "aggregate.json");
+  const std::string dashboard = slurp(dir / "full" / "dashboard.html");
+
+  for (const unsigned count : {2u, 3u, 7u}) {
+    const fs::path fleet = fresh_dir("byte_identity_" + std::to_string(count));
+    for (unsigned i = 0; i < count; ++i) {
+      // Vary per-shard thread counts: merge must not care.
+      (void)run_shard(small_spec(), fleet, i, count, 1 + i % 2);
+    }
+    MergeOptions options;
+    options.shard_dirs = shard_dirs(fleet, count);
+    options.out_dir = (fleet / "merged").string();
+    const MergeReport report = merge_shards(options);
+    EXPECT_EQ(report.shards, count);
+    EXPECT_EQ(report.units, 20u);
+    EXPECT_EQ(report.failed_runs, 0u);
+    EXPECT_EQ(slurp(fleet / "merged" / "manifest.json"), manifest) << count << " shards";
+    EXPECT_EQ(slurp(fleet / "merged" / "aggregate.json"), aggregate) << count << " shards";
+    EXPECT_EQ(slurp(fleet / "merged" / "dashboard.html"), dashboard) << count << " shards";
+  }
+}
+
+TEST(ShardMerge, AggregateReconcilesWithMergedRows) {
+  const fs::path fleet = fresh_dir("reconcile");
+  for (unsigned i = 0; i < 3; ++i) (void)run_shard(small_spec(), fleet, i, 3);
+  MergeOptions options;
+  options.shard_dirs = shard_dirs(fleet, 3);
+  options.out_dir = (fleet / "merged").string();
+  (void)merge_shards(options);
+
+  // The unit-order-sum contract, checked through the readers: per-scheduler
+  // energy means recomputed from the merged manifest rows must equal the
+  // merged aggregate's bit-for-bit.
+  std::ifstream mis(fleet / "merged" / "manifest.json");
+  const Manifest m = read_manifest_json(mis);
+  std::ifstream ais(fleet / "merged" / "aggregate.json");
+  const Aggregate agg = read_aggregate_json(ais);
+  for (const SchedulerAggregate& s : agg.schedulers) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const RunOutcome& r : m.runs) {
+      if (r.ok && r.scheduler == s.scheduler) {
+        sum += r.energy_total;
+        ++n;
+      }
+    }
+    ASSERT_GT(n, 0u);
+    EXPECT_EQ(sum / static_cast<double>(n), s.energy.mean) << s.scheduler;
+  }
+}
+
+TEST(ShardMerge, ArtifactsAndProfileMergeByteIdentically) {
+  CampaignSpec base = small_spec();
+  base.seeds = {1, 2};  // 8 units: artifacts + profile are the slow path
+  base.artifacts = true;
+  base.profile = true;
+
+  const fs::path dir = fresh_dir("artifacts_full");
+  CampaignSpec full = base;
+  full.out_dir = (dir / "full").string();
+  full.threads = 2;
+  (void)run_campaign(full);
+
+  const fs::path fleet = fresh_dir("artifacts_fleet");
+  for (unsigned i = 0; i < 3; ++i) (void)run_shard(base, fleet, i, 3);
+  MergeOptions options;
+  options.shard_dirs = shard_dirs(fleet, 3);
+  options.out_dir = (fleet / "merged").string();
+  const MergeReport report = merge_shards(options);
+  EXPECT_TRUE(report.artifacts);
+  EXPECT_TRUE(report.profile);
+
+  EXPECT_EQ(slurp(fleet / "merged" / "manifest.json"), slurp(dir / "full" / "manifest.json"));
+  // Profile shapes are deterministic, so the fleet-merged document matches
+  // the 1-process one byte for byte.
+  EXPECT_EQ(slurp(fleet / "merged" / "profile.json"), slurp(dir / "full" / "profile.json"));
+  // The merged timings snapshot still satisfies the self-time identity.
+  std::ifstream pis(fleet / "merged" / "profile_timings.json");
+  const obs::ProfileSnapshot merged = obs::read_profile_json(pis);
+  EXPECT_EQ(merged.sum_self_ns(), merged.root_total_ns());
+
+  // Every ok row's artifacts were copied into the merged directory.
+  std::ifstream mis(fleet / "merged" / "manifest.json");
+  const Manifest m = read_manifest_json(mis);
+  for (std::size_t i = 0; i < m.runs.size(); ++i) {
+    if (!m.runs[i].ok) continue;
+    EXPECT_TRUE(fs::exists(fleet / "merged" / m.paths[i].metrics)) << m.runs[i].id;
+    EXPECT_TRUE(fs::exists(fleet / "merged" / m.paths[i].analysis)) << m.runs[i].id;
+    EXPECT_TRUE(fs::exists(fleet / "merged" / m.paths[i].decisions)) << m.runs[i].id;
+  }
+}
+
+TEST(ShardMerge, RefusesIncompatibleShardSets) {
+  const fs::path fleet = fresh_dir("refusals");
+  for (unsigned i = 0; i < 3; ++i) (void)run_shard(small_spec(), fleet, i, 3);
+
+  MergeOptions options;
+  options.out_dir = (fleet / "merged").string();
+  options.shard_dirs = {};
+  EXPECT_EQ(merge_reason(options), "missing_shard");
+  options.shard_dirs = shard_dirs(fleet, 2);
+  EXPECT_EQ(merge_reason(options), "missing_shard");
+  options.shard_dirs = {(fleet / "s0").string(), (fleet / "s0").string(),
+                        (fleet / "s1").string()};
+  EXPECT_EQ(merge_reason(options), "overlapping_shards");
+  options.shard_dirs = shard_dirs(fleet, 3);
+  options.shard_dirs.push_back((fleet / "nope").string());
+  EXPECT_EQ(merge_reason(options), "unreadable_shard");
+
+  // A shard of a different spec: fingerprints disagree.
+  CampaignSpec other = small_spec();
+  other.seeds = {9, 8, 7, 6, 5};
+  (void)run_shard(other, fleet, 2, 3);  // overwrites s2
+  options.shard_dirs = shard_dirs(fleet, 3);
+  EXPECT_EQ(merge_reason(options), "fingerprint_mismatch");
+  (void)run_shard(small_spec(), fleet, 2, 3);  // restore
+
+  // Drop s1's final row line: complete file, incomplete coverage.
+  const fs::path s1 = fleet / "s1" / "shard.jsonl";
+  std::string text = slurp(s1);
+  text.erase(text.rfind("{\"unit\":"));
+  spit(s1, text);
+  EXPECT_EQ(merge_reason(options), "incomplete_shard");
+  (void)run_shard(small_spec(), fleet, 1, 3);  // restore
+
+  // Different shard geometry under the same fingerprint.
+  (void)run_shard(small_spec(), fleet, 1, 4);  // s1 now claims 1/4
+  EXPECT_EQ(merge_reason(options), "geometry_mismatch");
+  (void)run_shard(small_spec(), fleet, 1, 3);
+  EXPECT_EQ(merge_reason(options), "");
+}
+
+TEST(ShardMerge, RefusesTamperedArtifacts) {
+  CampaignSpec base = small_spec();
+  base.seeds = {1};
+  base.artifacts = true;
+  const fs::path fleet = fresh_dir("tampered_merge");
+  for (unsigned i = 0; i < 2; ++i) (void)run_shard(base, fleet, i, 2);
+
+  const CampaignResult probe = run_shard(base, fleet, 0, 2);  // re-run for unit ids
+  const std::string victim = probe.units[probe.shard_units.front()].id;
+  spit(fleet / "s0" / "runs" / (victim + ".metrics.json"), "tampered\n");
+
+  MergeOptions options;
+  options.shard_dirs = shard_dirs(fleet, 2);
+  options.out_dir = (fleet / "merged").string();
+  EXPECT_EQ(merge_reason(options), "artifact_hash_mismatch");
+}
+
+TEST(ShardResume, SkipsValidatedRowsAfterTruncation) {
+  CampaignSpec base = small_spec();
+  const fs::path fleet = fresh_dir("resume");
+  (void)run_shard(base, fleet, 0, 3);
+  (void)run_shard(base, fleet, 2, 3);
+  const CampaignResult first = run_shard(base, fleet, 1, 3);
+  const std::size_t owned = first.shard_units.size();
+  ASSERT_GT(owned, 2u);
+
+  // Kill mid-write: keep the header and the first two row lines, tear the
+  // third mid-line.
+  const fs::path file = fleet / "s1" / "shard.jsonl";
+  std::string text = slurp(file);
+  std::size_t pos = 0;
+  for (int lines = 0; lines < 3; ++lines) pos = text.find('\n', pos) + 1;
+  spit(file, text.substr(0, pos + 17));  // 17 bytes into row 3: torn
+
+  CampaignSpec resume = base;
+  resume.out_dir = (fleet / "s1").string();
+  resume.shard_index = 1;
+  resume.shard_count = 3;
+  resume.resume_from = resume.out_dir;
+  const CampaignResult resumed = run_campaign(resume);
+  EXPECT_EQ(resumed.resumed_units, 2u);
+  EXPECT_EQ(resumed.shard_units.size(), owned);
+
+  // The repaired shard merges into the same bytes as an untouched fleet.
+  MergeOptions options;
+  options.shard_dirs = shard_dirs(fleet, 3);
+  options.out_dir = (fleet / "merged").string();
+  const MergeReport report = merge_shards(options);
+  EXPECT_EQ(report.units, 20u);
+
+  CampaignSpec full = base;
+  full.out_dir = (fleet / "full").string();
+  (void)run_campaign(full);
+  EXPECT_EQ(slurp(fleet / "merged" / "manifest.json"), slurp(fleet / "full" / "manifest.json"));
+}
+
+TEST(ShardResume, RerunsTamperedArtifactsOnly) {
+  CampaignSpec base = small_spec();
+  base.seeds = {1};
+  base.artifacts = true;
+  const fs::path fleet = fresh_dir("resume_tamper");
+  (void)run_shard(base, fleet, 1, 2);
+  const CampaignResult first = run_shard(base, fleet, 0, 2);
+  const std::size_t owned = first.shard_units.size();
+  ASSERT_GT(owned, 1u);
+  const std::string victim = first.units[first.shard_units.front()].id;
+  spit(fleet / "s0" / "runs" / (victim + ".analysis.json"), "tampered\n");
+
+  CampaignSpec resume = base;
+  resume.out_dir = (fleet / "s0").string();
+  resume.shard_index = 0;
+  resume.shard_count = 2;
+  resume.resume_from = resume.out_dir;
+  const CampaignResult resumed = run_campaign(resume);
+  // Everything except the tampered unit is reused; the victim re-ran and
+  // rewrote its artifacts, so a subsequent merge validates cleanly.
+  EXPECT_EQ(resumed.resumed_units, owned - 1);
+
+  MergeOptions options;
+  options.shard_dirs = shard_dirs(fleet, 2);
+  options.out_dir = (fleet / "merged").string();
+  EXPECT_EQ(merge_reason(options), "");
+}
+
+TEST(ShardResume, RejectsForeignShardFile) {
+  CampaignSpec base = small_spec();
+  const fs::path fleet = fresh_dir("resume_foreign");
+  (void)run_shard(base, fleet, 0, 3);
+
+  // Same directory, different spec: the fingerprint guard must refuse
+  // instead of silently reusing rows of another campaign.
+  CampaignSpec resume = base;
+  resume.seeds = {1, 2, 3, 4, 5, 6};
+  resume.out_dir = (fleet / "s0").string();
+  resume.shard_index = 0;
+  resume.shard_count = 3;
+  resume.resume_from = resume.out_dir;
+  EXPECT_THROW((void)run_campaign(resume), Error);
+}
+
+}  // namespace
+}  // namespace noceas::campaign

@@ -295,6 +295,123 @@ TEST(Timeline, HtmlRendersPointsAndEmptyFallback) {
   EXPECT_NE(empty_os.str().find("</html>"), std::string::npos);
 }
 
+TEST(FleetStream, ConcatenatedProgressSegmentsSumTotalsAndResetCounters) {
+  // Two shard streams concatenated (the merge's progress.jsonl): totals add
+  // across headers, and each segment's running done counter restarts at the
+  // boundary without tripping the monotonicity check.
+  std::istringstream in(
+      "{\"schema\":\"noceas.progress.v1\",\"total\":2}\n"
+      "{\"ev\":\"start\",\"unit\":\"a\",\"t_ms\":1}\n"
+      "{\"ev\":\"finish\",\"unit\":\"a\",\"ok\":true,\"done\":1,\"t_ms\":2}\n"
+      "{\"ev\":\"start\",\"unit\":\"b\",\"t_ms\":3}\n"
+      "{\"ev\":\"finish\",\"unit\":\"b\",\"ok\":true,\"done\":2,\"t_ms\":4}\n"
+      "{\"schema\":\"noceas.progress.v1\",\"total\":3}\n"
+      "{\"ev\":\"start\",\"unit\":\"c\",\"t_ms\":1}\n"
+      "{\"ev\":\"error\",\"unit\":\"c\",\"ok\":false,\"done\":1,\"t_ms\":2}\n");
+  const StreamSummary s = summarize_stream(in);
+  EXPECT_EQ(s.total, 5u);
+  EXPECT_EQ(s.starts, 3u);
+  EXPECT_EQ(s.finishes, 3u);
+  EXPECT_EQ(s.ok, 2u);
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_TRUE(s.done_monotone);  // done=1 after the boundary is a restart, not a regression
+}
+
+TEST(FleetStream, ConcatenatedTimeseriesHeadersAreNotSamples) {
+  std::istringstream in(
+      "{\"schema\":\"noceas.timeseries.v1\",\"interval_ms\":250}\n"
+      "{\"t_ms\":1,\"series\":{\"a\":1}}\n"
+      "{\"schema\":\"noceas.timeseries.v1\",\"interval_ms\":250}\n"
+      "{\"t_ms\":2,\"series\":{\"a\":5}}\n"
+      "{\"t_ms\":3,\"series\":{\"a\":2}}\n");
+  const StreamSummary s = summarize_stream(in);
+  EXPECT_EQ(s.samples, 3u);
+  ASSERT_EQ(s.series.count("a"), 1u);
+  EXPECT_EQ(s.series.at("a").count, 3u);
+  EXPECT_DOUBLE_EQ(s.series.at("a").max, 5.0);
+}
+
+TEST(FleetStream, ConcatenationRefusesMixedSchemas) {
+  std::istringstream progress_then_ts(
+      "{\"schema\":\"noceas.progress.v1\",\"total\":1}\n"
+      "{\"schema\":\"noceas.timeseries.v1\",\"interval_ms\":250}\n");
+  EXPECT_THROW((void)summarize_stream(progress_then_ts), Error);
+  std::istringstream ts_then_progress(
+      "{\"schema\":\"noceas.timeseries.v1\",\"interval_ms\":250}\n"
+      "{\"schema\":\"noceas.progress.v1\",\"total\":1}\n");
+  EXPECT_THROW((void)summarize_stream(ts_then_progress), Error);
+}
+
+TEST(FleetStream, ReadTimelinePointsSkipsHeaderAndTornTail) {
+  std::istringstream in(
+      "{\"schema\":\"noceas.timeseries.v1\",\"interval_ms\":50}\n"
+      "{\"t_ms\":10,\"series\":{\"units.inflight\":2,\"units.done\":0,\"proc.rss_kb\":1000}}\n"
+      "{\"t_ms\":20,\"series\":{\"units.inflight\":1,\"units.done\":1,\"proc.rss_kb\":1100}}\n"
+      "{\"t_ms\":30,\"series\":{\"units.infli");  // killed shard: torn tail
+  const std::vector<TimelinePoint> points = read_timeline_points(in);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].t_ms, 10.0);
+  EXPECT_EQ(points[0].inflight, 2);
+  EXPECT_EQ(points[1].done, 1u);
+  EXPECT_EQ(points[1].rss_kb, 1100);
+}
+
+TEST(FleetStream, ReadProgressStallsRecoversUnitAndTime) {
+  std::istringstream in(
+      "{\"schema\":\"noceas.progress.v1\",\"total\":2}\n"
+      "{\"ev\":\"start\",\"unit\":\"a\",\"t_ms\":1}\n"
+      "{\"ev\":\"stall\",\"unit\":\"a\",\"t_ms\":900,\"open_ms\":800,\"deadline_ms\":100}\n"
+      "{\"ev\":\"finish\",\"unit\":\"a\",\"ok\":true,\"done\":1,\"t_ms\":950}\n");
+  const std::vector<FleetStall> stalls = read_progress_stalls(in);
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].unit, "a");
+  EXPECT_DOUBLE_EQ(stalls[0].t_ms, 900.0);
+}
+
+/// A lane whose last sample lands at `t_ms`.
+FleetLane lane_ending_at(const std::string& label, double t_ms) {
+  FleetLane lane;
+  lane.label = label;
+  lane.points.push_back({0.0, 1, 0, 0});
+  lane.points.push_back({t_ms, 0, 1, 0});
+  return lane;
+}
+
+TEST(FleetStream, StragglerNeedsBothMultiplierAndAbsoluteMargin) {
+  // 1.6 s against two 1.0 s lanes clears both 1.5x and the 100 ms margin.
+  const std::vector<FleetLane> slow = {lane_ending_at("shard 0", 1000.0),
+                                       lane_ending_at("shard 1", 1000.0),
+                                       lane_ending_at("shard 2", 1600.0)};
+  const std::vector<std::size_t> flagged = fleet_stragglers(slow);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 2u);
+
+  // A sub-second fleet never flags: 10x the median still fails the margin.
+  const std::vector<FleetLane> tiny = {lane_ending_at("shard 0", 10.0),
+                                       lane_ending_at("shard 1", 10.0),
+                                       lane_ending_at("shard 2", 100.0)};
+  EXPECT_TRUE(fleet_stragglers(tiny).empty());
+
+  // A lone lane is never a straggler of itself.
+  const std::vector<FleetLane> solo = {lane_ending_at("shard 0", 5000.0)};
+  EXPECT_TRUE(fleet_stragglers(solo).empty());
+}
+
+TEST(FleetStream, FleetTimelineHtmlShowsLanesStallsAndStragglers) {
+  std::vector<FleetLane> lanes = {lane_ending_at("shard 0", 1000.0),
+                                  lane_ending_at("shard 1", 1000.0),
+                                  lane_ending_at("shard 2", 1600.0)};
+  lanes[1].stalls.push_back({"tiny-a-s3-edf", 500.0});
+  for (FleetLane& lane : lanes) lane.units = 7;
+  std::ostringstream os;
+  write_fleet_timeline_html(os, lanes);
+  const std::string html = os.str();
+  for (const char* needle : {"shard 0", "shard 1", "shard 2", "stall: tiny-a-s3-edf",
+                             "straggler", "</html>"}) {
+    EXPECT_NE(html.find(needle), std::string::npos) << needle;
+  }
+}
+
 TEST(Tracer, OpenSpanPathsReflectsLiveNesting) {
   Tracer tracer({.record_events = false});
   EXPECT_TRUE(tracer.open_span_paths().empty());

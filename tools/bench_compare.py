@@ -18,7 +18,11 @@ The bench exports per-phase span self times as "self_ms:<call path>"
 counters (one extra profiled run per benchmark, outside the timed loop).
 record stores them as profile_self_ms next to bench_ms; check uses them to
 attribute a timing regression to the span whose exclusive self time grew
-the most (the report row gains a suspect_span object).
+the most (the report row gains a suspect_span object).  Benchmarks that
+export throughput counters ("*_per_s", e.g. BM_CampaignMerge's merged
+units_per_s) get those recorded as bench_rates in the baseline and every
+trajectory entry, so fleet-path throughput is tracked like scheduler
+timings.
 tools/perf_report.py renders the accumulated trajectory as an HTML
 dashboard.
 
@@ -137,11 +141,13 @@ def run_google_benchmark(build_dir, min_time, repetitions, bench_filter):
 
     # Min over repetitions: the least noise-sensitive point statistic for a
     # regression gate (transient load only ever makes a run slower).  The
-    # per-span self times ("self_ms:<path>" counters) are taken from the
-    # same repetition the kept timing came from, so the attribution and the
-    # timing describe one coherent run.
+    # per-span self times ("self_ms:<path>" counters) and throughput rates
+    # ("*_per_s" counters, e.g. the fleet merge's units_per_s) are taken
+    # from the same repetition the kept timing came from, so the
+    # attribution, the rate, and the timing describe one coherent run.
     timings = {}
     profile = {}
+    rates = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
@@ -158,7 +164,13 @@ def run_google_benchmark(build_dir, min_time, repetitions, bench_filter):
             profile[name] = spans
         else:
             profile.pop(name, None)
-    return timings, profile
+        bench_rates = {k: round(float(v), 2) for k, v in b.items()
+                       if k.endswith("_per_s") and isinstance(v, (int, float))}
+        if bench_rates:
+            rates[name] = bench_rates
+        else:
+            rates.pop(name, None)
+    return timings, profile, rates
 
 
 def deterministic_metrics(build_dir):
@@ -366,9 +378,10 @@ def cmd_record(args):
     fp = fingerprint(args.build_dir)
     print(f"environment: {fp['cpu']} · {fp['cores']} cores · {fp['compiler']}")
     print("running runtime_scaling ...")
-    bench, profile = run_google_benchmark(args.build_dir, args.min_time, args.repetitions,
-                                          args.filter)
-    print(f"  {len(bench)} benchmark timings, {len(profile)} with span self-times")
+    bench, profile, rates = run_google_benchmark(args.build_dir, args.min_time,
+                                                 args.repetitions, args.filter)
+    print(f"  {len(bench)} benchmark timings, {len(profile)} with span self-times, "
+          f"{len(rates)} with throughput rates")
     metrics = deterministic_metrics(args.build_dir)
     print(f"  {len(metrics)} deterministic metrics")
     campaign = campaign_aggregates(args.build_dir)
@@ -381,6 +394,7 @@ def cmd_record(args):
         "rev": git_rev(),
         "bench_args": {"min_time": args.min_time, "repetitions": args.repetitions},
         "bench_ms": bench,
+        "bench_rates": rates,
         "profile_self_ms": profile,
         "metrics": metrics,
     }
@@ -396,7 +410,8 @@ def cmd_record(args):
     else:
         traj = {"schema": TRAJECTORY_SCHEMA, "entries": []}
     traj["entries"].append({"rev": baseline["rev"], "fingerprint": fp["id"],
-                            "bench_ms": bench, "profile_self_ms": profile})
+                            "bench_ms": bench, "bench_rates": rates,
+                            "profile_self_ms": profile})
     with open(args.trajectory, "w") as f:
         json.dump(traj, f, indent=1, sort_keys=True)
         f.write("\n")
@@ -464,7 +479,7 @@ def cmd_check(args):
               file=text_out)
 
     bench_args = baseline.get("bench_args", {})
-    bench, profile = run_google_benchmark(
+    bench, profile, _rates = run_google_benchmark(
         args.build_dir,
         bench_args.get("min_time", args.min_time),
         bench_args.get("repetitions", args.repetitions),

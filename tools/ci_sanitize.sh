@@ -26,6 +26,12 @@
 #     streams must be schema-valid with one start + one finish per unit,
 #     and manifest/aggregate/dashboard must be byte-identical with
 #     sampling on vs off
+#   - shard stage (same build): a 3-shard mini-fleet under ASan/UBSan —
+#     `campaign --shard i/3` three times plus `campaign merge` must produce
+#     manifest/aggregate/dashboard byte-identical to the 1-process campaign,
+#     the merged aggregate must reconcile bit-exactly with the merged
+#     manifest rows, and a stall injected into one shard must be localized
+#     to that shard's lane of the fleet timeline
 #   - diff stage (same build): the first-divergence engine under ASan/UBSan —
 #     six-scheduler self-diff must be empty (exit 0), a decision stream with
 #     one tampered mid-stream place record must be localized to exactly that
@@ -270,6 +276,87 @@ TSAN_OPTIONS="halt_on_error=1" \
   --categories 1 --seeds 2 --schedulers eas,edf --threads 4 \
   --progress --timeseries --telemetry-interval-ms 20 >/dev/null
 echo "    TSan live campaign clean"
+
+# Shard stage (same ASan/UBSan binaries): fleet scale-out end to end.
+#  1. Byte-identity: a 3-shard fleet (mixed per-shard thread counts) merged
+#     with `campaign merge` must reproduce the 1-process campaign's
+#     manifest/aggregate/dashboard byte for byte (camp1 above is the
+#     1-process reference for the same spec).
+#  2. Reconciliation: the merged aggregate's means must be the plain
+#     unit-order sum of the merged manifest rows — bit-exact.
+#  3. Fleet telemetry: a stall injected into one shard must surface in the
+#     merged fleet timeline inside that shard's lane, not anywhere else.
+echo "==> [shard] 3-shard fleet merge under ASan/UBSan"
+for i in 0 1 2; do
+  "$cli" campaign --out "$audit_dir/fleet/s$i" --categories 1 --seeds 3 \
+    --schedulers eas,edf --threads $((1 + i % 2)) --shard "$i/3" >/dev/null
+done
+"$cli" campaign merge --out "$audit_dir/fleet/merged" \
+  --shards "$audit_dir/fleet/s0,$audit_dir/fleet/s1,$audit_dir/fleet/s2" >/dev/null
+for f in manifest.json aggregate.json dashboard.html; do
+  cmp "$audit_dir/fleet/merged/$f" "$audit_dir/camp1/$f" \
+    || { echo "FAIL: merged $f differs from the 1-process campaign"; exit 1; }
+done
+python3 - "$audit_dir/fleet/merged" <<'PY'
+import json, os, sys
+d = sys.argv[1]
+with open(os.path.join(d, "manifest.json")) as f:
+    manifest = json.load(f)
+with open(os.path.join(d, "aggregate.json")) as f:
+    aggregate = json.load(f)
+runs = manifest["runs"]
+assert len(runs) == 6 and all(r["ok"] for r in runs), runs
+for s in aggregate["schedulers"]:
+    mine = [r for r in runs if r["scheduler"] == s["scheduler"]]
+    assert s["runs"] == len(mine)
+    total = 0.0
+    for r in mine:
+        total += r["energy"]
+    assert s["energy"]["mean"] == total / len(mine), s["scheduler"]
+PY
+echo "    3-shard merge byte-identical to 1-process; aggregate reconciles"
+
+# A 12-unit fleet with telemetry; shard 1 owns global units 1,4,7,10 and
+# unit 10 (cat1-i0-s6-eas) is artificially stalled via the span-spine hook.
+echo "==> [shard] injected stall localized to its fleet-timeline lane"
+stall_unit="cat1-i0-s6-eas"
+for i in 0 1 2; do
+  env $([ "$i" -eq 1 ] && echo "NOCEAS_TEST_STALL_UNIT=$stall_unit NOCEAS_TEST_STALL_MS=3000") \
+    "$cli" campaign --out "$audit_dir/fleetS/s$i" --categories 1 --seeds 6 \
+    --schedulers eas,edf --shard "$i/3" --progress --timeseries \
+    --telemetry-interval-ms 100 --stall-multiplier 2 --stall-floor-ms 400 \
+    >/dev/null
+done
+"$cli" campaign merge --out "$audit_dir/fleetS/merged" \
+  --shards "$audit_dir/fleetS/s0,$audit_dir/fleetS/s1,$audit_dir/fleetS/s2" \
+  > "$audit_dir/fleetS_merge.txt"
+grep -q "1 stall event" "$audit_dir/fleetS_merge.txt" \
+  || { echo "FAIL: merge summary does not count the injected stall"; \
+       cat "$audit_dir/fleetS_merge.txt"; exit 1; }
+python3 - "$audit_dir/fleetS/merged" "$stall_unit" <<'PY'
+import re, sys
+html = open(sys.argv[1] + "/timeline.html").read()
+stall_unit = sys.argv[2]
+# One lane group per shard, in shard order; the stall marker must sit in
+# shard 1's group and nowhere else.
+lanes = re.split(r"<g ", html)[1:]
+assert len(lanes) == 3, "expected 3 fleet lanes, got %d" % len(lanes)
+hits = ["stall: " + stall_unit in lane for lane in lanes]
+assert hits == [False, True, False], hits
+# The merged progress stream kept all three segment headers.
+progress = open(sys.argv[1] + "/progress.jsonl").read()
+assert progress.count('"schema":"noceas.progress.v1"') == 3
+print("    stall localized to the shard 1 lane; 3 progress segments kept")
+PY
+"$cli" timeseries summarize --in "$audit_dir/fleetS/merged/progress.jsonl" \
+  --json "$audit_dir/fleetS_summary.json" >/dev/null
+python3 - "$audit_dir/fleetS_summary.json" <<'PY'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["total"] == 12 and s["finishes"] == 12, s
+assert s["stalls"] == 1, s
+PY
+echo "    concatenated progress stream folds: 12/12 finished, 1 stall"
 
 # Differential-observability stage (same ASan/UBSan binaries): the diff
 # engine's core contracts, end to end through the CLI.

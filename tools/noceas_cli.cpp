@@ -16,7 +16,8 @@
 //                        [--json out.json] [--compare edf] [--svg out.svg]
 //   noceas_cli campaign  --out DIR --categories 1,2 [--indices 0,1] [--msb encoder:foreman]
 //                        [--seeds 20 | --seed-list 3,7,9] [--schedulers eas,edf,dls]
-//                        [--threads N] [--artifacts]
+//                        [--threads N] [--artifacts] [--shard i/N] [--resume [DIR]]
+//   noceas_cli campaign merge --out DIR --shards DIR0,DIR1,DIR2
 //   noceas_cli diff      --ctg g.txt --platform p.txt --scheduler-a eas --decisions-b d.jsonl
 //   noceas_cli diff      --campaign-a DIR --campaign-b DIR
 //
@@ -32,6 +33,9 @@
 //      failed campaign runs, non-empty diff)
 //   2  bad invocation (unknown command, unknown flag, missing required flag)
 //   3  validation / replay mismatch (`audit --replay`, `validate`)
+//   4  incompatible shard set (`campaign merge`: overlapping, missing,
+//      incomplete, or fingerprint-mismatched shards; one machine-readable
+//      "campaign merge: reason=<slug> ..." line on stderr)
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -57,6 +61,7 @@
 #include "src/campaign/aggregate.hpp"
 #include "src/campaign/campaign.hpp"
 #include "src/campaign/manifest_io.hpp"
+#include "src/campaign/shard.hpp"
 #include "src/core/eas.hpp"
 #include "src/core/schedule_io.hpp"
 #include "src/core/validator.hpp"
@@ -82,6 +87,7 @@ constexpr int kExitOk = 0;
 constexpr int kExitRunFailed = 1;
 constexpr int kExitBadInvocation = 2;
 constexpr int kExitMismatch = 3;
+constexpr int kExitShardMerge = 4;
 
 /// Bad invocation: unknown command/flag or a missing required flag.
 /// Distinct from noceas::Error so main() can map it to its own exit code.
@@ -119,8 +125,10 @@ int usage() {
       "             [--categories 1,2] [--indices 0,1,..] [--msb APP[:CLIP],..]\n"
       "             [--seeds N | --seed-list 3,7,9] [--schedulers eas,edf,dls]\n"
       "             [--threads N] [--artifacts] [--profile]\n"
+      "             [--shard i/N] [--resume [DIR]]\n"
       "             [--progress] [--timeseries] [--telemetry-interval-ms N]\n"
       "             [--stall-multiplier X] [--stall-floor-ms N]\n"
+      "  noceas_cli campaign merge --out DIR --shards DIR0,DIR1,..\n"
       "  noceas_cli timeseries summarize --in FILE [--json FILE]\n"
       "  noceas_cli diff [--ctg FILE --platform FILE]\n"
       "             --scheduler-a NAME | --decisions-a FILE | --schedule-a FILE\n"
@@ -173,6 +181,22 @@ int usage() {
       "under runs/.  manifest.json and aggregate.json are byte-identical for\n"
       "any --threads value.\n"
       "\n"
+      "campaign sharding (fleet scale-out; see docs/OBSERVABILITY.md):\n"
+      "  --shard i/N     execute only units with global index = i (mod N) and\n"
+      "                  write shard.jsonl (noceas.campaign.shard.v1) instead of\n"
+      "                  the manifest/aggregate/dashboard trio\n"
+      "  --resume [DIR]  reuse validated rows (and artifact files, checked\n"
+      "                  against their recorded hashes) from DIR's shard.jsonl\n"
+      "                  (default: --out DIR itself), re-running the rest;\n"
+      "                  incompatible with --profile\n"
+      "  campaign merge --out DIR --shards DIR0,DIR1,..  combines N shard\n"
+      "                  directories into the byte-identical 1-process\n"
+      "                  manifest/aggregate/dashboard, fleet-merged profile,\n"
+      "                  fleet resources.json, concatenated telemetry streams,\n"
+      "                  and a per-shard-lane fleet timeline.html; refuses\n"
+      "                  overlapping/missing/incompatible shard sets with exit 4\n"
+      "                  and one machine-readable reason line on stderr\n"
+      "\n"
       "campaign live telemetry (all outside the determinism contract —\n"
       "manifest/aggregate/dashboard bytes never change with these on or off):\n"
       "  --progress      write progress.jsonl (noceas.progress.v1: one event per\n"
@@ -205,7 +229,8 @@ int usage() {
       "diff, 1 = divergence found.\n"
       "\n"
       "exit codes: 0 success, 1 run failed (incl. deadline misses),\n"
-      "2 bad invocation, 3 validation/replay mismatch.\n";
+      "2 bad invocation, 3 validation/replay mismatch,\n"
+      "4 incompatible shard set (campaign merge).\n";
   return kExitBadInvocation;
 }
 
@@ -875,9 +900,30 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
                 "campaign requires at least one app source: --categories and/or --msb");
   require_usage(!(flags.count("seeds") && flags.count("seed-list")),
                 "--seeds N and --seed-list a,b,c are mutually exclusive");
+  require_usage(!(flags.count("resume") && flags.count("profile")),
+                "--resume cannot be combined with --profile (per-unit profiles are "
+                "not persisted per manifest row)");
 
   campaign::CampaignSpec spec;
   spec.out_dir = flags.at("out");
+  if (flags.count("shard")) {
+    const std::string& text = flags.at("shard");
+    const std::size_t slash = text.find('/');
+    require_usage(slash != std::string::npos && slash > 0 && slash + 1 < text.size(),
+                  "--shard expects i/N (e.g. --shard 0/3)");
+    try {
+      spec.shard_index = static_cast<unsigned>(std::stoul(text.substr(0, slash)));
+      spec.shard_count = static_cast<unsigned>(std::stoul(text.substr(slash + 1)));
+    } catch (const std::exception&) {
+      throw UsageError("--shard expects i/N (e.g. --shard 0/3)");
+    }
+    require_usage(spec.shard_count >= 1 && spec.shard_index < spec.shard_count,
+                  "--shard i/N needs 0 <= i < N");
+  }
+  if (flags.count("resume")) {
+    // Bare --resume resumes in place (the out dir's own shard.jsonl).
+    spec.resume_from = flags.at("resume") == "1" ? spec.out_dir : flags.at("resume");
+  }
   if (flags.count("categories")) {
     std::vector<int> indices = {0};
     if (flags.count("indices")) {
@@ -942,6 +988,32 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
   }
 
   const campaign::CampaignResult result = campaign::run_campaign(spec);
+
+  if (spec.shard_count > 1) {
+    // A shard holds a fraction of the fleet's rows: an aggregate table over
+    // them would lie about the campaign, so report the partial manifest and
+    // point at `campaign merge` instead.
+    std::size_t failed = 0;
+    for (const std::size_t i : result.shard_units) {
+      if (!result.outcomes[i].ok) ++failed;
+    }
+    std::cout << "campaign shard " << spec.shard_index << '/' << spec.shard_count << ": "
+              << result.shard_units.size() << " of " << result.units.size() << " units";
+    if (result.resumed_units > 0) std::cout << " (" << result.resumed_units << " resumed)";
+    std::cout << '\n';
+    if (failed > 0) {
+      std::cout << failed << " run(s) FAILED:\n";
+      for (const std::size_t i : result.shard_units) {
+        if (!result.outcomes[i].ok) {
+          std::cout << "  " << result.outcomes[i].id << ": " << result.outcomes[i].error << '\n';
+        }
+      }
+    }
+    std::cout << "wrote " << spec.out_dir
+              << "/shard.jsonl (combine the fleet with `campaign merge`)\n";
+    return failed > 0 ? kExitRunFailed : kExitOk;
+  }
+
   const campaign::Aggregate aggregate =
       campaign::aggregate_outcomes(spec, result.units, result.outcomes);
 
@@ -962,13 +1034,54 @@ int cmd_campaign(const std::map<std::string, std::string>& flags) {
       if (!r.ok) std::cout << "  " << r.id << ": " << r.error << '\n';
     }
   }
+  if (result.resumed_units > 0) {
+    std::cout << result.resumed_units << " unit(s) resumed from " << spec.resume_from << '\n';
+  }
   std::cout << "wrote " << spec.out_dir << "/{manifest.json,aggregate.json,resources.json,"
-            << "dashboard.html}"
+            << "dashboard.html,shard.jsonl}"
             << (spec.profile ? " + {profile.json,profile_timings.json,profile.folded}" : "")
             << (spec.progress ? " + progress.jsonl" : "")
             << (spec.timeseries ? " + {timeseries.jsonl,timeline.html}" : "")
             << (spec.artifacts ? " + runs/*" : "") << '\n';
   return aggregate.failed_runs > 0 ? kExitRunFailed : kExitOk;
+}
+
+int cmd_campaign_merge(const std::map<std::string, std::string>& flags) {
+  require_usage(flags.count("out") > 0, "campaign merge requires --out DIR");
+  require_usage(flags.count("shards") > 0, "campaign merge requires --shards DIR0,DIR1,..");
+  campaign::MergeOptions options;
+  options.out_dir = flags.at("out");
+  options.shard_dirs = split_csv(flags.at("shards"));
+  require_usage(!options.shard_dirs.empty(), "campaign merge requires --shards DIR0,DIR1,..");
+
+  campaign::MergeReport report;
+  try {
+    report = campaign::merge_shards(options);
+  } catch (const campaign::ShardMergeError& e) {
+    // One machine-readable verdict line: "campaign merge: reason=<slug> ...".
+    std::cerr << "campaign merge: " << e.what() << '\n';
+    return kExitShardMerge;
+  }
+
+  std::cout << "campaign merge:  " << report.shards << " shards -> " << report.units
+            << " units";
+  if (report.failed_runs > 0) std::cout << " (" << report.failed_runs << " failed)";
+  std::cout << '\n';
+  if (report.telemetry) {
+    std::cout << "fleet telemetry: " << report.stall_events << " stall event"
+              << (report.stall_events == 1 ? "" : "s");
+    if (!report.stragglers.empty()) {
+      std::cout << "; stragglers:";
+      for (const std::string& s : report.stragglers) std::cout << ' ' << s;
+    }
+    std::cout << '\n';
+  }
+  std::cout << "wrote " << options.out_dir << "/{manifest.json,aggregate.json,resources.json,"
+            << "dashboard.html}"
+            << (report.profile ? " + {profile.json,profile_timings.json,profile.folded}" : "")
+            << (report.telemetry ? " + fleet timeline.html + merged streams" : "")
+            << (report.artifacts ? " + runs/*" : "") << '\n';
+  return report.failed_runs > 0 ? kExitRunFailed : kExitOk;
 }
 
 int cmd_timeseries_summarize(const std::map<std::string, std::string>& flags) {
@@ -1049,12 +1162,15 @@ int main(int argc, char** argv) {
                                       "profile-folded"}));
     }
     if (cmd == "campaign") {
+      if (argc >= 3 && std::string(argv[2]) == "merge") {
+        return cmd_campaign_merge(parse_flags(argc, argv, 3, {"out", "shards"}));
+      }
       return cmd_campaign(parse_flags(argc, argv, 2,
                                       {"out", "categories", "indices", "msb", "seeds",
                                        "seed-list", "schedulers", "threads", "artifacts",
-                                       "profile", "progress", "timeseries",
-                                       "telemetry-interval-ms", "stall-multiplier",
-                                       "stall-floor-ms"}));
+                                       "profile", "shard", "resume", "progress",
+                                       "timeseries", "telemetry-interval-ms",
+                                       "stall-multiplier", "stall-floor-ms"}));
     }
     if (cmd == "timeseries") {
       require_usage(argc >= 3 && std::string(argv[2]) == "summarize",
